@@ -1,0 +1,42 @@
+//! Criterion timing for Figure 11: the geo-distributed profile. The shape
+//! to look for: Lusail degrades mildly vs the local cluster while
+//! FedX/HiBISCuS degrade by an order of magnitude (their serial bound-join
+//! blocks each pay the WAN round trip).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lusail_bench::{build_with_federation, System};
+use lusail_federation::NetworkProfile;
+use lusail_workloads::lubm;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fig11(c: &mut Criterion) {
+    let cfg = lubm::LubmConfig::with_universities(2);
+    let graphs = lubm::generate_all(&cfg);
+    let q2 = lubm::queries()[1].parse();
+    for (tag, profile) in [
+        ("local", NetworkProfile::local_cluster()),
+        ("geo", NetworkProfile::geo_distributed()),
+    ] {
+        let mut group = c.benchmark_group(format!("fig11_lubm_q2_{tag}"));
+        for system in [System::Lusail, System::FedX] {
+            let under_test =
+                build_with_federation(system, &graphs, profile, Duration::from_secs(60));
+            group.bench_function(system.label(), |b| {
+                b.iter(|| black_box(under_test.engine.execute(&q2).map(|r| r.len()).unwrap_or(0)))
+            });
+        }
+        group.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = fig11
+}
+criterion_main!(benches);

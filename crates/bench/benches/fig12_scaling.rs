@@ -1,0 +1,43 @@
+//! Criterion timing for Figure 12(b,c): Lusail's end-to-end time on LUBM
+//! Q3/Q4 as the endpoint count grows, with and without the analysis cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lusail_core::{LusailConfig, LusailEngine};
+use lusail_federation::NetworkProfile;
+use lusail_workloads::{federation_from_graphs, lubm};
+use std::hint::black_box;
+
+fn fig12(c: &mut Criterion) {
+    for endpoints in [4usize, 16] {
+        let cfg = lubm::LubmConfig::with_universities(endpoints);
+        let graphs = lubm::generate_all(&cfg);
+        let q4 = lubm::queries()[3].parse();
+        let mut group = c.benchmark_group(format!("fig12_lubm_q4_{endpoints}ep"));
+        for (tag, config) in [
+            ("cached", LusailConfig::default()),
+            ("uncached", LusailConfig::without_cache()),
+        ] {
+            let engine = LusailEngine::new(
+                federation_from_graphs(graphs.clone(), NetworkProfile::local_cluster()),
+                config,
+            );
+            // Warm the cache for the cached variant.
+            engine.execute(&q4).unwrap();
+            group.bench_function(tag, |b| {
+                b.iter(|| black_box(engine.execute(&q4).unwrap().len()))
+            });
+        }
+        group.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = fig12
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion timing for Figure 13: the delay-threshold ablation — total
+//! time over a representative mixed query set per threshold.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lusail_core::{DelayThreshold, LusailConfig, LusailEngine};
+use lusail_federation::NetworkProfile;
+use lusail_workloads::{federation_from_graphs, largerdf};
+use std::hint::black_box;
+
+fn fig13(c: &mut Criterion) {
+    let cfg = largerdf::LargeRdfConfig::default();
+    let graphs = largerdf::generate_all(&cfg);
+    let names = ["S13", "C1", "C9", "B3", "B8"];
+    let queries: Vec<_> = largerdf::all_queries()
+        .into_iter()
+        .filter(|q| names.contains(&q.name))
+        .map(|q| q.parse())
+        .collect();
+    let mut group = c.benchmark_group("fig13_thresholds");
+    for threshold in [
+        DelayThreshold::Mu,
+        DelayThreshold::MuSigma,
+        DelayThreshold::Mu2Sigma,
+        DelayThreshold::OutliersOnly,
+    ] {
+        let engine = LusailEngine::new(
+            federation_from_graphs(graphs.clone(), NetworkProfile::geo_distributed()),
+            LusailConfig { delay_threshold: threshold, ..Default::default() },
+        );
+        group.bench_function(threshold.label(), |b| {
+            b.iter(|| {
+                let mut rows = 0;
+                for q in &queries {
+                    rows += engine.execute(q).map(|r| r.len()).unwrap_or(0);
+                }
+                black_box(rows)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = fig13
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion timing for Figure 14: FedX vs LADE-only vs LADE+SAPE on the
+//! LUBM Q2 triangle (the decomposition's best case) and LargeRDFBench C9.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lusail_baselines::{FedX, FedXConfig, FederatedEngine};
+use lusail_core::{LusailConfig, LusailEngine, SapeMode};
+use lusail_federation::NetworkProfile;
+use lusail_workloads::{federation_from_graphs, largerdf, lubm};
+use std::hint::black_box;
+
+fn fig14(c: &mut Criterion) {
+    let lubm_graphs = lubm::generate_all(&lubm::LubmConfig::with_universities(4));
+    let lrb_graphs = largerdf::generate_all(&largerdf::LargeRdfConfig::default());
+    let cases = [
+        ("lubm_q2", lubm_graphs.clone(), lubm::queries()[1].parse()),
+        (
+            "lrb_c9",
+            lrb_graphs,
+            largerdf::all_queries().into_iter().find(|q| q.name == "C9").unwrap().parse(),
+        ),
+    ];
+    for (tag, graphs, query) in cases {
+        let mut group = c.benchmark_group(format!("fig14_{tag}"));
+        let fedx = FedX::new(
+            federation_from_graphs(graphs.clone(), NetworkProfile::local_cluster()),
+            FedXConfig::default(),
+        );
+        group.bench_function("FedX", |b| {
+            b.iter(|| black_box(fedx.execute(&query).map(|r| r.len()).unwrap_or(0)))
+        });
+        for (label, mode) in [("LADE", SapeMode::LadeOnly), ("LADE+SAPE", SapeMode::Full)] {
+            let engine = LusailEngine::new(
+                federation_from_graphs(graphs.clone(), NetworkProfile::local_cluster()),
+                LusailConfig { sape_mode: mode, ..Default::default() },
+            );
+            group.bench_function(label, |b| {
+                b.iter(|| black_box(engine.execute(&query).unwrap().len()))
+            });
+        }
+        group.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = fig14
+}
+criterion_main!(benches);

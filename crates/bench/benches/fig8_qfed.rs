@@ -1,0 +1,46 @@
+//! Criterion timing for Figure 8: each system's end-to-end time over the
+//! QFed query suite (4 endpoints, local-cluster network).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lusail_bench::{build_with_federation, System};
+use lusail_federation::NetworkProfile;
+use lusail_workloads::qfed;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fig8(c: &mut Criterion) {
+    let cfg = qfed::QfedConfig::default();
+    let graphs = qfed::generate_all(&cfg);
+    let queries: Vec<_> = qfed::queries().iter().map(|q| q.parse()).collect();
+
+    let mut group = c.benchmark_group("fig8_qfed_suite");
+    for system in System::ALL {
+        let under_test = build_with_federation(
+            system,
+            &graphs,
+            NetworkProfile::local_cluster(),
+            Duration::from_secs(60),
+        );
+        group.bench_function(system.label(), |b| {
+            b.iter(|| {
+                let mut rows = 0;
+                for q in &queries {
+                    rows += under_test.engine.execute(q).map(|r| r.len()).unwrap_or(0);
+                }
+                black_box(rows)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = fig8
+}
+criterion_main!(benches);

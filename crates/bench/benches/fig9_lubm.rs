@@ -1,0 +1,49 @@
+//! Criterion timing for Figure 9: LUBM Q1–Q4 per system at 2 and 4
+//! endpoints. The paper's headline: Lusail is up to three orders of
+//! magnitude faster on Q1/Q2/Q4 because the shared schema defeats
+//! schema-only decomposition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lusail_bench::{build_with_federation, System};
+use lusail_federation::NetworkProfile;
+use lusail_workloads::lubm;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn fig9(c: &mut Criterion) {
+    for endpoints in [2usize, 4] {
+        let cfg = lubm::LubmConfig::with_universities(endpoints);
+        let graphs = lubm::generate_all(&cfg);
+        let queries: Vec<_> = lubm::queries().iter().map(|q| q.parse()).collect();
+        let mut group = c.benchmark_group(format!("fig9_lubm_{endpoints}ep"));
+        for system in System::ALL {
+            let under_test = build_with_federation(
+                system,
+                &graphs,
+                NetworkProfile::local_cluster(),
+                Duration::from_secs(60),
+            );
+            group.bench_function(system.label(), |b| {
+                b.iter(|| {
+                    let mut rows = 0;
+                    for q in &queries {
+                        rows += under_test.engine.execute(q).map(|r| r.len()).unwrap_or(0);
+                    }
+                    black_box(rows)
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = fig9
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Micro-benchmarks for the substrates: store access paths, local BGP
+//! evaluation, relation joins, and the SPARQL parser.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lusail_rdf::Term;
+use lusail_sparql::ast::Variable;
+use lusail_sparql::solution::Relation;
+use lusail_store::{Evaluator, Store};
+use lusail_workloads::lubm;
+use std::hint::black_box;
+
+fn store_benches(c: &mut Criterion) {
+    let cfg = lubm::LubmConfig::with_universities(1);
+    let graph = lubm::generate_university(&cfg, 0);
+    let store = Store::from_graph(&graph);
+    let advisor = store
+        .resolve(&Term::iri(format!("{}advisor", lusail_rdf::vocab::ub::NS)))
+        .expect("advisor predicate present");
+
+    c.bench_function("store/match_by_predicate", |b| {
+        b.iter(|| black_box(store.match_ids(None, Some(advisor), None).len()))
+    });
+    c.bench_function("store/count_by_predicate", |b| {
+        b.iter(|| black_box(store.count_ids(None, Some(advisor), None)))
+    });
+
+    let q2 = lubm::queries()[1].parse();
+    c.bench_function("store/eval_lubm_q2_triangle", |b| {
+        b.iter(|| {
+            let rel = Evaluator::new(&store).query(&q2).into_solutions();
+            black_box(rel.len())
+        })
+    });
+
+    let qa_text = lubm::query_qa().text;
+    c.bench_function("sparql/parse_qa", |b| {
+        b.iter(|| black_box(lusail_sparql::parse_query(&qa_text).unwrap()))
+    });
+}
+
+fn join_benches(c: &mut Criterion) {
+    let v = |n: &str| Variable::new(n);
+    let mk = |vars: [&str; 2], n: usize, offset: usize| {
+        let mut r = Relation::new(vars.iter().map(|x| v(x)).collect());
+        for i in 0..n {
+            r.push(vec![
+                Some(Term::iri(format!("http://x/{}", i + offset))),
+                Some(Term::integer(i as i64)),
+            ]);
+        }
+        r
+    };
+    let a = mk(["x", "y"], 4000, 0);
+    let b = mk(["x", "z"], 4000, 2000);
+    c.bench_function("relation/hash_join_4k_x_4k", |bench| {
+        bench.iter(|| black_box(a.join(&b).len()))
+    });
+    let handler = lusail_federation::RequestHandler::new(4);
+    c.bench_function("relation/parallel_join_4k_x_4k", |bench| {
+        bench.iter(|| black_box(lusail_core::sape::parallel_join(&a, &b, &handler).len()))
+    });
+    c.bench_function("relation/left_join_4k_x_4k", |bench| {
+        bench.iter_batched(
+            || (a.clone(), b.clone()),
+            |(a, b)| black_box(a.left_join(&b).len()),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = store_benches, join_benches
+}
+criterion_main!(benches);

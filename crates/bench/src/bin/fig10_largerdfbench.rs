@@ -1,0 +1,44 @@
+//! Figure 10: LargeRDFBench runtimes (13 endpoints) — simple, complex,
+//! and large query categories.
+//!
+//! Expected shape (paper): on simple queries the systems are comparable
+//! (index-based systems sometimes win; Lusail leads on S13/S14, the two
+//! with larger intermediate results). On complex and large queries Lusail
+//! wins broadly; C5/B5/B6 are `NS` for every baseline; FedX/HiBISCuS time
+//! out on the heaviest (C1, C9, several B's).
+
+use lusail_bench::{bench_scale, run_grid, HarnessConfig, System};
+use lusail_federation::NetworkProfile;
+use lusail_workloads::largerdf;
+
+fn main() {
+    let cfg = largerdf::LargeRdfConfig { scale: bench_scale(), ..Default::default() };
+    let graphs = largerdf::generate_all(&cfg);
+    let harness = HarnessConfig::default();
+    let profile = NetworkProfile::local_cluster();
+    run_grid(
+        "Figure 10 (top): LargeRDFBench simple queries — seconds (requests)",
+        &graphs,
+        profile,
+        &System::ALL,
+        &largerdf::simple_queries(),
+        &harness,
+    );
+    run_grid(
+        "Figure 10 (middle): LargeRDFBench complex queries — seconds (requests)",
+        &graphs,
+        profile,
+        &System::ALL,
+        &largerdf::complex_queries(),
+        &harness,
+    );
+    run_grid(
+        "Figure 10 (bottom): LargeRDFBench large queries — seconds (requests)",
+        &graphs,
+        profile,
+        &System::ALL,
+        &largerdf::big_queries(),
+        &harness,
+    );
+    println!("\nLegend: TO = timed out ({}s limit), NS = not supported.", harness.timeout.as_secs());
+}

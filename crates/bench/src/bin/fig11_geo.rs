@@ -1,0 +1,47 @@
+//! Figure 11: the geo-distributed federation (Azure, 7 regions in the
+//! paper; the `geo_distributed` network profile here).
+//!
+//! Expected shape (paper): the higher communication cost hurts everyone,
+//! but FedX/HiBISCuS — which ship bindings one block at a time — degrade
+//! by an order of magnitude, while Lusail's runtimes grow only modestly.
+//! Lusail is the only system answering every complex and large query.
+
+use lusail_bench::{bench_scale, run_grid, HarnessConfig, System};
+use lusail_federation::NetworkProfile;
+use lusail_workloads::{largerdf, lubm};
+
+fn main() {
+    let harness = HarnessConfig::default();
+    let geo = NetworkProfile::geo_distributed();
+
+    let cfg = largerdf::LargeRdfConfig { scale: bench_scale(), ..Default::default() };
+    let graphs = largerdf::generate_all(&cfg);
+    run_grid(
+        "Figure 11(a): geo-distributed LargeRDFBench complex queries — seconds (requests)",
+        &graphs,
+        geo,
+        &System::ALL,
+        &largerdf::complex_queries(),
+        &harness,
+    );
+    run_grid(
+        "Figure 11(b): geo-distributed LargeRDFBench large queries — seconds (requests)",
+        &graphs,
+        geo,
+        &System::ALL,
+        &largerdf::big_queries(),
+        &harness,
+    );
+
+    let lubm_cfg = lubm::LubmConfig::with_universities(2);
+    let lubm_graphs = lubm::generate_all(&lubm_cfg);
+    run_grid(
+        "Figure 11(c): geo-distributed LUBM, 2 endpoints — seconds (requests)",
+        &lubm_graphs,
+        geo,
+        &System::ALL,
+        &lubm::queries(),
+        &harness,
+    );
+    println!("\nLegend: TO = timed out ({}s limit), NS = not supported.", harness.timeout.as_secs());
+}

@@ -1,0 +1,53 @@
+//! Figure 12(a): profiling Lusail's three phases — source selection,
+//! query analysis (LADE), and query execution (SAPE) — on queries of
+//! increasing complexity: S10 (simple), C4 (complex), B1 (large).
+//!
+//! Expected shape (paper): execution dominates; analysis is lightweight
+//! (often cheaper than source selection); B1's analysis is slightly
+//! heavier because of its UNION over the largest endpoints.
+
+use lusail_bench::bench_scale;
+use lusail_core::{LusailConfig, LusailEngine};
+use lusail_federation::NetworkProfile;
+use lusail_workloads::{federation_from_graphs, largerdf};
+
+fn main() {
+    let cfg = largerdf::LargeRdfConfig { scale: bench_scale(), ..Default::default() };
+    let graphs = largerdf::generate_all(&cfg);
+    let engine = LusailEngine::new(
+        federation_from_graphs(graphs, NetworkProfile::local_cluster()),
+        LusailConfig::default(),
+    );
+
+    println!("Figure 12(a): Lusail phase profile (milliseconds)");
+    println!(
+        "{:<8}{:>14}{:>14}{:>14}{:>14}{:>8}{:>10}",
+        "query", "source sel.", "analysis", "execution", "total", "subqs", "checks"
+    );
+    for name in ["S10", "C4", "B1"] {
+        let q = largerdf::all_queries().into_iter().find(|q| q.name == name).unwrap();
+        let parsed = q.parse();
+        // Warm-up then measure (paper protocol: average of last two of 3).
+        engine.execute(&parsed).unwrap();
+        let mut profiles = Vec::new();
+        for _ in 0..2 {
+            // A fresh engine per measured run so the caches don't hide the
+            // phases being profiled.
+            let (_, p) = engine.execute_profiled(&parsed).unwrap();
+            profiles.push(p);
+        }
+        let ms = |f: &dyn Fn(&lusail_core::ExecutionProfile) -> std::time::Duration| -> f64 {
+            profiles.iter().map(|p| f(p).as_secs_f64() * 1000.0).sum::<f64>() / profiles.len() as f64
+        };
+        println!(
+            "{:<8}{:>14.3}{:>14.3}{:>14.3}{:>14.3}{:>8}{:>10}",
+            name,
+            ms(&|p| p.source_selection),
+            ms(&|p| p.analysis),
+            ms(&|p| p.execution),
+            ms(&|p| p.total),
+            profiles[0].subqueries,
+            profiles[0].check_queries,
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Figure 12(b, c): Lusail's phases for LUBM Q3 and Q4 while scaling the
+//! number of endpoints (4 → 256 in the paper; configurable here), with
+//! and without the ASK/check-query cache.
+//!
+//! Expected shape (paper): source selection grows with the endpoint count
+//! and execution dominates at scale; the cache helps, especially for the
+//! more complex Q4 and at large endpoint counts.
+
+use lusail_bench::bench_scale;
+use lusail_core::{LusailConfig, LusailEngine};
+use lusail_federation::NetworkProfile;
+use lusail_workloads::{federation_from_graphs, lubm};
+
+fn main() {
+    let max: usize = std::env::var("LUSAIL_BENCH_MAX_ENDPOINTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let mut counts = vec![4usize, 16, 64, 256];
+    counts.retain(|&c| c <= max);
+
+    for (fig, qname, qidx) in [("12(b)", "Q3", 2usize), ("12(c)", "Q4", 3usize)] {
+        println!("\nFigure {fig}: LUBM {qname}, scaling endpoints (milliseconds)");
+        println!(
+            "{:<10}{:>12}{:>12}{:>12}{:>14}{:>16}",
+            "endpoints", "source", "analysis", "execution", "total+cache", "total w/o cache"
+        );
+        for &n in &counts {
+            let cfg = lubm::LubmConfig {
+                universities: n,
+                scale: bench_scale(),
+                ..Default::default()
+            };
+            let graphs = lubm::generate_all(&cfg);
+            let query = lubm::queries()[qidx].parse();
+
+            // With cache: warm-up run loads caches, then measure.
+            let cached_engine = LusailEngine::new(
+                federation_from_graphs(graphs.clone(), NetworkProfile::local_cluster()),
+                LusailConfig::default(),
+            );
+            cached_engine.execute(&query).unwrap();
+            let (_, cached) = cached_engine.execute_profiled(&query).unwrap();
+
+            // Without cache: every run pays the analysis traffic.
+            let uncached_engine = LusailEngine::new(
+                federation_from_graphs(graphs, NetworkProfile::local_cluster()),
+                LusailConfig::without_cache(),
+            );
+            uncached_engine.execute(&query).unwrap();
+            let (_, uncached) = uncached_engine.execute_profiled(&query).unwrap();
+
+            let ms = |d: std::time::Duration| d.as_secs_f64() * 1000.0;
+            println!(
+                "{:<10}{:>12.2}{:>12.2}{:>12.2}{:>14.2}{:>16.2}",
+                n,
+                ms(cached.source_selection),
+                ms(cached.analysis),
+                ms(cached.execution),
+                ms(cached.total),
+                ms(uncached.total),
+            );
+        }
+    }
+}

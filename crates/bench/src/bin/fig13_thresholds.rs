@@ -1,0 +1,85 @@
+//! Figure 13: evaluating the delayed-subquery threshold — μ, μ+σ, μ+2σ,
+//! and outliers-only — on the geo-distributed LargeRDFBench deployment,
+//! reporting the total time per query category.
+//!
+//! Expected shape (paper): μ+2σ and outliers-only delay too little and
+//! lose on simple/complex queries (communication explodes); μ delays too
+//! much and loses on large queries (parallelism starves); μ+σ is
+//! consistently good — which is why it is Lusail's default.
+
+use lusail_bench::{bench_scale, HarnessConfig};
+use lusail_core::{DelayThreshold, LusailConfig, LusailEngine};
+use lusail_federation::NetworkProfile;
+use lusail_workloads::{federation_from_graphs, largerdf, BenchQuery};
+use std::time::Instant;
+
+fn total_time(
+    graphs: &[(String, lusail_rdf::Graph)],
+    queries: &[BenchQuery],
+    threshold: DelayThreshold,
+    harness: &HarnessConfig,
+) -> (f64, usize) {
+    let engine = LusailEngine::new(
+        federation_from_graphs(graphs.to_vec(), NetworkProfile::geo_distributed()),
+        LusailConfig {
+            delay_threshold: threshold,
+            timeout: Some(harness.timeout),
+            ..Default::default()
+        },
+    );
+    let mut total = 0.0;
+    let mut timeouts = 0;
+    for q in queries {
+        let parsed = q.parse();
+        // Warm-up, then one measured run (the category totals dominate any
+        // run-to-run noise).
+        let _ = engine.execute(&parsed);
+        let start = Instant::now();
+        match engine.execute(&parsed) {
+            Ok(_) => total += start.elapsed().as_secs_f64(),
+            Err(_) => {
+                total += harness.timeout.as_secs_f64();
+                timeouts += 1;
+            }
+        }
+    }
+    (total, timeouts)
+}
+
+fn main() {
+    let cfg = largerdf::LargeRdfConfig { scale: bench_scale(), ..Default::default() };
+    let graphs = largerdf::generate_all(&cfg);
+    let harness = HarnessConfig::default();
+    let thresholds = [
+        DelayThreshold::Mu,
+        DelayThreshold::MuSigma,
+        DelayThreshold::Mu2Sigma,
+        DelayThreshold::OutliersOnly,
+    ];
+
+    println!("Figure 13: total category time (seconds) per delay threshold");
+    println!(
+        "{:<10}{:>12}{:>12}{:>12}{:>12}",
+        "category",
+        thresholds[0].label(),
+        thresholds[1].label(),
+        thresholds[2].label(),
+        thresholds[3].label()
+    );
+    for (cat, queries) in [
+        ("simple", largerdf::simple_queries()),
+        ("complex", largerdf::complex_queries()),
+        ("large", largerdf::big_queries()),
+    ] {
+        print!("{cat:<10}");
+        for t in thresholds {
+            let (secs, timeouts) = total_time(&graphs, &queries, t, &harness);
+            if timeouts > 0 {
+                print!("{:>12}", format!("{secs:.2}({timeouts}TO)"));
+            } else {
+                print!("{secs:>12.2}");
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 8: query runtimes on the QFed benchmark (4 endpoints).
+//!
+//! Expected shape (paper): Lusail beats FedX and HiBISCuS on all queries;
+//! filtered variants (…F) are fast for everyone; the big-literal variants
+//! (C2P2B, C2P2BO) blow up FedX/HiBISCuS communication — they time out or
+//! run orders of magnitude slower — while Lusail answers in seconds.
+//! SPLENDID times out on everything except C2P2.
+
+use lusail_bench::{bench_scale, run_grid, HarnessConfig, System};
+use lusail_federation::NetworkProfile;
+use lusail_workloads::qfed;
+
+fn main() {
+    let scale = bench_scale();
+    let cfg = qfed::QfedConfig {
+        drugs: (400.0 * scale) as usize,
+        diseases: (120.0 * scale) as usize,
+        side_effects: (200.0 * scale) as usize,
+        labels: (150.0 * scale) as usize,
+        seed: 7,
+    };
+    let graphs = qfed::generate_all(&cfg);
+    let harness = HarnessConfig::default();
+    let queries = qfed::queries();
+    run_grid(
+        "Figure 8: QFed query runtimes, seconds (requests)",
+        &graphs,
+        NetworkProfile::local_cluster(),
+        &System::ALL,
+        &queries,
+        &harness,
+    );
+    println!("\nLegend: TO = timed out ({}s limit), NS = not supported.", harness.timeout.as_secs());
+}

@@ -1,0 +1,34 @@
+//! Figure 9: LUBM query runtimes on (a) two and (b) four endpoints.
+//!
+//! Expected shape (paper): the universities share one schema, so FedX and
+//! HiBISCuS form no exclusive groups and fall back to per-pattern bound
+//! joins — their request counts and runtimes explode as endpoints go from
+//! 2 to 4, while Lusail ships Q1/Q2 whole to each endpoint and decomposes
+//! Q3/Q4 into two subqueries with the generic one delayed. Lusail is up to
+//! three orders of magnitude faster on Q1, Q2, and Q4.
+
+use lusail_bench::{bench_scale, run_grid, HarnessConfig, System};
+use lusail_federation::NetworkProfile;
+use lusail_workloads::lubm;
+
+fn main() {
+    let harness = HarnessConfig::default();
+    for endpoints in [2usize, 4] {
+        let cfg = lubm::LubmConfig {
+            universities: endpoints,
+            scale: bench_scale(),
+            ..Default::default()
+        };
+        let graphs = lubm::generate_all(&cfg);
+        run_grid(
+            &format!("Figure 9({}): LUBM, {endpoints} endpoints — seconds (requests)",
+                     if endpoints == 2 { "a" } else { "b" }),
+            &graphs,
+            NetworkProfile::local_cluster(),
+            &System::ALL,
+            &lubm::queries(),
+            &harness,
+        );
+    }
+    println!("\nLegend: TO = timed out ({}s limit), NS = not supported.", harness.timeout.as_secs());
+}

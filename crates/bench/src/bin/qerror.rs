@@ -1,0 +1,53 @@
+//! The §4.1 cardinality-estimation experiment: estimated vs actual
+//! cardinalities of multi-pattern subqueries on LargeRDFBench, summarized
+//! by the q-error metric (`max(e/a, a/e)`).
+//!
+//! Expected shape (paper): the min/sum/max model is accurate — the paper
+//! reports a median q-error of 1.09 (optimal is 1).
+
+use lusail_bench::bench_scale;
+use lusail_core::sape::q_error;
+use lusail_core::{LusailConfig, LusailEngine};
+use lusail_federation::NetworkProfile;
+use lusail_workloads::{federation_from_graphs, largerdf};
+
+fn main() {
+    let cfg = largerdf::LargeRdfConfig { scale: bench_scale(), ..Default::default() };
+    let graphs = largerdf::generate_all(&cfg);
+    let engine = LusailEngine::new(
+        federation_from_graphs(graphs, NetworkProfile::instant()),
+        LusailConfig::default(),
+    );
+
+    let mut qerrors: Vec<(String, usize, usize, f64)> = Vec::new();
+    for q in largerdf::all_queries() {
+        let parsed = q.parse();
+        if let Ok((_, profile)) = engine.execute_profiled(&parsed) {
+            for (sq, est, actual) in profile.estimates {
+                qerrors.push((format!("{}#sq{sq}", q.name), est, actual, q_error(est, actual)));
+            }
+        }
+    }
+
+    println!("Cardinality estimation accuracy (multi-pattern subqueries)");
+    println!("{:<14}{:>12}{:>12}{:>10}", "subquery", "estimated", "actual", "q-error");
+    for (name, est, actual, qe) in &qerrors {
+        println!("{name:<14}{est:>12}{actual:>12}{qe:>10.3}");
+    }
+
+    let mut finite: Vec<f64> =
+        qerrors.iter().map(|(_, _, _, q)| *q).filter(|q| q.is_finite()).collect();
+    finite.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if finite.is_empty() {
+        println!("\nno multi-pattern subqueries produced estimates");
+        return;
+    }
+    let median = finite[finite.len() / 2];
+    let p90 = finite[(finite.len() * 9 / 10).min(finite.len() - 1)];
+    println!(
+        "\nsubqueries: {}   median q-error: {:.3}   p90: {:.3}   (paper: median 1.09)",
+        finite.len(),
+        median,
+        p90
+    );
+}

@@ -1,0 +1,77 @@
+//! Table 1: datasets used in the experiments.
+//!
+//! Prints the endpoint/triple-count table for the three benchmarks at the
+//! harness scale, next to the paper's original counts so the proportional
+//! scaling is visible.
+
+use lusail_bench::bench_scale;
+use lusail_workloads::{largerdf, lubm, qfed};
+
+fn main() {
+    let scale = bench_scale();
+    println!("Table 1: Datasets used in experiments (scale factor {scale})");
+    println!("{:<16}{:<24}{:>12}{:>18}", "Benchmark", "Endpoint", "Triples", "Paper's triples");
+
+    // QFed.
+    let qcfg = qfed::QfedConfig {
+        drugs: (400.0 * scale) as usize,
+        diseases: (120.0 * scale) as usize,
+        side_effects: (200.0 * scale) as usize,
+        labels: (150.0 * scale) as usize,
+        seed: 7,
+    };
+    let paper_qfed = [164_276usize, 91_182, 766_920, 193_249];
+    let qfed_graphs = qfed::generate_all(&qcfg);
+    let mut total = 0;
+    // Paper order: DailyMed, Diseasome, DrugBank, Sider.
+    for ((name, g), paper) in qfed_graphs.iter().zip([paper_qfed[0], paper_qfed[1], paper_qfed[2], paper_qfed[3]]) {
+        println!("{:<16}{:<24}{:>12}{:>18}", "QFed", name, g.len(), paper);
+        total += g.len();
+    }
+    println!("{:<16}{:<24}{:>12}{:>18}", "", "Total Triples", total, 1_215_627);
+
+    // LargeRDFBench.
+    let lcfg = largerdf::LargeRdfConfig { scale, ..Default::default() };
+    let paper_lrb: &[(&str, usize)] = &[
+        ("LinkedTCGA-M", 415_030_327),
+        ("LinkedTCGA-E", 344_576_146),
+        ("LinkedTCGA-A", 35_329_868),
+        ("ChEBI", 4_772_706),
+        ("DBPedia-Subset", 42_849_609),
+        ("DrugBank", 517_023),
+        ("GeoNames", 107_950_085),
+        ("Jamendo", 1_049_647),
+        ("KEGG", 1_090_830),
+        ("LinkedMDB", 6_147_996),
+        ("NewYorkTimes", 335_198),
+        ("SemanticWebDogFood", 103_595),
+        ("Affymetrix", 44_207_146),
+    ];
+    let lrb_graphs = largerdf::generate_all(&lcfg);
+    let mut total = 0;
+    for (name, g) in &lrb_graphs {
+        let paper = paper_lrb.iter().find(|(n, _)| n == name).map(|(_, c)| *c).unwrap_or(0);
+        println!("{:<16}{:<24}{:>12}{:>18}", "LargeRDFBench", name, g.len(), paper);
+        total += g.len();
+    }
+    println!("{:<16}{:<24}{:>12}{:>18}", "", "Total Triples", total, 1_003_960_176);
+
+    // LUBM: the paper uses 256 universities × ~138k triples. We print the
+    // per-university size at this scale and the 256-university total.
+    let ucfg = lubm::LubmConfig { universities: 4, ..Default::default() };
+    let one = lubm::generate_university(&ucfg, 0).len();
+    println!(
+        "{:<16}{:<24}{:>12}{:>18}",
+        "LUBM",
+        "per university",
+        one,
+        138_000
+    );
+    println!(
+        "{:<16}{:<24}{:>12}{:>18}",
+        "",
+        "256 Universities",
+        one * 256,
+        35_306_161
+    );
+}

@@ -1,0 +1,670 @@
+//! The `lusail` CLI, exposed as a library so its argument parsing and
+//! command logic are unit-testable.
+
+use lusail_baselines::{FedX, FedXConfig, FederatedEngine, HiBiscus, Splendid};
+use lusail_core::{LusailConfig, LusailEngine};
+use lusail_federation::{Federation, NetworkProfile, SimulatedEndpoint, SparqlEndpoint};
+use lusail_rdf::{Graph, Term};
+use lusail_store::{Store, StoreStats};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+usage:
+  lusail query    --data FILE... (--query FILE | --query-text SPARQL)
+                  [--engine lusail|fedx|splendid|hibiscus]
+                  [--profile instant|local|geo] [--timeout SECS]
+                  [--format table|csv] [--explain]
+  lusail generate --benchmark lubm|qfed|largerdf|bio2rdf --out DIR
+                  [--scale F] [--endpoints N] [--seed N]
+  lusail info     --data FILE...
+  lusail search   --data FILE... --keywords 'WORD WORD...' [--top N]
+  lusail snapshot --data FILE --out FILE.snap
+
+Each --data file becomes one endpoint (.nt = N-Triples, .ttl = Turtle).";
+
+/// CLI failure modes.
+#[derive(Debug)]
+pub enum CliError {
+    Usage(String),
+    Io(std::io::Error),
+    Parse(String),
+    Engine(lusail_core::EngineError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io(e) => write!(f, "I/O: {e}"),
+            CliError::Parse(m) => write!(f, "parse: {m}"),
+            CliError::Engine(e) => write!(f, "engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    Query {
+        data: Vec<PathBuf>,
+        query_file: Option<PathBuf>,
+        query_text: Option<String>,
+        engine: EngineKind,
+        profile: ProfileKind,
+        timeout: Option<u64>,
+        format: OutputFormat,
+        explain: bool,
+    },
+    Generate {
+        benchmark: String,
+        out: PathBuf,
+        scale: f64,
+        endpoints: usize,
+        seed: u64,
+    },
+    Info {
+        data: Vec<PathBuf>,
+    },
+    Search {
+        data: Vec<PathBuf>,
+        keywords: Vec<String>,
+        top: usize,
+    },
+    Snapshot {
+        data: PathBuf,
+        out: PathBuf,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    Lusail,
+    FedX,
+    Splendid,
+    HiBiscus,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileKind {
+    Instant,
+    Local,
+    Geo,
+}
+
+impl ProfileKind {
+    fn network(self) -> NetworkProfile {
+        match self {
+            ProfileKind::Instant => NetworkProfile::instant(),
+            ProfileKind::Local => NetworkProfile::local_cluster(),
+            ProfileKind::Geo => NetworkProfile::geo_distributed(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    Table,
+    Csv,
+}
+
+/// Parse argv (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let usage = |m: &str| CliError::Usage(m.to_string());
+    let mut it = args.iter();
+    let sub = it.next().ok_or_else(|| usage("missing subcommand"))?;
+
+    // Collect flag → values pairs.
+    let rest: Vec<&String> = it.collect();
+    let mut flags: Vec<(&str, Option<&str>)> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let flag = rest[i].as_str();
+        if !flag.starts_with("--") {
+            return Err(usage(&format!("unexpected argument {flag:?}")));
+        }
+        let value = if flag == "--explain" {
+            None
+        } else {
+            let v = rest.get(i + 1).ok_or_else(|| usage(&format!("{flag} needs a value")))?;
+            i += 1;
+            Some(v.as_str())
+        };
+        flags.push((flag, value));
+        i += 1;
+    }
+    let get = |name: &str| flags.iter().find(|(f, _)| *f == name).and_then(|(_, v)| *v);
+    let get_all = |name: &str| -> Vec<&str> {
+        flags.iter().filter(|(f, _)| *f == name).filter_map(|(_, v)| *v).collect()
+    };
+    let has = |name: &str| flags.iter().any(|(f, _)| *f == name);
+
+    match sub.as_str() {
+        "query" => {
+            let data: Vec<PathBuf> = get_all("--data").into_iter().map(PathBuf::from).collect();
+            if data.is_empty() {
+                return Err(usage("query needs at least one --data FILE"));
+            }
+            let query_file = get("--query").map(PathBuf::from);
+            let query_text = get("--query-text").map(str::to_string);
+            if query_file.is_none() && query_text.is_none() {
+                return Err(usage("query needs --query FILE or --query-text SPARQL"));
+            }
+            let engine = match get("--engine").unwrap_or("lusail") {
+                "lusail" => EngineKind::Lusail,
+                "fedx" => EngineKind::FedX,
+                "splendid" => EngineKind::Splendid,
+                "hibiscus" => EngineKind::HiBiscus,
+                other => return Err(usage(&format!("unknown engine {other:?}"))),
+            };
+            let profile = match get("--profile").unwrap_or("instant") {
+                "instant" => ProfileKind::Instant,
+                "local" => ProfileKind::Local,
+                "geo" => ProfileKind::Geo,
+                other => return Err(usage(&format!("unknown profile {other:?}"))),
+            };
+            let timeout = match get("--timeout") {
+                None => None,
+                Some(v) => {
+                    Some(v.parse().map_err(|_| usage(&format!("bad --timeout {v:?}")))?)
+                }
+            };
+            let format = match get("--format").unwrap_or("table") {
+                "table" => OutputFormat::Table,
+                "csv" => OutputFormat::Csv,
+                other => return Err(usage(&format!("unknown format {other:?}"))),
+            };
+            Ok(Command::Query {
+                data,
+                query_file,
+                query_text,
+                engine,
+                profile,
+                timeout,
+                format,
+                explain: has("--explain"),
+            })
+        }
+        "generate" => {
+            let benchmark = get("--benchmark")
+                .ok_or_else(|| usage("generate needs --benchmark"))?
+                .to_string();
+            if !["lubm", "qfed", "largerdf", "bio2rdf"].contains(&benchmark.as_str()) {
+                return Err(usage(&format!("unknown benchmark {benchmark:?}")));
+            }
+            let out = PathBuf::from(get("--out").ok_or_else(|| usage("generate needs --out DIR"))?);
+            let scale: f64 = match get("--scale") {
+                None => 1.0,
+                Some(v) => v.parse().map_err(|_| usage(&format!("bad --scale {v:?}")))?,
+            };
+            let endpoints: usize = match get("--endpoints") {
+                None => 4,
+                Some(v) => v.parse().map_err(|_| usage(&format!("bad --endpoints {v:?}")))?,
+            };
+            let seed: u64 = match get("--seed") {
+                None => 42,
+                Some(v) => v.parse().map_err(|_| usage(&format!("bad --seed {v:?}")))?,
+            };
+            Ok(Command::Generate { benchmark, out, scale, endpoints, seed })
+        }
+        "info" => {
+            let data: Vec<PathBuf> = get_all("--data").into_iter().map(PathBuf::from).collect();
+            if data.is_empty() {
+                return Err(usage("info needs at least one --data FILE"));
+            }
+            Ok(Command::Info { data })
+        }
+        "snapshot" => {
+            let data = get("--data")
+                .map(PathBuf::from)
+                .ok_or_else(|| usage("snapshot needs --data FILE"))?;
+            let out = get("--out")
+                .map(PathBuf::from)
+                .ok_or_else(|| usage("snapshot needs --out FILE.snap"))?;
+            Ok(Command::Snapshot { data, out })
+        }
+        "search" => {
+            let data: Vec<PathBuf> = get_all("--data").into_iter().map(PathBuf::from).collect();
+            if data.is_empty() {
+                return Err(usage("search needs at least one --data FILE"));
+            }
+            let keywords: Vec<String> = get("--keywords")
+                .ok_or_else(|| usage("search needs --keywords"))?
+                .split_whitespace()
+                .map(str::to_string)
+                .collect();
+            let top: usize = match get("--top") {
+                None => 10,
+                Some(v) => v.parse().map_err(|_| usage(&format!("bad --top {v:?}")))?,
+            };
+            Ok(Command::Search { data, keywords, top })
+        }
+        other => Err(usage(&format!("unknown subcommand {other:?}"))),
+    }
+}
+
+/// Load a data file as a store (by extension: `.ttl`/`.turtle` Turtle,
+/// `.snap` binary snapshot, anything else N-Triples).
+pub fn load_store(path: &Path) -> Result<Store, CliError> {
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    if ext == "snap" {
+        return lusail_store::snapshot::load_from_file(path)
+            .map_err(|e| CliError::Parse(format!("{path:?}: {e}")));
+    }
+    Ok(Store::from_graph(&load_graph(path)?))
+}
+
+/// Load a text data file as a graph (by extension).
+pub fn load_graph(path: &Path) -> Result<Graph, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    match ext {
+        "ttl" | "turtle" => {
+            lusail_rdf::turtle::parse(&text).map_err(|e| CliError::Parse(format!("{path:?}: {e}")))
+        }
+        _ => lusail_rdf::ntriples::parse(&text)
+            .map_err(|e| CliError::Parse(format!("{path:?}: {e}"))),
+    }
+}
+
+fn build_federation(data: &[PathBuf], profile: ProfileKind) -> Result<Federation, CliError> {
+    let mut endpoints: Vec<Arc<dyn SparqlEndpoint>> = Vec::new();
+    for path in data {
+        let store = load_store(path)?;
+        let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("endpoint").to_string();
+        endpoints.push(Arc::new(SimulatedEndpoint::new(name, store, profile.network())));
+    }
+    Ok(Federation::new(endpoints))
+}
+
+/// Run a parsed command, writing human output to `out`.
+pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
+    match cmd {
+        Command::Query {
+            data,
+            query_file,
+            query_text,
+            engine,
+            profile,
+            timeout,
+            format,
+            explain,
+        } => {
+            let federation = build_federation(&data, profile)?;
+            let text = match (&query_file, &query_text) {
+                (Some(path), _) => std::fs::read_to_string(path)?,
+                (None, Some(text)) => text.clone(),
+                (None, None) => unreachable!("validated in parse_args"),
+            };
+            let query = lusail_sparql::parse_query(&text)
+                .map_err(|e| CliError::Parse(e.to_string()))?;
+            let timeout = timeout.map(Duration::from_secs);
+
+            if explain && engine == EngineKind::Lusail {
+                let lusail = LusailEngine::new(
+                    federation.clone(),
+                    LusailConfig { timeout, ..Default::default() },
+                );
+                let (rel, profile) =
+                    lusail.execute_profiled(&query).map_err(CliError::Engine)?;
+                writeln!(out, "# engine        : Lusail")?;
+                writeln!(out, "# gjvs          : {:?}", profile.gjvs)?;
+                writeln!(out, "# subqueries    : {}", profile.subqueries)?;
+                writeln!(out, "# delayed       : {}", profile.delayed)?;
+                writeln!(out, "# check queries : {}", profile.check_queries)?;
+                writeln!(
+                    out,
+                    "# phases        : source {:?}, analysis {:?}, execution {:?}",
+                    profile.source_selection, profile.analysis, profile.execution
+                )?;
+                writeln!(
+                    out,
+                    "# traffic       : {} requests, {} bytes received",
+                    federation.total_traffic().requests,
+                    federation.total_traffic().bytes_received
+                )?;
+                print_relation(&rel, format, out)?;
+                return Ok(());
+            }
+
+            let engine: Box<dyn FederatedEngine> = match engine {
+                EngineKind::Lusail => Box::new(LusailEngine::new(
+                    federation.clone(),
+                    LusailConfig { timeout, ..Default::default() },
+                )),
+                EngineKind::FedX => Box::new(FedX::new(
+                    federation.clone(),
+                    FedXConfig { timeout, ..Default::default() },
+                )),
+                EngineKind::Splendid => {
+                    let mut s = Splendid::new(federation.clone());
+                    s.timeout = timeout;
+                    Box::new(s)
+                }
+                EngineKind::HiBiscus => Box::new(HiBiscus::new(
+                    federation.clone(),
+                    FedXConfig { timeout, ..Default::default() },
+                )),
+            };
+            let rel = engine.execute(&query).map_err(CliError::Engine)?;
+            print_relation(&rel, format, out)?;
+            Ok(())
+        }
+        Command::Generate { benchmark, out: dir, scale, endpoints, seed } => {
+            std::fs::create_dir_all(&dir)?;
+            let graphs: Vec<(String, Graph)> = match benchmark.as_str() {
+                "lubm" => {
+                    let cfg = lusail_workloads::lubm::LubmConfig {
+                        universities: endpoints,
+                        seed,
+                        ..Default::default()
+                    };
+                    lusail_workloads::lubm::generate_all(&cfg)
+                }
+                "qfed" => {
+                    let cfg = lusail_workloads::qfed::QfedConfig {
+                        drugs: (400.0 * scale) as usize,
+                        diseases: (120.0 * scale) as usize,
+                        side_effects: (200.0 * scale) as usize,
+                        labels: (150.0 * scale) as usize,
+                        seed,
+                    };
+                    lusail_workloads::qfed::generate_all(&cfg)
+                }
+                "largerdf" => {
+                    let cfg = lusail_workloads::largerdf::LargeRdfConfig { scale, seed };
+                    lusail_workloads::largerdf::generate_all(&cfg)
+                }
+                "bio2rdf" => {
+                    let cfg = lusail_workloads::bio2rdf::Bio2RdfConfig {
+                        seed,
+                        ..Default::default()
+                    };
+                    lusail_workloads::bio2rdf::generate_all(&cfg)
+                }
+                _ => unreachable!("validated in parse_args"),
+            };
+            for (name, graph) in &graphs {
+                let path = dir.join(format!("{name}.nt"));
+                std::fs::write(&path, lusail_rdf::ntriples::serialize(graph))?;
+                writeln!(out, "wrote {} ({} triples)", path.display(), graph.len())?;
+            }
+            Ok(())
+        }
+        Command::Snapshot { data, out: target } => {
+            let store = load_store(&data)?;
+            lusail_store::snapshot::save_to_file(&store, &target)?;
+            writeln!(
+                out,
+                "wrote {} ({} triples, {} bytes)",
+                target.display(),
+                store.len(),
+                std::fs::metadata(&target)?.len()
+            )?;
+            Ok(())
+        }
+        Command::Search { data, keywords, top } => {
+            let federation = build_federation(&data, ProfileKind::Instant)?;
+            let handler = lusail_federation::RequestHandler::per_core();
+            let refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
+            let cfg = lusail_core::keyword::KeywordConfig { top_k: top, ..Default::default() };
+            let hits = lusail_core::keyword::keyword_search(&federation, &handler, &refs, &cfg)
+                .map_err(CliError::Engine)?;
+            if hits.is_empty() {
+                writeln!(out, "no matches for {keywords:?}")?;
+                return Ok(());
+            }
+            for (rank, hit) in hits.iter().enumerate() {
+                writeln!(
+                    out,
+                    "{}. {}  (endpoint {}, {} keyword(s), {} matching triple(s))",
+                    rank + 1,
+                    hit.entity,
+                    federation.endpoint(hit.endpoint).name(),
+                    hit.keywords_matched,
+                    hit.match_count
+                )?;
+                for (p, o) in hit.description.iter().take(5) {
+                    let mut text = o.to_string();
+                    if text.chars().count() > 120 {
+                        text = format!("{}…\"", text.chars().take(119).collect::<String>());
+                    }
+                    writeln!(out, "     {p} {text}")?;
+                }
+            }
+            Ok(())
+        }
+        Command::Info { data } => {
+            for path in &data {
+                let store = load_store(path)?;
+                let stats = StoreStats::collect(&store);
+                writeln!(out, "{}:", path.display())?;
+                writeln!(out, "  triples    : {}", stats.triples)?;
+                writeln!(out, "  predicates : {}", stats.predicates.len())?;
+                let mut preds: Vec<_> = stats.predicates.iter().collect();
+                preds.sort_by_key(|(_, p)| std::cmp::Reverse(p.count));
+                for (iri, p) in preds.iter().take(8) {
+                    writeln!(
+                        out,
+                        "    {:<60} {:>8} triples, {:>6} subjects, {:>6} objects",
+                        iri, p.count, p.distinct_subjects, p.distinct_objects
+                    )?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+fn print_relation(
+    rel: &lusail_sparql::solution::Relation,
+    format: OutputFormat,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let cell = |t: &Option<Term>| t.as_ref().map_or(String::new(), |t| t.to_string());
+    match format {
+        OutputFormat::Csv => {
+            let header: Vec<String> = rel.vars().iter().map(|v| v.name().to_string()).collect();
+            writeln!(out, "{}", header.join(","))?;
+            for row in rel.rows() {
+                let cells: Vec<String> =
+                    row.iter().map(|c| csv_escape(&cell(c))).collect();
+                writeln!(out, "{}", cells.join(","))?;
+            }
+        }
+        OutputFormat::Table => {
+            for v in rel.vars() {
+                write!(out, "{v}\t")?;
+            }
+            writeln!(out)?;
+            for row in rel.rows() {
+                for c in row {
+                    write!(out, "{}\t", cell(c))?;
+                }
+                writeln!(out)?;
+            }
+            writeln!(out, "({} rows)", rel.len())?;
+        }
+    }
+    Ok(())
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Entry point used by `main` and the tests.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let cmd = parse_args(args)?;
+    run_command(cmd, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_query_command() {
+        let cmd = parse_args(&s(&[
+            "query", "--data", "a.nt", "--data", "b.ttl", "--query", "q.sparql", "--engine",
+            "fedx", "--profile", "geo", "--timeout", "5", "--format", "csv", "--explain",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Query { data, engine, profile, timeout, format, explain, .. } => {
+                assert_eq!(data.len(), 2);
+                assert_eq!(engine, EngineKind::FedX);
+                assert_eq!(profile, ProfileKind::Geo);
+                assert_eq!(timeout, Some(5));
+                assert_eq!(format, OutputFormat::Csv);
+                assert!(explain);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(matches!(parse_args(&s(&[])), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(&s(&["frobnicate"])), Err(CliError::Usage(_))));
+        assert!(matches!(parse_args(&s(&["query", "--data", "a.nt"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&s(&["query", "--query-text", "ASK {}"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["generate", "--benchmark", "nope", "--out", "x"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["query", "--data", "a.nt", "--query", "q", "--engine", "zzz"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn generate_defaults() {
+        let cmd =
+            parse_args(&s(&["generate", "--benchmark", "lubm", "--out", "/tmp/x"])).unwrap();
+        match cmd {
+            Command::Generate { benchmark, scale, endpoints, seed, .. } => {
+                assert_eq!(benchmark, "lubm");
+                assert_eq!(scale, 1.0);
+                assert_eq!(endpoints, 4);
+                assert_eq!(seed, 42);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn end_to_end_generate_info_query() {
+        let dir = std::env::temp_dir().join(format!("lusail-cli-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut buf = Vec::new();
+        run(
+            &s(&[
+                "generate",
+                "--benchmark",
+                "lubm",
+                "--out",
+                dir.to_str().unwrap(),
+                "--endpoints",
+                "2",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let files: Vec<_> = std::fs::read_dir(&dir).unwrap().map(|e| e.unwrap().path()).collect();
+        assert_eq!(files.len(), 2);
+
+        let mut info = Vec::new();
+        run(
+            &s(&["info", "--data", files[0].to_str().unwrap()]),
+            &mut info,
+        )
+        .unwrap();
+        let info_text = String::from_utf8(info).unwrap();
+        assert!(info_text.contains("triples"), "{info_text}");
+
+        let mut q = Vec::new();
+        let data_args: Vec<String> = files
+            .iter()
+            .flat_map(|f| ["--data".to_string(), f.to_str().unwrap().to_string()])
+            .collect();
+        let mut args = s(&["query"]);
+        args.extend(data_args);
+        args.extend(s(&[
+            "--query-text",
+            "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#> \
+             SELECT ?s ?p WHERE { ?s ub:advisor ?p }",
+            "--format",
+            "csv",
+            "--explain",
+        ]));
+        run(&args, &mut q).unwrap();
+        let text = String::from_utf8(q).unwrap();
+        assert!(text.contains("# engine        : Lusail"), "{text}");
+        assert!(text.lines().count() > 8, "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_via_cli() {
+        let dir = std::env::temp_dir().join(format!("lusail-cli-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let nt = dir.join("d.nt");
+        std::fs::write(&nt, "<http://x/s> <http://x/p> \"v\" .\n").unwrap();
+        let snap = dir.join("d.snap");
+        let mut buf = Vec::new();
+        run(
+            &s(&["snapshot", "--data", nt.to_str().unwrap(), "--out", snap.to_str().unwrap()]),
+            &mut buf,
+        )
+        .unwrap();
+        let mut q = Vec::new();
+        run(
+            &s(&[
+                "query",
+                "--data",
+                snap.to_str().unwrap(),
+                "--query-text",
+                "SELECT ?s WHERE { ?s <http://x/p> ?o }",
+                "--format",
+                "csv",
+            ]),
+            &mut q,
+        )
+        .unwrap();
+        let text = String::from_utf8(q).unwrap();
+        assert!(text.contains("http://x/s"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

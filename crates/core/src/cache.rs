@@ -1,0 +1,158 @@
+//! Lusail's query-analysis caches.
+//!
+//! The paper (Section 2, Figure 12(b,c)) caches the results of (i) source
+//! selection ASK queries and (ii) the locality check queries that determine
+//! which triple-pattern pairs cannot be executed locally. We additionally
+//! cache per-pattern `COUNT` probes used by SAPE's cost model.
+//!
+//! Keys are *canonicalized* pattern strings: variables are renamed by
+//! position, so `?s ub:advisor ?p` and `?x ub:advisor ?y` share one entry.
+
+use lusail_federation::EndpointId;
+use lusail_rdf::fxhash::FxHashMap;
+use lusail_sparql::ast::{TermPattern, TriplePattern};
+use parking_lot::RwLock;
+
+/// Canonical cache key for a triple pattern: variables renamed by position.
+pub fn pattern_key(tp: &TriplePattern) -> String {
+    let slot = |s: &TermPattern, tag: &str| match s {
+        TermPattern::Var(_) => format!("?{tag}"),
+        TermPattern::Term(t) => t.to_string(),
+    };
+    // Positional renaming must respect repeated variables (`?x p ?x`).
+    let mut names: Vec<(String, String)> = Vec::new();
+    let mut canon = |s: &TermPattern, fallback: &str| -> String {
+        match s {
+            TermPattern::Term(_) => slot(s, fallback),
+            TermPattern::Var(v) => {
+                if let Some((_, name)) = names.iter().find(|(orig, _)| orig == v.name()) {
+                    name.clone()
+                } else {
+                    let name = format!("?v{}", names.len());
+                    names.push((v.name().to_string(), name.clone()));
+                    name
+                }
+            }
+        }
+    };
+    let s = canon(&tp.subject, "s");
+    let p = canon(&tp.predicate, "p");
+    let o = canon(&tp.object, "o");
+    format!("{s} {p} {o}")
+}
+
+/// Thread-safe caches shared by all queries run through one engine.
+#[derive(Debug, Default)]
+pub struct QueryCache {
+    /// pattern key → relevant endpoints (source selection).
+    ask: RwLock<FxHashMap<String, Vec<EndpointId>>>,
+    /// (check key, endpoint) → check query returned non-empty there.
+    checks: RwLock<FxHashMap<(String, EndpointId), bool>>,
+    /// (pattern-with-filters key, endpoint) → COUNT.
+    counts: RwLock<FxHashMap<(String, EndpointId), usize>>,
+}
+
+impl QueryCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached relevant endpoints for a pattern.
+    pub fn get_sources(&self, key: &str) -> Option<Vec<EndpointId>> {
+        self.ask.read().get(key).cloned()
+    }
+
+    /// Store relevant endpoints for a pattern.
+    pub fn put_sources(&self, key: String, sources: Vec<EndpointId>) {
+        self.ask.write().insert(key, sources);
+    }
+
+    /// Cached locality-check outcome at one endpoint.
+    pub fn get_check(&self, key: &str, ep: EndpointId) -> Option<bool> {
+        self.checks.read().get(&(key.to_string(), ep)).copied()
+    }
+
+    /// Store a locality-check outcome.
+    pub fn put_check(&self, key: String, ep: EndpointId, nonempty: bool) {
+        self.checks.write().insert((key, ep), nonempty);
+    }
+
+    /// Cached COUNT probe.
+    pub fn get_count(&self, key: &str, ep: EndpointId) -> Option<usize> {
+        self.counts.read().get(&(key.to_string(), ep)).copied()
+    }
+
+    /// Store a COUNT probe.
+    pub fn put_count(&self, key: String, ep: EndpointId, count: usize) {
+        self.counts.write().insert((key, ep), count);
+    }
+
+    /// Drop everything (used between benchmark configurations).
+    pub fn clear(&self) {
+        self.ask.write().clear();
+        self.checks.write().clear();
+        self.counts.write().clear();
+    }
+
+    /// Entry counts, for diagnostics: (ask, checks, counts).
+    pub fn sizes(&self) -> (usize, usize, usize) {
+        (self.ask.read().len(), self.checks.read().len(), self.counts.read().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lusail_sparql::ast::TermPattern;
+
+    fn tp(s: &str, p: &str, o: &str) -> TriplePattern {
+        let slot = |x: &str| {
+            if let Some(v) = x.strip_prefix('?') {
+                TermPattern::var(v)
+            } else {
+                TermPattern::iri(x)
+            }
+        };
+        TriplePattern::new(slot(s), slot(p), slot(o))
+    }
+
+    #[test]
+    fn keys_canonicalize_variable_names() {
+        assert_eq!(
+            pattern_key(&tp("?s", "http://p", "?o")),
+            pattern_key(&tp("?x", "http://p", "?y"))
+        );
+        assert_ne!(
+            pattern_key(&tp("?s", "http://p", "?o")),
+            pattern_key(&tp("?s", "http://q", "?o"))
+        );
+    }
+
+    #[test]
+    fn keys_respect_repeated_variables() {
+        assert_ne!(
+            pattern_key(&tp("?x", "http://p", "?x")),
+            pattern_key(&tp("?x", "http://p", "?y"))
+        );
+        assert_eq!(
+            pattern_key(&tp("?x", "http://p", "?x")),
+            pattern_key(&tp("?z", "http://p", "?z"))
+        );
+    }
+
+    #[test]
+    fn cache_roundtrip() {
+        let c = QueryCache::new();
+        assert_eq!(c.get_sources("k"), None);
+        c.put_sources("k".into(), vec![0, 2]);
+        assert_eq!(c.get_sources("k"), Some(vec![0, 2]));
+        c.put_check("chk".into(), 1, true);
+        assert_eq!(c.get_check("chk", 1), Some(true));
+        assert_eq!(c.get_check("chk", 0), None);
+        c.put_count("cnt".into(), 0, 42);
+        assert_eq!(c.get_count("cnt", 0), Some(42));
+        assert_eq!(c.sizes(), (1, 1, 1));
+        c.clear();
+        assert_eq!(c.sizes(), (0, 0, 0));
+    }
+}

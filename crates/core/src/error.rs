@@ -1,0 +1,36 @@
+//! Engine errors.
+
+use lusail_federation::EndpointError;
+use std::time::Duration;
+
+/// Why a federated query failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The configured per-query time limit elapsed. The paper uses a
+    /// one-hour limit; the benches scale it down.
+    Timeout(Duration),
+    /// The query uses a construct this engine does not support (e.g. the
+    /// FedX baseline on disjoint subgraphs joined by a filter variable —
+    /// queries C5/B5/B6, which only Lusail supports).
+    Unsupported(String),
+    /// An endpoint rejected a request (the paper's Table 2 "RE" rows).
+    Endpoint(EndpointError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Timeout(d) => write!(f, "query timed out after {d:?}"),
+            EngineError::Unsupported(what) => write!(f, "unsupported query feature: {what}"),
+            EngineError::Endpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<EndpointError> for EngineError {
+    fn from(e: EndpointError) -> Self {
+        EngineError::Endpoint(e)
+    }
+}

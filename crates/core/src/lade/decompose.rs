@@ -1,0 +1,430 @@
+//! Query decomposition — Algorithm 2 of the paper.
+//!
+//! Given the GJV set, partition the branch's triple patterns into
+//! subqueries such that (i) every pattern in a subquery has the same
+//! relevant sources and (ii) no two non-type patterns in one subquery share
+//! a GJV ("once a common variable is found to be a GJV, the triple
+//! patterns cannot be combined in the same subquery"). The traversal is
+//! rooted at each GJV in turn; the decomposition with the lowest estimated
+//! cost wins.
+
+use crate::lade::gjv::{is_type_pattern, GjvAnalysis};
+use lusail_federation::EndpointId;
+use lusail_rdf::fxhash::FxHashSet;
+use lusail_sparql::ast::{TermPattern, TriplePattern, Variable};
+
+/// A subquery under construction: indices into the branch's pattern list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubqueryDraft {
+    /// Pattern indices (order preserved from discovery).
+    pub patterns: Vec<usize>,
+    /// The common source set of all patterns in this draft.
+    pub sources: Vec<EndpointId>,
+}
+
+/// A complete decomposition of one branch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    pub subqueries: Vec<SubqueryDraft>,
+    /// The estimated cost under which this decomposition won.
+    pub cost: f64,
+}
+
+/// Decompose `patterns` (with per-pattern `sources`) under the GJV set.
+///
+/// `estimate` scores a candidate decomposition; Algorithm 2 keeps the
+/// minimum (the engine wires SAPE's cardinality model in here).
+pub fn decompose(
+    patterns: &[TriplePattern],
+    sources: &[Vec<EndpointId>],
+    analysis: &GjvAnalysis,
+    estimate: &dyn Fn(&[SubqueryDraft]) -> f64,
+) -> Decomposition {
+    // Line 3: no GJVs → the whole branch is one subquery (provided all
+    // sources agree; with no GJVs, source mismatch cannot occur because a
+    // mismatch on any shared variable *makes* it a GJV — but completely
+    // disconnected patterns can still differ, so split by source set).
+    if analysis.gjvs.is_empty() {
+        let drafts = group_by_sources(patterns, sources);
+        let cost = estimate(&drafts);
+        return Decomposition { subqueries: drafts, cost };
+    }
+
+    let mut best: Option<Decomposition> = None;
+    for root in &analysis.gjvs {
+        let drafts = decompose_from_root(patterns, sources, analysis, root);
+        let cost = estimate(&drafts);
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
+            best = Some(Decomposition { subqueries: drafts, cost });
+        }
+    }
+    best.expect("at least one GJV root")
+}
+
+/// With no GJVs, patterns group by their source sets (one subquery per
+/// distinct source set keeps the "same relevant endpoints" invariant).
+fn group_by_sources(
+    patterns: &[TriplePattern],
+    sources: &[Vec<EndpointId>],
+) -> Vec<SubqueryDraft> {
+    let mut drafts: Vec<SubqueryDraft> = Vec::new();
+    for (i, srcs) in sources.iter().enumerate().take(patterns.len()) {
+        match drafts.iter_mut().find(|d| &d.sources == srcs) {
+            Some(d) => d.patterns.push(i),
+            None => drafts.push(SubqueryDraft { patterns: vec![i], sources: srcs.clone() }),
+        }
+    }
+    drafts
+}
+
+/// One traversal of Algorithm 2 rooted at `root`.
+fn decompose_from_root(
+    patterns: &[TriplePattern],
+    sources: &[Vec<EndpointId>],
+    analysis: &GjvAnalysis,
+    root: &Variable,
+) -> Vec<SubqueryDraft> {
+    // The query graph: vertices are term-pattern keys; edges are the
+    // non-type patterns (type patterns are attached afterwards).
+    let edge_idxs: Vec<usize> =
+        (0..patterns.len()).filter(|&i| !is_type_pattern(&patterns[i])).collect();
+    let vertex = |slot: &TermPattern| -> String {
+        match slot {
+            TermPattern::Var(v) => format!("?{}", v.name()),
+            TermPattern::Term(t) => t.to_string(),
+        }
+    };
+
+    let mut visited: FxHashSet<usize> = FxHashSet::default();
+    let mut drafts: Vec<SubqueryDraft> = Vec::new();
+    let mut stack: Vec<String> = vec![format!("?{}", root.name())];
+    let mut seen_nodes: FxHashSet<String> = FxHashSet::default();
+
+    // Process connected component(s); restart from any unvisited edge so
+    // disconnected query subgraphs are still decomposed.
+    loop {
+        while let Some(vrtx) = stack.pop() {
+            let incident: Vec<usize> = edge_idxs
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    !visited.contains(&i)
+                        && (vertex(&patterns[i].subject) == vrtx
+                            || vertex(&patterns[i].object) == vrtx)
+                })
+                .collect();
+            for e in incident {
+                if visited.contains(&e) {
+                    continue;
+                }
+                let parent = find_parent(&drafts, patterns, &vrtx, &vertex);
+                let placed = match parent {
+                    Some(pi) if can_add(&drafts[pi], e, patterns, sources, analysis) => {
+                        drafts[pi].patterns.push(e);
+                        true
+                    }
+                    _ => false,
+                };
+                if !placed {
+                    drafts.push(SubqueryDraft {
+                        patterns: vec![e],
+                        sources: sources[e].clone(),
+                    });
+                }
+                visited.insert(e);
+                // Push the far end of the edge.
+                for slot in [&patterns[e].subject, &patterns[e].object] {
+                    let node = vertex(slot);
+                    if node != vrtx && seen_nodes.insert(node.clone()) {
+                        stack.push(node);
+                    }
+                }
+            }
+        }
+        match edge_idxs.iter().find(|i| !visited.contains(i)) {
+            Some(&e) => {
+                stack.push(vertex(&patterns[e].subject));
+                seen_nodes.insert(vertex(&patterns[e].subject));
+            }
+            None => break,
+        }
+    }
+
+    merge_drafts(&mut drafts, patterns, analysis);
+    attach_type_patterns(&mut drafts, patterns, sources);
+    drafts
+}
+
+/// The first draft containing an edge incident to `vrtx`
+/// (`getParentSubquery` in the paper's pseudocode).
+fn find_parent(
+    drafts: &[SubqueryDraft],
+    patterns: &[TriplePattern],
+    vrtx: &str,
+    vertex: &dyn Fn(&TermPattern) -> String,
+) -> Option<usize> {
+    drafts.iter().position(|d| {
+        d.patterns.iter().any(|&i| {
+            vertex(&patterns[i].subject) == vrtx || vertex(&patterns[i].object) == vrtx
+        })
+    })
+}
+
+/// `canBeAddedToSubQ`: same sources and no GJV shared with any pattern
+/// already in the draft.
+fn can_add(
+    draft: &SubqueryDraft,
+    edge: usize,
+    patterns: &[TriplePattern],
+    sources: &[Vec<EndpointId>],
+    analysis: &GjvAnalysis,
+) -> bool {
+    if draft.sources != sources[edge] {
+        return false;
+    }
+    !conflicts(&draft.patterns, edge, patterns, analysis)
+}
+
+/// Would adding `edge` put two patterns sharing a GJV in the same subquery?
+fn conflicts(
+    members: &[usize],
+    edge: usize,
+    patterns: &[TriplePattern],
+    analysis: &GjvAnalysis,
+) -> bool {
+    let edge_vars = patterns[edge].variables();
+    members.iter().any(|&m| {
+        patterns[m]
+            .variables()
+            .iter()
+            .any(|v| edge_vars.contains(v) && analysis.is_gjv(v))
+    })
+}
+
+/// The merging phase: fuse drafts that share a variable, have the same
+/// sources, and create no GJV conflict.
+fn merge_drafts(
+    drafts: &mut Vec<SubqueryDraft>,
+    patterns: &[TriplePattern],
+    analysis: &GjvAnalysis,
+) {
+    let share_var = |a: &SubqueryDraft, b: &SubqueryDraft| -> bool {
+        a.patterns.iter().any(|&i| {
+            b.patterns
+                .iter()
+                .any(|&j| patterns[i].variables().iter().any(|v| patterns[j].mentions(v)))
+        })
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        'outer: for a in 0..drafts.len() {
+            for b in a + 1..drafts.len() {
+                if drafts[a].sources == drafts[b].sources
+                    && share_var(&drafts[a], &drafts[b])
+                    && drafts[b]
+                        .patterns
+                        .iter()
+                        .all(|&e| !conflicts(&drafts[a].patterns, e, patterns, analysis))
+                {
+                    let moved = drafts.remove(b);
+                    drafts[a].patterns.extend(moved.patterns);
+                    changed = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+}
+
+/// Attach each `⟨?v, rdf:type, C⟩` pattern to a draft that binds `?v` with
+/// the same source set; otherwise it becomes its own subquery (this is how
+/// the paper's LUBM Q3 splits into "students of university0" and the
+/// all-endpoint type pattern).
+fn attach_type_patterns(
+    drafts: &mut Vec<SubqueryDraft>,
+    patterns: &[TriplePattern],
+    sources: &[Vec<EndpointId>],
+) {
+    for (i, tp) in patterns.iter().enumerate() {
+        if !is_type_pattern(tp) {
+            continue;
+        }
+        let v = tp.subject.as_var().expect("type pattern has variable subject");
+        let home = drafts.iter().position(|d| {
+            d.sources == sources[i] && d.patterns.iter().any(|&j| patterns[j].mentions(v))
+        });
+        match home {
+            Some(h) => drafts[h].patterns.push(i),
+            None => {
+                drafts.push(SubqueryDraft { patterns: vec![i], sources: sources[i].clone() })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lusail_rdf::vocab;
+
+    fn tp(s: &str, p: &str, o: &str) -> TriplePattern {
+        let slot = |x: &str| {
+            if let Some(v) = x.strip_prefix('?') {
+                TermPattern::var(v)
+            } else {
+                TermPattern::iri(x)
+            }
+        };
+        TriplePattern::new(slot(s), slot(p), slot(o))
+    }
+
+    fn flat_cost(drafts: &[SubqueryDraft]) -> f64 {
+        drafts.len() as f64
+    }
+
+    /// The paper's Q_a (Figure 2): 8 patterns, GJVs {?U, ?P} (Figure 6).
+    fn qa() -> Vec<TriplePattern> {
+        let ub = |l: &str| format!("{}{l}", vocab::ub::NS);
+        vec![
+            tp("?S", &ub("advisor"), "?P"),            // 0
+            tp("?P", &ub("teacherOf"), "?C"),          // 1
+            tp("?S", &ub("takesCourse"), "?C"),        // 2
+            tp("?P", &ub("PhDDegreeFrom"), "?U"),      // 3
+            tp("?S", vocab::rdf::TYPE, &ub("GraduateStudent")), // 4
+            tp("?P", vocab::rdf::TYPE, &ub("AssociateProfessor")), // 5
+            tp("?C", vocab::rdf::TYPE, &ub("GraduateCourse")), // 6
+            tp("?U", &ub("address"), "?A"),            // 7
+        ]
+    }
+
+    #[test]
+    fn no_gjvs_single_subquery() {
+        let pats = qa();
+        let sources = vec![vec![0, 1]; pats.len()];
+        let d = decompose(&pats, &sources, &GjvAnalysis::default(), &flat_cost);
+        assert_eq!(d.subqueries.len(), 1);
+        assert_eq!(d.subqueries[0].patterns.len(), 8);
+    }
+
+    #[test]
+    fn no_gjvs_different_sources_split() {
+        // Disconnected patterns with disjoint sources stay apart.
+        let pats = vec![tp("?a", "http://p", "?b"), tp("?c", "http://q", "?d")];
+        let sources = vec![vec![0], vec![1]];
+        let d = decompose(&pats, &sources, &GjvAnalysis::default(), &flat_cost);
+        assert_eq!(d.subqueries.len(), 2);
+    }
+
+    #[test]
+    fn qa_with_paper_gjvs_matches_figure6() {
+        let pats = qa();
+        let sources = vec![vec![0, 1]; pats.len()];
+        let analysis = GjvAnalysis {
+            gjvs: vec![Variable::new("U"), Variable::new("P")],
+            ..Default::default()
+        };
+        let d = decompose(&pats, &sources, &analysis, &flat_cost);
+        // With GJVs {?U, ?P}, the four non-type patterns split into four
+        // groups minus one mergeable pair (takesCourse joins either the
+        // advisor or the teacherOf group via non-global ?S / ?C), giving
+        // the 4-subquery decompositions of Figure 6.
+        assert_eq!(d.subqueries.len(), 4, "{:?}", d.subqueries);
+
+        // No subquery may contain two non-type patterns sharing ?P or ?U.
+        for sq in &d.subqueries {
+            let non_type: Vec<usize> = sq
+                .patterns
+                .iter()
+                .copied()
+                .filter(|&i| !is_type_pattern(&pats[i]))
+                .collect();
+            for (a, &i) in non_type.iter().enumerate() {
+                for &j in &non_type[a + 1..] {
+                    for v in ["U", "P"] {
+                        let v = Variable::new(v);
+                        assert!(
+                            !(pats[i].mentions(&v) && pats[j].mentions(&v)),
+                            "patterns {i} and {j} share GJV {v} in one subquery"
+                        );
+                    }
+                }
+            }
+        }
+
+        // Every pattern is assigned exactly once.
+        let mut all: Vec<usize> =
+            d.subqueries.iter().flat_map(|s| s.patterns.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+
+        // takesCourse (2) merges with either advisor (0, via local ?S) or
+        // teacherOf (1, via local ?C) — both appear in Figure 6.
+        let home = |idx: usize| d.subqueries.iter().position(|s| s.patterns.contains(&idx));
+        assert!(home(2) == home(0) || home(2) == home(1));
+        // PhDDegreeFrom (3) and address (7) share GJV ?U → different.
+        assert_ne!(home(3), home(7));
+        // advisor (0) and teacherOf (1) share GJV ?P → different.
+        assert_ne!(home(0), home(1));
+        // PhDDegreeFrom conflicts with both advisor and teacherOf on ?P.
+        assert_ne!(home(3), home(0));
+        assert_ne!(home(3), home(1));
+    }
+
+    #[test]
+    fn type_pattern_with_different_sources_becomes_own_subquery() {
+        // The LUBM Q3 situation: the type pattern is relevant everywhere,
+        // the degree pattern only where university0 is referenced.
+        let ub = |l: &str| format!("{}{l}", vocab::ub::NS);
+        let pats = vec![
+            tp("?x", &ub("undergraduateDegreeFrom"), "http://univ0.example.org/univ"),
+            tp("?x", vocab::rdf::TYPE, &ub("GraduateStudent")),
+        ];
+        let sources = vec![vec![0], vec![0, 1, 2, 3]];
+        // Sources differ → detect_gjvs would flag ?x; emulate that.
+        let analysis =
+            GjvAnalysis { gjvs: vec![Variable::new("x")], ..Default::default() };
+        let d = decompose(&pats, &sources, &analysis, &flat_cost);
+        assert_eq!(d.subqueries.len(), 2);
+        let type_sq = d
+            .subqueries
+            .iter()
+            .find(|s| s.patterns.contains(&1))
+            .unwrap();
+        assert_eq!(type_sq.patterns, vec![1]);
+        assert_eq!(type_sq.sources, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cost_selects_cheaper_root() {
+        // Two GJVs produce different decompositions; the estimate function
+        // prefers fewer subqueries — whichever root achieves that wins.
+        let pats = qa();
+        let sources = vec![vec![0, 1]; pats.len()];
+        let analysis = GjvAnalysis {
+            gjvs: vec![Variable::new("U"), Variable::new("P")],
+            ..Default::default()
+        };
+        let d1 = decompose(&pats, &sources, &analysis, &flat_cost);
+        // An estimate preferring MANY subqueries inverts the choice (or at
+        // least never yields a worse flat cost than the flat-cost winner).
+        let d2 = decompose(&pats, &sources, &analysis, &|drafts| {
+            -(drafts.len() as f64)
+        });
+        assert!(d1.subqueries.len() <= d2.subqueries.len());
+    }
+
+    #[test]
+    fn merging_reunites_fragments() {
+        // a-p-b, b-q-c, a-r-c: no GJVs, same sources → one subquery after
+        // merging regardless of traversal order.
+        let pats = vec![
+            tp("?a", "http://p", "?b"),
+            tp("?b", "http://q", "?c"),
+            tp("?a", "http://r", "?c"),
+        ];
+        let sources = vec![vec![0, 1]; 3];
+        let d = decompose(&pats, &sources, &GjvAnalysis::default(), &flat_cost);
+        assert_eq!(d.subqueries.len(), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! LADE: Locality-Aware DEcomposition (Section 3 of the paper).
+//!
+//! LADE answers one question per join variable: *can every relevant
+//! endpoint join these triple patterns locally without missing results?*
+//! Variables for which the answer is "no" are **global join variables**
+//! (GJVs); triple patterns sharing a GJV are placed in different subqueries
+//! and joined at the federator. Everything else is grouped and pushed to
+//! the endpoints whole.
+//!
+//! * [`gjv`] implements Algorithm 1: GJV detection from source-set
+//!   mismatches and from instance-level check queries (Figure 5).
+//! * [`decompose()`](decompose::decompose) implements Algorithm 2: building the cheapest
+//!   decomposition by rooting a traversal at each GJV, then merging.
+
+pub mod decompose;
+pub mod gjv;
+
+pub use decompose::{decompose, Decomposition, SubqueryDraft};
+pub use gjv::{detect_gjvs, GjvAnalysis};

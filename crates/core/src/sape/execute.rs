@@ -1,0 +1,487 @@
+//! Algorithm 3: selectivity-aware evaluation of subqueries.
+
+use crate::config::LusailConfig;
+use crate::error::EngineError;
+use crate::sape::join::{dp_join_order, parallel_join};
+use crate::sape::schedule::Schedule;
+use crate::subquery::Subquery;
+use lusail_federation::{EndpointId, Federation, RequestHandler};
+use lusail_rdf::fxhash::{FxHashMap, FxHashSet};
+use lusail_rdf::Term;
+use lusail_sparql::ast::{GraphPattern, Query, Variable};
+use lusail_sparql::solution::Relation;
+use std::time::Instant;
+
+/// The result of executing one branch's subqueries.
+#[derive(Debug)]
+pub struct SapeOutcome {
+    /// Required subqueries joined, with optional subqueries left-joined on.
+    pub relation: Relation,
+    /// `(subquery id, estimated cardinality, actual rows)` for non-delayed
+    /// multi-pattern subqueries — the data behind the paper's q-error
+    /// claim (§4.1: median 1.09 on LargeRDFBench).
+    pub estimates: Vec<(usize, usize, usize)>,
+    /// How many subqueries were evaluated as bound joins.
+    pub delayed_executed: usize,
+}
+
+/// Executes one branch's scheduled subqueries against the federation.
+pub struct SapeExecutor<'a> {
+    pub federation: &'a Federation,
+    pub handler: &'a RequestHandler,
+    pub config: &'a LusailConfig,
+    /// Absolute deadline; checked between request waves.
+    pub deadline: Option<Instant>,
+}
+
+impl SapeExecutor<'_> {
+    fn check_deadline(&self) -> Result<(), EngineError> {
+        if let Some(d) = self.deadline {
+            if Instant::now() > d {
+                return Err(EngineError::Timeout(
+                    self.config.timeout.unwrap_or_default(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Run Algorithm 3 over `subqueries` with the given schedule and
+    /// estimated cardinalities (parallel to `subqueries`). `bridges` are
+    /// `FILTER(?a = ?b)` variable equalities from the branch: disconnected
+    /// subquery results joined through them use a hash join on the bridge
+    /// keys instead of a cross product (the paper's "disjoint subgraphs
+    /// joined by a filter variable", C5/B5/B6).
+    pub fn execute(
+        &self,
+        subqueries: &[Subquery],
+        schedule: &Schedule,
+        cardinalities: &[usize],
+        bridges: &[(Variable, Variable)],
+    ) -> Result<SapeOutcome, EngineError> {
+        let mut partials: Vec<Option<Relation>> = vec![None; subqueries.len()];
+        let mut estimates = Vec::new();
+
+        // ---- Phase 1: non-delayed subqueries, one concurrent wave ------
+        self.check_deadline()?;
+        // Pre-seed empty results so a subquery with no relevant sources
+        // correctly contributes an *empty* relation (not "no relation",
+        // which would drop it from the join and fabricate answers).
+        for &i in schedule.non_delayed.iter().chain(&schedule.delayed) {
+            partials[i] = Some(Relation::new(subqueries[i].projection.clone()));
+        }
+        let wave: Vec<(usize, EndpointId)> = schedule
+            .non_delayed
+            .iter()
+            .flat_map(|&i| subqueries[i].sources.iter().map(move |&ep| (i, ep)))
+            .collect();
+        let results = self.handler.map(wave.clone(), |(i, ep)| {
+            self.federation.endpoint(ep).select(&subqueries[i].to_query())
+        });
+        for ((i, _), rel) in wave.into_iter().zip(results) {
+            let rel = rel?;
+            match &mut partials[i] {
+                Some(existing) => existing.append(rel),
+                slot @ None => *slot = Some(rel),
+            }
+        }
+        self.check_deadline()?;
+
+        for &i in &schedule.non_delayed {
+            if subqueries[i].patterns.len() > 1 {
+                let actual = partials[i].as_ref().map_or(0, |r| r.len());
+                estimates.push((subqueries[i].id, cardinalities[i], actual));
+            }
+        }
+
+        // ---- Found bindings: join connected non-delayed results --------
+        // (§4.2: "Whenever possible, the results of non-delayed subqueries
+        // are joined together. This reduces the number of found bindings.")
+        let mut bindings: FxHashMap<Variable, Vec<Term>> = FxHashMap::default();
+        {
+            let executed: Vec<usize> =
+                schedule.non_delayed.iter().copied().filter(|&i| partials[i].is_some()).collect();
+            for component in connected_components(&executed, subqueries) {
+                let rels: Vec<&Relation> =
+                    component.iter().map(|&i| partials[i].as_ref().unwrap()).collect();
+                let joined = join_all(&rels, self.handler);
+                for v in joined.vars() {
+                    update_bindings(&mut bindings, v, joined.distinct_values(v));
+                }
+            }
+        }
+
+        // ---- Phase 2: delayed subqueries as bound joins -----------------
+        // Required delayed subqueries first (they produce bindings),
+        // optional ones after (they only consume).
+        let mut remaining: Vec<usize> = schedule
+            .delayed
+            .iter()
+            .copied()
+            .filter(|&i| !subqueries[i].optional)
+            .collect();
+        let optionals: Vec<usize> = schedule
+            .delayed
+            .iter()
+            .copied()
+            .filter(|&i| subqueries[i].optional)
+            .collect();
+        let mut delayed_executed = 0;
+
+        while !remaining.is_empty() {
+            self.check_deadline()?;
+            // Most selective next, by refined cardinality (§4.2).
+            let pick_pos = (0..remaining.len())
+                .min_by_key(|&p| {
+                    let i = remaining[p];
+                    refined_cardinality(&subqueries[i], cardinalities[i], &bindings)
+                })
+                .unwrap();
+            let i = remaining.swap_remove(pick_pos);
+            let rel = self.run_bound(&subqueries[i], &bindings)?;
+            for v in subqueries[i].projection.clone() {
+                let vals = rel.distinct_values(&v);
+                update_bindings(&mut bindings, &v, vals);
+            }
+            partials[i] = Some(rel);
+            delayed_executed += 1;
+        }
+
+        // ---- Final join of required partials ----------------------------
+        let required: Vec<usize> = (0..subqueries.len())
+            .filter(|&i| !subqueries[i].optional && partials[i].is_some())
+            .collect();
+        let rels: Vec<&Relation> =
+            required.iter().map(|&i| partials[i].as_ref().unwrap()).collect();
+        let mut result = join_all_bridged(&rels, bridges, self.handler);
+
+        // ---- Optional subqueries: bound-evaluate, then left-join --------
+        for &i in &optionals {
+            self.check_deadline()?;
+            let rel = self.run_bound(&subqueries[i], &bindings)?;
+            delayed_executed += 1;
+            result = result.left_join(&rel);
+        }
+
+        Ok(SapeOutcome { relation: result, estimates, delayed_executed })
+    }
+
+    /// Evaluate one subquery with its variables bound to already-found
+    /// bindings, in `VALUES` blocks (lines 11–17 of Algorithm 3). Falls
+    /// back to unbound evaluation when no binding variable overlaps.
+    fn run_bound(
+        &self,
+        sq: &Subquery,
+        bindings: &FxHashMap<Variable, Vec<Term>>,
+    ) -> Result<Relation, EngineError> {
+        // Choose the overlap variable with the fewest found bindings.
+        let bind_var = sq
+            .variables()
+            .into_iter()
+            .filter(|v| bindings.contains_key(v))
+            .min_by_key(|v| bindings[v].len());
+
+        let sources = self.refine_sources(sq, bind_var.as_ref(), bindings)?;
+
+        let mut out = Relation::new(sq.projection.clone());
+        match bind_var {
+            None => {
+                let wave: Vec<EndpointId> = sources;
+                let results = self
+                    .handler
+                    .map(wave, |ep| self.federation.endpoint(ep).select(&sq.to_query()));
+                for rel in results {
+                    out.append(rel?);
+                }
+            }
+            Some(v) => {
+                let values = &bindings[&v];
+                let blocks = chunk_by_size(
+                    values,
+                    self.config.bound_block_size.max(1),
+                    self.config.bound_block_max_bytes.max(64),
+                );
+                let wave: Vec<(usize, EndpointId)> = (0..blocks.len())
+                    .flat_map(|b| sources.iter().map(move |&ep| (b, ep)))
+                    .collect();
+                let results = self.handler.map(wave, |(b, ep)| {
+                    let q = sq.to_bound_query(std::slice::from_ref(&v), &blocks[b]);
+                    self.federation.endpoint(ep).select(&q)
+                });
+                for rel in results {
+                    // Bound queries may expose the bind variable even if it
+                    // is not projected; align headers.
+                    out.append(rel?.project(&sq.projection.clone()));
+                }
+            }
+        }
+        self.check_deadline()?;
+        Ok(out)
+    }
+
+    /// Source-selection refinement for generic subqueries (line 13 of
+    /// Algorithm 3): when the subquery contains an unconstrained pattern
+    /// (three variables, or a variable predicate), re-`ASK` each source
+    /// with a sample of the found bindings attached and drop sources that
+    /// answer no.
+    fn refine_sources(
+        &self,
+        sq: &Subquery,
+        bind_var: Option<&Variable>,
+        bindings: &FxHashMap<Variable, Vec<Term>>,
+    ) -> Result<Vec<EndpointId>, EngineError> {
+        let generic = sq
+            .patterns
+            .iter()
+            .any(|tp| tp.free_slots() == 3 || tp.predicate.is_var());
+        let (Some(v), true) = (bind_var, generic) else {
+            return Ok(sq.sources.clone());
+        };
+        let sample: Vec<Vec<Option<Term>>> = bindings[v]
+            .iter()
+            .take(32)
+            .map(|t| vec![Some(t.clone())])
+            .collect();
+        let probe = Query::ask(
+            GraphPattern::Bgp(sq.patterns.clone())
+                .join(GraphPattern::Values(vec![v.clone()], sample)),
+        );
+        let answers = self
+            .handler
+            .map(sq.sources.clone(), |ep| self.federation.endpoint(ep).ask(&probe));
+        let mut kept: Vec<EndpointId> = Vec::new();
+        for (ep, yes) in sq.sources.iter().copied().zip(answers) {
+            if yes? {
+                kept.push(ep);
+            }
+        }
+        if kept.is_empty() {
+            // A sample miss must not orphan the subquery entirely.
+            Ok(sq.sources.clone())
+        } else {
+            Ok(kept)
+        }
+    }
+}
+
+/// Split binding values into `VALUES` blocks bounded both by count and by
+/// serialized size, so no bound-join request exceeds the endpoints'
+/// query-length limits.
+fn chunk_by_size(
+    values: &[Term],
+    max_count: usize,
+    max_bytes: usize,
+) -> Vec<Vec<Vec<Option<Term>>>> {
+    let mut blocks = Vec::new();
+    let mut current: Vec<Vec<Option<Term>>> = Vec::new();
+    let mut bytes = 0usize;
+    for t in values {
+        let size = t.to_string().len() + 4;
+        if !current.is_empty() && (current.len() >= max_count || bytes + size > max_bytes) {
+            blocks.push(std::mem::take(&mut current));
+            bytes = 0;
+        }
+        bytes += size;
+        current.push(vec![Some(t.clone())]);
+    }
+    if !current.is_empty() {
+        blocks.push(current);
+    }
+    blocks
+}
+
+/// Group executed subqueries into components connected by shared projected
+/// variables.
+fn connected_components(executed: &[usize], subqueries: &[Subquery]) -> Vec<Vec<usize>> {
+    let mut unassigned: Vec<usize> = executed.to_vec();
+    let mut components = Vec::new();
+    while let Some(seed) = unassigned.pop() {
+        let mut component = vec![seed];
+        let mut vars: FxHashSet<Variable> =
+            subqueries[seed].projection.iter().cloned().collect();
+        loop {
+            let mut grew = false;
+            unassigned.retain(|&i| {
+                if subqueries[i].projection.iter().any(|v| vars.contains(v)) {
+                    component.push(i);
+                    vars.extend(subqueries[i].projection.iter().cloned());
+                    grew = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            if !grew {
+                break;
+            }
+        }
+        components.push(component);
+    }
+    components
+}
+
+/// Join a set of relations in DP order.
+fn join_all(rels: &[&Relation], handler: &RequestHandler) -> Relation {
+    join_all_bridged(rels, &[], handler)
+}
+
+/// Join a set of relations in DP order; when two relations share no
+/// variable but a `FILTER(?a = ?b)` bridge connects them, hash join on the
+/// bridge keys instead of taking the product.
+fn join_all_bridged(
+    rels: &[&Relation],
+    bridges: &[(Variable, Variable)],
+    handler: &RequestHandler,
+) -> Relation {
+    match rels.len() {
+        0 => {
+            // The unit relation: no vars, one empty row.
+            Relation::from_rows(Vec::new(), vec![Vec::new()])
+        }
+        1 => rels[0].clone(),
+        _ => {
+            let owned: Vec<Relation> = rels.iter().map(|r| (*r).clone()).collect();
+            let order = dp_join_order(&owned);
+            let mut acc = owned[order[0]].clone();
+            for &i in &order[1..] {
+                let next = &owned[i];
+                let shares_var = acc.vars().iter().any(|v| next.index_of(v).is_some());
+                if shares_var {
+                    acc = parallel_join(&acc, next, handler);
+                    continue;
+                }
+                // Disconnected: look for bridges in either orientation.
+                let pairs: Vec<(Variable, Variable)> = bridges
+                    .iter()
+                    .filter_map(|(a, b)| {
+                        if acc.index_of(a).is_some() && next.index_of(b).is_some() {
+                            Some((a.clone(), b.clone()))
+                        } else if acc.index_of(b).is_some() && next.index_of(a).is_some() {
+                            Some((b.clone(), a.clone()))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                acc = if pairs.is_empty() {
+                    parallel_join(&acc, next, handler)
+                } else {
+                    acc.equi_join(next, &pairs)
+                };
+            }
+            acc
+        }
+    }
+}
+
+/// Intersect (or insert) the found bindings of a variable.
+fn update_bindings(
+    bindings: &mut FxHashMap<Variable, Vec<Term>>,
+    v: &Variable,
+    values: Vec<Term>,
+) {
+    match bindings.get_mut(v) {
+        None => {
+            bindings.insert(v.clone(), values);
+        }
+        Some(existing) => {
+            let set: FxHashSet<&Term> = values.iter().collect();
+            existing.retain(|t| set.contains(t));
+        }
+    }
+}
+
+/// `getMostSelectiveSubq`: the subquery's estimate, tightened by the
+/// found-binding counts of any variable it joins on.
+fn refined_cardinality(
+    sq: &Subquery,
+    original: usize,
+    bindings: &FxHashMap<Variable, Vec<Term>>,
+) -> usize {
+    sq.variables()
+        .iter()
+        .filter_map(|v| bindings.get(v).map(|vals| vals.len()))
+        .min()
+        .map_or(original, |b| b.min(original))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Variable {
+        Variable::new(n)
+    }
+
+    #[test]
+    fn chunk_by_size_respects_both_caps() {
+        let values: Vec<Term> =
+            (0..100).map(|i| Term::iri(format!("http://example.org/entity/{i:04}"))).collect();
+        // Count cap dominates.
+        let blocks = chunk_by_size(&values, 10, 1 << 20);
+        assert_eq!(blocks.len(), 10);
+        assert!(blocks.iter().all(|b| b.len() == 10));
+        // Byte cap dominates: each value serializes to ~36 bytes.
+        let blocks = chunk_by_size(&values, 1000, 120);
+        assert!(blocks.len() > 10, "{}", blocks.len());
+        let total: usize = blocks.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 100, "no value may be lost");
+        // A single value larger than the cap still ships (alone).
+        let huge = vec![Term::iri("x".repeat(500))];
+        let blocks = chunk_by_size(&huge, 10, 64);
+        assert_eq!(blocks.len(), 1);
+        assert!(chunk_by_size(&[], 10, 64).is_empty());
+    }
+
+    #[test]
+    fn update_bindings_intersects() {
+        let mut b = FxHashMap::default();
+        let t = |i: usize| Term::iri(format!("http://x/{i}"));
+        update_bindings(&mut b, &v("x"), vec![t(1), t(2), t(3)]);
+        update_bindings(&mut b, &v("x"), vec![t(2), t(3), t(4)]);
+        assert_eq!(b[&v("x")], vec![t(2), t(3)]);
+    }
+
+    #[test]
+    fn components_group_by_shared_projection() {
+        let mk = |id: usize, proj: &[&str]| Subquery {
+            id,
+            patterns: vec![],
+            filters: vec![],
+            sources: vec![0],
+            projection: proj.iter().map(|n| v(n)).collect(),
+            optional: false,
+        };
+        let sqs = vec![mk(0, &["a", "b"]), mk(1, &["b", "c"]), mk(2, &["z"])];
+        let comps = connected_components(&[0, 1, 2], &sqs);
+        assert_eq!(comps.len(), 2);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = comps.iter().map(|c| c.len()).collect();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(sizes, vec![1, 2]);
+    }
+
+    #[test]
+    fn refined_cardinality_uses_smallest_binding() {
+        let sq = Subquery {
+            id: 0,
+            patterns: vec![lusail_sparql::ast::TriplePattern::new(
+                lusail_sparql::ast::TermPattern::var("x"),
+                lusail_sparql::ast::TermPattern::iri("http://p"),
+                lusail_sparql::ast::TermPattern::var("y"),
+            )],
+            filters: vec![],
+            sources: vec![0],
+            projection: vec![v("x"), v("y")],
+            optional: false,
+        };
+        let mut b = FxHashMap::default();
+        b.insert(v("x"), vec![Term::iri("http://1"), Term::iri("http://2")]);
+        assert_eq!(refined_cardinality(&sq, 1000, &b), 2);
+        assert_eq!(refined_cardinality(&sq, 1, &b), 1);
+        let empty = FxHashMap::default();
+        assert_eq!(refined_cardinality(&sq, 1000, &empty), 1000);
+    }
+}

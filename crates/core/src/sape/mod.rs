@@ -1,0 +1,22 @@
+//! SAPE: Selectivity-Aware Planning and parallel Execution (Section 4).
+//!
+//! * [`stats`] — Chauvenet's outlier criterion and the μ/σ machinery the
+//!   delay heuristic rests on.
+//! * [`estimate`] — the cost model: per-triple-pattern `COUNT` probes and
+//!   the min/sum/max cardinality composition of Section 4.1.
+//! * [`schedule`] — the delayed/non-delayed split (Figure 7, Figure 13).
+//! * [`join`] — the DP join-order optimizer and the parallel hash join.
+//! * [`execute`] — Algorithm 3: concurrent evaluation of non-delayed
+//!   subqueries, bound joins over `VALUES` blocks for delayed ones, source
+//!   refinement, and final join assembly.
+
+pub mod estimate;
+pub mod execute;
+pub mod join;
+pub mod schedule;
+pub mod stats;
+
+pub use estimate::{collect_tp_counts, q_error, subquery_cardinality, TpCounts};
+pub use execute::{SapeExecutor, SapeOutcome};
+pub use join::{dp_join_order, parallel_join};
+pub use schedule::{make_schedule, Schedule};

@@ -1,0 +1,116 @@
+//! Statistical helpers: mean / standard deviation and Chauvenet's
+//! criterion for outlier rejection (Section 4.1 cites Chauvenet's test \[7\]
+//! for cleaning the cardinality population before computing μ and σ).
+
+/// Mean of a sample. Empty samples yield 0.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation. Empty and singleton samples yield 0.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// The complementary error function, via the Abramowitz & Stegun 7.1.26
+/// polynomial approximation (|error| ≤ 1.5e-7 — far tighter than the
+/// heuristic needs).
+pub fn erfc(x: f64) -> f64 {
+    let sign_negative = x < 0.0;
+    let x_abs = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x_abs);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf = 1.0 - poly * (-x_abs * x_abs).exp();
+    if sign_negative {
+        1.0 + erf
+    } else {
+        1.0 - erf
+    }
+}
+
+/// Apply Chauvenet's criterion: a point is rejected when the expected
+/// number of points as extreme as it (under a normal fit) is below ½, i.e.
+/// `n · erfc(|x − μ| / (√2 σ)) < 0.5`. Returns a boolean "is outlier" mask.
+pub fn chauvenet_outliers(xs: &[f64]) -> Vec<bool> {
+    let n = xs.len();
+    if n < 3 {
+        // With fewer than 3 points the criterion cannot separate signal
+        // from noise; keep everything.
+        return vec![false; n];
+    }
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if s == 0.0 {
+        return vec![false; n];
+    }
+    xs.iter()
+        .map(|&x| {
+            let z = (x - m).abs() / (std::f64::consts::SQRT_2 * s);
+            (n as f64) * erfc(z) < 0.5
+        })
+        .collect()
+}
+
+/// Mean and standard deviation of the sample after removing Chauvenet
+/// outliers.
+pub fn clean_mean_std(xs: &[f64]) -> (f64, f64) {
+    let mask = chauvenet_outliers(xs);
+    let kept: Vec<f64> =
+        xs.iter().zip(&mask).filter(|(_, &out)| !out).map(|(&x, _)| x).collect();
+    (mean(&kept), std_dev(&kept))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        let s = std_dev(&[2.0, 4.0]);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        // erfc(0) = 1, erfc(∞) → 0, erfc(-x) = 2 - erfc(x).
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!(erfc(3.0) < 3e-5);
+        assert!((erfc(-1.0) - (2.0 - erfc(1.0))).abs() < 1e-7);
+        // erfc(1) ≈ 0.157299.
+        assert!((erfc(1.0) - 0.157299).abs() < 1e-5);
+    }
+
+    #[test]
+    fn chauvenet_flags_the_obvious_outlier() {
+        let xs = [10.0, 11.0, 9.0, 10.5, 9.5, 1_000_000.0];
+        let mask = chauvenet_outliers(&xs);
+        assert!(mask[5]);
+        assert!(mask[..5].iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn chauvenet_keeps_small_or_uniform_samples() {
+        assert_eq!(chauvenet_outliers(&[1.0, 1e9]), vec![false, false]);
+        assert_eq!(chauvenet_outliers(&[5.0; 10]), vec![false; 10]);
+    }
+
+    #[test]
+    fn clean_stats_exclude_outlier() {
+        let xs = [10.0, 11.0, 9.0, 10.5, 9.5, 1_000_000.0];
+        let (m, s) = clean_mean_std(&xs);
+        assert!(m < 20.0, "outlier leaked into mean: {m}");
+        assert!(s < 5.0);
+    }
+}

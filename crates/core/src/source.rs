@@ -1,0 +1,166 @@
+//! Source selection: which endpoints are relevant to each triple pattern.
+//!
+//! Like FedX and HiBISCuS, Lusail is index-free: it sends one `ASK` query
+//! per triple pattern to every endpoint (in parallel via the ERH) and
+//! caches the outcome (Section 2 of the paper).
+
+use crate::cache::{pattern_key, QueryCache};
+use crate::error::EngineError;
+use lusail_federation::{EndpointId, Federation, RequestHandler};
+use lusail_sparql::ast::{GraphPattern, Query, TriplePattern};
+
+/// Build the `ASK { tp }` probe for a pattern.
+pub fn ask_query(tp: &TriplePattern) -> Query {
+    Query::ask(GraphPattern::Bgp(vec![tp.clone()]))
+}
+
+/// Select, for each triple pattern, the endpoints that can answer it.
+///
+/// Returns one source list per input pattern, in input order. When `cache`
+/// is `Some`, previously-probed patterns are answered from the cache
+/// without touching the network.
+pub fn select_sources(
+    federation: &Federation,
+    handler: &RequestHandler,
+    cache: Option<&QueryCache>,
+    patterns: &[TriplePattern],
+) -> Result<Vec<Vec<EndpointId>>, EngineError> {
+    // Resolve cache hits first, then probe the misses in one parallel batch
+    // (pattern × endpoint tasks).
+    let keys: Vec<String> = patterns.iter().map(pattern_key).collect();
+    let mut result: Vec<Option<Vec<EndpointId>>> = keys
+        .iter()
+        .map(|k| cache.and_then(|c| c.get_sources(k)))
+        .collect();
+
+    // Deduplicate misses by key: identical patterns probe once.
+    let mut miss_keys: Vec<String> = Vec::new();
+    let mut miss_repr: Vec<&TriplePattern> = Vec::new();
+    for (i, r) in result.iter().enumerate() {
+        if r.is_none() && !miss_keys.contains(&keys[i]) {
+            miss_keys.push(keys[i].clone());
+            miss_repr.push(&patterns[i]);
+        }
+    }
+
+    if !miss_repr.is_empty() {
+        let tasks: Vec<(usize, EndpointId)> = (0..miss_repr.len())
+            .flat_map(|mi| federation.ids().map(move |ep| (mi, ep)))
+            .collect();
+        let answers = handler.map(tasks.clone(), |(mi, ep)| {
+            let q = ask_query(miss_repr[mi]);
+            federation.endpoint(ep).ask(&q)
+        });
+        let mut per_miss: Vec<Vec<EndpointId>> = vec![Vec::new(); miss_repr.len()];
+        for ((mi, ep), yes) in tasks.into_iter().zip(answers) {
+            if yes? {
+                per_miss[mi].push(ep);
+            }
+        }
+        for (mi, key) in miss_keys.iter().enumerate() {
+            if let Some(c) = cache {
+                c.put_sources(key.clone(), per_miss[mi].clone());
+            }
+            for (i, r) in result.iter_mut().enumerate() {
+                if r.is_none() && &keys[i] == key {
+                    *r = Some(per_miss[mi].clone());
+                }
+            }
+        }
+    }
+
+    Ok(result.into_iter().map(|r| r.expect("all patterns resolved")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lusail_federation::{NetworkProfile, SimulatedEndpoint, SparqlEndpoint};
+    use lusail_rdf::{Graph, Term};
+    use lusail_sparql::ast::TermPattern;
+    use lusail_store::Store;
+    use std::sync::Arc;
+
+    fn tp(s: &str, p: &str, o: &str) -> TriplePattern {
+        let slot = |x: &str| {
+            if let Some(v) = x.strip_prefix('?') {
+                TermPattern::var(v)
+            } else {
+                TermPattern::iri(x)
+            }
+        };
+        TriplePattern::new(slot(s), slot(p), slot(o))
+    }
+
+    /// ep0 has predicate p, ep1 has q, ep2 has both.
+    fn fed() -> Federation {
+        let make = |name: &str, preds: &[&str]| {
+            let mut g = Graph::new();
+            for (i, p) in preds.iter().enumerate() {
+                g.add(
+                    Term::iri(format!("http://{name}/s{i}")),
+                    Term::iri(format!("http://x/{p}")),
+                    Term::iri(format!("http://{name}/o{i}")),
+                );
+            }
+            Arc::new(SimulatedEndpoint::new(name, Store::from_graph(&g), NetworkProfile::instant()))
+                as Arc<dyn SparqlEndpoint>
+        };
+        Federation::new(vec![
+            make("ep0", &["p"]),
+            make("ep1", &["q"]),
+            make("ep2", &["p", "q"]),
+        ])
+    }
+
+    #[test]
+    fn finds_relevant_endpoints() {
+        let fed = fed();
+        let handler = RequestHandler::new(4);
+        let srcs = select_sources(
+            &fed,
+            &handler,
+            None,
+            &[tp("?s", "http://x/p", "?o"), tp("?s", "http://x/q", "?o")],
+        )
+        .unwrap();
+        assert_eq!(srcs[0], vec![0, 2]);
+        assert_eq!(srcs[1], vec![1, 2]);
+    }
+
+    #[test]
+    fn cache_avoids_reprobing() {
+        let fed = fed();
+        let handler = RequestHandler::new(4);
+        let cache = QueryCache::new();
+        let pats = [tp("?s", "http://x/p", "?o")];
+        select_sources(&fed, &handler, Some(&cache), &pats).unwrap();
+        let before = fed.total_traffic().requests;
+        assert!(before > 0);
+        // Same pattern, different variable names → cache hit, no traffic.
+        let srcs = select_sources(&fed, &handler, Some(&cache), &[tp("?a", "http://x/p", "?b")])
+            .unwrap();
+        assert_eq!(fed.total_traffic().requests, before);
+        assert_eq!(srcs[0], vec![0, 2]);
+    }
+
+    #[test]
+    fn duplicate_patterns_probe_once() {
+        let fed = fed();
+        let handler = RequestHandler::new(4);
+        let pats = [tp("?s", "http://x/p", "?o"), tp("?a", "http://x/p", "?b")];
+        let srcs = select_sources(&fed, &handler, None, &pats).unwrap();
+        assert_eq!(srcs[0], srcs[1]);
+        // 1 unique pattern × 3 endpoints.
+        assert_eq!(fed.total_traffic().requests, 3);
+    }
+
+    #[test]
+    fn unknown_predicate_has_no_sources() {
+        let fed = fed();
+        let handler = RequestHandler::new(4);
+        let srcs =
+            select_sources(&fed, &handler, None, &[tp("?s", "http://x/zzz", "?o")]).unwrap();
+        assert!(srcs[0].is_empty());
+    }
+}

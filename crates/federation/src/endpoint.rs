@@ -1,0 +1,319 @@
+//! SPARQL endpoints: the trait all federated engines program against, and
+//! the simulated implementation used throughout the benchmarks.
+
+use crate::network::{NetworkProfile, RequestCounters, TrafficSnapshot};
+use lusail_sparql::ast::Query;
+use lusail_sparql::solution::Relation;
+use lusail_store::eval::QueryResult;
+use lusail_store::{Evaluator, Store, StoreStats};
+
+/// A dense endpoint identifier within one [`Federation`](crate::Federation).
+pub type EndpointId = usize;
+
+/// A failed endpoint request — the HTTP-level errors a real federation
+/// sees (the paper's Table 2 records FedX failing with runtime exceptions
+/// and zero-results errors against real endpoints).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointError {
+    /// The endpoint that failed.
+    pub endpoint: String,
+    /// What went wrong (e.g. "request exceeds 8192-byte limit").
+    pub message: String,
+}
+
+impl std::fmt::Display for EndpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "endpoint {} failed: {}", self.endpoint, self.message)
+    }
+}
+
+impl std::error::Error for EndpointError {}
+
+/// Operational limits a real SPARQL server imposes. Requests violating
+/// them fail with an [`EndpointError`], exactly like Virtuoso rejecting an
+/// oversized HTTP query string or truncating a result set.
+///
+/// Bound-join engines are the ones that trip these: FedX's `VALUES`-laden
+/// subqueries grow with the binding count, while Lusail's locality-grouped
+/// subqueries stay small — which is how the paper's Lusail succeeds on the
+/// real endpoints where FedX gets runtime exceptions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointLimits {
+    /// Maximum accepted request size in bytes (`None` = unlimited).
+    pub max_request_bytes: Option<usize>,
+    /// Maximum rows returned per request (`None` = unlimited).
+    pub max_result_rows: Option<usize>,
+}
+
+/// A SPARQL endpoint: something that accepts a query and returns a result.
+///
+/// Lusail, FedX, SPLENDID, and HiBISCuS all talk to endpoints exclusively
+/// through this trait, mirroring the paper's setup where every federated
+/// system queries the same standard, unmodified SPARQL servers.
+pub trait SparqlEndpoint: Send + Sync {
+    /// A stable human-readable name (e.g. `"DrugBank"` or `"univ3"`).
+    fn name(&self) -> &str;
+
+    /// Execute a query and return its result, or an error when the
+    /// endpoint rejects the request (size limits, server faults).
+    fn execute(&self, query: &Query) -> Result<QueryResult, EndpointError>;
+
+    /// Traffic counters for this endpoint.
+    fn traffic(&self) -> TrafficSnapshot;
+
+    /// Reset traffic counters.
+    fn reset_traffic(&self);
+
+    /// VoID-style statistics. This models the *preprocessing* pass the
+    /// index-based systems need; index-free systems (Lusail, FedX) never
+    /// call it. The default implementation signals "not supported".
+    fn collect_stats(&self) -> Option<StoreStats> {
+        None
+    }
+
+    /// Convenience: run an `ASK` query.
+    fn ask(&self, query: &Query) -> Result<bool, EndpointError> {
+        Ok(match self.execute(query)? {
+            QueryResult::Boolean(b) => b,
+            QueryResult::Solutions(r) => !r.is_empty(),
+        })
+    }
+
+    /// Convenience: run a `SELECT` query.
+    fn select(&self, query: &Query) -> Result<Relation, EndpointError> {
+        Ok(self.execute(query)?.into_solutions())
+    }
+
+    /// Convenience: run a `SELECT (COUNT(…) AS ?c)` query and extract the
+    /// count. Returns 0 when the shape is unexpected.
+    fn count(&self, query: &Query) -> Result<usize, EndpointError> {
+        Ok(match self.execute(query)? {
+            QueryResult::Solutions(r) => r
+                .rows()
+                .first()
+                .and_then(|row| row.first())
+                .and_then(|c| c.as_ref())
+                .and_then(|t| t.as_literal())
+                .and_then(|l| l.as_i64())
+                .map(|n| n.max(0) as usize)
+                .unwrap_or(0),
+            QueryResult::Boolean(_) => 0,
+        })
+    }
+}
+
+/// A simulated SPARQL endpoint: a local [`Store`] behind a simulated
+/// network link.
+///
+/// Each `execute` serializes the query to text, charges the request to the
+/// network profile (latency sleep + bandwidth-proportional transfer time
+/// for request and response), re-parses the text, and evaluates it on the
+/// store — the same observable behaviour as a remote Fuseki/Virtuoso
+/// instance, compressed in time.
+pub struct SimulatedEndpoint {
+    name: String,
+    store: Store,
+    profile: NetworkProfile,
+    limits: EndpointLimits,
+    counters: RequestCounters,
+}
+
+impl SimulatedEndpoint {
+    /// Wrap a store as an endpoint with the given network profile.
+    pub fn new(name: impl Into<String>, store: Store, profile: NetworkProfile) -> Self {
+        SimulatedEndpoint {
+            name: name.into(),
+            store,
+            profile,
+            limits: EndpointLimits::default(),
+            counters: RequestCounters::new(),
+        }
+    }
+
+    /// Impose server-side limits (see [`EndpointLimits`]).
+    pub fn with_limits(mut self, limits: EndpointLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The underlying store (test/inspection use only — federated engines
+    /// must go through `execute`).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// This endpoint's network profile.
+    pub fn profile(&self) -> NetworkProfile {
+        self.profile
+    }
+
+    /// Replace the network profile (used by the geo-distribution benches to
+    /// re-deploy the same data under a different network).
+    pub fn set_profile(&mut self, profile: NetworkProfile) {
+        self.profile = profile;
+    }
+}
+
+impl SparqlEndpoint for SimulatedEndpoint {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute(&self, query: &Query) -> Result<QueryResult, EndpointError> {
+        // 1. The request travels as text.
+        let text = lusail_sparql::serializer::serialize_query(query);
+        let request_bytes = text.len();
+        if let Some(max) = self.limits.max_request_bytes {
+            if request_bytes > max {
+                // The request still consumed a round trip.
+                let cost = self.profile.request_cost(request_bytes, 0);
+                if !cost.is_zero() {
+                    std::thread::sleep(cost);
+                }
+                self.counters.record(request_bytes, 0, cost);
+                let head: String = text.chars().take(160).collect();
+                return Err(EndpointError {
+                    endpoint: self.name.clone(),
+                    message: format!(
+                        "request of {request_bytes} bytes exceeds the {max}-byte limit (starts: {head} …)"
+                    ),
+                });
+            }
+        }
+
+        // 2. The endpoint parses and evaluates it, like a real server.
+        let parsed = lusail_sparql::parse_query(&text).map_err(|e| EndpointError {
+            endpoint: self.name.clone(),
+            message: format!("malformed query: {e}"),
+        })?;
+        let mut result = Evaluator::new(&self.store).query(&parsed);
+        if let Some(max) = self.limits.max_result_rows {
+            if let QueryResult::Solutions(r) = &mut result {
+                // Real servers silently truncate at their result cap — the
+                // source of the paper's "ZR: zero results error" anomalies.
+                r.rows_mut().truncate(max);
+            }
+        }
+
+        // 3. The response travels back; charge the link.
+        let response_bytes = match &result {
+            QueryResult::Solutions(r) => r.wire_size(),
+            QueryResult::Boolean(_) => 1,
+        };
+        let cost = self.profile.request_cost(request_bytes, response_bytes);
+        if !cost.is_zero() {
+            std::thread::sleep(cost);
+        }
+        self.counters.record(request_bytes, response_bytes, cost);
+        Ok(result)
+    }
+
+    fn traffic(&self) -> TrafficSnapshot {
+        self.counters.snapshot()
+    }
+
+    fn reset_traffic(&self) {
+        self.counters.reset();
+    }
+
+    fn collect_stats(&self) -> Option<StoreStats> {
+        Some(StoreStats::collect(&self.store))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lusail_rdf::{Graph, Term};
+    use lusail_sparql::parse_query;
+
+    fn endpoint() -> SimulatedEndpoint {
+        let mut g = Graph::new();
+        g.add(Term::iri("http://x/a"), Term::iri("http://x/p"), Term::iri("http://x/b"));
+        g.add(Term::iri("http://x/b"), Term::iri("http://x/p"), Term::iri("http://x/c"));
+        SimulatedEndpoint::new("ep0", Store::from_graph(&g), NetworkProfile::instant())
+    }
+
+    #[test]
+    fn select_roundtrips_through_text() {
+        let ep = endpoint();
+        let q = parse_query("SELECT ?s ?o WHERE { ?s <http://x/p> ?o }").unwrap();
+        let r = ep.select(&q).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn ask_and_count_helpers() {
+        let ep = endpoint();
+        let yes = parse_query("ASK { <http://x/a> <http://x/p> ?o }").unwrap();
+        assert!(ep.ask(&yes).unwrap());
+        let no = parse_query("ASK { <http://x/zz> <http://x/p> ?o }").unwrap();
+        assert!(!ep.ask(&no).unwrap());
+        let c = parse_query("SELECT (COUNT(*) AS ?c) WHERE { ?s <http://x/p> ?o }").unwrap();
+        assert_eq!(ep.count(&c).unwrap(), 2);
+    }
+
+    #[test]
+    fn traffic_is_counted() {
+        let ep = endpoint();
+        let q = parse_query("SELECT ?s WHERE { ?s <http://x/p> ?o }").unwrap();
+        ep.select(&q).unwrap();
+        ep.select(&q).unwrap();
+        let t = ep.traffic();
+        assert_eq!(t.requests, 2);
+        assert!(t.bytes_sent > 0);
+        assert!(t.bytes_received > 0);
+        ep.reset_traffic();
+        assert_eq!(ep.traffic().requests, 0);
+    }
+
+    #[test]
+    fn latency_is_paid() {
+        let mut ep = endpoint();
+        ep.set_profile(NetworkProfile {
+            latency: std::time::Duration::from_millis(5),
+            bytes_per_sec: u64::MAX,
+        });
+        let q = parse_query("ASK { ?s ?p ?o }").unwrap();
+        let start = std::time::Instant::now();
+        ep.ask(&q).unwrap();
+        assert!(start.elapsed() >= std::time::Duration::from_millis(5));
+        assert!(ep.traffic().simulated_network_time >= std::time::Duration::from_millis(5));
+    }
+
+    #[test]
+    fn request_size_limit_rejects_big_queries() {
+        let ep = endpoint();
+        let ep = SimulatedEndpoint::new("lim", ep.store().clone(), NetworkProfile::instant())
+            .with_limits(EndpointLimits { max_request_bytes: Some(64), max_result_rows: None });
+        let small = parse_query("ASK { ?s ?p ?o }").unwrap();
+        assert!(ep.ask(&small).is_ok());
+        let big = parse_query(
+            "SELECT ?s WHERE { ?s <http://very.long.example.org/a/deeply/nested/predicate/name/for/testing> ?o }",
+        )
+        .unwrap();
+        let err = ep.select(&big).unwrap_err();
+        assert!(err.message.contains("exceeds"), "{err}");
+        assert_eq!(err.endpoint, "lim");
+        // The failed request still counted against traffic.
+        assert!(ep.traffic().requests >= 2);
+    }
+
+    #[test]
+    fn result_row_limit_truncates() {
+        let ep = endpoint();
+        let ep = SimulatedEndpoint::new("cap", ep.store().clone(), NetworkProfile::instant())
+            .with_limits(EndpointLimits { max_request_bytes: None, max_result_rows: Some(1) });
+        let q = parse_query("SELECT ?s ?o WHERE { ?s <http://x/p> ?o }").unwrap();
+        let r = ep.select(&q).unwrap();
+        assert_eq!(r.len(), 1, "server cap must truncate the 2-row result");
+    }
+
+    #[test]
+    fn stats_supported() {
+        let ep = endpoint();
+        let stats = ep.collect_stats().unwrap();
+        assert_eq!(stats.triples, 2);
+        assert!(stats.has_predicate("http://x/p"));
+    }
+}

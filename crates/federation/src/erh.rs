@@ -1,0 +1,159 @@
+//! The Elastic Request Handler (ERH): a thread pool that fans requests out
+//! to endpoints in parallel (Section 2 of the paper).
+//!
+//! LADE uses it to evaluate check queries at all relevant endpoints
+//! simultaneously; SAPE uses it to collect non-delayed subquery results
+//! with one logical thread per endpoint. The pool is sized by the number of
+//! available cores by default, exactly as the paper describes ERH sizing.
+
+use crossbeam::channel;
+use std::sync::Arc;
+
+/// A fixed-size worker pool for blocking endpoint requests.
+///
+/// `run` executes a batch of independent closures and returns their results
+/// in submission order. Closures block on simulated network sleeps, so a
+/// pool larger than the core count still yields real concurrency — matching
+/// how federated engines overlap waiting on many HTTP requests.
+pub struct RequestHandler {
+    threads: usize,
+}
+
+impl RequestHandler {
+    /// A pool with an explicit thread count. Counts are clamped to ≥ 1.
+    pub fn new(threads: usize) -> Self {
+        RequestHandler { threads: threads.max(1) }
+    }
+
+    /// A pool sized like the paper's ERH: the number of physical cores, but
+    /// never fewer than 4 so network waits still overlap on small machines.
+    pub fn per_core() -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        RequestHandler::new(cores.max(4))
+    }
+
+    /// The configured degree of parallelism.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute all `tasks` on the pool, returning results in order.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Run small batches inline to avoid thread spawn overhead.
+        if n == 1 || self.threads == 1 {
+            return tasks.into_iter().map(|f| f()).collect();
+        }
+
+        let (task_tx, task_rx) = channel::unbounded::<(usize, F)>();
+        let (res_tx, res_rx) = channel::unbounded::<(usize, T)>();
+        for (i, f) in tasks.into_iter().enumerate() {
+            task_tx.send((i, f)).expect("queueing task");
+        }
+        drop(task_tx);
+
+        let workers = self.threads.min(n);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let task_rx = task_rx.clone();
+                let res_tx = res_tx.clone();
+                scope.spawn(move || {
+                    while let Ok((i, f)) = task_rx.recv() {
+                        let r = f();
+                        if res_tx.send((i, r)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+            let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            while let Ok((i, r)) = res_rx.recv() {
+                slots[i] = Some(r);
+            }
+            slots.into_iter().map(|s| s.expect("worker completed every task")).collect()
+        })
+    }
+
+    /// Map `f` over `items` in parallel, preserving order.
+    pub fn map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Send + Sync,
+    {
+        let f = Arc::new(f);
+        self.run(
+            items
+                .into_iter()
+                .map(|item| {
+                    let f = Arc::clone(&f);
+                    move || f(item)
+                })
+                .collect(),
+        )
+    }
+}
+
+impl Default for RequestHandler {
+    fn default() -> Self {
+        RequestHandler::per_core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn results_in_submission_order() {
+        let pool = RequestHandler::new(4);
+        let out = pool.map((0..100).collect(), |i: usize| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let pool = RequestHandler::new(4);
+        let empty: Vec<usize> = pool.map(Vec::<usize>::new(), |i| i);
+        assert!(empty.is_empty());
+        assert_eq!(pool.map(vec![7], |i: usize| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn sleeps_overlap() {
+        // 8 tasks × 20 ms each on 8 threads should take ≪ 160 ms.
+        let pool = RequestHandler::new(8);
+        let start = Instant::now();
+        pool.map((0..8).collect(), |_: usize| std::thread::sleep(Duration::from_millis(20)));
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(120),
+            "tasks did not overlap: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn all_tasks_run_exactly_once() {
+        let pool = RequestHandler::new(3);
+        let counter = AtomicUsize::new(0);
+        pool.map((0..50).collect(), |_: usize| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn thread_count_clamped() {
+        assert_eq!(RequestHandler::new(0).threads(), 1);
+    }
+}

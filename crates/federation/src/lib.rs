@@ -1,0 +1,35 @@
+//! # lusail-federation
+//!
+//! The federation substrate: SPARQL endpoints, the simulated network
+//! between them, request/byte accounting, and the Elastic Request Handler
+//! (ERH) thread pool that Lusail and the baselines use to talk to endpoints
+//! in parallel.
+//!
+//! ## What is simulated, and how
+//!
+//! The paper runs endpoints as real Jena Fuseki / Virtuoso servers on
+//! clusters and on Azure VMs in seven regions. We replace the HTTP hop with
+//! [`SimulatedEndpoint`]: each request
+//!
+//! 1. serializes the query to SPARQL text (the request payload — its size
+//!    is charged to the network),
+//! 2. sleeps for the endpoint's [`NetworkProfile`] latency plus a
+//!    bandwidth-proportional transfer time for request and response bytes,
+//! 3. evaluates the query on the endpoint's own [`lusail_store::Store`]
+//!    (re-parsing the text, exactly as a real endpoint would), and
+//! 4. bumps the endpoint's [`RequestCounters`].
+//!
+//! Because latency is paid with real `thread::sleep`, issuing requests from
+//! multiple ERH threads genuinely overlaps them — the parallelism-versus-
+//! communication trade-off that SAPE optimizes behaves as it does against
+//! real endpoints, just on a compressed timescale.
+
+pub mod endpoint;
+pub mod erh;
+pub mod federation;
+pub mod network;
+
+pub use endpoint::{EndpointError, EndpointId, EndpointLimits, SimulatedEndpoint, SparqlEndpoint};
+pub use erh::RequestHandler;
+pub use federation::Federation;
+pub use network::{NetworkProfile, RequestCounters, TrafficSnapshot};

@@ -1,0 +1,189 @@
+//! The simulated network: latency/bandwidth profiles and traffic counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A network profile for one endpoint, standing in for the paper's
+/// deployment environments.
+///
+/// The per-request `latency` is paid with a real sleep on the calling
+/// thread, and `bytes_per_sec` converts request/response sizes into
+/// additional transfer time. Timescales are compressed relative to the
+/// paper (a real WAN round trip is ~40–150 ms; we default to single-digit
+/// milliseconds) so the full benchmark suite stays runnable — the *ratio*
+/// between the profiles is what the experiments depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkProfile {
+    /// Fixed per-request latency (round-trip).
+    pub latency: Duration,
+    /// Link bandwidth for payload transfer. `u64::MAX` disables transfer
+    /// cost.
+    pub bytes_per_sec: u64,
+}
+
+impl NetworkProfile {
+    /// No simulated network cost at all (useful in unit tests).
+    pub fn instant() -> Self {
+        NetworkProfile { latency: Duration::ZERO, bytes_per_sec: u64::MAX }
+    }
+
+    /// The paper's local-cluster setting (1–10 Gbps Ethernet, same rack):
+    /// a small but non-zero round trip.
+    pub fn local_cluster() -> Self {
+        NetworkProfile { latency: Duration::from_micros(200), bytes_per_sec: 125_000_000 }
+    }
+
+    /// The paper's geo-distributed Azure setting (7 regions across the US
+    /// and Europe): ~20× the local round trip and ~1/50 the bandwidth.
+    pub fn geo_distributed() -> Self {
+        NetworkProfile { latency: Duration::from_millis(4), bytes_per_sec: 2_500_000 }
+    }
+
+    /// The transfer time for `bytes` at this profile's bandwidth.
+    pub fn transfer_time(&self, bytes: usize) -> Duration {
+        if self.bytes_per_sec == u64::MAX || bytes == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec as f64)
+    }
+
+    /// Total simulated cost of one request.
+    pub fn request_cost(&self, request_bytes: usize, response_bytes: usize) -> Duration {
+        self.latency + self.transfer_time(request_bytes + response_bytes)
+    }
+}
+
+/// Thread-safe traffic counters for one endpoint.
+///
+/// These are the quantities the paper argues about: the *number of remote
+/// requests* (FedX's bound joins inflate this by orders of magnitude) and
+/// the *volume of intermediate results* shipped back.
+#[derive(Debug, Default)]
+pub struct RequestCounters {
+    requests: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    simulated_nanos: AtomicU64,
+}
+
+impl RequestCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one request: `sent` request bytes, `received` response bytes,
+    /// and the simulated network time charged for it.
+    pub fn record(&self, sent: usize, received: usize, cost: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(sent as u64, Ordering::Relaxed);
+        self.bytes_received.fetch_add(received as u64, Ordering::Relaxed);
+        self.simulated_nanos.fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot of the counters.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            simulated_network_time: Duration::from_nanos(
+                self.simulated_nanos.load(Ordering::Relaxed),
+            ),
+        }
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        self.requests.store(0, Ordering::Relaxed);
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        self.bytes_received.store(0, Ordering::Relaxed);
+        self.simulated_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time reading of [`RequestCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficSnapshot {
+    pub requests: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    pub simulated_network_time: Duration,
+}
+
+impl TrafficSnapshot {
+    /// Element-wise sum (for aggregating across endpoints).
+    pub fn merge(self, other: TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            requests: self.requests + other.requests,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            bytes_received: self.bytes_received + other.bytes_received,
+            simulated_network_time: self.simulated_network_time + other.simulated_network_time,
+        }
+    }
+
+    /// Difference since an earlier snapshot.
+    pub fn since(self, earlier: TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            requests: self.requests - earlier.requests,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            bytes_received: self.bytes_received - earlier.bytes_received,
+            simulated_network_time: self.simulated_network_time
+                - earlier.simulated_network_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let p = NetworkProfile { latency: Duration::ZERO, bytes_per_sec: 1000 };
+        assert_eq!(p.transfer_time(500), Duration::from_millis(500));
+        assert_eq!(p.transfer_time(0), Duration::ZERO);
+        assert_eq!(NetworkProfile::instant().transfer_time(1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn request_cost_adds_latency() {
+        let p = NetworkProfile { latency: Duration::from_millis(10), bytes_per_sec: 1000 };
+        assert_eq!(p.request_cost(100, 900), Duration::from_millis(1010));
+    }
+
+    #[test]
+    fn geo_is_slower_than_local() {
+        assert!(NetworkProfile::geo_distributed().latency > NetworkProfile::local_cluster().latency);
+        assert!(
+            NetworkProfile::geo_distributed().bytes_per_sec
+                < NetworkProfile::local_cluster().bytes_per_sec
+        );
+    }
+
+    #[test]
+    fn counters_record_and_snapshot() {
+        let c = RequestCounters::new();
+        c.record(10, 100, Duration::from_millis(1));
+        c.record(20, 200, Duration::from_millis(2));
+        let s = c.snapshot();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.bytes_sent, 30);
+        assert_eq!(s.bytes_received, 300);
+        assert_eq!(s.simulated_network_time, Duration::from_millis(3));
+        c.reset();
+        assert_eq!(c.snapshot(), TrafficSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_merge_and_since() {
+        let a = TrafficSnapshot {
+            requests: 1,
+            bytes_sent: 2,
+            bytes_received: 3,
+            simulated_network_time: Duration::from_secs(1),
+        };
+        let b = a.merge(a);
+        assert_eq!(b.requests, 2);
+        assert_eq!(b.since(a), a);
+    }
+}

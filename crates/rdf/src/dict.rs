@@ -1,0 +1,132 @@
+//! Term dictionary: interning of [`Term`]s to dense `u32` ids.
+//!
+//! Each endpoint's store owns one dictionary. All query processing inside a
+//! store happens on ids; terms are materialized only at the federation
+//! boundary (results shipped between endpoints and the federator are terms,
+//! since each endpoint has its own id space — exactly like real federated
+//! SPARQL, where endpoints exchange lexical values).
+
+use crate::fxhash::FxHashMap;
+use crate::term::Term;
+
+/// A dense identifier for an interned term. `0` is a valid id.
+pub type TermId = u32;
+
+/// An interning dictionary mapping [`Term`] ↔ [`TermId`].
+///
+/// Lookup by term is hash-based; lookup by id is a direct vector index.
+/// Ids are handed out contiguously starting at 0, so they can be used as
+/// indexes into side arrays (e.g. per-term statistics).
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    terms: Vec<Term>,
+    ids: FxHashMap<Term, TermId>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `term`, returning its id. Idempotent.
+    pub fn encode(&mut self, term: &Term) -> TermId {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = self.terms.len() as TermId;
+        self.terms.push(term.clone());
+        self.ids.insert(term.clone(), id);
+        id
+    }
+
+    /// Look up the id of an already-interned term, without interning.
+    pub fn get(&self, term: &Term) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Resolve an id back to its term. Panics on an id this dictionary never
+    /// produced (that is a logic error, not a data error).
+    pub fn decode(&self, id: TermId) -> &Term {
+        &self.terms[id as usize]
+    }
+
+    /// Resolve an id if it is valid.
+    pub fn try_decode(&self, id: TermId) -> Option<&Term> {
+        self.terms.get(id as usize)
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms are interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate over all `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms.iter().enumerate().map(|(i, t)| (i as TermId, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.encode(&Term::iri("http://x/a"));
+        let b = d.encode(&Term::iri("http://x/b"));
+        let a2 = d.encode(&Term::iri("http://x/a"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let mut d = Dictionary::new();
+        let terms = [
+            Term::iri("http://x/a"),
+            Term::literal("abc"),
+            Term::bnode("b1"),
+            Term::integer(5),
+        ];
+        let ids: Vec<_> = terms.iter().map(|t| d.encode(t)).collect();
+        for (t, id) in terms.iter().zip(&ids) {
+            assert_eq!(d.decode(*id), t);
+            assert_eq!(d.get(t), Some(*id));
+        }
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let d = Dictionary::new();
+        assert_eq!(d.get(&Term::iri("x")), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut d = Dictionary::new();
+        for i in 0..100 {
+            let id = d.encode(&Term::integer(i));
+            assert_eq!(id, i as TermId);
+        }
+    }
+
+    #[test]
+    fn literals_distinct_by_datatype_and_lang() {
+        let mut d = Dictionary::new();
+        let a = d.encode(&Term::literal("x"));
+        let b = d.encode(&Term::Literal(crate::Literal::typed("x", crate::vocab::xsd::STRING)));
+        let c = d.encode(&Term::Literal(crate::Literal::lang("x", "en")));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+}

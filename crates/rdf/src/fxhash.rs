@@ -1,0 +1,124 @@
+//! A small Fx-style hasher (the algorithm used by rustc's `FxHashMap`).
+//!
+//! Our hash keys are overwhelmingly dictionary-encoded `u32` term ids and
+//! small tuples of them; SipHash (std's default) costs several times more
+//! than the lookup itself for such keys. This is a self-contained
+//! re-implementation so the workspace stays within its approved dependency
+//! set.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using the Fx hash algorithm.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` using the Fx hash algorithm.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+/// The `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher: a simple multiply-and-rotate word hasher.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u32(42);
+        b.write_u32(42);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write_u32(43);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn map_basic_usage() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn hashes_spread_for_sequential_keys() {
+        // Sanity check that sequential ids do not collapse into one bucket
+        // pattern: hash values must all differ.
+        let mut seen = FxHashSet::default();
+        for i in 0u32..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u32(i);
+            assert!(seen.insert(h.finish()), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn byte_stream_matches_in_pieces() {
+        // write() must be consistent regardless of chunking only when chunk
+        // boundaries align to 8 bytes; verify the aligned case.
+        let bytes: Vec<u8> = (0u8..32).collect();
+        let mut a = FxHasher::default();
+        a.write(&bytes);
+        let mut b = FxHasher::default();
+        b.write(&bytes[..16]);
+        b.write(&bytes[16..]);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,226 @@
+//! N-Triples parsing and serialization.
+//!
+//! Supports the full N-Triples grammar needed by the workloads: IRIs, blank
+//! nodes, plain / typed / language-tagged literals, `#` comments, and blank
+//! lines. Unicode escapes (`\uXXXX`) in IRIs are not decoded (our generators
+//! never produce them).
+
+use crate::graph::Graph;
+use crate::term::{unescape_literal, Literal, Term};
+use crate::triple::Triple;
+use std::fmt::Write as _;
+
+/// An N-Triples parse error with 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "N-Triples parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse an N-Triples document into a [`Graph`].
+pub fn parse(input: &str) -> Result<Graph, ParseError> {
+    let mut graph = Graph::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let triple = parse_line(line).map_err(|message| ParseError { line: lineno + 1, message })?;
+        graph.insert(triple);
+    }
+    Ok(graph)
+}
+
+fn parse_line(line: &str) -> Result<Triple, String> {
+    let mut cursor = Cursor { s: line, pos: 0 };
+    let subject = cursor.term()?;
+    cursor.skip_ws();
+    let predicate = cursor.term()?;
+    cursor.skip_ws();
+    let object = cursor.term()?;
+    cursor.skip_ws();
+    if !cursor.eat('.') {
+        return Err("expected terminating '.'".into());
+    }
+    cursor.skip_ws();
+    if !cursor.at_end() {
+        return Err(format!("trailing content: {:?}", cursor.rest()));
+    }
+    Ok(Triple { subject, predicate, object })
+}
+
+struct Cursor<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn rest(&self) -> &'a str {
+        &self.s[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.s.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.rest().chars().next() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.rest().starts_with(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, String> {
+        self.skip_ws();
+        let rest = self.rest();
+        if rest.starts_with('<') {
+            let end = rest.find('>').ok_or("unterminated IRI")?;
+            let iri = &rest[1..end];
+            self.pos += end + 1;
+            Ok(Term::iri(iri))
+        } else if let Some(body) = rest.strip_prefix("_:") {
+            let len = body
+                .char_indices()
+                .find(|(_, c)| c.is_whitespace() || *c == '.')
+                .map(|(i, _)| i)
+                .unwrap_or(body.len());
+            if len == 0 {
+                return Err("empty blank node label".into());
+            }
+            let label = &body[..len];
+            self.pos += 2 + len;
+            Ok(Term::bnode(label))
+        } else if rest.starts_with('"') {
+            self.literal()
+        } else {
+            Err(format!("unexpected token: {:?}", rest.chars().take(12).collect::<String>()))
+        }
+    }
+
+    fn literal(&mut self) -> Result<Term, String> {
+        // self.rest() starts with '"'
+        let body = &self.rest()[1..];
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in body.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end.ok_or("unterminated literal")?;
+        let lexical = unescape_literal(&body[..end]);
+        self.pos += 1 + end + 1;
+
+        let rest = self.rest();
+        if let Some(tail) = rest.strip_prefix("^^<") {
+            let close = tail.find('>').ok_or("unterminated datatype IRI")?;
+            let dt = &tail[..close];
+            self.pos += 3 + close + 1;
+            Ok(Term::Literal(Literal::typed(lexical, dt)))
+        } else if let Some(tail) = rest.strip_prefix('@') {
+            let len = tail
+                .char_indices()
+                .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '-'))
+                .map(|(i, _)| i)
+                .unwrap_or(tail.len());
+            if len == 0 {
+                return Err("empty language tag".into());
+            }
+            let lang = &tail[..len];
+            self.pos += 1 + len;
+            Ok(Term::Literal(Literal::lang(lexical, lang)))
+        } else {
+            Ok(Term::Literal(Literal::plain(lexical)))
+        }
+    }
+}
+
+/// Serialize a graph as an N-Triples document.
+pub fn serialize(graph: &Graph) -> String {
+    let mut out = String::new();
+    for t in graph {
+        let _ = writeln!(out, "{t}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_document() {
+        let doc = r#"
+# a comment
+<http://x/s> <http://x/p> <http://x/o> .
+<http://x/s> <http://x/p> "plain" .
+<http://x/s> <http://x/p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://x/s> <http://x/p> "hi"@en .
+_:b0 <http://x/p> _:b1 .
+"#;
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 5);
+        let objs: Vec<_> = g.iter().map(|t| t.object.clone()).collect();
+        assert_eq!(objs[1], Term::literal("plain"));
+        assert_eq!(objs[2], Term::integer(42));
+        assert_eq!(objs[3], Term::Literal(Literal::lang("hi", "en")));
+        assert_eq!(objs[4], Term::bnode("b1"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut g = Graph::new();
+        g.add(Term::iri("http://x/s"), Term::iri("http://x/p"), Term::literal("line\nbreak \"q\""));
+        g.add(Term::bnode("n1"), Term::iri("http://x/p"), Term::integer(-7));
+        g.add(
+            Term::iri("http://x/s"),
+            Term::iri("http://x/p"),
+            Term::Literal(Literal::lang("ciao", "it")),
+        );
+        let doc = serialize(&g);
+        let g2 = parse(&doc).unwrap();
+        assert_eq!(g.triples(), g2.triples());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let doc = "<http://x/s> <http://x/p> <http://x/o> .\nbogus line\n";
+        let err = parse(doc).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn error_on_missing_dot() {
+        assert!(parse("<http://a> <http://b> <http://c>\n").is_err());
+    }
+
+    #[test]
+    fn error_on_unterminated_literal() {
+        assert!(parse("<http://a> <http://b> \"oops .\n").is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! RDF terms: IRIs, blank nodes, and literals.
+
+use std::fmt;
+
+/// An RDF literal: a lexical form plus an optional datatype IRI or language
+/// tag. Plain literals (no datatype, no language) are represented with both
+/// fields `None`; consumers treat them as `xsd:string`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    /// The lexical form, e.g. `"42"` or `"Cambridge, MA"`.
+    pub lexical: String,
+    /// Datatype IRI, e.g. `http://www.w3.org/2001/XMLSchema#integer`.
+    pub datatype: Option<String>,
+    /// BCP-47 language tag, e.g. `en`.
+    pub language: Option<String>,
+}
+
+impl Literal {
+    /// A plain (untyped, untagged) string literal.
+    pub fn plain(lexical: impl Into<String>) -> Self {
+        Literal { lexical: lexical.into(), datatype: None, language: None }
+    }
+
+    /// A literal with an explicit datatype IRI.
+    pub fn typed(lexical: impl Into<String>, datatype: impl Into<String>) -> Self {
+        Literal { lexical: lexical.into(), datatype: Some(datatype.into()), language: None }
+    }
+
+    /// A language-tagged string literal.
+    pub fn lang(lexical: impl Into<String>, language: impl Into<String>) -> Self {
+        Literal { lexical: lexical.into(), datatype: None, language: Some(language.into()) }
+    }
+
+    /// An `xsd:integer` literal.
+    pub fn integer(value: i64) -> Self {
+        Literal::typed(value.to_string(), crate::vocab::xsd::INTEGER)
+    }
+
+    /// An `xsd:double` literal.
+    pub fn double(value: f64) -> Self {
+        Literal::typed(value.to_string(), crate::vocab::xsd::DOUBLE)
+    }
+
+    /// Try to interpret the lexical form as an integer. Works for any
+    /// datatype whose lexical form parses as `i64` (SPARQL's numeric
+    /// promotion is approximated by parsing).
+    pub fn as_i64(&self) -> Option<i64> {
+        self.lexical.trim().parse().ok()
+    }
+
+    /// Try to interpret the lexical form as a double.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.lexical.trim().parse().ok()
+    }
+
+    /// True when the literal's datatype is one of the XSD numeric types, or
+    /// when it is untyped but parses as a number.
+    pub fn is_numeric(&self) -> bool {
+        match &self.datatype {
+            Some(dt) => crate::vocab::xsd::is_numeric(dt),
+            None => self.as_f64().is_some(),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"{}\"", escape_literal(&self.lexical))?;
+        if let Some(lang) = &self.language {
+            write!(f, "@{lang}")?;
+        } else if let Some(dt) = &self.datatype {
+            write!(f, "^^<{dt}>")?;
+        }
+        Ok(())
+    }
+}
+
+/// An RDF term. The three kinds follow the RDF 1.1 abstract syntax.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An IRI, stored as its full string form without angle brackets.
+    Iri(String),
+    /// A blank node with its local label (no `_:` prefix).
+    BlankNode(String),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl Term {
+    /// Construct an IRI term.
+    pub fn iri(iri: impl Into<String>) -> Self {
+        Term::Iri(iri.into())
+    }
+
+    /// Construct a blank-node term.
+    pub fn bnode(label: impl Into<String>) -> Self {
+        Term::BlankNode(label.into())
+    }
+
+    /// Construct a plain literal term.
+    pub fn literal(lexical: impl Into<String>) -> Self {
+        Term::Literal(Literal::plain(lexical))
+    }
+
+    /// Construct an `xsd:integer` literal term.
+    pub fn integer(value: i64) -> Self {
+        Term::Literal(Literal::integer(value))
+    }
+
+    /// The IRI string if this term is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The literal if this term is a literal.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// True for IRI terms.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// True for literal terms.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+
+    /// True for blank-node terms.
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::BlankNode(_))
+    }
+
+    /// The *authority* of an IRI term: scheme plus host, e.g.
+    /// `http://dbpedia.org`. Used by the HiBISCuS-style baseline for
+    /// authority-based source pruning. Returns `None` for non-IRI terms or
+    /// IRIs without a `://`.
+    pub fn authority(&self) -> Option<&str> {
+        let iri = self.as_iri()?;
+        let rest = iri.split_once("://").map(|(_, r)| r)?;
+        let host_end = rest.find(['/', '#', '?']).unwrap_or(rest.len());
+        let end = iri.len() - rest.len() + host_end;
+        Some(&iri[..end])
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(iri) => write!(f, "<{iri}>"),
+            Term::BlankNode(label) => write!(f, "_:{label}"),
+            Term::Literal(lit) => write!(f, "{lit}"),
+        }
+    }
+}
+
+/// Escape a literal's lexical form for N-Triples/SPARQL serialization.
+pub fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Undo [`escape_literal`].
+pub fn unescape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_constructors() {
+        let plain = Literal::plain("hello");
+        assert_eq!(plain.lexical, "hello");
+        assert!(plain.datatype.is_none() && plain.language.is_none());
+
+        let typed = Literal::integer(42);
+        assert_eq!(typed.as_i64(), Some(42));
+        assert!(typed.is_numeric());
+
+        let tagged = Literal::lang("bonjour", "fr");
+        assert_eq!(tagged.language.as_deref(), Some("fr"));
+    }
+
+    #[test]
+    fn term_display_roundtrippable_forms() {
+        assert_eq!(Term::iri("http://x/a").to_string(), "<http://x/a>");
+        assert_eq!(Term::bnode("b0").to_string(), "_:b0");
+        assert_eq!(Term::literal("hi").to_string(), "\"hi\"");
+        assert_eq!(
+            Term::Literal(Literal::lang("hi", "en")).to_string(),
+            "\"hi\"@en"
+        );
+        assert_eq!(
+            Term::integer(3).to_string(),
+            "\"3\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+        );
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        let nasty = "line1\nline2\t\"quoted\" back\\slash";
+        assert_eq!(unescape_literal(&escape_literal(nasty)), nasty);
+    }
+
+    #[test]
+    fn authority_extraction() {
+        let t = Term::iri("http://dbpedia.org/resource/Berlin");
+        assert_eq!(t.authority(), Some("http://dbpedia.org"));
+        let t = Term::iri("http://example.com#frag");
+        assert_eq!(t.authority(), Some("http://example.com"));
+        let t = Term::iri("urn:uuid:123");
+        assert_eq!(t.authority(), None);
+        assert_eq!(Term::literal("x").authority(), None);
+    }
+
+    #[test]
+    fn numeric_detection() {
+        assert!(Literal::plain("3.5").is_numeric());
+        assert!(!Literal::plain("abc").is_numeric());
+        assert!(Literal::typed("7", crate::vocab::xsd::INT).is_numeric());
+        assert!(!Literal::typed("7", "http://x/other").is_numeric());
+    }
+}

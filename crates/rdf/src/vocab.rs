@@ -1,0 +1,109 @@
+//! Well-known RDF namespaces and the benchmark vocabularies used throughout
+//! the workloads.
+
+/// Concatenate a namespace and a local name into a full IRI.
+pub fn iri(ns: &str, local: &str) -> String {
+    let mut s = String::with_capacity(ns.len() + local.len());
+    s.push_str(ns);
+    s.push_str(local);
+    s
+}
+
+/// The RDF core vocabulary.
+pub mod rdf {
+    pub const NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+}
+
+/// RDF Schema.
+pub mod rdfs {
+    pub const NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+    pub const SEE_ALSO: &str = "http://www.w3.org/2000/01/rdf-schema#seeAlso";
+    pub const SUBCLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+}
+
+/// OWL.
+pub mod owl {
+    pub const NS: &str = "http://www.w3.org/2002/07/owl#";
+    pub const SAME_AS: &str = "http://www.w3.org/2002/07/owl#sameAs";
+}
+
+/// XML Schema datatypes.
+pub mod xsd {
+    pub const NS: &str = "http://www.w3.org/2001/XMLSchema#";
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    pub const INT: &str = "http://www.w3.org/2001/XMLSchema#int";
+    pub const LONG: &str = "http://www.w3.org/2001/XMLSchema#long";
+    pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    pub const FLOAT: &str = "http://www.w3.org/2001/XMLSchema#float";
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    pub const DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
+
+    /// True when `dt` is one of the XSD numeric datatypes.
+    pub fn is_numeric(dt: &str) -> bool {
+        matches!(dt, INTEGER | INT | LONG | DECIMAL | DOUBLE | FLOAT)
+    }
+}
+
+/// The LUBM university benchmark ontology (`ub:`), as used in the paper's
+/// running example (Figures 1, 2, 4, 6) and the LUBM experiments.
+pub mod ub {
+    pub const NS: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#";
+
+    // Classes
+    pub const UNIVERSITY: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#University";
+    pub const DEPARTMENT: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#Department";
+    pub const FULL_PROFESSOR: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#FullProfessor";
+    pub const ASSOCIATE_PROFESSOR: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#AssociateProfessor";
+    pub const ASSISTANT_PROFESSOR: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#AssistantProfessor";
+    pub const GRADUATE_STUDENT: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#GraduateStudent";
+    pub const UNDERGRADUATE_STUDENT: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#UndergraduateStudent";
+    pub const GRADUATE_COURSE: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#GraduateCourse";
+    pub const COURSE: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#Course";
+
+    // Properties
+    pub const ADVISOR: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#advisor";
+    pub const TEACHER_OF: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#teacherOf";
+    pub const TAKES_COURSE: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#takesCourse";
+    pub const PHD_DEGREE_FROM: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#PhDDegreeFrom";
+    pub const UNDERGRAD_DEGREE_FROM: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#undergraduateDegreeFrom";
+    pub const MASTERS_DEGREE_FROM: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#mastersDegreeFrom";
+    pub const MEMBER_OF: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#memberOf";
+    pub const SUB_ORGANIZATION_OF: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#subOrganizationOf";
+    pub const WORKS_FOR: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#worksFor";
+    pub const ADDRESS: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#address";
+    pub const NAME: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#name";
+    pub const EMAIL: &str = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#emailAddress";
+    pub const RESEARCH_INTEREST: &str =
+        "http://swat.cse.lehigh.edu/onto/univ-bench.owl#researchInterest";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_concat() {
+        assert_eq!(iri(rdf::NS, "type"), rdf::TYPE);
+        assert_eq!(iri(ub::NS, "advisor"), ub::ADVISOR);
+    }
+
+    #[test]
+    fn xsd_numeric() {
+        assert!(xsd::is_numeric(xsd::INTEGER));
+        assert!(xsd::is_numeric(xsd::DOUBLE));
+        assert!(!xsd::is_numeric(xsd::STRING));
+    }
+}

@@ -1,0 +1,33 @@
+//! # lusail-sparql
+//!
+//! The SPARQL substrate for Lusail: an abstract syntax tree / algebra for the
+//! SPARQL fragment the system needs, a hand-written recursive-descent parser,
+//! a serializer (so engines can ship queries to endpoints as text and count
+//! the bytes), and the solution-sequence types exchanged between endpoints
+//! and the federator.
+//!
+//! ## Supported fragment
+//!
+//! `SELECT` (with `DISTINCT`, projection lists, `*`, and a
+//! `(COUNT(…) AS ?v)` aggregate) and `ASK` forms; basic graph patterns with
+//! all shortcut syntaxes; `FILTER` expressions including `EXISTS` /
+//! `NOT EXISTS` with nested sub-`SELECT`s (the shape of Lusail's check
+//! queries, Figure 5 of the paper); `OPTIONAL`; `UNION`; `VALUES` (both the
+//! single-variable and full-row forms — SAPE's bound joins append `VALUES`
+//! blocks to delayed subqueries); `ORDER BY`; `LIMIT` / `OFFSET`.
+//!
+//! The paper's query workloads (LUBM, QFed, LargeRDFBench S/C/B) are all
+//! expressible in this fragment.
+
+pub mod aggregate;
+pub mod ast;
+pub mod parser;
+pub mod serializer;
+pub mod solution;
+
+pub use ast::{
+    Expression, GraphPattern, Projection, Query, QueryForm, SelectQuery, TermPattern,
+    TriplePattern, Variable,
+};
+pub use parser::{parse_query, ParseError};
+pub use solution::{Relation, Row};

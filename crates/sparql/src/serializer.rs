@@ -1,0 +1,350 @@
+//! Serialization of queries back to SPARQL text.
+//!
+//! The federation layer ships queries to endpoints as text (so we can count
+//! request bytes, exactly like a real federation sends HTTP requests), and
+//! the endpoint re-parses them. `parse(serialize(q)) == q` is checked by
+//! round-trip tests and a property test in the integration suite.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Serialize a query to SPARQL text.
+pub fn serialize_query(q: &Query) -> String {
+    let mut out = String::new();
+    for (p, ns) in &q.prefixes {
+        let _ = writeln!(out, "PREFIX {p}: <{ns}>");
+    }
+    match &q.form {
+        QueryForm::Select(s) => write_select(&mut out, s),
+        QueryForm::Ask(p) => {
+            out.push_str("ASK ");
+            write_pattern(&mut out, p);
+        }
+    }
+    out
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&serialize_query(self))
+    }
+}
+
+fn write_select(out: &mut String, s: &SelectQuery) {
+    out.push_str("SELECT ");
+    if s.distinct {
+        out.push_str("DISTINCT ");
+    }
+    match &s.projection {
+        Projection::All => out.push_str("* "),
+        Projection::Vars(vs) => {
+            for v in vs {
+                let _ = write!(out, "{v} ");
+            }
+        }
+        Projection::Count { inner, distinct, as_var } => {
+            out.push_str("(COUNT(");
+            if *distinct {
+                out.push_str("DISTINCT ");
+            }
+            match inner {
+                Some(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                None => out.push('*'),
+            }
+            let _ = write!(out, ") AS {as_var}) ");
+        }
+        Projection::Aggregate { keys, aggs } => {
+            for k in keys {
+                let _ = write!(out, "{k} ");
+            }
+            for a in aggs {
+                let _ = write!(out, "({}(", a.func.keyword());
+                if a.distinct {
+                    out.push_str("DISTINCT ");
+                }
+                match &a.arg {
+                    Some(v) => {
+                        let _ = write!(out, "{v}");
+                    }
+                    None => out.push('*'),
+                }
+                let _ = write!(out, ") AS {}) ", a.as_var);
+            }
+        }
+    }
+    out.push_str("WHERE ");
+    write_pattern(out, &s.pattern);
+    if !s.group_by.is_empty() {
+        out.push_str(" GROUP BY");
+        for v in &s.group_by {
+            let _ = write!(out, " {v}");
+        }
+        out.push(' ');
+    }
+    for (v, asc) in &s.order_by {
+        let dir = if *asc { "ASC" } else { "DESC" };
+        let _ = write!(out, " ORDER BY {dir}({v})");
+    }
+    if let Some(l) = s.limit {
+        let _ = write!(out, " LIMIT {l}");
+    }
+    if let Some(o) = s.offset {
+        let _ = write!(out, " OFFSET {o}");
+    }
+}
+
+fn write_pattern(out: &mut String, p: &GraphPattern) {
+    out.push_str("{ ");
+    write_pattern_inner(out, p);
+    out.push_str("} ");
+}
+
+fn write_pattern_inner(out: &mut String, p: &GraphPattern) {
+    match p {
+        GraphPattern::Bgp(tps) => {
+            for tp in tps {
+                let _ = write!(out, "{tp} . ");
+            }
+        }
+        GraphPattern::Join(a, b) => {
+            write_pattern_inner(out, a);
+            write_pattern_inner(out, b);
+        }
+        GraphPattern::LeftJoin(a, b) => {
+            write_pattern_inner(out, a);
+            out.push_str("OPTIONAL ");
+            write_pattern(out, b);
+        }
+        GraphPattern::Union(a, b) => {
+            write_pattern(out, a);
+            out.push_str("UNION ");
+            write_pattern(out, b);
+        }
+        GraphPattern::Filter(inner, e) => {
+            write_pattern_inner(out, inner);
+            match e {
+                Expression::NotExists(p) => {
+                    out.push_str("FILTER NOT EXISTS ");
+                    write_pattern(out, p);
+                }
+                Expression::Exists(p) => {
+                    out.push_str("FILTER EXISTS ");
+                    write_pattern(out, p);
+                }
+                other => {
+                    out.push_str("FILTER (");
+                    write_expr(out, other);
+                    out.push_str(") ");
+                }
+            }
+        }
+        GraphPattern::Values(vars, rows) => {
+            out.push_str("VALUES (");
+            for v in vars {
+                let _ = write!(out, "{v} ");
+            }
+            out.push_str(") { ");
+            for row in rows {
+                out.push('(');
+                for cell in row {
+                    match cell {
+                        Some(t) => {
+                            let _ = write!(out, "{t} ");
+                        }
+                        None => out.push_str("UNDEF "),
+                    }
+                }
+                out.push_str(") ");
+            }
+            out.push_str("} ");
+        }
+        GraphPattern::SubSelect(q) => {
+            out.push_str("{ ");
+            write_select(out, q);
+            out.push_str("} ");
+        }
+        GraphPattern::Bind(inner, e, v) => {
+            write_pattern_inner(out, inner);
+            out.push_str("BIND(");
+            write_expr(out, e);
+            let _ = write!(out, " AS {v}) ");
+        }
+        GraphPattern::Minus(a, b) => {
+            write_pattern_inner(out, a);
+            out.push_str("MINUS ");
+            write_pattern(out, b);
+        }
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expression) {
+    use Expression::*;
+    macro_rules! binop {
+        ($a:expr, $op:literal, $b:expr) => {{
+            out.push('(');
+            write_expr(out, $a);
+            out.push_str(concat!(" ", $op, " "));
+            write_expr(out, $b);
+            out.push(')');
+        }};
+    }
+    match e {
+        Var(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Term(t) => {
+            let _ = write!(out, "{t}");
+        }
+        And(a, b) => binop!(a, "&&", b),
+        Or(a, b) => binop!(a, "||", b),
+        Not(a) => {
+            out.push_str("!(");
+            write_expr(out, a);
+            out.push(')');
+        }
+        Eq(a, b) => binop!(a, "=", b),
+        Ne(a, b) => binop!(a, "!=", b),
+        Lt(a, b) => binop!(a, "<", b),
+        Le(a, b) => binop!(a, "<=", b),
+        Gt(a, b) => binop!(a, ">", b),
+        Ge(a, b) => binop!(a, ">=", b),
+        Add(a, b) => binop!(a, "+", b),
+        Sub(a, b) => binop!(a, "-", b),
+        Mul(a, b) => binop!(a, "*", b),
+        Div(a, b) => binop!(a, "/", b),
+        Bound(v) => {
+            let _ = write!(out, "BOUND({v})");
+        }
+        IsIri(a) => {
+            out.push_str("ISIRI(");
+            write_expr(out, a);
+            out.push(')');
+        }
+        IsLiteral(a) => {
+            out.push_str("ISLITERAL(");
+            write_expr(out, a);
+            out.push(')');
+        }
+        IsBlank(a) => {
+            out.push_str("ISBLANK(");
+            write_expr(out, a);
+            out.push(')');
+        }
+        Str(a) => {
+            out.push_str("STR(");
+            write_expr(out, a);
+            out.push(')');
+        }
+        Lang(a) => {
+            out.push_str("LANG(");
+            write_expr(out, a);
+            out.push(')');
+        }
+        Datatype(a) => {
+            out.push_str("DATATYPE(");
+            write_expr(out, a);
+            out.push(')');
+        }
+        Regex(a, pat, flags) => {
+            out.push_str("REGEX(");
+            write_expr(out, a);
+            let _ = write!(out, ", \"{}\"", lusail_rdf::term::escape_literal(pat));
+            if !flags.is_empty() {
+                let _ = write!(out, ", \"{flags}\"");
+            }
+            out.push(')');
+        }
+        Contains(a, b) => {
+            out.push_str("CONTAINS(");
+            write_expr(out, a);
+            out.push_str(", ");
+            write_expr(out, b);
+            out.push(')');
+        }
+        StrStarts(a, b) => {
+            out.push_str("STRSTARTS(");
+            write_expr(out, a);
+            out.push_str(", ");
+            write_expr(out, b);
+            out.push(')');
+        }
+        SameTerm(a, b) => {
+            out.push_str("SAMETERM(");
+            write_expr(out, a);
+            out.push_str(", ");
+            write_expr(out, b);
+            out.push(')');
+        }
+        Exists(p) => {
+            out.push_str("EXISTS ");
+            write_pattern(out, p);
+        }
+        NotExists(p) => {
+            out.push_str("NOT EXISTS ");
+            write_pattern(out, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn roundtrip(q: &str) {
+        let parsed = parse_query(q).unwrap_or_else(|e| panic!("parse {q}: {e}"));
+        let text = serialize_query(&parsed);
+        let reparsed =
+            parse_query(&text).unwrap_or_else(|e| panic!("reparse {text}: {e}"));
+        assert_eq!(parsed, reparsed, "roundtrip mismatch for:\n{q}\n→\n{text}");
+    }
+
+    #[test]
+    fn roundtrip_select_forms() {
+        roundtrip("SELECT ?x WHERE { ?x <http://e/p> ?y . }");
+        roundtrip("SELECT DISTINCT ?x ?y WHERE { ?x <http://e/p> ?y . } LIMIT 3 OFFSET 1");
+        roundtrip("SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o }");
+        roundtrip("SELECT (COUNT(DISTINCT ?s) AS ?c) WHERE { ?s ?p ?o }");
+    }
+
+    #[test]
+    fn roundtrip_patterns() {
+        roundtrip("ASK { ?x <http://e/p> ?y }");
+        roundtrip("SELECT * WHERE { { ?x a <http://e/A> } UNION { ?x a <http://e/B> } }");
+        roundtrip("SELECT * WHERE { ?x <http://e/p> ?y OPTIONAL { ?y <http://e/q> ?z } }");
+        roundtrip(
+            "SELECT * WHERE { ?x <http://e/p> ?y . VALUES (?x) { (<http://e/1>) (UNDEF) } }",
+        );
+        roundtrip("SELECT ?x WHERE { ?x <http://e/v> ?v . FILTER((?v > 3) && (?v != 7)) }");
+        roundtrip(
+            "SELECT ?p WHERE { ?s <http://e/a> ?p . FILTER NOT EXISTS { SELECT ?p WHERE { ?p <http://e/b> ?c . } } } LIMIT 1",
+        );
+    }
+
+    #[test]
+    fn roundtrip_expressions() {
+        roundtrip(r#"SELECT ?x WHERE { ?x <http://e/n> ?n . FILTER(REGEX(STR(?n), "^a.b", "i")) }"#);
+        roundtrip("SELECT ?x WHERE { ?x <http://e/n> ?n . FILTER(BOUND(?n) || ISIRI(?x)) }");
+        roundtrip(
+            r#"SELECT ?x WHERE { ?x <http://e/n> ?n . FILTER(CONTAINS(STR(?n), "q") && SAMETERM(?x, ?x)) }"#,
+        );
+        roundtrip("SELECT ?x WHERE { ?x <http://e/v> ?v . FILTER(((?v + 1) * 2) >= (?v / 2)) }");
+    }
+
+    #[test]
+    fn roundtrip_aggregates_bind_minus() {
+        roundtrip(
+            "SELECT ?g (SUM(?x) AS ?s) (MIN(?x) AS ?m) WHERE { ?e <http://p/g> ?g . ?e <http://p/x> ?x } GROUP BY ?g",
+        );
+        roundtrip("SELECT (AVG(DISTINCT ?x) AS ?a) WHERE { ?e <http://p/x> ?x } GROUP BY ?e");
+        roundtrip("SELECT ?x ?y WHERE { ?x <http://p/v> ?v . BIND((?v + 1) AS ?y) }");
+        roundtrip("SELECT ?x WHERE { ?x <http://p/a> ?v MINUS { ?x <http://p/b> ?w } }");
+    }
+
+    #[test]
+    fn roundtrip_order_by() {
+        roundtrip("SELECT ?x WHERE { ?x ?p ?o } ORDER BY DESC(?x) LIMIT 2");
+    }
+}

@@ -1,0 +1,520 @@
+//! Solution sequences: the tabular results exchanged between endpoints and
+//! the federated query processor.
+
+use crate::ast::Variable;
+use lusail_rdf::fxhash::FxHashMap;
+use lusail_rdf::Term;
+
+/// One solution row: a term (or unbound) per variable of the owning
+/// [`Relation`]'s header.
+pub type Row = Vec<Option<Term>>;
+
+/// A solution sequence: a header of variables and a bag of rows.
+///
+/// This is the wire format of our simulated federation — endpoints return
+/// `Relation`s, and all the federator's join operators consume and produce
+/// them. Bag semantics (duplicates preserved) matches SPARQL `SELECT`
+/// without `DISTINCT`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Relation {
+    vars: Vec<Variable>,
+    rows: Vec<Row>,
+}
+
+impl Relation {
+    /// An empty relation with the given header.
+    pub fn new(vars: Vec<Variable>) -> Self {
+        Relation { vars, rows: Vec::new() }
+    }
+
+    /// Build a relation from a header and rows. Panics if a row's arity
+    /// disagrees with the header (a programming error).
+    pub fn from_rows(vars: Vec<Variable>, rows: Vec<Row>) -> Self {
+        for r in &rows {
+            assert_eq!(r.len(), vars.len(), "row arity mismatch");
+        }
+        Relation { vars, rows }
+    }
+
+    /// The header.
+    pub fn vars(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Mutable access to the rows (header is fixed).
+    pub fn rows_mut(&mut self) -> &mut Vec<Row> {
+        &mut self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Position of `v` in the header.
+    pub fn index_of(&self, v: &Variable) -> Option<usize> {
+        self.vars.iter().position(|x| x == v)
+    }
+
+    /// Append a row. Panics on arity mismatch.
+    pub fn push(&mut self, row: Row) {
+        assert_eq!(row.len(), self.vars.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Concatenate another relation with the *same header* (set union under
+    /// bag semantics). Panics if headers differ.
+    pub fn append(&mut self, other: Relation) {
+        assert_eq!(self.vars, other.vars, "header mismatch in append");
+        self.rows.extend(other.rows);
+    }
+
+    /// The distinct bound terms of variable `v` across all rows.
+    pub fn distinct_values(&self, v: &Variable) -> Vec<Term> {
+        let Some(i) = self.index_of(v) else { return Vec::new() };
+        let mut seen = lusail_rdf::fxhash::FxHashSet::default();
+        let mut out = Vec::new();
+        for row in &self.rows {
+            if let Some(t) = &row[i] {
+                if seen.insert(t.clone()) {
+                    out.push(t.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Project onto a subset of variables (keeping row multiplicity).
+    /// Variables absent from the header come out unbound.
+    pub fn project(&self, vars: &[Variable]) -> Relation {
+        let idx: Vec<Option<usize>> = vars.iter().map(|v| self.index_of(v)).collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| idx.iter().map(|i| i.and_then(|i| row[i].clone())).collect())
+            .collect();
+        Relation { vars: vars.to_vec(), rows }
+    }
+
+    /// Remove duplicate rows (SPARQL `DISTINCT`).
+    pub fn dedup(&mut self) {
+        let mut seen = lusail_rdf::fxhash::FxHashSet::default();
+        self.rows.retain(|row| seen.insert(row.clone()));
+    }
+
+    /// Hash join with `other` on their shared variables. The result header
+    /// is `self.vars ∪ other.vars` (self's order first). Unbound join keys
+    /// follow SPARQL compatibility: two rows are compatible if, for every
+    /// shared variable, the values are equal *or at least one is unbound*;
+    /// the bound value (if any) wins in the output.
+    pub fn join(&self, other: &Relation) -> Relation {
+        let shared: Vec<Variable> =
+            self.vars.iter().filter(|v| other.index_of(v).is_some()).cloned().collect();
+        let mut out_vars = self.vars.clone();
+        for v in &other.vars {
+            if !out_vars.contains(v) {
+                out_vars.push(v.clone());
+            }
+        }
+        let mut out = Relation::new(out_vars);
+
+        if shared.is_empty() {
+            // Cartesian product.
+            for a in &self.rows {
+                for b in &other.rows {
+                    out.rows.push(Self::merge_rows(self, other, a, b, &out.vars));
+                }
+            }
+            return out;
+        }
+
+        // Rows where every shared var is bound go into a hash table; rows
+        // with unbound shared vars (possible after OPTIONAL) fall back to a
+        // scan. The scan list is usually empty.
+        let self_shared_idx: Vec<usize> =
+            shared.iter().map(|v| self.index_of(v).unwrap()).collect();
+        let other_shared_idx: Vec<usize> =
+            shared.iter().map(|v| other.index_of(v).unwrap()).collect();
+
+        let (small, big, small_idx, big_idx, small_is_self) =
+            if self.rows.len() <= other.rows.len() {
+                (self, other, &self_shared_idx, &other_shared_idx, true)
+            } else {
+                (other, self, &other_shared_idx, &self_shared_idx, false)
+            };
+
+        let mut table: FxHashMap<Vec<&Term>, Vec<&Row>> = FxHashMap::default();
+        let mut loose: Vec<&Row> = Vec::new();
+        for row in &small.rows {
+            let key: Option<Vec<&Term>> =
+                small_idx.iter().map(|&i| row[i].as_ref()).collect();
+            match key {
+                Some(k) => table.entry(k).or_default().push(row),
+                None => loose.push(row),
+            }
+        }
+
+        for brow in &big.rows {
+            let key: Option<Vec<&Term>> = big_idx.iter().map(|&i| brow[i].as_ref()).collect();
+            if let Some(k) = &key {
+                if let Some(matches) = table.get(k) {
+                    for srow in matches {
+                        let (a, b) = if small_is_self { (*srow, brow) } else { (brow, *srow) };
+                        out.rows.push(Self::merge_rows(self, other, a, b, &out.vars));
+                    }
+                }
+            }
+            // Loose rows (unbound shared vars) are compatibility-checked
+            // directly.
+            for srow in &loose {
+                let compatible = small_idx.iter().zip(big_idx.iter()).all(|(&si, &bi)| {
+                    match (&srow[si], &brow[bi]) {
+                        (Some(a), Some(b)) => a == b,
+                        _ => true,
+                    }
+                });
+                if compatible {
+                    let (a, b) = if small_is_self { (*srow, brow) } else { (brow, *srow) };
+                    out.rows.push(Self::merge_rows(self, other, a, b, &out.vars));
+                }
+            }
+            // Symmetric case: brow has an unbound shared var — check against
+            // all hashed rows too.
+            if key.is_none() {
+                for rows in table.values() {
+                    for srow in rows {
+                        let compatible =
+                            small_idx.iter().zip(big_idx.iter()).all(|(&si, &bi)| {
+                                match (&srow[si], &brow[bi]) {
+                                    (Some(a), Some(b)) => a == b,
+                                    _ => true,
+                                }
+                            });
+                        if compatible {
+                            let (a, b) =
+                                if small_is_self { (*srow, brow) } else { (brow, *srow) };
+                            out.rows.push(Self::merge_rows(self, other, a, b, &out.vars));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn merge_rows(
+        left: &Relation,
+        right: &Relation,
+        a: &Row,
+        b: &Row,
+        out_vars: &[Variable],
+    ) -> Row {
+        out_vars
+            .iter()
+            .map(|v| {
+                let from_left = left.index_of(v).and_then(|i| a[i].clone());
+                if from_left.is_some() {
+                    from_left
+                } else {
+                    right.index_of(v).and_then(|i| b[i].clone())
+                }
+            })
+            .collect()
+    }
+
+    /// Left outer join (SPARQL `OPTIONAL` without filter): every row of
+    /// `self` appears at least once; matching rows of `other` extend it.
+    pub fn left_join(&self, other: &Relation) -> Relation {
+        let inner = self.join(other);
+        let mut out_vars = self.vars.clone();
+        for v in &other.vars {
+            if !out_vars.contains(v) {
+                out_vars.push(v.clone());
+            }
+        }
+        // Identify which self-rows found a partner by re-deriving the match
+        // predicate: a self-row survives if joining it alone yields rows.
+        // Cheaper: count matches per left row index by joining with a tag.
+        // We instead do the standard approach: build the join keyed by left
+        // row identity.
+        let shared: Vec<Variable> =
+            self.vars.iter().filter(|v| other.index_of(v).is_some()).cloned().collect();
+        let mut out = Relation::new(out_vars.clone());
+        if shared.is_empty() && !other.rows.is_empty() {
+            return inner; // pure product: every left row matched
+        }
+        let other_idx: Vec<usize> = shared.iter().map(|v| other.index_of(v).unwrap()).collect();
+        let self_idx: Vec<usize> = shared.iter().map(|v| self.index_of(v).unwrap()).collect();
+        let mut table: FxHashMap<Vec<&Term>, Vec<&Row>> = FxHashMap::default();
+        let mut loose: Vec<&Row> = Vec::new();
+        for row in &other.rows {
+            let key: Option<Vec<&Term>> = other_idx.iter().map(|&i| row[i].as_ref()).collect();
+            match key {
+                Some(k) => table.entry(k).or_default().push(row),
+                None => loose.push(row),
+            }
+        }
+        for arow in &self.rows {
+            let mut matched = false;
+            let key: Option<Vec<&Term>> = self_idx.iter().map(|&i| arow[i].as_ref()).collect();
+            let try_row = |brow: &Row, out: &mut Relation, matched: &mut bool| {
+                let compatible = self_idx.iter().zip(other_idx.iter()).all(|(&si, &bi)| {
+                    match (&arow[si], &brow[bi]) {
+                        (Some(a), Some(b)) => a == b,
+                        _ => true,
+                    }
+                });
+                if compatible {
+                    out.rows.push(Self::merge_rows(self, other, arow, brow, &out_vars));
+                    *matched = true;
+                }
+            };
+            match &key {
+                Some(k) => {
+                    if let Some(rows) = table.get(k) {
+                        for brow in rows {
+                            try_row(brow, &mut out, &mut matched);
+                        }
+                    }
+                }
+                None => {
+                    for rows in table.values() {
+                        for brow in rows {
+                            try_row(brow, &mut out, &mut matched);
+                        }
+                    }
+                }
+            }
+            for brow in &loose {
+                try_row(brow, &mut out, &mut matched);
+            }
+            if !matched {
+                let row = out_vars
+                    .iter()
+                    .map(|v| self.index_of(v).and_then(|i| arow[i].clone()))
+                    .collect();
+                out.rows.push(row);
+            }
+        }
+        out
+    }
+
+    /// Hash join on *renamed* keys: rows of `self` and `other` pair up when
+    /// `self[a] == other[b]` for every `(a, b)` in `pairs` (both bound).
+    /// Used to evaluate `FILTER(?a = ?b)` bridges between otherwise
+    /// disconnected subqueries as a join instead of a cross product.
+    pub fn equi_join(&self, other: &Relation, pairs: &[(Variable, Variable)]) -> Relation {
+        let keys: Vec<(usize, usize)> = pairs
+            .iter()
+            .filter_map(|(a, b)| Some((self.index_of(a)?, other.index_of(b)?)))
+            .collect();
+        if keys.is_empty() {
+            return self.join(other);
+        }
+        let mut out_vars = self.vars.clone();
+        for v in &other.vars {
+            if !out_vars.contains(v) {
+                out_vars.push(v.clone());
+            }
+        }
+        let mut out = Relation::new(out_vars);
+        let mut table: FxHashMap<Vec<&Term>, Vec<&Row>> = FxHashMap::default();
+        for row in &other.rows {
+            let key: Option<Vec<&Term>> = keys.iter().map(|&(_, j)| row[j].as_ref()).collect();
+            if let Some(k) = key {
+                table.entry(k).or_default().push(row);
+            }
+        }
+        for arow in &self.rows {
+            let key: Option<Vec<&Term>> = keys.iter().map(|&(i, _)| arow[i].as_ref()).collect();
+            let Some(k) = key else { continue };
+            if let Some(matches) = table.get(&k) {
+                for brow in matches {
+                    out.rows.push(Self::merge_rows(self, other, arow, brow, &out.vars));
+                }
+            }
+        }
+        out
+    }
+
+    /// SPARQL 1.1 `MINUS`: drop a row of `self` when some row of `other`
+    /// shares at least one bound variable with it and agrees on every
+    /// shared bound variable.
+    pub fn minus(&self, other: &Relation) -> Relation {
+        let shared: Vec<(usize, usize)> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| other.index_of(v).map(|j| (i, j)))
+            .collect();
+        if shared.is_empty() {
+            return self.clone();
+        }
+        let rows = self
+            .rows
+            .iter()
+            .filter(|lrow| {
+                !other.rows.iter().any(|rrow| {
+                    let mut overlap = false;
+                    for &(i, j) in &shared {
+                        match (&lrow[i], &rrow[j]) {
+                            (None, _) | (_, None) => {}
+                            (Some(a), Some(b)) if a == b => overlap = true,
+                            _ => return false,
+                        }
+                    }
+                    overlap
+                })
+            })
+            .cloned()
+            .collect();
+        Relation { vars: self.vars.clone(), rows }
+    }
+
+    /// Estimated size in bytes when shipped over the (simulated) network:
+    /// the sum of term string lengths plus small per-cell overhead. Used by
+    /// the federation layer's bandwidth accounting.
+    pub fn wire_size(&self) -> usize {
+        let mut size = 8 * self.vars.len();
+        for row in &self.rows {
+            for cell in row {
+                size += 4 + cell.as_ref().map_or(0, term_wire_size);
+            }
+        }
+        size
+    }
+}
+
+fn term_wire_size(t: &Term) -> usize {
+    match t {
+        Term::Iri(s) => s.len() + 2,
+        Term::BlankNode(s) => s.len() + 2,
+        Term::Literal(l) => {
+            l.lexical.len()
+                + 2
+                + l.datatype.as_ref().map_or(0, |d| d.len() + 4)
+                + l.language.as_ref().map_or(0, |g| g.len() + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Variable {
+        Variable::new(n)
+    }
+
+    fn iri(n: &str) -> Term {
+        Term::iri(format!("http://x/{n}"))
+    }
+
+    #[test]
+    fn join_on_shared_variable() {
+        let mut a = Relation::new(vec![v("x"), v("y")]);
+        a.push(vec![Some(iri("1")), Some(iri("a"))]);
+        a.push(vec![Some(iri("2")), Some(iri("b"))]);
+        let mut b = Relation::new(vec![v("y"), v("z")]);
+        b.push(vec![Some(iri("a")), Some(iri("A"))]);
+        b.push(vec![Some(iri("a")), Some(iri("B"))]);
+        b.push(vec![Some(iri("c")), Some(iri("C"))]);
+        let j = a.join(&b);
+        assert_eq!(j.vars(), &[v("x"), v("y"), v("z")]);
+        assert_eq!(j.len(), 2);
+        for row in j.rows() {
+            assert_eq!(row[0], Some(iri("1")));
+            assert_eq!(row[1], Some(iri("a")));
+        }
+    }
+
+    #[test]
+    fn join_without_shared_is_product() {
+        let mut a = Relation::new(vec![v("x")]);
+        a.push(vec![Some(iri("1"))]);
+        a.push(vec![Some(iri("2"))]);
+        let mut b = Relation::new(vec![v("y")]);
+        b.push(vec![Some(iri("a"))]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn join_with_unbound_is_compatible() {
+        // SPARQL compatibility: unbound matches anything.
+        let mut a = Relation::new(vec![v("x"), v("y")]);
+        a.push(vec![Some(iri("1")), None]);
+        let mut b = Relation::new(vec![v("y"), v("z")]);
+        b.push(vec![Some(iri("a")), Some(iri("A"))]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.rows()[0][1], Some(iri("a"))); // bound side wins
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched() {
+        let mut a = Relation::new(vec![v("x")]);
+        a.push(vec![Some(iri("1"))]);
+        a.push(vec![Some(iri("2"))]);
+        let mut b = Relation::new(vec![v("x"), v("z")]);
+        b.push(vec![Some(iri("1")), Some(iri("Z"))]);
+        let lj = a.left_join(&b);
+        assert_eq!(lj.len(), 2);
+        let unmatched = lj.rows().iter().find(|r| r[0] == Some(iri("2"))).unwrap();
+        assert_eq!(unmatched[1], None);
+    }
+
+    #[test]
+    fn project_and_dedup() {
+        let mut r = Relation::new(vec![v("x"), v("y")]);
+        r.push(vec![Some(iri("1")), Some(iri("a"))]);
+        r.push(vec![Some(iri("1")), Some(iri("b"))]);
+        let mut p = r.project(&[v("x")]);
+        assert_eq!(p.len(), 2);
+        p.dedup();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn project_missing_var_is_unbound() {
+        let mut r = Relation::new(vec![v("x")]);
+        r.push(vec![Some(iri("1"))]);
+        let p = r.project(&[v("x"), v("nope")]);
+        assert_eq!(p.rows()[0][1], None);
+    }
+
+    #[test]
+    fn distinct_values() {
+        let mut r = Relation::new(vec![v("x")]);
+        r.push(vec![Some(iri("1"))]);
+        r.push(vec![Some(iri("1"))]);
+        r.push(vec![None]);
+        r.push(vec![Some(iri("2"))]);
+        assert_eq!(r.distinct_values(&v("x")).len(), 2);
+    }
+
+    #[test]
+    fn wire_size_grows_with_rows() {
+        let mut r = Relation::new(vec![v("x")]);
+        let s0 = r.wire_size();
+        r.push(vec![Some(iri("aaaa"))]);
+        assert!(r.wire_size() > s0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new(vec![v("x")]);
+        r.push(vec![None, None]);
+    }
+}

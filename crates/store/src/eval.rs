@@ -1,0 +1,1150 @@
+//! The query evaluator: executes the SPARQL algebra against a [`Store`].
+
+use crate::expr::{eval_ebv, ExprContext};
+use crate::store::Store;
+use lusail_rdf::fxhash::{FxHashMap, FxHashSet};
+use lusail_rdf::{Term, TermId};
+use lusail_sparql::ast::*;
+use lusail_sparql::solution::Relation;
+
+/// The result of evaluating a [`Query`]: a table for `SELECT`, a boolean
+/// for `ASK`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    Solutions(Relation),
+    Boolean(bool),
+}
+
+impl QueryResult {
+    /// The relation, panicking on an `ASK` result (programming error).
+    pub fn into_solutions(self) -> Relation {
+        match self {
+            QueryResult::Solutions(r) => r,
+            QueryResult::Boolean(_) => panic!("expected solutions, got boolean"),
+        }
+    }
+
+    /// The boolean, panicking on a `SELECT` result.
+    pub fn into_boolean(self) -> bool {
+        match self {
+            QueryResult::Boolean(b) => b,
+            QueryResult::Solutions(_) => panic!("expected boolean, got solutions"),
+        }
+    }
+}
+
+/// A binding cell during evaluation. Terms that are not in this store's
+/// dictionary (they arrive via `VALUES` blocks in bound subqueries — bound
+/// joins ship bindings from *other* endpoints) are parked in a side table
+/// as `Foreign`; they can never equal any stored term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Cell {
+    Unbound,
+    Id(TermId),
+    Foreign(u32),
+}
+
+#[derive(Debug, Clone)]
+struct Bindings {
+    vars: Vec<Variable>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Bindings {
+    /// The unit table: no variables, one empty row (the identity of join).
+    fn unit() -> Self {
+        Bindings { vars: Vec::new(), rows: vec![Vec::new()] }
+    }
+
+    fn index_of(&self, v: &Variable) -> Option<usize> {
+        self.vars.iter().position(|x| x == v)
+    }
+}
+
+/// Evaluates queries against one store.
+pub struct Evaluator<'a> {
+    store: &'a Store,
+    foreign: Vec<Term>,
+}
+
+impl<'a> Evaluator<'a> {
+    pub fn new(store: &'a Store) -> Self {
+        Evaluator { store, foreign: Vec::new() }
+    }
+
+    /// Evaluate any query form.
+    pub fn query(&mut self, q: &Query) -> QueryResult {
+        match &q.form {
+            QueryForm::Select(s) => QueryResult::Solutions(self.select(s)),
+            QueryForm::Ask(p) => QueryResult::Boolean(self.ask(p)),
+        }
+    }
+
+    /// Evaluate an `ASK` pattern.
+    pub fn ask(&mut self, pattern: &GraphPattern) -> bool {
+        !self.eval_pattern(pattern, Bindings::unit()).rows.is_empty()
+    }
+
+    /// Evaluate a `SELECT` query to a [`Relation`] of terms.
+    pub fn select(&mut self, q: &SelectQuery) -> Relation {
+        let bindings = self.eval_pattern(&q.pattern, Bindings::unit());
+        self.finish_select(q, bindings)
+    }
+
+    fn finish_select(&mut self, q: &SelectQuery, bindings: Bindings) -> Relation {
+        // Aggregate?
+        if let Projection::Count { inner, distinct, as_var } = &q.projection {
+            let n = match inner {
+                None => {
+                    if *distinct {
+                        let set: FxHashSet<&Vec<Cell>> = bindings.rows.iter().collect();
+                        set.len()
+                    } else {
+                        bindings.rows.len()
+                    }
+                }
+                Some(v) => match bindings.index_of(v) {
+                    None => 0,
+                    Some(i) => {
+                        if *distinct {
+                            let set: FxHashSet<Cell> = bindings
+                                .rows
+                                .iter()
+                                .map(|r| r[i])
+                                .filter(|c| *c != Cell::Unbound)
+                                .collect();
+                            set.len()
+                        } else {
+                            bindings.rows.iter().filter(|r| r[i] != Cell::Unbound).count()
+                        }
+                    }
+                },
+            };
+            let mut rel = Relation::new(vec![as_var.clone()]);
+            rel.push(vec![Some(Term::integer(n as i64))]);
+            return rel;
+        }
+
+        if let Projection::Aggregate { keys, aggs } = &q.projection {
+            let group_keys = if q.group_by.is_empty() { keys.clone() } else { q.group_by.clone() };
+            return self.aggregate(&bindings, &group_keys, keys, aggs, q);
+        }
+
+        let out_vars = match &q.projection {
+            Projection::All => bindings.vars.clone(),
+            Projection::Vars(vs) => vs.clone(),
+            Projection::Count { .. } | Projection::Aggregate { .. } => unreachable!(),
+        };
+        let idx: Vec<Option<usize>> = out_vars.iter().map(|v| bindings.index_of(v)).collect();
+        let mut rows: Vec<Vec<Option<Term>>> = bindings
+            .rows
+            .iter()
+            .map(|row| {
+                idx.iter()
+                    .map(|i| i.and_then(|i| self.decode_cell(row[i])))
+                    .collect()
+            })
+            .collect();
+
+        if !q.order_by.is_empty() {
+            let key_idx: Vec<(Option<usize>, bool)> = q
+                .order_by
+                .iter()
+                .map(|(v, asc)| (out_vars.iter().position(|x| x == v), *asc))
+                .collect();
+            rows.sort_by(|a, b| {
+                for (i, asc) in &key_idx {
+                    if let Some(i) = i {
+                        let ord = compare_terms(&a[*i], &b[*i]);
+                        let ord = if *asc { ord } else { ord.reverse() };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+
+        let mut rel = Relation::from_rows(out_vars, rows);
+        if q.distinct {
+            rel.dedup();
+        }
+        if let Some(offset) = q.offset {
+            let rows = rel.rows_mut();
+            if offset >= rows.len() {
+                rows.clear();
+            } else {
+                rows.drain(..offset);
+            }
+        }
+        if let Some(limit) = q.limit {
+            rel.rows_mut().truncate(limit);
+        }
+        rel
+    }
+
+    fn decode_cell(&self, cell: Cell) -> Option<Term> {
+        match cell {
+            Cell::Unbound => None,
+            Cell::Id(id) => Some(self.store.decode(id).clone()),
+            Cell::Foreign(i) => Some(self.foreign[i as usize].clone()),
+        }
+    }
+
+    /// Grouped aggregation (SPARQL 1.1 GROUP BY): group the solution rows
+    /// by `group_keys` and compute each aggregate per group.
+    fn aggregate(
+        &mut self,
+        bindings: &Bindings,
+        group_keys: &[Variable],
+        projected_keys: &[Variable],
+        aggs: &[lusail_sparql::ast::AggSpec],
+        q: &SelectQuery,
+    ) -> Relation {
+        use lusail_sparql::ast::AggFunc;
+        let key_idx: Vec<Option<usize>> =
+            group_keys.iter().map(|v| bindings.index_of(v)).collect();
+        // Group rows by their key cells.
+        let mut groups: FxHashMap<Vec<Cell>, Vec<&Vec<Cell>>> = FxHashMap::default();
+        for row in &bindings.rows {
+            let key: Vec<Cell> = key_idx
+                .iter()
+                .map(|i| i.map(|i| row[i]).unwrap_or(Cell::Unbound))
+                .collect();
+            groups.entry(key).or_default().push(row);
+        }
+        if groups.is_empty() && group_keys.is_empty() {
+            // Aggregating an empty, ungrouped result yields one row.
+            groups.insert(Vec::new(), Vec::new());
+        }
+
+        let mut out_vars: Vec<Variable> = projected_keys.to_vec();
+        out_vars.extend(aggs.iter().map(|a| a.as_var.clone()));
+        let mut rel = Relation::new(out_vars);
+
+        for (key, rows) in groups {
+            let mut out_row: Vec<Option<Term>> = Vec::with_capacity(rel.vars().len());
+            for v in projected_keys {
+                let pos = group_keys.iter().position(|k| k == v);
+                out_row.push(match pos {
+                    Some(p) => self.decode_cell(key[p]),
+                    None => None,
+                });
+            }
+            for agg in aggs {
+                let arg_idx = agg.arg.as_ref().and_then(|v| bindings.index_of(v));
+                // Collect the aggregated cells (bound only), dedup when
+                // DISTINCT.
+                let mut cells: Vec<Cell> = match (&agg.arg, arg_idx) {
+                    (None, _) => rows.iter().map(|_| Cell::Unbound).collect(), // COUNT(*): one entry per row
+                    (Some(_), None) => Vec::new(),
+                    (Some(_), Some(i)) => rows
+                        .iter()
+                        .map(|r| r[i])
+                        .filter(|c| *c != Cell::Unbound)
+                        .collect(),
+                };
+                if agg.distinct && agg.arg.is_some() {
+                    let mut seen = FxHashSet::default();
+                    cells.retain(|c| seen.insert(*c));
+                }
+                let value: Option<Term> = match agg.func {
+                    AggFunc::Count => Some(Term::integer(cells.len() as i64)),
+                    AggFunc::Sum | AggFunc::Avg => {
+                        let nums: Vec<f64> = cells
+                            .iter()
+                            .filter_map(|c| self.decode_cell(*c))
+                            .filter_map(|t| t.as_literal().and_then(|l| l.as_f64()))
+                            .collect();
+                        if nums.is_empty() {
+                            Some(Term::integer(0))
+                        } else {
+                            let sum: f64 = nums.iter().sum();
+                            let v = if agg.func == AggFunc::Avg {
+                                sum / nums.len() as f64
+                            } else {
+                                sum
+                            };
+                            Some(if v.fract() == 0.0 {
+                                Term::integer(v as i64)
+                            } else {
+                                Term::Literal(lusail_rdf::Literal::double(v))
+                            })
+                        }
+                    }
+                    AggFunc::Min | AggFunc::Max => {
+                        let mut terms: Vec<Option<Term>> =
+                            cells.iter().map(|c| self.decode_cell(*c)).collect();
+                        terms.sort_by(compare_terms);
+                        let pick = if agg.func == AggFunc::Min {
+                            terms.first()
+                        } else {
+                            terms.last()
+                        };
+                        pick.cloned().flatten()
+                    }
+                };
+                out_row.push(value);
+            }
+            rel.push(out_row);
+        }
+        // Deterministic output order for grouped results.
+        rel.rows_mut().sort_by(|a, b| {
+            for i in 0..a.len() {
+                let ord = compare_terms(&a[i], &b[i]);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        if let Some(limit) = q.limit {
+            rel.rows_mut().truncate(limit);
+        }
+        rel
+    }
+
+    fn encode_term(&mut self, t: &Term) -> Cell {
+        match self.store.resolve(t) {
+            Some(id) => Cell::Id(id),
+            None => {
+                if let Some(i) = self.foreign.iter().position(|x| x == t) {
+                    Cell::Foreign(i as u32)
+                } else {
+                    self.foreign.push(t.clone());
+                    Cell::Foreign((self.foreign.len() - 1) as u32)
+                }
+            }
+        }
+    }
+
+    // ---- pattern evaluation ---------------------------------------------
+
+    fn eval_pattern(&mut self, p: &GraphPattern, input: Bindings) -> Bindings {
+        match p {
+            GraphPattern::Bgp(tps) => self.eval_bgp(tps, input),
+            GraphPattern::Join(a, b) => {
+                let left = self.eval_pattern(a, input);
+                self.eval_pattern(b, left)
+            }
+            GraphPattern::LeftJoin(a, b) => {
+                let left = self.eval_pattern(a, input);
+                self.eval_left_join(&left, b)
+            }
+            GraphPattern::Union(a, b) => {
+                let la = self.eval_pattern(a, input.clone());
+                let lb = self.eval_pattern(b, input);
+                union_bindings(la, lb)
+            }
+            GraphPattern::Filter(inner, e) => {
+                let rows = self.eval_pattern(inner, input);
+                self.eval_filter(rows, e)
+            }
+            GraphPattern::Values(vars, data) => {
+                let mut values = Bindings { vars: vars.clone(), rows: Vec::new() };
+                for row in data {
+                    values.rows.push(
+                        row.iter()
+                            .map(|cell| match cell {
+                                None => Cell::Unbound,
+                                Some(t) => self.encode_term(t),
+                            })
+                            .collect(),
+                    );
+                }
+                join_bindings(&input, &values)
+            }
+            GraphPattern::Bind(inner, expr, var) => {
+                let rows = self.eval_pattern(inner, input);
+                self.eval_bind(rows, expr, var)
+            }
+            GraphPattern::Minus(a, b) => {
+                let left = self.eval_pattern(a, input);
+                // SPARQL MINUS evaluates its right side independently.
+                let right = self.eval_pattern(b, Bindings::unit());
+                minus_bindings(left, &right)
+            }
+            GraphPattern::SubSelect(q) => {
+                // Correlated evaluation (the shape Lusail's check queries
+                // use inside NOT EXISTS): the subquery sees the incoming
+                // bindings, then projects.
+                let inner = self.eval_pattern(&q.pattern, input);
+                let rel = self.finish_select(q, inner);
+                self.relation_to_bindings(&rel)
+            }
+        }
+    }
+
+    /// Convert a term-level relation back into cells (used by subselects
+    /// and by endpoint-side `VALUES` injection).
+    fn relation_to_bindings(&mut self, rel: &Relation) -> Bindings {
+        let vars = rel.vars().to_vec();
+        let rows = rel
+            .rows()
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|c| match c {
+                        None => Cell::Unbound,
+                        Some(t) => self.encode_term(t),
+                    })
+                    .collect()
+            })
+            .collect();
+        Bindings { vars, rows }
+    }
+
+    fn eval_bgp(&mut self, tps: &[TriplePattern], input: Bindings) -> Bindings {
+        if tps.is_empty() {
+            return input;
+        }
+        let mut remaining: Vec<&TriplePattern> = tps.iter().collect();
+        let mut acc = input;
+        while !remaining.is_empty() {
+            let next_idx = self.pick_next_pattern(&remaining, &acc.vars);
+            let tp = remaining.swap_remove(next_idx);
+            acc = self.extend_by_pattern(acc, tp);
+            if acc.rows.is_empty() {
+                // Short-circuit: the conjunction is already empty.
+                // Register remaining variables so the header stays complete.
+                for tp in &remaining {
+                    for v in tp.variables() {
+                        if !acc.vars.contains(v) {
+                            acc.vars.push(v.clone());
+                        }
+                    }
+                }
+                for row in &mut acc.rows {
+                    row.resize(acc.vars.len(), Cell::Unbound);
+                }
+                return acc;
+            }
+        }
+        acc
+    }
+
+    /// Greedy join ordering: among patterns sharing a variable with the
+    /// bound set (or all patterns if none does), pick the one with the
+    /// smallest constant-only match count.
+    fn pick_next_pattern(&self, remaining: &[&TriplePattern], bound: &[Variable]) -> usize {
+        let shares = |tp: &TriplePattern| tp.variables().iter().any(|v| bound.contains(v));
+        let candidates: Vec<usize> = {
+            let sharing: Vec<usize> =
+                (0..remaining.len()).filter(|&i| shares(remaining[i])).collect();
+            if sharing.is_empty() || bound.is_empty() {
+                (0..remaining.len()).collect()
+            } else {
+                sharing
+            }
+        };
+        let mut best = candidates[0];
+        let mut best_cost = usize::MAX;
+        for &i in &candidates {
+            let tp = remaining[i];
+            let resolve = |slot: &TermPattern| -> Result<Option<TermId>, ()> {
+                match slot {
+                    TermPattern::Var(_) => Ok(None),
+                    TermPattern::Term(t) => self.store.resolve(t).map(Some).ok_or(()),
+                }
+            };
+            let cost = match (
+                resolve(&tp.subject),
+                resolve(&tp.predicate),
+                resolve(&tp.object),
+            ) {
+                (Ok(s), Ok(p), Ok(o)) => self.store.count_ids(s, p, o),
+                _ => 0, // unknown constant: zero matches, cheapest
+            };
+            if cost < best_cost {
+                best_cost = cost;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Extend each row of `acc` with all matches of `tp`.
+    fn extend_by_pattern(&mut self, acc: Bindings, tp: &TriplePattern) -> Bindings {
+        // Compute the new header.
+        let mut vars = acc.vars.clone();
+        for v in tp.variables() {
+            if !vars.contains(v) {
+                vars.push(v.clone());
+            }
+        }
+        let slot_plan: Vec<SlotPlan> = [&tp.subject, &tp.predicate, &tp.object]
+            .into_iter()
+            .map(|slot| match slot {
+                TermPattern::Term(t) => match self.store.resolve(t) {
+                    Some(id) => SlotPlan::Const(id),
+                    None => SlotPlan::Impossible,
+                },
+                TermPattern::Var(v) => {
+                    let in_acc = acc.index_of(v);
+                    let out_idx = vars.iter().position(|x| x == v).unwrap();
+                    SlotPlan::Var { in_acc, out_idx }
+                }
+            })
+            .collect();
+
+        let mut out = Bindings { vars, rows: Vec::new() };
+        if slot_plan.iter().any(|s| matches!(s, SlotPlan::Impossible)) {
+            return out;
+        }
+
+        for row in &acc.rows {
+            // Resolve each slot under this row.
+            let mut probe = [None::<TermId>; 3];
+            let mut dead = false;
+            for (i, plan) in slot_plan.iter().enumerate() {
+                match plan {
+                    SlotPlan::Const(id) => probe[i] = Some(*id),
+                    SlotPlan::Var { in_acc: Some(j), .. } => match row[*j] {
+                        Cell::Id(id) => probe[i] = Some(id),
+                        Cell::Foreign(_) => {
+                            dead = true;
+                            break;
+                        }
+                        Cell::Unbound => {}
+                    },
+                    SlotPlan::Var { in_acc: None, .. } => {}
+                    SlotPlan::Impossible => unreachable!(),
+                }
+            }
+            if dead {
+                continue;
+            }
+            let matches = self.store.match_ids(probe[0], probe[1], probe[2]);
+            'matches: for (s, p, o) in matches {
+                let mut new_row: Vec<Cell> = row.clone();
+                new_row.resize(out.vars.len(), Cell::Unbound);
+                let found = [s, p, o];
+                for (i, plan) in slot_plan.iter().enumerate() {
+                    if let SlotPlan::Var { out_idx, .. } = plan {
+                        match new_row[*out_idx] {
+                            Cell::Unbound => new_row[*out_idx] = Cell::Id(found[i]),
+                            Cell::Id(existing) => {
+                                // Same variable twice in one pattern (e.g.
+                                // ?x p ?x) — enforce equality.
+                                if existing != found[i] {
+                                    continue 'matches;
+                                }
+                            }
+                            Cell::Foreign(_) => continue 'matches,
+                        }
+                    }
+                }
+                out.rows.push(new_row);
+            }
+        }
+        out
+    }
+
+    fn eval_left_join(&mut self, left: &Bindings, right: &GraphPattern) -> Bindings {
+        // Correlated per-row OPTIONAL evaluation (equivalent to SPARQL
+        // LeftJoin for well-designed patterns, and far cheaper than
+        // evaluating the optional side over the whole store).
+        let mut out_vars = left.vars.clone();
+        for v in right.in_scope_variables() {
+            if !out_vars.contains(&v) {
+                out_vars.push(v);
+            }
+        }
+        let mut out = Bindings { vars: out_vars, rows: Vec::new() };
+        for row in &left.rows {
+            let seed = Bindings { vars: left.vars.clone(), rows: vec![row.clone()] };
+            let sub = self.eval_pattern(right, seed);
+            if sub.rows.is_empty() {
+                let mut r = row.clone();
+                r.resize(out.vars.len(), Cell::Unbound);
+                out.rows.push(r);
+            } else {
+                for srow in sub.rows {
+                    let mut r = Vec::with_capacity(out.vars.len());
+                    for v in &out.vars {
+                        let cell = sub
+                            .vars
+                            .iter()
+                            .position(|x| x == v)
+                            .map(|i| srow[i])
+                            .or_else(|| left.index_of(v).map(|i| row[i]))
+                            .unwrap_or(Cell::Unbound);
+                        r.push(cell);
+                    }
+                    out.rows.push(r);
+                }
+            }
+        }
+        out
+    }
+
+    /// `BIND(expr AS ?v)`: compute the expression per row; errors leave
+    /// the variable unbound (per the SPARQL spec).
+    fn eval_bind(&mut self, bindings: Bindings, expr: &Expression, var: &Variable) -> Bindings {
+        let mut vars = bindings.vars.clone();
+        let fresh = !vars.contains(var);
+        if fresh {
+            vars.push(var.clone());
+        }
+        let out_idx = vars.iter().position(|x| x == var).unwrap();
+        let mut out = Bindings { vars, rows: Vec::with_capacity(bindings.rows.len()) };
+        for row in bindings.rows {
+            let value = {
+                let mut ctx = RowCtx { eval: self, vars: &bindings.vars, row: &row };
+                crate::expr::eval(expr, &mut ctx).and_then(crate::expr::value_to_term)
+            };
+            let mut new_row = row.clone();
+            if fresh {
+                new_row.push(Cell::Unbound);
+            }
+            match value {
+                Some(t) => {
+                    let cell = self.encode_term(&t);
+                    // Re-binding an already-bound variable must agree
+                    // (SPARQL forbids it syntactically; we enforce equality).
+                    if new_row[out_idx] == Cell::Unbound || new_row[out_idx] == cell {
+                        new_row[out_idx] = cell;
+                        out.rows.push(new_row);
+                    }
+                }
+                None => out.rows.push(new_row),
+            }
+        }
+        out
+    }
+
+    fn eval_filter(&mut self, bindings: Bindings, e: &Expression) -> Bindings {
+        let mut out = Bindings { vars: bindings.vars.clone(), rows: Vec::new() };
+        for row in bindings.rows {
+            let keep = {
+                let mut ctx = RowCtx { eval: self, vars: &bindings.vars, row: &row };
+                eval_ebv(e, &mut ctx)
+            };
+            if keep {
+                out.rows.push(row);
+            }
+        }
+        out
+    }
+}
+
+enum SlotPlan {
+    Const(TermId),
+    Impossible,
+    Var { in_acc: Option<usize>, out_idx: usize },
+}
+
+/// Expression context for one row: variable lookup plus correlated EXISTS.
+struct RowCtx<'a, 'b> {
+    eval: &'a mut Evaluator<'b>,
+    vars: &'a [Variable],
+    row: &'a [Cell],
+}
+
+impl ExprContext for RowCtx<'_, '_> {
+    fn value_of(&self, v: &Variable) -> Option<Term> {
+        let i = self.vars.iter().position(|x| x == v)?;
+        self.eval.decode_cell(self.row[i])
+    }
+
+    fn exists(&mut self, pattern: &GraphPattern) -> bool {
+        // Seed the inner pattern with the current row (SPARQL's
+        // substitution semantics for EXISTS).
+        let seed =
+            Bindings { vars: self.vars.to_vec(), rows: vec![self.row.to_vec()] };
+        !self.eval.eval_pattern(pattern, seed).rows.is_empty()
+    }
+}
+
+/// SPARQL MINUS: drop a left row when some right row shares at least one
+/// bound variable with it and agrees on every shared bound variable.
+fn minus_bindings(left: Bindings, right: &Bindings) -> Bindings {
+    let shared: Vec<(usize, usize)> = left
+        .vars
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| right.index_of(v).map(|j| (i, j)))
+        .collect();
+    if shared.is_empty() {
+        return left;
+    }
+    let rows = left
+        .rows
+        .into_iter()
+        .filter(|lrow| {
+            !right.rows.iter().any(|rrow| {
+                let mut overlap = false;
+                for &(i, j) in &shared {
+                    match (lrow[i], rrow[j]) {
+                        (Cell::Unbound, _) | (_, Cell::Unbound) => {}
+                        (a, b) if a == b => overlap = true,
+                        _ => return false, // disagree on a shared bound var
+                    }
+                }
+                overlap
+            })
+        })
+        .collect();
+    Bindings { vars: left.vars, rows }
+}
+
+fn union_bindings(a: Bindings, b: Bindings) -> Bindings {
+    let mut vars = a.vars.clone();
+    for v in &b.vars {
+        if !vars.contains(v) {
+            vars.push(v.clone());
+        }
+    }
+    let mut rows = Vec::with_capacity(a.rows.len() + b.rows.len());
+    let pad = |src_vars: &[Variable], row: &[Cell], vars: &[Variable]| -> Vec<Cell> {
+        vars.iter()
+            .map(|v| {
+                src_vars
+                    .iter()
+                    .position(|x| x == v)
+                    .map(|i| row[i])
+                    .unwrap_or(Cell::Unbound)
+            })
+            .collect()
+    };
+    for row in &a.rows {
+        rows.push(pad(&a.vars, row, &vars));
+    }
+    for row in &b.rows {
+        rows.push(pad(&b.vars, row, &vars));
+    }
+    Bindings { vars, rows }
+}
+
+fn join_bindings(a: &Bindings, b: &Bindings) -> Bindings {
+    let shared: Vec<(usize, usize)> = a
+        .vars
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| b.index_of(v).map(|j| (i, j)))
+        .collect();
+    let mut vars = a.vars.clone();
+    let b_extra: Vec<usize> = (0..b.vars.len())
+        .filter(|&j| !a.vars.contains(&b.vars[j]))
+        .collect();
+    for &j in &b_extra {
+        vars.push(b.vars[j].clone());
+    }
+    let mut out = Bindings { vars, rows: Vec::new() };
+
+    // Hash the smaller side on fully-bound shared keys; rows with unbound
+    // shared cells go to a compatibility scan list.
+    let mut table: FxHashMap<Vec<Cell>, Vec<usize>> = FxHashMap::default();
+    let mut loose: Vec<usize> = Vec::new();
+    for (bi, row) in b.rows.iter().enumerate() {
+        let key: Vec<Cell> = shared.iter().map(|&(_, j)| row[j]).collect();
+        if key.contains(&Cell::Unbound) {
+            loose.push(bi);
+        } else {
+            table.entry(key).or_default().push(bi);
+        }
+    }
+    for arow in &a.rows {
+        let key: Vec<Cell> = shared.iter().map(|&(i, _)| arow[i]).collect();
+        let emit = |brow: &Vec<Cell>, out: &mut Bindings| {
+            let mut r = Vec::with_capacity(out.vars.len());
+            for (i, _) in a.vars.iter().enumerate() {
+                let mut cell = arow[i];
+                if cell == Cell::Unbound {
+                    if let Some(j) = b.index_of(&a.vars[i]) {
+                        cell = brow[j];
+                    }
+                }
+                r.push(cell);
+            }
+            for &j in &b_extra {
+                r.push(brow[j]);
+            }
+            out.rows.push(r);
+        };
+        let compatible = |brow: &Vec<Cell>| {
+            shared.iter().all(|&(i, j)| {
+                arow[i] == Cell::Unbound || brow[j] == Cell::Unbound || arow[i] == brow[j]
+            })
+        };
+        if key.contains(&Cell::Unbound) {
+            // Scan everything.
+            for brow in &b.rows {
+                if compatible(brow) {
+                    emit(brow, &mut out);
+                }
+            }
+        } else {
+            if let Some(matches) = table.get(&key) {
+                for &bi in matches {
+                    emit(&b.rows[bi], &mut out);
+                }
+            }
+            for &bi in &loose {
+                if compatible(&b.rows[bi]) {
+                    emit(&b.rows[bi], &mut out);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// SPARQL ORDER BY term ordering: unbound < blank < IRI < literal, then
+/// numeric or lexical within literals.
+fn compare_terms(a: &Option<Term>, b: &Option<Term>) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    fn rank(t: &Option<Term>) -> u8 {
+        match t {
+            None => 0,
+            Some(Term::BlankNode(_)) => 1,
+            Some(Term::Iri(_)) => 2,
+            Some(Term::Literal(_)) => 3,
+        }
+    }
+    let (ra, rb) = (rank(a), rank(b));
+    if ra != rb {
+        return ra.cmp(&rb);
+    }
+    match (a, b) {
+        (Some(Term::Literal(la)), Some(Term::Literal(lb))) => {
+            if let (Some(na), Some(nb)) = (la.as_f64(), lb.as_f64()) {
+                na.partial_cmp(&nb).unwrap_or(Ordering::Equal)
+            } else {
+                la.lexical.cmp(&lb.lexical)
+            }
+        }
+        (Some(x), Some(y)) => x.cmp(y),
+        _ => Ordering::Equal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lusail_rdf::Graph;
+    use lusail_sparql::parse_query;
+
+    /// The two-university decentralized graph of Figure 1 (EP2's data).
+    fn ep2_store() -> Store {
+        let mut g = Graph::new();
+        let ub = |l: &str| format!("http://swat.cse.lehigh.edu/onto/univ-bench.owl#{l}");
+        let e = |l: &str| Term::iri(format!("http://univ2.example.org/{l}"));
+        let mit = Term::iri("http://univ1.example.org/MIT");
+        // Students & advisors at CMU (EP2)
+        g.add_type(e("Kim"), ub("GraduateStudent"));
+        g.add_type(e("Lee"), ub("GraduateStudent"));
+        g.add_type(e("Joy"), ub("AssociateProfessor"));
+        g.add_type(e("Tim"), ub("AssociateProfessor"));
+        g.add_type(e("Ben"), ub("AssociateProfessor"));
+        g.add_type(e("CMU"), ub("University"));
+        g.add_type(e("db"), ub("GraduateCourse"));
+        g.add_type(e("os"), ub("GraduateCourse"));
+        g.add(e("Kim"), Term::iri(ub("advisor")), e("Joy"));
+        g.add(e("Kim"), Term::iri(ub("advisor")), e("Tim"));
+        g.add(e("Lee"), Term::iri(ub("advisor")), e("Ben"));
+        g.add(e("Joy"), Term::iri(ub("teacherOf")), e("db"));
+        g.add(e("Tim"), Term::iri(ub("teacherOf")), e("os"));
+        g.add(e("Ben"), Term::iri(ub("teacherOf")), e("os"));
+        g.add(e("Kim"), Term::iri(ub("takesCourse")), e("db"));
+        g.add(e("Kim"), Term::iri(ub("takesCourse")), e("os"));
+        g.add(e("Lee"), Term::iri(ub("takesCourse")), e("os"));
+        g.add(e("Joy"), Term::iri(ub("PhDDegreeFrom")), e("CMU"));
+        // Tim's PhD is from MIT — an interlink into EP1.
+        g.add(e("Tim"), Term::iri(ub("PhDDegreeFrom")), mit.clone());
+        g.add(e("Ben"), Term::iri(ub("PhDDegreeFrom")), e("CMU"));
+        g.add(e("CMU"), Term::iri(ub("address")), Term::literal("CCCC"));
+        Store::from_graph(&g)
+    }
+
+    fn run(store: &Store, q: &str) -> Relation {
+        let query = parse_query(q).unwrap();
+        Evaluator::new(store).query(&query).into_solutions()
+    }
+
+    const PRE: &str = "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n\
+                       PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n\
+                       PREFIX u2: <http://univ2.example.org/>\n";
+
+    #[test]
+    fn bgp_single_pattern() {
+        let st = ep2_store();
+        let r = run(&st, &format!("{PRE} SELECT ?s WHERE {{ ?s rdf:type ub:GraduateStudent }}"));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn bgp_join_students_with_advisor_courses() {
+        let st = ep2_store();
+        // Students taking a course taught by their advisor: Kim-Joy(db),
+        // Kim-Tim(os), Lee-Ben(os).
+        let r = run(
+            &st,
+            &format!(
+                "{PRE} SELECT ?s ?p WHERE {{ ?s ub:advisor ?p . ?p ub:teacherOf ?c . ?s ub:takesCourse ?c }}"
+            ),
+        );
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn ask_true_and_false() {
+        let st = ep2_store();
+        let t = parse_query(&format!("{PRE} ASK {{ u2:Kim ub:advisor u2:Tim }}")).unwrap();
+        assert!(Evaluator::new(&st).query(&t).into_boolean());
+        let f = parse_query(&format!("{PRE} ASK {{ u2:Tim ub:advisor u2:Kim }}")).unwrap();
+        assert!(!Evaluator::new(&st).query(&f).into_boolean());
+    }
+
+    #[test]
+    fn optional_pads_missing() {
+        let st = ep2_store();
+        // Tim's PhD university (MIT) has no local address; CMU does.
+        let r = run(
+            &st,
+            &format!(
+                "{PRE} SELECT ?p ?u ?a WHERE {{ ?p ub:PhDDegreeFrom ?u OPTIONAL {{ ?u ub:address ?a }} }}"
+            ),
+        );
+        assert_eq!(r.len(), 3);
+        let tim_row = r
+            .rows()
+            .iter()
+            .find(|row| row[1] == Some(Term::iri("http://univ1.example.org/MIT")))
+            .unwrap();
+        assert_eq!(tim_row[2], None);
+        let cmu_rows: Vec<_> = r
+            .rows()
+            .iter()
+            .filter(|row| row[1] == Some(Term::iri("http://univ2.example.org/CMU")))
+            .collect();
+        assert!(cmu_rows.iter().all(|row| row[2] == Some(Term::literal("CCCC"))));
+    }
+
+    #[test]
+    fn union_combines() {
+        let st = ep2_store();
+        let r = run(
+            &st,
+            &format!(
+                "{PRE} SELECT ?x WHERE {{ {{ ?x rdf:type ub:GraduateStudent }} UNION {{ ?x rdf:type ub:AssociateProfessor }} }}"
+            ),
+        );
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn filter_not_exists_check_query() {
+        let st = ep2_store();
+        // The paper's Figure 5 check: professors who are objects of advisor
+        // but never subjects of teacherOf. In EP2 all advisors teach, so
+        // the check returns empty (→ ?P locally joinable here).
+        let r = run(
+            &st,
+            &format!(
+                "{PRE} SELECT ?p WHERE {{ ?s ub:advisor ?p . FILTER NOT EXISTS {{ SELECT ?p WHERE {{ ?p ub:teacherOf ?c }} }} }} LIMIT 1"
+            ),
+        );
+        assert!(r.is_empty());
+        // PhDDegreeFrom objects that never appear as subjects of address:
+        // MIT (remote) → non-empty (→ ?U is a global join variable).
+        let r = run(
+            &st,
+            &format!(
+                "{PRE} SELECT ?u WHERE {{ ?p ub:PhDDegreeFrom ?u . FILTER NOT EXISTS {{ SELECT ?u WHERE {{ ?u ub:address ?a }} }} }} LIMIT 1"
+            ),
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows()[0][0], Some(Term::iri("http://univ1.example.org/MIT")));
+    }
+
+    #[test]
+    fn values_joins_inline_data() {
+        let st = ep2_store();
+        let r = run(
+            &st,
+            &format!(
+                "{PRE} SELECT ?s ?c WHERE {{ ?s ub:takesCourse ?c . VALUES ?s {{ u2:Kim }} }}"
+            ),
+        );
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn values_with_foreign_terms_yields_nothing() {
+        let st = ep2_store();
+        let r = run(
+            &st,
+            &format!(
+                "{PRE} SELECT ?s ?c WHERE {{ ?s ub:takesCourse ?c . VALUES ?s {{ <http://elsewhere/Zoe> }} }}"
+            ),
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn count_aggregate() {
+        let st = ep2_store();
+        let r = run(&st, &format!("{PRE} SELECT (COUNT(*) AS ?c) WHERE {{ ?s ub:advisor ?p }}"));
+        assert_eq!(r.rows()[0][0], Some(Term::integer(3)));
+        let r = run(
+            &st,
+            &format!("{PRE} SELECT (COUNT(DISTINCT ?p) AS ?c) WHERE {{ ?s ub:advisor ?p }}"),
+        );
+        assert_eq!(r.rows()[0][0], Some(Term::integer(3)));
+        let r = run(
+            &st,
+            &format!("{PRE} SELECT (COUNT(DISTINCT ?s) AS ?c) WHERE {{ ?s ub:advisor ?p }}"),
+        );
+        assert_eq!(r.rows()[0][0], Some(Term::integer(2)));
+    }
+
+    #[test]
+    fn distinct_limit_offset_order() {
+        let st = ep2_store();
+        let all = run(
+            &st,
+            &format!("{PRE} SELECT ?s WHERE {{ ?s ub:takesCourse ?c }} ORDER BY ?s"),
+        );
+        assert_eq!(all.len(), 3);
+        let first = all.rows()[0][0].clone();
+        let lim = run(
+            &st,
+            &format!("{PRE} SELECT ?s WHERE {{ ?s ub:takesCourse ?c }} ORDER BY ?s LIMIT 1"),
+        );
+        assert_eq!(lim.rows()[0][0], first);
+        let off = run(
+            &st,
+            &format!(
+                "{PRE} SELECT DISTINCT ?s WHERE {{ ?s ub:takesCourse ?c }} ORDER BY ?s OFFSET 1"
+            ),
+        );
+        assert_eq!(off.len(), 1);
+    }
+
+    #[test]
+    fn filter_comparison_on_literal() {
+        let st = ep2_store();
+        let r = run(
+            &st,
+            &format!("{PRE} SELECT ?u WHERE {{ ?u ub:address ?a . FILTER(?a = \"CCCC\") }}"),
+        );
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn same_var_twice_in_pattern() {
+        let mut g = Graph::new();
+        g.add(Term::iri("http://x/a"), Term::iri("http://x/loves"), Term::iri("http://x/a"));
+        g.add(Term::iri("http://x/a"), Term::iri("http://x/loves"), Term::iri("http://x/b"));
+        let st = Store::from_graph(&g);
+        let r = run(&st, "SELECT ?x WHERE { ?x <http://x/loves> ?x }");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows()[0][0], Some(Term::iri("http://x/a")));
+    }
+
+    #[test]
+    fn variable_predicate() {
+        let st = ep2_store();
+        let r = run(
+            &st,
+            &format!("{PRE} SELECT ?p2 WHERE {{ u2:Kim ?p2 u2:Joy }}"),
+        );
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let st = ep2_store();
+        // Courses taken per student.
+        let r = run(
+            &st,
+            &format!(
+                "{PRE} SELECT ?s (COUNT(?c) AS ?n) WHERE {{ ?s ub:takesCourse ?c }} GROUP BY ?s"
+            ),
+        );
+        assert_eq!(r.len(), 2);
+        let kim = r
+            .rows()
+            .iter()
+            .find(|row| row[0] == Some(Term::iri("http://univ2.example.org/Kim")))
+            .unwrap();
+        assert_eq!(kim[1], Some(Term::integer(2)));
+        // MIN/MAX over literals.
+        let r = run(
+            &st,
+            &format!("{PRE} SELECT (MIN(?a) AS ?lo) (MAX(?a) AS ?hi) WHERE {{ ?u ub:address ?a }}"),
+        );
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows()[0][0], Some(Term::literal("CCCC")));
+        assert_eq!(r.rows()[0][1], Some(Term::literal("CCCC")));
+    }
+
+    #[test]
+    fn bind_extends_rows() {
+        let st = ep2_store();
+        let r = run(
+            &st,
+            &format!(
+                "{PRE} SELECT ?s ?label WHERE {{ ?s ub:advisor ?p . BIND(STR(?s) AS ?label) }}"
+            ),
+        );
+        assert_eq!(r.len(), 3);
+        for row in r.rows() {
+            let s = row[0].as_ref().unwrap().as_iri().unwrap().to_string();
+            assert_eq!(row[1], Some(Term::literal(s)));
+        }
+        // Erroring BIND leaves the variable unbound but keeps the row.
+        let r = run(
+            &st,
+            &format!("{PRE} SELECT ?s ?x WHERE {{ ?s ub:advisor ?p . BIND(?p + 1 AS ?x) }}"),
+        );
+        assert_eq!(r.len(), 3);
+        assert!(r.rows().iter().all(|row| row[1].is_none()));
+    }
+
+    #[test]
+    fn minus_removes_matching() {
+        let st = ep2_store();
+        // Students minus those taking the os course: Kim takes db+os,
+        // Lee takes os → both removed when matching on ?s.
+        let r = run(
+            &st,
+            &format!(
+                "{PRE} SELECT ?s WHERE {{ ?s rdf:type ub:GraduateStudent MINUS {{ ?s ub:takesCourse u2:os }} }}"
+            ),
+        );
+        assert!(r.is_empty());
+        let r = run(
+            &st,
+            &format!(
+                "{PRE} SELECT ?s WHERE {{ ?s rdf:type ub:GraduateStudent MINUS {{ ?s ub:takesCourse u2:db }} }}"
+            ),
+        );
+        // Only Kim takes db → Lee survives.
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows()[0][0], Some(Term::iri("http://univ2.example.org/Lee")));
+        // MINUS with no shared variables removes nothing (SPARQL spec).
+        let r = run(
+            &st,
+            &format!(
+                "{PRE} SELECT ?s WHERE {{ ?s rdf:type ub:GraduateStudent MINUS {{ ?q ub:takesCourse u2:db }} }}"
+            ),
+        );
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn empty_result_keeps_full_header() {
+        let st = ep2_store();
+        let r = run(
+            &st,
+            &format!(
+                "{PRE} SELECT ?s ?x WHERE {{ ?s rdf:type ub:UndergraduateStudent . ?s ub:takesCourse ?x }}"
+            ),
+        );
+        assert!(r.is_empty());
+        assert_eq!(r.vars().len(), 2);
+    }
+}

@@ -1,0 +1,27 @@
+//! # lusail-store
+//!
+//! An in-memory, dictionary-encoded RDF triple store with a full evaluator
+//! for the SPARQL fragment in [`lusail_sparql`]. One `Store` plays the role
+//! that Jena Fuseki or Virtuoso plays in the paper: the *standard, unmodified
+//! engine at each endpoint* that the federated systems talk to.
+//!
+//! Layout follows the classic triple-store design: terms are interned to
+//! dense `u32` ids ([`lusail_rdf::Dictionary`]) and three sorted permutation
+//! indexes (SPO, POS, OSP) answer any triple-pattern access path with a
+//! range scan.
+//!
+//! The evaluator implements bag semantics, `FILTER` expressions (including
+//! correlated `EXISTS` / `NOT EXISTS`, which Lusail's locality check queries
+//! rely on), `OPTIONAL`, `UNION`, `VALUES`, sub-`SELECT`s, `DISTINCT`,
+//! `ORDER BY`, `LIMIT`/`OFFSET`, and the `COUNT` aggregate.
+
+pub mod eval;
+pub mod expr;
+pub mod regex_lite;
+pub mod snapshot;
+pub mod stats;
+pub mod store;
+
+pub use eval::Evaluator;
+pub use stats::StoreStats;
+pub use store::Store;

@@ -1,0 +1,312 @@
+//! A tiny regex engine for SPARQL `REGEX`.
+//!
+//! Supports the subset that federated-benchmark queries actually use:
+//! anchors (`^`, `$`), `.`, `*`, `+`, `?`, character classes (`[abc]`,
+//! `[a-z]`, `[^…]`), escaped metacharacters, and the `i` (case-insensitive)
+//! flag. Unanchored patterns match anywhere in the text, per SPARQL/XPath
+//! semantics. Implemented as a straightforward backtracking matcher —
+//! patterns in the workloads are tiny, so pathological backtracking is not
+//! a concern here.
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    nodes: Vec<Node>,
+    anchored_start: bool,
+    anchored_end: bool,
+    case_insensitive: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Char(char),
+    Any,
+    Class { negated: bool, items: Vec<ClassItem> },
+    Star(Box<Node>),
+    Plus(Box<Node>),
+    Opt(Box<Node>),
+}
+
+#[derive(Debug, Clone)]
+enum ClassItem {
+    Char(char),
+    Range(char, char),
+}
+
+/// A pattern compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError(pub String);
+
+impl std::fmt::Display for RegexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "regex error: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+impl Regex {
+    /// Compile `pattern` with SPARQL-style `flags` (only `i` is supported;
+    /// other flags are ignored).
+    pub fn new(pattern: &str, flags: &str) -> Result<Self, RegexError> {
+        let case_insensitive = flags.contains('i');
+        let mut chars: Vec<char> = pattern.chars().collect();
+        let anchored_start = chars.first() == Some(&'^');
+        if anchored_start {
+            chars.remove(0);
+        }
+        let anchored_end = chars.last() == Some(&'$') && !ends_with_escaped_dollar(&chars);
+        if anchored_end {
+            chars.pop();
+        }
+        let mut nodes = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let base = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Node::Any
+                }
+                '\\' => {
+                    i += 1;
+                    if i >= chars.len() {
+                        return Err(RegexError("dangling escape".into()));
+                    }
+                    let c = chars[i];
+                    i += 1;
+                    Node::Char(c)
+                }
+                '[' => {
+                    i += 1;
+                    let mut items = Vec::new();
+                    let negated = chars.get(i) == Some(&'^');
+                    if negated {
+                        i += 1;
+                    }
+                    let mut closed = false;
+                    while i < chars.len() {
+                        if chars[i] == ']' {
+                            i += 1;
+                            closed = true;
+                            break;
+                        }
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            *chars.get(i).ok_or_else(|| RegexError("dangling escape".into()))?
+                        } else {
+                            chars[i]
+                        };
+                        i += 1;
+                        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+                            let hi = chars[i + 1];
+                            items.push(ClassItem::Range(lo, hi));
+                            i += 2;
+                        } else {
+                            items.push(ClassItem::Char(lo));
+                        }
+                    }
+                    if !closed {
+                        return Err(RegexError("unterminated character class".into()));
+                    }
+                    Node::Class { negated, items }
+                }
+                '*' | '+' | '?' => return Err(RegexError("quantifier with nothing to repeat".into())),
+                c => {
+                    i += 1;
+                    Node::Char(c)
+                }
+            };
+            let node = match chars.get(i) {
+                Some('*') => {
+                    i += 1;
+                    Node::Star(Box::new(base))
+                }
+                Some('+') => {
+                    i += 1;
+                    Node::Plus(Box::new(base))
+                }
+                Some('?') => {
+                    i += 1;
+                    Node::Opt(Box::new(base))
+                }
+                _ => base,
+            };
+            nodes.push(node);
+        }
+        Ok(Regex { nodes, anchored_start, anchored_end, case_insensitive })
+    }
+
+    /// Does the pattern match anywhere in `text` (or at the anchored
+    /// positions)?
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = if self.case_insensitive {
+            text.chars().flat_map(|c| c.to_lowercase()).collect()
+        } else {
+            text.chars().collect()
+        };
+        let starts: Vec<usize> =
+            if self.anchored_start { vec![0] } else { (0..=chars.len()).collect() };
+        for start in starts {
+            if self.match_here(&chars, start, 0) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn match_here(&self, text: &[char], pos: usize, node_idx: usize) -> bool {
+        if node_idx == self.nodes.len() {
+            return !self.anchored_end || pos == text.len();
+        }
+        match &self.nodes[node_idx] {
+            Node::Star(inner) => {
+                // Greedy with backtracking.
+                let mut reach = pos;
+                while reach < text.len() && self.single(inner, text[reach]) {
+                    reach += 1;
+                }
+                loop {
+                    if self.match_here(text, reach, node_idx + 1) {
+                        return true;
+                    }
+                    if reach == pos {
+                        return false;
+                    }
+                    reach -= 1;
+                }
+            }
+            Node::Plus(inner) => {
+                if pos >= text.len() || !self.single(inner, text[pos]) {
+                    return false;
+                }
+                let mut reach = pos + 1;
+                while reach < text.len() && self.single(inner, text[reach]) {
+                    reach += 1;
+                }
+                loop {
+                    if self.match_here(text, reach, node_idx + 1) {
+                        return true;
+                    }
+                    if reach == pos + 1 {
+                        return false;
+                    }
+                    reach -= 1;
+                }
+            }
+            Node::Opt(inner) => {
+                if pos < text.len()
+                    && self.single(inner, text[pos])
+                    && self.match_here(text, pos + 1, node_idx + 1)
+                {
+                    return true;
+                }
+                self.match_here(text, pos, node_idx + 1)
+            }
+            simple => {
+                pos < text.len()
+                    && self.single(simple, text[pos])
+                    && self.match_here(text, pos + 1, node_idx + 1)
+            }
+        }
+    }
+
+    fn single(&self, node: &Node, c: char) -> bool {
+        let norm = |x: char| {
+            if self.case_insensitive {
+                x.to_lowercase().next().unwrap_or(x)
+            } else {
+                x
+            }
+        };
+        match node {
+            Node::Char(p) => norm(*p) == c,
+            Node::Any => true,
+            Node::Class { negated, items } => {
+                let hit = items.iter().any(|item| match item {
+                    ClassItem::Char(p) => norm(*p) == c,
+                    ClassItem::Range(lo, hi) => (norm(*lo)..=norm(*hi)).contains(&c),
+                });
+                hit != *negated
+            }
+            Node::Star(_) | Node::Plus(_) | Node::Opt(_) => unreachable!("nested quantifier"),
+        }
+    }
+}
+
+fn ends_with_escaped_dollar(chars: &[char]) -> bool {
+    chars.len() >= 2 && chars[chars.len() - 2] == '\\' && chars[chars.len() - 1] == '$'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, flags: &str, text: &str) -> bool {
+        Regex::new(pat, flags).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literal_substring() {
+        assert!(m("bc", "", "abcd"));
+        assert!(!m("bd", "", "abcd"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^ab", "", "abcd"));
+        assert!(!m("^bc", "", "abcd"));
+        assert!(m("cd$", "", "abcd"));
+        assert!(!m("bc$", "", "abcd"));
+        assert!(m("^abcd$", "", "abcd"));
+        assert!(!m("^abcd$", "", "abcde"));
+    }
+
+    #[test]
+    fn case_insensitive_flag() {
+        assert!(m("^AbC", "i", "abcx"));
+        assert!(!m("^AbC", "", "abcx"));
+    }
+
+    #[test]
+    fn dot_and_quantifiers() {
+        assert!(m("a.c", "", "xabcx"));
+        assert!(m("ab*c", "", "ac"));
+        assert!(m("ab*c", "", "abbbc"));
+        assert!(m("ab+c", "", "abbc"));
+        assert!(!m("ab+c", "", "ac"));
+        assert!(m("ab?c", "", "ac"));
+        assert!(m("ab?c", "", "abc"));
+        assert!(m("a.*d", "", "a-x-y-d"));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(m("[abc]x", "", "zbx"));
+        assert!(!m("[abc]x", "", "zdx"));
+        assert!(m("[a-f]9", "", "e9"));
+        assert!(m("[^0-9]z", "", "az"));
+        assert!(!m("[^0-9]z", "", "5z"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m(r"a\.b", "", "xa.bx"));
+        assert!(!m(r"a\.b", "", "xaxbx"));
+        assert!(m(r"\[x\]", "", "[x]"));
+    }
+
+    #[test]
+    fn compile_errors() {
+        assert!(Regex::new("*a", "").is_err());
+        assert!(Regex::new("[abc", "").is_err());
+        assert!(Regex::new("a\\", "").is_err());
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        assert!(m("", "", ""));
+        assert!(m("", "", "anything"));
+        assert!(m("^$", "", ""));
+        assert!(!m("^$", "", "x"));
+    }
+}

@@ -1,0 +1,274 @@
+//! The dictionary-encoded triple store.
+
+use lusail_rdf::{Dictionary, Graph, Term, TermId, Triple};
+use std::collections::BTreeSet;
+
+/// One endpoint's triple store: a dictionary plus three permutation indexes.
+///
+/// Inserts deduplicate (RDF graphs are sets of triples). All query
+/// processing inside the store works on `TermId`s; terms cross the store
+/// boundary only in results.
+#[derive(Debug, Default, Clone)]
+pub struct Store {
+    dict: Dictionary,
+    spo: BTreeSet<(TermId, TermId, TermId)>,
+    pos: BTreeSet<(TermId, TermId, TermId)>,
+    osp: BTreeSet<(TermId, TermId, TermId)>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a store from a graph.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let mut store = Store::new();
+        store.load(graph);
+        store
+    }
+
+    /// Load all triples of a graph.
+    pub fn load(&mut self, graph: &Graph) {
+        for t in graph {
+            self.insert(t);
+        }
+    }
+
+    /// Insert one triple. Returns `true` if it was new.
+    pub fn insert(&mut self, triple: &Triple) -> bool {
+        let s = self.dict.encode(&triple.subject);
+        let p = self.dict.encode(&triple.predicate);
+        let o = self.dict.encode(&triple.object);
+        if self.spo.insert((s, p, o)) {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of (distinct) triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True when the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// The term dictionary.
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// Intern-or-lookup a term id *without* inserting any triple. Returns
+    /// `None` when the term does not occur in this store, which lets
+    /// pattern matching short-circuit to an empty result.
+    pub fn resolve(&self, term: &Term) -> Option<TermId> {
+        self.dict.get(term)
+    }
+
+    /// Decode an id to its term.
+    pub fn decode(&self, id: TermId) -> &Term {
+        self.dict.decode(id)
+    }
+
+    /// Match a triple pattern of optional ids, yielding `(s, p, o)` id
+    /// triples. Chooses the best permutation index for the bound slots.
+    pub fn match_ids(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> Vec<(TermId, TermId, TermId)> {
+        const MIN: TermId = 0;
+        const MAX: TermId = TermId::MAX;
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s, p, o)) {
+                    vec![(s, p, o)]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(s), Some(p), None) => self
+                .spo
+                .range((s, p, MIN)..=(s, p, MAX))
+                .map(|&(a, b, c)| (a, b, c))
+                .collect(),
+            (Some(s), None, None) => self
+                .spo
+                .range((s, MIN, MIN)..=(s, MAX, MAX))
+                .map(|&(a, b, c)| (a, b, c))
+                .collect(),
+            (None, Some(p), Some(o)) => self
+                .pos
+                .range((p, o, MIN)..=(p, o, MAX))
+                .map(|&(p, o, s)| (s, p, o))
+                .collect(),
+            (None, Some(p), None) => self
+                .pos
+                .range((p, MIN, MIN)..=(p, MAX, MAX))
+                .map(|&(p, o, s)| (s, p, o))
+                .collect(),
+            (Some(s), None, Some(o)) => self
+                .osp
+                .range((o, s, MIN)..=(o, s, MAX))
+                .map(|&(o, s, p)| (s, p, o))
+                .collect(),
+            (None, None, Some(o)) => self
+                .osp
+                .range((o, MIN, MIN)..=(o, MAX, MAX))
+                .map(|&(o, s, p)| (s, p, o))
+                .collect(),
+            (None, None, None) => self.spo.iter().map(|&(a, b, c)| (a, b, c)).collect(),
+        }
+    }
+
+    /// Count the matches of a pattern without materializing terms.
+    pub fn count_ids(&self, s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> usize {
+        // BTreeSet ranges don't know their length; counting the iterator is
+        // O(matches) which is fine at our scale.
+        const MIN: TermId = 0;
+        const MAX: TermId = TermId::MAX;
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => usize::from(self.spo.contains(&(s, p, o))),
+            (Some(s), Some(p), None) => self.spo.range((s, p, MIN)..=(s, p, MAX)).count(),
+            (Some(s), None, None) => self.spo.range((s, MIN, MIN)..=(s, MAX, MAX)).count(),
+            (None, Some(p), Some(o)) => self.pos.range((p, o, MIN)..=(p, o, MAX)).count(),
+            (None, Some(p), None) => self.pos.range((p, MIN, MIN)..=(p, MAX, MAX)).count(),
+            (Some(s), None, Some(o)) => self.osp.range((o, s, MIN)..=(o, s, MAX)).count(),
+            (None, None, Some(o)) => self.osp.range((o, MIN, MIN)..=(o, MAX, MAX)).count(),
+            (None, None, None) => self.spo.len(),
+        }
+    }
+
+    /// Match a pattern of optional *terms*; terms unknown to the dictionary
+    /// yield an empty result.
+    pub fn match_terms(
+        &self,
+        s: Option<&Term>,
+        p: Option<&Term>,
+        o: Option<&Term>,
+    ) -> Vec<(TermId, TermId, TermId)> {
+        let resolve = |t: Option<&Term>| -> Result<Option<TermId>, ()> {
+            match t {
+                None => Ok(None),
+                Some(t) => match self.resolve(t) {
+                    Some(id) => Ok(Some(id)),
+                    None => Err(()),
+                },
+            }
+        };
+        match (resolve(s), resolve(p), resolve(o)) {
+            (Ok(s), Ok(p), Ok(o)) => self.match_ids(s, p, o),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Iterate all triples as id-triples in SPO order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = (TermId, TermId, TermId)> + '_ {
+        self.spo.iter().copied()
+    }
+
+    /// All distinct predicate ids.
+    pub fn predicates(&self) -> Vec<TermId> {
+        let mut out = Vec::new();
+        let mut last = None;
+        for &(p, _, _) in &self.pos {
+            if last != Some(p) {
+                out.push(p);
+                last = Some(p);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lusail_rdf::Term;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::iris(format!("http://x/{s}"), format!("http://x/{p}"), format!("http://x/{o}"))
+    }
+
+    fn store() -> Store {
+        let mut st = Store::new();
+        st.insert(&t("a", "p", "b"));
+        st.insert(&t("a", "p", "c"));
+        st.insert(&t("b", "q", "c"));
+        st.insert(&t("c", "p", "b"));
+        st
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut st = store();
+        assert_eq!(st.len(), 4);
+        assert!(!st.insert(&t("a", "p", "b")));
+        assert_eq!(st.len(), 4);
+    }
+
+    #[test]
+    fn all_access_paths_agree() {
+        let st = store();
+        let s = st.resolve(&Term::iri("http://x/a"));
+        let p = st.resolve(&Term::iri("http://x/p"));
+        let o = st.resolve(&Term::iri("http://x/b"));
+        assert_eq!(st.match_ids(s, p, o).len(), 1);
+        assert_eq!(st.match_ids(s, p, None).len(), 2);
+        assert_eq!(st.match_ids(s, None, None).len(), 2);
+        assert_eq!(st.match_ids(None, p, o).len(), 2); // a-p-b, c-p-b
+        assert_eq!(st.match_ids(None, p, None).len(), 3);
+        assert_eq!(st.match_ids(s, None, o).len(), 1);
+        assert_eq!(st.match_ids(None, None, o).len(), 2);
+        assert_eq!(st.match_ids(None, None, None).len(), 4);
+    }
+
+    #[test]
+    fn counts_match_matches() {
+        let st = store();
+        let p = st.resolve(&Term::iri("http://x/p"));
+        for (s, pp, o) in [
+            (None, p, None),
+            (None, None, None),
+            (st.resolve(&Term::iri("http://x/a")), None, None),
+        ] {
+            assert_eq!(st.count_ids(s, pp, o), st.match_ids(s, pp, o).len());
+        }
+    }
+
+    #[test]
+    fn unknown_term_matches_nothing() {
+        let st = store();
+        assert!(st.match_terms(Some(&Term::iri("http://nowhere/z")), None, None).is_empty());
+        assert_eq!(st.resolve(&Term::iri("http://nowhere/z")), None);
+    }
+
+    #[test]
+    fn predicates_listing() {
+        let st = store();
+        let preds: Vec<_> =
+            st.predicates().into_iter().map(|id| st.decode(id).clone()).collect();
+        assert_eq!(preds.len(), 2);
+        assert!(preds.contains(&Term::iri("http://x/p")));
+        assert!(preds.contains(&Term::iri("http://x/q")));
+    }
+
+    #[test]
+    fn match_returns_spo_orientation_from_every_index() {
+        let st = store();
+        // Whatever index serves the lookup, results are (s,p,o).
+        let o = st.resolve(&Term::iri("http://x/c"));
+        for (s, p, oo) in st.match_ids(None, None, o) {
+            assert_eq!(oo, o.unwrap());
+            assert!(st.match_ids(Some(s), Some(p), Some(oo)).len() == 1);
+        }
+    }
+}

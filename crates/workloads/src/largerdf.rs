@@ -1,0 +1,695 @@
+//! A LargeRDFBench-style federation: 13 heterogeneous datasets.
+//!
+//! LargeRDFBench federates 13 real datasets totalling > 1 B triples
+//! (Table 1 of the paper). We reproduce its *structure* at configurable
+//! scale: per-endpoint schemas are distinct (unlike LUBM), the three
+//! LinkedTCGA endpoints dominate the data volume, and the datasets are
+//! interlinked the way the real ones are (`owl:sameAs` into DBpedia,
+//! cross-references from KEGG to ChEBI, gene symbols shared between
+//! LinkedTCGA and Affymetrix, …).
+//!
+//! Queries come in the benchmark's three categories:
+//!
+//! * **S1–S14** (simple): 2–5 triple patterns over 2–3 endpoints.
+//! * **C1–C10** (complex): more triple patterns and advanced clauses —
+//!   `OPTIONAL`, `FILTER`, `UNION`, `DISTINCT`, `LIMIT`. C5 joins two
+//!   *disjoint* subgraphs through a filter variable (unsupported by the
+//!   baselines, exactly as in the paper).
+//! * **B1–B8** (large): large intermediate results; B1 unions two large
+//!   pattern sets; B5 and B6 are disjoint-plus-filter like C5.
+
+use crate::BenchQuery;
+use lusail_rdf::{vocab, Graph, Literal, Term};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Namespaces of the 13 endpoints.
+pub mod ns {
+    pub const TCGA: &str = "http://tcga.example.org/vocab/";
+    pub const TCGA_M: &str = "http://tcga-m.example.org/";
+    pub const TCGA_E: &str = "http://tcga-e.example.org/";
+    pub const TCGA_A: &str = "http://tcga-a.example.org/";
+    pub const CHEBI: &str = "http://chebi.example.org/";
+    pub const DBPEDIA: &str = "http://dbpedia.example.org/";
+    pub const DRUGBANK: &str = "http://drugbank-l.example.org/";
+    pub const GEONAMES: &str = "http://geonames.example.org/";
+    pub const JAMENDO: &str = "http://jamendo.example.org/";
+    pub const KEGG: &str = "http://kegg.example.org/";
+    pub const LINKEDMDB: &str = "http://linkedmdb.example.org/";
+    pub const NYTIMES: &str = "http://nytimes.example.org/";
+    pub const SWDF: &str = "http://swdf.example.org/";
+    pub const AFFYMETRIX: &str = "http://affymetrix.example.org/";
+}
+
+/// Entity counts, scaled by `scale`. Proportions follow Table 1: the two
+/// big LinkedTCGA endpoints dominate, Semantic Web Dog Food is tiny.
+#[derive(Debug, Clone)]
+pub struct LargeRdfConfig {
+    pub scale: f64,
+    pub seed: u64,
+}
+
+impl Default for LargeRdfConfig {
+    fn default() -> Self {
+        LargeRdfConfig { scale: 1.0, seed: 13 }
+    }
+}
+
+impl LargeRdfConfig {
+    fn n(&self, base: usize) -> usize {
+        ((base as f64) * self.scale).ceil().max(1.0) as usize
+    }
+
+    // Base entity counts (scale 1.0 ≈ 25k triples total).
+    pub fn patients(&self) -> usize {
+        self.n(60)
+    }
+    pub fn expr_results(&self) -> usize {
+        self.n(900)
+    }
+    pub fn meth_results(&self) -> usize {
+        self.n(1100)
+    }
+    pub fn chebi_compounds(&self) -> usize {
+        self.n(150)
+    }
+    pub fn dbp_drugs(&self) -> usize {
+        self.n(120)
+    }
+    pub fn dbp_films(&self) -> usize {
+        self.n(100)
+    }
+    pub fn dbp_places(&self) -> usize {
+        self.n(90)
+    }
+    pub fn dbp_persons(&self) -> usize {
+        self.n(90)
+    }
+    pub fn drugs(&self) -> usize {
+        self.n(100)
+    }
+    pub fn geo_places(&self) -> usize {
+        self.n(220)
+    }
+    pub fn artists(&self) -> usize {
+        self.n(40)
+    }
+    pub fn records(&self) -> usize {
+        self.n(160)
+    }
+    pub fn kegg_compounds(&self) -> usize {
+        self.n(130)
+    }
+    pub fn films(&self) -> usize {
+        self.n(110)
+    }
+    pub fn topics(&self) -> usize {
+        self.n(80)
+    }
+    pub fn papers(&self) -> usize {
+        self.n(50)
+    }
+    pub fn genes(&self) -> usize {
+        self.n(120)
+    }
+}
+
+fn iri(ns: &str, local: impl std::fmt::Display) -> Term {
+    Term::iri(format!("{ns}{local}"))
+}
+
+fn big_literal(rng: &mut SmallRng, topic: &str, sentences: usize) -> Term {
+    let mut text = String::new();
+    for s in 0..sentences {
+        text.push_str(&format!(
+            "{topic} paragraph {s}: measurement {:.4}, annotation {}. ",
+            rng.gen_range(0.0..1.0f64),
+            rng.gen_range(0..10_000)
+        ));
+    }
+    Term::literal(text)
+}
+
+/// Gene symbols shared (as literals) by LinkedTCGA and Affymetrix — the
+/// cross-endpoint join used by C9 and B5.
+pub fn gene_symbol(g: usize) -> Term {
+    Term::literal(format!("GENE{g}"))
+}
+
+// ---- generators -----------------------------------------------------
+
+/// LinkedTCGA-A: patient annotations (the small TCGA endpoint).
+pub fn generate_tcga_a(cfg: &LargeRdfConfig) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xA);
+    let mut g = Graph::new();
+    let p = |l: &str| iri(ns::TCGA, l);
+    for i in 0..cfg.patients() {
+        let pat = iri(ns::TCGA_A, format!("patient/{i}"));
+        g.add_type(pat.clone(), format!("{}Patient", ns::TCGA));
+        g.add(pat.clone(), p("bcrPatientBarcode"), Term::literal(format!("TCGA-{i:04}")));
+        g.add(pat.clone(), p("gender"), Term::literal(if i % 2 == 0 { "MALE" } else { "FEMALE" }));
+        g.add(pat.clone(), p("ageAtDiagnosis"), Term::integer(rng.gen_range(25..90)));
+        g.add(
+            pat,
+            p("tumorStatus"),
+            Term::literal(if rng.gen_bool(0.3) { "WITH TUMOR" } else { "TUMOR FREE" }),
+        );
+    }
+    g
+}
+
+/// LinkedTCGA-E: gene expression results (large).
+pub fn generate_tcga_e(cfg: &LargeRdfConfig) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xE);
+    let mut g = Graph::new();
+    let p = |l: &str| iri(ns::TCGA, l);
+    for i in 0..cfg.expr_results() {
+        let r = iri(ns::TCGA_E, format!("result/{i}"));
+        g.add_type(r.clone(), format!("{}ExpressionResult", ns::TCGA));
+        g.add(r.clone(), p("patientRef"), iri(ns::TCGA_A, format!("patient/{}", i % cfg.patients())));
+        g.add(r.clone(), p("geneSymbol"), gene_symbol(i % cfg.genes()));
+        g.add(
+            r,
+            p("expressionValue"),
+            Term::Literal(Literal::double((rng.gen_range(0.0..16.0f64) * 1000.0).round() / 1000.0)),
+        );
+    }
+    g
+}
+
+/// LinkedTCGA-M: methylation results (largest).
+pub fn generate_tcga_m(cfg: &LargeRdfConfig) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x11);
+    let mut g = Graph::new();
+    let p = |l: &str| iri(ns::TCGA, l);
+    for i in 0..cfg.meth_results() {
+        let r = iri(ns::TCGA_M, format!("result/{i}"));
+        g.add_type(r.clone(), format!("{}MethylationResult", ns::TCGA));
+        g.add(r.clone(), p("patientRef"), iri(ns::TCGA_A, format!("patient/{}", i % cfg.patients())));
+        g.add(r.clone(), p("geneSymbol"), gene_symbol(i % cfg.genes()));
+        g.add(
+            r,
+            p("betaValue"),
+            Term::Literal(Literal::double((rng.gen_range(0.0..1.0f64) * 10_000.0).round() / 10_000.0)),
+        );
+    }
+    g
+}
+
+/// ChEBI: chemical compounds.
+pub fn generate_chebi(cfg: &LargeRdfConfig) -> Graph {
+    let mut g = Graph::new();
+    let p = |l: &str| iri(ns::CHEBI, format!("vocab/{l}"));
+    for i in 0..cfg.chebi_compounds() {
+        let c = iri(ns::CHEBI, format!("compound/{i}"));
+        g.add_type(c.clone(), format!("{}vocab/Compound", ns::CHEBI));
+        g.add(c.clone(), p("name"), Term::literal(format!("chebi-compound-{i}")));
+        g.add(c.clone(), p("formula"), Term::literal(format!("C{}H{}O{}", i % 30 + 1, i % 60 + 2, i % 10)));
+        // Masses overlap DrugBank's molecular masses (C5's filter join).
+        g.add(c.clone(), p("mass"), Term::Literal(Literal::double(100.0 + (i as f64) * 1.5)));
+        g.add(c, p("status"), Term::literal(if i % 5 == 0 { "checked" } else { "submitted" }));
+    }
+    g
+}
+
+/// DBpedia subset: drugs, films, places, persons with labels/abstracts.
+pub fn generate_dbpedia(cfg: &LargeRdfConfig) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xDB);
+    let mut g = Graph::new();
+    let p = |l: &str| iri(ns::DBPEDIA, format!("ontology/{l}"));
+    for i in 0..cfg.dbp_drugs() {
+        let d = iri(ns::DBPEDIA, format!("resource/drug_{i}"));
+        g.add_type(d.clone(), format!("{}ontology/Drug", ns::DBPEDIA));
+        g.add(d.clone(), Term::iri(vocab::rdfs::LABEL), Term::Literal(Literal::lang(format!("Drug {i}"), "en")));
+        g.add(d, p("abstract"), big_literal(&mut rng, &format!("drug {i}"), 12));
+    }
+    for i in 0..cfg.dbp_films() {
+        let f = iri(ns::DBPEDIA, format!("resource/film_{i}"));
+        g.add_type(f.clone(), format!("{}ontology/Film", ns::DBPEDIA));
+        g.add(f.clone(), Term::iri(vocab::rdfs::LABEL), Term::Literal(Literal::lang(format!("Film {i}"), "en")));
+        g.add(f.clone(), p("director"), iri(ns::DBPEDIA, format!("resource/person_{}", i % cfg.dbp_persons())));
+        g.add(f, p("releaseYear"), Term::integer(1960 + (i as i64 % 60)));
+    }
+    for i in 0..cfg.dbp_places() {
+        let pl = iri(ns::DBPEDIA, format!("resource/place_{i}"));
+        g.add_type(pl.clone(), format!("{}ontology/Place", ns::DBPEDIA));
+        g.add(pl.clone(), Term::iri(vocab::rdfs::LABEL), Term::Literal(Literal::lang(format!("Place {i}"), "en")));
+        g.add(pl, p("country"), Term::literal(format!("Country{}", i % 20)));
+    }
+    for i in 0..cfg.dbp_persons() {
+        let pe = iri(ns::DBPEDIA, format!("resource/person_{i}"));
+        g.add_type(pe.clone(), format!("{}ontology/Person", ns::DBPEDIA));
+        g.add(pe, Term::iri(vocab::rdfs::LABEL), Term::Literal(Literal::lang(format!("Person {i}"), "en")));
+    }
+    g
+}
+
+/// DrugBank (LargeRDFBench variant): links into DBpedia and KEGG.
+pub fn generate_drugbank(cfg: &LargeRdfConfig) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xDD);
+    let mut g = Graph::new();
+    let p = |l: &str| iri(ns::DRUGBANK, format!("vocab/{l}"));
+    for i in 0..cfg.drugs() {
+        let d = iri(ns::DRUGBANK, format!("drug/{i}"));
+        g.add_type(d.clone(), format!("{}vocab/Drug", ns::DRUGBANK));
+        g.add(d.clone(), p("brandName"), Term::literal(format!("Brand{i}")));
+        g.add(d.clone(), p("casRegistryNumber"), Term::literal(format!("{}-{}-{}", 100 + i, i % 89, i % 7)));
+        g.add(d.clone(), p("keggCompoundId"), iri(ns::KEGG, format!("compound/{}", i % cfg.kegg_compounds())));
+        g.add(d.clone(), Term::iri(vocab::owl::SAME_AS), iri(ns::DBPEDIA, format!("resource/drug_{}", i % cfg.dbp_drugs())));
+        g.add(d.clone(), p("molecularMass"), Term::Literal(Literal::double(100.0 + (i as f64) * 1.5)));
+        g.add(d.clone(), p("description"), big_literal(&mut rng, &format!("Drug {i}"), 10));
+        if rng.gen_bool(0.5) {
+            g.add(d, p("target"), iri(ns::DRUGBANK, format!("target/{}", i % 25)));
+        }
+    }
+    for t in 0..25 {
+        let target = iri(ns::DRUGBANK, format!("target/{t}"));
+        g.add_type(target.clone(), format!("{}vocab/Target", ns::DRUGBANK));
+        g.add(target, p("targetName"), Term::literal(format!("Target{t}")));
+    }
+    g
+}
+
+/// GeoNames: places with populations.
+pub fn generate_geonames(cfg: &LargeRdfConfig) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x9E);
+    let mut g = Graph::new();
+    let p = |l: &str| iri(ns::GEONAMES, format!("ontology/{l}"));
+    for i in 0..cfg.geo_places() {
+        let pl = iri(ns::GEONAMES, format!("place/{i}"));
+        g.add_type(pl.clone(), format!("{}ontology/Feature", ns::GEONAMES));
+        g.add(pl.clone(), p("name"), Term::literal(format!("Geo Place {i}")));
+        g.add(pl.clone(), p("population"), Term::integer(rng.gen_range(100..5_000_000)));
+        g.add(pl.clone(), p("parentCountry"), iri(ns::GEONAMES, format!("country/{}", i % 20)));
+        if i % 3 == 0 {
+            g.add(
+                pl.clone(),
+                Term::iri(vocab::owl::SAME_AS),
+                iri(ns::DBPEDIA, format!("resource/place_{}", i % cfg.dbp_places())),
+            );
+        }
+        if rng.gen_bool(0.4) {
+            g.add(pl, p("alternateName"), Term::literal(format!("Alt name {i}")));
+        }
+    }
+    g
+}
+
+/// Jamendo: music records and artists based near GeoNames places.
+pub fn generate_jamendo(cfg: &LargeRdfConfig) -> Graph {
+    let mut g = Graph::new();
+    let p = |l: &str| iri(ns::JAMENDO, format!("vocab/{l}"));
+    for a in 0..cfg.artists() {
+        let artist = iri(ns::JAMENDO, format!("artist/{a}"));
+        g.add_type(artist.clone(), format!("{}vocab/MusicArtist", ns::JAMENDO));
+        g.add(artist.clone(), p("name"), Term::literal(format!("Artist {a}")));
+        g.add(artist, p("basedNear"), iri(ns::GEONAMES, format!("place/{}", a % cfg.geo_places())));
+    }
+    for r in 0..cfg.records() {
+        let rec = iri(ns::JAMENDO, format!("record/{r}"));
+        g.add_type(rec.clone(), format!("{}vocab/Record", ns::JAMENDO));
+        g.add(rec.clone(), p("maker"), iri(ns::JAMENDO, format!("artist/{}", r % cfg.artists())));
+        g.add(rec.clone(), p("title"), Term::literal(format!("Record {r}")));
+        g.add(rec, p("date"), Term::integer(2001 + (r as i64 % 19)));
+    }
+    g
+}
+
+/// KEGG: compounds cross-referencing ChEBI.
+pub fn generate_kegg(cfg: &LargeRdfConfig) -> Graph {
+    let mut g = Graph::new();
+    let p = |l: &str| iri(ns::KEGG, format!("vocab/{l}"));
+    for i in 0..cfg.kegg_compounds() {
+        let c = iri(ns::KEGG, format!("compound/{i}"));
+        g.add_type(c.clone(), format!("{}vocab/Compound", ns::KEGG));
+        g.add(c.clone(), p("xref"), iri(ns::CHEBI, format!("compound/{}", i % cfg.chebi_compounds())));
+        g.add(c.clone(), p("formula"), Term::literal(format!("C{}H{}", i % 25 + 1, i % 50 + 2)));
+        g.add(c.clone(), p("mass"), Term::Literal(Literal::double(80.0 + (i as f64) * 2.1)));
+        g.add(c, p("pathway"), iri(ns::KEGG, format!("pathway/{}", i % 15)));
+    }
+    for e in 0..cfg.kegg_compounds() / 4 {
+        let enz = iri(ns::KEGG, format!("enzyme/{e}"));
+        g.add_type(enz.clone(), format!("{}vocab/Enzyme", ns::KEGG));
+        g.add(enz, p("catalyzes"), iri(ns::KEGG, format!("compound/{}", e * 3 % cfg.kegg_compounds())));
+    }
+    g
+}
+
+/// LinkedMDB: films linked to DBpedia.
+pub fn generate_linkedmdb(cfg: &LargeRdfConfig) -> Graph {
+    let mut g = Graph::new();
+    let p = |l: &str| iri(ns::LINKEDMDB, format!("vocab/{l}"));
+    for i in 0..cfg.films() {
+        let f = iri(ns::LINKEDMDB, format!("film/{i}"));
+        g.add_type(f.clone(), format!("{}vocab/Film", ns::LINKEDMDB));
+        g.add(f.clone(), p("title"), Term::literal(format!("Movie {i}")));
+        g.add(f.clone(), p("director"), iri(ns::LINKEDMDB, format!("director/{}", i % 30)));
+        g.add(f.clone(), p("genre"), Term::literal(format!("Genre{}", i % 8)));
+        g.add(
+            f.clone(),
+            Term::iri(vocab::owl::SAME_AS),
+            iri(ns::DBPEDIA, format!("resource/film_{}", i % cfg.dbp_films())),
+        );
+        for a in 0..2 {
+            g.add(f.clone(), p("actor"), iri(ns::LINKEDMDB, format!("actor/{}", (i + a * 7) % 60)));
+        }
+    }
+    g
+}
+
+/// New York Times: topics linked to DBpedia people and places.
+pub fn generate_nytimes(cfg: &LargeRdfConfig) -> Graph {
+    let mut g = Graph::new();
+    let p = |l: &str| iri(ns::NYTIMES, format!("vocab/{l}"));
+    for i in 0..cfg.topics() {
+        let t = iri(ns::NYTIMES, format!("topic/{i}"));
+        g.add_type(t.clone(), format!("{}vocab/Topic", ns::NYTIMES));
+        g.add(t.clone(), p("topicLabel"), Term::literal(format!("Topic {i}")));
+        g.add(t.clone(), p("articleCount"), Term::integer((i as i64 % 300) + 1));
+        let target = if i % 2 == 0 {
+            iri(ns::DBPEDIA, format!("resource/person_{}", i % cfg.dbp_persons()))
+        } else {
+            iri(ns::DBPEDIA, format!("resource/place_{}", i % cfg.dbp_places()))
+        };
+        g.add(t, Term::iri(vocab::owl::SAME_AS), target);
+    }
+    g
+}
+
+/// Semantic Web Dog Food: papers and authors (tiny, as in Table 1).
+pub fn generate_swdf(cfg: &LargeRdfConfig) -> Graph {
+    let mut g = Graph::new();
+    let p = |l: &str| iri(ns::SWDF, format!("vocab/{l}"));
+    for i in 0..cfg.papers() {
+        let paper = iri(ns::SWDF, format!("paper/{i}"));
+        g.add_type(paper.clone(), format!("{}vocab/InProceedings", ns::SWDF));
+        g.add(paper.clone(), p("title"), Term::literal(format!("Paper {i}")));
+        g.add(paper.clone(), p("year"), Term::integer(2001 + (i as i64 % 19)));
+        let author = iri(ns::SWDF, format!("author/{}", i % (cfg.papers() / 2).max(1)));
+        g.add(paper, p("maker"), author.clone());
+        g.add_type(author.clone(), format!("{}vocab/Person", ns::SWDF));
+        g.add(
+            author,
+            Term::iri(vocab::owl::SAME_AS),
+            iri(ns::DBPEDIA, format!("resource/person_{}", i % cfg.dbp_persons())),
+        );
+    }
+    g
+}
+
+/// Affymetrix: probesets with gene symbols shared with LinkedTCGA.
+pub fn generate_affymetrix(cfg: &LargeRdfConfig) -> Graph {
+    let mut g = Graph::new();
+    let p = |l: &str| iri(ns::AFFYMETRIX, format!("vocab/{l}"));
+    for i in 0..cfg.genes() {
+        let probe = iri(ns::AFFYMETRIX, format!("probeset/{i}"));
+        g.add_type(probe.clone(), format!("{}vocab/Probeset", ns::AFFYMETRIX));
+        g.add(probe.clone(), p("symbol"), gene_symbol(i));
+        g.add(probe.clone(), p("chromosome"), Term::literal(format!("chr{}", i % 23 + 1)));
+        g.add(probe, p("xrefKegg"), iri(ns::KEGG, format!("compound/{}", i % cfg.kegg_compounds())));
+    }
+    g
+}
+
+/// All 13 endpoints, named as in Table 1.
+pub fn generate_all(cfg: &LargeRdfConfig) -> Vec<(String, Graph)> {
+    vec![
+        ("LinkedTCGA-M".to_string(), generate_tcga_m(cfg)),
+        ("LinkedTCGA-E".to_string(), generate_tcga_e(cfg)),
+        ("LinkedTCGA-A".to_string(), generate_tcga_a(cfg)),
+        ("ChEBI".to_string(), generate_chebi(cfg)),
+        ("DBPedia-Subset".to_string(), generate_dbpedia(cfg)),
+        ("DrugBank".to_string(), generate_drugbank(cfg)),
+        ("GeoNames".to_string(), generate_geonames(cfg)),
+        ("Jamendo".to_string(), generate_jamendo(cfg)),
+        ("KEGG".to_string(), generate_kegg(cfg)),
+        ("LinkedMDB".to_string(), generate_linkedmdb(cfg)),
+        ("NewYorkTimes".to_string(), generate_nytimes(cfg)),
+        ("SemanticWebDogFood".to_string(), generate_swdf(cfg)),
+        ("Affymetrix".to_string(), generate_affymetrix(cfg)),
+    ]
+}
+
+const PREFIXES: &str = "\
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n\
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n\
+PREFIX owl: <http://www.w3.org/2002/07/owl#>\n\
+PREFIX tcga: <http://tcga.example.org/vocab/>\n\
+PREFIX chebi: <http://chebi.example.org/vocab/>\n\
+PREFIX dbo: <http://dbpedia.example.org/ontology/>\n\
+PREFIX db: <http://drugbank-l.example.org/vocab/>\n\
+PREFIX geo: <http://geonames.example.org/ontology/>\n\
+PREFIX jam: <http://jamendo.example.org/vocab/>\n\
+PREFIX kegg: <http://kegg.example.org/vocab/>\n\
+PREFIX mdb: <http://linkedmdb.example.org/vocab/>\n\
+PREFIX nyt: <http://nytimes.example.org/vocab/>\n\
+PREFIX swdf: <http://swdf.example.org/vocab/>\n\
+PREFIX affy: <http://affymetrix.example.org/vocab/>\n";
+
+fn q(name: &'static str, body: &str) -> BenchQuery {
+    BenchQuery { name, text: format!("{PREFIXES}{body}") }
+}
+
+/// The 14 simple queries.
+pub fn simple_queries() -> Vec<BenchQuery> {
+    vec![
+        q("S1", "SELECT ?drug ?label WHERE {\n?drug rdf:type db:Drug .\n?drug owl:sameAs ?r .\n?r rdfs:label ?label . }"),
+        q("S2", "SELECT ?drug ?formula WHERE {\n?drug db:keggCompoundId ?c .\n?c kegg:formula ?formula . }"),
+        q("S3", "SELECT ?drug ?mass WHERE {\n?drug db:keggCompoundId ?c .\n?c kegg:mass ?mass .\nFILTER(?mass > 150) }"),
+        q("S4", "SELECT ?c ?name WHERE {\n?c kegg:xref ?chebi .\n?chebi chebi:name ?name . }"),
+        q("S5", "SELECT ?topic ?label WHERE {\n?topic rdf:type nyt:Topic .\n?topic owl:sameAs ?r .\n?r rdfs:label ?label . }"),
+        q("S6", "SELECT ?film ?director ?label WHERE {\n?film mdb:director ?director .\n?film owl:sameAs ?r .\n?r rdfs:label ?label . }"),
+        q("S7", "SELECT ?artist ?place ?pop WHERE {\n?artist jam:basedNear ?place .\n?place geo:population ?pop . }"),
+        q("S8", "SELECT ?place ?name WHERE {\n?place geo:parentCountry <http://geonames.example.org/country/3> .\n?place geo:name ?name . }"),
+        q("S9", "SELECT ?paper ?author ?label WHERE {\n?paper swdf:maker ?author .\n?author owl:sameAs ?r .\n?r rdfs:label ?label . }"),
+        q("S10", "SELECT ?c ?mass WHERE {\n?kc kegg:xref ?c .\n?c chebi:mass ?mass .\nFILTER(?mass > 130) }"),
+        q("S11", "SELECT ?topic ?place ?country WHERE {\n?topic owl:sameAs ?place .\n?place rdf:type dbo:Place .\n?place dbo:country ?country . }"),
+        q("S12", "SELECT ?probe ?pathway WHERE {\n?probe affy:xrefKegg ?c .\n?c kegg:pathway ?pathway . }"),
+        // S13/S14: the two "simple" queries with relatively large
+        // intermediate results (the paper: Lusail is fastest on these).
+        q("S13", "SELECT ?drug ?abstract WHERE {\n?drug rdf:type db:Drug .\n?drug owl:sameAs ?r .\n?r dbo:abstract ?abstract . }"),
+        q("S14", "SELECT ?film ?genre ?label WHERE {\n?film mdb:genre ?genre .\n?film owl:sameAs ?r .\n?r rdfs:label ?label . }"),
+    ]
+}
+
+/// The 10 complex queries.
+pub fn complex_queries() -> Vec<BenchQuery> {
+    vec![
+        // C1: a four-endpoint chain with optional target info — heavy for
+        // bound-join engines (FedX times out in the paper).
+        q("C1", "SELECT ?drug ?label ?formula ?chebiName WHERE {\n\
+?drug rdf:type db:Drug .\n\
+?drug owl:sameAs ?r .\n\
+?r rdfs:label ?label .\n\
+?drug db:keggCompoundId ?kc .\n\
+?kc kegg:formula ?formula .\n\
+?kc kegg:xref ?chebi .\n\
+?chebi chebi:name ?chebiName .\n\
+OPTIONAL { ?drug db:target ?t . ?t db:targetName ?tname }\n}"),
+        // C2: highly selective (a handful of results).
+        q("C2", "SELECT ?film ?label ?director ?dlabel WHERE {\n\
+?film owl:sameAs <http://dbpedia.example.org/resource/film_3> .\n\
+<http://dbpedia.example.org/resource/film_3> rdfs:label ?label .\n\
+<http://dbpedia.example.org/resource/film_3> dbo:director ?director .\n\
+?director rdfs:label ?dlabel .\n\
+?film mdb:genre ?genre .\n}"),
+        // C3: DISTINCT over artists near large places.
+        q("C3", "SELECT DISTINCT ?artist ?name ?pop WHERE {\n\
+?artist rdf:type jam:MusicArtist .\n\
+?artist jam:name ?name .\n\
+?artist jam:basedNear ?place .\n\
+?place geo:population ?pop .\n\
+?rec jam:maker ?artist .\n\
+?rec jam:date ?date .\n\
+FILTER(?pop > 1000000)\n}"),
+        // C4: LIMIT 50 — FedX can cut execution short; Lusail computes all
+        // results first (the paper's explanation of C4).
+        q("C4", "SELECT ?film ?title ?label WHERE {\n\
+?film rdf:type mdb:Film .\n\
+?film mdb:title ?title .\n\
+?film owl:sameAs ?r .\n\
+?r rdfs:label ?label .\n\
+?film mdb:actor ?actor .\n} LIMIT 50"),
+        // C5: two disjoint subgraphs joined by a filter variable — only
+        // Lusail evaluates this.
+        q("C5", "SELECT ?drug ?cpd WHERE {\n\
+?drug rdf:type db:Drug .\n\
+?drug db:molecularMass ?w .\n\
+?cpd rdf:type chebi:Compound .\n\
+?cpd chebi:mass ?m .\n\
+FILTER(?w = ?m)\n}"),
+        // C6: UNION over NYT links to persons and places.
+        q("C6", "SELECT ?topic ?label WHERE {\n\
+?topic rdf:type nyt:Topic .\n\
+?topic owl:sameAs ?r .\n\
+{ ?r rdf:type dbo:Person . ?r rdfs:label ?label }\n\
+UNION { ?r rdf:type dbo:Place . ?r rdfs:label ?label }\n}"),
+        // C7: the three TCGA endpoints joined on patient.
+        q("C7", "SELECT ?patient ?age ?ev ?bv WHERE {\n\
+?patient rdf:type tcga:Patient .\n\
+?patient tcga:ageAtDiagnosis ?age .\n\
+?er tcga:patientRef ?patient .\n\
+?er tcga:expressionValue ?ev .\n\
+?mr tcga:patientRef ?patient .\n\
+?mr tcga:betaValue ?bv .\n\
+FILTER(?age > 80)\n}"),
+        // C8: OPTIONAL-heavy geography query.
+        q("C8", "SELECT ?place ?name ?alt WHERE {\n\
+?place rdf:type geo:Feature .\n\
+?place geo:name ?name .\n\
+?place geo:population ?pop .\n\
+OPTIONAL { ?place geo:alternateName ?alt }\n\
+FILTER(?pop > 4000000)\n}"),
+        // C9: the long literal-join chain TCGA → Affymetrix → KEGG →
+        // ChEBI (FedX times out in the paper).
+        q("C9", "SELECT ?er ?gene ?chebiName WHERE {\n\
+?er rdf:type tcga:ExpressionResult .\n\
+?er tcga:geneSymbol ?gene .\n\
+?probe affy:symbol ?gene .\n\
+?probe affy:xrefKegg ?kc .\n\
+?kc kegg:xref ?chebi .\n\
+?chebi chebi:name ?chebiName .\n}"),
+        // C10: scholarly data joined with DBpedia.
+        q("C10", "SELECT DISTINCT ?paper ?title ?plabel WHERE {\n\
+?paper rdf:type swdf:InProceedings .\n\
+?paper swdf:title ?title .\n\
+?paper swdf:year ?year .\n\
+?paper swdf:maker ?author .\n\
+?author owl:sameAs ?person .\n\
+?person rdfs:label ?plabel .\n\
+FILTER(?year >= 2010)\n}"),
+    ]
+}
+
+/// The 8 large (big) queries.
+pub fn big_queries() -> Vec<BenchQuery> {
+    vec![
+        // B1: a UNION between two large result sets (the paper notes B1
+        // performs "a union operation between two sets of triple patterns"
+        // over the largest endpoints).
+        q("B1", "SELECT ?r ?patient ?v WHERE {\n\
+{ ?r rdf:type tcga:ExpressionResult . ?r tcga:patientRef ?patient . ?r tcga:expressionValue ?v }\n\
+UNION { ?r rdf:type tcga:MethylationResult . ?r tcga:patientRef ?patient . ?r tcga:betaValue ?v }\n}"),
+        // B2: big literals (abstracts) for every linked drug.
+        q("B2", "SELECT ?drug ?abstract ?desc WHERE {\n\
+?drug owl:sameAs ?r .\n\
+?r dbo:abstract ?abstract .\n\
+?drug db:description ?desc .\n}"),
+        // B3: low-selectivity filter over the biggest endpoint + patient.
+        q("B3", "SELECT ?er ?patient ?gender ?v WHERE {\n\
+?er tcga:patientRef ?patient .\n\
+?er tcga:expressionValue ?v .\n\
+?patient tcga:gender ?gender .\n\
+FILTER(?v > 0.5)\n}"),
+        // B4: full KEGG × ChEBI join.
+        q("B4", "SELECT ?kc ?chebi ?mass ?formula WHERE {\n\
+?kc kegg:xref ?chebi .\n\
+?kc kegg:formula ?formula .\n\
+?chebi chebi:mass ?mass .\n}"),
+        // B5: disjoint subgraphs + filter over the gene-symbol literals.
+        q("B5", "SELECT ?er ?probe WHERE {\n\
+?er rdf:type tcga:ExpressionResult .\n\
+?er tcga:geneSymbol ?g1 .\n\
+?probe rdf:type affy:Probeset .\n\
+?probe affy:symbol ?g2 .\n\
+FILTER(?g1 = ?g2)\n}"),
+        // B6: disjoint subgraphs + filter on numeric overlap.
+        q("B6", "SELECT ?rec ?paper WHERE {\n\
+?rec rdf:type jam:Record .\n\
+?rec jam:date ?d .\n\
+?paper rdf:type swdf:InProceedings .\n\
+?paper swdf:year ?y .\n\
+FILTER(?d = ?y)\n}"),
+        // B7: all films with actors, genres, and DBpedia labels.
+        q("B7", "SELECT ?film ?actor ?genre ?label WHERE {\n\
+?film mdb:actor ?actor .\n\
+?film mdb:genre ?genre .\n\
+?film owl:sameAs ?r .\n\
+?r rdfs:label ?label .\n}"),
+        // B8: the generic owl:sameAs pattern — relevant to *many*
+        // endpoints; exercises SAPE's delayed subqueries and source
+        // refinement.
+        q("B8", "SELECT ?s ?r ?label WHERE {\n\
+?s owl:sameAs ?r .\n\
+?r rdfs:label ?label .\n}"),
+    ]
+}
+
+/// All queries, labelled, in the order the paper plots them.
+pub fn all_queries() -> Vec<BenchQuery> {
+    let mut out = simple_queries();
+    out.extend(complex_queries());
+    out.extend(big_queries());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_endpoints_with_table1_proportions() {
+        let cfg = LargeRdfConfig::default();
+        let graphs = generate_all(&cfg);
+        assert_eq!(graphs.len(), 13);
+        let size = |name: &str| graphs.iter().find(|(n, _)| n == name).unwrap().1.len();
+        // TCGA-M > TCGA-E > everything else; SWDF smallest-ish.
+        assert!(size("LinkedTCGA-M") > size("LinkedTCGA-E"));
+        assert!(size("LinkedTCGA-E") > size("ChEBI"));
+        assert!(size("SemanticWebDogFood") < size("GeoNames"));
+    }
+
+    #[test]
+    fn scale_parameter_scales() {
+        let small = generate_all(&LargeRdfConfig { scale: 0.5, ..Default::default() });
+        let big = generate_all(&LargeRdfConfig { scale: 2.0, ..Default::default() });
+        let total = |gs: &[(String, Graph)]| gs.iter().map(|(_, g)| g.len()).sum::<usize>();
+        assert!(total(&big) > 3 * total(&small));
+    }
+
+    #[test]
+    fn all_32_queries_parse() {
+        let qs = all_queries();
+        assert_eq!(qs.len(), 14 + 10 + 8);
+        for query in qs {
+            query.parse();
+        }
+    }
+
+    #[test]
+    fn interlinks_resolve() {
+        // Every owl:sameAs object in DrugBank must exist in DBpedia.
+        let cfg = LargeRdfConfig { scale: 0.3, ..Default::default() };
+        let db = generate_drugbank(&cfg);
+        let dbp = generate_dbpedia(&cfg);
+        let dbp_subjects: std::collections::HashSet<&Term> =
+            dbp.iter().map(|t| &t.subject).collect();
+        for t in db.iter() {
+            if t.predicate == Term::iri(vocab::owl::SAME_AS) {
+                assert!(
+                    dbp_subjects.contains(&t.object),
+                    "dangling sameAs link: {}",
+                    t.object
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gene_symbols_shared_between_tcga_and_affymetrix() {
+        let cfg = LargeRdfConfig { scale: 0.3, ..Default::default() };
+        let tcga = generate_tcga_e(&cfg);
+        let affy = generate_affymetrix(&cfg);
+        let affy_symbols: std::collections::HashSet<&Term> = affy
+            .iter()
+            .filter(|t| t.predicate == iri(ns::AFFYMETRIX, "vocab/symbol"))
+            .map(|t| &t.object)
+            .collect();
+        let shared = tcga
+            .iter()
+            .filter(|t| t.predicate == iri(ns::TCGA, "geneSymbol"))
+            .filter(|t| affy_symbols.contains(&t.object))
+            .count();
+        assert!(shared > 0, "no shared gene symbols");
+    }
+}

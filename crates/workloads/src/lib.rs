@@ -1,0 +1,83 @@
+//! # lusail-workloads
+//!
+//! Data generators and query catalogs for the three benchmarks of the
+//! paper's evaluation (Section 5, Table 1), plus the Bio2RDF-style
+//! real-endpoint workload of Table 2:
+//!
+//! * [`lubm`] — the synthetic LUBM university benchmark: N universities,
+//!   one endpoint each, interlinked through `ub:PhDDegreeFrom` /
+//!   `ub:undergraduateDegreeFrom` / `ub:mastersDegreeFrom` edges to other
+//!   universities. Queries Q1–Q4 (the paper's selection: LUBM Q2, Q9, Q13,
+//!   and a Q9 variant that reaches into remote universities).
+//! * [`qfed`] — a QFed-style federation of four life-science datasets
+//!   (DrugBank, Diseasome, Sider, DailyMed analogues) with cross-dataset
+//!   links, and the C2P2 query family with its F / O / B modifiers.
+//! * [`largerdf`] — a LargeRDFBench-style federation of 13 heterogeneous
+//!   datasets (three large TCGA-like ones), with the S (simple), C
+//!   (complex), and B (large) query categories.
+//! * [`bio2rdf`] — five query-log-style queries over Bio2RDF-like
+//!   endpoints.
+//!
+//! All generators are deterministic given a seed and configurable in
+//! scale; defaults are sized so the full benchmark suite runs on one
+//! machine. The real benchmarks' absolute triple counts (Table 1) are
+//! reproduced *proportionally*, not absolutely — see EXPERIMENTS.md.
+
+pub mod bio2rdf;
+pub mod largerdf;
+pub mod lubm;
+pub mod qfed;
+
+use lusail_federation::{
+    EndpointLimits, Federation, NetworkProfile, SimulatedEndpoint, SparqlEndpoint,
+};
+use lusail_rdf::Graph;
+use std::sync::Arc;
+
+/// Wrap named graphs as a federation of simulated endpoints sharing one
+/// network profile.
+pub fn federation_from_graphs(
+    graphs: Vec<(String, Graph)>,
+    profile: NetworkProfile,
+) -> Federation {
+    federation_from_graphs_limited(graphs, profile, EndpointLimits::default())
+}
+
+/// Like [`federation_from_graphs`], with server-side limits on every
+/// endpoint (used by the "real endpoints" experiments: real servers reject
+/// oversized requests and cap result sizes).
+pub fn federation_from_graphs_limited(
+    graphs: Vec<(String, Graph)>,
+    profile: NetworkProfile,
+    limits: EndpointLimits,
+) -> Federation {
+    Federation::new(
+        graphs
+            .into_iter()
+            .map(|(name, g)| {
+                Arc::new(
+                    SimulatedEndpoint::new(name, lusail_store::Store::from_graph(&g), profile)
+                        .with_limits(limits),
+                ) as Arc<dyn SparqlEndpoint>
+            })
+            .collect(),
+    )
+}
+
+/// A named benchmark query.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// The paper's label, e.g. `"Q3"`, `"C2P2BF"`, `"S14"`, `"B1"`.
+    pub name: &'static str,
+    /// The SPARQL text.
+    pub text: String,
+}
+
+impl BenchQuery {
+    /// Parse the query (panicking on malformed catalog entries — those are
+    /// bugs in this crate, covered by tests).
+    pub fn parse(&self) -> lusail_sparql::ast::Query {
+        lusail_sparql::parse_query(&self.text)
+            .unwrap_or_else(|e| panic!("benchmark query {} is malformed: {e}\n{}", self.name, self.text))
+    }
+}

@@ -1,0 +1,519 @@
+//! The LUBM university benchmark, scaled for federation experiments.
+//!
+//! One endpoint per university, identical schema everywhere (the paper's
+//! point: schema-only decomposition cannot form exclusive groups here),
+//! with interlinks through the degree predicates: a professor's or
+//! student's `PhDDegreeFrom` / `undergraduateDegreeFrom` /
+//! `mastersDegreeFrom` sometimes names *another* university's IRI —
+//! exactly the Figure 1 situation that makes `?U` a global join variable.
+
+use crate::BenchQuery;
+use lusail_rdf::{vocab, Graph, Term};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration. The defaults produce ~500 triples per
+/// university; `scale` multiplies the per-department population (the
+/// paper's LUBM universities hold ~138k triples each — reachable with
+/// `scale ≈ 100`, at matching runtime cost).
+#[derive(Debug, Clone)]
+pub struct LubmConfig {
+    pub universities: usize,
+    /// Population multiplier applied to every per-department count.
+    pub scale: f64,
+    pub departments_per_university: usize,
+    /// Professors per rank (full/associate/assistant) per department.
+    pub professors_per_rank: usize,
+    pub grad_students_per_department: usize,
+    pub undergrad_students_per_department: usize,
+    pub grad_courses_per_department: usize,
+    pub courses_per_department: usize,
+    /// Probability that a degree edge points at a *remote* university.
+    pub interlink_probability: f64,
+    pub seed: u64,
+}
+
+impl Default for LubmConfig {
+    fn default() -> Self {
+        LubmConfig {
+            universities: 4,
+            scale: 1.0,
+            departments_per_university: 2,
+            professors_per_rank: 3,
+            grad_students_per_department: 12,
+            undergrad_students_per_department: 8,
+            grad_courses_per_department: 5,
+            courses_per_department: 4,
+            interlink_probability: 0.25,
+            seed: 42,
+        }
+    }
+}
+
+impl LubmConfig {
+    /// A configuration with `n` universities (other knobs default).
+    pub fn with_universities(n: usize) -> Self {
+        LubmConfig { universities: n, ..Default::default() }
+    }
+
+    fn n(&self, base: usize) -> usize {
+        ((base as f64) * self.scale).ceil().max(1.0) as usize
+    }
+
+    /// Professors per rank per department at this scale.
+    pub fn professors(&self) -> usize {
+        self.n(self.professors_per_rank)
+    }
+    /// Graduate students per department at this scale.
+    pub fn grad_students(&self) -> usize {
+        self.n(self.grad_students_per_department)
+    }
+    /// Undergraduates per department at this scale.
+    pub fn undergrads(&self) -> usize {
+        self.n(self.undergrad_students_per_department)
+    }
+    /// Graduate courses per department at this scale.
+    pub fn grad_courses(&self) -> usize {
+        self.n(self.grad_courses_per_department)
+    }
+    /// Undergraduate courses per department at this scale.
+    pub fn courses(&self) -> usize {
+        self.n(self.courses_per_department)
+    }
+}
+
+/// The IRI of university `u`.
+pub fn university_iri(u: usize) -> String {
+    format!("http://univ{u}.example.org/univ")
+}
+
+fn entity(u: usize, local: &str) -> Term {
+    Term::iri(format!("http://univ{u}.example.org/{local}"))
+}
+
+fn ub(local: &str) -> Term {
+    Term::iri(format!("{}{local}", vocab::ub::NS))
+}
+
+/// Generate the dataset of one university endpoint.
+///
+/// Deterministic in `(config.seed, u)`.
+pub fn generate_university(config: &LubmConfig, u: usize) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_mul(1_000_003).wrapping_add(u as u64));
+    let mut g = Graph::new();
+    let univ = Term::iri(university_iri(u));
+    g.add_type(univ.clone(), vocab::ub::UNIVERSITY);
+    g.add(univ.clone(), ub("name"), Term::literal(format!("University{u}")));
+    g.add(univ.clone(), ub("address"), Term::literal(format!("{u} College Road, City{u}")));
+
+    // A degree edge: local university, or a remote one with probability p.
+    let degree_target = |rng: &mut SmallRng| -> Term {
+        if config.universities > 1 && rng.gen_bool(config.interlink_probability) {
+            let mut other = rng.gen_range(0..config.universities);
+            if other == u {
+                other = (other + 1) % config.universities;
+            }
+            Term::iri(university_iri(other))
+        } else {
+            univ.clone()
+        }
+    };
+
+    for d in 0..config.departments_per_university {
+        let dept = entity(u, &format!("dept{d}"));
+        g.add_type(dept.clone(), vocab::ub::DEPARTMENT);
+        g.add(dept.clone(), ub("subOrganizationOf"), univ.clone());
+        g.add(dept.clone(), ub("name"), Term::literal(format!("Department{d}")));
+
+        // Professors of three ranks.
+        let ranks = [
+            ("full", vocab::ub::FULL_PROFESSOR),
+            ("assoc", vocab::ub::ASSOCIATE_PROFESSOR),
+            ("assist", vocab::ub::ASSISTANT_PROFESSOR),
+        ];
+        let mut professors = Vec::new();
+        for (tag, class) in ranks {
+            for i in 0..config.professors() {
+                let prof = entity(u, &format!("d{d}_{tag}_prof{i}"));
+                g.add_type(prof.clone(), class);
+                g.add(prof.clone(), ub("worksFor"), dept.clone());
+                g.add(prof.clone(), ub("name"), Term::literal(format!("Prof_{tag}_{d}_{i}")));
+                g.add(
+                    prof.clone(),
+                    ub("emailAddress"),
+                    Term::literal(format!("{tag}{i}.d{d}@univ{u}.example.org")),
+                );
+                g.add(prof.clone(), ub("PhDDegreeFrom"), degree_target(&mut rng));
+                g.add(prof.clone(), ub("undergraduateDegreeFrom"), degree_target(&mut rng));
+                g.add(prof.clone(), ub("mastersDegreeFrom"), degree_target(&mut rng));
+                g.add(
+                    prof.clone(),
+                    ub("researchInterest"),
+                    Term::literal(format!("Research{}", rng.gen_range(0..20))),
+                );
+                // One or two publications per professor.
+                for pubn in 0..rng.gen_range(1..=2) {
+                    let publication =
+                        entity(u, &format!("d{d}_{tag}_prof{i}_pub{pubn}"));
+                    g.add_type(publication.clone(), format!("{}Publication", vocab::ub::NS));
+                    g.add(publication.clone(), ub("publicationAuthor"), prof.clone());
+                    g.add(
+                        publication,
+                        ub("name"),
+                        Term::literal(format!("Publication {tag}{i}-{pubn} of dept {d}")),
+                    );
+                }
+                professors.push(prof);
+            }
+        }
+
+        // Courses: graduate courses first, then undergraduate ones; each
+        // is taught by one professor.
+        let mut grad_courses = Vec::new();
+        for c in 0..config.grad_courses() {
+            let course = entity(u, &format!("d{d}_gcourse{c}"));
+            g.add_type(course.clone(), vocab::ub::GRADUATE_COURSE);
+            g.add(course.clone(), ub("name"), Term::literal(format!("GradCourse{d}_{c}")));
+            // Anchor: every department's gcourse0 is taught by its first
+            // associate professor, so queries referencing those entities
+            // (the classic LUBM Q1/Q7 shapes) are satisfiable at every
+            // configuration; the rest is random.
+            let teacher = if c == 0 {
+                let first_assoc = config.professors(); // ranks: full then assoc
+                &professors[first_assoc.min(professors.len() - 1)]
+            } else {
+                &professors[rng.gen_range(0..professors.len())]
+            };
+            g.add(teacher.clone(), ub("teacherOf"), course.clone());
+            grad_courses.push(course);
+        }
+        for c in 0..config.courses() {
+            let course = entity(u, &format!("d{d}_course{c}"));
+            g.add_type(course.clone(), vocab::ub::COURSE);
+            g.add(course.clone(), ub("name"), Term::literal(format!("Course{d}_{c}")));
+            let teacher = &professors[rng.gen_range(0..professors.len())];
+            g.add(teacher.clone(), ub("teacherOf"), course.clone());
+        }
+
+        // Graduate students: member of the department, advised by a
+        // professor, taking 1–3 graduate courses. To guarantee the Q2
+        // triangle (student takes a course taught by their advisor) has
+        // answers, each student's first course is one their advisor
+        // teaches when the advisor teaches anything.
+        for s in 0..config.grad_students() {
+            let student = entity(u, &format!("d{d}_gstud{s}"));
+            g.add_type(student.clone(), vocab::ub::GRADUATE_STUDENT);
+            g.add(student.clone(), ub("memberOf"), dept.clone());
+            g.add(student.clone(), ub("name"), Term::literal(format!("GradStudent{d}_{s}")));
+            g.add(
+                student.clone(),
+                ub("emailAddress"),
+                Term::literal(format!("gs{s}.d{d}@univ{u}.example.org")),
+            );
+            g.add(student.clone(), ub("undergraduateDegreeFrom"), degree_target(&mut rng));
+            let advisor = &professors[rng.gen_range(0..professors.len())];
+            g.add(student.clone(), ub("advisor"), advisor.clone());
+            let advisor_courses: Vec<&Term> = g
+                .iter()
+                .filter(|t| t.subject == *advisor && t.predicate == ub("teacherOf"))
+                .map(|t| &t.object)
+                .collect();
+            let mut taken: Vec<Term> = Vec::new();
+            if let Some(c) = advisor_courses.first() {
+                taken.push((*c).clone());
+            }
+            // Anchor: the first graduate student of each department takes
+            // gcourse0 (pairs with the teaching anchor above).
+            if s == 0 {
+                let c0 = grad_courses[0].clone();
+                if !taken.contains(&c0) {
+                    taken.push(c0);
+                }
+            }
+            let extra = rng.gen_range(1..=2);
+            for _ in 0..extra {
+                let c = grad_courses[rng.gen_range(0..grad_courses.len())].clone();
+                if !taken.contains(&c) {
+                    taken.push(c);
+                }
+            }
+            for course in taken {
+                g.add(student.clone(), ub("takesCourse"), course);
+            }
+        }
+
+        // Undergraduate students.
+        for s in 0..config.undergrads() {
+            let student = entity(u, &format!("d{d}_ustud{s}"));
+            g.add_type(student.clone(), vocab::ub::UNDERGRADUATE_STUDENT);
+            g.add(student.clone(), ub("memberOf"), dept.clone());
+            g.add(student.clone(), ub("name"), Term::literal(format!("UgStudent{d}_{s}")));
+            let n_courses = rng.gen_range(1..=2);
+            for _ in 0..n_courses {
+                let c = rng.gen_range(0..config.courses());
+                g.add(student.clone(), ub("takesCourse"), entity(u, &format!("d{d}_course{c}")));
+            }
+        }
+    }
+    g
+}
+
+/// Generate all university graphs of a federation.
+pub fn generate_all(config: &LubmConfig) -> Vec<(String, Graph)> {
+    (0..config.universities)
+        .map(|u| (format!("univ{u}"), generate_university(config, u)))
+        .collect()
+}
+
+/// Total triples across a generated federation (Table 1 reporting).
+pub fn total_triples(graphs: &[(String, Graph)]) -> usize {
+    graphs.iter().map(|(_, g)| g.len()).sum()
+}
+
+const PREFIXES: &str = "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n\
+                        PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n";
+
+/// The paper's LUBM queries. Q1/Q2/Q3 correspond to LUBM Q2/Q9/Q13;
+/// Q4 is the paper's variant of Q9 that also retrieves information from
+/// (possibly remote) universities.
+pub fn queries() -> Vec<BenchQuery> {
+    vec![
+        // Q1 = LUBM Q2: the triangle graduate student / department /
+        // university through memberOf, subOrganizationOf, and
+        // undergraduateDegreeFrom.
+        BenchQuery {
+            name: "Q1",
+            text: format!(
+                "{PREFIXES}SELECT ?x ?y ?z WHERE {{\n\
+                 ?x rdf:type ub:GraduateStudent .\n\
+                 ?y rdf:type ub:University .\n\
+                 ?z rdf:type ub:Department .\n\
+                 ?x ub:memberOf ?z .\n\
+                 ?z ub:subOrganizationOf ?y .\n\
+                 ?x ub:undergraduateDegreeFrom ?y . }}"
+            ),
+        },
+        // Q2 = LUBM Q9: students taking a course taught by their advisor.
+        BenchQuery {
+            name: "Q2",
+            text: format!(
+                "{PREFIXES}SELECT ?x ?y ?z WHERE {{\n\
+                 ?x rdf:type ub:GraduateStudent .\n\
+                 ?z rdf:type ub:GraduateCourse .\n\
+                 ?x ub:advisor ?y .\n\
+                 ?y ub:teacherOf ?z .\n\
+                 ?x ub:takesCourse ?z . }}"
+            ),
+        },
+        // Q3 = LUBM Q13: people whose undergraduate degree is from
+        // university0 — selective, touches only endpoints linking there.
+        BenchQuery {
+            name: "Q3",
+            text: format!(
+                "{PREFIXES}SELECT ?x WHERE {{\n\
+                 ?x rdf:type ub:GraduateStudent .\n\
+                 ?x ub:undergraduateDegreeFrom <{}> . }}",
+                university_iri(0)
+            ),
+        },
+        // Q4: the paper's Q9 variant retrieving extra information from
+        // remote universities (the advisor's alma mater and its address).
+        BenchQuery {
+            name: "Q4",
+            text: format!(
+                "{PREFIXES}SELECT ?x ?y ?u ?a WHERE {{\n\
+                 ?x rdf:type ub:GraduateStudent .\n\
+                 ?x ub:advisor ?y .\n\
+                 ?y ub:teacherOf ?z .\n\
+                 ?x ub:takesCourse ?z .\n\
+                 ?y ub:PhDDegreeFrom ?u .\n\
+                 ?u ub:address ?a . }}"
+            ),
+        },
+    ]
+}
+
+/// The full classic LUBM query mix (Q1–Q14), adapted to this generator's
+/// schema (no OWL inference: `Person`-level classes are expressed as
+/// unions; queries referencing LUBM entities use university 0's IRIs).
+/// The paper's federation experiments use only the multi-endpoint subset
+/// ([`queries`]); this catalog exercises the *endpoint substrate* the way
+/// LUBM exercises a single store.
+pub fn full_queries() -> Vec<BenchQuery> {
+    let univ0 = university_iri(0);
+    let course0 = "http://univ0.example.org/d0_gcourse0";
+    let dept0 = "http://univ0.example.org/dept0";
+    let prof0 = "http://univ0.example.org/d0_assoc_prof0";
+    let q = |name: &'static str, body: String| BenchQuery { name, text: format!("{PREFIXES}{body}") };
+    vec![
+        q("L1", format!(
+            "SELECT ?x WHERE {{ ?x rdf:type ub:GraduateStudent . ?x ub:takesCourse <{course0}> . }}")),
+        q("L2", format!(
+            "SELECT ?x ?y ?z WHERE {{ ?x rdf:type ub:GraduateStudent . ?y rdf:type ub:University .              ?z rdf:type ub:Department . ?x ub:memberOf ?z . ?z ub:subOrganizationOf ?y .              ?x ub:undergraduateDegreeFrom ?y . }}")),
+        q("L3", format!(
+            "SELECT ?x WHERE {{ ?x rdf:type ub:Publication . ?x ub:publicationAuthor <{prof0}> . }}")),
+        q("L4", format!(
+            "SELECT ?x ?name ?email WHERE {{ ?x ub:worksFor <{dept0}> .              ?x rdf:type ub:AssociateProfessor . ?x ub:name ?name . ?x ub:emailAddress ?email . }}")),
+        q("L5", format!(
+            "SELECT ?x WHERE {{ ?x ub:memberOf <{dept0}> . }}")),
+        q("L6", "SELECT ?x WHERE { { ?x rdf:type ub:GraduateStudent } UNION { ?x rdf:type ub:UndergraduateStudent } }".to_string()),
+        q("L7", format!(
+            "SELECT ?x ?y WHERE {{ ?x rdf:type ub:GraduateStudent . <{prof0}> ub:teacherOf ?y .              ?x ub:takesCourse ?y . }}")),
+        q("L8", format!(
+            "SELECT ?x ?y ?email WHERE {{ ?x rdf:type ub:GraduateStudent . ?x ub:memberOf ?y .              ?y ub:subOrganizationOf <{univ0}> . ?x ub:emailAddress ?email . }}")),
+        q("L9", "SELECT ?x ?y ?z WHERE { ?x rdf:type ub:GraduateStudent . ?z rdf:type ub:GraduateCourse . ?x ub:advisor ?y . ?y ub:teacherOf ?z . ?x ub:takesCourse ?z . }".to_string()),
+        q("L10", format!(
+            "SELECT ?x WHERE {{ ?x ub:takesCourse <{course0}> . }}")),
+        q("L11", format!(
+            "SELECT ?x WHERE {{ ?x rdf:type ub:Department . ?x ub:subOrganizationOf <{univ0}> . }}")),
+        q("L12", format!(
+            "SELECT ?x ?y WHERE {{ ?x rdf:type ub:FullProfessor . ?x ub:worksFor ?y .              ?y ub:subOrganizationOf <{univ0}> . }}")),
+        q("L13", format!(
+            "SELECT ?x WHERE {{ ?x rdf:type ub:GraduateStudent . ?x ub:undergraduateDegreeFrom <{univ0}> . }}")),
+        q("L14", "SELECT ?x WHERE { ?x rdf:type ub:UndergraduateStudent . }".to_string()),
+    ]
+}
+
+/// The paper's running-example query Q_a (Figure 2).
+pub fn query_qa() -> BenchQuery {
+    BenchQuery {
+        name: "Qa",
+        text: format!(
+            "{PREFIXES}SELECT ?S ?P ?U ?A WHERE {{\n\
+             ?S ub:advisor ?P .\n\
+             ?P ub:teacherOf ?C .\n\
+             ?S ub:takesCourse ?C .\n\
+             ?P ub:PhDDegreeFrom ?U .\n\
+             ?S rdf:type ub:GraduateStudent .\n\
+             ?C rdf:type ub:GraduateCourse .\n\
+             ?U ub:address ?A . }}"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lusail_federation::NetworkProfile;
+    use lusail_store::{Evaluator, Store};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = LubmConfig::default();
+        let a = generate_university(&cfg, 1);
+        let b = generate_university(&cfg, 1);
+        assert_eq!(a.triples(), b.triples());
+        let other_seed = LubmConfig { seed: 7, ..cfg };
+        let c = generate_university(&other_seed, 1);
+        assert_ne!(a.triples(), c.triples());
+    }
+
+    #[test]
+    fn universities_have_interlinks() {
+        let cfg = LubmConfig { interlink_probability: 0.5, ..Default::default() };
+        let g = generate_university(&cfg, 1);
+        let remote = g
+            .iter()
+            .filter(|t| {
+                t.predicate == ub("PhDDegreeFrom")
+                    && t.object != Term::iri(university_iri(1))
+            })
+            .count();
+        assert!(remote > 0, "expected remote degree edges at p=0.5");
+    }
+
+    #[test]
+    fn zero_interlink_probability_stays_local() {
+        let cfg = LubmConfig { interlink_probability: 0.0, ..Default::default() };
+        let g = generate_university(&cfg, 2);
+        let local = Term::iri(university_iri(2));
+        assert!(g
+            .iter()
+            .filter(|t| t.predicate == ub("PhDDegreeFrom"))
+            .all(|t| t.object == local));
+    }
+
+    #[test]
+    fn queries_parse_and_q2_has_local_answers() {
+        for q in queries() {
+            q.parse();
+        }
+        query_qa().parse();
+        // Q2's triangle must have answers inside a single university.
+        let cfg = LubmConfig::default();
+        let store = Store::from_graph(&generate_university(&cfg, 0));
+        let q2 = &queries()[1];
+        let rel = Evaluator::new(&store).query(&q2.parse()).into_solutions();
+        assert!(!rel.is_empty(), "Q2 must have intra-university answers");
+    }
+
+    #[test]
+    fn q3_has_cross_university_answers() {
+        // Students at other universities with an undergrad degree from
+        // university0 exist at default interlink probability.
+        let cfg = LubmConfig::with_universities(4);
+        let graphs = generate_all(&cfg);
+        let mut found = 0;
+        for (name, g) in &graphs {
+            if name == "univ0" {
+                continue;
+            }
+            found += g
+                .iter()
+                .filter(|t| {
+                    t.predicate == ub("undergraduateDegreeFrom")
+                        && t.object == Term::iri(university_iri(0))
+                })
+                .count();
+        }
+        assert!(found > 0, "no remote students with degree from univ0");
+    }
+
+    #[test]
+    fn full_catalog_parses_and_answers_locally() {
+        // Every classic query must have answers over one university's
+        // store (the substrate-validation role LUBM plays).
+        let cfg = LubmConfig::with_universities(1);
+        let store = Store::from_graph(&generate_university(&cfg, 0));
+        for q in full_queries() {
+            let rel = Evaluator::new(&store).query(&q.parse()).into_solutions();
+            assert!(!rel.is_empty(), "{} must have local answers", q.name);
+        }
+        assert_eq!(full_queries().len(), 14);
+    }
+
+    #[test]
+    fn full_catalog_federates() {
+        use lusail_core::{LusailConfig, LusailEngine};
+        let cfg = LubmConfig::with_universities(2);
+        let graphs = generate_all(&cfg);
+        let fed = crate::federation_from_graphs(graphs, NetworkProfile::instant());
+        let engine = LusailEngine::new(fed, LusailConfig::default());
+        for q in full_queries() {
+            let rel = engine.execute(&q.parse()).unwrap();
+            assert!(!rel.is_empty(), "{} must have federated answers", q.name);
+        }
+    }
+
+    #[test]
+    fn scale_multiplies_population() {
+        let small = generate_university(&LubmConfig::default(), 0).len();
+        let big = generate_university(
+            &LubmConfig { scale: 4.0, ..Default::default() },
+            0,
+        )
+        .len();
+        assert!(big > 3 * small, "{big} vs {small}");
+    }
+
+    #[test]
+    fn federation_builds_and_counts() {
+        let cfg = LubmConfig::with_universities(2);
+        let graphs = generate_all(&cfg);
+        assert_eq!(graphs.len(), 2);
+        let total = total_triples(&graphs);
+        assert!(total > 800, "default scale too small: {total}");
+        let fed = crate::federation_from_graphs(graphs, NetworkProfile::instant());
+        assert_eq!(fed.len(), 2);
+    }
+}

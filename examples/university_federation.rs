@@ -1,0 +1,68 @@
+//! Scenario: a federation of university endpoints (the LUBM workload).
+//!
+//! Generates N universities, each behind its own simulated endpoint, runs
+//! the paper's LUBM queries through Lusail *and* the FedX baseline, and
+//! compares wall-clock time and — the paper's central metric — the number
+//! of remote requests each engine issues.
+//!
+//! Run with: `cargo run --release --example university_federation [-- N]`
+
+use lusail_baselines::{FedX, FedXConfig, FederatedEngine};
+use lusail_core::{LusailConfig, LusailEngine};
+use lusail_federation::NetworkProfile;
+use lusail_workloads::{federation_from_graphs, lubm};
+use std::time::Instant;
+
+fn main() {
+    let universities: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let cfg = lubm::LubmConfig::with_universities(universities);
+    let graphs = lubm::generate_all(&cfg);
+    let total: usize = graphs.iter().map(|(_, g)| g.len()).sum();
+    println!(
+        "Federation: {universities} universities, {total} triples total, shared schema, \
+         {:.0}% of degree edges cross endpoints\n",
+        cfg.interlink_probability * 100.0
+    );
+
+    let lusail = LusailEngine::new(
+        federation_from_graphs(graphs.clone(), NetworkProfile::local_cluster()),
+        LusailConfig::default(),
+    );
+    let fedx = FedX::new(
+        federation_from_graphs(graphs, NetworkProfile::local_cluster()),
+        FedXConfig::default(),
+    );
+
+    println!(
+        "{:<6}{:>10}{:>14}{:>14}{:>14}{:>14}",
+        "query", "rows", "Lusail (ms)", "Lusail reqs", "FedX (ms)", "FedX reqs"
+    );
+    for q in lubm::queries() {
+        let parsed = q.parse();
+
+        lusail.federation().reset_traffic();
+        let t = Instant::now();
+        let lu_rows = lusail.execute(&parsed).expect("lusail succeeds").len();
+        let lu_ms = t.elapsed().as_secs_f64() * 1000.0;
+        let lu_reqs = lusail.federation().total_traffic().requests;
+
+        fedx.federation().reset_traffic();
+        let t = Instant::now();
+        let fx_rows = fedx.execute(&parsed).expect("fedx succeeds").len();
+        let fx_ms = t.elapsed().as_secs_f64() * 1000.0;
+        let fx_reqs = fedx.federation().total_traffic().requests;
+
+        assert_eq!(lu_rows, fx_rows, "engines must agree on {}", q.name);
+        println!(
+            "{:<6}{:>10}{:>14.2}{:>14}{:>14.2}{:>14}",
+            q.name, lu_rows, lu_ms, lu_reqs, fx_ms, fx_reqs
+        );
+    }
+
+    println!(
+        "\nBecause every university shares one schema, FedX cannot form exclusive groups\n\
+         and falls back to bound joins one triple pattern at a time — watch its request\n\
+         column grow with the endpoint count while Lusail's stays near one request per\n\
+         endpoint per subquery. Re-run with more universities to see the gap widen."
+    );
+}

@@ -1,0 +1,36 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use lusail_rdf::Graph;
+use lusail_sparql::ast::Query;
+use lusail_sparql::solution::Relation;
+use lusail_store::{Evaluator, Store};
+
+/// Evaluate a query over the *merged* graph of all endpoints — the ground
+/// truth a federated engine must reproduce (the decentralized graph's
+/// semantics is exactly the union of the endpoint graphs).
+pub fn ground_truth(graphs: &[(String, Graph)], query: &Query) -> Relation {
+    let mut merged = Graph::new();
+    for (_, g) in graphs {
+        merged.extend(g.clone());
+    }
+    let store = Store::from_graph(&merged);
+    Evaluator::new(&store).query(query).into_solutions()
+}
+
+/// Compare two relations as bags, ignoring row and column order.
+pub fn assert_same_solutions(label: &str, actual: &Relation, expected: &Relation) {
+    assert_eq!(
+        actual.len(),
+        expected.len(),
+        "{label}: row count mismatch (actual {} vs expected {})",
+        actual.len(),
+        expected.len()
+    );
+    // Align columns: project the actual onto the expected header order.
+    let projected = actual.project(expected.vars());
+    let mut a: Vec<_> = projected.rows().to_vec();
+    let mut e: Vec<_> = expected.rows().to_vec();
+    a.sort();
+    e.sort();
+    assert_eq!(a, e, "{label}: solution bags differ");
+}

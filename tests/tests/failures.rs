@@ -1,0 +1,124 @@
+//! Failure injection: how the engines behave against endpoints that
+//! enforce real-server operational limits (the paper's Table 2 runs
+//! against real public endpoints, where FedX hits runtime exceptions and
+//! zero-results errors).
+
+use lusail_baselines::{FedX, FedXConfig, FederatedEngine};
+use lusail_core::{EngineError, LusailConfig, LusailEngine};
+use lusail_federation::{EndpointLimits, NetworkProfile};
+use lusail_rdf::{Graph, Term};
+use lusail_sparql::parse_query;
+use lusail_workloads::{federation_from_graphs_limited, largerdf};
+
+fn chain_graphs(n: usize) -> Vec<(String, Graph)> {
+    // Endpoint "left" holds n links with long IRIs; "right" holds many
+    // more details (so SAPE delays the weight subquery and bound-joins it
+    // on the ?d values found on the left).
+    let mut g1 = Graph::new();
+    let mut g2 = Graph::new();
+    for i in 0..n {
+        let left = Term::iri(format!(
+            "http://left.example.org/some/rather/long/entity/path/item-number-{i:05}"
+        ));
+        let right = Term::iri(format!(
+            "http://right.example.org/some/rather/long/entity/path/detail-number-{i:05}"
+        ));
+        g1.add(left.clone(), Term::iri("http://x/linked"), right.clone());
+    }
+    for i in 0..n * 6 {
+        let right = Term::iri(format!(
+            "http://right.example.org/some/rather/long/entity/path/detail-number-{i:05}"
+        ));
+        g2.add(right, Term::iri("http://x/weight"), Term::integer(i as i64));
+    }
+    vec![("left".to_string(), g1), ("right".to_string(), g2)]
+}
+
+const CHAIN_QUERY: &str =
+    "SELECT ?s ?d ?w WHERE { ?s <http://x/linked> ?d . ?d <http://x/weight> ?w }";
+
+#[test]
+fn lusail_respects_request_size_limits_via_block_chunking() {
+    // 600 bindings × ~75-byte IRIs would blow an 8 KiB request in one
+    // VALUES block; byte-capped chunking must keep every request legal.
+    let graphs = chain_graphs(600);
+    let fed = federation_from_graphs_limited(
+        graphs,
+        NetworkProfile::instant(),
+        EndpointLimits { max_request_bytes: Some(8_192), max_result_rows: None },
+    );
+    let engine = LusailEngine::new(fed, LusailConfig::default());
+    let q = parse_query(CHAIN_QUERY).unwrap();
+    let rel = engine.execute(&q).unwrap();
+    assert_eq!(rel.len(), 600);
+}
+
+#[test]
+fn oversized_block_config_surfaces_endpoint_error() {
+    // Sanity check of the failure path itself: with the byte cap lifted
+    // far above the server's limit, the engine must report the endpoint
+    // rejection instead of silently dropping data.
+    let graphs = chain_graphs(600);
+    let fed = federation_from_graphs_limited(
+        graphs,
+        NetworkProfile::instant(),
+        EndpointLimits { max_request_bytes: Some(2_048), max_result_rows: None },
+    );
+    let engine = LusailEngine::new(
+        fed,
+        LusailConfig { bound_block_max_bytes: 1 << 20, ..Default::default() },
+    );
+    let q = parse_query(CHAIN_QUERY).unwrap();
+    match engine.execute(&q) {
+        Err(EngineError::Endpoint(e)) => assert!(e.message.contains("exceeds"), "{e}"),
+        other => panic!("expected endpoint error, got {other:?}"),
+    }
+}
+
+#[test]
+fn fedx_also_propagates_endpoint_errors() {
+    // FedX's grouped query with a large VALUES block (big bind_block_size)
+    // trips the same limit.
+    let graphs = chain_graphs(600);
+    let fed = federation_from_graphs_limited(
+        graphs,
+        NetworkProfile::instant(),
+        EndpointLimits { max_request_bytes: Some(2_048), max_result_rows: None },
+    );
+    let fedx = FedX::new(fed, FedXConfig { bind_block_size: 500, ..Default::default() });
+    let q = parse_query(CHAIN_QUERY).unwrap();
+    assert!(matches!(fedx.execute(&q), Err(EngineError::Endpoint(_))));
+    // With its standard small blocks, FedX stays under the limit.
+    let graphs = chain_graphs(600);
+    let fed = federation_from_graphs_limited(
+        graphs,
+        NetworkProfile::instant(),
+        EndpointLimits { max_request_bytes: Some(2_048), max_result_rows: None },
+    );
+    let fedx = FedX::new(fed, FedXConfig::default());
+    assert_eq!(fedx.execute(&q).unwrap().len(), 600);
+}
+
+#[test]
+fn lusail_answers_c9_under_real_server_limits() {
+    // The Table 2 scenario: LargeRDFBench C9 against endpoints with an
+    // 8 KiB request ceiling. Lusail must still answer correctly.
+    let cfg = largerdf::LargeRdfConfig { scale: 0.5, ..Default::default() };
+    let graphs = largerdf::generate_all(&cfg);
+    let limited = federation_from_graphs_limited(
+        graphs.clone(),
+        NetworkProfile::instant(),
+        EndpointLimits { max_request_bytes: Some(8_192), max_result_rows: Some(100_000) },
+    );
+    let engine = LusailEngine::new(limited, LusailConfig::default());
+    let q = largerdf::all_queries().into_iter().find(|q| q.name == "C9").unwrap().parse();
+    let limited_result = engine.execute(&q).unwrap();
+
+    let unlimited = LusailEngine::new(
+        lusail_workloads::federation_from_graphs(graphs, NetworkProfile::instant()),
+        LusailConfig::default(),
+    );
+    let unlimited_result = unlimited.execute(&q).unwrap();
+    assert_eq!(limited_result.len(), unlimited_result.len());
+    assert!(!limited_result.is_empty());
+}

@@ -1,0 +1,187 @@
+//! Driving LADE's public pieces directly over the paper's Figure 4
+//! scenario, plus SAPE-level behaviours observable through the engine.
+
+use lusail_core::cache::QueryCache;
+use lusail_core::lade::gjv::detect_gjvs;
+use lusail_core::source::select_sources;
+use lusail_core::{LusailConfig, LusailEngine};
+use lusail_federation::{Federation, NetworkProfile, RequestHandler, SimulatedEndpoint, SparqlEndpoint};
+use lusail_rdf::{vocab, Graph, Term};
+use lusail_sparql::ast::{TermPattern, TriplePattern, Variable};
+use lusail_sparql::parse_query;
+use lusail_store::Store;
+use std::sync::Arc;
+
+fn tp(s: &str, p: &str, o: &str) -> TriplePattern {
+    let slot = |x: &str| {
+        if let Some(v) = x.strip_prefix('?') {
+            TermPattern::var(v)
+        } else {
+            TermPattern::iri(x)
+        }
+    };
+    TriplePattern::new(slot(s), slot(p), slot(o))
+}
+
+/// The Figure 1 / Figure 4 data: EP1 has Ann (an advisor who teaches
+/// nothing) and MIT's address; EP2 has the CMU students and Tim's remote
+/// PhD edge.
+fn figure4_federation() -> Federation {
+    let ub = |l: &str| Term::iri(format!("{}{l}", vocab::ub::NS));
+    let u1 = |l: &str| Term::iri(format!("http://univ1.example.org/{l}"));
+    let u2 = |l: &str| Term::iri(format!("http://univ2.example.org/{l}"));
+    let mut g1 = Graph::new();
+    g1.add(u1("MIT"), ub("address"), Term::literal("XXX"));
+    g1.add(u1("Bob"), ub("advisor"), u1("Ann"));
+    g1.add(u1("Bob"), ub("takesCourse"), u1("ml"));
+    g1.add(u1("Ann"), ub("PhDDegreeFrom"), u1("MIT"));
+    // Ann teaches nothing → the advisor/teacherOf check fires at EP1.
+    let mut g2 = Graph::new();
+    g2.add(u2("CMU"), ub("address"), Term::literal("CCCC"));
+    g2.add(u2("Kim"), ub("advisor"), u2("Tim"));
+    g2.add(u2("Kim"), ub("takesCourse"), u2("os"));
+    g2.add(u2("Tim"), ub("teacherOf"), u2("os"));
+    g2.add(u2("Tim"), ub("PhDDegreeFrom"), u1("MIT")); // remote ?U
+    g2.add(u2("Ann2"), ub("teacherOf"), u2("db")); // so EP1..EP2 both have teacherOf
+    Federation::new(vec![
+        Arc::new(SimulatedEndpoint::new("EP1", Store::from_graph(&g1), NetworkProfile::instant()))
+            as Arc<dyn SparqlEndpoint>,
+        Arc::new(SimulatedEndpoint::new("EP2", Store::from_graph(&g2), NetworkProfile::instant()))
+            as Arc<dyn SparqlEndpoint>,
+    ])
+}
+
+fn ub(l: &str) -> String {
+    format!("{}{l}", vocab::ub::NS)
+}
+
+#[test]
+fn figure4_locality_analysis() {
+    let fed = figure4_federation();
+    let handler = RequestHandler::new(4);
+    let patterns = vec![
+        tp("?S", &ub("advisor"), "?P"),       // 0
+        tp("?P", &ub("teacherOf"), "?C"),     // 1
+        tp("?S", &ub("takesCourse"), "?C2"),  // 2 (distinct course var: isolate ?S)
+        tp("?P", &ub("PhDDegreeFrom"), "?U"), // 3
+        tp("?U", &ub("address"), "?A"),       // 4
+    ];
+    let sources = select_sources(&fed, &handler, None, &patterns).unwrap();
+    // advisor exists at both endpoints; so do the others except where not.
+    assert_eq!(sources[0], vec![0, 1]);
+
+    let analysis = detect_gjvs(&fed, &handler, None, &patterns, &sources).unwrap();
+    // Figure 4's verdicts:
+    // ?S: all advisees take courses at their own endpoint → local.
+    assert!(!analysis.is_gjv(&Variable::new("S")), "{:?}", analysis.gjvs);
+    // ?U: Tim's PhD university lives at EP1 → global.
+    assert!(analysis.is_gjv(&Variable::new("U")), "{:?}", analysis.gjvs);
+    // ?P: Ann advises but teaches nothing at EP1 → global (the paper's
+    // "extraneous computation" case — safe but conservative).
+    assert!(analysis.is_gjv(&Variable::new("P")), "{:?}", analysis.gjvs);
+    assert!(analysis.check_queries_sent > 0);
+}
+
+#[test]
+fn check_query_cache_eliminates_repeat_traffic() {
+    let fed = figure4_federation();
+    let handler = RequestHandler::new(4);
+    let cache = QueryCache::new();
+    let patterns = vec![
+        tp("?P", &ub("PhDDegreeFrom"), "?U"),
+        tp("?U", &ub("address"), "?A"),
+    ];
+    let sources = select_sources(&fed, &handler, Some(&cache), &patterns).unwrap();
+    let first = detect_gjvs(&fed, &handler, Some(&cache), &patterns, &sources).unwrap();
+    assert!(first.check_queries_sent > 0);
+    assert_eq!(first.check_cache_hits, 0);
+
+    let second = detect_gjvs(&fed, &handler, Some(&cache), &patterns, &sources).unwrap();
+    assert_eq!(second.check_queries_sent, 0, "all checks must come from cache");
+    assert!(second.check_cache_hits > 0);
+    assert_eq!(first.gjvs, second.gjvs);
+}
+
+#[test]
+fn source_mismatch_detects_gjv_without_checks() {
+    // The paper's Q3 observation: when the pair's source sets differ, the
+    // GJV is detected from source selection alone, no endpoint traffic.
+    let fed = figure4_federation();
+    let handler = RequestHandler::new(4);
+    let patterns = vec![
+        // teacherOf: only EP2. advisor: both.
+        tp("?S", &ub("advisor"), "?P"),
+        tp("?P", &ub("teacherOf"), "?C"),
+    ];
+    let sources = select_sources(&fed, &handler, None, &patterns).unwrap();
+    assert_ne!(sources[0], sources[1]);
+    let before = fed.total_traffic().requests;
+    let analysis = detect_gjvs(&fed, &handler, None, &patterns, &sources).unwrap();
+    assert!(analysis.is_gjv(&Variable::new("P")));
+    assert_eq!(analysis.check_queries_sent, 0);
+    assert_eq!(fed.total_traffic().requests, before, "no check traffic");
+}
+
+#[test]
+fn delayed_subquery_uses_bound_join() {
+    // A generic pattern (all-endpoints type scan) joined with a selective
+    // one: SAPE must delay the generic subquery, and the bound join must
+    // keep the shipped result small. Observable via byte counts.
+    let mut g1 = Graph::new();
+    let mut g2 = Graph::new();
+    for i in 0..300 {
+        // Everyone has a name (generic); only a handful are "special".
+        g1.add(
+            Term::iri(format!("http://a/{i}")),
+            Term::iri("http://x/name"),
+            Term::literal(format!("entity number {i} with a reasonably long label")),
+        );
+    }
+    for i in 0..3 {
+        g2.add(
+            Term::iri(format!("http://a/{i}")),
+            Term::iri("http://x/special"),
+            Term::integer(i),
+        );
+    }
+    let fed = Federation::new(vec![
+        Arc::new(SimulatedEndpoint::new("names", Store::from_graph(&g1), NetworkProfile::instant()))
+            as Arc<dyn SparqlEndpoint>,
+        Arc::new(SimulatedEndpoint::new("special", Store::from_graph(&g2), NetworkProfile::instant()))
+            as Arc<dyn SparqlEndpoint>,
+    ]);
+    let engine = LusailEngine::new(fed, LusailConfig::default());
+    let q = parse_query(
+        "SELECT ?s ?n ?v WHERE { ?s <http://x/name> ?n . ?s <http://x/special> ?v }",
+    )
+    .unwrap();
+    let (rel, profile) = engine.execute_profiled(&q).unwrap();
+    assert_eq!(rel.len(), 3);
+    assert_eq!(profile.delayed, 1, "the generic name subquery must be delayed");
+    // The bound join must not ship all 300 names: well under the full
+    // relation's wire size.
+    let bytes = engine.federation().total_traffic().bytes_received;
+    assert!(
+        bytes < 5_000,
+        "bound join shipped too much: {bytes} bytes (full scan would be ~15kB)"
+    );
+}
+
+#[test]
+fn lusail_handles_empty_federation_members() {
+    // An endpoint with no data must not break anything.
+    let mut g = Graph::new();
+    g.add(Term::iri("http://a/s"), Term::iri("http://x/p"), Term::integer(1));
+    let fed = Federation::new(vec![
+        Arc::new(SimulatedEndpoint::new("full", Store::from_graph(&g), NetworkProfile::instant()))
+            as Arc<dyn SparqlEndpoint>,
+        Arc::new(SimulatedEndpoint::new("empty", Store::new(), NetworkProfile::instant()))
+            as Arc<dyn SparqlEndpoint>,
+    ]);
+    let engine = LusailEngine::new(fed, LusailConfig::default());
+    let q = parse_query("SELECT ?s WHERE { ?s <http://x/p> ?v }").unwrap();
+    assert_eq!(engine.execute(&q).unwrap().len(), 1);
+    // A pattern nothing answers.
+    let q = parse_query("SELECT ?s WHERE { ?s <http://x/nothing> ?v }").unwrap();
+    assert!(engine.execute(&q).unwrap().is_empty());
+}

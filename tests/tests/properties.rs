@@ -1,0 +1,369 @@
+//! Property-based tests over the core data structures and the federated
+//! evaluation pipeline.
+
+use integration::{assert_same_solutions, ground_truth};
+use lusail_core::{LusailConfig, LusailEngine};
+use lusail_federation::NetworkProfile;
+use lusail_rdf::{Dictionary, Graph, Term};
+use lusail_sparql::ast::{
+    Expression, GraphPattern, Projection, Query, SelectQuery, TermPattern, TriplePattern,
+    Variable,
+};
+use lusail_sparql::solution::Relation;
+use lusail_sparql::{parse_query, serializer::serialize_query};
+use lusail_workloads::federation_from_graphs;
+use proptest::prelude::*;
+
+// ---- small strategies --------------------------------------------------
+
+fn arb_iri() -> impl Strategy<Value = Term> {
+    (0usize..12, 0usize..6).prop_map(|(e, ns)| Term::iri(format!("http://ns{ns}.example.org/e{e}")))
+}
+
+fn arb_literal() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        "[a-z]{0,8}".prop_map(Term::literal),
+        (-50i64..50).prop_map(Term::integer),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![3 => arb_iri(), 1 => arb_literal()]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Term> {
+    (0usize..5).prop_map(|p| Term::iri(format!("http://vocab.example.org/p{p}")))
+}
+
+/// Subjects are namespaced per endpoint (`ep`): each endpoint owns its
+/// subjects, as in real decentralized RDF, so no triple is replicated
+/// across endpoints. (With replication, a federation correctly returns
+/// the triple once *per holding endpoint* — bag semantics — while the
+/// merged ground-truth store deduplicates; see the
+/// `duplicate_triples_across_endpoints_preserve_bag_semantics` edge-case
+/// test for that behaviour.)
+fn arb_triple(ep: usize) -> impl Strategy<Value = lusail_rdf::Triple> {
+    (0usize..12, arb_predicate(), arb_term()).prop_map(move |(e, p, o)| lusail_rdf::Triple {
+        subject: Term::iri(format!("http://ep{ep}.example.org/e{e}")),
+        predicate: p,
+        object: o,
+    })
+}
+
+fn arb_graph_for(ep: usize, max: usize) -> impl Strategy<Value = Graph> {
+    proptest::collection::vec(arb_triple(ep), 1..max).prop_map(|ts| ts.into_iter().collect())
+}
+
+/// A connected chain BGP: ?v0 p ?v1 . ?v1 p ?v2 . … (sometimes with a
+/// constant object at the end).
+fn arb_chain_query() -> impl Strategy<Value = Query> {
+    (
+        1usize..4,
+        proptest::collection::vec((0usize..5, any::<bool>()), 1..4),
+        proptest::option::of(arb_term()),
+    )
+        .prop_map(|(_, preds, terminal)| {
+            let mut tps = Vec::new();
+            for (i, (p, flip)) in preds.iter().enumerate() {
+                let subj = TermPattern::var(format!("v{i}"));
+                let obj = TermPattern::var(format!("v{}", i + 1));
+                let pred = TermPattern::iri(format!("http://vocab.example.org/p{p}"));
+                let tp = if *flip {
+                    TriplePattern::new(obj, pred, subj)
+                } else {
+                    TriplePattern::new(subj, pred, obj)
+                };
+                tps.push(tp);
+            }
+            if let Some(t) = terminal {
+                let last = tps.len();
+                tps.push(TriplePattern::new(
+                    TermPattern::var(format!("v{last}")),
+                    TermPattern::iri("http://vocab.example.org/p0"),
+                    TermPattern::Term(t),
+                ));
+            }
+            Query::select(SelectQuery::new(Projection::All, GraphPattern::Bgp(tps)))
+        })
+}
+
+/// A richer query: a chain BGP, optionally extended with an OPTIONAL
+/// block, a numeric FILTER, a UNION arm, or a BIND.
+fn arb_rich_query() -> impl Strategy<Value = Query> {
+    (
+        proptest::collection::vec((0usize..5, any::<bool>()), 1..3),
+        proptest::option::of(0usize..5),          // OPTIONAL predicate
+        proptest::option::of(-20i64..20),         // FILTER bound
+        proptest::option::of(0usize..5),          // UNION arm predicate
+        any::<bool>(),                            // BIND
+    )
+        .prop_map(|(preds, optional, filter, union_arm, bind)| {
+            let mut tps = Vec::new();
+            for (i, (p, flip)) in preds.iter().enumerate() {
+                let subj = TermPattern::var(format!("v{i}"));
+                let obj = TermPattern::var(format!("v{}", i + 1));
+                let pred = TermPattern::iri(format!("http://vocab.example.org/p{p}"));
+                tps.push(if *flip {
+                    TriplePattern::new(obj, pred, subj)
+                } else {
+                    TriplePattern::new(subj, pred, obj)
+                });
+            }
+            let mut pattern = GraphPattern::Bgp(tps);
+            if let Some(p) = optional {
+                let opt = GraphPattern::Bgp(vec![TriplePattern::new(
+                    TermPattern::var("v0"),
+                    TermPattern::iri(format!("http://vocab.example.org/p{p}")),
+                    TermPattern::var("opt"),
+                )]);
+                pattern = GraphPattern::LeftJoin(Box::new(pattern), Box::new(opt));
+            }
+            if let Some(p) = union_arm {
+                let arm = GraphPattern::Bgp(vec![TriplePattern::new(
+                    TermPattern::var("v0"),
+                    TermPattern::iri(format!("http://vocab.example.org/p{p}")),
+                    TermPattern::var("u"),
+                )]);
+                pattern = GraphPattern::Union(Box::new(pattern), Box::new(arm));
+            }
+            if bind {
+                pattern = GraphPattern::Bind(
+                    Box::new(pattern),
+                    Expression::Str(Box::new(Expression::Var(Variable::new("v0")))),
+                    Variable::new("bound"),
+                );
+            }
+            if let Some(b) = filter {
+                pattern = GraphPattern::Filter(
+                    Box::new(pattern),
+                    Expression::Or(
+                        Box::new(Expression::Gt(
+                            Box::new(Expression::Var(Variable::new("v1"))),
+                            Box::new(Expression::Term(Term::integer(b))),
+                        )),
+                        Box::new(Expression::Not(Box::new(Expression::Bound(Variable::new(
+                            "v1",
+                        ))))),
+                    ),
+                );
+            }
+            Query::select(SelectQuery::new(Projection::All, pattern))
+        })
+}
+
+// ---- properties ---------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// The paper's correctness claim, fuzzed: on arbitrary decentralized
+    /// graphs, Lusail's answer equals evaluating the merged graph.
+    #[test]
+    fn lusail_equals_merged_store_on_random_federations(
+        g1 in arb_graph_for(0, 30),
+        g2 in arb_graph_for(1, 30),
+        g3 in arb_graph_for(2, 20),
+        query in arb_chain_query(),
+    ) {
+        let graphs = vec![
+            ("ep0".to_string(), g1),
+            ("ep1".to_string(), g2),
+            ("ep2".to_string(), g3),
+        ];
+        // Arbitrary graphs may repeat instances across endpoints (§3.3
+        // Case 2), so the sound paranoid-locality mode is required for
+        // exact merged-store equality; the default mode is exercised by
+        // the benchmark-workload integration tests, whose data satisfies
+        // the paper's endpoint-exclusivity assumption.
+        let engine = LusailEngine::new(
+            federation_from_graphs(graphs.clone(), NetworkProfile::instant()),
+            LusailConfig { threads: Some(2), paranoid_locality: true, ..Default::default() },
+        );
+        let actual = engine.execute(&query).unwrap();
+        let expected = ground_truth(&graphs, &query);
+        assert_same_solutions("random federation", &actual, &expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Rich query shapes (OPTIONAL / UNION / FILTER / BIND) on random
+    /// federations still match the merged-store ground truth.
+    #[test]
+    fn lusail_rich_queries_match_ground_truth(
+        g1 in arb_graph_for(0, 25),
+        g2 in arb_graph_for(1, 25),
+        query in arb_rich_query(),
+    ) {
+        let graphs = vec![("ep0".to_string(), g1), ("ep1".to_string(), g2)];
+        let engine = LusailEngine::new(
+            federation_from_graphs(graphs.clone(), NetworkProfile::instant()),
+            LusailConfig { threads: Some(2), paranoid_locality: true, ..Default::default() },
+        );
+        let actual = engine.execute(&query).unwrap();
+        let expected = ground_truth(&graphs, &query);
+        assert_same_solutions("rich random federation", &actual, &expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Serializer/parser round trip on generated queries.
+    #[test]
+    fn query_roundtrip(query in arb_chain_query()) {
+        let text = serialize_query(&query);
+        let reparsed = parse_query(&text).unwrap();
+        prop_assert_eq!(query, reparsed);
+    }
+
+    /// Dictionary encode/decode is a bijection on interned terms.
+    #[test]
+    fn dictionary_roundtrip(terms in proptest::collection::vec(arb_term(), 1..50)) {
+        let mut dict = Dictionary::new();
+        let ids: Vec<_> = terms.iter().map(|t| dict.encode(t)).collect();
+        for (t, id) in terms.iter().zip(&ids) {
+            prop_assert_eq!(dict.decode(*id), t);
+            prop_assert_eq!(dict.get(t), Some(*id));
+        }
+        // Distinct terms get distinct ids.
+        let mut unique: Vec<&Term> = Vec::new();
+        for t in &terms {
+            if !unique.contains(&t) {
+                unique.push(t);
+            }
+        }
+        prop_assert_eq!(dict.len(), unique.len());
+    }
+
+    /// N-Triples serialize/parse round trip.
+    #[test]
+    fn ntriples_roundtrip(g in arb_graph_for(0, 40)) {
+        let text = lusail_rdf::ntriples::serialize(&g);
+        let back = lusail_rdf::ntriples::parse(&text).unwrap();
+        prop_assert_eq!(g.triples(), back.triples());
+    }
+
+    /// Join row counts are symmetric, and every output row is compatible
+    /// with the shared variables.
+    #[test]
+    fn join_is_symmetric_in_cardinality(
+        rows_a in proptest::collection::vec((0u8..6, 0u8..6), 0..20),
+        rows_b in proptest::collection::vec((0u8..6, 0u8..6), 0..20),
+    ) {
+        let v = |n: &str| Variable::new(n);
+        let t = |i: u8| Term::integer(i as i64);
+        let mut a = Relation::new(vec![v("x"), v("y")]);
+        for (x, y) in &rows_a {
+            a.push(vec![Some(t(*x)), Some(t(*y))]);
+        }
+        let mut b = Relation::new(vec![v("y"), v("z")]);
+        for (y, z) in &rows_b {
+            b.push(vec![Some(t(*y)), Some(t(*z))]);
+        }
+        let ab = a.join(&b);
+        let ba = b.join(&a);
+        prop_assert_eq!(ab.len(), ba.len());
+        let yi = ab.index_of(&v("y")).unwrap();
+        for row in ab.rows() {
+            prop_assert!(row[yi].is_some());
+        }
+    }
+
+    /// Left join never loses left rows.
+    #[test]
+    fn left_join_preserves_left_cardinality_lower_bound(
+        rows_a in proptest::collection::vec(0u8..6, 1..15),
+        rows_b in proptest::collection::vec((0u8..6, 0u8..6), 0..15),
+    ) {
+        let v = |n: &str| Variable::new(n);
+        let t = |i: u8| Term::integer(i as i64);
+        let mut a = Relation::new(vec![v("x")]);
+        for x in &rows_a {
+            a.push(vec![Some(t(*x))]);
+        }
+        let mut b = Relation::new(vec![v("x"), v("z")]);
+        for (x, z) in &rows_b {
+            b.push(vec![Some(t(*x)), Some(t(*z))]);
+        }
+        let lj = a.left_join(&b);
+        prop_assert!(lj.len() >= a.len());
+        // Every left value appears in the output.
+        let xi = lj.index_of(&v("x")).unwrap();
+        for x in &rows_a {
+            prop_assert!(lj.rows().iter().any(|r| r[xi] == Some(t(*x))));
+        }
+    }
+
+    /// q-error is always ≥ 1 (or infinite) and symmetric.
+    #[test]
+    fn q_error_properties(e in 0usize..1000, a in 0usize..1000) {
+        let q = lusail_core::sape::q_error(e, a);
+        prop_assert!(q >= 1.0);
+        let q_rev = lusail_core::sape::q_error(a, e);
+        prop_assert_eq!(q, q_rev);
+    }
+
+    /// Chauvenet never rejects points of a constant sample, and the
+    /// cleaned mean lies within the sample range.
+    #[test]
+    fn chauvenet_sanity(xs in proptest::collection::vec(0.0f64..1e6, 3..40)) {
+        let outliers = lusail_core::sape::stats::chauvenet_outliers(&xs);
+        prop_assert_eq!(outliers.len(), xs.len());
+        let kept: Vec<f64> = xs.iter().zip(&outliers).filter(|(_, &o)| !o).map(|(&x, _)| x).collect();
+        prop_assert!(!kept.is_empty(), "Chauvenet must not reject everything");
+        let (mu, _) = lusail_core::sape::stats::clean_mean_std(&xs);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mu >= min && mu <= max);
+    }
+
+    /// The tiny regex engine agrees with plain substring search on
+    /// metacharacter-free patterns.
+    #[test]
+    fn regex_matches_contains_for_plain_patterns(
+        pat in "[a-z]{1,6}",
+        text in "[a-z]{0,24}",
+    ) {
+        let re = lusail_store::regex_lite::Regex::new(&pat, "").unwrap();
+        prop_assert_eq!(re.is_match(&text), text.contains(&pat));
+    }
+
+    /// FILTER expression evaluation is deterministic and total (never
+    /// panics) on arbitrary comparison expressions over integers.
+    #[test]
+    fn expressions_are_total(x in -100i64..100, y in -100i64..100, op in 0u8..6) {
+        use lusail_store::expr::{eval_ebv, ExprContext};
+        struct Ctx(i64, i64);
+        impl ExprContext for Ctx {
+            fn value_of(&self, v: &Variable) -> Option<Term> {
+                match v.name() {
+                    "x" => Some(Term::integer(self.0)),
+                    "y" => Some(Term::integer(self.1)),
+                    _ => None,
+                }
+            }
+            fn exists(&mut self, _p: &GraphPattern) -> bool { false }
+        }
+        let lhs = Box::new(Expression::Var(Variable::new("x")));
+        let rhs = Box::new(Expression::Var(Variable::new("y")));
+        let e = match op {
+            0 => Expression::Eq(lhs, rhs),
+            1 => Expression::Ne(lhs, rhs),
+            2 => Expression::Lt(lhs, rhs),
+            3 => Expression::Le(lhs, rhs),
+            4 => Expression::Gt(lhs, rhs),
+            _ => Expression::Ge(lhs, rhs),
+        };
+        let expected = match op {
+            0 => x == y,
+            1 => x != y,
+            2 => x < y,
+            3 => x <= y,
+            4 => x > y,
+            _ => x >= y,
+        };
+        prop_assert_eq!(eval_ebv(&e, &mut Ctx(x, y)), expected);
+    }
+}
