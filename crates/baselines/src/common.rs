@@ -152,7 +152,9 @@ fn evaluate_unbound(
     group: &GroupPlan,
 ) -> Result<Relation, EngineError> {
     let q = group.to_query(None);
-    let results = handler.map(group.sources.clone(), |ep| federation.endpoint(ep).select(&q));
+    let results = handler.map(group.sources.clone(), |ep| {
+        federation.endpoint(ep).select(&q)
+    });
     let mut out = Relation::new(group.variables());
     for rel in results {
         out.append(rel?);
@@ -180,8 +182,9 @@ fn evaluate_bound(
     for block in rows.chunks(opts.block_size.max(1)) {
         check_deadline(deadline, opts)?;
         let q = group.to_query(Some((shared, block)));
-        let results =
-            handler.map(group.sources.clone(), |ep| federation.endpoint(ep).select(&q));
+        let results = handler.map(group.sources.clone(), |ep| {
+            federation.endpoint(ep).select(&q)
+        });
         for rel in results {
             out.append(rel?.project(out.vars()));
         }
@@ -269,7 +272,10 @@ pub fn apply_bind(rel: Relation, expr: &Expression, var: &Variable) -> Relation 
     let mut out = Relation::new(vars);
     for row in rel.rows() {
         let value = {
-            let mut ctx = RowCtx { vars: rel.vars(), row };
+            let mut ctx = RowCtx {
+                vars: rel.vars(),
+                row,
+            };
             lusail_store::expr::eval(expr, &mut ctx).and_then(lusail_store::expr::value_to_term)
         };
         let mut new_row = row.clone();
@@ -285,7 +291,11 @@ pub fn apply_bind(rel: Relation, expr: &Expression, var: &Variable) -> Relation 
 /// Apply the outer `SELECT`'s solution modifiers to an assembled relation.
 pub fn finalize_select(select: &SelectQuery, mut result: Relation) -> Relation {
     match &select.projection {
-        Projection::Count { inner, distinct, as_var } => {
+        Projection::Count {
+            inner,
+            distinct,
+            as_var,
+        } => {
             let n = match inner {
                 None => {
                     if *distinct {
@@ -309,12 +319,8 @@ pub fn finalize_select(select: &SelectQuery, mut result: Relation) -> Relation {
             return rel;
         }
         Projection::Aggregate { keys, aggs } => {
-            result = lusail_sparql::aggregate::aggregate_relation(
-                &result,
-                &select.group_by,
-                keys,
-                aggs,
-            );
+            result =
+                lusail_sparql::aggregate::aggregate_relation(&result, &select.group_by, keys, aggs);
         }
         Projection::Vars(vs) => {
             result = result.project(vs);
@@ -322,8 +328,11 @@ pub fn finalize_select(select: &SelectQuery, mut result: Relation) -> Relation {
         Projection::All => {}
     }
     if !select.order_by.is_empty() {
-        let idx: Vec<(Option<usize>, bool)> =
-            select.order_by.iter().map(|(v, asc)| (result.index_of(v), *asc)).collect();
+        let idx: Vec<(Option<usize>, bool)> = select
+            .order_by
+            .iter()
+            .map(|(v, asc)| (result.index_of(v), *asc))
+            .collect();
         result.rows_mut().sort_by(|a, b| {
             for (i, asc) in &idx {
                 if let Some(i) = i {
@@ -448,7 +457,11 @@ mod tests {
     #[test]
     fn lusail_implements_trait() {
         let mut g = Graph::new();
-        g.add(Term::iri("http://x/s"), Term::iri("http://x/p"), Term::iri("http://x/o"));
+        g.add(
+            Term::iri("http://x/s"),
+            Term::iri("http://x/p"),
+            Term::iri("http://x/o"),
+        );
         let fed = Federation::new(vec![Arc::new(SimulatedEndpoint::new(
             "ep",
             Store::from_graph(&g),
@@ -466,17 +479,11 @@ mod tests {
     fn component_counting() {
         assert_eq!(connected_pattern_components(&[]), 0);
         assert_eq!(
-            connected_pattern_components(&[
-                tp("?a", "http://p", "?b"),
-                tp("?b", "http://q", "?c")
-            ]),
+            connected_pattern_components(&[tp("?a", "http://p", "?b"), tp("?b", "http://q", "?c")]),
             1
         );
         assert_eq!(
-            connected_pattern_components(&[
-                tp("?a", "http://p", "?b"),
-                tp("?x", "http://q", "?y")
-            ]),
+            connected_pattern_components(&[tp("?a", "http://p", "?b"), tp("?x", "http://q", "?y")]),
             2
         );
         // Shared constant object connects.

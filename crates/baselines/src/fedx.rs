@@ -15,8 +15,8 @@
 //! the behaviour Lusail's locality-aware decomposition removes.
 
 use crate::common::{
-    apply_filter, connected_pattern_components, execute_groups, finalize_select,
-    union_relations, ExecOptions, FederatedEngine, GroupPlan,
+    apply_filter, connected_pattern_components, execute_groups, finalize_select, union_relations,
+    ExecOptions, FederatedEngine, GroupPlan,
 };
 use lusail_core::cache::QueryCache;
 use lusail_core::normalize::{normalize, ConjBranch};
@@ -42,7 +42,11 @@ pub struct FedXConfig {
 
 impl Default for FedXConfig {
     fn default() -> Self {
-        FedXConfig { bind_block_size: 15, timeout: None, threads: None }
+        FedXConfig {
+            bind_block_size: 15,
+            timeout: None,
+            threads: None,
+        }
     }
 }
 
@@ -68,7 +72,14 @@ impl FedX {
             Some(n) => RequestHandler::new(n),
             None => RequestHandler::per_core(),
         };
-        FedX { federation, config, cache: QueryCache::new(), handler, pruner: None, name: "FedX" }
+        FedX {
+            federation,
+            config,
+            cache: QueryCache::new(),
+            handler,
+            pruner: None,
+            name: "FedX",
+        }
     }
 
     /// FedX with a source-pruning add-on (used by HiBISCuS).
@@ -145,8 +156,7 @@ impl FedX {
             hash_join_threshold: None,
             timeout: self.config.timeout,
         };
-        let mut rel =
-            execute_groups(&self.federation, &self.handler, &groups, deadline, &opts)?;
+        let mut rel = execute_groups(&self.federation, &self.handler, &groups, deadline, &opts)?;
 
         // OPTIONAL groups: bound-evaluate at their sources, left-join.
         for block in &branch.optionals {
@@ -281,10 +291,7 @@ fn build_groups(
 }
 
 /// Filters not pushed into any group.
-fn residual_filters<'a>(
-    filters: &'a [Expression],
-    groups: &[GroupPlan],
-) -> Vec<&'a Expression> {
+fn residual_filters<'a>(filters: &'a [Expression], groups: &[GroupPlan]) -> Vec<&'a Expression> {
     filters
         .iter()
         .filter(|f| !groups.iter().any(|g| g.filters.contains(f)))
@@ -303,12 +310,14 @@ fn order_groups(groups: &mut Vec<GroupPlan>) {
             .enumerate()
             .map(|(i, g)| {
                 let free = g.variables().iter().filter(|v| !bound.contains(v)).count();
-                let constants: usize =
-                    g.patterns.iter().map(|tp| 3 - tp.free_slots()).sum();
+                let constants: usize = g.patterns.iter().map(|tp| 3 - tp.free_slots()).sum();
                 let exclusive = usize::from(g.sources.len() != 1);
                 // Lexicographic score: fewer free vars, then exclusive,
                 // then more constants, then fewer sources.
-                (i, (free, exclusive, usize::MAX - constants, g.sources.len()))
+                (
+                    i,
+                    (free, exclusive, usize::MAX - constants, g.sources.len()),
+                )
             })
             .min_by_key(|(_, score)| *score)
             .unwrap();
@@ -487,7 +496,10 @@ mod tests {
     fn timeout_fires() {
         let fedx = FedX::new(
             federation(),
-            FedXConfig { timeout: Some(Duration::ZERO), ..Default::default() },
+            FedXConfig {
+                timeout: Some(Duration::ZERO),
+                ..Default::default()
+            },
         );
         let q = parse_query(
             r#"PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>

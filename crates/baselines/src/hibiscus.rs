@@ -54,7 +54,8 @@ impl HiBiscus {
                     for (pred, pstats) in &stats.predicates {
                         s.subjects
                             .insert(pred.clone(), pstats.subject_authorities.clone());
-                        s.objects.insert(pred.clone(), pstats.object_authorities.clone());
+                        s.objects
+                            .insert(pred.clone(), pstats.object_authorities.clone());
                     }
                     s
                 }
@@ -65,7 +66,10 @@ impl HiBiscus {
         let pruner = Box::new(move |tp: &TriplePattern, sources: Vec<EndpointId>| {
             prune(&summaries, tp, sources)
         });
-        HiBiscus { inner: FedX::with_pruner(federation, config, pruner, "HiBISCuS"), build_time }
+        HiBiscus {
+            inner: FedX::with_pruner(federation, config, pruner, "HiBISCuS"),
+            build_time,
+        }
     }
 
     /// The underlying federation.

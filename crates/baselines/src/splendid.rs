@@ -14,8 +14,8 @@
 //! engines are preferred for dynamic federations.
 
 use crate::common::{
-    apply_filter, connected_pattern_components, execute_groups, finalize_select,
-    union_relations, ExecOptions, FederatedEngine, GroupPlan,
+    apply_filter, connected_pattern_components, execute_groups, finalize_select, union_relations,
+    ExecOptions, FederatedEngine, GroupPlan,
 };
 use lusail_core::normalize::{normalize, ConjBranch};
 use lusail_core::EngineError;
@@ -42,7 +42,10 @@ impl VoidIndex {
             .iter()
             .map(|(_, ep)| ep.collect_stats().unwrap_or_default())
             .collect();
-        VoidIndex { per_endpoint, build_time: start.elapsed() }
+        VoidIndex {
+            per_endpoint,
+            build_time: start.elapsed(),
+        }
     }
 
     /// How long preprocessing took.
@@ -73,7 +76,9 @@ impl VoidIndex {
         let Some(iri) = tp.predicate.as_term().and_then(|t| t.as_iri()) else {
             return stats.triples;
         };
-        let Some(p) = stats.predicates.get(iri) else { return 0 };
+        let Some(p) = stats.predicates.get(iri) else {
+            return 0;
+        };
         let mut est = p.count as f64;
         if tp.subject.as_term().is_some() && p.distinct_subjects > 0 {
             est /= p.distinct_subjects as f64;
@@ -86,7 +91,10 @@ impl VoidIndex {
 
     /// Total estimate over a pattern's relevant endpoints.
     pub fn total_estimate(&self, tp: &TriplePattern) -> usize {
-        self.sources_for(tp).into_iter().map(|ep| self.estimate(tp, ep)).sum()
+        self.sources_for(tp)
+            .into_iter()
+            .map(|ep| self.estimate(tp, ep))
+            .sum()
     }
 }
 
@@ -162,8 +170,11 @@ impl Splendid {
         }
         // Index-based source selection; then group single-source patterns
         // per endpoint (SPLENDID also groups same-source patterns).
-        let sources: Vec<Vec<EndpointId>> =
-            branch.patterns.iter().map(|tp| self.index.sources_for(tp)).collect();
+        let sources: Vec<Vec<EndpointId>> = branch
+            .patterns
+            .iter()
+            .map(|tp| self.index.sources_for(tp))
+            .collect();
         let mut groups: Vec<GroupPlan> = Vec::new();
         for (i, tp) in branch.patterns.iter().enumerate() {
             let exclusive = sources[i].len() == 1;
@@ -206,7 +217,11 @@ impl Splendid {
         // Cost-based ordering: cheapest estimated group first, then by
         // connectivity (greedy approximation of SPLENDID's DP planner).
         let estimate = |g: &GroupPlan| -> usize {
-            g.patterns.iter().map(|tp| self.index.total_estimate(tp)).min().unwrap_or(0)
+            g.patterns
+                .iter()
+                .map(|tp| self.index.total_estimate(tp))
+                .min()
+                .unwrap_or(0)
         };
         let mut ordered: Vec<GroupPlan> = Vec::with_capacity(groups.len());
         let mut bound: Vec<Variable> = Vec::new();
@@ -231,8 +246,7 @@ impl Splendid {
             hash_join_threshold: Some(self.hash_join_threshold),
             timeout: self.timeout,
         };
-        let mut rel =
-            execute_groups(&self.federation, &self.handler, &ordered, deadline, &opts)?;
+        let mut rel = execute_groups(&self.federation, &self.handler, &ordered, deadline, &opts)?;
 
         for block in &branch.optionals {
             let merged: Vec<EndpointId> = {

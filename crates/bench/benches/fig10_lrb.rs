@@ -1,20 +1,23 @@
-//! Criterion timing for Figure 10: one representative LargeRDFBench query
+//! Timing for Figure 10: one representative LargeRDFBench query
 //! per category (S13 simple-but-large, C9 complex chain, B3 large) per
 //! system.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lusail_bench::timing::Harness;
 use lusail_bench::{build_with_federation, System};
 use lusail_federation::NetworkProfile;
 use lusail_workloads::largerdf;
 use std::hint::black_box;
 use std::time::Duration;
 
-fn fig10(c: &mut Criterion) {
+fn fig10(c: &mut Harness) {
     let cfg = largerdf::LargeRdfConfig::default();
     let graphs = largerdf::generate_all(&cfg);
     for name in ["S13", "C9", "B3"] {
-        let query =
-            largerdf::all_queries().into_iter().find(|q| q.name == name).unwrap().parse();
+        let query = largerdf::all_queries()
+            .into_iter()
+            .find(|q| q.name == name)
+            .unwrap()
+            .parse();
         let mut group = c.benchmark_group(format!("fig10_{name}"));
         for system in System::ALL {
             let under_test = build_with_federation(
@@ -24,20 +27,22 @@ fn fig10(c: &mut Criterion) {
                 Duration::from_secs(60),
             );
             group.bench_function(system.label(), |b| {
-                b.iter(|| black_box(under_test.engine.execute(&query).map(|r| r.len()).unwrap_or(0)))
+                b.iter(|| {
+                    black_box(
+                        under_test
+                            .engine
+                            .execute(&query)
+                            .map(|r| r.len())
+                            .unwrap_or(0),
+                    )
+                })
             });
         }
         group.finish();
     }
 }
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+fn main() {
+    let mut harness = Harness::from_env();
+    fig10(&mut harness);
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = fig10
-}
-criterion_main!(benches);

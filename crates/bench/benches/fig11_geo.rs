@@ -1,16 +1,16 @@
-//! Criterion timing for Figure 11: the geo-distributed profile. The shape
+//! Timing for Figure 11: the geo-distributed profile. The shape
 //! to look for: Lusail degrades mildly vs the local cluster while
 //! FedX/HiBISCuS degrade by an order of magnitude (their serial bound-join
 //! blocks each pay the WAN round trip).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lusail_bench::timing::Harness;
 use lusail_bench::{build_with_federation, System};
 use lusail_federation::NetworkProfile;
 use lusail_workloads::lubm;
 use std::hint::black_box;
 use std::time::Duration;
 
-fn fig11(c: &mut Criterion) {
+fn fig11(c: &mut Harness) {
     let cfg = lubm::LubmConfig::with_universities(2);
     let graphs = lubm::generate_all(&cfg);
     let q2 = lubm::queries()[1].parse();
@@ -30,13 +30,7 @@ fn fig11(c: &mut Criterion) {
     }
 }
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+fn main() {
+    let mut harness = Harness::from_env();
+    fig11(&mut harness);
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = fig11
-}
-criterion_main!(benches);

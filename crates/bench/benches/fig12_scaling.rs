@@ -1,13 +1,13 @@
-//! Criterion timing for Figure 12(b,c): Lusail's end-to-end time on LUBM
+//! Timing for Figure 12(b,c): Lusail's end-to-end time on LUBM
 //! Q3/Q4 as the endpoint count grows, with and without the analysis cache.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lusail_bench::timing::Harness;
 use lusail_core::{LusailConfig, LusailEngine};
 use lusail_federation::NetworkProfile;
 use lusail_workloads::{federation_from_graphs, lubm};
 use std::hint::black_box;
 
-fn fig12(c: &mut Criterion) {
+fn fig12(c: &mut Harness) {
     for endpoints in [4usize, 16] {
         let cfg = lubm::LubmConfig::with_universities(endpoints);
         let graphs = lubm::generate_all(&cfg);
@@ -31,13 +31,7 @@ fn fig12(c: &mut Criterion) {
     }
 }
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+fn main() {
+    let mut harness = Harness::from_env();
+    fig12(&mut harness);
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = fig12
-}
-criterion_main!(benches);

@@ -1,13 +1,13 @@
-//! Criterion timing for Figure 13: the delay-threshold ablation — total
+//! Timing for Figure 13: the delay-threshold ablation — total
 //! time over a representative mixed query set per threshold.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lusail_bench::timing::Harness;
 use lusail_core::{DelayThreshold, LusailConfig, LusailEngine};
 use lusail_federation::NetworkProfile;
 use lusail_workloads::{federation_from_graphs, largerdf};
 use std::hint::black_box;
 
-fn fig13(c: &mut Criterion) {
+fn fig13(c: &mut Harness) {
     let cfg = largerdf::LargeRdfConfig::default();
     let graphs = largerdf::generate_all(&cfg);
     let names = ["S13", "C1", "C9", "B3", "B8"];
@@ -25,7 +25,10 @@ fn fig13(c: &mut Criterion) {
     ] {
         let engine = LusailEngine::new(
             federation_from_graphs(graphs.clone(), NetworkProfile::geo_distributed()),
-            LusailConfig { delay_threshold: threshold, ..Default::default() },
+            LusailConfig {
+                delay_threshold: threshold,
+                ..Default::default()
+            },
         );
         group.bench_function(threshold.label(), |b| {
             b.iter(|| {
@@ -40,13 +43,7 @@ fn fig13(c: &mut Criterion) {
     group.finish();
 }
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5))
+fn main() {
+    let mut harness = Harness::from_env();
+    fig13(&mut harness);
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = fig13
-}
-criterion_main!(benches);

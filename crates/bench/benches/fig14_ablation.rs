@@ -1,14 +1,14 @@
-//! Criterion timing for Figure 14: FedX vs LADE-only vs LADE+SAPE on the
+//! Timing for Figure 14: FedX vs LADE-only vs LADE+SAPE on the
 //! LUBM Q2 triangle (the decomposition's best case) and LargeRDFBench C9.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lusail_baselines::{FedX, FedXConfig, FederatedEngine};
+use lusail_bench::timing::Harness;
 use lusail_core::{LusailConfig, LusailEngine, SapeMode};
 use lusail_federation::NetworkProfile;
 use lusail_workloads::{federation_from_graphs, largerdf, lubm};
 use std::hint::black_box;
 
-fn fig14(c: &mut Criterion) {
+fn fig14(c: &mut Harness) {
     let lubm_graphs = lubm::generate_all(&lubm::LubmConfig::with_universities(4));
     let lrb_graphs = largerdf::generate_all(&largerdf::LargeRdfConfig::default());
     let cases = [
@@ -16,7 +16,11 @@ fn fig14(c: &mut Criterion) {
         (
             "lrb_c9",
             lrb_graphs,
-            largerdf::all_queries().into_iter().find(|q| q.name == "C9").unwrap().parse(),
+            largerdf::all_queries()
+                .into_iter()
+                .find(|q| q.name == "C9")
+                .unwrap()
+                .parse(),
         ),
     ];
     for (tag, graphs, query) in cases {
@@ -31,7 +35,10 @@ fn fig14(c: &mut Criterion) {
         for (label, mode) in [("LADE", SapeMode::LadeOnly), ("LADE+SAPE", SapeMode::Full)] {
             let engine = LusailEngine::new(
                 federation_from_graphs(graphs.clone(), NetworkProfile::local_cluster()),
-                LusailConfig { sape_mode: mode, ..Default::default() },
+                LusailConfig {
+                    sape_mode: mode,
+                    ..Default::default()
+                },
             );
             group.bench_function(label, |b| {
                 b.iter(|| black_box(engine.execute(&query).unwrap().len()))
@@ -41,13 +48,7 @@ fn fig14(c: &mut Criterion) {
     }
 }
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+fn main() {
+    let mut harness = Harness::from_env();
+    fig14(&mut harness);
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = fig14
-}
-criterion_main!(benches);

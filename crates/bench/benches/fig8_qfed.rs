@@ -1,14 +1,14 @@
-//! Criterion timing for Figure 8: each system's end-to-end time over the
+//! Timing for Figure 8: each system's end-to-end time over the
 //! QFed query suite (4 endpoints, local-cluster network).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lusail_bench::timing::Harness;
 use lusail_bench::{build_with_federation, System};
 use lusail_federation::NetworkProfile;
 use lusail_workloads::qfed;
 use std::hint::black_box;
 use std::time::Duration;
 
-fn fig8(c: &mut Criterion) {
+fn fig8(c: &mut Harness) {
     let cfg = qfed::QfedConfig::default();
     let graphs = qfed::generate_all(&cfg);
     let queries: Vec<_> = qfed::queries().iter().map(|q| q.parse()).collect();
@@ -34,13 +34,7 @@ fn fig8(c: &mut Criterion) {
     group.finish();
 }
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+fn main() {
+    let mut harness = Harness::from_env();
+    fig8(&mut harness);
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = fig8
-}
-criterion_main!(benches);

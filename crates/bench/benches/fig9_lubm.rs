@@ -1,16 +1,16 @@
-//! Criterion timing for Figure 9: LUBM Q1–Q4 per system at 2 and 4
+//! Timing for Figure 9: LUBM Q1–Q4 per system at 2 and 4
 //! endpoints. The paper's headline: Lusail is up to three orders of
 //! magnitude faster on Q1/Q2/Q4 because the shared schema defeats
 //! schema-only decomposition.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use lusail_bench::timing::Harness;
 use lusail_bench::{build_with_federation, System};
 use lusail_federation::NetworkProfile;
 use lusail_workloads::lubm;
 use std::hint::black_box;
 use std::time::Duration;
 
-fn fig9(c: &mut Criterion) {
+fn fig9(c: &mut Harness) {
     for endpoints in [2usize, 4] {
         let cfg = lubm::LubmConfig::with_universities(endpoints);
         let graphs = lubm::generate_all(&cfg);
@@ -37,13 +37,7 @@ fn fig9(c: &mut Criterion) {
     }
 }
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3))
+fn main() {
+    let mut harness = Harness::from_env();
+    fig9(&mut harness);
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = fig9
-}
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Micro-benchmarks for the substrates: store access paths, local BGP
 //! evaluation, relation joins, and the SPARQL parser.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lusail_bench::timing::{BatchSize, Harness};
 use lusail_rdf::Term;
 use lusail_sparql::ast::Variable;
 use lusail_sparql::solution::Relation;
@@ -9,7 +9,7 @@ use lusail_store::{Evaluator, Store};
 use lusail_workloads::lubm;
 use std::hint::black_box;
 
-fn store_benches(c: &mut Criterion) {
+fn store_benches(c: &mut Harness) {
     let cfg = lubm::LubmConfig::with_universities(1);
     let graph = lubm::generate_university(&cfg, 0);
     let store = Store::from_graph(&graph);
@@ -38,7 +38,7 @@ fn store_benches(c: &mut Criterion) {
     });
 }
 
-fn join_benches(c: &mut Criterion) {
+fn join_benches(c: &mut Harness) {
     let v = |n: &str| Variable::new(n);
     let mk = |vars: [&str; 2], n: usize, offset: usize| {
         let mut r = Relation::new(vars.iter().map(|x| v(x)).collect());
@@ -68,13 +68,8 @@ fn join_benches(c: &mut Criterion) {
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2))
+fn main() {
+    let mut harness = Harness::from_env();
+    store_benches(&mut harness);
+    join_benches(&mut harness);
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = store_benches, join_benches
-}
-criterion_main!(benches);

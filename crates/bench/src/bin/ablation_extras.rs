@@ -26,16 +26,26 @@ fn main() {
 /// Sweep the `VALUES` block size on a delayed-subquery-heavy query (B3)
 /// under the geo profile, reporting time and requests.
 fn block_size_sweep() {
-    let cfg = largerdf::LargeRdfConfig { scale: bench_scale(), ..Default::default() };
+    let cfg = largerdf::LargeRdfConfig {
+        scale: bench_scale(),
+        ..Default::default()
+    };
     let graphs = largerdf::generate_all(&cfg);
-    let query = largerdf::all_queries().into_iter().find(|q| q.name == "B3").unwrap().parse();
+    let query = largerdf::all_queries()
+        .into_iter()
+        .find(|q| q.name == "B3")
+        .unwrap()
+        .parse();
 
     println!("Ablation 1: bound-join block size (LargeRDFBench B3, geo profile)");
     println!("{:<12}{:>12}{:>12}", "block size", "time (ms)", "requests");
     for block in [16usize, 64, 256, 512, 2048] {
         let engine = LusailEngine::new(
             federation_from_graphs(graphs.clone(), NetworkProfile::geo_distributed()),
-            LusailConfig { bound_block_size: block, ..Default::default() },
+            LusailConfig {
+                bound_block_size: block,
+                ..Default::default()
+            },
         );
         engine.execute(&query).unwrap(); // warm caches
         engine.federation().reset_traffic();
@@ -90,5 +100,7 @@ fn join_order_comparison() {
     println!("{:<16}{:>12}{:>14}", "order", "time (ms)", "result rows");
     println!("{:<16}{:>12.2}{:>14}", "input order", naive_ms, naive_rows);
     println!("{:<16}{:>12.2}{:>14}", "DP (paper)", dp_ms, naive_rows);
-    println!("\nDP order chosen: {order:?} (the small relation joins early, pruning the build side)");
+    println!(
+        "\nDP order chosen: {order:?} (the small relation joins early, pruning the build side)"
+    );
 }

@@ -37,7 +37,11 @@ fn report(title: &str, graphs: &[(String, lusail_rdf::Graph)], queries: &[BenchQ
         }
         let (l_ok, l_req, l_out, l_in) = cells[0];
         let (f_ok, f_req, f_out, f_in) = cells[1];
-        let ratio = if l_req > 0 && f_ok { f_req as f64 / l_req as f64 } else { f64::NAN };
+        let ratio = if l_req > 0 && f_ok {
+            f_req as f64 / l_req as f64
+        } else {
+            f64::NAN
+        };
         let tag = |ok: bool, v: u64| if ok { v.to_string() } else { "ERR".to_string() };
         println!(
             "{:<9}{:>10}{:>12}{:>12}{:>10}{:>12}{:>12}{:>8.1}x",
@@ -56,7 +60,11 @@ fn report(title: &str, graphs: &[(String, lusail_rdf::Graph)], queries: &[BenchQ
 fn main() {
     let scale = bench_scale();
     let lubm_graphs = lubm::generate_all(&lubm::LubmConfig::with_universities(4));
-    report("LUBM (4 endpoints): requests & bytes, Lusail vs FedX", &lubm_graphs, &lubm::queries());
+    report(
+        "LUBM (4 endpoints): requests & bytes, Lusail vs FedX",
+        &lubm_graphs,
+        &lubm::queries(),
+    );
 
     let qcfg = qfed::QfedConfig {
         drugs: (400.0 * scale) as usize,
@@ -66,15 +74,26 @@ fn main() {
         seed: 7,
     };
     let qfed_graphs = qfed::generate_all(&qcfg);
-    report("QFed: requests & bytes, Lusail vs FedX", &qfed_graphs, &qfed::queries());
+    report(
+        "QFed: requests & bytes, Lusail vs FedX",
+        &qfed_graphs,
+        &qfed::queries(),
+    );
 
-    let lcfg = largerdf::LargeRdfConfig { scale, ..Default::default() };
+    let lcfg = largerdf::LargeRdfConfig {
+        scale,
+        ..Default::default()
+    };
     let lrb_graphs = largerdf::generate_all(&lcfg);
     let subset: Vec<BenchQuery> = largerdf::all_queries()
         .into_iter()
         .filter(|q| ["S13", "C1", "C9", "B1", "B3", "B8"].contains(&q.name))
         .collect();
-    report("LargeRDFBench subset: requests & bytes, Lusail vs FedX", &lrb_graphs, &subset);
+    report(
+        "LargeRDFBench subset: requests & bytes, Lusail vs FedX",
+        &lrb_graphs,
+        &subset,
+    );
 
     println!(
         "\n'ratio' = FedX requests / Lusail requests on the cached steady state. The paper's\n\

@@ -12,7 +12,10 @@ use lusail_federation::NetworkProfile;
 use lusail_workloads::largerdf;
 
 fn main() {
-    let cfg = largerdf::LargeRdfConfig { scale: bench_scale(), ..Default::default() };
+    let cfg = largerdf::LargeRdfConfig {
+        scale: bench_scale(),
+        ..Default::default()
+    };
     let graphs = largerdf::generate_all(&cfg);
     let harness = HarnessConfig::default();
     let profile = NetworkProfile::local_cluster();
@@ -40,5 +43,8 @@ fn main() {
         &largerdf::big_queries(),
         &harness,
     );
-    println!("\nLegend: TO = timed out ({}s limit), NS = not supported.", harness.timeout.as_secs());
+    println!(
+        "\nLegend: TO = timed out ({}s limit), NS = not supported.",
+        harness.timeout.as_secs()
+    );
 }

@@ -14,7 +14,10 @@ fn main() {
     let harness = HarnessConfig::default();
     let geo = NetworkProfile::geo_distributed();
 
-    let cfg = largerdf::LargeRdfConfig { scale: bench_scale(), ..Default::default() };
+    let cfg = largerdf::LargeRdfConfig {
+        scale: bench_scale(),
+        ..Default::default()
+    };
     let graphs = largerdf::generate_all(&cfg);
     run_grid(
         "Figure 11(a): geo-distributed LargeRDFBench complex queries — seconds (requests)",
@@ -43,5 +46,8 @@ fn main() {
         &lubm::queries(),
         &harness,
     );
-    println!("\nLegend: TO = timed out ({}s limit), NS = not supported.", harness.timeout.as_secs());
+    println!(
+        "\nLegend: TO = timed out ({}s limit), NS = not supported.",
+        harness.timeout.as_secs()
+    );
 }

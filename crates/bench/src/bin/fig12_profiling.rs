@@ -12,7 +12,10 @@ use lusail_federation::NetworkProfile;
 use lusail_workloads::{federation_from_graphs, largerdf};
 
 fn main() {
-    let cfg = largerdf::LargeRdfConfig { scale: bench_scale(), ..Default::default() };
+    let cfg = largerdf::LargeRdfConfig {
+        scale: bench_scale(),
+        ..Default::default()
+    };
     let graphs = largerdf::generate_all(&cfg);
     let engine = LusailEngine::new(
         federation_from_graphs(graphs, NetworkProfile::local_cluster()),
@@ -25,7 +28,10 @@ fn main() {
         "query", "source sel.", "analysis", "execution", "total", "subqs", "checks"
     );
     for name in ["S10", "C4", "B1"] {
-        let q = largerdf::all_queries().into_iter().find(|q| q.name == name).unwrap();
+        let q = largerdf::all_queries()
+            .into_iter()
+            .find(|q| q.name == name)
+            .unwrap();
         let parsed = q.parse();
         // Warm-up then measure (paper protocol: average of last two of 3).
         engine.execute(&parsed).unwrap();
@@ -37,7 +43,11 @@ fn main() {
             profiles.push(p);
         }
         let ms = |f: &dyn Fn(&lusail_core::ExecutionProfile) -> std::time::Duration| -> f64 {
-            profiles.iter().map(|p| f(p).as_secs_f64() * 1000.0).sum::<f64>() / profiles.len() as f64
+            profiles
+                .iter()
+                .map(|p| f(p).as_secs_f64() * 1000.0)
+                .sum::<f64>()
+                / profiles.len() as f64
         };
         println!(
             "{:<8}{:>14.3}{:>14.3}{:>14.3}{:>14.3}{:>8}{:>10}",

@@ -47,7 +47,10 @@ fn total_time(
 }
 
 fn main() {
-    let cfg = largerdf::LargeRdfConfig { scale: bench_scale(), ..Default::default() };
+    let cfg = largerdf::LargeRdfConfig {
+        scale: bench_scale(),
+        ..Default::default()
+    };
     let graphs = largerdf::generate_all(&cfg);
     let harness = HarnessConfig::default();
     let thresholds = [

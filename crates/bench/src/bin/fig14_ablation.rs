@@ -6,7 +6,7 @@
 //! intermediate-result computation to the endpoints (up to three orders
 //! of magnitude); adding SAPE always improves over LADE alone.
 
-use lusail_bench::{bench_scale, measure, build_with_federation, HarnessConfig, System};
+use lusail_bench::{bench_scale, build_with_federation, measure, HarnessConfig, System};
 use lusail_core::{LusailConfig, LusailEngine, SapeMode};
 use lusail_federation::{Federation, NetworkProfile};
 use lusail_workloads::{federation_from_graphs, largerdf, lubm, qfed, BenchQuery};
@@ -19,7 +19,11 @@ fn lusail_mode(
     let fed = federation_from_graphs(graphs.to_vec(), NetworkProfile::local_cluster());
     let engine = LusailEngine::new(
         fed.clone(),
-        LusailConfig { sape_mode: mode, timeout: Some(harness.timeout), ..Default::default() },
+        LusailConfig {
+            sape_mode: mode,
+            timeout: Some(harness.timeout),
+            ..Default::default()
+        },
     );
     (Box::new(engine), fed)
 }
@@ -37,22 +41,39 @@ fn main() {
     };
     let qfed_graphs = qfed::generate_all(&qfed_cfg);
     let lubm_graphs = lubm::generate_all(&lubm::LubmConfig::with_universities(4));
-    let lrb_cfg = largerdf::LargeRdfConfig { scale, ..Default::default() };
+    let lrb_cfg = largerdf::LargeRdfConfig {
+        scale,
+        ..Default::default()
+    };
     let lrb_graphs = largerdf::generate_all(&lrb_cfg);
 
     // Two queries per benchmark, as in the paper.
     let pick = |queries: Vec<BenchQuery>, names: [&str; 2]| -> Vec<BenchQuery> {
-        queries.into_iter().filter(|q| names.contains(&q.name)).collect()
+        queries
+            .into_iter()
+            .filter(|q| names.contains(&q.name))
+            .collect()
     };
     type Workload<'a> = (&'a str, &'a [(String, lusail_rdf::Graph)], Vec<BenchQuery>);
     let workloads: Vec<Workload> = vec![
-        ("QFed", &qfed_graphs, pick(qfed::queries(), ["C2P2B", "C2P2OF"])),
+        (
+            "QFed",
+            &qfed_graphs,
+            pick(qfed::queries(), ["C2P2B", "C2P2OF"]),
+        ),
         ("LUBM", &lubm_graphs, pick(lubm::queries(), ["Q2", "Q4"])),
-        ("LargeRDFBench", &lrb_graphs, pick(largerdf::all_queries(), ["C9", "B3"])),
+        (
+            "LargeRDFBench",
+            &lrb_graphs,
+            pick(largerdf::all_queries(), ["C9", "B3"]),
+        ),
     ];
 
     println!("Figure 14: FedX vs LADE vs LADE+SAPE — seconds (TO = timeout)");
-    println!("{:<16}{:<10}{:>12}{:>12}{:>12}", "benchmark", "query", "FedX", "LADE", "LADE+SAPE");
+    println!(
+        "{:<16}{:<10}{:>12}{:>12}{:>12}",
+        "benchmark", "query", "FedX", "LADE", "LADE+SAPE"
+    );
     for (bench_name, graphs, queries) in workloads {
         for q in &queries {
             let fedx = build_with_federation(
@@ -64,11 +85,17 @@ fn main() {
             let m_fedx = measure(&fedx, q, &harness);
 
             let (lade_engine, lade_fed) = lusail_mode(graphs, SapeMode::LadeOnly, &harness);
-            let lade = lusail_bench::EngineUnderTest { engine: lade_engine, federation: lade_fed };
+            let lade = lusail_bench::EngineUnderTest {
+                engine: lade_engine,
+                federation: lade_fed,
+            };
             let m_lade = measure(&lade, q, &harness);
 
             let (full_engine, full_fed) = lusail_mode(graphs, SapeMode::Full, &harness);
-            let full = lusail_bench::EngineUnderTest { engine: full_engine, federation: full_fed };
+            let full = lusail_bench::EngineUnderTest {
+                engine: full_engine,
+                federation: full_fed,
+            };
             let m_full = measure(&full, q, &harness);
 
             println!(

@@ -30,5 +30,8 @@ fn main() {
         &queries,
         &harness,
     );
-    println!("\nLegend: TO = timed out ({}s limit), NS = not supported.", harness.timeout.as_secs());
+    println!(
+        "\nLegend: TO = timed out ({}s limit), NS = not supported.",
+        harness.timeout.as_secs()
+    );
 }

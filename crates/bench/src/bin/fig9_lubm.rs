@@ -21,8 +21,10 @@ fn main() {
         };
         let graphs = lubm::generate_all(&cfg);
         run_grid(
-            &format!("Figure 9({}): LUBM, {endpoints} endpoints — seconds (requests)",
-                     if endpoints == 2 { "a" } else { "b" }),
+            &format!(
+                "Figure 9({}): LUBM, {endpoints} endpoints — seconds (requests)",
+                if endpoints == 2 { "a" } else { "b" }
+            ),
             &graphs,
             NetworkProfile::local_cluster(),
             &System::ALL,
@@ -30,5 +32,8 @@ fn main() {
             &harness,
         );
     }
-    println!("\nLegend: TO = timed out ({}s limit), NS = not supported.", harness.timeout.as_secs());
+    println!(
+        "\nLegend: TO = timed out ({}s limit), NS = not supported.",
+        harness.timeout.as_secs()
+    );
 }

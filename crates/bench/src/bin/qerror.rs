@@ -12,7 +12,10 @@ use lusail_federation::NetworkProfile;
 use lusail_workloads::{federation_from_graphs, largerdf};
 
 fn main() {
-    let cfg = largerdf::LargeRdfConfig { scale: bench_scale(), ..Default::default() };
+    let cfg = largerdf::LargeRdfConfig {
+        scale: bench_scale(),
+        ..Default::default()
+    };
     let graphs = largerdf::generate_all(&cfg);
     let engine = LusailEngine::new(
         federation_from_graphs(graphs, NetworkProfile::instant()),
@@ -24,19 +27,30 @@ fn main() {
         let parsed = q.parse();
         if let Ok((_, profile)) = engine.execute_profiled(&parsed) {
             for (sq, est, actual) in profile.estimates {
-                qerrors.push((format!("{}#sq{sq}", q.name), est, actual, q_error(est, actual)));
+                qerrors.push((
+                    format!("{}#sq{sq}", q.name),
+                    est,
+                    actual,
+                    q_error(est, actual),
+                ));
             }
         }
     }
 
     println!("Cardinality estimation accuracy (multi-pattern subqueries)");
-    println!("{:<14}{:>12}{:>12}{:>10}", "subquery", "estimated", "actual", "q-error");
+    println!(
+        "{:<14}{:>12}{:>12}{:>10}",
+        "subquery", "estimated", "actual", "q-error"
+    );
     for (name, est, actual, qe) in &qerrors {
         println!("{name:<14}{est:>12}{actual:>12}{qe:>10.3}");
     }
 
-    let mut finite: Vec<f64> =
-        qerrors.iter().map(|(_, _, _, q)| *q).filter(|q| q.is_finite()).collect();
+    let mut finite: Vec<f64> = qerrors
+        .iter()
+        .map(|(_, _, _, q)| *q)
+        .filter(|q| q.is_finite())
+        .collect();
     finite.sort_by(|a, b| a.partial_cmp(b).unwrap());
     if finite.is_empty() {
         println!("\nno multi-pattern subqueries produced estimates");

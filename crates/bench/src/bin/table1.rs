@@ -10,7 +10,10 @@ use lusail_workloads::{largerdf, lubm, qfed};
 fn main() {
     let scale = bench_scale();
     println!("Table 1: Datasets used in experiments (scale factor {scale})");
-    println!("{:<16}{:<24}{:>12}{:>18}", "Benchmark", "Endpoint", "Triples", "Paper's triples");
+    println!(
+        "{:<16}{:<24}{:>12}{:>18}",
+        "Benchmark", "Endpoint", "Triples", "Paper's triples"
+    );
 
     // QFed.
     let qcfg = qfed::QfedConfig {
@@ -24,14 +27,24 @@ fn main() {
     let qfed_graphs = qfed::generate_all(&qcfg);
     let mut total = 0;
     // Paper order: DailyMed, Diseasome, DrugBank, Sider.
-    for ((name, g), paper) in qfed_graphs.iter().zip([paper_qfed[0], paper_qfed[1], paper_qfed[2], paper_qfed[3]]) {
+    for ((name, g), paper) in
+        qfed_graphs
+            .iter()
+            .zip([paper_qfed[0], paper_qfed[1], paper_qfed[2], paper_qfed[3]])
+    {
         println!("{:<16}{:<24}{:>12}{:>18}", "QFed", name, g.len(), paper);
         total += g.len();
     }
-    println!("{:<16}{:<24}{:>12}{:>18}", "", "Total Triples", total, 1_215_627);
+    println!(
+        "{:<16}{:<24}{:>12}{:>18}",
+        "", "Total Triples", total, 1_215_627
+    );
 
     // LargeRDFBench.
-    let lcfg = largerdf::LargeRdfConfig { scale, ..Default::default() };
+    let lcfg = largerdf::LargeRdfConfig {
+        scale,
+        ..Default::default()
+    };
     let paper_lrb: &[(&str, usize)] = &[
         ("LinkedTCGA-M", 415_030_327),
         ("LinkedTCGA-E", 344_576_146),
@@ -50,22 +63,35 @@ fn main() {
     let lrb_graphs = largerdf::generate_all(&lcfg);
     let mut total = 0;
     for (name, g) in &lrb_graphs {
-        let paper = paper_lrb.iter().find(|(n, _)| n == name).map(|(_, c)| *c).unwrap_or(0);
-        println!("{:<16}{:<24}{:>12}{:>18}", "LargeRDFBench", name, g.len(), paper);
+        let paper = paper_lrb
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        println!(
+            "{:<16}{:<24}{:>12}{:>18}",
+            "LargeRDFBench",
+            name,
+            g.len(),
+            paper
+        );
         total += g.len();
     }
-    println!("{:<16}{:<24}{:>12}{:>18}", "", "Total Triples", total, 1_003_960_176);
+    println!(
+        "{:<16}{:<24}{:>12}{:>18}",
+        "", "Total Triples", total, 1_003_960_176
+    );
 
     // LUBM: the paper uses 256 universities × ~138k triples. We print the
     // per-university size at this scale and the 256-university total.
-    let ucfg = lubm::LubmConfig { universities: 4, ..Default::default() };
+    let ucfg = lubm::LubmConfig {
+        universities: 4,
+        ..Default::default()
+    };
     let one = lubm::generate_university(&ucfg, 0).len();
     println!(
         "{:<16}{:<24}{:>12}{:>18}",
-        "LUBM",
-        "per university",
-        one,
-        138_000
+        "LUBM", "per university", one, 138_000
     );
     println!(
         "{:<16}{:<24}{:>12}{:>18}",

@@ -7,17 +7,17 @@
 //! (S3, S4) but fails or is 1–2 orders of magnitude slower elsewhere;
 //! Lusail answers everything.
 
-use lusail_bench::{
-    bench_scale, build_on_federation, measure, print_table, HarnessConfig, System,
-};
+use lusail_bench::{bench_scale, build_on_federation, measure, print_table, HarnessConfig, System};
 use lusail_federation::{EndpointLimits, NetworkProfile};
 use lusail_workloads::{bio2rdf, federation_from_graphs_limited, largerdf, BenchQuery};
 
 /// Real public endpoints impose operational limits; this is what turns
 /// FedX's giant bound-join requests into the paper's "RE" rows. 8 KiB is
 /// a typical HTTP GET query-string ceiling.
-const REAL_ENDPOINT_LIMITS: EndpointLimits =
-    EndpointLimits { max_request_bytes: Some(8_192), max_result_rows: Some(100_000) };
+const REAL_ENDPOINT_LIMITS: EndpointLimits = EndpointLimits {
+    max_request_bytes: Some(8_192),
+    max_result_rows: Some(100_000),
+};
 
 fn run_limited_grid(
     title: &str,
@@ -55,7 +55,10 @@ fn main() {
         &harness,
     );
 
-    let lrb_cfg = largerdf::LargeRdfConfig { scale: bench_scale(), ..Default::default() };
+    let lrb_cfg = largerdf::LargeRdfConfig {
+        scale: bench_scale(),
+        ..Default::default()
+    };
     let lrb_graphs = largerdf::generate_all(&lrb_cfg);
     let wanted = ["S3", "S4", "S7", "S10", "S14", "C9"];
     let queries: Vec<_> = largerdf::all_queries()

@@ -2,8 +2,8 @@
 //!
 //! The benchmark harness: everything needed to regenerate each table and
 //! figure of the paper's evaluation (Section 5). One binary per artifact —
-//! see DESIGN.md's per-experiment index — plus Criterion benches under
-//! `benches/`.
+//! see DESIGN.md's per-experiment index — plus plain-`Instant` timing
+//! benches under `benches/` driven by the [`timing`] harness.
 //!
 //! The harness follows the paper's protocol: every query runs three times
 //! and the average of the last two runs is reported; a per-query time
@@ -11,6 +11,8 @@
 //! ours defaults to 20 s on the compressed network timescale and can be
 //! overridden with `LUSAIL_BENCH_TIMEOUT_SECS`). Workload scale can be
 //! adjusted with `LUSAIL_BENCH_SCALE`.
+
+pub mod timing;
 
 use lusail_baselines::{FedX, FedXConfig, FederatedEngine, HiBiscus, Splendid};
 use lusail_core::{EngineError, LusailConfig, LusailEngine};
@@ -81,7 +83,10 @@ impl Default for HarnessConfig {
 
 /// The benchmark-wide scale factor (`LUSAIL_BENCH_SCALE`, default 1.0).
 pub fn bench_scale() -> f64 {
-    std::env::var("LUSAIL_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    std::env::var("LUSAIL_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// The systems compared in the paper's figures.
@@ -94,7 +99,12 @@ pub enum System {
 }
 
 impl System {
-    pub const ALL: [System; 4] = [System::Lusail, System::FedX, System::HiBiscus, System::Splendid];
+    pub const ALL: [System; 4] = [
+        System::Lusail,
+        System::FedX,
+        System::HiBiscus,
+        System::Splendid,
+    ];
 
     pub fn label(&self) -> &'static str {
         match self {
@@ -117,15 +127,24 @@ impl System {
         match self {
             System::Lusail => Box::new(LusailEngine::new(
                 fed,
-                LusailConfig { timeout: Some(timeout), ..Default::default() },
+                LusailConfig {
+                    timeout: Some(timeout),
+                    ..Default::default()
+                },
             )),
             System::FedX => Box::new(FedX::new(
                 fed,
-                FedXConfig { timeout: Some(timeout), ..Default::default() },
+                FedXConfig {
+                    timeout: Some(timeout),
+                    ..Default::default()
+                },
             )),
             System::HiBiscus => Box::new(HiBiscus::new(
                 fed,
-                FedXConfig { timeout: Some(timeout), ..Default::default() },
+                FedXConfig {
+                    timeout: Some(timeout),
+                    ..Default::default()
+                },
             )),
             System::Splendid => {
                 let mut s = Splendid::new(fed);
@@ -149,15 +168,24 @@ pub fn build_on_federation(system: System, fed: Federation, timeout: Duration) -
     let engine: Box<dyn FederatedEngine> = match system {
         System::Lusail => Box::new(LusailEngine::new(
             fed.clone(),
-            LusailConfig { timeout: Some(timeout), ..Default::default() },
+            LusailConfig {
+                timeout: Some(timeout),
+                ..Default::default()
+            },
         )),
         System::FedX => Box::new(FedX::new(
             fed.clone(),
-            FedXConfig { timeout: Some(timeout), ..Default::default() },
+            FedXConfig {
+                timeout: Some(timeout),
+                ..Default::default()
+            },
         )),
         System::HiBiscus => Box::new(HiBiscus::new(
             fed.clone(),
-            FedXConfig { timeout: Some(timeout), ..Default::default() },
+            FedXConfig {
+                timeout: Some(timeout),
+                ..Default::default()
+            },
         )),
         System::Splendid => {
             let mut s = Splendid::new(fed.clone());
@@ -165,7 +193,10 @@ pub fn build_on_federation(system: System, fed: Federation, timeout: Duration) -
             Box::new(s)
         }
     };
-    EngineUnderTest { engine, federation: fed }
+    EngineUnderTest {
+        engine,
+        federation: fed,
+    }
 }
 
 /// Build an engine together with a handle on its federation.
@@ -175,7 +206,11 @@ pub fn build_with_federation(
     profile: NetworkProfile,
     timeout: Duration,
 ) -> EngineUnderTest {
-    build_on_federation(system, federation_from_graphs(graphs.to_vec(), profile), timeout)
+    build_on_federation(
+        system,
+        federation_from_graphs(graphs.to_vec(), profile),
+        timeout,
+    )
 }
 
 /// Run one query under the paper's protocol (3 runs, average of last two).

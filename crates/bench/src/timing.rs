@@ -1,0 +1,253 @@
+//! A plain-`Instant` timing harness for the `benches/` targets.
+//!
+//! Criterion is unavailable offline, so this module provides the small
+//! slice of its API the figure benches need: named groups, `bench_function`
+//! with a [`Bencher`], auto-calibrated inner iteration counts, and a
+//! min/mean/max report per benchmark. Every bench target is a plain
+//! `harness = false` binary whose `main` drives a [`Harness`].
+//!
+//! Knobs (environment):
+//! * `LUSAIL_BENCH_SAMPLES` — measured samples per benchmark (default 10).
+//! * `LUSAIL_BENCH_SAMPLE_MS` — target wall time per sample; the harness
+//!   packs enough iterations into one sample to reach it (default 100 ms).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level driver: create one per bench binary, call
+/// [`Harness::benchmark_group`] / [`Harness::bench_function`], results are
+/// printed as they complete.
+pub struct Harness {
+    samples: usize,
+    sample_target: Duration,
+}
+
+impl Harness {
+    /// A harness configured from the environment (see module docs).
+    pub fn from_env() -> Self {
+        let samples = std::env::var("LUSAIL_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10)
+            .max(2);
+        let sample_ms = std::env::var("LUSAIL_BENCH_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100u64);
+        Harness {
+            samples,
+            sample_target: Duration::from_millis(sample_ms),
+        }
+    }
+
+    /// A named group; benchmark labels are reported as `group/label`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run one benchmark and print its report line.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run(name, f);
+        self
+    }
+
+    fn run(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            sample_target: self.sample_target,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(r) => println!("{name:<44} {r}"),
+            None => println!("{name:<44} (no measurement — Bencher::iter never called)"),
+        }
+    }
+}
+
+/// A named benchmark group (mirrors criterion's `BenchmarkGroup`).
+pub struct Group<'h> {
+    harness: &'h mut Harness,
+    name: String,
+}
+
+impl Group<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function(&mut self, label: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let name = format!("{}/{}", self.name, label);
+        self.harness.run(&name, f);
+        self
+    }
+
+    /// End the group. (Nothing to flush — reports print eagerly.)
+    pub fn finish(self) {}
+}
+
+/// Batch-size hint, accepted for API compatibility; the harness always
+/// times per-invocation with the setup excluded.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] (or
+/// [`Bencher::iter_batched`]) exactly once with the code under test.
+pub struct Bencher {
+    samples: usize,
+    sample_target: Duration,
+    result: Option<Report>,
+}
+
+impl Bencher {
+    /// Measure `f`: one calibration call sizes the per-sample iteration
+    /// count so each sample takes roughly the target wall time, then
+    /// `samples` samples are measured.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed();
+        let iters = self.iters_for(once);
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            times.push(start.elapsed() / iters as u32);
+        }
+        self.result = Some(Report::from_times(&times, iters));
+    }
+
+    /// Like [`Bencher::iter`], but with per-invocation setup excluded from
+    /// the measurement.
+    pub fn iter_batched<I, T>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut f: impl FnMut(I) -> T,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(f(input));
+        let once = start.elapsed();
+        let iters = self.iters_for(once);
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut in_sample = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(f(input));
+                in_sample += start.elapsed();
+            }
+            times.push(in_sample / iters as u32);
+        }
+        self.result = Some(Report::from_times(&times, iters));
+    }
+
+    fn iters_for(&self, once: Duration) -> usize {
+        if once >= self.sample_target {
+            return 1;
+        }
+        (self.sample_target.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as usize
+    }
+}
+
+/// Aggregated timing for one benchmark.
+struct Report {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    samples: usize,
+    iters: usize,
+}
+
+impl Report {
+    fn from_times(times: &[Duration], iters: usize) -> Self {
+        let total: Duration = times.iter().sum();
+        Report {
+            mean: total / times.len() as u32,
+            min: *times.iter().min().expect("at least one sample"),
+            max: *times.iter().max().expect("at least one sample"),
+            samples: times.len(),
+            iters,
+        }
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "time: [{} {} {}]  ({} samples × {} iters)",
+            fmt_duration(self.min),
+            fmt_duration(self.mean),
+            fmt_duration(self.max),
+            self.samples,
+            self.iters
+        )
+    }
+}
+
+/// Human scale: ns under 1 µs, µs under 1 ms, ms under 1 s, else seconds.
+pub fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", d.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_cover_samples() {
+        let mut h = Harness {
+            samples: 3,
+            sample_target: Duration::from_micros(200),
+        };
+        // Runs without panicking and prints a line; the closure must be
+        // called at least samples + 1 (calibration) times.
+        let mut calls = 0;
+        h.bench_function("timing/self_test", |b| {
+            b.iter(|| {
+                calls += 1;
+                std::hint::black_box(calls)
+            })
+        });
+        assert!(
+            calls >= 4,
+            "expected calibration + 3 samples, got {calls} calls"
+        );
+    }
+
+    #[test]
+    fn batched_excludes_setup() {
+        let mut h = Harness {
+            samples: 2,
+            sample_target: Duration::from_micros(50),
+        };
+        h.bench_function("timing/batched_self_test", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(999)), "999 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(3)), "3.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -3,8 +3,11 @@
 
 use lusail_baselines::{FedX, FedXConfig, FederatedEngine, HiBiscus, Splendid};
 use lusail_core::{LusailConfig, LusailEngine};
-use lusail_federation::{Federation, NetworkProfile, SimulatedEndpoint, SparqlEndpoint};
+use lusail_federation::{
+    Federation, HttpEndpoint, NetworkProfile, SimulatedEndpoint, SparqlEndpoint,
+};
 use lusail_rdf::{Graph, Term};
+use lusail_server::ServerConfig;
 use lusail_store::{Store, StoreStats};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -14,17 +17,21 @@ use std::time::Duration;
 /// CLI usage text.
 pub const USAGE: &str = "\
 usage:
-  lusail query    --data FILE... (--query FILE | --query-text SPARQL)
+  lusail query    (--data FILE | --endpoint URL)... (--query FILE | --query-text SPARQL)
                   [--engine lusail|fedx|splendid|hibiscus]
                   [--profile instant|local|geo] [--timeout SECS]
                   [--format table|csv] [--explain]
+  lusail serve    --data FILE... [--addr HOST:PORT] [--port N] [--workers N]
   lusail generate --benchmark lubm|qfed|largerdf|bio2rdf --out DIR
                   [--scale F] [--endpoints N] [--seed N]
   lusail info     --data FILE...
   lusail search   --data FILE... --keywords 'WORD WORD...' [--top N]
   lusail snapshot --data FILE --out FILE.snap
 
-Each --data file becomes one endpoint (.nt = N-Triples, .ttl = Turtle).";
+For query, each --data file becomes one in-process endpoint (.nt =
+N-Triples, .ttl = Turtle, .snap = snapshot) and each --endpoint URL a
+remote HTTP SPARQL endpoint; the two can be mixed freely. serve merges
+its --data files into one store and exposes it at http://ADDR/sparql.";
 
 /// CLI failure modes.
 #[derive(Debug)]
@@ -59,6 +66,7 @@ impl From<std::io::Error> for CliError {
 pub enum Command {
     Query {
         data: Vec<PathBuf>,
+        endpoints: Vec<String>,
         query_file: Option<PathBuf>,
         query_text: Option<String>,
         engine: EngineKind,
@@ -66,6 +74,11 @@ pub enum Command {
         timeout: Option<u64>,
         format: OutputFormat,
         explain: bool,
+    },
+    Serve {
+        data: Vec<PathBuf>,
+        addr: String,
+        workers: usize,
     },
     Generate {
         benchmark: String,
@@ -137,24 +150,64 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         let value = if flag == "--explain" {
             None
         } else {
-            let v = rest.get(i + 1).ok_or_else(|| usage(&format!("{flag} needs a value")))?;
+            let v = rest
+                .get(i + 1)
+                .ok_or_else(|| usage(&format!("{flag} needs a value")))?;
             i += 1;
             Some(v.as_str())
         };
         flags.push((flag, value));
         i += 1;
     }
+    // Reject typos outright: a misspelled `--port` must not silently fall
+    // back to a default (serve would bind an ephemeral port the user never
+    // asked for).
+    let known: &[&str] = match sub.as_str() {
+        "query" => &[
+            "--data",
+            "--endpoint",
+            "--query",
+            "--query-text",
+            "--engine",
+            "--profile",
+            "--timeout",
+            "--format",
+            "--explain",
+        ],
+        "serve" => &["--data", "--addr", "--port", "--workers"],
+        "generate" => &["--benchmark", "--out", "--scale", "--endpoints", "--seed"],
+        "info" => &["--data"],
+        "snapshot" => &["--data", "--out"],
+        "search" => &["--data", "--keywords", "--top"],
+        _ => &[], // unknown subcommand: fall through to its own error below
+    };
+    if !known.is_empty() {
+        if let Some((bad, _)) = flags.iter().find(|(f, _)| !known.contains(f)) {
+            return Err(usage(&format!("unknown flag {bad:?} for {sub}")));
+        }
+    }
+
     let get = |name: &str| flags.iter().find(|(f, _)| *f == name).and_then(|(_, v)| *v);
     let get_all = |name: &str| -> Vec<&str> {
-        flags.iter().filter(|(f, _)| *f == name).filter_map(|(_, v)| *v).collect()
+        flags
+            .iter()
+            .filter(|(f, _)| *f == name)
+            .filter_map(|(_, v)| *v)
+            .collect()
     };
     let has = |name: &str| flags.iter().any(|(f, _)| *f == name);
 
     match sub.as_str() {
         "query" => {
             let data: Vec<PathBuf> = get_all("--data").into_iter().map(PathBuf::from).collect();
-            if data.is_empty() {
-                return Err(usage("query needs at least one --data FILE"));
+            let endpoints: Vec<String> = get_all("--endpoint")
+                .into_iter()
+                .map(str::to_string)
+                .collect();
+            if data.is_empty() && endpoints.is_empty() {
+                return Err(usage(
+                    "query needs at least one --data FILE or --endpoint URL",
+                ));
             }
             let query_file = get("--query").map(PathBuf::from);
             let query_text = get("--query-text").map(str::to_string);
@@ -176,9 +229,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             };
             let timeout = match get("--timeout") {
                 None => None,
-                Some(v) => {
-                    Some(v.parse().map_err(|_| usage(&format!("bad --timeout {v:?}")))?)
-                }
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| usage(&format!("bad --timeout {v:?}")))?,
+                ),
             };
             let format = match get("--format").unwrap_or("table") {
                 "table" => OutputFormat::Table,
@@ -187,6 +241,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             };
             Ok(Command::Query {
                 data,
+                endpoints,
                 query_file,
                 query_text,
                 engine,
@@ -194,6 +249,34 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 timeout,
                 format,
                 explain: has("--explain"),
+            })
+        }
+        "serve" => {
+            let data: Vec<PathBuf> = get_all("--data").into_iter().map(PathBuf::from).collect();
+            if data.is_empty() {
+                return Err(usage("serve needs at least one --data FILE"));
+            }
+            if has("--addr") && has("--port") {
+                return Err(usage("serve takes --addr or --port, not both"));
+            }
+            let addr = match (get("--addr"), get("--port")) {
+                (Some(a), _) => a.to_string(),
+                (None, Some(p)) => {
+                    let port: u16 = p.parse().map_err(|_| usage(&format!("bad --port {p:?}")))?;
+                    format!("127.0.0.1:{port}")
+                }
+                (None, None) => "127.0.0.1:0".to_string(),
+            };
+            let workers: usize = match get("--workers") {
+                None => ServerConfig::default().workers,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| usage(&format!("bad --workers {v:?}")))?,
+            };
+            Ok(Command::Serve {
+                data,
+                addr,
+                workers,
             })
         }
         "generate" => {
@@ -206,17 +289,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let out = PathBuf::from(get("--out").ok_or_else(|| usage("generate needs --out DIR"))?);
             let scale: f64 = match get("--scale") {
                 None => 1.0,
-                Some(v) => v.parse().map_err(|_| usage(&format!("bad --scale {v:?}")))?,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| usage(&format!("bad --scale {v:?}")))?,
             };
             let endpoints: usize = match get("--endpoints") {
                 None => 4,
-                Some(v) => v.parse().map_err(|_| usage(&format!("bad --endpoints {v:?}")))?,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| usage(&format!("bad --endpoints {v:?}")))?,
             };
             let seed: u64 = match get("--seed") {
                 None => 42,
                 Some(v) => v.parse().map_err(|_| usage(&format!("bad --seed {v:?}")))?,
             };
-            Ok(Command::Generate { benchmark, out, scale, endpoints, seed })
+            Ok(Command::Generate {
+                benchmark,
+                out,
+                scale,
+                endpoints,
+                seed,
+            })
         }
         "info" => {
             let data: Vec<PathBuf> = get_all("--data").into_iter().map(PathBuf::from).collect();
@@ -248,7 +341,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 None => 10,
                 Some(v) => v.parse().map_err(|_| usage(&format!("bad --top {v:?}")))?,
             };
-            Ok(Command::Search { data, keywords, top })
+            Ok(Command::Search {
+                data,
+                keywords,
+                top,
+            })
         }
         other => Err(usage(&format!("unknown subcommand {other:?}"))),
     }
@@ -278,21 +375,91 @@ pub fn load_graph(path: &Path) -> Result<Graph, CliError> {
     }
 }
 
-fn build_federation(data: &[PathBuf], profile: ProfileKind) -> Result<Federation, CliError> {
+/// Assemble a federation from local data files (simulated endpoints) and
+/// remote URLs (HTTP endpoints), in that order.
+fn build_federation(
+    data: &[PathBuf],
+    urls: &[String],
+    profile: ProfileKind,
+) -> Result<Federation, CliError> {
     let mut endpoints: Vec<Arc<dyn SparqlEndpoint>> = Vec::new();
     for path in data {
         let store = load_store(path)?;
-        let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("endpoint").to_string();
-        endpoints.push(Arc::new(SimulatedEndpoint::new(name, store, profile.network())));
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("endpoint")
+            .to_string();
+        endpoints.push(Arc::new(SimulatedEndpoint::new(
+            name,
+            store,
+            profile.network(),
+        )));
+    }
+    for url in urls {
+        let ep = HttpEndpoint::new(url.clone(), url)
+            .map_err(|e| CliError::Usage(format!("--endpoint {e}")))?;
+        endpoints.push(Arc::new(ep));
     }
     Ok(Federation::new(endpoints))
+}
+
+/// Merge `data` files into one store and start a SPARQL server on `addr`.
+/// Exposed separately from [`run_command`] (which blocks forever) so tests
+/// and embedders get the handle back.
+pub fn start_server(
+    data: &[PathBuf],
+    addr: &str,
+    workers: usize,
+) -> Result<(lusail_server::ServerHandle, usize), CliError> {
+    let mut merged = Graph::new();
+    for path in data {
+        // Snapshots load as stores; everything else as graphs.
+        let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+        if ext == "snap" {
+            let store = load_store(path)?;
+            for (s, p, o) in store.iter_ids() {
+                merged.add(
+                    store.decode(s).clone(),
+                    store.decode(p).clone(),
+                    store.decode(o).clone(),
+                );
+            }
+        } else {
+            for t in load_graph(path)?.iter() {
+                merged.add(t.subject.clone(), t.predicate.clone(), t.object.clone());
+            }
+        }
+    }
+    let triples = merged.len();
+    let store = Store::from_graph(&merged);
+    let config = ServerConfig {
+        workers,
+        ..Default::default()
+    };
+    let server = lusail_server::SparqlServer::bind(addr, store, config).map_err(CliError::Io)?;
+    Ok((server.spawn(), triples))
 }
 
 /// Run a parsed command, writing human output to `out`.
 pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
     match cmd {
+        Command::Serve {
+            data,
+            addr,
+            workers,
+        } => {
+            let (handle, triples) = start_server(&data, &addr, workers)?;
+            writeln!(out, "serving {} triples at {}", triples, handle.url())?;
+            out.flush()?;
+            // Serve until the process is killed.
+            loop {
+                std::thread::park();
+            }
+        }
         Command::Query {
             data,
+            endpoints,
             query_file,
             query_text,
             engine,
@@ -301,23 +468,25 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             format,
             explain,
         } => {
-            let federation = build_federation(&data, profile)?;
+            let federation = build_federation(&data, &endpoints, profile)?;
             let text = match (&query_file, &query_text) {
                 (Some(path), _) => std::fs::read_to_string(path)?,
                 (None, Some(text)) => text.clone(),
                 (None, None) => unreachable!("validated in parse_args"),
             };
-            let query = lusail_sparql::parse_query(&text)
-                .map_err(|e| CliError::Parse(e.to_string()))?;
+            let query =
+                lusail_sparql::parse_query(&text).map_err(|e| CliError::Parse(e.to_string()))?;
             let timeout = timeout.map(Duration::from_secs);
 
             if explain && engine == EngineKind::Lusail {
                 let lusail = LusailEngine::new(
                     federation.clone(),
-                    LusailConfig { timeout, ..Default::default() },
+                    LusailConfig {
+                        timeout,
+                        ..Default::default()
+                    },
                 );
-                let (rel, profile) =
-                    lusail.execute_profiled(&query).map_err(CliError::Engine)?;
+                let (rel, profile) = lusail.execute_profiled(&query).map_err(CliError::Engine)?;
                 writeln!(out, "# engine        : Lusail")?;
                 writeln!(out, "# gjvs          : {:?}", profile.gjvs)?;
                 writeln!(out, "# subqueries    : {}", profile.subqueries)?;
@@ -341,11 +510,17 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             let engine: Box<dyn FederatedEngine> = match engine {
                 EngineKind::Lusail => Box::new(LusailEngine::new(
                     federation.clone(),
-                    LusailConfig { timeout, ..Default::default() },
+                    LusailConfig {
+                        timeout,
+                        ..Default::default()
+                    },
                 )),
                 EngineKind::FedX => Box::new(FedX::new(
                     federation.clone(),
-                    FedXConfig { timeout, ..Default::default() },
+                    FedXConfig {
+                        timeout,
+                        ..Default::default()
+                    },
                 )),
                 EngineKind::Splendid => {
                     let mut s = Splendid::new(federation.clone());
@@ -354,14 +529,23 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 }
                 EngineKind::HiBiscus => Box::new(HiBiscus::new(
                     federation.clone(),
-                    FedXConfig { timeout, ..Default::default() },
+                    FedXConfig {
+                        timeout,
+                        ..Default::default()
+                    },
                 )),
             };
             let rel = engine.execute(&query).map_err(CliError::Engine)?;
             print_relation(&rel, format, out)?;
             Ok(())
         }
-        Command::Generate { benchmark, out: dir, scale, endpoints, seed } => {
+        Command::Generate {
+            benchmark,
+            out: dir,
+            scale,
+            endpoints,
+            seed,
+        } => {
             std::fs::create_dir_all(&dir)?;
             let graphs: Vec<(String, Graph)> = match benchmark.as_str() {
                 "lubm" => {
@@ -414,11 +598,18 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             )?;
             Ok(())
         }
-        Command::Search { data, keywords, top } => {
-            let federation = build_federation(&data, ProfileKind::Instant)?;
+        Command::Search {
+            data,
+            keywords,
+            top,
+        } => {
+            let federation = build_federation(&data, &[], ProfileKind::Instant)?;
             let handler = lusail_federation::RequestHandler::per_core();
             let refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
-            let cfg = lusail_core::keyword::KeywordConfig { top_k: top, ..Default::default() };
+            let cfg = lusail_core::keyword::KeywordConfig {
+                top_k: top,
+                ..Default::default()
+            };
             let hits = lusail_core::keyword::keyword_search(&federation, &handler, &refs, &cfg)
                 .map_err(CliError::Engine)?;
             if hits.is_empty() {
@@ -478,8 +669,7 @@ fn print_relation(
             let header: Vec<String> = rel.vars().iter().map(|v| v.name().to_string()).collect();
             writeln!(out, "{}", header.join(","))?;
             for row in rel.rows() {
-                let cells: Vec<String> =
-                    row.iter().map(|c| csv_escape(&cell(c))).collect();
+                let cells: Vec<String> = row.iter().map(|c| csv_escape(&cell(c))).collect();
                 writeln!(out, "{}", cells.join(","))?;
             }
         }
@@ -525,12 +715,34 @@ mod tests {
     #[test]
     fn parse_query_command() {
         let cmd = parse_args(&s(&[
-            "query", "--data", "a.nt", "--data", "b.ttl", "--query", "q.sparql", "--engine",
-            "fedx", "--profile", "geo", "--timeout", "5", "--format", "csv", "--explain",
+            "query",
+            "--data",
+            "a.nt",
+            "--data",
+            "b.ttl",
+            "--query",
+            "q.sparql",
+            "--engine",
+            "fedx",
+            "--profile",
+            "geo",
+            "--timeout",
+            "5",
+            "--format",
+            "csv",
+            "--explain",
         ]))
         .unwrap();
         match cmd {
-            Command::Query { data, engine, profile, timeout, format, explain, .. } => {
+            Command::Query {
+                data,
+                engine,
+                profile,
+                timeout,
+                format,
+                explain,
+                ..
+            } => {
                 assert_eq!(data.len(), 2);
                 assert_eq!(engine, EngineKind::FedX);
                 assert_eq!(profile, ProfileKind::Geo);
@@ -545,8 +757,14 @@ mod tests {
     #[test]
     fn parse_rejects_bad_input() {
         assert!(matches!(parse_args(&s(&[])), Err(CliError::Usage(_))));
-        assert!(matches!(parse_args(&s(&["frobnicate"])), Err(CliError::Usage(_))));
-        assert!(matches!(parse_args(&s(&["query", "--data", "a.nt"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse_args(&s(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["query", "--data", "a.nt"])),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(
             parse_args(&s(&["query", "--query-text", "ASK {}"])),
             Err(CliError::Usage(_))
@@ -556,17 +774,24 @@ mod tests {
             Err(CliError::Usage(_))
         ));
         assert!(matches!(
-            parse_args(&s(&["query", "--data", "a.nt", "--query", "q", "--engine", "zzz"])),
+            parse_args(&s(&[
+                "query", "--data", "a.nt", "--query", "q", "--engine", "zzz"
+            ])),
             Err(CliError::Usage(_))
         ));
     }
 
     #[test]
     fn generate_defaults() {
-        let cmd =
-            parse_args(&s(&["generate", "--benchmark", "lubm", "--out", "/tmp/x"])).unwrap();
+        let cmd = parse_args(&s(&["generate", "--benchmark", "lubm", "--out", "/tmp/x"])).unwrap();
         match cmd {
-            Command::Generate { benchmark, scale, endpoints, seed, .. } => {
+            Command::Generate {
+                benchmark,
+                scale,
+                endpoints,
+                seed,
+                ..
+            } => {
                 assert_eq!(benchmark, "lubm");
                 assert_eq!(scale, 1.0);
                 assert_eq!(endpoints, 4);
@@ -594,7 +819,10 @@ mod tests {
             &mut buf,
         )
         .unwrap();
-        let files: Vec<_> = std::fs::read_dir(&dir).unwrap().map(|e| e.unwrap().path()).collect();
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
         assert_eq!(files.len(), 2);
 
         let mut info = Vec::new();
@@ -638,7 +866,13 @@ mod tests {
         let snap = dir.join("d.snap");
         let mut buf = Vec::new();
         run(
-            &s(&["snapshot", "--data", nt.to_str().unwrap(), "--out", snap.to_str().unwrap()]),
+            &s(&[
+                "snapshot",
+                "--data",
+                nt.to_str().unwrap(),
+                "--out",
+                snap.to_str().unwrap(),
+            ]),
             &mut buf,
         )
         .unwrap();
@@ -658,6 +892,104 @@ mod tests {
         .unwrap();
         let text = String::from_utf8(q).unwrap();
         assert!(text.contains("http://x/s"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_serve_and_endpoint_flags() {
+        let cmd = parse_args(&s(&["serve", "--data", "a.nt", "--port", "8890"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                data: vec![PathBuf::from("a.nt")],
+                addr: "127.0.0.1:8890".to_string(),
+                workers: ServerConfig::default().workers,
+            }
+        );
+        assert!(matches!(
+            parse_args(&s(&["serve"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&[
+                "serve",
+                "--data",
+                "a.nt",
+                "--addr",
+                "0.0.0.0:1",
+                "--port",
+                "2"
+            ])),
+            Err(CliError::Usage(_))
+        ));
+
+        // A typo'd flag must be rejected, not silently ignored — otherwise
+        // `--prot 8080` serves on an ephemeral port the user never asked for.
+        match parse_args(&s(&["serve", "--data", "a.nt", "--prot", "8080"])) {
+            Err(CliError::Usage(m)) => assert!(m.contains("--prot"), "{m}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+        match parse_args(&s(&["query", "--data", "a.nt", "--query-txt", "ASK{}"])) {
+            Err(CliError::Usage(m)) => assert!(m.contains("--query-txt"), "{m}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+
+        let cmd = parse_args(&s(&[
+            "query",
+            "--endpoint",
+            "http://127.0.0.1:8890/sparql",
+            "--query-text",
+            "ASK {}",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Query {
+                data, endpoints, ..
+            } => {
+                assert!(data.is_empty());
+                assert_eq!(endpoints, vec!["http://127.0.0.1:8890/sparql".to_string()]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_then_query_over_http() {
+        let dir = std::env::temp_dir().join(format!("lusail-cli-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.nt");
+        let b = dir.join("b.nt");
+        std::fs::write(&a, "<http://x/s1> <http://x/p> <http://x/o1> .\n").unwrap();
+        std::fs::write(&b, "<http://x/s2> <http://x/p> <http://x/o2> .\n").unwrap();
+
+        // serve merges both files into one store.
+        let (handle, triples) = start_server(&[a.clone(), b.clone()], "127.0.0.1:0", 2).unwrap();
+        assert_eq!(triples, 2);
+
+        // query federates the HTTP endpoint with a local file.
+        let mut buf = Vec::new();
+        run(
+            &s(&[
+                "query",
+                "--endpoint",
+                &handle.url(),
+                "--data",
+                a.to_str().unwrap(),
+                "--query-text",
+                "SELECT ?s ?o WHERE { ?s <http://x/p> ?o }",
+                "--format",
+                "csv",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // s1 is in the file AND on the server (bag semantics: twice); s2
+        // only on the server.
+        assert_eq!(text.matches("http://x/s1").count(), 2, "{text}");
+        assert_eq!(text.matches("http://x/s2").count(), 1, "{text}");
+        handle.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

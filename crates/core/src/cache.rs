@@ -11,7 +11,7 @@
 use lusail_federation::EndpointId;
 use lusail_rdf::fxhash::FxHashMap;
 use lusail_sparql::ast::{TermPattern, TriplePattern};
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 /// Canonical cache key for a triple pattern: variables renamed by position.
 pub fn pattern_key(tp: &TriplePattern) -> String {
@@ -59,44 +59,69 @@ impl QueryCache {
 
     /// Cached relevant endpoints for a pattern.
     pub fn get_sources(&self, key: &str) -> Option<Vec<EndpointId>> {
-        self.ask.read().get(key).cloned()
+        self.ask
+            .read()
+            .expect("cache lock poisoned")
+            .get(key)
+            .cloned()
     }
 
     /// Store relevant endpoints for a pattern.
     pub fn put_sources(&self, key: String, sources: Vec<EndpointId>) {
-        self.ask.write().insert(key, sources);
+        self.ask
+            .write()
+            .expect("cache lock poisoned")
+            .insert(key, sources);
     }
 
     /// Cached locality-check outcome at one endpoint.
     pub fn get_check(&self, key: &str, ep: EndpointId) -> Option<bool> {
-        self.checks.read().get(&(key.to_string(), ep)).copied()
+        self.checks
+            .read()
+            .expect("cache lock poisoned")
+            .get(&(key.to_string(), ep))
+            .copied()
     }
 
     /// Store a locality-check outcome.
     pub fn put_check(&self, key: String, ep: EndpointId, nonempty: bool) {
-        self.checks.write().insert((key, ep), nonempty);
+        self.checks
+            .write()
+            .expect("cache lock poisoned")
+            .insert((key, ep), nonempty);
     }
 
     /// Cached COUNT probe.
     pub fn get_count(&self, key: &str, ep: EndpointId) -> Option<usize> {
-        self.counts.read().get(&(key.to_string(), ep)).copied()
+        self.counts
+            .read()
+            .expect("cache lock poisoned")
+            .get(&(key.to_string(), ep))
+            .copied()
     }
 
     /// Store a COUNT probe.
     pub fn put_count(&self, key: String, ep: EndpointId, count: usize) {
-        self.counts.write().insert((key, ep), count);
+        self.counts
+            .write()
+            .expect("cache lock poisoned")
+            .insert((key, ep), count);
     }
 
     /// Drop everything (used between benchmark configurations).
     pub fn clear(&self) {
-        self.ask.write().clear();
-        self.checks.write().clear();
-        self.counts.write().clear();
+        self.ask.write().expect("cache lock poisoned").clear();
+        self.checks.write().expect("cache lock poisoned").clear();
+        self.counts.write().expect("cache lock poisoned").clear();
     }
 
     /// Entry counts, for diagnostics: (ask, checks, counts).
     pub fn sizes(&self) -> (usize, usize, usize) {
-        (self.ask.read().len(), self.checks.read().len(), self.counts.read().len())
+        (
+            self.ask.read().expect("cache lock poisoned").len(),
+            self.checks.read().expect("cache lock poisoned").len(),
+            self.counts.read().expect("cache lock poisoned").len(),
+        )
     }
 }
 

@@ -100,7 +100,11 @@ impl Default for LusailConfig {
 impl LusailConfig {
     /// The configuration used for the Figure 12 "without cache" series.
     pub fn without_cache() -> Self {
-        LusailConfig { enable_cache: false, cache_counts: false, ..Default::default() }
+        LusailConfig {
+            enable_cache: false,
+            cache_counts: false,
+            ..Default::default()
+        }
     }
 }
 

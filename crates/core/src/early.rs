@@ -46,11 +46,7 @@ impl LusailEngine {
     /// answer (that is the point). Queries whose semantics forbid
     /// truncation — `DISTINCT`, `ORDER BY`, aggregates — fall back to full
     /// evaluation.
-    pub fn execute_early(
-        &self,
-        query: &Query,
-        target: usize,
-    ) -> Result<EarlyResult, EngineError> {
+    pub fn execute_early(&self, query: &Query, target: usize) -> Result<EarlyResult, EngineError> {
         let select: &SelectQuery = match &query.form {
             QueryForm::Select(s) => s,
             QueryForm::Ask(_) => {
@@ -74,7 +70,12 @@ impl LusailEngine {
             let n = crate::normalize::normalize(&select.pattern)
                 .map(|b| b.len())
                 .unwrap_or(1);
-            return Ok(EarlyResult { relation, branches_run: n, branches_total: n, profile });
+            return Ok(EarlyResult {
+                relation,
+                branches_run: n,
+                branches_total: n,
+                profile,
+            });
         }
 
         let branches = crate::normalize::normalize(&select.pattern)?;
@@ -126,7 +127,12 @@ impl LusailEngine {
             relation.rows_mut().truncate(limit);
         }
         profile.result_rows = relation.len();
-        Ok(EarlyResult { relation, branches_run: run, branches_total: total, profile })
+        Ok(EarlyResult {
+            relation,
+            branches_run: run,
+            branches_total: total,
+            profile,
+        })
     }
 }
 
@@ -201,10 +207,16 @@ mod tests {
             );
         }
         Federation::new(vec![
-            Arc::new(SimulatedEndpoint::new("a", Store::from_graph(&g1), NetworkProfile::instant()))
-                as Arc<dyn SparqlEndpoint>,
-            Arc::new(SimulatedEndpoint::new("b", Store::from_graph(&g2), NetworkProfile::instant()))
-                as Arc<dyn SparqlEndpoint>,
+            Arc::new(SimulatedEndpoint::new(
+                "a",
+                Store::from_graph(&g1),
+                NetworkProfile::instant(),
+            )) as Arc<dyn SparqlEndpoint>,
+            Arc::new(SimulatedEndpoint::new(
+                "b",
+                Store::from_graph(&g2),
+                NetworkProfile::instant(),
+            )) as Arc<dyn SparqlEndpoint>,
         ])
     }
 

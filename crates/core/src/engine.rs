@@ -62,7 +62,12 @@ impl LusailEngine {
             Some(n) => RequestHandler::new(n),
             None => RequestHandler::per_core(),
         };
-        LusailEngine { federation, config, cache: QueryCache::new(), handler }
+        LusailEngine {
+            federation,
+            config,
+            cache: QueryCache::new(),
+            handler,
+        }
     }
 
     /// The underlying federation.
@@ -127,7 +132,12 @@ impl LusailEngine {
             Projection::Vars(vs) => vs.clone(),
             Projection::Count { .. } | Projection::Aggregate { .. } => Vec::new(),
         };
-        if let Projection::Count { inner, distinct, as_var } = &select_view.projection {
+        if let Projection::Count {
+            inner,
+            distinct,
+            as_var,
+        } = &select_view.projection
+        {
             let n = match inner {
                 None => {
                     if *distinct {
@@ -198,13 +208,12 @@ impl LusailEngine {
         profile: &mut ExecutionProfile,
     ) -> Result<Relation, EngineError> {
         let cache = self.config.enable_cache.then_some(&self.cache);
-        let count_cache = (self.config.enable_cache && self.config.cache_counts)
-            .then_some(&self.cache);
+        let count_cache =
+            (self.config.enable_cache && self.config.cache_counts).then_some(&self.cache);
 
         // ---- Source selection ------------------------------------------
         let t = Instant::now();
-        let sources =
-            select_sources(&self.federation, &self.handler, cache, &branch.patterns)?;
+        let sources = select_sources(&self.federation, &self.handler, cache, &branch.patterns)?;
         profile.source_selection += t.elapsed();
         check_deadline(deadline, &self.config)?;
 
@@ -256,8 +265,7 @@ impl LusailEngine {
             let opt_sources =
                 select_sources(&self.federation, &self.handler, cache, &block.patterns)?;
             let merged: Vec<EndpointId> = {
-                let mut s: Vec<EndpointId> =
-                    opt_sources.iter().flatten().copied().collect();
+                let mut s: Vec<EndpointId> = opt_sources.iter().flatten().copied().collect();
                 s.sort_unstable();
                 s.dedup();
                 s
@@ -295,11 +303,16 @@ impl LusailEngine {
         // ---- SAPE: schedule + execute ------------------------------------
         let t = Instant::now();
         let schedule = match self.config.sape_mode {
-            SapeMode::Full => make_schedule(&subqueries, &cardinalities, self.config.delay_threshold),
+            SapeMode::Full => {
+                make_schedule(&subqueries, &cardinalities, self.config.delay_threshold)
+            }
             SapeMode::LadeOnly => {
                 // Ablation: everything (except optionals, which must still
                 // be left-joined last) runs concurrently with no delaying.
-                let mut s = Schedule { non_delayed: Vec::new(), delayed: Vec::new() };
+                let mut s = Schedule {
+                    non_delayed: Vec::new(),
+                    delayed: Vec::new(),
+                };
                 for (i, sq) in subqueries.iter().enumerate() {
                     if sq.optional {
                         s.delayed.push(i);
@@ -357,9 +370,9 @@ impl LusailEngine {
                 projection: block.variables(),
                 optional: false,
             };
-            let results = self
-                .handler
-                .map(merged, |ep| self.federation.endpoint(ep).select(&sq.to_query()));
+            let results = self.handler.map(merged, |ep| {
+                self.federation.endpoint(ep).select(&sq.to_query())
+            });
             let mut minus_rel = Relation::new(sq.projection.clone());
             for r in results {
                 minus_rel.append(r?);
@@ -393,9 +406,7 @@ impl LusailEngine {
         let final_vars: Vec<Variable> = match &select_view.projection {
             Projection::All => branch.variables(),
             Projection::Vars(vs) => vs.clone(),
-            Projection::Count { inner, .. } => {
-                inner.iter().cloned().collect::<Vec<_>>()
-            }
+            Projection::Count { inner, .. } => inner.iter().cloned().collect::<Vec<_>>(),
             Projection::Aggregate { keys, aggs } => {
                 let mut vs = keys.clone();
                 vs.extend(select_view.group_by.iter().cloned());
@@ -410,8 +421,11 @@ impl LusailEngine {
         let mut pushed = vec![false; branch.filters.len()];
 
         for (id, draft) in drafts.iter().enumerate() {
-            let patterns: Vec<_> =
-                draft.patterns.iter().map(|&i| branch.patterns[i].clone()).collect();
+            let patterns: Vec<_> = draft
+                .patterns
+                .iter()
+                .map(|&i| branch.patterns[i].clone())
+                .collect();
             let mut sq_vars: Vec<Variable> = Vec::new();
             for tp in &patterns {
                 for v in tp.variables() {
@@ -581,7 +595,10 @@ fn apply_bind(rel: Relation, expr: &Expression, var: &Variable) -> Relation {
     let mut out = Relation::new(vars);
     for row in rel.rows() {
         let value = {
-            let mut ctx = RowCtx { vars: rel.vars(), row };
+            let mut ctx = RowCtx {
+                vars: rel.vars(),
+                row,
+            };
             lusail_store::expr::eval(expr, &mut ctx).and_then(lusail_store::expr::value_to_term)
         };
         let mut new_row = row.clone();
@@ -597,8 +614,10 @@ fn apply_bind(rel: Relation, expr: &Expression, var: &Variable) -> Relation {
 /// ORDER BY over term rows (numeric literals numerically, everything else
 /// lexically; unbound first).
 fn sort_relation(rel: &mut Relation, keys: &[(Variable, bool)]) {
-    let idx: Vec<(Option<usize>, bool)> =
-        keys.iter().map(|(v, asc)| (rel.index_of(v), *asc)).collect();
+    let idx: Vec<(Option<usize>, bool)> = keys
+        .iter()
+        .map(|(v, asc)| (rel.index_of(v), *asc))
+        .collect();
     rel.rows_mut().sort_by(|a, b| {
         for (i, asc) in &idx {
             if let Some(i) = i {
@@ -747,8 +766,16 @@ SELECT ?S ?P ?U ?A WHERE {
 
         // ?U must be detected as a GJV (Tim's MIT is remote); ?P as well
         // (Ann advises but teaches nothing).
-        assert!(profile.gjvs.contains(&"U".to_string()), "{:?}", profile.gjvs);
-        assert!(profile.gjvs.contains(&"P".to_string()), "{:?}", profile.gjvs);
+        assert!(
+            profile.gjvs.contains(&"U".to_string()),
+            "{:?}",
+            profile.gjvs
+        );
+        assert!(
+            profile.gjvs.contains(&"P".to_string()),
+            "{:?}",
+            profile.gjvs
+        );
         assert!(profile.subqueries >= 3);
     }
 
@@ -859,7 +886,10 @@ SELECT ?S ?P ?U ?A WHERE {
         let rel = engine.execute(&q).unwrap();
         assert_eq!(rel.len(), 1);
         // Full-IRI ordering: http://univ1…MIT < http://univ2…CMU.
-        assert_eq!(rel.rows()[0][0], Some(Term::iri("http://univ1.example.org/MIT")));
+        assert_eq!(
+            rel.rows()[0][0],
+            Some(Term::iri("http://univ1.example.org/MIT"))
+        );
     }
 
     #[test]
@@ -893,7 +923,10 @@ SELECT ?S ?P ?U ?A WHERE {
 
     #[test]
     fn timeout_fires() {
-        let cfg = LusailConfig { timeout: Some(Duration::ZERO), ..Default::default() };
+        let cfg = LusailConfig {
+            timeout: Some(Duration::ZERO),
+            ..Default::default()
+        };
         let engine = LusailEngine::new(figure1_federation(), cfg);
         let query = parse_query(QA).unwrap();
         match engine.execute(&query) {
@@ -920,7 +953,10 @@ SELECT ?S ?P ?U ?A WHERE {
         let full = LusailEngine::new(figure1_federation(), LusailConfig::default());
         let lade = LusailEngine::new(
             figure1_federation(),
-            LusailConfig { sape_mode: SapeMode::LadeOnly, ..Default::default() },
+            LusailConfig {
+                sape_mode: SapeMode::LadeOnly,
+                ..Default::default()
+            },
         );
         let query = parse_query(QA).unwrap();
         let r1 = full.execute(&query).unwrap();

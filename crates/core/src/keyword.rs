@@ -23,8 +23,7 @@ use lusail_federation::{EndpointId, Federation, RequestHandler};
 use lusail_rdf::fxhash::FxHashMap;
 use lusail_rdf::Term;
 use lusail_sparql::ast::{
-    Expression, GraphPattern, Projection, Query, SelectQuery, TermPattern, TriplePattern,
-    Variable,
+    Expression, GraphPattern, Projection, Query, SelectQuery, TermPattern, TriplePattern, Variable,
 };
 
 /// Keyword search options.
@@ -40,7 +39,11 @@ pub struct KeywordConfig {
 
 impl Default for KeywordConfig {
     fn default() -> Self {
-        KeywordConfig { per_endpoint_limit: 100, top_k: 10, describe_limit: 20 }
+        KeywordConfig {
+            per_endpoint_limit: 100,
+            top_k: 10,
+            describe_limit: 20,
+        }
     }
 }
 
@@ -67,14 +70,19 @@ fn match_query(keyword: &str, limit: usize) -> Query {
         TermPattern::var("o"),
     );
     let filter = Expression::Regex(
-        Box::new(Expression::Str(Box::new(Expression::Var(Variable::new("o"))))),
+        Box::new(Expression::Str(Box::new(Expression::Var(Variable::new(
+            "o",
+        ))))),
         regex_escape(keyword),
         "i".to_string(),
     );
-    let pattern =
-        GraphPattern::Filter(Box::new(GraphPattern::Bgp(vec![tp])), filter);
+    let pattern = GraphPattern::Filter(Box::new(GraphPattern::Bgp(vec![tp])), filter);
     let mut select = SelectQuery::new(
-        Projection::Vars(vec![Variable::new("s"), Variable::new("p"), Variable::new("o")]),
+        Projection::Vars(vec![
+            Variable::new("s"),
+            Variable::new("p"),
+            Variable::new("o"),
+        ]),
         pattern,
     );
     select.limit = Some(limit);
@@ -139,7 +147,9 @@ pub fn keyword_search(
         let si = rel.index_of(&Variable::new("s"));
         let Some(si) = si else { continue };
         for row in rel.rows() {
-            let Some(entity) = row[si].clone() else { continue };
+            let Some(entity) = row[si].clone() else {
+                continue;
+            };
             let entry = agg.entry((entity, ep)).or_default();
             if !entry.keywords.contains(&k) {
                 entry.keywords.push(k);
@@ -159,7 +169,9 @@ pub fn keyword_search(
     let describes = handler.map(
         ranked.iter().map(|((e, ep), _)| (e.clone(), *ep)).collect(),
         |(entity, ep)| {
-            federation.endpoint(ep).select(&describe_query(&entity, config.describe_limit))
+            federation
+                .endpoint(ep)
+                .select(&describe_query(&entity, config.describe_limit))
         },
     );
     let describes: Vec<_> = describes.into_iter().collect::<Result<_, _>>()?;
@@ -227,10 +239,16 @@ mod tests {
             Term::literal("Princeton, where Einstein worked"),
         );
         Federation::new(vec![
-            Arc::new(SimulatedEndpoint::new("a", Store::from_graph(&g1), NetworkProfile::instant()))
-                as Arc<dyn SparqlEndpoint>,
-            Arc::new(SimulatedEndpoint::new("b", Store::from_graph(&g2), NetworkProfile::instant()))
-                as Arc<dyn SparqlEndpoint>,
+            Arc::new(SimulatedEndpoint::new(
+                "a",
+                Store::from_graph(&g1),
+                NetworkProfile::instant(),
+            )) as Arc<dyn SparqlEndpoint>,
+            Arc::new(SimulatedEndpoint::new(
+                "b",
+                Store::from_graph(&g2),
+                NetworkProfile::instant(),
+            )) as Arc<dyn SparqlEndpoint>,
         ])
     }
 
@@ -238,15 +256,21 @@ mod tests {
     fn finds_and_ranks_across_endpoints() {
         let fed = fed();
         let handler = RequestHandler::new(4);
-        let hits =
-            keyword_search(&fed, &handler, &["einstein", "physics"], &KeywordConfig::default())
-                .unwrap();
+        let hits = keyword_search(
+            &fed,
+            &handler,
+            &["einstein", "physics"],
+            &KeywordConfig::default(),
+        )
+        .unwrap();
         assert!(!hits.is_empty());
         // Einstein matches both keywords → ranked first.
         assert_eq!(hits[0].entity, Term::iri("http://a/einstein"));
         assert_eq!(hits[0].keywords_matched, 2);
         // The Princeton entity (other endpoint) matches one keyword.
-        assert!(hits.iter().any(|h| h.entity == Term::iri("http://b/princeton")));
+        assert!(hits
+            .iter()
+            .any(|h| h.entity == Term::iri("http://b/princeton")));
         // Descriptions are populated.
         assert!(!hits[0].description.is_empty());
     }
@@ -257,23 +281,30 @@ mod tests {
         let handler = RequestHandler::new(2);
         let hits =
             keyword_search(&fed, &handler, &["EINSTEIN"], &KeywordConfig::default()).unwrap();
-        assert!(hits.iter().any(|h| h.entity == Term::iri("http://a/einstein")));
+        assert!(hits
+            .iter()
+            .any(|h| h.entity == Term::iri("http://a/einstein")));
     }
 
     #[test]
     fn empty_keywords_empty_result() {
         let fed = fed();
         let handler = RequestHandler::new(2);
-        assert!(keyword_search(&fed, &handler, &[], &KeywordConfig::default())
-            .unwrap()
-            .is_empty());
+        assert!(
+            keyword_search(&fed, &handler, &[], &KeywordConfig::default())
+                .unwrap()
+                .is_empty()
+        );
     }
 
     #[test]
     fn top_k_truncates() {
         let fed = fed();
         let handler = RequestHandler::new(2);
-        let cfg = KeywordConfig { top_k: 1, ..Default::default() };
+        let cfg = KeywordConfig {
+            top_k: 1,
+            ..Default::default()
+        };
         let hits = keyword_search(&fed, &handler, &["physics"], &cfg).unwrap();
         assert_eq!(hits.len(), 1);
     }
@@ -284,8 +315,7 @@ mod tests {
         let fed = fed();
         let handler = RequestHandler::new(2);
         // A keyword full of metacharacters must not error or match everything.
-        let hits =
-            keyword_search(&fed, &handler, &["(((."], &KeywordConfig::default()).unwrap();
+        let hits = keyword_search(&fed, &handler, &["(((."], &KeywordConfig::default()).unwrap();
         assert!(hits.is_empty());
     }
 }

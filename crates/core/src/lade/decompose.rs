@@ -47,7 +47,10 @@ pub fn decompose(
     if analysis.gjvs.is_empty() {
         let drafts = group_by_sources(patterns, sources);
         let cost = estimate(&drafts);
-        return Decomposition { subqueries: drafts, cost };
+        return Decomposition {
+            subqueries: drafts,
+            cost,
+        };
     }
 
     let mut best: Option<Decomposition> = None;
@@ -55,7 +58,10 @@ pub fn decompose(
         let drafts = decompose_from_root(patterns, sources, analysis, root);
         let cost = estimate(&drafts);
         if best.as_ref().is_none_or(|b| cost < b.cost) {
-            best = Some(Decomposition { subqueries: drafts, cost });
+            best = Some(Decomposition {
+                subqueries: drafts,
+                cost,
+            });
         }
     }
     best.expect("at least one GJV root")
@@ -63,15 +69,15 @@ pub fn decompose(
 
 /// With no GJVs, patterns group by their source sets (one subquery per
 /// distinct source set keeps the "same relevant endpoints" invariant).
-fn group_by_sources(
-    patterns: &[TriplePattern],
-    sources: &[Vec<EndpointId>],
-) -> Vec<SubqueryDraft> {
+fn group_by_sources(patterns: &[TriplePattern], sources: &[Vec<EndpointId>]) -> Vec<SubqueryDraft> {
     let mut drafts: Vec<SubqueryDraft> = Vec::new();
     for (i, srcs) in sources.iter().enumerate().take(patterns.len()) {
         match drafts.iter_mut().find(|d| &d.sources == srcs) {
             Some(d) => d.patterns.push(i),
-            None => drafts.push(SubqueryDraft { patterns: vec![i], sources: srcs.clone() }),
+            None => drafts.push(SubqueryDraft {
+                patterns: vec![i],
+                sources: srcs.clone(),
+            }),
         }
     }
     drafts
@@ -86,8 +92,9 @@ fn decompose_from_root(
 ) -> Vec<SubqueryDraft> {
     // The query graph: vertices are term-pattern keys; edges are the
     // non-type patterns (type patterns are attached afterwards).
-    let edge_idxs: Vec<usize> =
-        (0..patterns.len()).filter(|&i| !is_type_pattern(&patterns[i])).collect();
+    let edge_idxs: Vec<usize> = (0..patterns.len())
+        .filter(|&i| !is_type_pattern(&patterns[i]))
+        .collect();
     let vertex = |slot: &TermPattern| -> String {
         match slot {
             TermPattern::Var(v) => format!("?{}", v.name()),
@@ -164,9 +171,9 @@ fn find_parent(
     vertex: &dyn Fn(&TermPattern) -> String,
 ) -> Option<usize> {
     drafts.iter().position(|d| {
-        d.patterns.iter().any(|&i| {
-            vertex(&patterns[i].subject) == vrtx || vertex(&patterns[i].object) == vrtx
-        })
+        d.patterns
+            .iter()
+            .any(|&i| vertex(&patterns[i].subject) == vrtx || vertex(&patterns[i].object) == vrtx)
     })
 }
 
@@ -210,9 +217,12 @@ fn merge_drafts(
 ) {
     let share_var = |a: &SubqueryDraft, b: &SubqueryDraft| -> bool {
         a.patterns.iter().any(|&i| {
-            b.patterns
-                .iter()
-                .any(|&j| patterns[i].variables().iter().any(|v| patterns[j].mentions(v)))
+            b.patterns.iter().any(|&j| {
+                patterns[i]
+                    .variables()
+                    .iter()
+                    .any(|v| patterns[j].mentions(v))
+            })
         })
     };
     let mut changed = true;
@@ -250,15 +260,19 @@ fn attach_type_patterns(
         if !is_type_pattern(tp) {
             continue;
         }
-        let v = tp.subject.as_var().expect("type pattern has variable subject");
+        let v = tp
+            .subject
+            .as_var()
+            .expect("type pattern has variable subject");
         let home = drafts.iter().position(|d| {
             d.sources == sources[i] && d.patterns.iter().any(|&j| patterns[j].mentions(v))
         });
         match home {
             Some(h) => drafts[h].patterns.push(i),
-            None => {
-                drafts.push(SubqueryDraft { patterns: vec![i], sources: sources[i].clone() })
-            }
+            None => drafts.push(SubqueryDraft {
+                patterns: vec![i],
+                sources: sources[i].clone(),
+            }),
         }
     }
 }
@@ -287,14 +301,14 @@ mod tests {
     fn qa() -> Vec<TriplePattern> {
         let ub = |l: &str| format!("{}{l}", vocab::ub::NS);
         vec![
-            tp("?S", &ub("advisor"), "?P"),            // 0
-            tp("?P", &ub("teacherOf"), "?C"),          // 1
-            tp("?S", &ub("takesCourse"), "?C"),        // 2
-            tp("?P", &ub("PhDDegreeFrom"), "?U"),      // 3
-            tp("?S", vocab::rdf::TYPE, &ub("GraduateStudent")), // 4
+            tp("?S", &ub("advisor"), "?P"),                        // 0
+            tp("?P", &ub("teacherOf"), "?C"),                      // 1
+            tp("?S", &ub("takesCourse"), "?C"),                    // 2
+            tp("?P", &ub("PhDDegreeFrom"), "?U"),                  // 3
+            tp("?S", vocab::rdf::TYPE, &ub("GraduateStudent")),    // 4
             tp("?P", vocab::rdf::TYPE, &ub("AssociateProfessor")), // 5
-            tp("?C", vocab::rdf::TYPE, &ub("GraduateCourse")), // 6
-            tp("?U", &ub("address"), "?A"),            // 7
+            tp("?C", vocab::rdf::TYPE, &ub("GraduateCourse")),     // 6
+            tp("?U", &ub("address"), "?A"),                        // 7
         ]
     }
 
@@ -353,8 +367,11 @@ mod tests {
         }
 
         // Every pattern is assigned exactly once.
-        let mut all: Vec<usize> =
-            d.subqueries.iter().flat_map(|s| s.patterns.clone()).collect();
+        let mut all: Vec<usize> = d
+            .subqueries
+            .iter()
+            .flat_map(|s| s.patterns.clone())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..8).collect::<Vec<_>>());
 
@@ -377,13 +394,19 @@ mod tests {
         // the degree pattern only where university0 is referenced.
         let ub = |l: &str| format!("{}{l}", vocab::ub::NS);
         let pats = vec![
-            tp("?x", &ub("undergraduateDegreeFrom"), "http://univ0.example.org/univ"),
+            tp(
+                "?x",
+                &ub("undergraduateDegreeFrom"),
+                "http://univ0.example.org/univ",
+            ),
             tp("?x", vocab::rdf::TYPE, &ub("GraduateStudent")),
         ];
         let sources = vec![vec![0], vec![0, 1, 2, 3]];
         // Sources differ → detect_gjvs would flag ?x; emulate that.
-        let analysis =
-            GjvAnalysis { gjvs: vec![Variable::new("x")], ..Default::default() };
+        let analysis = GjvAnalysis {
+            gjvs: vec![Variable::new("x")],
+            ..Default::default()
+        };
         let d = decompose(&pats, &sources, &analysis, &flat_cost);
         assert_eq!(d.subqueries.len(), 2);
         let type_sq = d
@@ -408,9 +431,7 @@ mod tests {
         let d1 = decompose(&pats, &sources, &analysis, &flat_cost);
         // An estimate preferring MANY subqueries inverts the choice (or at
         // least never yields a worse flat cost than the flat-cost winner).
-        let d2 = decompose(&pats, &sources, &analysis, &|drafts| {
-            -(drafts.len() as f64)
-        });
+        let d2 = decompose(&pats, &sources, &analysis, &|drafts| -(drafts.len() as f64));
         assert!(d1.subqueries.len() <= d2.subqueries.len());
     }
 

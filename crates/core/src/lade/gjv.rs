@@ -114,10 +114,16 @@ pub fn detect_gjvs_with(
         }
 
         // Lines 13–16: formulate instance checks.
-        let subj_occ: Vec<usize> =
-            occ.iter().copied().filter(|&i| patterns[i].subject_is(&var)).collect();
-        let obj_occ: Vec<usize> =
-            occ.iter().copied().filter(|&i| patterns[i].object_is(&var)).collect();
+        let subj_occ: Vec<usize> = occ
+            .iter()
+            .copied()
+            .filter(|&i| patterns[i].subject_is(&var))
+            .collect();
+        let obj_occ: Vec<usize> = occ
+            .iter()
+            .copied()
+            .filter(|&i| patterns[i].object_is(&var))
+            .collect();
 
         let mut checks: Vec<(usize, usize)> = Vec::new();
         if subj_occ.len() >= 2 {
@@ -155,7 +161,12 @@ pub fn detect_gjvs_with(
             let query = check_query(&var, &patterns[i], &patterns[j], type_tp);
             let key = check_key(&var, &patterns[i], &patterns[j]);
             for &ep in &sources[i] {
-                pending.push(PendingCheck { var: var.clone(), query: query.clone(), key: key.clone(), ep });
+                pending.push(PendingCheck {
+                    var: var.clone(),
+                    query: query.clone(),
+                    key: key.clone(),
+                    ep,
+                });
             }
         }
     }
@@ -175,7 +186,10 @@ pub fn detect_gjvs_with(
     analysis.check_queries_sent = to_send.len();
     let answers = handler.map(to_send.clone(), |idx| {
         let p = &pending[idx];
-        federation.endpoint(p.ep).select(&p.query).map(|rel| !rel.is_empty())
+        federation
+            .endpoint(p.ep)
+            .select(&p.query)
+            .map(|rel| !rel.is_empty())
     });
     for (idx, nonempty) in to_send.into_iter().zip(answers) {
         let nonempty = nonempty?;
@@ -227,7 +241,10 @@ fn join_variables(patterns: &[TriplePattern]) -> Vec<Variable> {
             }
         }
     }
-    seen.into_iter().filter(|(_, n)| *n >= 2).map(|(v, _)| v).collect()
+    seen.into_iter()
+        .filter(|(_, n)| *n >= 2)
+        .map(|(v, _)| v)
+        .collect()
 }
 
 fn occurrences(patterns: &[TriplePattern], v: &Variable) -> Vec<usize> {
@@ -291,12 +308,21 @@ fn rename_other_vars(tp: &TriplePattern, keep: &Variable) -> TriplePattern {
             other => other.clone(),
         }
     };
-    TriplePattern::new(rename(&tp.subject), rename(&tp.predicate), rename(&tp.object))
+    TriplePattern::new(
+        rename(&tp.subject),
+        rename(&tp.predicate),
+        rename(&tp.object),
+    )
 }
 
 /// Cache key for one check (direction-sensitive).
 fn check_key(v: &Variable, tp_from: &TriplePattern, tp_to: &TriplePattern) -> String {
-    format!("{}|{}|{}", v.name(), pattern_key(tp_from), pattern_key(tp_to))
+    format!(
+        "{}|{}|{}",
+        v.name(),
+        pattern_key(tp_from),
+        pattern_key(tp_to)
+    )
 }
 
 #[cfg(test)]

@@ -43,11 +43,11 @@
 //! ```
 
 pub mod cache;
-pub mod early;
 pub mod config;
+pub mod early;
 pub mod engine;
-pub mod keyword;
 pub mod error;
+pub mod keyword;
 pub mod lade;
 pub mod normalize;
 pub mod sape;

@@ -112,9 +112,10 @@ impl ConjBranch {
 /// Normalize a pattern tree into conjunctive branches (one per union arm).
 pub fn normalize(pattern: &GraphPattern) -> Result<Vec<ConjBranch>, EngineError> {
     match pattern {
-        GraphPattern::Bgp(tps) => {
-            Ok(vec![ConjBranch { patterns: tps.clone(), ..Default::default() }])
-        }
+        GraphPattern::Bgp(tps) => Ok(vec![ConjBranch {
+            patterns: tps.clone(),
+            ..Default::default()
+        }]),
         GraphPattern::Join(a, b) => {
             let left = normalize(a)?;
             let right = normalize(b)?;
@@ -173,9 +174,10 @@ pub fn normalize(pattern: &GraphPattern) -> Result<Vec<ConjBranch>, EngineError>
 
 fn optional_block(pattern: &GraphPattern) -> Result<OptionalBlock, EngineError> {
     match pattern {
-        GraphPattern::Bgp(tps) => {
-            Ok(OptionalBlock { patterns: tps.clone(), filters: Vec::new() })
-        }
+        GraphPattern::Bgp(tps) => Ok(OptionalBlock {
+            patterns: tps.clone(),
+            filters: Vec::new(),
+        }),
         GraphPattern::Join(a, b) => {
             let mut left = optional_block(a)?;
             let right = optional_block(b)?;
@@ -189,19 +191,17 @@ fn optional_block(pattern: &GraphPattern) -> Result<OptionalBlock, EngineError> 
             Ok(block)
         }
         GraphPattern::Union(..) => Err(EngineError::Unsupported("UNION inside OPTIONAL".into())),
-        GraphPattern::LeftJoin(..) => {
-            Err(EngineError::Unsupported("nested OPTIONAL".into()))
-        }
-        GraphPattern::Values(..) => {
-            Err(EngineError::Unsupported("VALUES inside OPTIONAL".into()))
-        }
+        GraphPattern::LeftJoin(..) => Err(EngineError::Unsupported("nested OPTIONAL".into())),
+        GraphPattern::Values(..) => Err(EngineError::Unsupported("VALUES inside OPTIONAL".into())),
         GraphPattern::SubSelect(_) => {
             Err(EngineError::Unsupported("subselect inside OPTIONAL".into()))
         }
-        GraphPattern::Bind(..) => Err(EngineError::Unsupported("BIND inside OPTIONAL/MINUS".into())),
-        GraphPattern::Minus(..) => {
-            Err(EngineError::Unsupported("MINUS inside OPTIONAL/MINUS".into()))
-        }
+        GraphPattern::Bind(..) => Err(EngineError::Unsupported(
+            "BIND inside OPTIONAL/MINUS".into(),
+        )),
+        GraphPattern::Minus(..) => Err(EngineError::Unsupported(
+            "MINUS inside OPTIONAL/MINUS".into(),
+        )),
     }
 }
 
@@ -275,6 +275,9 @@ mod tests {
             "SELECT * WHERE { ?x a <http://A> OPTIONAL { { ?x a <http://B> } UNION { ?x a <http://C> } } }",
         )
         .unwrap();
-        assert!(matches!(normalize(q.pattern()), Err(EngineError::Unsupported(_))));
+        assert!(matches!(
+            normalize(q.pattern()),
+            Err(EngineError::Unsupported(_))
+        ));
     }
 }

@@ -27,10 +27,7 @@ pub type TpCounts = Vec<FxHashMap<EndpointId, usize>>;
 
 /// The filters from `filters` that can be pushed into a probe for `tp`
 /// (every variable covered by the pattern).
-pub fn pushable_filters<'a>(
-    tp: &TriplePattern,
-    filters: &'a [Expression],
-) -> Vec<&'a Expression> {
+pub fn pushable_filters<'a>(tp: &TriplePattern, filters: &'a [Expression]) -> Vec<&'a Expression> {
     let tp_vars = tp.variables();
     filters
         .iter()
@@ -48,7 +45,11 @@ pub fn count_query(tp: &TriplePattern, filters: &[Expression]) -> Query {
         p = GraphPattern::Filter(Box::new(p), f.clone());
     }
     Query::select(SelectQuery::new(
-        Projection::Count { inner: None, distinct: false, as_var: Variable::new("lusail_c") },
+        Projection::Count {
+            inner: None,
+            distinct: false,
+            as_var: Variable::new("lusail_c"),
+        },
         p,
     ))
 }
@@ -66,8 +67,10 @@ pub fn collect_tp_counts(
     let mut counts: TpCounts = vec![FxHashMap::default(); patterns.len()];
     let mut probes: Vec<(usize, EndpointId, String)> = Vec::new();
     for (i, tp) in patterns.iter().enumerate() {
-        let filter_tag: String =
-            pushable_filters(tp, filters).iter().map(|f| format!("{f:?}")).collect();
+        let filter_tag: String = pushable_filters(tp, filters)
+            .iter()
+            .map(|f| format!("{f:?}"))
+            .collect();
         let key = format!("{}|{}", pattern_key(tp), filter_tag);
         for &ep in &sources[i] {
             match cache.and_then(|c| c.get_count(&key, ep)) {
@@ -80,7 +83,9 @@ pub fn collect_tp_counts(
     }
     let answers = handler.map((0..probes.len()).collect(), |pi| {
         let (i, ep, _) = &probes[pi];
-        federation.endpoint(*ep).count(&count_query(&patterns[*i], filters))
+        federation
+            .endpoint(*ep)
+            .count(&count_query(&patterns[*i], filters))
     });
     for ((i, ep, key), n) in probes.into_iter().zip(answers) {
         let n = n?;
@@ -218,8 +223,10 @@ mod tests {
     #[test]
     fn subquery_cardinality_is_max_over_projection() {
         let pats = vec![tp("?s", "http://a", "?v"), tp("?v", "http://b", "?z")];
-        let counts: TpCounts =
-            vec![[(0, 100)].into_iter().collect(), [(0, 10)].into_iter().collect()];
+        let counts: TpCounts = vec![
+            [(0, 100)].into_iter().collect(),
+            [(0, 10)].into_iter().collect(),
+        ];
         assert_eq!(
             subquery_cardinality(&[0, 1], &[0], &pats, &counts, &[Variable::new("v")]),
             10
@@ -235,7 +242,10 @@ mod tests {
             100
         );
         // Empty projection falls back to all variables (s, v, z).
-        assert_eq!(subquery_cardinality(&[0, 1], &[0], &pats, &counts, &[]), 100);
+        assert_eq!(
+            subquery_cardinality(&[0, 1], &[0], &pats, &counts, &[]),
+            100
+        );
     }
 
     #[test]

@@ -76,7 +76,9 @@ impl SapeExecutor<'_> {
             .flat_map(|&i| subqueries[i].sources.iter().map(move |&ep| (i, ep)))
             .collect();
         let results = self.handler.map(wave.clone(), |(i, ep)| {
-            self.federation.endpoint(ep).select(&subqueries[i].to_query())
+            self.federation
+                .endpoint(ep)
+                .select(&subqueries[i].to_query())
         });
         for ((i, _), rel) in wave.into_iter().zip(results) {
             let rel = rel?;
@@ -99,11 +101,17 @@ impl SapeExecutor<'_> {
         // are joined together. This reduces the number of found bindings.")
         let mut bindings: FxHashMap<Variable, Vec<Term>> = FxHashMap::default();
         {
-            let executed: Vec<usize> =
-                schedule.non_delayed.iter().copied().filter(|&i| partials[i].is_some()).collect();
+            let executed: Vec<usize> = schedule
+                .non_delayed
+                .iter()
+                .copied()
+                .filter(|&i| partials[i].is_some())
+                .collect();
             for component in connected_components(&executed, subqueries) {
-                let rels: Vec<&Relation> =
-                    component.iter().map(|&i| partials[i].as_ref().unwrap()).collect();
+                let rels: Vec<&Relation> = component
+                    .iter()
+                    .map(|&i| partials[i].as_ref().unwrap())
+                    .collect();
                 let joined = join_all(&rels, self.handler);
                 for v in joined.vars() {
                     update_bindings(&mut bindings, v, joined.distinct_values(v));
@@ -151,8 +159,10 @@ impl SapeExecutor<'_> {
         let required: Vec<usize> = (0..subqueries.len())
             .filter(|&i| !subqueries[i].optional && partials[i].is_some())
             .collect();
-        let rels: Vec<&Relation> =
-            required.iter().map(|&i| partials[i].as_ref().unwrap()).collect();
+        let rels: Vec<&Relation> = required
+            .iter()
+            .map(|&i| partials[i].as_ref().unwrap())
+            .collect();
         let mut result = join_all_bridged(&rels, bridges, self.handler);
 
         // ---- Optional subqueries: bound-evaluate, then left-join --------
@@ -163,7 +173,11 @@ impl SapeExecutor<'_> {
             result = result.left_join(&rel);
         }
 
-        Ok(SapeOutcome { relation: result, estimates, delayed_executed })
+        Ok(SapeOutcome {
+            relation: result,
+            estimates,
+            delayed_executed,
+        })
     }
 
     /// Evaluate one subquery with its variables bound to already-found
@@ -187,9 +201,9 @@ impl SapeExecutor<'_> {
         match bind_var {
             None => {
                 let wave: Vec<EndpointId> = sources;
-                let results = self
-                    .handler
-                    .map(wave, |ep| self.federation.endpoint(ep).select(&sq.to_query()));
+                let results = self.handler.map(wave, |ep| {
+                    self.federation.endpoint(ep).select(&sq.to_query())
+                });
                 for rel in results {
                     out.append(rel?);
                 }
@@ -246,9 +260,9 @@ impl SapeExecutor<'_> {
             GraphPattern::Bgp(sq.patterns.clone())
                 .join(GraphPattern::Values(vec![v.clone()], sample)),
         );
-        let answers = self
-            .handler
-            .map(sq.sources.clone(), |ep| self.federation.endpoint(ep).ask(&probe));
+        let answers = self.handler.map(sq.sources.clone(), |ep| {
+            self.federation.endpoint(ep).ask(&probe)
+        });
         let mut kept: Vec<EndpointId> = Vec::new();
         for (ep, yes) in sq.sources.iter().copied().zip(answers) {
             if yes? {
@@ -297,8 +311,7 @@ fn connected_components(executed: &[usize], subqueries: &[Subquery]) -> Vec<Vec<
     let mut components = Vec::new();
     while let Some(seed) = unassigned.pop() {
         let mut component = vec![seed];
-        let mut vars: FxHashSet<Variable> =
-            subqueries[seed].projection.iter().cloned().collect();
+        let mut vars: FxHashSet<Variable> = subqueries[seed].projection.iter().cloned().collect();
         loop {
             let mut grew = false;
             unassigned.retain(|&i| {
@@ -375,11 +388,7 @@ fn join_all_bridged(
 }
 
 /// Intersect (or insert) the found bindings of a variable.
-fn update_bindings(
-    bindings: &mut FxHashMap<Variable, Vec<Term>>,
-    v: &Variable,
-    values: Vec<Term>,
-) {
+fn update_bindings(bindings: &mut FxHashMap<Variable, Vec<Term>>, v: &Variable, values: Vec<Term>) {
     match bindings.get_mut(v) {
         None => {
             bindings.insert(v.clone(), values);
@@ -415,8 +424,9 @@ mod tests {
 
     #[test]
     fn chunk_by_size_respects_both_caps() {
-        let values: Vec<Term> =
-            (0..100).map(|i| Term::iri(format!("http://example.org/entity/{i:04}"))).collect();
+        let values: Vec<Term> = (0..100)
+            .map(|i| Term::iri(format!("http://example.org/entity/{i:04}")))
+            .collect();
         // Count cap dominates.
         let blocks = chunk_by_size(&values, 10, 1 << 20);
         assert_eq!(blocks.len(), 10);

@@ -7,9 +7,9 @@
 
 use lusail_federation::RequestHandler;
 use lusail_rdf::fxhash::FxHashMap;
+use lusail_rdf::Term;
 use lusail_sparql::ast::Variable;
 use lusail_sparql::solution::Relation;
-use lusail_rdf::Term;
 
 /// Compute a join order for `relations` via DP over connected subsets.
 ///
@@ -32,7 +32,10 @@ pub fn dp_join_order(relations: &[Relation]) -> Vec<usize> {
     }
 
     let connected = |a: usize, b: usize| -> bool {
-        relations[a].vars().iter().any(|v| relations[b].index_of(v).is_some())
+        relations[a]
+            .vars()
+            .iter()
+            .any(|v| relations[b].index_of(v).is_some())
     };
 
     // DP over bitmasks: state → (cost, estimated size, order).
@@ -45,14 +48,23 @@ pub fn dp_join_order(relations: &[Relation]) -> Vec<usize> {
     let full: usize = (1 << n) - 1;
     let mut table: FxHashMap<usize, State> = FxHashMap::default();
     for (i, rel) in relations.iter().enumerate() {
-        table.insert(1 << i, State { cost: 0.0, size: rel.len() as f64, order: vec![i] });
+        table.insert(
+            1 << i,
+            State {
+                cost: 0.0,
+                size: rel.len() as f64,
+                order: vec![i],
+            },
+        );
     }
 
     // Grow plans one relation at a time (left-deep is sufficient here: the
     // number of subqueries per branch is small and all joins are hash
     // joins).
     for mask in 1..=full {
-        let Some(state) = table.get(&mask).cloned() else { continue };
+        let Some(state) = table.get(&mask).cloned() else {
+            continue;
+        };
         #[allow(clippy::needless_range_loop)] // r is a bitmask position, not just an index
         for r in 0..n {
             if mask & (1 << r) != 0 {
@@ -60,8 +72,9 @@ pub fn dp_join_order(relations: &[Relation]) -> Vec<usize> {
             }
             // Prefer connected extensions; allow cross products only when
             // nothing in the mask connects to anything outside.
-            let any_connected =
-                (0..n).any(|x| mask & (1 << x) != 0 && (0..n).any(|y| mask & (1 << y) == 0 && connected(x, y)));
+            let any_connected = (0..n).any(|x| {
+                mask & (1 << x) != 0 && (0..n).any(|y| mask & (1 << y) == 0 && connected(x, y))
+            });
             let this_connected = (0..n).any(|x| mask & (1 << x) != 0 && connected(x, r));
             if any_connected && !this_connected {
                 continue;
@@ -73,7 +86,11 @@ pub fn dp_join_order(relations: &[Relation]) -> Vec<usize> {
             // Connected-join size estimate: the paper's min rule — the
             // bindings of the join variable are bounded by the smaller
             // side (C(sq, v, ep) = min(...)). Cross products multiply.
-            let new_size = if this_connected { state.size.min(r_size) } else { state.size * r_size };
+            let new_size = if this_connected {
+                state.size.min(r_size)
+            } else {
+                state.size * r_size
+            };
             let next_mask = mask | (1 << r);
             let better = match table.get(&next_mask) {
                 Some(existing) => new_cost < existing.cost,
@@ -82,11 +99,21 @@ pub fn dp_join_order(relations: &[Relation]) -> Vec<usize> {
             if better {
                 let mut order = state.order.clone();
                 order.push(r);
-                table.insert(next_mask, State { cost: new_cost, size: new_size, order });
+                table.insert(
+                    next_mask,
+                    State {
+                        cost: new_cost,
+                        size: new_size,
+                        order,
+                    },
+                );
             }
         }
     }
-    table.remove(&full).map(|s| s.order).unwrap_or_else(|| greedy_order(relations))
+    table
+        .remove(&full)
+        .map(|s| s.order)
+        .unwrap_or_else(|| greedy_order(relations))
 }
 
 fn greedy_order(relations: &[Relation]) -> Vec<usize> {
@@ -99,8 +126,12 @@ fn greedy_order(relations: &[Relation]) -> Vec<usize> {
 /// threads (the paper's step (ii): threads holding the larger relation
 /// probe hash tables built from the smaller one).
 pub fn parallel_join(a: &Relation, b: &Relation, handler: &RequestHandler) -> Relation {
-    let shared: Vec<Variable> =
-        a.vars().iter().filter(|v| b.index_of(v).is_some()).cloned().collect();
+    let shared: Vec<Variable> = a
+        .vars()
+        .iter()
+        .filter(|v| b.index_of(v).is_some())
+        .cloned()
+        .collect();
     let parts = handler.threads();
     if shared.is_empty() || a.len().min(b.len()) < 1024 || parts < 2 {
         // Products and small inputs aren't worth the partitioning overhead.
@@ -120,8 +151,12 @@ pub fn parallel_join(a: &Relation, b: &Relation, handler: &RequestHandler) -> Re
 
     // Partition both sides; rows with unbound join keys join with every
     // partition, so collect them separately and handle via the fallback.
-    let mut a_parts: Vec<Relation> = (0..parts).map(|_| Relation::new(a.vars().to_vec())).collect();
-    let mut b_parts: Vec<Relation> = (0..parts).map(|_| Relation::new(b.vars().to_vec())).collect();
+    let mut a_parts: Vec<Relation> = (0..parts)
+        .map(|_| Relation::new(a.vars().to_vec()))
+        .collect();
+    let mut b_parts: Vec<Relation> = (0..parts)
+        .map(|_| Relation::new(b.vars().to_vec()))
+        .collect();
     let mut loose = false;
     for row in a.rows() {
         match hash_row(row, &a_idx) {

@@ -35,11 +35,15 @@ pub fn make_schedule(
     threshold: DelayThreshold,
 ) -> Schedule {
     assert_eq!(subqueries.len(), cardinalities.len());
-    let mut schedule = Schedule { non_delayed: Vec::new(), delayed: Vec::new() };
+    let mut schedule = Schedule {
+        non_delayed: Vec::new(),
+        delayed: Vec::new(),
+    };
 
     // Optional subqueries are always delayed (category (iii) in §4.1).
-    let required: Vec<usize> =
-        (0..subqueries.len()).filter(|&i| !subqueries[i].optional).collect();
+    let required: Vec<usize> = (0..subqueries.len())
+        .filter(|&i| !subqueries[i].optional)
+        .collect();
     for (i, sq) in subqueries.iter().enumerate() {
         if sq.optional {
             schedule.delayed.push(i);
@@ -51,7 +55,10 @@ pub fn make_schedule(
     }
 
     let cards: Vec<f64> = required.iter().map(|&i| cardinalities[i] as f64).collect();
-    let n_eps: Vec<f64> = required.iter().map(|&i| subqueries[i].sources.len() as f64).collect();
+    let n_eps: Vec<f64> = required
+        .iter()
+        .map(|&i| subqueries[i].sources.len() as f64)
+        .collect();
     let (mu_c, sigma_c) = clean_mean_std(&cards);
     let (mu_e, sigma_e) = clean_mean_std(&n_eps);
     let card_outliers = chauvenet_outliers(&cards);

@@ -64,8 +64,12 @@ pub fn chauvenet_outliers(xs: &[f64]) -> Vec<bool> {
 /// outliers.
 pub fn clean_mean_std(xs: &[f64]) -> (f64, f64) {
     let mask = chauvenet_outliers(xs);
-    let kept: Vec<f64> =
-        xs.iter().zip(&mask).filter(|(_, &out)| !out).map(|(&x, _)| x).collect();
+    let kept: Vec<f64> = xs
+        .iter()
+        .zip(&mask)
+        .filter(|(_, &out)| !out)
+        .map(|(&x, _)| x)
+        .collect();
     (mean(&kept), std_dev(&kept))
 }
 

@@ -69,7 +69,10 @@ pub fn select_sources(
         }
     }
 
-    Ok(result.into_iter().map(|r| r.expect("all patterns resolved")).collect())
+    Ok(result
+        .into_iter()
+        .map(|r| r.expect("all patterns resolved"))
+        .collect())
 }
 
 #[cfg(test)]
@@ -103,8 +106,11 @@ mod tests {
                     Term::iri(format!("http://{name}/o{i}")),
                 );
             }
-            Arc::new(SimulatedEndpoint::new(name, Store::from_graph(&g), NetworkProfile::instant()))
-                as Arc<dyn SparqlEndpoint>
+            Arc::new(SimulatedEndpoint::new(
+                name,
+                Store::from_graph(&g),
+                NetworkProfile::instant(),
+            )) as Arc<dyn SparqlEndpoint>
         };
         Federation::new(vec![
             make("ep0", &["p"]),
@@ -138,8 +144,13 @@ mod tests {
         let before = fed.total_traffic().requests;
         assert!(before > 0);
         // Same pattern, different variable names → cache hit, no traffic.
-        let srcs = select_sources(&fed, &handler, Some(&cache), &[tp("?a", "http://x/p", "?b")])
-            .unwrap();
+        let srcs = select_sources(
+            &fed,
+            &handler,
+            Some(&cache),
+            &[tp("?a", "http://x/p", "?b")],
+        )
+        .unwrap();
         assert_eq!(fed.total_traffic().requests, before);
         assert_eq!(srcs[0], vec![0, 2]);
     }
@@ -159,8 +170,7 @@ mod tests {
     fn unknown_predicate_has_no_sources() {
         let fed = fed();
         let handler = RequestHandler::new(4);
-        let srcs =
-            select_sources(&fed, &handler, None, &[tp("?s", "http://x/zzz", "?o")]).unwrap();
+        let srcs = select_sources(&fed, &handler, None, &[tp("?s", "http://x/zzz", "?o")]).unwrap();
         assert!(srcs[0].is_empty());
     }
 }

@@ -58,7 +58,10 @@ impl Subquery {
 
     /// The `SELECT` query shipped to each relevant endpoint.
     pub fn to_query(&self) -> Query {
-        Query::select(SelectQuery::new(Projection::Vars(self.projection.clone()), self.body()))
+        Query::select(SelectQuery::new(
+            Projection::Vars(self.projection.clone()),
+            self.body(),
+        ))
     }
 
     /// The bound-join form: the subquery with a `VALUES` block binding
@@ -66,8 +69,13 @@ impl Subquery {
     /// "groups values from the hashmap into blocks and submits a subquery
     /// for each block").
     pub fn to_bound_query(&self, vars: &[Variable], block: &[Vec<Option<Term>>]) -> Query {
-        let body = self.body().join(GraphPattern::Values(vars.to_vec(), block.to_vec()));
-        Query::select(SelectQuery::new(Projection::Vars(self.projection.clone()), body))
+        let body = self
+            .body()
+            .join(GraphPattern::Values(vars.to_vec(), block.to_vec()));
+        Query::select(SelectQuery::new(
+            Projection::Vars(self.projection.clone()),
+            body,
+        ))
     }
 
     /// A `SELECT COUNT` probe for one triple pattern of this subquery,
@@ -136,7 +144,10 @@ mod tests {
     fn bound_query_includes_values() {
         let q = sq().to_bound_query(
             &[Variable::new("o")],
-            &[vec![Some(Term::iri("http://x/o1"))], vec![Some(Term::iri("http://x/o2"))]],
+            &[
+                vec![Some(Term::iri("http://x/o1"))],
+                vec![Some(Term::iri("http://x/o2"))],
+            ],
         );
         let text = lusail_sparql::serializer::serialize_query(&q);
         assert!(text.contains("VALUES"), "{text}");

@@ -229,8 +229,16 @@ mod tests {
 
     fn endpoint() -> SimulatedEndpoint {
         let mut g = Graph::new();
-        g.add(Term::iri("http://x/a"), Term::iri("http://x/p"), Term::iri("http://x/b"));
-        g.add(Term::iri("http://x/b"), Term::iri("http://x/p"), Term::iri("http://x/c"));
+        g.add(
+            Term::iri("http://x/a"),
+            Term::iri("http://x/p"),
+            Term::iri("http://x/b"),
+        );
+        g.add(
+            Term::iri("http://x/b"),
+            Term::iri("http://x/p"),
+            Term::iri("http://x/c"),
+        );
         SimulatedEndpoint::new("ep0", Store::from_graph(&g), NetworkProfile::instant())
     }
 
@@ -285,7 +293,10 @@ mod tests {
     fn request_size_limit_rejects_big_queries() {
         let ep = endpoint();
         let ep = SimulatedEndpoint::new("lim", ep.store().clone(), NetworkProfile::instant())
-            .with_limits(EndpointLimits { max_request_bytes: Some(64), max_result_rows: None });
+            .with_limits(EndpointLimits {
+                max_request_bytes: Some(64),
+                max_result_rows: None,
+            });
         let small = parse_query("ASK { ?s ?p ?o }").unwrap();
         assert!(ep.ask(&small).is_ok());
         let big = parse_query(
@@ -303,7 +314,10 @@ mod tests {
     fn result_row_limit_truncates() {
         let ep = endpoint();
         let ep = SimulatedEndpoint::new("cap", ep.store().clone(), NetworkProfile::instant())
-            .with_limits(EndpointLimits { max_request_bytes: None, max_result_rows: Some(1) });
+            .with_limits(EndpointLimits {
+                max_request_bytes: None,
+                max_result_rows: Some(1),
+            });
         let q = parse_query("SELECT ?s ?o WHERE { ?s <http://x/p> ?o }").unwrap();
         let r = ep.select(&q).unwrap();
         assert_eq!(r.len(), 1, "server cap must truncate the 2-row result");

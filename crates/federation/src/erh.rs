@@ -6,8 +6,7 @@
 //! with one logical thread per endpoint. The pool is sized by the number of
 //! available cores by default, exactly as the paper describes ERH sizing.
 
-use crossbeam::channel;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex};
 
 /// A fixed-size worker pool for blocking endpoint requests.
 ///
@@ -22,13 +21,17 @@ pub struct RequestHandler {
 impl RequestHandler {
     /// A pool with an explicit thread count. Counts are clamped to ≥ 1.
     pub fn new(threads: usize) -> Self {
-        RequestHandler { threads: threads.max(1) }
+        RequestHandler {
+            threads: threads.max(1),
+        }
     }
 
     /// A pool sized like the paper's ERH: the number of physical cores, but
     /// never fewer than 4 so network waits still overlap on small machines.
     pub fn per_core() -> Self {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         RequestHandler::new(cores.max(4))
     }
 
@@ -52,24 +55,23 @@ impl RequestHandler {
             return tasks.into_iter().map(|f| f()).collect();
         }
 
-        let (task_tx, task_rx) = channel::unbounded::<(usize, F)>();
-        let (res_tx, res_rx) = channel::unbounded::<(usize, T)>();
-        for (i, f) in tasks.into_iter().enumerate() {
-            task_tx.send((i, f)).expect("queueing task");
-        }
-        drop(task_tx);
+        // Workers pull from a shared queue (a locked iterator — std has no
+        // MPMC channel) and push results through an MPSC channel.
+        let queue = Mutex::new(tasks.into_iter().enumerate());
+        let (res_tx, res_rx) = mpsc::channel::<(usize, T)>();
 
         let workers = self.threads.min(n);
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                let task_rx = task_rx.clone();
+                let queue = &queue;
                 let res_tx = res_tx.clone();
-                scope.spawn(move || {
-                    while let Ok((i, f)) = task_rx.recv() {
-                        let r = f();
-                        if res_tx.send((i, r)).is_err() {
-                            break;
-                        }
+                scope.spawn(move || loop {
+                    let Some((i, f)) = queue.lock().expect("task queue poisoned").next() else {
+                        break;
+                    };
+                    let r = f();
+                    if res_tx.send((i, r)).is_err() {
+                        break;
                     }
                 });
             }
@@ -78,7 +80,10 @@ impl RequestHandler {
             while let Ok((i, r)) = res_rx.recv() {
                 slots[i] = Some(r);
             }
-            slots.into_iter().map(|s| s.expect("worker completed every task")).collect()
+            slots
+                .into_iter()
+                .map(|s| s.expect("worker completed every task"))
+                .collect()
         })
     }
 
@@ -134,7 +139,9 @@ mod tests {
         // 8 tasks × 20 ms each on 8 threads should take ≪ 160 ms.
         let pool = RequestHandler::new(8);
         let start = Instant::now();
-        pool.map((0..8).collect(), |_: usize| std::thread::sleep(Duration::from_millis(20)));
+        pool.map((0..8).collect(), |_: usize| {
+            std::thread::sleep(Duration::from_millis(20))
+        });
         let elapsed = start.elapsed();
         assert!(
             elapsed < Duration::from_millis(120),

@@ -62,7 +62,10 @@ impl Federation {
 impl std::fmt::Debug for Federation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Federation")
-            .field("endpoints", &self.endpoints.iter().map(|e| e.name()).collect::<Vec<_>>())
+            .field(
+                "endpoints",
+                &self.endpoints.iter().map(|e| e.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }

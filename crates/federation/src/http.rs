@@ -1,0 +1,769 @@
+//! A real HTTP transport for SPARQL endpoints, built on `std::net` only.
+//!
+//! [`HttpEndpoint`] implements [`SparqlEndpoint`] by speaking the SPARQL
+//! 1.1 Protocol over hand-rolled HTTP/1.1: it POSTs the query as
+//! `application/sparql-query` (or GETs `?query=` when configured),
+//! reads Content-Length or chunked responses, and parses the
+//! `application/sparql-results+json` body with [`crate::results_json`].
+//!
+//! Reliability knobs live in [`HttpConfig`]: a per-attempt deadline that
+//! bounds connect, send, and every read; and retry with doubling backoff
+//! on connect/transport errors and 5xx responses (4xx and malformed
+//! result documents fail immediately — retrying a rejected query cannot
+//! help). Connections are kept alive and reused across requests; a stale
+//! pooled connection simply burns one retry.
+//!
+//! Traffic accounting mirrors [`SimulatedEndpoint`](crate::SimulatedEndpoint):
+//! requests, bytes on the wire in both directions, and the measured
+//! network time (here it is *real* wall-clock time spent on the socket,
+//! reported through the same `simulated_network_time` field).
+
+use crate::endpoint::{EndpointError, SparqlEndpoint};
+use crate::network::{RequestCounters, TrafficSnapshot};
+use crate::results_json;
+use lusail_sparql::ast::Query;
+use lusail_store::eval::QueryResult;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A parsed `http://host[:port]/path` endpoint URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Url {
+    pub host: String,
+    pub port: u16,
+    /// Path plus any query string, always starting with `/`.
+    pub path: String,
+}
+
+impl Url {
+    /// Parse an endpoint URL. Only `http` is supported (there is no TLS
+    /// stack in a std-only build); `https` URLs are rejected with a clear
+    /// message rather than failing mid-handshake.
+    pub fn parse(url: &str) -> Result<Url, String> {
+        let rest = url.strip_prefix("http://").ok_or_else(|| {
+            if url.starts_with("https://") {
+                format!("{url}: https is not supported (std-only build has no TLS)")
+            } else {
+                format!("{url}: expected an http:// URL")
+            }
+        })?;
+        let (authority, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => {
+                let port = p
+                    .parse::<u16>()
+                    .map_err(|_| format!("{url}: invalid port {p:?}"))?;
+                (h, port)
+            }
+            None => (authority, 80),
+        };
+        if host.is_empty() {
+            return Err(format!("{url}: missing host"));
+        }
+        Ok(Url {
+            host: host.to_string(),
+            port,
+            path: path.to_string(),
+        })
+    }
+
+    /// The `Host:` header value (port elided when it is the default 80).
+    pub fn host_header(&self) -> String {
+        if self.port == 80 {
+            self.host.clone()
+        } else {
+            format!("{}:{}", self.host, self.port)
+        }
+    }
+
+    fn socket_addr(&self) -> io::Result<SocketAddr> {
+        (self.host.as_str(), self.port)
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "host resolved to no address"))
+    }
+}
+
+impl std::fmt::Display for Url {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "http://{}{}", self.host_header(), self.path)
+    }
+}
+
+/// Client transport settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Overall deadline for one request attempt (send + all reads).
+    pub request_timeout: Duration,
+    /// Additional attempts after the first, on connect/transport errors
+    /// and 5xx responses.
+    pub retries: u32,
+    /// Sleep before the first retry; doubles on each subsequent one.
+    pub backoff: Duration,
+    /// Send `GET ?query=…` instead of `POST application/sparql-query`.
+    pub use_get: bool,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            connect_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(30),
+            retries: 2,
+            backoff: Duration::from_millis(50),
+            use_get: false,
+        }
+    }
+}
+
+/// A remote SPARQL endpoint reached over HTTP.
+pub struct HttpEndpoint {
+    name: String,
+    url: Url,
+    config: HttpConfig,
+    counters: RequestCounters,
+    /// Pooled keep-alive connection, reused across requests.
+    conn: Mutex<Option<TcpStream>>,
+}
+
+impl HttpEndpoint {
+    /// Create an endpoint from a URL string like
+    /// `http://127.0.0.1:8890/sparql`.
+    pub fn new(name: impl Into<String>, url: &str) -> Result<Self, EndpointError> {
+        let name = name.into();
+        let url = Url::parse(url).map_err(|message| EndpointError {
+            endpoint: name.clone(),
+            message,
+        })?;
+        Ok(HttpEndpoint {
+            name,
+            url,
+            config: HttpConfig::default(),
+            counters: RequestCounters::new(),
+            conn: Mutex::new(None),
+        })
+    }
+
+    /// Override the transport settings.
+    pub fn with_config(mut self, config: HttpConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The endpoint URL.
+    pub fn url(&self) -> &Url {
+        &self.url
+    }
+
+    fn error(&self, message: impl Into<String>) -> EndpointError {
+        EndpointError {
+            endpoint: self.name.clone(),
+            message: message.into(),
+        }
+    }
+
+    /// One attempt: send the request, read one full response. Transport
+    /// failures come back as `Err(io)`; any complete HTTP response — even
+    /// a 500 — is `Ok`.
+    fn attempt(&self, request: &[u8]) -> io::Result<HttpResponse> {
+        let deadline = Instant::now() + self.config.request_timeout;
+        let mut pooled = true;
+        let stream = match self.conn.lock().expect("conn lock poisoned").take() {
+            Some(s) => s,
+            None => {
+                pooled = false;
+                TcpStream::connect_timeout(&self.url.socket_addr()?, self.config.connect_timeout)?
+            }
+        };
+        stream.set_nodelay(true).ok();
+        let result = send_and_read(&stream, request, deadline);
+        match result {
+            Ok(resp) => {
+                if resp.keep_alive {
+                    *self.conn.lock().expect("conn lock poisoned") = Some(stream);
+                }
+                Ok(resp)
+            }
+            Err(e) if pooled => {
+                // The server closed our pooled connection between requests;
+                // surface as a retryable transport error on a fresh socket.
+                Err(io::Error::new(
+                    e.kind(),
+                    format!("stale pooled connection: {e}"),
+                ))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn build_request(&self, query_text: &str) -> Vec<u8> {
+        let host = self.url.host_header();
+        if self.config.use_get {
+            let sep = if self.url.path.contains('?') {
+                '&'
+            } else {
+                '?'
+            };
+            format!(
+                "GET {}{}query={} HTTP/1.1\r\nHost: {}\r\nAccept: {}\r\nUser-Agent: lusail\r\n\r\n",
+                self.url.path,
+                sep,
+                percent_encode(query_text),
+                host,
+                results_json::MEDIA_TYPE,
+            )
+            .into_bytes()
+        } else {
+            let body = query_text.as_bytes();
+            let mut req = format!(
+                "POST {} HTTP/1.1\r\nHost: {}\r\nAccept: {}\r\nUser-Agent: lusail\r\n\
+                 Content-Type: application/sparql-query\r\nContent-Length: {}\r\n\r\n",
+                self.url.path,
+                host,
+                results_json::MEDIA_TYPE,
+                body.len(),
+            )
+            .into_bytes();
+            req.extend_from_slice(body);
+            req
+        }
+    }
+}
+
+impl SparqlEndpoint for HttpEndpoint {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute(&self, query: &Query) -> Result<QueryResult, EndpointError> {
+        let text = lusail_sparql::serializer::serialize_query(query);
+        let request = self.build_request(&text);
+        let attempts = self.config.retries + 1;
+        let mut last_failure = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.config.backoff * (1 << (attempt - 1).min(16)));
+            }
+            let started = Instant::now();
+            match self.attempt(&request) {
+                Ok(resp) => {
+                    self.counters
+                        .record(request.len(), resp.wire_bytes, started.elapsed());
+                    match resp.status {
+                        200 => {
+                            let body = String::from_utf8_lossy(&resp.body);
+                            return results_json::parse(&body).map_err(|e| {
+                                self.error(format!("unparseable results from {}: {e}", self.url))
+                            });
+                        }
+                        500..=599 => {
+                            last_failure = format!(
+                                "HTTP {} from {}: {}",
+                                resp.status,
+                                self.url,
+                                resp.body_head()
+                            );
+                        }
+                        status => {
+                            // 4xx (and anything else unexpected) is the
+                            // server rejecting *this query* — don't retry.
+                            return Err(self.error(format!(
+                                "HTTP {status} from {}: {}",
+                                self.url,
+                                resp.body_head()
+                            )));
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.counters.record(request.len(), 0, started.elapsed());
+                    last_failure = format!("transport error talking to {}: {e}", self.url);
+                }
+            }
+        }
+        Err(self.error(format!(
+            "giving up after {attempts} attempts: {last_failure}"
+        )))
+    }
+
+    fn traffic(&self) -> TrafficSnapshot {
+        self.counters.snapshot()
+    }
+
+    fn reset_traffic(&self) {
+        self.counters.reset();
+    }
+}
+
+/// One fully-read HTTP response.
+struct HttpResponse {
+    status: u16,
+    body: Vec<u8>,
+    /// Total bytes read off the socket (status line + headers + body).
+    wire_bytes: usize,
+    keep_alive: bool,
+}
+
+impl HttpResponse {
+    /// The first line of the body, truncated — enough for an error message
+    /// without dumping a whole document.
+    fn body_head(&self) -> String {
+        let text = String::from_utf8_lossy(&self.body);
+        let line = text.lines().next().unwrap_or("");
+        let head: String = line.chars().take(160).collect();
+        if head.is_empty() {
+            "<empty body>".to_string()
+        } else {
+            head
+        }
+    }
+}
+
+fn send_and_read(
+    stream: &TcpStream,
+    request: &[u8],
+    deadline: Instant,
+) -> io::Result<HttpResponse> {
+    let remaining = deadline
+        .checked_duration_since(Instant::now())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "request deadline exceeded"))?;
+    stream.set_write_timeout(Some(remaining))?;
+    (&mut &*stream).write_all(request)?;
+    (&mut &*stream).flush()?;
+    let mut reader = DeadlineReader {
+        stream,
+        buf: Vec::new(),
+        pos: 0,
+        deadline,
+        total: 0,
+    };
+    read_response(&mut reader)
+}
+
+/// Parse one HTTP/1.1 response from `reader`.
+fn read_response(reader: &mut DeadlineReader<'_>) -> io::Result<HttpResponse> {
+    let status_line = reader.read_line()?;
+    let status = parse_status_line(&status_line)
+        .ok_or_else(|| bad_data(format!("malformed status line {status_line:?}")))?;
+
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    let mut keep_alive = true; // HTTP/1.1 default
+    loop {
+        let line = reader.read_line()?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad_data(format!("malformed header line {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = Some(
+                    value
+                        .parse()
+                        .map_err(|_| bad_data(format!("bad Content-Length {value:?}")))?,
+                );
+            }
+            "transfer-encoding" => {
+                chunked = value.eq_ignore_ascii_case("chunked");
+            }
+            "connection" => {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let body = if chunked {
+        read_chunked_body(reader)?
+    } else if let Some(n) = content_length {
+        reader.read_exact_vec(n)?
+    } else {
+        // No framing: the body runs to connection close.
+        keep_alive = false;
+        reader.read_to_close()?
+    };
+    Ok(HttpResponse {
+        status,
+        body,
+        wire_bytes: reader.total,
+        keep_alive,
+    })
+}
+
+fn parse_status_line(line: &str) -> Option<u16> {
+    let mut parts = line.split_whitespace();
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    parts.next()?.parse().ok()
+}
+
+fn read_chunked_body(reader: &mut DeadlineReader<'_>) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let size_line = reader.read_line()?;
+        let size_hex = size_line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_hex, 16)
+            .map_err(|_| bad_data(format!("bad chunk size {size_line:?}")))?;
+        if size == 0 {
+            // Trailer section, ends with an empty line.
+            while !reader.read_line()?.is_empty() {}
+            return Ok(body);
+        }
+        body.extend_from_slice(&reader.read_exact_vec(size)?);
+        let crlf = reader.read_line()?;
+        if !crlf.is_empty() {
+            return Err(bad_data("chunk data not followed by CRLF"));
+        }
+    }
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A tiny buffered reader that re-arms the socket read timeout with the
+/// remaining deadline before every receive, and counts bytes read.
+struct DeadlineReader<'a> {
+    stream: &'a TcpStream,
+    buf: Vec<u8>,
+    pos: usize,
+    deadline: Instant,
+    total: usize,
+}
+
+impl DeadlineReader<'_> {
+    /// Pull more bytes off the socket. Returns 0 at orderly EOF.
+    fn fill(&mut self) -> io::Result<usize> {
+        let remaining = self
+            .deadline
+            .checked_duration_since(Instant::now())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "response deadline exceeded"))?;
+        self.stream.set_read_timeout(Some(remaining))?;
+        let mut chunk = [0u8; 8192];
+        let n = (&mut &*self.stream).read(&mut chunk)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        self.total += n;
+        Ok(n)
+    }
+
+    /// Read one line, stripping the trailing CRLF (or bare LF).
+    fn read_line(&mut self) -> io::Result<String> {
+        loop {
+            if let Some(nl) = self.buf[self.pos..].iter().position(|&b| b == b'\n') {
+                let end = self.pos + nl;
+                let mut line = &self.buf[self.pos..end];
+                if line.last() == Some(&b'\r') {
+                    line = &line[..line.len() - 1];
+                }
+                let text = String::from_utf8_lossy(line).into_owned();
+                self.pos = end + 1;
+                return Ok(text);
+            }
+            if self.buf.len() > 1 << 20 {
+                return Err(bad_data("header line longer than 1 MiB"));
+            }
+            if self.fill()? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-line",
+                ));
+            }
+        }
+    }
+
+    fn read_exact_vec(&mut self, n: usize) -> io::Result<Vec<u8>> {
+        while self.buf.len() - self.pos < n {
+            if self.fill()? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+        }
+        let out = self.buf[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn read_to_close(&mut self) -> io::Result<Vec<u8>> {
+        while self.fill()? > 0 {}
+        let out = self.buf[self.pos..].to_vec();
+        self.pos = self.buf.len();
+        Ok(out)
+    }
+}
+
+/// Percent-encode for a URL query component (RFC 3986 unreserved set kept).
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Decode a percent-encoded component. With `form`, `+` decodes to space
+/// (the `application/x-www-form-urlencoded` convention).
+pub fn percent_decode(s: &str, form: bool) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| "truncated percent escape".to_string())?;
+                let hex = std::str::from_utf8(hex).map_err(|_| "bad percent escape")?;
+                let v = u8::from_str_radix(hex, 16)
+                    .map_err(|_| format!("bad percent escape %{hex}"))?;
+                out.push(v);
+                i += 3;
+            }
+            b'+' if form => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| "percent-decoded bytes are not UTF-8".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpListener;
+
+    #[test]
+    fn url_parsing() {
+        let u = Url::parse("http://127.0.0.1:8890/sparql").unwrap();
+        assert_eq!(
+            (u.host.as_str(), u.port, u.path.as_str()),
+            ("127.0.0.1", 8890, "/sparql")
+        );
+        assert_eq!(u.host_header(), "127.0.0.1:8890");
+
+        let u = Url::parse("http://example.org").unwrap();
+        assert_eq!((u.port, u.path.as_str()), (80, "/"));
+        assert_eq!(u.host_header(), "example.org");
+
+        assert!(Url::parse("https://example.org/")
+            .unwrap_err()
+            .contains("TLS"));
+        assert!(Url::parse("ftp://example.org/").is_err());
+        assert!(Url::parse("http://:80/").is_err());
+        assert!(Url::parse("http://h:notaport/").is_err());
+    }
+
+    #[test]
+    fn percent_round_trip() {
+        let q = "SELECT ?s WHERE { ?s <http://x/p> \"a b+c\" } # ünïcödé";
+        let enc = percent_encode(q);
+        assert!(!enc.contains(' ') && !enc.contains('"'));
+        assert_eq!(percent_decode(&enc, false).unwrap(), q);
+        // Form decoding turns '+' into space.
+        assert_eq!(percent_decode("a+b%20c", true).unwrap(), "a b c");
+        assert_eq!(percent_decode("a+b", false).unwrap(), "a+b");
+        assert!(percent_decode("%zz", false).is_err());
+        assert!(percent_decode("%2", false).is_err());
+    }
+
+    /// Spawn a one-shot server that answers each accepted connection with
+    /// the canned responses, in order (one response per connection).
+    fn canned_server(responses: Vec<Vec<u8>>) -> (String, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            for response in responses {
+                let (mut sock, _) = listener.accept().unwrap();
+                // Drain the request headers (and POST body) minimally.
+                let mut reader = BufReader::new(sock.try_clone().unwrap());
+                let mut content_length = 0usize;
+                loop {
+                    let mut line = String::new();
+                    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                        break;
+                    }
+                    let t = line.trim();
+                    if let Some(v) = t.to_ascii_lowercase().strip_prefix("content-length:") {
+                        content_length = v.trim().parse().unwrap_or(0);
+                    }
+                    if t.is_empty() {
+                        break;
+                    }
+                }
+                if content_length > 0 {
+                    let mut body = vec![0u8; content_length];
+                    reader.read_exact(&mut body).ok();
+                }
+                sock.write_all(&response).ok();
+                // Connection drops when `sock` goes out of scope.
+            }
+        });
+        (format!("http://{addr}/sparql"), handle)
+    }
+
+    fn ok_response(body: &str) -> Vec<u8> {
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/sparql-results+json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .into_bytes()
+    }
+
+    fn test_config() -> HttpConfig {
+        HttpConfig {
+            connect_timeout: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(5),
+            retries: 2,
+            backoff: Duration::from_millis(1),
+            use_get: false,
+        }
+    }
+
+    fn ask_query() -> Query {
+        lusail_sparql::parse_query("ASK { ?s ?p ?o }").unwrap()
+    }
+
+    #[test]
+    fn retries_500_then_succeeds() {
+        let boolean = results_json::boolean_json(true);
+        let (url, server) = canned_server(vec![
+            b"HTTP/1.1 500 Internal Server Error\r\nContent-Length: 4\r\nConnection: close\r\n\r\noops".to_vec(),
+            ok_response(&boolean),
+        ]);
+        let ep = HttpEndpoint::new("flaky", &url)
+            .unwrap()
+            .with_config(test_config());
+        assert!(ep.ask(&ask_query()).unwrap());
+        let t = ep.traffic();
+        assert_eq!(t.requests, 2, "the 500 attempt must be counted too");
+        assert!(t.simulated_network_time > Duration::ZERO);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn exhausted_retries_surface_endpoint_error() {
+        let five_hundred =
+            b"HTTP/1.1 503 Unavailable\r\nContent-Length: 4\r\nConnection: close\r\n\r\nbusy"
+                .to_vec();
+        let (url, server) = canned_server(vec![
+            five_hundred.clone(),
+            five_hundred.clone(),
+            five_hundred,
+        ]);
+        let ep = HttpEndpoint::new("down", &url)
+            .unwrap()
+            .with_config(test_config());
+        let err = ep.execute(&ask_query()).unwrap_err();
+        assert_eq!(err.endpoint, "down");
+        assert!(err.message.contains("3 attempts"), "{err}");
+        assert!(err.message.contains("503"), "{err}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn client_error_is_not_retried() {
+        let (url, server) = canned_server(vec![
+            b"HTTP/1.1 400 Bad Request\r\nContent-Length: 9\r\nConnection: close\r\n\r\nbad query"
+                .to_vec(),
+        ]);
+        let ep = HttpEndpoint::new("strict", &url)
+            .unwrap()
+            .with_config(test_config());
+        let err = ep.execute(&ask_query()).unwrap_err();
+        assert!(err.message.contains("400"), "{err}");
+        assert!(err.message.contains("bad query"), "{err}");
+        assert_eq!(ep.traffic().requests, 1, "4xx must not be retried");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn connection_drop_mid_response_is_retried() {
+        let boolean = results_json::boolean_json(false);
+        let truncated = b"HTTP/1.1 200 OK\r\nContent-Length: 9999\r\n\r\n{\"head\":".to_vec();
+        let (url, server) = canned_server(vec![truncated, ok_response(&boolean)]);
+        let ep = HttpEndpoint::new("drops", &url)
+            .unwrap()
+            .with_config(test_config());
+        assert!(!ep.ask(&ask_query()).unwrap());
+        assert_eq!(ep.traffic().requests, 2);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_http_is_a_transport_error() {
+        let (url, server) = canned_server(vec![b"NOT HTTP AT ALL\r\n\r\n".to_vec(); 3]);
+        let ep = HttpEndpoint::new("garbled", &url)
+            .unwrap()
+            .with_config(test_config());
+        let err = ep.execute(&ask_query()).unwrap_err();
+        assert!(err.message.contains("malformed status line"), "{err}");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn chunked_responses_are_reassembled() {
+        let boolean = results_json::boolean_json(true);
+        let (a, b) = boolean.split_at(boolean.len() / 2);
+        let chunked = format!(
+            "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n\
+             {:x}\r\n{}\r\n{:x}\r\n{}\r\n0\r\n\r\n",
+            a.len(),
+            a,
+            b.len(),
+            b
+        );
+        let (url, server) = canned_server(vec![chunked.into_bytes()]);
+        let ep = HttpEndpoint::new("chunky", &url)
+            .unwrap()
+            .with_config(test_config());
+        assert!(ep.ask(&ask_query()).unwrap());
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn unreachable_endpoint_reports_transport_error() {
+        // A bound-then-dropped listener leaves a port nothing listens on.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let ep = HttpEndpoint::new("nobody", &format!("http://127.0.0.1:{port}/sparql"))
+            .unwrap()
+            .with_config(HttpConfig {
+                retries: 1,
+                ..test_config()
+            });
+        let err = ep.execute(&ask_query()).unwrap_err();
+        assert!(err.message.contains("transport error"), "{err}");
+        assert_eq!(ep.traffic().requests, 2);
+    }
+}

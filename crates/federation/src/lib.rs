@@ -23,13 +23,26 @@
 //! multiple ERH threads genuinely overlaps them — the parallelism-versus-
 //! communication trade-off that SAPE optimizes behaves as it does against
 //! real endpoints, just on a compressed timescale.
+//!
+//! ## The real wire
+//!
+//! The simulation is one side of a seam; the other is [`HttpEndpoint`], a
+//! std-only HTTP client that speaks the SPARQL 1.1 Protocol to any server
+//! (including our own `lusail-server`). Both implement [`SparqlEndpoint`],
+//! so every engine runs unchanged over either transport. The shared wire
+//! format — SPARQL 1.1 JSON Results — lives in [`results_json`], with its
+//! hand-rolled JSON layer in [`json`].
 
 pub mod endpoint;
 pub mod erh;
 pub mod federation;
+pub mod http;
+pub mod json;
 pub mod network;
+pub mod results_json;
 
 pub use endpoint::{EndpointError, EndpointId, EndpointLimits, SimulatedEndpoint, SparqlEndpoint};
 pub use erh::RequestHandler;
 pub use federation::Federation;
+pub use http::{HttpConfig, HttpEndpoint};
 pub use network::{NetworkProfile, RequestCounters, TrafficSnapshot};

@@ -24,19 +24,28 @@ pub struct NetworkProfile {
 impl NetworkProfile {
     /// No simulated network cost at all (useful in unit tests).
     pub fn instant() -> Self {
-        NetworkProfile { latency: Duration::ZERO, bytes_per_sec: u64::MAX }
+        NetworkProfile {
+            latency: Duration::ZERO,
+            bytes_per_sec: u64::MAX,
+        }
     }
 
     /// The paper's local-cluster setting (1–10 Gbps Ethernet, same rack):
     /// a small but non-zero round trip.
     pub fn local_cluster() -> Self {
-        NetworkProfile { latency: Duration::from_micros(200), bytes_per_sec: 125_000_000 }
+        NetworkProfile {
+            latency: Duration::from_micros(200),
+            bytes_per_sec: 125_000_000,
+        }
     }
 
     /// The paper's geo-distributed Azure setting (7 regions across the US
     /// and Europe): ~20× the local round trip and ~1/50 the bandwidth.
     pub fn geo_distributed() -> Self {
-        NetworkProfile { latency: Duration::from_millis(4), bytes_per_sec: 2_500_000 }
+        NetworkProfile {
+            latency: Duration::from_millis(4),
+            bytes_per_sec: 2_500_000,
+        }
     }
 
     /// The transfer time for `bytes` at this profile's bandwidth.
@@ -76,8 +85,10 @@ impl RequestCounters {
     pub fn record(&self, sent: usize, received: usize, cost: Duration) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         self.bytes_sent.fetch_add(sent as u64, Ordering::Relaxed);
-        self.bytes_received.fetch_add(received as u64, Ordering::Relaxed);
-        self.simulated_nanos.fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(received as u64, Ordering::Relaxed);
+        self.simulated_nanos
+            .fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
     }
 
     /// A consistent-enough snapshot of the counters.
@@ -127,8 +138,7 @@ impl TrafficSnapshot {
             requests: self.requests - earlier.requests,
             bytes_sent: self.bytes_sent - earlier.bytes_sent,
             bytes_received: self.bytes_received - earlier.bytes_received,
-            simulated_network_time: self.simulated_network_time
-                - earlier.simulated_network_time,
+            simulated_network_time: self.simulated_network_time - earlier.simulated_network_time,
         }
     }
 }
@@ -139,21 +149,32 @@ mod tests {
 
     #[test]
     fn transfer_time_scales_with_bytes() {
-        let p = NetworkProfile { latency: Duration::ZERO, bytes_per_sec: 1000 };
+        let p = NetworkProfile {
+            latency: Duration::ZERO,
+            bytes_per_sec: 1000,
+        };
         assert_eq!(p.transfer_time(500), Duration::from_millis(500));
         assert_eq!(p.transfer_time(0), Duration::ZERO);
-        assert_eq!(NetworkProfile::instant().transfer_time(1 << 30), Duration::ZERO);
+        assert_eq!(
+            NetworkProfile::instant().transfer_time(1 << 30),
+            Duration::ZERO
+        );
     }
 
     #[test]
     fn request_cost_adds_latency() {
-        let p = NetworkProfile { latency: Duration::from_millis(10), bytes_per_sec: 1000 };
+        let p = NetworkProfile {
+            latency: Duration::from_millis(10),
+            bytes_per_sec: 1000,
+        };
         assert_eq!(p.request_cost(100, 900), Duration::from_millis(1010));
     }
 
     #[test]
     fn geo_is_slower_than_local() {
-        assert!(NetworkProfile::geo_distributed().latency > NetworkProfile::local_cluster().latency);
+        assert!(
+            NetworkProfile::geo_distributed().latency > NetworkProfile::local_cluster().latency
+        );
         assert!(
             NetworkProfile::geo_distributed().bytes_per_sec
                 < NetworkProfile::local_cluster().bytes_per_sec

@@ -1,0 +1,331 @@
+//! SPARQL 1.1 Query Results JSON Format (W3C REC, 2013-03-21).
+//!
+//! One codec shared by both ends of the wire: `lusail-server` serializes
+//! [`QueryResult`]s with it and the HTTP client transport
+//! ([`crate::http::HttpEndpoint`]) parses them back. Round-tripping is
+//! lossless for every term kind (IRI, blank node, plain/typed/language-
+//! tagged literal) and preserves bag semantics and row order, so HTTP
+//! federation yields bit-identical solutions to the in-process path.
+//!
+//! Serialization is exposed piecewise (`head_json` / `binding_json` /
+//! [`SOLUTIONS_TAIL`]) so the server can stream large result sets row by
+//! row without materializing the whole document.
+
+use crate::json::{escape, Json, JsonError};
+use lusail_rdf::{Literal, Term};
+use lusail_sparql::ast::Variable;
+use lusail_sparql::solution::{Relation, Row};
+use lusail_store::eval::QueryResult;
+
+/// The media type of this format.
+pub const MEDIA_TYPE: &str = "application/sparql-results+json";
+
+/// Closes the document opened by [`head_json`].
+pub const SOLUTIONS_TAIL: &str = "]}}";
+
+/// The opening of a solutions document: `head` plus the start of the
+/// `results.bindings` array. Append [`binding_json`] rows (comma-separated)
+/// and [`SOLUTIONS_TAIL`] to complete it.
+pub fn head_json(vars: &[Variable]) -> String {
+    let mut out = String::from("{\"head\":{\"vars\":[");
+    for (i, v) in vars.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&escape(v.name()));
+        out.push('"');
+    }
+    out.push_str("]},\"results\":{\"bindings\":[");
+    out
+}
+
+/// One solution as a binding object. Unbound variables are omitted, per the
+/// spec.
+pub fn binding_json(vars: &[Variable], row: &Row) -> String {
+    let mut out = String::from("{");
+    let mut first = true;
+    for (v, cell) in vars.iter().zip(row) {
+        let Some(term) = cell else { continue };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        out.push_str(&escape(v.name()));
+        out.push_str("\":");
+        out.push_str(&term_json(term));
+    }
+    out.push('}');
+    out
+}
+
+/// An `ASK` result document.
+pub fn boolean_json(value: bool) -> String {
+    format!("{{\"head\":{{}},\"boolean\":{value}}}")
+}
+
+/// One RDF term as a SPARQL-results JSON object.
+pub fn term_json(term: &Term) -> String {
+    match term {
+        Term::Iri(iri) => format!("{{\"type\":\"uri\",\"value\":\"{}\"}}", escape(iri)),
+        Term::BlankNode(label) => {
+            format!("{{\"type\":\"bnode\",\"value\":\"{}\"}}", escape(label))
+        }
+        Term::Literal(lit) => {
+            let mut out = format!(
+                "{{\"type\":\"literal\",\"value\":\"{}\"",
+                escape(&lit.lexical)
+            );
+            if let Some(lang) = &lit.language {
+                out.push_str(&format!(",\"xml:lang\":\"{}\"", escape(lang)));
+            } else if let Some(dt) = &lit.datatype {
+                out.push_str(&format!(",\"datatype\":\"{}\"", escape(dt)));
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
+/// Serialize a full result document (non-streaming convenience; the server
+/// streams the same pieces instead).
+pub fn serialize(result: &QueryResult) -> String {
+    match result {
+        QueryResult::Boolean(b) => boolean_json(*b),
+        QueryResult::Solutions(rel) => {
+            let mut out = head_json(rel.vars());
+            for (i, row) in rel.rows().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&binding_json(rel.vars(), row));
+            }
+            out.push_str(SOLUTIONS_TAIL);
+            out
+        }
+    }
+}
+
+/// Parse a SPARQL JSON results document into a [`QueryResult`].
+///
+/// Variables come from `head.vars` in document order; bindings mentioning
+/// a variable absent from the head are rejected (a malformed server).
+pub fn parse(text: &str) -> Result<QueryResult, ResultsJsonError> {
+    let doc = Json::parse(text)?;
+    if let Some(b) = doc.get("boolean") {
+        let b = b
+            .as_bool()
+            .ok_or_else(|| ResultsJsonError::shape("\"boolean\" must be true or false"))?;
+        return Ok(QueryResult::Boolean(b));
+    }
+
+    let vars: Vec<Variable> = doc
+        .get("head")
+        .and_then(|h| h.get("vars"))
+        .and_then(Json::as_array)
+        .ok_or_else(|| ResultsJsonError::shape("missing head.vars"))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(Variable::new)
+                .ok_or_else(|| ResultsJsonError::shape("head.vars entries must be strings"))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let bindings = doc
+        .get("results")
+        .and_then(|r| r.get("bindings"))
+        .and_then(Json::as_array)
+        .ok_or_else(|| ResultsJsonError::shape("missing results.bindings"))?;
+
+    let mut rel = Relation::new(vars.clone());
+    for binding in bindings {
+        let Json::Object(fields) = binding else {
+            return Err(ResultsJsonError::shape("bindings entries must be objects"));
+        };
+        let mut row: Row = vec![None; vars.len()];
+        for (name, value) in fields {
+            let idx = vars.iter().position(|v| v.name() == name).ok_or_else(|| {
+                ResultsJsonError::shape(format!("binding for ?{name} not declared in head.vars"))
+            })?;
+            row[idx] = Some(parse_term(value)?);
+        }
+        rel.push(row);
+    }
+    Ok(QueryResult::Solutions(rel))
+}
+
+fn parse_term(value: &Json) -> Result<Term, ResultsJsonError> {
+    let kind = value
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ResultsJsonError::shape("term object missing \"type\""))?;
+    let lexical = value
+        .get("value")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ResultsJsonError::shape("term object missing \"value\""))?;
+    match kind {
+        "uri" => Ok(Term::Iri(lexical.to_string())),
+        "bnode" => Ok(Term::BlankNode(lexical.to_string())),
+        // "typed-literal" is the legacy alias some servers still emit.
+        "literal" | "typed-literal" => {
+            let language = value
+                .get("xml:lang")
+                .and_then(Json::as_str)
+                .map(str::to_string);
+            let datatype = if language.is_some() {
+                None
+            } else {
+                value
+                    .get("datatype")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+            };
+            Ok(Term::Literal(Literal {
+                lexical: lexical.to_string(),
+                datatype,
+                language,
+            }))
+        }
+        other => Err(ResultsJsonError::shape(format!(
+            "unknown term type {other:?}"
+        ))),
+    }
+}
+
+/// A malformed results document: either invalid JSON or valid JSON that
+/// does not follow the SPARQL results shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResultsJsonError {
+    Json(JsonError),
+    Shape(String),
+}
+
+impl ResultsJsonError {
+    fn shape(msg: impl Into<String>) -> Self {
+        ResultsJsonError::Shape(msg.into())
+    }
+}
+
+impl std::fmt::Display for ResultsJsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResultsJsonError::Json(e) => write!(f, "{e}"),
+            ResultsJsonError::Shape(m) => write!(f, "not a SPARQL results document: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ResultsJsonError {}
+
+impl From<JsonError> for ResultsJsonError {
+    fn from(e: JsonError) -> Self {
+        ResultsJsonError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Variable {
+        Variable::new(n)
+    }
+
+    /// One row exercising every term kind plus an unbound cell.
+    fn all_kinds_relation() -> Relation {
+        let vars = vec![
+            v("i"),
+            v("b"),
+            v("plain"),
+            v("typed"),
+            v("tagged"),
+            v("unbound"),
+        ];
+        let mut rel = Relation::new(vars);
+        rel.push(vec![
+            Some(Term::iri("http://example.org/thing?q=1&x=\"quoted\"")),
+            Some(Term::bnode("b42")),
+            Some(Term::literal("line1\nline2\ttab")),
+            Some(Term::integer(-7)),
+            Some(Term::Literal(Literal::lang("grüße 😀", "de"))),
+            None,
+        ]);
+        rel
+    }
+
+    #[test]
+    fn round_trips_every_term_kind() {
+        let rel = all_kinds_relation();
+        let doc = serialize(&QueryResult::Solutions(rel.clone()));
+        let back = parse(&doc).unwrap();
+        assert_eq!(back, QueryResult::Solutions(rel));
+    }
+
+    #[test]
+    fn round_trips_booleans() {
+        for b in [true, false] {
+            assert_eq!(
+                parse(&serialize(&QueryResult::Boolean(b))).unwrap(),
+                QueryResult::Boolean(b)
+            );
+        }
+    }
+
+    #[test]
+    fn round_trips_empty_and_duplicate_rows() {
+        let mut rel = Relation::new(vec![v("x")]);
+        // Empty relation first.
+        let doc = serialize(&QueryResult::Solutions(rel.clone()));
+        assert_eq!(parse(&doc).unwrap(), QueryResult::Solutions(rel.clone()));
+        // Bag semantics: duplicates must survive.
+        rel.push(vec![Some(Term::iri("http://x/a"))]);
+        rel.push(vec![Some(Term::iri("http://x/a"))]);
+        let doc = serialize(&QueryResult::Solutions(rel.clone()));
+        assert_eq!(parse(&doc).unwrap(), QueryResult::Solutions(rel));
+    }
+
+    #[test]
+    fn streaming_pieces_match_serialize() {
+        let rel = all_kinds_relation();
+        let mut streamed = head_json(rel.vars());
+        for (i, row) in rel.rows().iter().enumerate() {
+            if i > 0 {
+                streamed.push(',');
+            }
+            streamed.push_str(&binding_json(rel.vars(), row));
+        }
+        streamed.push_str(SOLUTIONS_TAIL);
+        assert_eq!(streamed, serialize(&QueryResult::Solutions(rel)));
+    }
+
+    #[test]
+    fn parses_legacy_typed_literal() {
+        let doc = r#"{"head":{"vars":["x"]},"results":{"bindings":[
+            {"x":{"type":"typed-literal","value":"3","datatype":"http://www.w3.org/2001/XMLSchema#integer"}}
+        ]}}"#;
+        let QueryResult::Solutions(rel) = parse(doc).unwrap() else {
+            panic!("not solutions")
+        };
+        assert_eq!(rel.rows()[0][0], Some(Term::integer(3)));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",                                                                                     // not JSON
+            "42",                                                    // not an object
+            r#"{"head":{}}"#,                                        // no vars, no boolean
+            r#"{"head":{"vars":["x"]}}"#,                            // no results
+            r#"{"head":{"vars":[1]},"results":{"bindings":[]}}"#,    // non-string var
+            r#"{"head":{"vars":["x"]},"results":{"bindings":[7]}}"#, // non-object binding
+            r#"{"head":{"vars":["x"]},"results":{"bindings":[{"y":{"type":"uri","value":"u"}}]}}"#, // undeclared var
+            r#"{"head":{"vars":["x"]},"results":{"bindings":[{"x":{"type":"wat","value":"u"}}]}}"#, // bad term type
+            r#"{"head":{"vars":["x"]},"results":{"bindings":[{"x":{"type":"uri"}}]}}"#, // missing value
+            r#"{"head":{},"boolean":"yes"}"#, // non-bool boolean
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+}

@@ -123,7 +123,10 @@ mod tests {
     fn literals_distinct_by_datatype_and_lang() {
         let mut d = Dictionary::new();
         let a = d.encode(&Term::literal("x"));
-        let b = d.encode(&Term::Literal(crate::Literal::typed("x", crate::vocab::xsd::STRING)));
+        let b = d.encode(&Term::Literal(crate::Literal::typed(
+            "x",
+            crate::vocab::xsd::STRING,
+        )));
         let c = d.encode(&Term::Literal(crate::Literal::lang("x", "en")));
         assert_ne!(a, b);
         assert_ne!(b, c);

@@ -33,7 +33,11 @@ impl Graph {
 
     /// Add `(s, rdf:type, class)`.
     pub fn add_type(&mut self, s: impl Into<Term>, class: impl Into<String>) {
-        self.add(s, Term::iri(crate::vocab::rdf::TYPE), Term::iri(class.into()));
+        self.add(
+            s,
+            Term::iri(crate::vocab::rdf::TYPE),
+            Term::iri(class.into()),
+        );
     }
 
     /// Number of triples (duplicates included).
@@ -69,7 +73,9 @@ impl Graph {
 
 impl FromIterator<Triple> for Graph {
     fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
-        Graph { triples: iter.into_iter().collect() }
+        Graph {
+            triples: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -97,7 +103,11 @@ mod tests {
     #[test]
     fn build_and_iterate() {
         let mut g = Graph::new();
-        g.add(Term::iri("http://x/s"), Term::iri("http://x/p"), Term::literal("o"));
+        g.add(
+            Term::iri("http://x/s"),
+            Term::iri("http://x/p"),
+            Term::literal("o"),
+        );
         g.add_type(Term::iri("http://x/s"), vocab::ub::UNIVERSITY);
         assert_eq!(g.len(), 2);
         let preds: Vec<_> = g.iter().map(|t| t.predicate.clone()).collect();
@@ -106,8 +116,9 @@ mod tests {
 
     #[test]
     fn from_iterator_and_extend() {
-        let g1: Graph =
-            (0..3).map(|i| Triple::iris(format!("http://x/{i}"), "http://x/p", "http://x/o")).collect();
+        let g1: Graph = (0..3)
+            .map(|i| Triple::iris(format!("http://x/{i}"), "http://x/p", "http://x/o"))
+            .collect();
         let mut g2 = Graph::new();
         g2.extend(g1.clone());
         g2.extend(g1);

@@ -19,7 +19,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "N-Triples parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "N-Triples parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -33,7 +37,10 @@ pub fn parse(input: &str) -> Result<Graph, ParseError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let triple = parse_line(line).map_err(|message| ParseError { line: lineno + 1, message })?;
+        let triple = parse_line(line).map_err(|message| ParseError {
+            line: lineno + 1,
+            message,
+        })?;
         graph.insert(triple);
     }
     Ok(graph)
@@ -54,7 +61,11 @@ fn parse_line(line: &str) -> Result<Triple, String> {
     if !cursor.at_end() {
         return Err(format!("trailing content: {:?}", cursor.rest()));
     }
-    Ok(Triple { subject, predicate, object })
+    Ok(Triple {
+        subject,
+        predicate,
+        object,
+    })
 }
 
 struct Cursor<'a> {
@@ -113,7 +124,10 @@ impl<'a> Cursor<'a> {
         } else if rest.starts_with('"') {
             self.literal()
         } else {
-            Err(format!("unexpected token: {:?}", rest.chars().take(12).collect::<String>()))
+            Err(format!(
+                "unexpected token: {:?}",
+                rest.chars().take(12).collect::<String>()
+            ))
         }
     }
 
@@ -195,8 +209,16 @@ _:b0 <http://x/p> _:b1 .
     #[test]
     fn roundtrip() {
         let mut g = Graph::new();
-        g.add(Term::iri("http://x/s"), Term::iri("http://x/p"), Term::literal("line\nbreak \"q\""));
-        g.add(Term::bnode("n1"), Term::iri("http://x/p"), Term::integer(-7));
+        g.add(
+            Term::iri("http://x/s"),
+            Term::iri("http://x/p"),
+            Term::literal("line\nbreak \"q\""),
+        );
+        g.add(
+            Term::bnode("n1"),
+            Term::iri("http://x/p"),
+            Term::integer(-7),
+        );
         g.add(
             Term::iri("http://x/s"),
             Term::iri("http://x/p"),

@@ -18,17 +18,29 @@ pub struct Literal {
 impl Literal {
     /// A plain (untyped, untagged) string literal.
     pub fn plain(lexical: impl Into<String>) -> Self {
-        Literal { lexical: lexical.into(), datatype: None, language: None }
+        Literal {
+            lexical: lexical.into(),
+            datatype: None,
+            language: None,
+        }
     }
 
     /// A literal with an explicit datatype IRI.
     pub fn typed(lexical: impl Into<String>, datatype: impl Into<String>) -> Self {
-        Literal { lexical: lexical.into(), datatype: Some(datatype.into()), language: None }
+        Literal {
+            lexical: lexical.into(),
+            datatype: Some(datatype.into()),
+            language: None,
+        }
     }
 
     /// A language-tagged string literal.
     pub fn lang(lexical: impl Into<String>, language: impl Into<String>) -> Self {
-        Literal { lexical: lexical.into(), datatype: None, language: Some(language.into()) }
+        Literal {
+            lexical: lexical.into(),
+            datatype: None,
+            language: Some(language.into()),
+        }
     }
 
     /// An `xsd:integer` literal.

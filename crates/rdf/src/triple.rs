@@ -18,8 +18,16 @@ pub struct Triple {
 
 impl Triple {
     /// Construct a triple from its three components.
-    pub fn new(subject: impl Into<Term>, predicate: impl Into<Term>, object: impl Into<Term>) -> Self {
-        Triple { subject: subject.into(), predicate: predicate.into(), object: object.into() }
+    pub fn new(
+        subject: impl Into<Term>,
+        predicate: impl Into<Term>,
+        object: impl Into<Term>,
+    ) -> Self {
+        Triple {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object: object.into(),
+        }
     }
 
     /// Convenience constructor from three IRIs.
@@ -30,7 +38,11 @@ impl Triple {
 
 impl From<(Term, Term, Term)> for Triple {
     fn from((s, p, o): (Term, Term, Term)) -> Self {
-        Triple { subject: s, predicate: p, object: o }
+        Triple {
+            subject: s,
+            predicate: p,
+            object: o,
+        }
     }
 }
 

@@ -26,7 +26,11 @@ pub struct TurtleError {
 
 impl std::fmt::Display for TurtleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Turtle parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "Turtle parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -46,11 +50,19 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(s: &'a str) -> Self {
-        Parser { s, pos: 0, prefixes: HashMap::new(), graph: Graph::new() }
+        Parser {
+            s,
+            pos: 0,
+            prefixes: HashMap::new(),
+            graph: Graph::new(),
+        }
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, TurtleError> {
-        Err(TurtleError { message: message.into(), offset: self.pos })
+        Err(TurtleError {
+            message: message.into(),
+            offset: self.pos,
+        })
     }
 
     fn rest(&self) -> &'a str {
@@ -70,7 +82,11 @@ impl<'a> Parser<'a> {
                 }
             }
             if self.rest().starts_with('#') {
-                let nl = self.rest().find('\n').map(|i| i + 1).unwrap_or(self.rest().len());
+                let nl = self
+                    .rest()
+                    .find('\n')
+                    .map(|i| i + 1)
+                    .unwrap_or(self.rest().len());
                 self.pos += nl;
                 advanced = true;
             }
@@ -159,7 +175,10 @@ impl<'a> Parser<'a> {
         loop {
             self.skip_trivia();
             let predicate = if self.rest().starts_with('a')
-                && self.rest()[1..].chars().next().is_none_or(|c| c.is_whitespace())
+                && self.rest()[1..]
+                    .chars()
+                    .next()
+                    .is_none_or(|c| c.is_whitespace())
             {
                 self.pos += 1;
                 Term::iri(vocab::rdf::TYPE)
@@ -363,9 +382,15 @@ ex:a ex:name "Alice" ; ex:age 30 ; ex:height 1.7 ; ex:active true ;
 "#;
         let g = parse(doc).unwrap();
         assert_eq!(g.len(), 6);
-        let age = g.iter().find(|t| t.predicate == Term::iri("http://example.org/age")).unwrap();
+        let age = g
+            .iter()
+            .find(|t| t.predicate == Term::iri("http://example.org/age"))
+            .unwrap();
         assert_eq!(age.object.as_literal().unwrap().as_i64(), Some(30));
-        let code = g.iter().find(|t| t.predicate == Term::iri("http://example.org/code")).unwrap();
+        let code = g
+            .iter()
+            .find(|t| t.predicate == Term::iri("http://example.org/code"))
+            .unwrap();
         assert_eq!(
             code.object.as_literal().unwrap().datatype.as_deref(),
             Some("http://example.org/Code")

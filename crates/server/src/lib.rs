@@ -1,0 +1,947 @@
+//! # lusail-server
+//!
+//! A std-only SPARQL endpoint server: `std::net::TcpListener`, a bounded
+//! worker-thread pool, and hand-rolled HTTP/1.1 — no external crates.
+//!
+//! The server implements the query half of the W3C SPARQL 1.1 Protocol:
+//!
+//! * `GET /sparql?query=…` (percent-encoded),
+//! * `POST /sparql` with `Content-Type: application/sparql-query`,
+//! * `POST /sparql` with `Content-Type: application/x-www-form-urlencoded`
+//!   and a `query=` field,
+//!
+//! answering with SPARQL 1.1 JSON Results
+//! (`application/sparql-results+json`, shared codec in
+//! [`lusail_federation::results_json`]). `SELECT` solutions stream out
+//! with chunked transfer encoding row by row — a large result never has
+//! to be fully buffered as a document. `ASK` answers and errors use
+//! `Content-Length`.
+//!
+//! Operationally it mirrors what the paper's deployments (Fuseki /
+//! Virtuoso) impose on federated engines: a fixed pool of workers with a
+//! bounded accept backlog (excess connections wait in the TCP queue), a
+//! per-request read deadline against slow clients, a maximum accepted
+//! query size (HTTP 413, like Virtuoso's URI-length rejections the paper
+//! hits with FedX's bound joins), and HTTP keep-alive so a federated
+//! client can reuse one connection for its whole subquery stream.
+//!
+//! ```no_run
+//! use lusail_server::{ServerConfig, SparqlServer};
+//! use lusail_store::Store;
+//!
+//! let store = Store::from_graph(&lusail_rdf::Graph::new());
+//! let handle = SparqlServer::bind("127.0.0.1:0", store, ServerConfig::default())
+//!     .unwrap()
+//!     .spawn();
+//! println!("serving on {}", handle.url());
+//! handle.shutdown();
+//! ```
+
+use lusail_federation::http::percent_decode;
+use lusail_federation::results_json;
+use lusail_store::eval::QueryResult;
+use lusail_store::{Evaluator, Store};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads handling connections (the server-side analogue of
+    /// the paper's elastic request handlers).
+    pub workers: usize,
+    /// Accepted connections queued beyond the busy workers; further
+    /// clients wait in the kernel's TCP backlog.
+    pub backlog: usize,
+    /// Maximum accepted SPARQL query size in bytes (HTTP 413 beyond it).
+    pub max_query_bytes: usize,
+    /// Deadline for reading one full request off a connection. Also
+    /// bounds how long an idle keep-alive connection is held open.
+    pub read_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            backlog: 8,
+            max_query_bytes: 1 << 20,
+            read_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A bound-but-not-yet-running server. [`SparqlServer::spawn`] starts the
+/// accept loop and worker pool.
+pub struct SparqlServer {
+    listener: TcpListener,
+    store: Arc<Store>,
+    config: ServerConfig,
+}
+
+impl SparqlServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) serving
+    /// `store`.
+    pub fn bind(addr: &str, store: Store, config: ServerConfig) -> io::Result<SparqlServer> {
+        Ok(SparqlServer {
+            listener: TcpListener::bind(addr)?,
+            store: Arc::new(store),
+            config,
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener
+            .local_addr()
+            .expect("bound listener has an address")
+    }
+
+    /// Start the accept thread and worker pool.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let requests_served = Arc::new(AtomicU64::new(0));
+
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(self.config.backlog.max(1));
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let mut workers = Vec::with_capacity(self.config.workers.max(1));
+        for _ in 0..self.config.workers.max(1) {
+            let rx = Arc::clone(&conn_rx);
+            let store = Arc::clone(&self.store);
+            let config = self.config;
+            let shutdown = Arc::clone(&shutdown);
+            let served = Arc::clone(&requests_served);
+            workers.push(std::thread::spawn(move || loop {
+                let stream = match rx.lock().expect("connection queue poisoned").recv() {
+                    Ok(s) => s,
+                    Err(_) => break, // accept loop gone: drain complete
+                };
+                serve_connection(stream, &store, &config, &shutdown, &served);
+            }));
+        }
+
+        let listener = self.listener;
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    // A full queue blocks here, bounding in-flight work.
+                    Ok(s) => {
+                        if conn_tx.send(s).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            // Dropping conn_tx lets the workers drain and exit.
+        });
+
+        ServerHandle {
+            addr,
+            shutdown,
+            requests_served,
+            accept_thread,
+            workers,
+        }
+    }
+}
+
+/// A running server; dropping it *without* calling
+/// [`ServerHandle::shutdown`] detaches the threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    requests_served: Arc<AtomicU64>,
+    accept_thread: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The server's address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The endpoint URL clients should use.
+    pub fn url(&self) -> String {
+        format!("http://{}/sparql", self.addr)
+    }
+
+    /// Requests answered so far (any status).
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop accepting, finish in-flight connections,
+    /// join every thread.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        let _ = self.accept_thread.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// An HTTP-level rejection: status, reason, and whether the connection is
+/// still usable afterwards (framing errors are not).
+struct HttpReject {
+    status: u16,
+    message: String,
+    recoverable: bool,
+}
+
+impl HttpReject {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpReject {
+            status,
+            message: message.into(),
+            recoverable: true,
+        }
+    }
+
+    fn fatal(status: u16, message: impl Into<String>) -> Self {
+        HttpReject {
+            status,
+            message: message.into(),
+            recoverable: false,
+        }
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        415 => "Unsupported Media Type",
+        500 => "Internal Server Error",
+        _ => "Error",
+    }
+}
+
+/// Serve one connection: a keep-alive loop of request → response.
+fn serve_connection(
+    stream: TcpStream,
+    store: &Store,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+    served: &AtomicU64,
+) {
+    stream.set_nodelay(true).ok();
+    let mut reader = RequestReader {
+        stream: &stream,
+        buf: Vec::new(),
+        pos: 0,
+    };
+    loop {
+        // Park in short slices until the next request's first byte shows
+        // up, so an idle keep-alive connection never pins a worker across
+        // shutdown or past the idle deadline.
+        match reader.await_data(shutdown, config.read_deadline) {
+            WaitOutcome::Data => {}
+            WaitOutcome::Closed | WaitOutcome::Shutdown | WaitOutcome::TimedOut => break,
+        }
+        match read_request(&mut reader, config) {
+            Ok(Some(request)) => {
+                served.fetch_add(1, Ordering::Relaxed);
+                let keep_alive = request.keep_alive;
+                match extract_query(&request, config) {
+                    Ok(query_text) => {
+                        if answer_query(&stream, store, &query_text, keep_alive).is_err() {
+                            break;
+                        }
+                    }
+                    Err(reject) => {
+                        let ok = write_error(&stream, &reject, keep_alive).is_ok();
+                        if !ok || !reject.recoverable {
+                            break;
+                        }
+                    }
+                }
+                if !keep_alive {
+                    break;
+                }
+            }
+            // Clean EOF between requests: client closed the connection.
+            Ok(None) => break,
+            Err(reject) => {
+                let _ = write_error(&stream, &reject, false);
+                break;
+            }
+        }
+    }
+}
+
+/// One parsed HTTP request.
+struct Request {
+    method: String,
+    /// Path with any query string, as sent.
+    target: String,
+    content_type: String,
+    body: Vec<u8>,
+    keep_alive: bool,
+}
+
+/// Read one request. `Ok(None)` means the client closed the connection
+/// cleanly before sending anything.
+fn read_request(
+    reader: &mut RequestReader<'_>,
+    config: &ServerConfig,
+) -> Result<Option<Request>, HttpReject> {
+    let deadline = Instant::now() + config.read_deadline;
+    // Generous framing cap: the query-size policy is enforced later with a
+    // proper 413; this only stops unbounded header streams.
+    let max_frame = config.max_query_bytes.saturating_mul(4).max(1 << 16);
+
+    let request_line = match reader.read_line(deadline, max_frame) {
+        Ok(line) => line,
+        Err(ReadError::CleanEof) => return Ok(None),
+        Err(e) => return Err(e.into_reject()),
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") => {
+            (m.to_string(), t.to_string(), v)
+        }
+        _ => {
+            return Err(HttpReject::fatal(
+                400,
+                format!("malformed request line {request_line:?}"),
+            ))
+        }
+    };
+    // HTTP/1.0 defaults to close, 1.1 to keep-alive.
+    let mut keep_alive = version != "HTTP/1.0";
+
+    let mut content_length = 0usize;
+    let mut content_type = String::new();
+    let mut expect_continue = false;
+    let mut chunked = false;
+    loop {
+        let line = reader
+            .read_line(deadline, max_frame)
+            .map_err(|e| e.into_reject())?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpReject::fatal(400, format!("malformed header {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpReject::fatal(400, format!("bad Content-Length {value:?}")))?;
+            }
+            "content-type" => content_type = value.to_ascii_lowercase(),
+            "connection" => {
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "expect" => expect_continue = value.eq_ignore_ascii_case("100-continue"),
+            "transfer-encoding" => chunked = true,
+            _ => {}
+        }
+    }
+
+    if chunked {
+        // Simple servers may refuse chunked requests; queries are small.
+        return Err(HttpReject::fatal(
+            400,
+            "chunked request bodies are not supported",
+        ));
+    }
+    if content_length > config.max_query_bytes {
+        return Err(HttpReject::fatal(
+            413,
+            format!(
+                "request body of {content_length} bytes exceeds the {}-byte limit",
+                config.max_query_bytes
+            ),
+        ));
+    }
+    if expect_continue && content_length > 0 {
+        (&mut reader.stream)
+            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+            .map_err(|_| HttpReject::fatal(400, "client went away"))?;
+    }
+    let body = reader
+        .read_exact_vec(content_length, deadline, max_frame)
+        .map_err(|e| e.into_reject())?;
+    Ok(Some(Request {
+        method,
+        target,
+        content_type,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Apply the SPARQL Protocol rules to pull the query text out of a request.
+fn extract_query(request: &Request, config: &ServerConfig) -> Result<String, HttpReject> {
+    let query = match request.method.as_str() {
+        "GET" => {
+            let query_string = request.target.split_once('?').map(|(_, q)| q).unwrap_or("");
+            form_field(query_string, "query")
+                .ok_or_else(|| HttpReject::new(400, "missing query= parameter"))??
+        }
+        "POST" => {
+            if request.content_type.starts_with("application/sparql-query") {
+                String::from_utf8(request.body.clone())
+                    .map_err(|_| HttpReject::new(400, "query body is not UTF-8"))?
+            } else if request
+                .content_type
+                .starts_with("application/x-www-form-urlencoded")
+            {
+                let body = std::str::from_utf8(&request.body)
+                    .map_err(|_| HttpReject::new(400, "form body is not UTF-8"))?;
+                form_field(body, "query")
+                    .ok_or_else(|| HttpReject::new(400, "missing query= field"))??
+            } else {
+                return Err(HttpReject::new(
+                    415,
+                    format!(
+                        "unsupported Content-Type {:?}; use application/sparql-query or a \
+                         query= form field",
+                        request.content_type
+                    ),
+                ));
+            }
+        }
+        other => {
+            return Err(HttpReject::new(
+                405,
+                format!("method {other} not allowed; use GET or POST"),
+            ))
+        }
+    };
+    if query.len() > config.max_query_bytes {
+        return Err(HttpReject::new(
+            413,
+            format!(
+                "query of {} bytes exceeds the {}-byte limit",
+                query.len(),
+                config.max_query_bytes
+            ),
+        ));
+    }
+    Ok(query)
+}
+
+/// Find and decode `key` in an `application/x-www-form-urlencoded` string.
+fn form_field(encoded: &str, key: &str) -> Option<Result<String, HttpReject>> {
+    for pair in encoded.split('&') {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        if k == key {
+            return Some(
+                percent_decode(v, true)
+                    .map_err(|e| HttpReject::new(400, format!("bad {key}= encoding: {e}"))),
+            );
+        }
+    }
+    None
+}
+
+/// Evaluate the query and stream the response.
+fn answer_query(
+    stream: &TcpStream,
+    store: &Store,
+    query_text: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let parsed = match lusail_sparql::parse_query(query_text) {
+        Ok(q) => q,
+        Err(e) => {
+            return write_error(
+                stream,
+                &HttpReject::new(400, format!("malformed SPARQL query: {e}")),
+                keep_alive,
+            )
+        }
+    };
+    // An evaluator bug must come back as HTTP 500, not a dead connection.
+    let result =
+        std::panic::catch_unwind(AssertUnwindSafe(|| Evaluator::new(store).query(&parsed)));
+    let result = match result {
+        Ok(r) => r,
+        Err(_) => {
+            return write_error(
+                stream,
+                &HttpReject::new(500, "query evaluation failed"),
+                keep_alive,
+            )
+        }
+    };
+
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut out = io::BufWriter::new(stream);
+    match result {
+        QueryResult::Boolean(b) => {
+            let body = results_json::boolean_json(b);
+            write!(
+                out,
+                "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+                results_json::MEDIA_TYPE,
+                body.len(),
+                connection,
+                body
+            )?;
+        }
+        QueryResult::Solutions(rel) => {
+            write!(
+                out,
+                "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+                results_json::MEDIA_TYPE,
+                connection
+            )?;
+            write_chunk(&mut out, results_json::head_json(rel.vars()).as_bytes())?;
+            for (i, row) in rel.rows().iter().enumerate() {
+                let mut piece = String::new();
+                if i > 0 {
+                    piece.push(',');
+                }
+                piece.push_str(&results_json::binding_json(rel.vars(), row));
+                write_chunk(&mut out, piece.as_bytes())?;
+            }
+            write_chunk(&mut out, results_json::SOLUTIONS_TAIL.as_bytes())?;
+            out.write_all(b"0\r\n\r\n")?;
+        }
+    }
+    out.flush()
+}
+
+fn write_chunk(out: &mut impl Write, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(()); // an empty chunk would terminate the body
+    }
+    write!(out, "{:x}\r\n", data.len())?;
+    out.write_all(data)?;
+    out.write_all(b"\r\n")
+}
+
+fn write_error(stream: &TcpStream, reject: &HttpReject, keep_alive: bool) -> io::Result<()> {
+    let connection = if keep_alive && reject.recoverable {
+        "keep-alive"
+    } else {
+        "close"
+    };
+    let mut out = io::BufWriter::new(stream);
+    write!(
+        out,
+        "HTTP/1.1 {} {}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+        reject.status,
+        status_text(reject.status),
+        reject.message.len(),
+        connection,
+        reject.message
+    )?;
+    out.flush()
+}
+
+enum ReadError {
+    CleanEof,
+    UnexpectedEof,
+    TimedOut,
+    TooLarge,
+    Io(io::Error),
+}
+
+impl ReadError {
+    fn into_reject(self) -> HttpReject {
+        match self {
+            ReadError::CleanEof | ReadError::UnexpectedEof => {
+                HttpReject::fatal(400, "connection closed mid-request")
+            }
+            ReadError::TimedOut => HttpReject::fatal(408, "request read deadline exceeded"),
+            ReadError::TooLarge => HttpReject::fatal(413, "request too large"),
+            ReadError::Io(e) => HttpReject::fatal(400, format!("read error: {e}")),
+        }
+    }
+}
+
+/// Buffered request reader with a per-request deadline. The buffer carries
+/// over between keep-alive requests (a client may send the next request
+/// eagerly).
+struct RequestReader<'a> {
+    stream: &'a TcpStream,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+/// How waiting for the next keep-alive request ended.
+enum WaitOutcome {
+    /// Bytes are available: parse a request.
+    Data,
+    /// Orderly EOF: the client hung up between requests.
+    Closed,
+    /// The server is shutting down.
+    Shutdown,
+    /// The connection idled past the deadline.
+    TimedOut,
+}
+
+impl RequestReader<'_> {
+    fn await_data(&mut self, shutdown: &AtomicBool, idle_timeout: Duration) -> WaitOutcome {
+        let deadline = Instant::now() + idle_timeout;
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                return WaitOutcome::Shutdown;
+            }
+            if self.pos < self.buf.len() {
+                return WaitOutcome::Data; // pipelined bytes already buffered
+            }
+            if Instant::now() >= deadline {
+                return WaitOutcome::TimedOut;
+            }
+            if self
+                .stream
+                .set_read_timeout(Some(Duration::from_millis(100)))
+                .is_err()
+            {
+                return WaitOutcome::Closed;
+            }
+            let mut chunk = [0u8; 8192];
+            match (&mut &*self.stream).read(&mut chunk) {
+                Ok(0) => return WaitOutcome::Closed,
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return WaitOutcome::Data;
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) => {}
+                Err(_) => return WaitOutcome::Closed,
+            }
+        }
+    }
+
+    fn fill(&mut self, deadline: Instant, max_frame: usize) -> Result<usize, ReadError> {
+        if self.buf.len() > max_frame {
+            return Err(ReadError::TooLarge);
+        }
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .ok_or(ReadError::TimedOut)?;
+        self.stream
+            .set_read_timeout(Some(remaining))
+            .map_err(ReadError::Io)?;
+        let mut chunk = [0u8; 8192];
+        match (&mut &*self.stream).read(&mut chunk) {
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(n)
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(ReadError::TimedOut)
+            }
+            Err(e) => Err(ReadError::Io(e)),
+        }
+    }
+
+    fn read_line(&mut self, deadline: Instant, max_frame: usize) -> Result<String, ReadError> {
+        loop {
+            if let Some(nl) = self.buf[self.pos..].iter().position(|&b| b == b'\n') {
+                let end = self.pos + nl;
+                let mut line = &self.buf[self.pos..end];
+                if line.last() == Some(&b'\r') {
+                    line = &line[..line.len() - 1];
+                }
+                let text = String::from_utf8_lossy(line).into_owned();
+                self.pos = end + 1;
+                self.compact();
+                return Ok(text);
+            }
+            if self.fill(deadline, max_frame)? == 0 {
+                return if self.pos == self.buf.len() {
+                    Err(ReadError::CleanEof)
+                } else {
+                    Err(ReadError::UnexpectedEof)
+                };
+            }
+        }
+    }
+
+    fn read_exact_vec(
+        &mut self,
+        n: usize,
+        deadline: Instant,
+        max_frame: usize,
+    ) -> Result<Vec<u8>, ReadError> {
+        while self.buf.len() - self.pos < n {
+            if self.fill(deadline, max_frame)? == 0 {
+                return Err(ReadError::UnexpectedEof);
+            }
+        }
+        let out = self.buf[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        self.compact();
+        Ok(out)
+    }
+
+    /// Drop consumed bytes so long keep-alive sessions don't grow the
+    /// buffer without bound.
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lusail_federation::http::percent_encode;
+    use lusail_federation::{HttpConfig, HttpEndpoint, SparqlEndpoint};
+    use lusail_rdf::{Graph, Term};
+    use std::io::{BufRead, BufReader};
+
+    fn test_store() -> Store {
+        let mut g = Graph::new();
+        g.add(
+            Term::iri("http://x/a"),
+            Term::iri("http://x/p"),
+            Term::iri("http://x/b"),
+        );
+        g.add(
+            Term::iri("http://x/b"),
+            Term::iri("http://x/p"),
+            Term::iri("http://x/c"),
+        );
+        g.add(
+            Term::iri("http://x/c"),
+            Term::iri("http://x/label"),
+            Term::literal("see"),
+        );
+        Store::from_graph(&g)
+    }
+
+    fn start(config: ServerConfig) -> ServerHandle {
+        SparqlServer::bind("127.0.0.1:0", test_store(), config)
+            .unwrap()
+            .spawn()
+    }
+
+    /// Raw one-shot exchange; returns (status line, full response text).
+    fn raw_roundtrip(addr: SocketAddr, request: &str) -> (String, String) {
+        let mut sock = TcpStream::connect(addr).unwrap();
+        sock.write_all(request.as_bytes()).unwrap();
+        sock.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut text = String::new();
+        sock.read_to_string(&mut text).unwrap();
+        let status = text.lines().next().unwrap_or("").to_string();
+        (status, text)
+    }
+
+    #[test]
+    fn get_and_post_roundtrip_through_http_client() {
+        let handle = start(ServerConfig::default());
+        let q = lusail_sparql::parse_query("SELECT ?s ?o WHERE { ?s <http://x/p> ?o }").unwrap();
+        for use_get in [false, true] {
+            let ep = HttpEndpoint::new("srv", &handle.url())
+                .unwrap()
+                .with_config(HttpConfig {
+                    use_get,
+                    ..Default::default()
+                });
+            let rel = ep.select(&q).unwrap();
+            assert_eq!(rel.len(), 2, "use_get={use_get}");
+        }
+        let ask = lusail_sparql::parse_query("ASK { ?s <http://x/label> \"see\" }").unwrap();
+        let ep = HttpEndpoint::new("srv", &handle.url()).unwrap();
+        assert!(ep.ask(&ask).unwrap());
+        assert!(handle.requests_served() >= 3);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_connection() {
+        let handle = start(ServerConfig::default());
+        let body = "ASK { ?s ?p ?o }";
+        let request = format!(
+            "POST /sparql HTTP/1.1\r\nHost: h\r\nContent-Type: application/sparql-query\r\n\
+             Content-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let mut sock = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut reader = BufReader::new(sock.try_clone().unwrap());
+        for _ in 0..3 {
+            sock.write_all(request.as_bytes()).unwrap();
+            let mut status = String::new();
+            reader.read_line(&mut status).unwrap();
+            assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+            // Drain headers + sized body.
+            let mut content_length = 0;
+            loop {
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                if let Some(v) = line
+                    .trim()
+                    .to_ascii_lowercase()
+                    .strip_prefix("content-length:")
+                {
+                    content_length = v.trim().parse().unwrap();
+                }
+                if line.trim().is_empty() {
+                    break;
+                }
+            }
+            let mut body = vec![0u8; content_length];
+            reader.read_exact(&mut body).unwrap();
+        }
+        drop(sock);
+        assert_eq!(handle.requests_served(), 3);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn form_encoded_post_is_accepted() {
+        let handle = start(ServerConfig::default());
+        let body = format!("other=1&query={}", percent_encode("ASK { ?s ?p ?o }"));
+        let request = format!(
+            "POST /sparql HTTP/1.1\r\nHost: h\r\nContent-Type: application/x-www-form-urlencoded\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let (status, text) = raw_roundtrip(handle.local_addr(), &request);
+        assert!(status.contains("200"), "{text}");
+        assert!(text.contains("\"boolean\":true"), "{text}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn protocol_rejections() {
+        let handle = start(ServerConfig {
+            max_query_bytes: 200,
+            ..Default::default()
+        });
+        let addr = handle.local_addr();
+
+        let cases: Vec<(String, &str)> = vec![
+            // Not HTTP at all.
+            ("garbage\r\n\r\n".to_string(), "400"),
+            // Unsupported method.
+            ("DELETE /sparql HTTP/1.1\r\nHost: h\r\n\r\n".to_string(), "405"),
+            // GET without a query parameter.
+            ("GET /sparql HTTP/1.1\r\nHost: h\r\n\r\n".to_string(), "400"),
+            // POST with an unknown media type.
+            (
+                "POST /sparql HTTP/1.1\r\nHost: h\r\nContent-Type: text/csv\r\nContent-Length: 3\r\n\r\nabc"
+                    .to_string(),
+                "415",
+            ),
+            // Malformed SPARQL.
+            (
+                "POST /sparql HTTP/1.1\r\nHost: h\r\nContent-Type: application/sparql-query\r\nContent-Length: 9\r\n\r\nSELECT ?{"
+                    .to_string(),
+                "400",
+            ),
+            // Declared body larger than the limit.
+            (
+                "POST /sparql HTTP/1.1\r\nHost: h\r\nContent-Type: application/sparql-query\r\nContent-Length: 5000\r\n\r\n"
+                    .to_string(),
+                "413",
+            ),
+            // Oversized query via GET.
+            (
+                format!(
+                    "GET /sparql?query={} HTTP/1.1\r\nHost: h\r\n\r\n",
+                    percent_encode(&format!(
+                        "SELECT * WHERE {{ ?s <http://x/{}> ?o }}",
+                        "p".repeat(300)
+                    ))
+                ),
+                "413",
+            ),
+        ];
+        for (request, expected) in cases {
+            let (status, text) = raw_roundtrip(addr, &request);
+            assert!(
+                status.contains(expected),
+                "request {:?} → {status} (wanted {expected})\n{text}",
+                request.lines().next().unwrap_or("")
+            );
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn read_deadline_times_out_slow_clients() {
+        let handle = start(ServerConfig {
+            read_deadline: Duration::from_millis(100),
+            ..Default::default()
+        });
+        let mut sock = TcpStream::connect(handle.local_addr()).unwrap();
+        // Send half a request line, then stall.
+        sock.write_all(b"GET /spar").unwrap();
+        let mut text = String::new();
+        sock.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn streams_chunked_solutions_clients_can_parse() {
+        let handle = start(ServerConfig::default());
+        let request = format!(
+            "GET /sparql?query={} HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n",
+            percent_encode("SELECT ?s ?o WHERE { ?s <http://x/p> ?o }")
+        );
+        let (status, text) = raw_roundtrip(handle.local_addr(), &request);
+        assert!(status.contains("200"), "{text}");
+        assert!(text.contains("Transfer-Encoding: chunked"), "{text}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_all_threads() {
+        let handle = start(ServerConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        let url = handle.url();
+        let ep = HttpEndpoint::new("srv", &url).unwrap();
+        let q = lusail_sparql::parse_query("ASK { ?s ?p ?o }").unwrap();
+        assert!(ep.ask(&q).unwrap());
+        handle.shutdown();
+        // After shutdown nothing serves the port: the client must fail.
+        let ep = HttpEndpoint::new("srv", &url)
+            .unwrap()
+            .with_config(HttpConfig {
+                retries: 0,
+                ..Default::default()
+            });
+        assert!(ep.execute(&q).is_err());
+    }
+}

@@ -21,8 +21,10 @@ pub fn aggregate_relation(
     let key_idx: Vec<Option<usize>> = group_keys.iter().map(|v| rel.index_of(v)).collect();
     let mut groups: FxHashMap<Vec<Option<Term>>, Vec<usize>> = FxHashMap::default();
     for (ri, row) in rel.rows().iter().enumerate() {
-        let key: Vec<Option<Term>> =
-            key_idx.iter().map(|i| i.and_then(|i| row[i].clone())).collect();
+        let key: Vec<Option<Term>> = key_idx
+            .iter()
+            .map(|i| i.and_then(|i| row[i].clone()))
+            .collect();
         groups.entry(key).or_default().push(ri);
     }
     if groups.is_empty() && group_keys.is_empty() {
@@ -44,7 +46,8 @@ pub fn aggregate_relation(
         }
         out.push(out_row);
     }
-    out.rows_mut().sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    out.rows_mut()
+        .sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
     out
 }
 
@@ -73,7 +76,11 @@ fn compute(rel: &Relation, row_ids: &[usize], agg: &AggSpec) -> Option<Term> {
                 return Some(Term::integer(0));
             }
             let sum: f64 = nums.iter().sum();
-            let v = if agg.func == AggFunc::Avg { sum / nums.len() as f64 } else { sum };
+            let v = if agg.func == AggFunc::Avg {
+                sum / nums.len() as f64
+            } else {
+                sum
+            };
             Some(if v.fract() == 0.0 {
                 Term::integer(v as i64)
             } else {
@@ -91,7 +98,11 @@ fn compute(rel: &Relation, row_ids: &[usize], agg: &AggSpec) -> Option<Term> {
                     _ => a.cmp(b),
                 }
             });
-            let pick = if agg.func == AggFunc::Min { terms.first() } else { terms.last() };
+            let pick = if agg.func == AggFunc::Min {
+                terms.first()
+            } else {
+                terms.last()
+            };
             pick.map(|t| (*t).clone())
         }
     }
@@ -115,7 +126,12 @@ mod tests {
     }
 
     fn spec(func: AggFunc, arg: Option<&str>, distinct: bool) -> AggSpec {
-        AggSpec { func, arg: arg.map(v), distinct, as_var: v("out") }
+        AggSpec {
+            func,
+            arg: arg.map(v),
+            distinct,
+            as_var: v("out"),
+        }
     }
 
     fn agg_one(func: AggFunc, arg: Option<&str>, distinct: bool) -> Vec<(String, String)> {
@@ -156,7 +172,10 @@ mod tests {
         );
         assert_eq!(
             agg_one(AggFunc::Avg, Some("x"), false),
-            vec![("a".into(), "2".into()), ("b".into(), "5.666666666666667".into())]
+            vec![
+                ("a".into(), "2".into()),
+                ("b".into(), "5.666666666666667".into())
+            ]
         );
         assert_eq!(
             agg_one(AggFunc::Min, Some("x"), false),

@@ -91,7 +91,11 @@ pub struct TriplePattern {
 
 impl TriplePattern {
     pub fn new(subject: TermPattern, predicate: TermPattern, object: TermPattern) -> Self {
-        TriplePattern { subject, predicate, object }
+        TriplePattern {
+            subject,
+            predicate,
+            object,
+        }
     }
 
     /// All variables in this pattern, in S,P,O order, deduplicated.
@@ -199,9 +203,21 @@ impl Expression {
                 }
             }
             Term(_) => {}
-            And(a, b) | Or(a, b) | Eq(a, b) | Ne(a, b) | Lt(a, b) | Le(a, b) | Gt(a, b)
-            | Ge(a, b) | Add(a, b) | Sub(a, b) | Mul(a, b) | Div(a, b) | Contains(a, b)
-            | StrStarts(a, b) | SameTerm(a, b) => {
+            And(a, b)
+            | Or(a, b)
+            | Eq(a, b)
+            | Ne(a, b)
+            | Lt(a, b)
+            | Le(a, b)
+            | Gt(a, b)
+            | Ge(a, b)
+            | Add(a, b)
+            | Sub(a, b)
+            | Mul(a, b)
+            | Div(a, b)
+            | Contains(a, b)
+            | StrStarts(a, b)
+            | SameTerm(a, b) => {
                 a.collect_variables(out);
                 b.collect_variables(out);
             }
@@ -370,11 +386,18 @@ pub enum Projection {
     /// `SELECT (COUNT(*) AS ?v)` or `SELECT (COUNT(?x) AS ?v)` — the
     /// whole-result count, kept separate from [`Projection::Aggregate`]
     /// because it is the shape Lusail's cardinality probes use.
-    Count { inner: Option<Variable>, distinct: bool, as_var: Variable },
+    Count {
+        inner: Option<Variable>,
+        distinct: bool,
+        as_var: Variable,
+    },
     /// Grouped aggregation: `SELECT ?k1 … (AGG(?x) AS ?v) … WHERE { … }
     /// GROUP BY ?k1 …`. `keys` are the projected group keys (must appear
     /// in the query's `group_by`).
-    Aggregate { keys: Vec<Variable>, aggs: Vec<AggSpec> },
+    Aggregate {
+        keys: Vec<Variable>,
+        aggs: Vec<AggSpec>,
+    },
 }
 
 /// A `SELECT` query.
@@ -440,12 +463,18 @@ pub struct Query {
 impl Query {
     /// Wrap a `SELECT` query with no prefixes.
     pub fn select(q: SelectQuery) -> Self {
-        Query { prefixes: Vec::new(), form: QueryForm::Select(q) }
+        Query {
+            prefixes: Vec::new(),
+            form: QueryForm::Select(q),
+        }
     }
 
     /// Wrap an `ASK` pattern with no prefixes.
     pub fn ask(pattern: GraphPattern) -> Self {
-        Query { prefixes: Vec::new(), form: QueryForm::Ask(pattern) }
+        Query {
+            prefixes: Vec::new(),
+            form: QueryForm::Ask(pattern),
+        }
     }
 
     /// The `SELECT` body, if this is a select query.
@@ -532,7 +561,11 @@ mod tests {
     #[test]
     fn projected_variables_for_count() {
         let q = SelectQuery::new(
-            Projection::Count { inner: None, distinct: false, as_var: Variable::new("c") },
+            Projection::Count {
+                inner: None,
+                distinct: false,
+                as_var: Variable::new("c"),
+            },
             GraphPattern::empty(),
         );
         assert_eq!(q.projected_variables(), vec![Variable::new("c")]);

@@ -14,7 +14,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SPARQL parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "SPARQL parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -22,7 +26,11 @@ impl std::error::Error for ParseError {}
 
 /// Parse a SPARQL query string.
 pub fn parse_query(input: &str) -> Result<Query, ParseError> {
-    let mut p = Parser { s: input, pos: 0, prefixes: Vec::new() };
+    let mut p = Parser {
+        s: input,
+        pos: 0,
+        prefixes: Vec::new(),
+    };
     let q = p.query()?;
     p.skip_trivia();
     if !p.rest().is_empty() {
@@ -43,7 +51,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: message.into(), offset: self.pos })
+        Err(ParseError {
+            message: message.into(),
+            offset: self.pos,
+        })
     }
 
     fn skip_trivia(&mut self) {
@@ -58,7 +69,11 @@ impl<'a> Parser<'a> {
                 }
             }
             if self.rest().starts_with('#') {
-                let nl = self.rest().find('\n').map(|i| i + 1).unwrap_or(self.rest().len());
+                let nl = self
+                    .rest()
+                    .find('\n')
+                    .map(|i| i + 1)
+                    .unwrap_or(self.rest().len());
                 self.pos += nl;
                 advanced = true;
             }
@@ -139,7 +154,10 @@ impl<'a> Parser<'a> {
         } else {
             return self.err("expected SELECT or ASK");
         };
-        Ok(Query { prefixes: std::mem::take(&mut self.prefixes), form })
+        Ok(Query {
+            prefixes: std::mem::take(&mut self.prefixes),
+            form,
+        })
     }
 
     fn prefix_decl(&mut self) -> Result<(), ParseError> {
@@ -182,10 +200,7 @@ impl<'a> Parser<'a> {
             }
             if aggs.is_empty() {
                 Projection::Vars(vars)
-            } else if vars.is_empty()
-                && aggs.len() == 1
-                && aggs[0].func == AggFunc::Count
-            {
+            } else if vars.is_empty() && aggs.len() == 1 && aggs[0].func == AggFunc::Count {
                 // Kept as the dedicated Count shape; re-classified as a
                 // grouped aggregate below if a GROUP BY follows.
                 Projection::Count {
@@ -213,12 +228,19 @@ impl<'a> Parser<'a> {
         }
         // A grouped COUNT is an aggregate projection after all.
         let projection = match projection {
-            Projection::Count { inner, distinct, as_var } if !group_by.is_empty() => {
-                Projection::Aggregate {
-                    keys: group_by.clone(),
-                    aggs: vec![AggSpec { func: AggFunc::Count, arg: inner, distinct, as_var }],
-                }
-            }
+            Projection::Count {
+                inner,
+                distinct,
+                as_var,
+            } if !group_by.is_empty() => Projection::Aggregate {
+                keys: group_by.clone(),
+                aggs: vec![AggSpec {
+                    func: AggFunc::Count,
+                    arg: inner,
+                    distinct,
+                    as_var,
+                }],
+            },
             other => other,
         };
 
@@ -259,7 +281,15 @@ impl<'a> Parser<'a> {
             }
         }
 
-        Ok(SelectQuery { distinct, projection, pattern, group_by, order_by, limit, offset })
+        Ok(SelectQuery {
+            distinct,
+            projection,
+            pattern,
+            group_by,
+            order_by,
+            limit,
+            offset,
+        })
     }
 
     /// `(AGG([DISTINCT] * | ?v) AS ?out)`.
@@ -292,7 +322,12 @@ impl<'a> Parser<'a> {
         self.expect_kw("AS")?;
         let as_var = self.var()?;
         self.expect(")")?;
-        Ok(AggSpec { func, arg, distinct, as_var })
+        Ok(AggSpec {
+            func,
+            arg,
+            distinct,
+            as_var,
+        })
     }
 
     // ---- graph patterns ------------------------------------------------
@@ -317,10 +352,8 @@ impl<'a> Parser<'a> {
                 if self.eat_kw("NOT") {
                     self.expect_kw("EXISTS")?;
                     let inner = self.group_graph_pattern()?;
-                    acc = GraphPattern::Filter(
-                        Box::new(acc),
-                        Expression::NotExists(Box::new(inner)),
-                    );
+                    acc =
+                        GraphPattern::Filter(Box::new(acc), Expression::NotExists(Box::new(inner)));
                 } else if self.eat_kw("EXISTS") {
                     let inner = self.group_graph_pattern()?;
                     acc = GraphPattern::Filter(Box::new(acc), Expression::Exists(Box::new(inner)));
@@ -427,7 +460,11 @@ impl<'a> Parser<'a> {
                 };
                 loop {
                     let object = self.term_pattern()?;
-                    out.push(TriplePattern::new(subject.clone(), predicate.clone(), object));
+                    out.push(TriplePattern::new(
+                        subject.clone(),
+                        predicate.clone(),
+                        object,
+                    ));
                     if !self.eat(",") {
                         break;
                     }
@@ -623,7 +660,11 @@ impl<'a> Parser<'a> {
             let text = self.expression()?;
             self.expect(",")?;
             let pattern = self.string_literal()?;
-            let flags = if self.eat(",") { self.string_literal()? } else { String::new() };
+            let flags = if self.eat(",") {
+                self.string_literal()?
+            } else {
+                String::new()
+            };
             self.expect(")")?;
             return Ok(Expression::Regex(Box::new(text), pattern, flags));
         }
@@ -761,7 +802,10 @@ impl<'a> Parser<'a> {
         for (i, c) in rest.char_indices() {
             if c.is_ascii_digit() || (i == 0 && c == '-') {
                 len = i + c.len_utf8();
-            } else if c == '.' && !has_dot && rest[i + 1..].starts_with(|d: char| d.is_ascii_digit()) {
+            } else if c == '.'
+                && !has_dot
+                && rest[i + 1..].starts_with(|d: char| d.is_ascii_digit())
+            {
                 has_dot = true;
                 len = i + 1;
             } else {
@@ -844,7 +888,9 @@ impl<'a> Parser<'a> {
         let rest = self.rest();
         let len = rest
             .char_indices()
-            .find(|(_, c)| !(c.is_ascii_alphanumeric() || *c == '_' || *c == '-' || *c == ':' || *c == '.'))
+            .find(|(_, c)| {
+                !(c.is_ascii_alphanumeric() || *c == '_' || *c == '-' || *c == ':' || *c == '.')
+            })
             .map(|(i, _)| i)
             .unwrap_or(rest.len());
         // A trailing '.' is the statement terminator, not part of the name.
@@ -989,14 +1035,22 @@ SELECT ?s ?n WHERE {
     fn parse_count_aggregate() {
         let q = parse_query("SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o }").unwrap();
         match &q.as_select().unwrap().projection {
-            Projection::Count { inner: None, distinct: false, as_var } => {
+            Projection::Count {
+                inner: None,
+                distinct: false,
+                as_var,
+            } => {
                 assert_eq!(as_var.name(), "c");
             }
             other => panic!("bad projection {other:?}"),
         }
         let q = parse_query("SELECT (COUNT(DISTINCT ?s) AS ?c) WHERE { ?s ?p ?o }").unwrap();
         match &q.as_select().unwrap().projection {
-            Projection::Count { inner: Some(v), distinct: true, .. } => {
+            Projection::Count {
+                inner: Some(v),
+                distinct: true,
+                ..
+            } => {
                 assert_eq!(v.name(), "s");
             }
             other => panic!("bad projection {other:?}"),
@@ -1044,7 +1098,10 @@ SELECT ?s ?n WHERE {
     #[test]
     fn iri_vs_less_than() {
         let q = parse_query("SELECT ?x WHERE { ?x <http://e/v> ?v . FILTER(?v < 5) }").unwrap();
-        assert!(matches!(q.pattern(), GraphPattern::Filter(_, Expression::Lt(..))));
+        assert!(matches!(
+            q.pattern(),
+            GraphPattern::Filter(_, Expression::Lt(..))
+        ));
     }
 
     #[test]
@@ -1069,17 +1126,18 @@ SELECT ?s ?n WHERE {
 
     #[test]
     fn grouped_count_reclassifies() {
-        let q = parse_query(
-            "SELECT (COUNT(?x) AS ?c) WHERE { ?e <http://p/x> ?x } GROUP BY ?e",
-        )
-        .unwrap();
+        let q = parse_query("SELECT (COUNT(?x) AS ?c) WHERE { ?e <http://p/x> ?x } GROUP BY ?e")
+            .unwrap();
         assert!(matches!(
             q.as_select().unwrap().projection,
             Projection::Aggregate { .. }
         ));
         // Ungrouped COUNT keeps the dedicated shape.
         let q = parse_query("SELECT (COUNT(?x) AS ?c) WHERE { ?e <http://p/x> ?x }").unwrap();
-        assert!(matches!(q.as_select().unwrap().projection, Projection::Count { .. }));
+        assert!(matches!(
+            q.as_select().unwrap().projection,
+            Projection::Count { .. }
+        ));
     }
 
     #[test]

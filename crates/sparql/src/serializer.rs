@@ -42,7 +42,11 @@ fn write_select(out: &mut String, s: &SelectQuery) {
                 let _ = write!(out, "{v} ");
             }
         }
-        Projection::Count { inner, distinct, as_var } => {
+        Projection::Count {
+            inner,
+            distinct,
+            as_var,
+        } => {
             out.push_str("(COUNT(");
             if *distinct {
                 out.push_str("DISTINCT ");
@@ -296,8 +300,7 @@ mod tests {
     fn roundtrip(q: &str) {
         let parsed = parse_query(q).unwrap_or_else(|e| panic!("parse {q}: {e}"));
         let text = serialize_query(&parsed);
-        let reparsed =
-            parse_query(&text).unwrap_or_else(|e| panic!("reparse {text}: {e}"));
+        let reparsed = parse_query(&text).unwrap_or_else(|e| panic!("reparse {text}: {e}"));
         assert_eq!(parsed, reparsed, "roundtrip mismatch for:\n{q}\n→\n{text}");
     }
 
@@ -314,9 +317,7 @@ mod tests {
         roundtrip("ASK { ?x <http://e/p> ?y }");
         roundtrip("SELECT * WHERE { { ?x a <http://e/A> } UNION { ?x a <http://e/B> } }");
         roundtrip("SELECT * WHERE { ?x <http://e/p> ?y OPTIONAL { ?y <http://e/q> ?z } }");
-        roundtrip(
-            "SELECT * WHERE { ?x <http://e/p> ?y . VALUES (?x) { (<http://e/1>) (UNDEF) } }",
-        );
+        roundtrip("SELECT * WHERE { ?x <http://e/p> ?y . VALUES (?x) { (<http://e/1>) (UNDEF) } }");
         roundtrip("SELECT ?x WHERE { ?x <http://e/v> ?v . FILTER((?v > 3) && (?v != 7)) }");
         roundtrip(
             "SELECT ?p WHERE { ?s <http://e/a> ?p . FILTER NOT EXISTS { SELECT ?p WHERE { ?p <http://e/b> ?c . } } } LIMIT 1",
@@ -325,7 +326,9 @@ mod tests {
 
     #[test]
     fn roundtrip_expressions() {
-        roundtrip(r#"SELECT ?x WHERE { ?x <http://e/n> ?n . FILTER(REGEX(STR(?n), "^a.b", "i")) }"#);
+        roundtrip(
+            r#"SELECT ?x WHERE { ?x <http://e/n> ?n . FILTER(REGEX(STR(?n), "^a.b", "i")) }"#,
+        );
         roundtrip("SELECT ?x WHERE { ?x <http://e/n> ?n . FILTER(BOUND(?n) || ISIRI(?x)) }");
         roundtrip(
             r#"SELECT ?x WHERE { ?x <http://e/n> ?n . FILTER(CONTAINS(STR(?n), "q") && SAMETERM(?x, ?x)) }"#,

@@ -24,7 +24,10 @@ pub struct Relation {
 impl Relation {
     /// An empty relation with the given header.
     pub fn new(vars: Vec<Variable>) -> Self {
-        Relation { vars, rows: Vec::new() }
+        Relation {
+            vars,
+            rows: Vec::new(),
+        }
     }
 
     /// Build a relation from a header and rows. Panics if a row's arity
@@ -81,7 +84,9 @@ impl Relation {
 
     /// The distinct bound terms of variable `v` across all rows.
     pub fn distinct_values(&self, v: &Variable) -> Vec<Term> {
-        let Some(i) = self.index_of(v) else { return Vec::new() };
+        let Some(i) = self.index_of(v) else {
+            return Vec::new();
+        };
         let mut seen = lusail_rdf::fxhash::FxHashSet::default();
         let mut out = Vec::new();
         for row in &self.rows {
@@ -103,7 +108,10 @@ impl Relation {
             .iter()
             .map(|row| idx.iter().map(|i| i.and_then(|i| row[i].clone())).collect())
             .collect();
-        Relation { vars: vars.to_vec(), rows }
+        Relation {
+            vars: vars.to_vec(),
+            rows,
+        }
     }
 
     /// Remove duplicate rows (SPARQL `DISTINCT`).
@@ -118,8 +126,12 @@ impl Relation {
     /// shared variable, the values are equal *or at least one is unbound*;
     /// the bound value (if any) wins in the output.
     pub fn join(&self, other: &Relation) -> Relation {
-        let shared: Vec<Variable> =
-            self.vars.iter().filter(|v| other.index_of(v).is_some()).cloned().collect();
+        let shared: Vec<Variable> = self
+            .vars
+            .iter()
+            .filter(|v| other.index_of(v).is_some())
+            .cloned()
+            .collect();
         let mut out_vars = self.vars.clone();
         for v in &other.vars {
             if !out_vars.contains(v) {
@@ -132,7 +144,8 @@ impl Relation {
             // Cartesian product.
             for a in &self.rows {
                 for b in &other.rows {
-                    out.rows.push(Self::merge_rows(self, other, a, b, &out.vars));
+                    out.rows
+                        .push(Self::merge_rows(self, other, a, b, &out.vars));
                 }
             }
             return out;
@@ -146,18 +159,17 @@ impl Relation {
         let other_shared_idx: Vec<usize> =
             shared.iter().map(|v| other.index_of(v).unwrap()).collect();
 
-        let (small, big, small_idx, big_idx, small_is_self) =
-            if self.rows.len() <= other.rows.len() {
-                (self, other, &self_shared_idx, &other_shared_idx, true)
-            } else {
-                (other, self, &other_shared_idx, &self_shared_idx, false)
-            };
+        let (small, big, small_idx, big_idx, small_is_self) = if self.rows.len() <= other.rows.len()
+        {
+            (self, other, &self_shared_idx, &other_shared_idx, true)
+        } else {
+            (other, self, &other_shared_idx, &self_shared_idx, false)
+        };
 
         let mut table: FxHashMap<Vec<&Term>, Vec<&Row>> = FxHashMap::default();
         let mut loose: Vec<&Row> = Vec::new();
         for row in &small.rows {
-            let key: Option<Vec<&Term>> =
-                small_idx.iter().map(|&i| row[i].as_ref()).collect();
+            let key: Option<Vec<&Term>> = small_idx.iter().map(|&i| row[i].as_ref()).collect();
             match key {
                 Some(k) => table.entry(k).or_default().push(row),
                 None => loose.push(row),
@@ -169,8 +181,13 @@ impl Relation {
             if let Some(k) = &key {
                 if let Some(matches) = table.get(k) {
                     for srow in matches {
-                        let (a, b) = if small_is_self { (*srow, brow) } else { (brow, *srow) };
-                        out.rows.push(Self::merge_rows(self, other, a, b, &out.vars));
+                        let (a, b) = if small_is_self {
+                            (*srow, brow)
+                        } else {
+                            (brow, *srow)
+                        };
+                        out.rows
+                            .push(Self::merge_rows(self, other, a, b, &out.vars));
                     }
                 }
             }
@@ -184,8 +201,13 @@ impl Relation {
                     }
                 });
                 if compatible {
-                    let (a, b) = if small_is_self { (*srow, brow) } else { (brow, *srow) };
-                    out.rows.push(Self::merge_rows(self, other, a, b, &out.vars));
+                    let (a, b) = if small_is_self {
+                        (*srow, brow)
+                    } else {
+                        (brow, *srow)
+                    };
+                    out.rows
+                        .push(Self::merge_rows(self, other, a, b, &out.vars));
                 }
             }
             // Symmetric case: brow has an unbound shared var — check against
@@ -193,17 +215,20 @@ impl Relation {
             if key.is_none() {
                 for rows in table.values() {
                     for srow in rows {
-                        let compatible =
-                            small_idx.iter().zip(big_idx.iter()).all(|(&si, &bi)| {
-                                match (&srow[si], &brow[bi]) {
-                                    (Some(a), Some(b)) => a == b,
-                                    _ => true,
-                                }
-                            });
+                        let compatible = small_idx.iter().zip(big_idx.iter()).all(|(&si, &bi)| {
+                            match (&srow[si], &brow[bi]) {
+                                (Some(a), Some(b)) => a == b,
+                                _ => true,
+                            }
+                        });
                         if compatible {
-                            let (a, b) =
-                                if small_is_self { (*srow, brow) } else { (brow, *srow) };
-                            out.rows.push(Self::merge_rows(self, other, a, b, &out.vars));
+                            let (a, b) = if small_is_self {
+                                (*srow, brow)
+                            } else {
+                                (brow, *srow)
+                            };
+                            out.rows
+                                .push(Self::merge_rows(self, other, a, b, &out.vars));
                         }
                     }
                 }
@@ -247,8 +272,12 @@ impl Relation {
         // Cheaper: count matches per left row index by joining with a tag.
         // We instead do the standard approach: build the join keyed by left
         // row identity.
-        let shared: Vec<Variable> =
-            self.vars.iter().filter(|v| other.index_of(v).is_some()).cloned().collect();
+        let shared: Vec<Variable> = self
+            .vars
+            .iter()
+            .filter(|v| other.index_of(v).is_some())
+            .cloned()
+            .collect();
         let mut out = Relation::new(out_vars.clone());
         if shared.is_empty() && !other.rows.is_empty() {
             return inner; // pure product: every left row matched
@@ -275,7 +304,8 @@ impl Relation {
                     }
                 });
                 if compatible {
-                    out.rows.push(Self::merge_rows(self, other, arow, brow, &out_vars));
+                    out.rows
+                        .push(Self::merge_rows(self, other, arow, brow, &out_vars));
                     *matched = true;
                 }
             };
@@ -340,7 +370,8 @@ impl Relation {
             let Some(k) = key else { continue };
             if let Some(matches) = table.get(&k) {
                 for brow in matches {
-                    out.rows.push(Self::merge_rows(self, other, arow, brow, &out.vars));
+                    out.rows
+                        .push(Self::merge_rows(self, other, arow, brow, &out.vars));
                 }
             }
         }
@@ -378,7 +409,10 @@ impl Relation {
             })
             .cloned()
             .collect();
-        Relation { vars: self.vars.clone(), rows }
+        Relation {
+            vars: self.vars.clone(),
+            rows,
+        }
     }
 
     /// Estimated size in bytes when shipped over the (simulated) network:

@@ -53,7 +53,10 @@ struct Bindings {
 impl Bindings {
     /// The unit table: no variables, one empty row (the identity of join).
     fn unit() -> Self {
-        Bindings { vars: Vec::new(), rows: vec![Vec::new()] }
+        Bindings {
+            vars: Vec::new(),
+            rows: vec![Vec::new()],
+        }
     }
 
     fn index_of(&self, v: &Variable) -> Option<usize> {
@@ -69,7 +72,10 @@ pub struct Evaluator<'a> {
 
 impl<'a> Evaluator<'a> {
     pub fn new(store: &'a Store) -> Self {
-        Evaluator { store, foreign: Vec::new() }
+        Evaluator {
+            store,
+            foreign: Vec::new(),
+        }
     }
 
     /// Evaluate any query form.
@@ -93,7 +99,12 @@ impl<'a> Evaluator<'a> {
 
     fn finish_select(&mut self, q: &SelectQuery, bindings: Bindings) -> Relation {
         // Aggregate?
-        if let Projection::Count { inner, distinct, as_var } = &q.projection {
+        if let Projection::Count {
+            inner,
+            distinct,
+            as_var,
+        } = &q.projection
+        {
             let n = match inner {
                 None => {
                     if *distinct {
@@ -115,7 +126,11 @@ impl<'a> Evaluator<'a> {
                                 .collect();
                             set.len()
                         } else {
-                            bindings.rows.iter().filter(|r| r[i] != Cell::Unbound).count()
+                            bindings
+                                .rows
+                                .iter()
+                                .filter(|r| r[i] != Cell::Unbound)
+                                .count()
                         }
                     }
                 },
@@ -126,7 +141,11 @@ impl<'a> Evaluator<'a> {
         }
 
         if let Projection::Aggregate { keys, aggs } = &q.projection {
-            let group_keys = if q.group_by.is_empty() { keys.clone() } else { q.group_by.clone() };
+            let group_keys = if q.group_by.is_empty() {
+                keys.clone()
+            } else {
+                q.group_by.clone()
+            };
             return self.aggregate(&bindings, &group_keys, keys, aggs, q);
         }
 
@@ -203,8 +222,7 @@ impl<'a> Evaluator<'a> {
         q: &SelectQuery,
     ) -> Relation {
         use lusail_sparql::ast::AggFunc;
-        let key_idx: Vec<Option<usize>> =
-            group_keys.iter().map(|v| bindings.index_of(v)).collect();
+        let key_idx: Vec<Option<usize>> = group_keys.iter().map(|v| bindings.index_of(v)).collect();
         // Group rows by their key cells.
         let mut groups: FxHashMap<Vec<Cell>, Vec<&Vec<Cell>>> = FxHashMap::default();
         for row in &bindings.rows {
@@ -342,7 +360,10 @@ impl<'a> Evaluator<'a> {
                 self.eval_filter(rows, e)
             }
             GraphPattern::Values(vars, data) => {
-                let mut values = Bindings { vars: vars.clone(), rows: Vec::new() };
+                let mut values = Bindings {
+                    vars: vars.clone(),
+                    rows: Vec::new(),
+                };
                 for row in data {
                     values.rows.push(
                         row.iter()
@@ -430,8 +451,9 @@ impl<'a> Evaluator<'a> {
     fn pick_next_pattern(&self, remaining: &[&TriplePattern], bound: &[Variable]) -> usize {
         let shares = |tp: &TriplePattern| tp.variables().iter().any(|v| bound.contains(v));
         let candidates: Vec<usize> = {
-            let sharing: Vec<usize> =
-                (0..remaining.len()).filter(|&i| shares(remaining[i])).collect();
+            let sharing: Vec<usize> = (0..remaining.len())
+                .filter(|&i| shares(remaining[i]))
+                .collect();
             if sharing.is_empty() || bound.is_empty() {
                 (0..remaining.len()).collect()
             } else {
@@ -488,7 +510,10 @@ impl<'a> Evaluator<'a> {
             })
             .collect();
 
-        let mut out = Bindings { vars, rows: Vec::new() };
+        let mut out = Bindings {
+            vars,
+            rows: Vec::new(),
+        };
         if slot_plan.iter().any(|s| matches!(s, SlotPlan::Impossible)) {
             return out;
         }
@@ -500,7 +525,9 @@ impl<'a> Evaluator<'a> {
             for (i, plan) in slot_plan.iter().enumerate() {
                 match plan {
                     SlotPlan::Const(id) => probe[i] = Some(*id),
-                    SlotPlan::Var { in_acc: Some(j), .. } => match row[*j] {
+                    SlotPlan::Var {
+                        in_acc: Some(j), ..
+                    } => match row[*j] {
                         Cell::Id(id) => probe[i] = Some(id),
                         Cell::Foreign(_) => {
                             dead = true;
@@ -551,9 +578,15 @@ impl<'a> Evaluator<'a> {
                 out_vars.push(v);
             }
         }
-        let mut out = Bindings { vars: out_vars, rows: Vec::new() };
+        let mut out = Bindings {
+            vars: out_vars,
+            rows: Vec::new(),
+        };
         for row in &left.rows {
-            let seed = Bindings { vars: left.vars.clone(), rows: vec![row.clone()] };
+            let seed = Bindings {
+                vars: left.vars.clone(),
+                rows: vec![row.clone()],
+            };
             let sub = self.eval_pattern(right, seed);
             if sub.rows.is_empty() {
                 let mut r = row.clone();
@@ -588,10 +621,17 @@ impl<'a> Evaluator<'a> {
             vars.push(var.clone());
         }
         let out_idx = vars.iter().position(|x| x == var).unwrap();
-        let mut out = Bindings { vars, rows: Vec::with_capacity(bindings.rows.len()) };
+        let mut out = Bindings {
+            vars,
+            rows: Vec::with_capacity(bindings.rows.len()),
+        };
         for row in bindings.rows {
             let value = {
-                let mut ctx = RowCtx { eval: self, vars: &bindings.vars, row: &row };
+                let mut ctx = RowCtx {
+                    eval: self,
+                    vars: &bindings.vars,
+                    row: &row,
+                };
                 crate::expr::eval(expr, &mut ctx).and_then(crate::expr::value_to_term)
             };
             let mut new_row = row.clone();
@@ -615,10 +655,17 @@ impl<'a> Evaluator<'a> {
     }
 
     fn eval_filter(&mut self, bindings: Bindings, e: &Expression) -> Bindings {
-        let mut out = Bindings { vars: bindings.vars.clone(), rows: Vec::new() };
+        let mut out = Bindings {
+            vars: bindings.vars.clone(),
+            rows: Vec::new(),
+        };
         for row in bindings.rows {
             let keep = {
-                let mut ctx = RowCtx { eval: self, vars: &bindings.vars, row: &row };
+                let mut ctx = RowCtx {
+                    eval: self,
+                    vars: &bindings.vars,
+                    row: &row,
+                };
                 eval_ebv(e, &mut ctx)
             };
             if keep {
@@ -632,7 +679,10 @@ impl<'a> Evaluator<'a> {
 enum SlotPlan {
     Const(TermId),
     Impossible,
-    Var { in_acc: Option<usize>, out_idx: usize },
+    Var {
+        in_acc: Option<usize>,
+        out_idx: usize,
+    },
 }
 
 /// Expression context for one row: variable lookup plus correlated EXISTS.
@@ -651,8 +701,10 @@ impl ExprContext for RowCtx<'_, '_> {
     fn exists(&mut self, pattern: &GraphPattern) -> bool {
         // Seed the inner pattern with the current row (SPARQL's
         // substitution semantics for EXISTS).
-        let seed =
-            Bindings { vars: self.vars.to_vec(), rows: vec![self.row.to_vec()] };
+        let seed = Bindings {
+            vars: self.vars.to_vec(),
+            rows: vec![self.row.to_vec()],
+        };
         !self.eval.eval_pattern(pattern, seed).rows.is_empty()
     }
 }
@@ -686,7 +738,10 @@ fn minus_bindings(left: Bindings, right: &Bindings) -> Bindings {
             })
         })
         .collect();
-    Bindings { vars: left.vars, rows }
+    Bindings {
+        vars: left.vars,
+        rows,
+    }
 }
 
 fn union_bindings(a: Bindings, b: Bindings) -> Bindings {
@@ -731,7 +786,10 @@ fn join_bindings(a: &Bindings, b: &Bindings) -> Bindings {
     for &j in &b_extra {
         vars.push(b.vars[j].clone());
     }
-    let mut out = Bindings { vars, rows: Vec::new() };
+    let mut out = Bindings {
+        vars,
+        rows: Vec::new(),
+    };
 
     // Hash the smaller side on fully-bound shared keys; rows with unbound
     // shared cells go to a compatibility scan list.
@@ -870,7 +928,10 @@ mod tests {
     #[test]
     fn bgp_single_pattern() {
         let st = ep2_store();
-        let r = run(&st, &format!("{PRE} SELECT ?s WHERE {{ ?s rdf:type ub:GraduateStudent }}"));
+        let r = run(
+            &st,
+            &format!("{PRE} SELECT ?s WHERE {{ ?s rdf:type ub:GraduateStudent }}"),
+        );
         assert_eq!(r.len(), 2);
     }
 
@@ -919,7 +980,9 @@ mod tests {
             .iter()
             .filter(|row| row[1] == Some(Term::iri("http://univ2.example.org/CMU")))
             .collect();
-        assert!(cmu_rows.iter().all(|row| row[2] == Some(Term::literal("CCCC"))));
+        assert!(cmu_rows
+            .iter()
+            .all(|row| row[2] == Some(Term::literal("CCCC"))));
     }
 
     #[test]
@@ -956,7 +1019,10 @@ mod tests {
             ),
         );
         assert_eq!(r.len(), 1);
-        assert_eq!(r.rows()[0][0], Some(Term::iri("http://univ1.example.org/MIT")));
+        assert_eq!(
+            r.rows()[0][0],
+            Some(Term::iri("http://univ1.example.org/MIT"))
+        );
     }
 
     #[test]
@@ -986,7 +1052,10 @@ mod tests {
     #[test]
     fn count_aggregate() {
         let st = ep2_store();
-        let r = run(&st, &format!("{PRE} SELECT (COUNT(*) AS ?c) WHERE {{ ?s ub:advisor ?p }}"));
+        let r = run(
+            &st,
+            &format!("{PRE} SELECT (COUNT(*) AS ?c) WHERE {{ ?s ub:advisor ?p }}"),
+        );
         assert_eq!(r.rows()[0][0], Some(Term::integer(3)));
         let r = run(
             &st,
@@ -1036,8 +1105,16 @@ mod tests {
     #[test]
     fn same_var_twice_in_pattern() {
         let mut g = Graph::new();
-        g.add(Term::iri("http://x/a"), Term::iri("http://x/loves"), Term::iri("http://x/a"));
-        g.add(Term::iri("http://x/a"), Term::iri("http://x/loves"), Term::iri("http://x/b"));
+        g.add(
+            Term::iri("http://x/a"),
+            Term::iri("http://x/loves"),
+            Term::iri("http://x/a"),
+        );
+        g.add(
+            Term::iri("http://x/a"),
+            Term::iri("http://x/loves"),
+            Term::iri("http://x/b"),
+        );
         let st = Store::from_graph(&g);
         let r = run(&st, "SELECT ?x WHERE { ?x <http://x/loves> ?x }");
         assert_eq!(r.len(), 1);
@@ -1124,7 +1201,10 @@ mod tests {
         );
         // Only Kim takes db → Lee survives.
         assert_eq!(r.len(), 1);
-        assert_eq!(r.rows()[0][0], Some(Term::iri("http://univ2.example.org/Lee")));
+        assert_eq!(
+            r.rows()[0][0],
+            Some(Term::iri("http://univ2.example.org/Lee"))
+        );
         // MINUS with no shared variables removes nothing (SPARQL spec).
         let r = run(
             &st,

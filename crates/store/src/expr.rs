@@ -89,9 +89,9 @@ pub fn eval(expr: &Expression, ctx: &mut dyn ExprContext) -> Option<Value> {
         Lang(a) => {
             let t = term_value(eval(a, ctx)?)?;
             match t {
-                lusail_rdf::Term::Literal(l) => {
-                    Some(Value::Term(lusail_rdf::Term::literal(l.language.unwrap_or_default())))
-                }
+                lusail_rdf::Term::Literal(l) => Some(Value::Term(lusail_rdf::Term::literal(
+                    l.language.unwrap_or_default(),
+                ))),
                 _ => None,
             }
         }
@@ -178,7 +178,10 @@ pub fn value_to_term(v: Value) -> Option<Term> {
 fn term_value(v: Value) -> Option<Term> {
     match v {
         Value::Term(t) => Some(t),
-        Value::Bool(b) => Some(Term::Literal(Literal::typed(b.to_string(), vocab::xsd::BOOLEAN))),
+        Value::Bool(b) => Some(Term::Literal(Literal::typed(
+            b.to_string(),
+            vocab::xsd::BOOLEAN,
+        ))),
         Value::Num(n) => Some(Term::Literal(Literal::double(n))),
     }
 }
@@ -265,7 +268,12 @@ mod tests {
     }
 
     fn ctx(pairs: &[(&str, Term)]) -> MapCtx {
-        MapCtx(pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect())
+        MapCtx(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        )
     }
 
     #[test]
@@ -355,7 +363,10 @@ mod tests {
         assert_eq!(ebv(Value::Term(Term::integer(7))), Some(true));
         assert_eq!(ebv(Value::Term(Term::iri("http://x"))), None);
         assert_eq!(
-            ebv(Value::Term(Term::Literal(Literal::typed("true", vocab::xsd::BOOLEAN)))),
+            ebv(Value::Term(Term::Literal(Literal::typed(
+                "true",
+                vocab::xsd::BOOLEAN
+            )))),
             Some(true)
         );
     }

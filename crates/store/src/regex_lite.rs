@@ -21,7 +21,10 @@ pub struct Regex {
 enum Node {
     Char(char),
     Any,
-    Class { negated: bool, items: Vec<ClassItem> },
+    Class {
+        negated: bool,
+        items: Vec<ClassItem>,
+    },
     Star(Box<Node>),
     Plus(Box<Node>),
     Opt(Box<Node>),
@@ -92,12 +95,15 @@ impl Regex {
                         }
                         let lo = if chars[i] == '\\' {
                             i += 1;
-                            *chars.get(i).ok_or_else(|| RegexError("dangling escape".into()))?
+                            *chars
+                                .get(i)
+                                .ok_or_else(|| RegexError("dangling escape".into()))?
                         } else {
                             chars[i]
                         };
                         i += 1;
-                        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+                        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']')
+                        {
                             let hi = chars[i + 1];
                             items.push(ClassItem::Range(lo, hi));
                             i += 2;
@@ -110,7 +116,9 @@ impl Regex {
                     }
                     Node::Class { negated, items }
                 }
-                '*' | '+' | '?' => return Err(RegexError("quantifier with nothing to repeat".into())),
+                '*' | '+' | '?' => {
+                    return Err(RegexError("quantifier with nothing to repeat".into()))
+                }
                 c => {
                     i += 1;
                     Node::Char(c)
@@ -133,7 +141,12 @@ impl Regex {
             };
             nodes.push(node);
         }
-        Ok(Regex { nodes, anchored_start, anchored_end, case_insensitive })
+        Ok(Regex {
+            nodes,
+            anchored_start,
+            anchored_end,
+            case_insensitive,
+        })
     }
 
     /// Does the pattern match anywhere in `text` (or at the anchored
@@ -144,8 +157,11 @@ impl Regex {
         } else {
             text.chars().collect()
         };
-        let starts: Vec<usize> =
-            if self.anchored_start { vec![0] } else { (0..=chars.len()).collect() };
+        let starts: Vec<usize> = if self.anchored_start {
+            vec![0]
+        } else {
+            (0..=chars.len()).collect()
+        };
         for start in starts {
             if self.match_here(&chars, start, 0) {
                 return true;

@@ -112,7 +112,9 @@ pub fn load(bytes: &[u8]) -> Result<Store, SnapshotError> {
         let p = r.u32()? as usize;
         let o = r.u32()? as usize;
         let get = |i: usize| -> Result<&Term, SnapshotError> {
-            terms.get(i).ok_or_else(|| SnapshotError(format!("term id {i} out of range")))
+            terms
+                .get(i)
+                .ok_or_else(|| SnapshotError(format!("term id {i} out of range")))
         };
         store.insert(&lusail_rdf::Triple {
             subject: get(s)?.clone(),
@@ -188,14 +190,26 @@ mod tests {
 
     fn sample_store() -> Store {
         let mut g = Graph::new();
-        g.add(Term::iri("http://x/a"), Term::iri("http://x/p"), Term::literal("plain"));
-        g.add(Term::iri("http://x/a"), Term::iri("http://x/p"), Term::integer(42));
+        g.add(
+            Term::iri("http://x/a"),
+            Term::iri("http://x/p"),
+            Term::literal("plain"),
+        );
+        g.add(
+            Term::iri("http://x/a"),
+            Term::iri("http://x/p"),
+            Term::integer(42),
+        );
         g.add(
             Term::iri("http://x/b"),
             Term::iri("http://x/q"),
             Term::Literal(lusail_rdf::Literal::lang("ciao", "it")),
         );
-        g.add(Term::bnode("n0"), Term::iri("http://x/p"), Term::iri("http://x/a"));
+        g.add(
+            Term::bnode("n0"),
+            Term::iri("http://x/p"),
+            Term::iri("http://x/a"),
+        );
         Store::from_graph(&g)
     }
 

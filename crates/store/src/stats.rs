@@ -46,7 +46,10 @@ impl StoreStats {
     /// "preprocessing phase … dominated by the dataset size": it is a full
     /// pass over the data, and the benchmarks report its cost separately.
     pub fn collect(store: &Store) -> Self {
-        let mut stats = StoreStats { triples: store.len(), predicates: FxHashMap::default() };
+        let mut stats = StoreStats {
+            triples: store.len(),
+            predicates: FxHashMap::default(),
+        };
         let mut subjects: FxHashMap<String, FxHashSet<u32>> = FxHashMap::default();
         let mut objects: FxHashMap<String, FxHashSet<u32>> = FxHashMap::default();
         for (s, p, o) in store.iter_ids() {
@@ -102,7 +105,11 @@ mod tests {
             Term::iri("http://x/p"),
             Term::iri("http://b.org/o2"),
         );
-        g.add(Term::iri("http://a.org/s2"), Term::iri("http://x/q"), Term::literal("leaf"));
+        g.add(
+            Term::iri("http://a.org/s2"),
+            Term::iri("http://x/q"),
+            Term::literal("leaf"),
+        );
         Store::from_graph(&g)
     }
 

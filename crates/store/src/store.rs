@@ -195,7 +195,11 @@ mod tests {
     use lusail_rdf::Term;
 
     fn t(s: &str, p: &str, o: &str) -> Triple {
-        Triple::iris(format!("http://x/{s}"), format!("http://x/{p}"), format!("http://x/{o}"))
+        Triple::iris(
+            format!("http://x/{s}"),
+            format!("http://x/{p}"),
+            format!("http://x/{o}"),
+        )
     }
 
     fn store() -> Store {
@@ -247,15 +251,20 @@ mod tests {
     #[test]
     fn unknown_term_matches_nothing() {
         let st = store();
-        assert!(st.match_terms(Some(&Term::iri("http://nowhere/z")), None, None).is_empty());
+        assert!(st
+            .match_terms(Some(&Term::iri("http://nowhere/z")), None, None)
+            .is_empty());
         assert_eq!(st.resolve(&Term::iri("http://nowhere/z")), None);
     }
 
     #[test]
     fn predicates_listing() {
         let st = store();
-        let preds: Vec<_> =
-            st.predicates().into_iter().map(|id| st.decode(id).clone()).collect();
+        let preds: Vec<_> = st
+            .predicates()
+            .into_iter()
+            .map(|id| st.decode(id).clone())
+            .collect();
         assert_eq!(preds.len(), 2);
         assert!(preds.contains(&Term::iri("http://x/p")));
         assert!(preds.contains(&Term::iri("http://x/q")));

@@ -6,10 +6,9 @@
 //! pathways, publications) whose entities cross-reference each other, and
 //! five log-style queries that traverse those links.
 
+use crate::prng::SplitMix64;
 use crate::BenchQuery;
 use lusail_rdf::{vocab, Graph, Term};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 pub const GENES_NS: &str = "http://genes.bio.example.org/";
 pub const PROTEINS_NS: &str = "http://proteins.bio.example.org/";
@@ -28,7 +27,13 @@ pub struct Bio2RdfConfig {
 
 impl Default for Bio2RdfConfig {
     fn default() -> Self {
-        Bio2RdfConfig { genes: 150, proteins: 200, pathways: 40, publications: 120, seed: 99 }
+        Bio2RdfConfig {
+            genes: 150,
+            proteins: 200,
+            pathways: 40,
+            publications: 120,
+            seed: 99,
+        }
     }
 }
 
@@ -44,8 +49,16 @@ pub fn generate_genes(cfg: &Bio2RdfConfig) -> Graph {
         let gene = iri(GENES_NS, format!("gene/{i}"));
         g.add_type(gene.clone(), format!("{GENES_NS}vocab/Gene"));
         g.add(gene.clone(), p("symbol"), Term::literal(format!("BG{i}")));
-        g.add(gene.clone(), p("organism"), Term::literal(if i % 3 == 0 { "human" } else { "mouse" }));
-        g.add(gene.clone(), p("encodes"), iri(PROTEINS_NS, format!("protein/{}", i % cfg.proteins)));
+        g.add(
+            gene.clone(),
+            p("organism"),
+            Term::literal(if i % 3 == 0 { "human" } else { "mouse" }),
+        );
+        g.add(
+            gene.clone(),
+            p("encodes"),
+            iri(PROTEINS_NS, format!("protein/{}", i % cfg.proteins)),
+        );
         g.add(gene, p("chromosome"), Term::integer((i % 23) as i64 + 1));
     }
     g
@@ -53,21 +66,33 @@ pub fn generate_genes(cfg: &Bio2RdfConfig) -> Graph {
 
 /// Proteins endpoint: proteins participating in pathways.
 pub fn generate_proteins(cfg: &Bio2RdfConfig) -> Graph {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x70);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0x70);
     let mut g = Graph::new();
     let p = |l: &str| iri(PROTEINS_NS, format!("vocab/{l}"));
     for i in 0..cfg.proteins {
         let prot = iri(PROTEINS_NS, format!("protein/{i}"));
         g.add_type(prot.clone(), format!("{PROTEINS_NS}vocab/Protein"));
-        g.add(prot.clone(), p("name"), Term::literal(format!("Protein {i}")));
-        g.add(prot.clone(), p("mass"), Term::integer(rng.gen_range(10_000..200_000)));
+        g.add(
+            prot.clone(),
+            p("name"),
+            Term::literal(format!("Protein {i}")),
+        );
+        g.add(
+            prot.clone(),
+            p("mass"),
+            Term::integer(rng.gen_range(10_000..200_000)),
+        );
         g.add(
             prot.clone(),
             p("participatesIn"),
             iri(PATHWAYS_NS, format!("pathway/{}", i % cfg.pathways)),
         );
         if rng.gen_bool(0.5) {
-            g.add(prot, p("function"), Term::literal(format!("function-{}", i % 12)));
+            g.add(
+                prot,
+                p("function"),
+                Term::literal(format!("function-{}", i % 12)),
+            );
         }
     }
     g
@@ -81,21 +106,33 @@ pub fn generate_pathways(cfg: &Bio2RdfConfig) -> Graph {
         let pw = iri(PATHWAYS_NS, format!("pathway/{i}"));
         g.add_type(pw.clone(), format!("{PATHWAYS_NS}vocab/Pathway"));
         g.add(pw.clone(), p("name"), Term::literal(format!("Pathway {i}")));
-        g.add(pw, p("category"), Term::literal(if i % 4 == 0 { "metabolic" } else { "signaling" }));
+        g.add(
+            pw,
+            p("category"),
+            Term::literal(if i % 4 == 0 { "metabolic" } else { "signaling" }),
+        );
     }
     g
 }
 
 /// Publications endpoint: papers mentioning genes.
 pub fn generate_publications(cfg: &Bio2RdfConfig) -> Graph {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x9B);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0x9B);
     let mut g = Graph::new();
     let p = |l: &str| iri(PUBS_NS, format!("vocab/{l}"));
     for i in 0..cfg.publications {
         let pub_ = iri(PUBS_NS, format!("article/{i}"));
         g.add_type(pub_.clone(), format!("{PUBS_NS}vocab/Article"));
-        g.add(pub_.clone(), p("title"), Term::literal(format!("Bio article {i}")));
-        g.add(pub_.clone(), p("year"), Term::integer(2000 + (i as i64 % 20)));
+        g.add(
+            pub_.clone(),
+            p("title"),
+            Term::literal(format!("Bio article {i}")),
+        );
+        g.add(
+            pub_.clone(),
+            p("year"),
+            Term::integer(2000 + (i as i64 % 20)),
+        );
         for _ in 0..rng.gen_range(1..=2) {
             g.add(
                 pub_.clone(),
@@ -132,43 +169,61 @@ PREFIX pub: <http://pubs.bio.example.org/vocab/>\n";
 
 /// The five query-log-style queries of Table 2.
 pub fn queries() -> Vec<BenchQuery> {
-    let q = |name: &'static str, body: &str| BenchQuery { name, text: format!("{PREFIXES}{body}") };
+    let q = |name: &'static str, body: &str| BenchQuery {
+        name,
+        text: format!("{PREFIXES}{body}"),
+    };
     vec![
         // R1: human genes and the proteins they encode.
-        q("R1", "SELECT ?gene ?symbol ?protein ?pname WHERE {\n\
+        q(
+            "R1",
+            "SELECT ?gene ?symbol ?protein ?pname WHERE {\n\
 ?gene rdf:type gene:Gene .\n\
 ?gene gene:symbol ?symbol .\n\
 ?gene gene:organism \"human\" .\n\
 ?gene gene:encodes ?protein .\n\
-?protein prot:name ?pname .\n}"),
+?protein prot:name ?pname .\n}",
+        ),
         // R2: proteins in metabolic pathways.
-        q("R2", "SELECT ?protein ?pathway ?pwname WHERE {\n\
+        q(
+            "R2",
+            "SELECT ?protein ?pathway ?pwname WHERE {\n\
 ?protein prot:participatesIn ?pathway .\n\
 ?pathway path:name ?pwname .\n\
-?pathway path:category \"metabolic\" .\n}"),
+?pathway path:category \"metabolic\" .\n}",
+        ),
         // R3: the full gene → protein → pathway chain with mass filter.
-        q("R3", "SELECT ?gene ?protein ?pathway WHERE {\n\
+        q(
+            "R3",
+            "SELECT ?gene ?protein ?pathway WHERE {\n\
 ?gene gene:encodes ?protein .\n\
 ?protein prot:mass ?mass .\n\
 ?protein prot:participatesIn ?pathway .\n\
 ?pathway path:category ?cat .\n\
-FILTER(?mass > 100000)\n}"),
+FILTER(?mass > 100000)\n}",
+        ),
         // R4: publications mentioning genes with their pathways (4
         // endpoints, optional function annotation).
-        q("R4", "SELECT ?article ?gene ?pathway WHERE {\n\
+        q(
+            "R4",
+            "SELECT ?article ?gene ?pathway WHERE {\n\
 ?article pub:mentions ?gene .\n\
 ?article pub:year ?year .\n\
 ?gene gene:encodes ?protein .\n\
 ?protein prot:participatesIn ?pathway .\n\
 OPTIONAL { ?protein prot:function ?f }\n\
-FILTER(?year >= 2010)\n}"),
+FILTER(?year >= 2010)\n}",
+        ),
         // R5: recent articles per pathway via rdfs:seeAlso.
-        q("R5", "SELECT ?article ?title ?pwname WHERE {\n\
+        q(
+            "R5",
+            "SELECT ?article ?title ?pwname WHERE {\n\
 ?article pub:title ?title .\n\
 ?article rdfs:seeAlso ?pw .\n\
 ?pw path:name ?pwname .\n\
 ?article pub:year ?year .\n\
-FILTER(?year >= 2015)\n}"),
+FILTER(?year >= 2015)\n}",
+        ),
     ]
 }
 
@@ -189,8 +244,7 @@ mod tests {
     fn all_queries_nonempty_under_lusail() {
         use lusail_core::{LusailConfig, LusailEngine};
         let cfg = Bio2RdfConfig::default();
-        let fed =
-            crate::federation_from_graphs(generate_all(&cfg), NetworkProfile::instant());
+        let fed = crate::federation_from_graphs(generate_all(&cfg), NetworkProfile::instant());
         let engine = LusailEngine::new(fed, LusailConfig::default());
         for q in queries() {
             let rel = engine.execute(&q.parse()).unwrap();

@@ -18,10 +18,9 @@
 //! * **B1–B8** (large): large intermediate results; B1 unions two large
 //!   pattern sets; B5 and B6 are disjoint-plus-filter like C5.
 
+use crate::prng::SplitMix64;
 use crate::BenchQuery;
 use lusail_rdf::{vocab, Graph, Literal, Term};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Namespaces of the 13 endpoints.
 pub mod ns {
@@ -51,7 +50,10 @@ pub struct LargeRdfConfig {
 
 impl Default for LargeRdfConfig {
     fn default() -> Self {
-        LargeRdfConfig { scale: 1.0, seed: 13 }
+        LargeRdfConfig {
+            scale: 1.0,
+            seed: 13,
+        }
     }
 }
 
@@ -118,7 +120,7 @@ fn iri(ns: &str, local: impl std::fmt::Display) -> Term {
     Term::iri(format!("{ns}{local}"))
 }
 
-fn big_literal(rng: &mut SmallRng, topic: &str, sentences: usize) -> Term {
+fn big_literal(rng: &mut SplitMix64, topic: &str, sentences: usize) -> Term {
     let mut text = String::new();
     for s in 0..sentences {
         text.push_str(&format!(
@@ -140,19 +142,35 @@ pub fn gene_symbol(g: usize) -> Term {
 
 /// LinkedTCGA-A: patient annotations (the small TCGA endpoint).
 pub fn generate_tcga_a(cfg: &LargeRdfConfig) -> Graph {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xA);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0xA);
     let mut g = Graph::new();
     let p = |l: &str| iri(ns::TCGA, l);
     for i in 0..cfg.patients() {
         let pat = iri(ns::TCGA_A, format!("patient/{i}"));
         g.add_type(pat.clone(), format!("{}Patient", ns::TCGA));
-        g.add(pat.clone(), p("bcrPatientBarcode"), Term::literal(format!("TCGA-{i:04}")));
-        g.add(pat.clone(), p("gender"), Term::literal(if i % 2 == 0 { "MALE" } else { "FEMALE" }));
-        g.add(pat.clone(), p("ageAtDiagnosis"), Term::integer(rng.gen_range(25..90)));
+        g.add(
+            pat.clone(),
+            p("bcrPatientBarcode"),
+            Term::literal(format!("TCGA-{i:04}")),
+        );
+        g.add(
+            pat.clone(),
+            p("gender"),
+            Term::literal(if i % 2 == 0 { "MALE" } else { "FEMALE" }),
+        );
+        g.add(
+            pat.clone(),
+            p("ageAtDiagnosis"),
+            Term::integer(rng.gen_range(25..90)),
+        );
         g.add(
             pat,
             p("tumorStatus"),
-            Term::literal(if rng.gen_bool(0.3) { "WITH TUMOR" } else { "TUMOR FREE" }),
+            Term::literal(if rng.gen_bool(0.3) {
+                "WITH TUMOR"
+            } else {
+                "TUMOR FREE"
+            }),
         );
     }
     g
@@ -160,18 +178,24 @@ pub fn generate_tcga_a(cfg: &LargeRdfConfig) -> Graph {
 
 /// LinkedTCGA-E: gene expression results (large).
 pub fn generate_tcga_e(cfg: &LargeRdfConfig) -> Graph {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xE);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0xE);
     let mut g = Graph::new();
     let p = |l: &str| iri(ns::TCGA, l);
     for i in 0..cfg.expr_results() {
         let r = iri(ns::TCGA_E, format!("result/{i}"));
         g.add_type(r.clone(), format!("{}ExpressionResult", ns::TCGA));
-        g.add(r.clone(), p("patientRef"), iri(ns::TCGA_A, format!("patient/{}", i % cfg.patients())));
+        g.add(
+            r.clone(),
+            p("patientRef"),
+            iri(ns::TCGA_A, format!("patient/{}", i % cfg.patients())),
+        );
         g.add(r.clone(), p("geneSymbol"), gene_symbol(i % cfg.genes()));
         g.add(
             r,
             p("expressionValue"),
-            Term::Literal(Literal::double((rng.gen_range(0.0..16.0f64) * 1000.0).round() / 1000.0)),
+            Term::Literal(Literal::double(
+                (rng.gen_range(0.0..16.0f64) * 1000.0).round() / 1000.0,
+            )),
         );
     }
     g
@@ -179,18 +203,24 @@ pub fn generate_tcga_e(cfg: &LargeRdfConfig) -> Graph {
 
 /// LinkedTCGA-M: methylation results (largest).
 pub fn generate_tcga_m(cfg: &LargeRdfConfig) -> Graph {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x11);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0x11);
     let mut g = Graph::new();
     let p = |l: &str| iri(ns::TCGA, l);
     for i in 0..cfg.meth_results() {
         let r = iri(ns::TCGA_M, format!("result/{i}"));
         g.add_type(r.clone(), format!("{}MethylationResult", ns::TCGA));
-        g.add(r.clone(), p("patientRef"), iri(ns::TCGA_A, format!("patient/{}", i % cfg.patients())));
+        g.add(
+            r.clone(),
+            p("patientRef"),
+            iri(ns::TCGA_A, format!("patient/{}", i % cfg.patients())),
+        );
         g.add(r.clone(), p("geneSymbol"), gene_symbol(i % cfg.genes()));
         g.add(
             r,
             p("betaValue"),
-            Term::Literal(Literal::double((rng.gen_range(0.0..1.0f64) * 10_000.0).round() / 10_000.0)),
+            Term::Literal(Literal::double(
+                (rng.gen_range(0.0..1.0f64) * 10_000.0).round() / 10_000.0,
+            )),
         );
     }
     g
@@ -203,63 +233,141 @@ pub fn generate_chebi(cfg: &LargeRdfConfig) -> Graph {
     for i in 0..cfg.chebi_compounds() {
         let c = iri(ns::CHEBI, format!("compound/{i}"));
         g.add_type(c.clone(), format!("{}vocab/Compound", ns::CHEBI));
-        g.add(c.clone(), p("name"), Term::literal(format!("chebi-compound-{i}")));
-        g.add(c.clone(), p("formula"), Term::literal(format!("C{}H{}O{}", i % 30 + 1, i % 60 + 2, i % 10)));
+        g.add(
+            c.clone(),
+            p("name"),
+            Term::literal(format!("chebi-compound-{i}")),
+        );
+        g.add(
+            c.clone(),
+            p("formula"),
+            Term::literal(format!("C{}H{}O{}", i % 30 + 1, i % 60 + 2, i % 10)),
+        );
         // Masses overlap DrugBank's molecular masses (C5's filter join).
-        g.add(c.clone(), p("mass"), Term::Literal(Literal::double(100.0 + (i as f64) * 1.5)));
-        g.add(c, p("status"), Term::literal(if i % 5 == 0 { "checked" } else { "submitted" }));
+        g.add(
+            c.clone(),
+            p("mass"),
+            Term::Literal(Literal::double(100.0 + (i as f64) * 1.5)),
+        );
+        g.add(
+            c,
+            p("status"),
+            Term::literal(if i % 5 == 0 { "checked" } else { "submitted" }),
+        );
     }
     g
 }
 
 /// DBpedia subset: drugs, films, places, persons with labels/abstracts.
 pub fn generate_dbpedia(cfg: &LargeRdfConfig) -> Graph {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xDB);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0xDB);
     let mut g = Graph::new();
     let p = |l: &str| iri(ns::DBPEDIA, format!("ontology/{l}"));
     for i in 0..cfg.dbp_drugs() {
         let d = iri(ns::DBPEDIA, format!("resource/drug_{i}"));
         g.add_type(d.clone(), format!("{}ontology/Drug", ns::DBPEDIA));
-        g.add(d.clone(), Term::iri(vocab::rdfs::LABEL), Term::Literal(Literal::lang(format!("Drug {i}"), "en")));
-        g.add(d, p("abstract"), big_literal(&mut rng, &format!("drug {i}"), 12));
+        g.add(
+            d.clone(),
+            Term::iri(vocab::rdfs::LABEL),
+            Term::Literal(Literal::lang(format!("Drug {i}"), "en")),
+        );
+        g.add(
+            d,
+            p("abstract"),
+            big_literal(&mut rng, &format!("drug {i}"), 12),
+        );
     }
     for i in 0..cfg.dbp_films() {
         let f = iri(ns::DBPEDIA, format!("resource/film_{i}"));
         g.add_type(f.clone(), format!("{}ontology/Film", ns::DBPEDIA));
-        g.add(f.clone(), Term::iri(vocab::rdfs::LABEL), Term::Literal(Literal::lang(format!("Film {i}"), "en")));
-        g.add(f.clone(), p("director"), iri(ns::DBPEDIA, format!("resource/person_{}", i % cfg.dbp_persons())));
+        g.add(
+            f.clone(),
+            Term::iri(vocab::rdfs::LABEL),
+            Term::Literal(Literal::lang(format!("Film {i}"), "en")),
+        );
+        g.add(
+            f.clone(),
+            p("director"),
+            iri(
+                ns::DBPEDIA,
+                format!("resource/person_{}", i % cfg.dbp_persons()),
+            ),
+        );
         g.add(f, p("releaseYear"), Term::integer(1960 + (i as i64 % 60)));
     }
     for i in 0..cfg.dbp_places() {
         let pl = iri(ns::DBPEDIA, format!("resource/place_{i}"));
         g.add_type(pl.clone(), format!("{}ontology/Place", ns::DBPEDIA));
-        g.add(pl.clone(), Term::iri(vocab::rdfs::LABEL), Term::Literal(Literal::lang(format!("Place {i}"), "en")));
-        g.add(pl, p("country"), Term::literal(format!("Country{}", i % 20)));
+        g.add(
+            pl.clone(),
+            Term::iri(vocab::rdfs::LABEL),
+            Term::Literal(Literal::lang(format!("Place {i}"), "en")),
+        );
+        g.add(
+            pl,
+            p("country"),
+            Term::literal(format!("Country{}", i % 20)),
+        );
     }
     for i in 0..cfg.dbp_persons() {
         let pe = iri(ns::DBPEDIA, format!("resource/person_{i}"));
         g.add_type(pe.clone(), format!("{}ontology/Person", ns::DBPEDIA));
-        g.add(pe, Term::iri(vocab::rdfs::LABEL), Term::Literal(Literal::lang(format!("Person {i}"), "en")));
+        g.add(
+            pe,
+            Term::iri(vocab::rdfs::LABEL),
+            Term::Literal(Literal::lang(format!("Person {i}"), "en")),
+        );
     }
     g
 }
 
 /// DrugBank (LargeRDFBench variant): links into DBpedia and KEGG.
 pub fn generate_drugbank(cfg: &LargeRdfConfig) -> Graph {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xDD);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0xDD);
     let mut g = Graph::new();
     let p = |l: &str| iri(ns::DRUGBANK, format!("vocab/{l}"));
     for i in 0..cfg.drugs() {
         let d = iri(ns::DRUGBANK, format!("drug/{i}"));
         g.add_type(d.clone(), format!("{}vocab/Drug", ns::DRUGBANK));
-        g.add(d.clone(), p("brandName"), Term::literal(format!("Brand{i}")));
-        g.add(d.clone(), p("casRegistryNumber"), Term::literal(format!("{}-{}-{}", 100 + i, i % 89, i % 7)));
-        g.add(d.clone(), p("keggCompoundId"), iri(ns::KEGG, format!("compound/{}", i % cfg.kegg_compounds())));
-        g.add(d.clone(), Term::iri(vocab::owl::SAME_AS), iri(ns::DBPEDIA, format!("resource/drug_{}", i % cfg.dbp_drugs())));
-        g.add(d.clone(), p("molecularMass"), Term::Literal(Literal::double(100.0 + (i as f64) * 1.5)));
-        g.add(d.clone(), p("description"), big_literal(&mut rng, &format!("Drug {i}"), 10));
+        g.add(
+            d.clone(),
+            p("brandName"),
+            Term::literal(format!("Brand{i}")),
+        );
+        g.add(
+            d.clone(),
+            p("casRegistryNumber"),
+            Term::literal(format!("{}-{}-{}", 100 + i, i % 89, i % 7)),
+        );
+        g.add(
+            d.clone(),
+            p("keggCompoundId"),
+            iri(ns::KEGG, format!("compound/{}", i % cfg.kegg_compounds())),
+        );
+        g.add(
+            d.clone(),
+            Term::iri(vocab::owl::SAME_AS),
+            iri(
+                ns::DBPEDIA,
+                format!("resource/drug_{}", i % cfg.dbp_drugs()),
+            ),
+        );
+        g.add(
+            d.clone(),
+            p("molecularMass"),
+            Term::Literal(Literal::double(100.0 + (i as f64) * 1.5)),
+        );
+        g.add(
+            d.clone(),
+            p("description"),
+            big_literal(&mut rng, &format!("Drug {i}"), 10),
+        );
         if rng.gen_bool(0.5) {
-            g.add(d, p("target"), iri(ns::DRUGBANK, format!("target/{}", i % 25)));
+            g.add(
+                d,
+                p("target"),
+                iri(ns::DRUGBANK, format!("target/{}", i % 25)),
+            );
         }
     }
     for t in 0..25 {
@@ -272,24 +380,43 @@ pub fn generate_drugbank(cfg: &LargeRdfConfig) -> Graph {
 
 /// GeoNames: places with populations.
 pub fn generate_geonames(cfg: &LargeRdfConfig) -> Graph {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x9E);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0x9E);
     let mut g = Graph::new();
     let p = |l: &str| iri(ns::GEONAMES, format!("ontology/{l}"));
     for i in 0..cfg.geo_places() {
         let pl = iri(ns::GEONAMES, format!("place/{i}"));
         g.add_type(pl.clone(), format!("{}ontology/Feature", ns::GEONAMES));
-        g.add(pl.clone(), p("name"), Term::literal(format!("Geo Place {i}")));
-        g.add(pl.clone(), p("population"), Term::integer(rng.gen_range(100..5_000_000)));
-        g.add(pl.clone(), p("parentCountry"), iri(ns::GEONAMES, format!("country/{}", i % 20)));
+        g.add(
+            pl.clone(),
+            p("name"),
+            Term::literal(format!("Geo Place {i}")),
+        );
+        g.add(
+            pl.clone(),
+            p("population"),
+            Term::integer(rng.gen_range(100..5_000_000)),
+        );
+        g.add(
+            pl.clone(),
+            p("parentCountry"),
+            iri(ns::GEONAMES, format!("country/{}", i % 20)),
+        );
         if i % 3 == 0 {
             g.add(
                 pl.clone(),
                 Term::iri(vocab::owl::SAME_AS),
-                iri(ns::DBPEDIA, format!("resource/place_{}", i % cfg.dbp_places())),
+                iri(
+                    ns::DBPEDIA,
+                    format!("resource/place_{}", i % cfg.dbp_places()),
+                ),
             );
         }
         if rng.gen_bool(0.4) {
-            g.add(pl, p("alternateName"), Term::literal(format!("Alt name {i}")));
+            g.add(
+                pl,
+                p("alternateName"),
+                Term::literal(format!("Alt name {i}")),
+            );
         }
     }
     g
@@ -302,14 +429,30 @@ pub fn generate_jamendo(cfg: &LargeRdfConfig) -> Graph {
     for a in 0..cfg.artists() {
         let artist = iri(ns::JAMENDO, format!("artist/{a}"));
         g.add_type(artist.clone(), format!("{}vocab/MusicArtist", ns::JAMENDO));
-        g.add(artist.clone(), p("name"), Term::literal(format!("Artist {a}")));
-        g.add(artist, p("basedNear"), iri(ns::GEONAMES, format!("place/{}", a % cfg.geo_places())));
+        g.add(
+            artist.clone(),
+            p("name"),
+            Term::literal(format!("Artist {a}")),
+        );
+        g.add(
+            artist,
+            p("basedNear"),
+            iri(ns::GEONAMES, format!("place/{}", a % cfg.geo_places())),
+        );
     }
     for r in 0..cfg.records() {
         let rec = iri(ns::JAMENDO, format!("record/{r}"));
         g.add_type(rec.clone(), format!("{}vocab/Record", ns::JAMENDO));
-        g.add(rec.clone(), p("maker"), iri(ns::JAMENDO, format!("artist/{}", r % cfg.artists())));
-        g.add(rec.clone(), p("title"), Term::literal(format!("Record {r}")));
+        g.add(
+            rec.clone(),
+            p("maker"),
+            iri(ns::JAMENDO, format!("artist/{}", r % cfg.artists())),
+        );
+        g.add(
+            rec.clone(),
+            p("title"),
+            Term::literal(format!("Record {r}")),
+        );
         g.add(rec, p("date"), Term::integer(2001 + (r as i64 % 19)));
     }
     g
@@ -322,15 +465,38 @@ pub fn generate_kegg(cfg: &LargeRdfConfig) -> Graph {
     for i in 0..cfg.kegg_compounds() {
         let c = iri(ns::KEGG, format!("compound/{i}"));
         g.add_type(c.clone(), format!("{}vocab/Compound", ns::KEGG));
-        g.add(c.clone(), p("xref"), iri(ns::CHEBI, format!("compound/{}", i % cfg.chebi_compounds())));
-        g.add(c.clone(), p("formula"), Term::literal(format!("C{}H{}", i % 25 + 1, i % 50 + 2)));
-        g.add(c.clone(), p("mass"), Term::Literal(Literal::double(80.0 + (i as f64) * 2.1)));
-        g.add(c, p("pathway"), iri(ns::KEGG, format!("pathway/{}", i % 15)));
+        g.add(
+            c.clone(),
+            p("xref"),
+            iri(ns::CHEBI, format!("compound/{}", i % cfg.chebi_compounds())),
+        );
+        g.add(
+            c.clone(),
+            p("formula"),
+            Term::literal(format!("C{}H{}", i % 25 + 1, i % 50 + 2)),
+        );
+        g.add(
+            c.clone(),
+            p("mass"),
+            Term::Literal(Literal::double(80.0 + (i as f64) * 2.1)),
+        );
+        g.add(
+            c,
+            p("pathway"),
+            iri(ns::KEGG, format!("pathway/{}", i % 15)),
+        );
     }
     for e in 0..cfg.kegg_compounds() / 4 {
         let enz = iri(ns::KEGG, format!("enzyme/{e}"));
         g.add_type(enz.clone(), format!("{}vocab/Enzyme", ns::KEGG));
-        g.add(enz, p("catalyzes"), iri(ns::KEGG, format!("compound/{}", e * 3 % cfg.kegg_compounds())));
+        g.add(
+            enz,
+            p("catalyzes"),
+            iri(
+                ns::KEGG,
+                format!("compound/{}", e * 3 % cfg.kegg_compounds()),
+            ),
+        );
     }
     g
 }
@@ -343,15 +509,30 @@ pub fn generate_linkedmdb(cfg: &LargeRdfConfig) -> Graph {
         let f = iri(ns::LINKEDMDB, format!("film/{i}"));
         g.add_type(f.clone(), format!("{}vocab/Film", ns::LINKEDMDB));
         g.add(f.clone(), p("title"), Term::literal(format!("Movie {i}")));
-        g.add(f.clone(), p("director"), iri(ns::LINKEDMDB, format!("director/{}", i % 30)));
-        g.add(f.clone(), p("genre"), Term::literal(format!("Genre{}", i % 8)));
+        g.add(
+            f.clone(),
+            p("director"),
+            iri(ns::LINKEDMDB, format!("director/{}", i % 30)),
+        );
+        g.add(
+            f.clone(),
+            p("genre"),
+            Term::literal(format!("Genre{}", i % 8)),
+        );
         g.add(
             f.clone(),
             Term::iri(vocab::owl::SAME_AS),
-            iri(ns::DBPEDIA, format!("resource/film_{}", i % cfg.dbp_films())),
+            iri(
+                ns::DBPEDIA,
+                format!("resource/film_{}", i % cfg.dbp_films()),
+            ),
         );
         for a in 0..2 {
-            g.add(f.clone(), p("actor"), iri(ns::LINKEDMDB, format!("actor/{}", (i + a * 7) % 60)));
+            g.add(
+                f.clone(),
+                p("actor"),
+                iri(ns::LINKEDMDB, format!("actor/{}", (i + a * 7) % 60)),
+            );
         }
     }
     g
@@ -364,12 +545,26 @@ pub fn generate_nytimes(cfg: &LargeRdfConfig) -> Graph {
     for i in 0..cfg.topics() {
         let t = iri(ns::NYTIMES, format!("topic/{i}"));
         g.add_type(t.clone(), format!("{}vocab/Topic", ns::NYTIMES));
-        g.add(t.clone(), p("topicLabel"), Term::literal(format!("Topic {i}")));
-        g.add(t.clone(), p("articleCount"), Term::integer((i as i64 % 300) + 1));
+        g.add(
+            t.clone(),
+            p("topicLabel"),
+            Term::literal(format!("Topic {i}")),
+        );
+        g.add(
+            t.clone(),
+            p("articleCount"),
+            Term::integer((i as i64 % 300) + 1),
+        );
         let target = if i % 2 == 0 {
-            iri(ns::DBPEDIA, format!("resource/person_{}", i % cfg.dbp_persons()))
+            iri(
+                ns::DBPEDIA,
+                format!("resource/person_{}", i % cfg.dbp_persons()),
+            )
         } else {
-            iri(ns::DBPEDIA, format!("resource/place_{}", i % cfg.dbp_places()))
+            iri(
+                ns::DBPEDIA,
+                format!("resource/place_{}", i % cfg.dbp_places()),
+            )
         };
         g.add(t, Term::iri(vocab::owl::SAME_AS), target);
     }
@@ -383,15 +578,29 @@ pub fn generate_swdf(cfg: &LargeRdfConfig) -> Graph {
     for i in 0..cfg.papers() {
         let paper = iri(ns::SWDF, format!("paper/{i}"));
         g.add_type(paper.clone(), format!("{}vocab/InProceedings", ns::SWDF));
-        g.add(paper.clone(), p("title"), Term::literal(format!("Paper {i}")));
-        g.add(paper.clone(), p("year"), Term::integer(2001 + (i as i64 % 19)));
-        let author = iri(ns::SWDF, format!("author/{}", i % (cfg.papers() / 2).max(1)));
+        g.add(
+            paper.clone(),
+            p("title"),
+            Term::literal(format!("Paper {i}")),
+        );
+        g.add(
+            paper.clone(),
+            p("year"),
+            Term::integer(2001 + (i as i64 % 19)),
+        );
+        let author = iri(
+            ns::SWDF,
+            format!("author/{}", i % (cfg.papers() / 2).max(1)),
+        );
         g.add(paper, p("maker"), author.clone());
         g.add_type(author.clone(), format!("{}vocab/Person", ns::SWDF));
         g.add(
             author,
             Term::iri(vocab::owl::SAME_AS),
-            iri(ns::DBPEDIA, format!("resource/person_{}", i % cfg.dbp_persons())),
+            iri(
+                ns::DBPEDIA,
+                format!("resource/person_{}", i % cfg.dbp_persons()),
+            ),
         );
     }
     g
@@ -405,8 +614,16 @@ pub fn generate_affymetrix(cfg: &LargeRdfConfig) -> Graph {
         let probe = iri(ns::AFFYMETRIX, format!("probeset/{i}"));
         g.add_type(probe.clone(), format!("{}vocab/Probeset", ns::AFFYMETRIX));
         g.add(probe.clone(), p("symbol"), gene_symbol(i));
-        g.add(probe.clone(), p("chromosome"), Term::literal(format!("chr{}", i % 23 + 1)));
-        g.add(probe, p("xrefKegg"), iri(ns::KEGG, format!("compound/{}", i % cfg.kegg_compounds())));
+        g.add(
+            probe.clone(),
+            p("chromosome"),
+            Term::literal(format!("chr{}", i % 23 + 1)),
+        );
+        g.add(
+            probe,
+            p("xrefKegg"),
+            iri(ns::KEGG, format!("compound/{}", i % cfg.kegg_compounds())),
+        );
     }
     g
 }
@@ -447,7 +664,10 @@ PREFIX swdf: <http://swdf.example.org/vocab/>\n\
 PREFIX affy: <http://affymetrix.example.org/vocab/>\n";
 
 fn q(name: &'static str, body: &str) -> BenchQuery {
-    BenchQuery { name, text: format!("{PREFIXES}{body}") }
+    BenchQuery {
+        name,
+        text: format!("{PREFIXES}{body}"),
+    }
 }
 
 /// The 14 simple queries.
@@ -477,7 +697,9 @@ pub fn complex_queries() -> Vec<BenchQuery> {
     vec![
         // C1: a four-endpoint chain with optional target info — heavy for
         // bound-join engines (FedX times out in the paper).
-        q("C1", "SELECT ?drug ?label ?formula ?chebiName WHERE {\n\
+        q(
+            "C1",
+            "SELECT ?drug ?label ?formula ?chebiName WHERE {\n\
 ?drug rdf:type db:Drug .\n\
 ?drug owl:sameAs ?r .\n\
 ?r rdfs:label ?label .\n\
@@ -485,79 +707,107 @@ pub fn complex_queries() -> Vec<BenchQuery> {
 ?kc kegg:formula ?formula .\n\
 ?kc kegg:xref ?chebi .\n\
 ?chebi chebi:name ?chebiName .\n\
-OPTIONAL { ?drug db:target ?t . ?t db:targetName ?tname }\n}"),
+OPTIONAL { ?drug db:target ?t . ?t db:targetName ?tname }\n}",
+        ),
         // C2: highly selective (a handful of results).
-        q("C2", "SELECT ?film ?label ?director ?dlabel WHERE {\n\
+        q(
+            "C2",
+            "SELECT ?film ?label ?director ?dlabel WHERE {\n\
 ?film owl:sameAs <http://dbpedia.example.org/resource/film_3> .\n\
 <http://dbpedia.example.org/resource/film_3> rdfs:label ?label .\n\
 <http://dbpedia.example.org/resource/film_3> dbo:director ?director .\n\
 ?director rdfs:label ?dlabel .\n\
-?film mdb:genre ?genre .\n}"),
+?film mdb:genre ?genre .\n}",
+        ),
         // C3: DISTINCT over artists near large places.
-        q("C3", "SELECT DISTINCT ?artist ?name ?pop WHERE {\n\
+        q(
+            "C3",
+            "SELECT DISTINCT ?artist ?name ?pop WHERE {\n\
 ?artist rdf:type jam:MusicArtist .\n\
 ?artist jam:name ?name .\n\
 ?artist jam:basedNear ?place .\n\
 ?place geo:population ?pop .\n\
 ?rec jam:maker ?artist .\n\
 ?rec jam:date ?date .\n\
-FILTER(?pop > 1000000)\n}"),
+FILTER(?pop > 1000000)\n}",
+        ),
         // C4: LIMIT 50 — FedX can cut execution short; Lusail computes all
         // results first (the paper's explanation of C4).
-        q("C4", "SELECT ?film ?title ?label WHERE {\n\
+        q(
+            "C4",
+            "SELECT ?film ?title ?label WHERE {\n\
 ?film rdf:type mdb:Film .\n\
 ?film mdb:title ?title .\n\
 ?film owl:sameAs ?r .\n\
 ?r rdfs:label ?label .\n\
-?film mdb:actor ?actor .\n} LIMIT 50"),
+?film mdb:actor ?actor .\n} LIMIT 50",
+        ),
         // C5: two disjoint subgraphs joined by a filter variable — only
         // Lusail evaluates this.
-        q("C5", "SELECT ?drug ?cpd WHERE {\n\
+        q(
+            "C5",
+            "SELECT ?drug ?cpd WHERE {\n\
 ?drug rdf:type db:Drug .\n\
 ?drug db:molecularMass ?w .\n\
 ?cpd rdf:type chebi:Compound .\n\
 ?cpd chebi:mass ?m .\n\
-FILTER(?w = ?m)\n}"),
+FILTER(?w = ?m)\n}",
+        ),
         // C6: UNION over NYT links to persons and places.
-        q("C6", "SELECT ?topic ?label WHERE {\n\
+        q(
+            "C6",
+            "SELECT ?topic ?label WHERE {\n\
 ?topic rdf:type nyt:Topic .\n\
 ?topic owl:sameAs ?r .\n\
 { ?r rdf:type dbo:Person . ?r rdfs:label ?label }\n\
-UNION { ?r rdf:type dbo:Place . ?r rdfs:label ?label }\n}"),
+UNION { ?r rdf:type dbo:Place . ?r rdfs:label ?label }\n}",
+        ),
         // C7: the three TCGA endpoints joined on patient.
-        q("C7", "SELECT ?patient ?age ?ev ?bv WHERE {\n\
+        q(
+            "C7",
+            "SELECT ?patient ?age ?ev ?bv WHERE {\n\
 ?patient rdf:type tcga:Patient .\n\
 ?patient tcga:ageAtDiagnosis ?age .\n\
 ?er tcga:patientRef ?patient .\n\
 ?er tcga:expressionValue ?ev .\n\
 ?mr tcga:patientRef ?patient .\n\
 ?mr tcga:betaValue ?bv .\n\
-FILTER(?age > 80)\n}"),
+FILTER(?age > 80)\n}",
+        ),
         // C8: OPTIONAL-heavy geography query.
-        q("C8", "SELECT ?place ?name ?alt WHERE {\n\
+        q(
+            "C8",
+            "SELECT ?place ?name ?alt WHERE {\n\
 ?place rdf:type geo:Feature .\n\
 ?place geo:name ?name .\n\
 ?place geo:population ?pop .\n\
 OPTIONAL { ?place geo:alternateName ?alt }\n\
-FILTER(?pop > 4000000)\n}"),
+FILTER(?pop > 4000000)\n}",
+        ),
         // C9: the long literal-join chain TCGA → Affymetrix → KEGG →
         // ChEBI (FedX times out in the paper).
-        q("C9", "SELECT ?er ?gene ?chebiName WHERE {\n\
+        q(
+            "C9",
+            "SELECT ?er ?gene ?chebiName WHERE {\n\
 ?er rdf:type tcga:ExpressionResult .\n\
 ?er tcga:geneSymbol ?gene .\n\
 ?probe affy:symbol ?gene .\n\
 ?probe affy:xrefKegg ?kc .\n\
 ?kc kegg:xref ?chebi .\n\
-?chebi chebi:name ?chebiName .\n}"),
+?chebi chebi:name ?chebiName .\n}",
+        ),
         // C10: scholarly data joined with DBpedia.
-        q("C10", "SELECT DISTINCT ?paper ?title ?plabel WHERE {\n\
+        q(
+            "C10",
+            "SELECT DISTINCT ?paper ?title ?plabel WHERE {\n\
 ?paper rdf:type swdf:InProceedings .\n\
 ?paper swdf:title ?title .\n\
 ?paper swdf:year ?year .\n\
 ?paper swdf:maker ?author .\n\
 ?author owl:sameAs ?person .\n\
 ?person rdfs:label ?plabel .\n\
-FILTER(?year >= 2010)\n}"),
+FILTER(?year >= 2010)\n}",
+        ),
     ]
 }
 
@@ -641,8 +891,14 @@ mod tests {
 
     #[test]
     fn scale_parameter_scales() {
-        let small = generate_all(&LargeRdfConfig { scale: 0.5, ..Default::default() });
-        let big = generate_all(&LargeRdfConfig { scale: 2.0, ..Default::default() });
+        let small = generate_all(&LargeRdfConfig {
+            scale: 0.5,
+            ..Default::default()
+        });
+        let big = generate_all(&LargeRdfConfig {
+            scale: 2.0,
+            ..Default::default()
+        });
         let total = |gs: &[(String, Graph)]| gs.iter().map(|(_, g)| g.len()).sum::<usize>();
         assert!(total(&big) > 3 * total(&small));
     }
@@ -659,7 +915,10 @@ mod tests {
     #[test]
     fn interlinks_resolve() {
         // Every owl:sameAs object in DrugBank must exist in DBpedia.
-        let cfg = LargeRdfConfig { scale: 0.3, ..Default::default() };
+        let cfg = LargeRdfConfig {
+            scale: 0.3,
+            ..Default::default()
+        };
         let db = generate_drugbank(&cfg);
         let dbp = generate_dbpedia(&cfg);
         let dbp_subjects: std::collections::HashSet<&Term> =
@@ -677,7 +936,10 @@ mod tests {
 
     #[test]
     fn gene_symbols_shared_between_tcga_and_affymetrix() {
-        let cfg = LargeRdfConfig { scale: 0.3, ..Default::default() };
+        let cfg = LargeRdfConfig {
+            scale: 0.3,
+            ..Default::default()
+        };
         let tcga = generate_tcga_e(&cfg);
         let affy = generate_affymetrix(&cfg);
         let affy_symbols: std::collections::HashSet<&Term> = affy

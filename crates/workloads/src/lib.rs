@@ -26,6 +26,7 @@
 pub mod bio2rdf;
 pub mod largerdf;
 pub mod lubm;
+pub mod prng;
 pub mod qfed;
 
 use lusail_federation::{
@@ -36,10 +37,7 @@ use std::sync::Arc;
 
 /// Wrap named graphs as a federation of simulated endpoints sharing one
 /// network profile.
-pub fn federation_from_graphs(
-    graphs: Vec<(String, Graph)>,
-    profile: NetworkProfile,
-) -> Federation {
+pub fn federation_from_graphs(graphs: Vec<(String, Graph)>, profile: NetworkProfile) -> Federation {
     federation_from_graphs_limited(graphs, profile, EndpointLimits::default())
 }
 
@@ -77,7 +75,11 @@ impl BenchQuery {
     /// Parse the query (panicking on malformed catalog entries — those are
     /// bugs in this crate, covered by tests).
     pub fn parse(&self) -> lusail_sparql::ast::Query {
-        lusail_sparql::parse_query(&self.text)
-            .unwrap_or_else(|e| panic!("benchmark query {} is malformed: {e}\n{}", self.name, self.text))
+        lusail_sparql::parse_query(&self.text).unwrap_or_else(|e| {
+            panic!(
+                "benchmark query {} is malformed: {e}\n{}",
+                self.name, self.text
+            )
+        })
     }
 }

@@ -7,10 +7,9 @@
 //! `mastersDegreeFrom` sometimes names *another* university's IRI —
 //! exactly the Figure 1 situation that makes `?U` a global join variable.
 
+use crate::prng::SplitMix64;
 use crate::BenchQuery;
 use lusail_rdf::{vocab, Graph, Term};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Generator configuration. The defaults produce ~500 triples per
 /// university; `scale` multiplies the per-department population (the
@@ -53,7 +52,10 @@ impl Default for LubmConfig {
 impl LubmConfig {
     /// A configuration with `n` universities (other knobs default).
     pub fn with_universities(n: usize) -> Self {
-        LubmConfig { universities: n, ..Default::default() }
+        LubmConfig {
+            universities: n,
+            ..Default::default()
+        }
     }
 
     fn n(&self, base: usize) -> usize {
@@ -99,15 +101,24 @@ fn ub(local: &str) -> Term {
 ///
 /// Deterministic in `(config.seed, u)`.
 pub fn generate_university(config: &LubmConfig, u: usize) -> Graph {
-    let mut rng = SmallRng::seed_from_u64(config.seed.wrapping_mul(1_000_003).wrapping_add(u as u64));
+    let mut rng =
+        SplitMix64::seed_from_u64(config.seed.wrapping_mul(1_000_003).wrapping_add(u as u64));
     let mut g = Graph::new();
     let univ = Term::iri(university_iri(u));
     g.add_type(univ.clone(), vocab::ub::UNIVERSITY);
-    g.add(univ.clone(), ub("name"), Term::literal(format!("University{u}")));
-    g.add(univ.clone(), ub("address"), Term::literal(format!("{u} College Road, City{u}")));
+    g.add(
+        univ.clone(),
+        ub("name"),
+        Term::literal(format!("University{u}")),
+    );
+    g.add(
+        univ.clone(),
+        ub("address"),
+        Term::literal(format!("{u} College Road, City{u}")),
+    );
 
     // A degree edge: local university, or a remote one with probability p.
-    let degree_target = |rng: &mut SmallRng| -> Term {
+    let degree_target = |rng: &mut SplitMix64| -> Term {
         if config.universities > 1 && rng.gen_bool(config.interlink_probability) {
             let mut other = rng.gen_range(0..config.universities);
             if other == u {
@@ -123,7 +134,11 @@ pub fn generate_university(config: &LubmConfig, u: usize) -> Graph {
         let dept = entity(u, &format!("dept{d}"));
         g.add_type(dept.clone(), vocab::ub::DEPARTMENT);
         g.add(dept.clone(), ub("subOrganizationOf"), univ.clone());
-        g.add(dept.clone(), ub("name"), Term::literal(format!("Department{d}")));
+        g.add(
+            dept.clone(),
+            ub("name"),
+            Term::literal(format!("Department{d}")),
+        );
 
         // Professors of three ranks.
         let ranks = [
@@ -137,15 +152,27 @@ pub fn generate_university(config: &LubmConfig, u: usize) -> Graph {
                 let prof = entity(u, &format!("d{d}_{tag}_prof{i}"));
                 g.add_type(prof.clone(), class);
                 g.add(prof.clone(), ub("worksFor"), dept.clone());
-                g.add(prof.clone(), ub("name"), Term::literal(format!("Prof_{tag}_{d}_{i}")));
+                g.add(
+                    prof.clone(),
+                    ub("name"),
+                    Term::literal(format!("Prof_{tag}_{d}_{i}")),
+                );
                 g.add(
                     prof.clone(),
                     ub("emailAddress"),
                     Term::literal(format!("{tag}{i}.d{d}@univ{u}.example.org")),
                 );
                 g.add(prof.clone(), ub("PhDDegreeFrom"), degree_target(&mut rng));
-                g.add(prof.clone(), ub("undergraduateDegreeFrom"), degree_target(&mut rng));
-                g.add(prof.clone(), ub("mastersDegreeFrom"), degree_target(&mut rng));
+                g.add(
+                    prof.clone(),
+                    ub("undergraduateDegreeFrom"),
+                    degree_target(&mut rng),
+                );
+                g.add(
+                    prof.clone(),
+                    ub("mastersDegreeFrom"),
+                    degree_target(&mut rng),
+                );
                 g.add(
                     prof.clone(),
                     ub("researchInterest"),
@@ -153,8 +180,7 @@ pub fn generate_university(config: &LubmConfig, u: usize) -> Graph {
                 );
                 // One or two publications per professor.
                 for pubn in 0..rng.gen_range(1..=2) {
-                    let publication =
-                        entity(u, &format!("d{d}_{tag}_prof{i}_pub{pubn}"));
+                    let publication = entity(u, &format!("d{d}_{tag}_prof{i}_pub{pubn}"));
                     g.add_type(publication.clone(), format!("{}Publication", vocab::ub::NS));
                     g.add(publication.clone(), ub("publicationAuthor"), prof.clone());
                     g.add(
@@ -173,7 +199,11 @@ pub fn generate_university(config: &LubmConfig, u: usize) -> Graph {
         for c in 0..config.grad_courses() {
             let course = entity(u, &format!("d{d}_gcourse{c}"));
             g.add_type(course.clone(), vocab::ub::GRADUATE_COURSE);
-            g.add(course.clone(), ub("name"), Term::literal(format!("GradCourse{d}_{c}")));
+            g.add(
+                course.clone(),
+                ub("name"),
+                Term::literal(format!("GradCourse{d}_{c}")),
+            );
             // Anchor: every department's gcourse0 is taught by its first
             // associate professor, so queries referencing those entities
             // (the classic LUBM Q1/Q7 shapes) are satisfiable at every
@@ -190,7 +220,11 @@ pub fn generate_university(config: &LubmConfig, u: usize) -> Graph {
         for c in 0..config.courses() {
             let course = entity(u, &format!("d{d}_course{c}"));
             g.add_type(course.clone(), vocab::ub::COURSE);
-            g.add(course.clone(), ub("name"), Term::literal(format!("Course{d}_{c}")));
+            g.add(
+                course.clone(),
+                ub("name"),
+                Term::literal(format!("Course{d}_{c}")),
+            );
             let teacher = &professors[rng.gen_range(0..professors.len())];
             g.add(teacher.clone(), ub("teacherOf"), course.clone());
         }
@@ -204,13 +238,21 @@ pub fn generate_university(config: &LubmConfig, u: usize) -> Graph {
             let student = entity(u, &format!("d{d}_gstud{s}"));
             g.add_type(student.clone(), vocab::ub::GRADUATE_STUDENT);
             g.add(student.clone(), ub("memberOf"), dept.clone());
-            g.add(student.clone(), ub("name"), Term::literal(format!("GradStudent{d}_{s}")));
+            g.add(
+                student.clone(),
+                ub("name"),
+                Term::literal(format!("GradStudent{d}_{s}")),
+            );
             g.add(
                 student.clone(),
                 ub("emailAddress"),
                 Term::literal(format!("gs{s}.d{d}@univ{u}.example.org")),
             );
-            g.add(student.clone(), ub("undergraduateDegreeFrom"), degree_target(&mut rng));
+            g.add(
+                student.clone(),
+                ub("undergraduateDegreeFrom"),
+                degree_target(&mut rng),
+            );
             let advisor = &professors[rng.gen_range(0..professors.len())];
             g.add(student.clone(), ub("advisor"), advisor.clone());
             let advisor_courses: Vec<&Term> = g
@@ -247,11 +289,19 @@ pub fn generate_university(config: &LubmConfig, u: usize) -> Graph {
             let student = entity(u, &format!("d{d}_ustud{s}"));
             g.add_type(student.clone(), vocab::ub::UNDERGRADUATE_STUDENT);
             g.add(student.clone(), ub("memberOf"), dept.clone());
-            g.add(student.clone(), ub("name"), Term::literal(format!("UgStudent{d}_{s}")));
+            g.add(
+                student.clone(),
+                ub("name"),
+                Term::literal(format!("UgStudent{d}_{s}")),
+            );
             let n_courses = rng.gen_range(1..=2);
             for _ in 0..n_courses {
                 let c = rng.gen_range(0..config.courses());
-                g.add(student.clone(), ub("takesCourse"), entity(u, &format!("d{d}_course{c}")));
+                g.add(
+                    student.clone(),
+                    ub("takesCourse"),
+                    entity(u, &format!("d{d}_course{c}")),
+                );
             }
         }
     }
@@ -344,7 +394,10 @@ pub fn full_queries() -> Vec<BenchQuery> {
     let course0 = "http://univ0.example.org/d0_gcourse0";
     let dept0 = "http://univ0.example.org/dept0";
     let prof0 = "http://univ0.example.org/d0_assoc_prof0";
-    let q = |name: &'static str, body: String| BenchQuery { name, text: format!("{PREFIXES}{body}") };
+    let q = |name: &'static str, body: String| BenchQuery {
+        name,
+        text: format!("{PREFIXES}{body}"),
+    };
     vec![
         q("L1", format!(
             "SELECT ?x WHERE {{ ?x rdf:type ub:GraduateStudent . ?x ub:takesCourse <{course0}> . }}")),
@@ -410,13 +463,15 @@ mod tests {
 
     #[test]
     fn universities_have_interlinks() {
-        let cfg = LubmConfig { interlink_probability: 0.5, ..Default::default() };
+        let cfg = LubmConfig {
+            interlink_probability: 0.5,
+            ..Default::default()
+        };
         let g = generate_university(&cfg, 1);
         let remote = g
             .iter()
             .filter(|t| {
-                t.predicate == ub("PhDDegreeFrom")
-                    && t.object != Term::iri(university_iri(1))
+                t.predicate == ub("PhDDegreeFrom") && t.object != Term::iri(university_iri(1))
             })
             .count();
         assert!(remote > 0, "expected remote degree edges at p=0.5");
@@ -424,7 +479,10 @@ mod tests {
 
     #[test]
     fn zero_interlink_probability_stays_local() {
-        let cfg = LubmConfig { interlink_probability: 0.0, ..Default::default() };
+        let cfg = LubmConfig {
+            interlink_probability: 0.0,
+            ..Default::default()
+        };
         let g = generate_university(&cfg, 2);
         let local = Term::iri(university_iri(2));
         assert!(g
@@ -499,7 +557,10 @@ mod tests {
     fn scale_multiplies_population() {
         let small = generate_university(&LubmConfig::default(), 0).len();
         let big = generate_university(
-            &LubmConfig { scale: 4.0, ..Default::default() },
+            &LubmConfig {
+                scale: 4.0,
+                ..Default::default()
+            },
             0,
         )
         .len();

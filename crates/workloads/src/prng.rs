@@ -1,0 +1,177 @@
+//! A small seeded PRNG for dataset generation.
+//!
+//! The generators must be deterministic given a seed and free of external
+//! dependencies (the build environment has no crates.io access), so this
+//! module replaces `rand`: SplitMix64 (Steele, Lea & Flood, "Fast
+//! Splittable Pseudorandom Number Generators", OOPSLA 2014) with the same
+//! small API surface the workload generators used from `rand::Rng`.
+//! SplitMix64 passes BigCrush and is the standard seeder for xorshift
+//! families — more than enough statistical quality for synthetic RDF.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A SplitMix64 generator. Construct with [`SplitMix64::seed_from_u64`];
+/// equal seeds yield equal streams on every platform.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the generator. Any seed (including 0) is fine: the increment
+    /// constant guarantees a full 2^64 period.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform double in `[0, 1)` (53 mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} out of [0, 1]"
+        );
+        self.next_f64() < p
+    }
+
+    /// A uniform value in `range` (half-open or inclusive integer ranges,
+    /// half-open float ranges). Panics on an empty range.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// A uniform integer in `[0, span)` via the widening-multiply trick
+    /// (Lemire): unbiased enough for data generation without a rejection
+    /// loop, and exactly reproducible.
+    fn bounded(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// Ranges [`SplitMix64::gen_range`] can sample a `T` from. The output is a
+/// type *parameter* (as in `rand`) so an expected result type — say the
+/// `i64` of `Term::integer(rng.gen_range(0..100))` — selects the impl and
+/// pins the literal range's integer type.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut SplitMix64) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range {:?}", self);
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut SplitMix64) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "gen_range on empty range {start}..={end}");
+                let span = (end as i128 - start as i128 + 1) as u64;
+                (start as i128 + rng.bounded(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(i32, i64, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut SplitMix64) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range {:?}", self);
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Known-answer vector for seed 1234567 (reference SplitMix64).
+        let mut r = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::seed_from_u64(1);
+        let mut b = SplitMix64::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for _ in 0..2000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: i64 = rng.gen_range(-50..50);
+            assert!((-50..50).contains(&y));
+            let z: i32 = rng.gen_range(1..=2);
+            assert!((1..=2).contains(&z));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn ranges_cover_all_values() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_degenerate_and_balanced() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&heads), "biased coin: {heads}");
+    }
+
+    #[test]
+    fn next_f64_unit_interval() {
+        let mut rng = SplitMix64::seed_from_u64(11);
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SplitMix64::seed_from_u64(0).gen_range(5..5usize);
+    }
+}

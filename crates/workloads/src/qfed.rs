@@ -17,10 +17,9 @@
 //! The paper's Figure 8 runs C2P2, C2P2F, C2P2OF, C2P2BF, C2P2BOF, C2P2B,
 //! and C2P2BO.
 
+use crate::prng::SplitMix64;
 use crate::BenchQuery;
 use lusail_rdf::{vocab, Graph, Term};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Generator configuration. Sizes scale the original benchmark's
 /// proportions (DrugBank largest, Diseasome smallest).
@@ -35,7 +34,13 @@ pub struct QfedConfig {
 
 impl Default for QfedConfig {
     fn default() -> Self {
-        QfedConfig { drugs: 400, diseases: 120, side_effects: 200, labels: 150, seed: 7 }
+        QfedConfig {
+            drugs: 400,
+            diseases: 120,
+            side_effects: 200,
+            labels: 150,
+            seed: 7,
+        }
     }
 }
 
@@ -51,8 +56,8 @@ fn drug_iri(i: usize) -> Term {
 /// A long literal standing in for QFed's "big literal objects" (drug
 /// descriptions): these inflate the communicated data volume in the
 /// B-variant queries, which is what times FedX out in Figure 8.
-fn big_literal(rng: &mut SmallRng, topic: &str) -> Term {
-    let sentences = 30 + rng.gen_range(0..30);
+fn big_literal(rng: &mut SplitMix64, topic: &str) -> Term {
+    let sentences = 30 + rng.gen_range(0..30usize);
     let mut text = String::with_capacity(sentences * 60);
     for s in 0..sentences {
         text.push_str(&format!(
@@ -67,7 +72,7 @@ fn big_literal(rng: &mut SmallRng, topic: &str) -> Term {
 
 /// Generate the DrugBank-like endpoint.
 pub fn generate_drugbank(cfg: &QfedConfig) -> Graph {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xD4);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0xD4);
     let mut g = Graph::new();
     let p = |l: &str| Term::iri(format!("{DRUGBANK_NS}vocab/{l}"));
     for i in 0..cfg.drugs {
@@ -79,19 +84,31 @@ pub fn generate_drugbank(cfg: &QfedConfig) -> Graph {
             p("casRegistryNumber"),
             Term::literal(format!("{}-{}-{}", 50 + i, i % 97, i % 9)),
         );
-        g.add(d.clone(), p("description"), big_literal(&mut rng, &format!("Drug{i}")));
-        g.add(d.clone(), p("molecularWeight"), Term::Literal(lusail_rdf::Literal::double(100.0 + (i as f64) * 1.7)));
+        g.add(
+            d.clone(),
+            p("description"),
+            big_literal(&mut rng, &format!("Drug{i}")),
+        );
+        g.add(
+            d.clone(),
+            p("molecularWeight"),
+            Term::Literal(lusail_rdf::Literal::double(100.0 + (i as f64) * 1.7)),
+        );
         if i > 0 && rng.gen_bool(0.4) {
             g.add(d.clone(), p("interactsWith"), drug_iri(rng.gen_range(0..i)));
         }
-        g.add(d, p("category"), Term::literal(format!("Category{}", i % 12)));
+        g.add(
+            d,
+            p("category"),
+            Term::literal(format!("Category{}", i % 12)),
+        );
     }
     g
 }
 
 /// Generate the Diseasome-like endpoint (links into DrugBank).
 pub fn generate_diseasome(cfg: &QfedConfig) -> Graph {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xD1);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0xD1);
     let mut g = Graph::new();
     let p = |l: &str| Term::iri(format!("{DISEASOME_NS}vocab/{l}"));
     for i in 0..cfg.diseases {
@@ -101,7 +118,11 @@ pub fn generate_diseasome(cfg: &QfedConfig) -> Graph {
         g.add(dis.clone(), p("classDegree"), Term::integer((i % 7) as i64));
         // 1–3 candidate drugs in DrugBank: the cross-dataset link.
         for _ in 0..rng.gen_range(1..=3) {
-            g.add(dis.clone(), p("possibleDrug"), drug_iri(rng.gen_range(0..cfg.drugs)));
+            g.add(
+                dis.clone(),
+                p("possibleDrug"),
+                drug_iri(rng.gen_range(0..cfg.drugs)),
+            );
         }
         g.add(
             dis,
@@ -114,7 +135,7 @@ pub fn generate_diseasome(cfg: &QfedConfig) -> Graph {
 
 /// Generate the Sider-like endpoint (links into DrugBank via sameAs).
 pub fn generate_sider(cfg: &QfedConfig) -> Graph {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x51);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0x51);
     let mut g = Graph::new();
     let p = |l: &str| Term::iri(format!("{SIDER_NS}vocab/{l}"));
     for i in 0..cfg.side_effects {
@@ -127,24 +148,48 @@ pub fn generate_sider(cfg: &QfedConfig) -> Graph {
         );
         let effect = Term::iri(format!("{SIDER_NS}effect/{}", i % 50));
         g.add(sdrug.clone(), p("sideEffect"), effect.clone());
-        g.add(effect, p("effectName"), Term::literal(format!("Effect{}", i % 50)));
-        g.add(sdrug, p("frequency"), Term::literal(if i % 3 == 0 { "common" } else { "rare" }));
+        g.add(
+            effect,
+            p("effectName"),
+            Term::literal(format!("Effect{}", i % 50)),
+        );
+        g.add(
+            sdrug,
+            p("frequency"),
+            Term::literal(if i % 3 == 0 { "common" } else { "rare" }),
+        );
     }
     g
 }
 
 /// Generate the DailyMed-like endpoint (links into DrugBank).
 pub fn generate_dailymed(cfg: &QfedConfig) -> Graph {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xDA);
+    let mut rng = SplitMix64::seed_from_u64(cfg.seed ^ 0xDA);
     let mut g = Graph::new();
     let p = |l: &str| Term::iri(format!("{DAILYMED_NS}vocab/{l}"));
     for i in 0..cfg.labels {
         let label = Term::iri(format!("{DAILYMED_NS}label/{i}"));
         g.add_type(label.clone(), format!("{DAILYMED_NS}vocab/Label"));
-        g.add(label.clone(), p("genericDrug"), drug_iri(rng.gen_range(0..cfg.drugs)));
-        g.add(label.clone(), p("fullName"), Term::literal(format!("Label {i} extended release")));
-        g.add(label.clone(), p("activeIngredient"), Term::literal(format!("ingredient{}", i % 40)));
-        g.add(label, p("dosage"), big_literal(&mut rng, &format!("Label{i}")));
+        g.add(
+            label.clone(),
+            p("genericDrug"),
+            drug_iri(rng.gen_range(0..cfg.drugs)),
+        );
+        g.add(
+            label.clone(),
+            p("fullName"),
+            Term::literal(format!("Label {i} extended release")),
+        );
+        g.add(
+            label.clone(),
+            p("activeIngredient"),
+            Term::literal(format!("ingredient{}", i % 40)),
+        );
+        g.add(
+            label,
+            p("dosage"),
+            big_literal(&mut rng, &format!("Label{i}")),
+        );
     }
     g
 }
@@ -247,9 +292,7 @@ mod tests {
         let dis = generate_diseasome(&cfg);
         let links = dis
             .iter()
-            .filter(|t| {
-                t.predicate == Term::iri(format!("{DISEASOME_NS}vocab/possibleDrug"))
-            })
+            .filter(|t| t.predicate == Term::iri(format!("{DISEASOME_NS}vocab/possibleDrug")))
             .count();
         assert!(links >= cfg.diseases);
         assert!(dis.iter().all(|t| {
@@ -269,9 +312,14 @@ mod tests {
     #[test]
     fn c2p2_has_answers_on_federation() {
         use lusail_core::{LusailConfig, LusailEngine};
-        let cfg = QfedConfig { drugs: 60, diseases: 20, side_effects: 30, labels: 30, seed: 7 };
-        let fed =
-            crate::federation_from_graphs(generate_all(&cfg), NetworkProfile::instant());
+        let cfg = QfedConfig {
+            drugs: 60,
+            diseases: 20,
+            side_effects: 30,
+            labels: 30,
+            seed: 7,
+        };
+        let fed = crate::federation_from_graphs(generate_all(&cfg), NetworkProfile::instant());
         let engine = LusailEngine::new(fed, LusailConfig::default());
         let q = &queries()[0];
         let rel = engine.execute(&q.parse()).unwrap();
@@ -281,14 +329,22 @@ mod tests {
     #[test]
     fn filtered_variants_are_more_selective() {
         use lusail_core::{LusailConfig, LusailEngine};
-        let cfg = QfedConfig { drugs: 60, diseases: 20, side_effects: 30, labels: 30, seed: 7 };
-        let fed =
-            crate::federation_from_graphs(generate_all(&cfg), NetworkProfile::instant());
+        let cfg = QfedConfig {
+            drugs: 60,
+            diseases: 20,
+            side_effects: 30,
+            labels: 30,
+            seed: 7,
+        };
+        let fed = crate::federation_from_graphs(generate_all(&cfg), NetworkProfile::instant());
         let engine = LusailEngine::new(fed, LusailConfig::default());
         let all = queries();
         let base = engine.execute(&all[0].parse()).unwrap().len();
         let filtered = engine.execute(&all[1].parse()).unwrap().len();
-        assert!(filtered < base, "filter must reduce results ({filtered} vs {base})");
+        assert!(
+            filtered < base,
+            "filter must reduce results ({filtered} vs {base})"
+        );
         assert!(filtered > 0);
     }
 }

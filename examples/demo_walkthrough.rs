@@ -34,7 +34,10 @@ fn main() {
     println!("  global join variables  : {:?}", profile.gjvs);
     println!("  subqueries produced    : {}", profile.subqueries);
     println!("  locality check queries : {}", profile.check_queries);
-    println!("  SAPE delayed           : {} subquery(ies)", profile.delayed);
+    println!(
+        "  SAPE delayed           : {} subquery(ies)",
+        profile.delayed
+    );
     println!(
         "  phase times            : source {:.2?} | analysis {:.2?} | execution {:.2?}",
         profile.source_selection, profile.analysis, profile.execution
@@ -46,7 +49,10 @@ fn main() {
         federation_from_graphs(graphs.clone(), NetworkProfile::local_cluster()),
         FedXConfig::default(),
     );
-    println!("{:<8}{:>14}{:>12}{:>14}{:>12}", "query", "Lusail (ms)", "(requests)", "FedX (ms)", "(requests)");
+    println!(
+        "{:<8}{:>14}{:>12}{:>14}{:>12}",
+        "query", "Lusail (ms)", "(requests)", "FedX (ms)", "(requests)"
+    );
     for q in lubm::queries() {
         let parsed = q.parse();
         engine.federation().reset_traffic();
@@ -84,9 +90,17 @@ fn main() {
     // Keyword search: the demo's "where do I even start?" entry point.
     let handler = RequestHandler::per_core();
     let fed = federation_from_graphs(graphs, NetworkProfile::local_cluster());
-    let hits = keyword_search(&fed, &handler, &["GradStudent0_1"], &KeywordConfig::default())
-        .expect("keyword search");
-    println!("keyword_search(\"GradStudent0_1\") → {} hit(s); top:", hits.len());
+    let hits = keyword_search(
+        &fed,
+        &handler,
+        &["GradStudent0_1"],
+        &KeywordConfig::default(),
+    )
+    .expect("keyword search");
+    println!(
+        "keyword_search(\"GradStudent0_1\") → {} hit(s); top:",
+        hits.len()
+    );
     for hit in hits.iter().take(3) {
         println!(
             "  {} @ {} ({} matching triple(s))",

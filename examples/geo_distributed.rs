@@ -36,7 +36,10 @@ fn main() {
     ] {
         let engine = LusailEngine::new(
             federation_from_graphs(graphs.clone(), geo),
-            LusailConfig { delay_threshold: threshold, ..Default::default() },
+            LusailConfig {
+                delay_threshold: threshold,
+                ..Default::default()
+            },
         );
         let queries: Vec<_> = largerdf::all_queries()
             .into_iter()
@@ -51,13 +54,23 @@ fn main() {
         for q in &queries {
             engine.execute(q).unwrap();
         }
-        println!("  {:<10} {:>9.1} ms", threshold.label(), t.elapsed().as_secs_f64() * 1000.0);
+        println!(
+            "  {:<10} {:>9.1} ms",
+            threshold.label(),
+            t.elapsed().as_secs_f64() * 1000.0
+        );
     }
 
     // ---- Cache effect (Figure 12) ---------------------------------------
-    let c9 = largerdf::all_queries().into_iter().find(|q| q.name == "C9").unwrap().parse();
-    let engine =
-        LusailEngine::new(federation_from_graphs(graphs.clone(), geo), LusailConfig::default());
+    let c9 = largerdf::all_queries()
+        .into_iter()
+        .find(|q| q.name == "C9")
+        .unwrap()
+        .parse();
+    let engine = LusailEngine::new(
+        federation_from_graphs(graphs.clone(), geo),
+        LusailConfig::default(),
+    );
     let t = Instant::now();
     engine.execute(&c9).unwrap();
     let cold = t.elapsed();
@@ -71,7 +84,11 @@ fn main() {
     );
 
     // ---- A query only Lusail supports (C5) ------------------------------
-    let c5 = largerdf::all_queries().into_iter().find(|q| q.name == "C5").unwrap().parse();
+    let c5 = largerdf::all_queries()
+        .into_iter()
+        .find(|q| q.name == "C5")
+        .unwrap()
+        .parse();
     let rel = engine.execute(&c5).unwrap();
     println!(
         "\nC5 (two disjoint subgraphs joined by FILTER(?w = ?m)): {} rows — a query the\n\

@@ -50,8 +50,10 @@ u2:os a ub:GraduateCourse .
             NetworkProfile::local_cluster(),
         ))
     };
-    let federation =
-        Federation::new(vec![make_endpoint("univ1", ep1_data), make_endpoint("univ2", ep2_data)]);
+    let federation = Federation::new(vec![
+        make_endpoint("univ1", ep1_data),
+        make_endpoint("univ2", ep2_data),
+    ]);
 
     // ---- The federated engine -----------------------------------------
     let engine = LusailEngine::new(federation, LusailConfig::default());
@@ -81,11 +83,20 @@ SELECT ?S ?P ?U ?A WHERE {{
     println!("Q_a answers ({} rows):", results.len());
     for row in results.rows() {
         let cell = |t: &Option<Term>| t.as_ref().map_or("∅".to_string(), |t| t.to_string());
-        println!("  S={} P={} U={} A={}", cell(&row[0]), cell(&row[1]), cell(&row[2]), cell(&row[3]));
+        println!(
+            "  S={} P={} U={} A={}",
+            cell(&row[0]),
+            cell(&row[1]),
+            cell(&row[2]),
+            cell(&row[3])
+        );
     }
 
     println!("\nWhat Lusail did:");
-    println!("  global join variables : {:?}  (paper: ?U and ?P)", profile.gjvs);
+    println!(
+        "  global join variables : {:?}  (paper: ?U and ?P)",
+        profile.gjvs
+    );
     println!("  subqueries            : {}", profile.subqueries);
     println!("  delayed subqueries    : {}", profile.delayed);
     println!("  check queries sent    : {}", profile.check_queries);

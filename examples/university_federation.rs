@@ -14,7 +14,10 @@ use lusail_workloads::{federation_from_graphs, lubm};
 use std::time::Instant;
 
 fn main() {
-    let universities: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let universities: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
     let cfg = lubm::LubmConfig::with_universities(universities);
     let graphs = lubm::generate_all(&cfg);
     let total: usize = graphs.iter().map(|(_, g)| g.len()).sum();

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate. Every PR must leave this green. The build is fully offline:
+# the workspace has no third-party dependencies (see DESIGN.md → Dependency
+# policy), so --offline both works and enforces that nothing sneaks in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release --offline
+cargo test --workspace -q --offline
+cargo fmt --all --check

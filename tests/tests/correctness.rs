@@ -82,7 +82,13 @@ fn all_engines_agree_on_lubm() {
 
 #[test]
 fn lusail_matches_ground_truth_on_qfed() {
-    let cfg = qfed::QfedConfig { drugs: 80, diseases: 25, side_effects: 40, labels: 40, seed: 7 };
+    let cfg = qfed::QfedConfig {
+        drugs: 80,
+        diseases: 25,
+        side_effects: 40,
+        labels: 40,
+        seed: 7,
+    };
     let graphs = qfed::generate_all(&cfg);
     let engine = lusail(graphs.clone());
     for q in qfed::queries() {
@@ -96,7 +102,13 @@ fn lusail_matches_ground_truth_on_qfed() {
 
 #[test]
 fn fedx_matches_lusail_on_qfed_base_queries() {
-    let cfg = qfed::QfedConfig { drugs: 50, diseases: 15, side_effects: 25, labels: 25, seed: 7 };
+    let cfg = qfed::QfedConfig {
+        drugs: 50,
+        diseases: 15,
+        side_effects: 25,
+        labels: 25,
+        seed: 7,
+    };
     let graphs = qfed::generate_all(&cfg);
     let engine = lusail(graphs.clone());
     let fedx = FedX::new(
@@ -115,7 +127,10 @@ fn fedx_matches_lusail_on_qfed_base_queries() {
 
 #[test]
 fn lusail_matches_ground_truth_on_largerdfbench() {
-    let cfg = largerdf::LargeRdfConfig { scale: 0.4, ..Default::default() };
+    let cfg = largerdf::LargeRdfConfig {
+        scale: 0.4,
+        ..Default::default()
+    };
     let graphs = largerdf::generate_all(&cfg);
     let engine = lusail(graphs.clone());
     for q in largerdf::all_queries() {
@@ -137,7 +152,10 @@ fn lusail_matches_ground_truth_on_largerdfbench() {
 
 #[test]
 fn baselines_reject_only_the_disjoint_queries() {
-    let cfg = largerdf::LargeRdfConfig { scale: 0.2, ..Default::default() };
+    let cfg = largerdf::LargeRdfConfig {
+        scale: 0.2,
+        ..Default::default()
+    };
     let graphs = largerdf::generate_all(&cfg);
     let fedx = FedX::new(
         federation_from_graphs(graphs.clone(), NetworkProfile::instant()),
@@ -160,11 +178,17 @@ fn baselines_reject_only_the_disjoint_queries() {
 fn lusail_supports_the_disjoint_queries() {
     // The paper: "C5 contains two disjoint subgraphs joined by a filter
     // variable, a query not supported by Lusail's competitors."
-    let cfg = largerdf::LargeRdfConfig { scale: 0.3, ..Default::default() };
+    let cfg = largerdf::LargeRdfConfig {
+        scale: 0.3,
+        ..Default::default()
+    };
     let graphs = largerdf::generate_all(&cfg);
     let engine = lusail(graphs.clone());
     for name in ["C5", "B5", "B6"] {
-        let q = largerdf::all_queries().into_iter().find(|q| q.name == name).unwrap();
+        let q = largerdf::all_queries()
+            .into_iter()
+            .find(|q| q.name == name)
+            .unwrap();
         let query = q.parse();
         let actual = engine.execute(&query).unwrap();
         let expected = ground_truth(&graphs, &query);

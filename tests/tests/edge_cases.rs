@@ -14,7 +14,11 @@ fn graphs() -> Vec<(String, Graph)> {
     for i in 0..10 {
         let s = Term::iri(format!("http://a/item{i}"));
         g1.add(s.clone(), Term::iri("http://x/value"), Term::integer(i));
-        g1.add(s.clone(), Term::iri("http://x/label"), Term::literal(format!("item {i}")));
+        g1.add(
+            s.clone(),
+            Term::iri("http://x/label"),
+            Term::literal(format!("item {i}")),
+        );
         if i % 2 == 0 {
             g1.add(s, Term::iri("http://x/tag"), Term::literal("even"));
         }
@@ -61,20 +65,20 @@ fn offset_beyond_result() {
 
 #[test]
 fn offset_and_limit_slice() {
-    let q = parse_query(
-        "SELECT ?v WHERE { ?s <http://x/value> ?v } ORDER BY ?v LIMIT 3 OFFSET 2",
-    )
-    .unwrap();
+    let q = parse_query("SELECT ?v WHERE { ?s <http://x/value> ?v } ORDER BY ?v LIMIT 3 OFFSET 2")
+        .unwrap();
     let rel = engine().execute(&q).unwrap();
     let vals: Vec<_> = rel.rows().iter().map(|r| r[0].clone().unwrap()).collect();
-    assert_eq!(vals, vec![Term::integer(2), Term::integer(3), Term::integer(4)]);
+    assert_eq!(
+        vals,
+        vec![Term::integer(2), Term::integer(3), Term::integer(4)]
+    );
 }
 
 #[test]
 fn order_by_desc_numeric() {
-    let q =
-        parse_query("SELECT ?v WHERE { ?s <http://x/value> ?v } ORDER BY DESC(?v) LIMIT 1")
-            .unwrap();
+    let q = parse_query("SELECT ?v WHERE { ?s <http://x/value> ?v } ORDER BY DESC(?v) LIMIT 1")
+        .unwrap();
     let rel = engine().execute(&q).unwrap();
     assert_eq!(rel.rows()[0][0], Some(Term::integer(9)));
 }
@@ -90,7 +94,9 @@ fn projection_of_never_bound_variable() {
 #[test]
 fn cross_endpoint_chains_match_ground_truth() {
     check("SELECT ?s ?w WHERE { ?s <http://x/value> ?v . ?s <http://x/linked> ?d . ?d <http://x/weight> ?w }");
-    check("SELECT ?s ?w WHERE { ?s <http://x/linked> ?d . ?d <http://x/weight> ?w . FILTER(?w > 6) }");
+    check(
+        "SELECT ?s ?w WHERE { ?s <http://x/linked> ?d . ?d <http://x/weight> ?w . FILTER(?w > 6) }",
+    );
     check(
         "SELECT ?s ?t ?w WHERE { ?s <http://x/linked> ?d . ?d <http://x/weight> ?w OPTIONAL { ?s <http://x/tag> ?t } }",
     );
@@ -171,7 +177,13 @@ fn fedx_block_size_one_still_correct() {
     )
     .unwrap();
     let fed = lusail_workloads::federation_from_graphs(graphs(), NetworkProfile::instant());
-    let fedx = FedX::new(fed, FedXConfig { bind_block_size: 1, ..Default::default() });
+    let fedx = FedX::new(
+        fed,
+        FedXConfig {
+            bind_block_size: 1,
+            ..Default::default()
+        },
+    );
     let expected = ground_truth(&graphs(), &q);
     let actual = fedx.execute(&q).unwrap();
     assert_same_solutions("fedx block=1", &actual, &expected);
@@ -183,12 +195,22 @@ fn duplicate_triples_across_endpoints_preserve_bag_semantics() {
     // twice (union of endpoint results, bag semantics), exactly like a
     // real federation would.
     let mut g = Graph::new();
-    g.add(Term::iri("http://a/x"), Term::iri("http://x/p"), Term::integer(1));
+    g.add(
+        Term::iri("http://a/x"),
+        Term::iri("http://x/p"),
+        Term::integer(1),
+    );
     let fed = Federation::new(vec![
-        Arc::new(SimulatedEndpoint::new("e1", Store::from_graph(&g), NetworkProfile::instant()))
-            as Arc<dyn SparqlEndpoint>,
-        Arc::new(SimulatedEndpoint::new("e2", Store::from_graph(&g), NetworkProfile::instant()))
-            as Arc<dyn SparqlEndpoint>,
+        Arc::new(SimulatedEndpoint::new(
+            "e1",
+            Store::from_graph(&g),
+            NetworkProfile::instant(),
+        )) as Arc<dyn SparqlEndpoint>,
+        Arc::new(SimulatedEndpoint::new(
+            "e2",
+            Store::from_graph(&g),
+            NetworkProfile::instant(),
+        )) as Arc<dyn SparqlEndpoint>,
     ]);
     let engine = LusailEngine::new(fed, LusailConfig::default());
     let q = parse_query("SELECT ?s WHERE { ?s <http://x/p> ?v }").unwrap();
@@ -246,11 +268,27 @@ fn case2_shared_instances_need_paranoid_locality() {
     // answers; the sound paranoid mode recovers all of them.
     let hub = Term::iri("http://shared/hub");
     let mut g0 = Graph::new();
-    g0.add(Term::iri("http://ep0/a"), Term::iri("http://x/p"), hub.clone());
-    g0.add(Term::iri("http://ep0/a2"), Term::iri("http://x/q"), hub.clone());
+    g0.add(
+        Term::iri("http://ep0/a"),
+        Term::iri("http://x/p"),
+        hub.clone(),
+    );
+    g0.add(
+        Term::iri("http://ep0/a2"),
+        Term::iri("http://x/q"),
+        hub.clone(),
+    );
     let mut g1 = Graph::new();
-    g1.add(Term::iri("http://ep1/b"), Term::iri("http://x/p"), hub.clone());
-    g1.add(Term::iri("http://ep1/b2"), Term::iri("http://x/q"), hub.clone());
+    g1.add(
+        Term::iri("http://ep1/b"),
+        Term::iri("http://x/p"),
+        hub.clone(),
+    );
+    g1.add(
+        Term::iri("http://ep1/b2"),
+        Term::iri("http://x/q"),
+        hub.clone(),
+    );
     let graphs = vec![("ep0".to_string(), g0), ("ep1".to_string(), g1)];
     let q = parse_query("SELECT ?x ?y WHERE { ?x <http://x/p> ?v . ?y <http://x/q> ?v }").unwrap();
 
@@ -269,7 +307,10 @@ fn case2_shared_instances_need_paranoid_locality() {
     // Paranoid mode: exact.
     let paranoid = LusailEngine::new(
         lusail_workloads::federation_from_graphs(graphs, NetworkProfile::instant()),
-        LusailConfig { paranoid_locality: true, ..Default::default() },
+        LusailConfig {
+            paranoid_locality: true,
+            ..Default::default()
+        },
     );
     let actual = paranoid.execute(&q).unwrap();
     assert_same_solutions("paranoid case2", &actual, &expected);

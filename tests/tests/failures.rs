@@ -45,7 +45,10 @@ fn lusail_respects_request_size_limits_via_block_chunking() {
     let fed = federation_from_graphs_limited(
         graphs,
         NetworkProfile::instant(),
-        EndpointLimits { max_request_bytes: Some(8_192), max_result_rows: None },
+        EndpointLimits {
+            max_request_bytes: Some(8_192),
+            max_result_rows: None,
+        },
     );
     let engine = LusailEngine::new(fed, LusailConfig::default());
     let q = parse_query(CHAIN_QUERY).unwrap();
@@ -62,11 +65,17 @@ fn oversized_block_config_surfaces_endpoint_error() {
     let fed = federation_from_graphs_limited(
         graphs,
         NetworkProfile::instant(),
-        EndpointLimits { max_request_bytes: Some(2_048), max_result_rows: None },
+        EndpointLimits {
+            max_request_bytes: Some(2_048),
+            max_result_rows: None,
+        },
     );
     let engine = LusailEngine::new(
         fed,
-        LusailConfig { bound_block_max_bytes: 1 << 20, ..Default::default() },
+        LusailConfig {
+            bound_block_max_bytes: 1 << 20,
+            ..Default::default()
+        },
     );
     let q = parse_query(CHAIN_QUERY).unwrap();
     match engine.execute(&q) {
@@ -83,9 +92,18 @@ fn fedx_also_propagates_endpoint_errors() {
     let fed = federation_from_graphs_limited(
         graphs,
         NetworkProfile::instant(),
-        EndpointLimits { max_request_bytes: Some(2_048), max_result_rows: None },
+        EndpointLimits {
+            max_request_bytes: Some(2_048),
+            max_result_rows: None,
+        },
     );
-    let fedx = FedX::new(fed, FedXConfig { bind_block_size: 500, ..Default::default() });
+    let fedx = FedX::new(
+        fed,
+        FedXConfig {
+            bind_block_size: 500,
+            ..Default::default()
+        },
+    );
     let q = parse_query(CHAIN_QUERY).unwrap();
     assert!(matches!(fedx.execute(&q), Err(EngineError::Endpoint(_))));
     // With its standard small blocks, FedX stays under the limit.
@@ -93,7 +111,10 @@ fn fedx_also_propagates_endpoint_errors() {
     let fed = federation_from_graphs_limited(
         graphs,
         NetworkProfile::instant(),
-        EndpointLimits { max_request_bytes: Some(2_048), max_result_rows: None },
+        EndpointLimits {
+            max_request_bytes: Some(2_048),
+            max_result_rows: None,
+        },
     );
     let fedx = FedX::new(fed, FedXConfig::default());
     assert_eq!(fedx.execute(&q).unwrap().len(), 600);
@@ -103,15 +124,25 @@ fn fedx_also_propagates_endpoint_errors() {
 fn lusail_answers_c9_under_real_server_limits() {
     // The Table 2 scenario: LargeRDFBench C9 against endpoints with an
     // 8 KiB request ceiling. Lusail must still answer correctly.
-    let cfg = largerdf::LargeRdfConfig { scale: 0.5, ..Default::default() };
+    let cfg = largerdf::LargeRdfConfig {
+        scale: 0.5,
+        ..Default::default()
+    };
     let graphs = largerdf::generate_all(&cfg);
     let limited = federation_from_graphs_limited(
         graphs.clone(),
         NetworkProfile::instant(),
-        EndpointLimits { max_request_bytes: Some(8_192), max_result_rows: Some(100_000) },
+        EndpointLimits {
+            max_request_bytes: Some(8_192),
+            max_result_rows: Some(100_000),
+        },
     );
     let engine = LusailEngine::new(limited, LusailConfig::default());
-    let q = largerdf::all_queries().into_iter().find(|q| q.name == "C9").unwrap().parse();
+    let q = largerdf::all_queries()
+        .into_iter()
+        .find(|q| q.name == "C9")
+        .unwrap()
+        .parse();
     let limited_result = engine.execute(&q).unwrap();
 
     let unlimited = LusailEngine::new(

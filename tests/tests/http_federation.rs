@@ -1,0 +1,202 @@
+//! Loopback end-to-end tests for the wire-protocol subsystem: real
+//! `lusail-server` instances on ephemeral ports, queried through
+//! `HttpEndpoint` by the full Lusail engine (LADE decomposition + SAPE
+//! scheduling). The HTTP path must produce solutions bit-identical to the
+//! simulated in-process federation and to the merged-graph ground truth.
+
+use integration::{assert_same_solutions, ground_truth};
+use lusail_core::LusailEngine;
+use lusail_federation::{Federation, HttpConfig, HttpEndpoint, NetworkProfile, SparqlEndpoint};
+use lusail_rdf::{Graph, Literal, Term};
+use lusail_server::{ServerConfig, ServerHandle, SparqlServer};
+use lusail_store::Store;
+use lusail_workloads::{federation_from_graphs, lubm, qfed};
+use std::sync::Arc;
+
+/// Start one `lusail-server` per endpoint graph and wire a federation of
+/// HTTP clients to them. The handles keep the servers alive for the test.
+fn http_federation(graphs: &[(String, Graph)]) -> (Vec<ServerHandle>, Federation) {
+    let mut handles = Vec::new();
+    let mut endpoints: Vec<Arc<dyn SparqlEndpoint>> = Vec::new();
+    for (name, g) in graphs {
+        let server =
+            SparqlServer::bind("127.0.0.1:0", Store::from_graph(g), ServerConfig::default())
+                .expect("bind ephemeral port");
+        let handle = server.spawn();
+        endpoints.push(Arc::new(
+            HttpEndpoint::new(name.clone(), &handle.url()).expect("valid loopback URL"),
+        ));
+        handles.push(handle);
+    }
+    (handles, Federation::new(endpoints))
+}
+
+fn shutdown_all(handles: Vec<ServerHandle>) {
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn lubm_over_http_matches_simulated_federation() {
+    let graphs = lubm::generate_all(&lubm::LubmConfig::with_universities(3));
+    let (handles, http_fed) = http_federation(&graphs);
+    assert!(
+        handles.len() >= 3,
+        "the e2e must span at least three server processes"
+    );
+    let sim_fed = federation_from_graphs(graphs.clone(), NetworkProfile::instant());
+
+    // Default config = LADE decomposition + full SAPE scheduling.
+    let http_engine = LusailEngine::new(http_fed.clone(), Default::default());
+    let sim_engine = LusailEngine::new(sim_fed, Default::default());
+
+    for q in lubm::queries() {
+        let parsed = q.parse();
+        let over_http = http_engine.execute(&parsed).expect(q.name);
+        let simulated = sim_engine.execute(&parsed).expect(q.name);
+        assert_same_solutions(
+            &format!("{} http-vs-simulated", q.name),
+            &over_http,
+            &simulated,
+        );
+        assert_same_solutions(
+            &format!("{} http-vs-ground-truth", q.name),
+            &over_http,
+            &ground_truth(&graphs, &parsed),
+        );
+    }
+    let traffic = http_fed.total_traffic();
+    assert!(
+        traffic.requests > 0,
+        "the engine must actually have gone over the wire"
+    );
+    assert!(traffic.bytes_received > 0);
+    shutdown_all(handles);
+}
+
+#[test]
+fn qfed_over_http_matches_simulated_federation() {
+    let graphs = qfed::generate_all(&qfed::QfedConfig::default());
+    let (handles, http_fed) = http_federation(&graphs);
+    assert_eq!(handles.len(), 4, "QFed federates four life-science sources");
+    let sim_fed = federation_from_graphs(graphs.clone(), NetworkProfile::instant());
+
+    let http_engine = LusailEngine::new(http_fed, Default::default());
+    let sim_engine = LusailEngine::new(sim_fed, Default::default());
+
+    for q in qfed::queries() {
+        let parsed = q.parse();
+        let over_http = http_engine.execute(&parsed).expect(q.name);
+        let simulated = sim_engine.execute(&parsed).expect(q.name);
+        assert!(!over_http.is_empty(), "{} should return solutions", q.name);
+        assert_same_solutions(
+            &format!("{} http-vs-simulated", q.name),
+            &over_http,
+            &simulated,
+        );
+    }
+    shutdown_all(handles);
+}
+
+#[test]
+fn every_term_kind_survives_the_wire() {
+    // A deliberately nasty graph: every term kind, JSON-hostile lexical
+    // forms, and data split across two endpoints so the engine must join
+    // over HTTP.
+    let mut left = Graph::new();
+    left.add(
+        Term::iri("http://a/x?y=1&z=\"2\""),
+        Term::iri("http://a/p"),
+        Term::literal("line1\nline2\t\"quoted\\\""),
+    );
+    left.add(
+        Term::iri("http://a/x?y=1&z=\"2\""),
+        Term::iri("http://a/q"),
+        Term::bnode("b0"),
+    );
+    let mut right = Graph::new();
+    right.add(
+        Term::iri("http://a/x?y=1&z=\"2\""),
+        Term::iri("http://a/r"),
+        Term::Literal(Literal::lang("grüße 😀", "de")),
+    );
+    right.add(
+        Term::iri("http://a/x?y=1&z=\"2\""),
+        Term::iri("http://a/s"),
+        Term::integer(-42),
+    );
+    let graphs = vec![("left".to_string(), left), ("right".to_string(), right)];
+
+    let (handles, http_fed) = http_federation(&graphs);
+    let engine = LusailEngine::new(http_fed, Default::default());
+    let query = lusail_sparql::parse_query(
+        "SELECT ?v ?b ?l ?n WHERE { \
+           ?x <http://a/p> ?v . ?x <http://a/q> ?b . \
+           ?x <http://a/r> ?l . ?x <http://a/s> ?n }",
+    )
+    .unwrap();
+    let rel = engine.execute(&query).unwrap();
+    assert_same_solutions("nasty-terms", &rel, &ground_truth(&graphs, &query));
+    let row = &rel.rows()[0];
+    assert_eq!(row[0], Some(Term::literal("line1\nline2\t\"quoted\\\"")));
+    assert_eq!(row[2], Some(Term::Literal(Literal::lang("grüße 😀", "de"))));
+    assert_eq!(row[3], Some(Term::integer(-42)));
+    shutdown_all(handles);
+}
+
+#[test]
+fn oversized_query_surfaces_as_endpoint_error() {
+    let mut g = Graph::new();
+    g.add(
+        Term::iri("http://x/s"),
+        Term::iri("http://x/p"),
+        Term::iri("http://x/o"),
+    );
+    let server = SparqlServer::bind(
+        "127.0.0.1:0",
+        Store::from_graph(&g),
+        ServerConfig {
+            max_query_bytes: 128,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let handle = server.spawn();
+    let ep = HttpEndpoint::new("tiny", &handle.url()).unwrap();
+
+    let small = lusail_sparql::parse_query("ASK { ?s ?p ?o }").unwrap();
+    assert!(ep.ask(&small).unwrap());
+
+    let big = lusail_sparql::parse_query(&format!(
+        "SELECT ?s WHERE {{ ?s <http://very.long.example.org/{}> ?o }}",
+        "p".repeat(200)
+    ))
+    .unwrap();
+    let err = ep.execute(&big).unwrap_err();
+    assert_eq!(err.endpoint, "tiny");
+    assert!(err.message.contains("413"), "{err}");
+    // 4xx is the server rejecting the query — the client must not retry.
+    assert_eq!(ep.traffic().requests, 2);
+    handle.shutdown();
+}
+
+#[test]
+fn dead_endpoint_fails_fast_with_transport_error() {
+    // Bind then immediately free a port so nothing listens on it.
+    let port = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().port()
+    };
+    let ep = HttpEndpoint::new("ghost", &format!("http://127.0.0.1:{port}/sparql"))
+        .unwrap()
+        .with_config(HttpConfig {
+            retries: 1,
+            backoff: std::time::Duration::from_millis(1),
+            ..Default::default()
+        });
+    let q = lusail_sparql::parse_query("ASK { ?s ?p ?o }").unwrap();
+    let err = ep.execute(&q).unwrap_err();
+    assert!(err.message.contains("2 attempts"), "{err}");
+    assert!(err.message.contains("transport error"), "{err}");
+}

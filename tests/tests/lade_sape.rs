@@ -5,7 +5,9 @@ use lusail_core::cache::QueryCache;
 use lusail_core::lade::gjv::detect_gjvs;
 use lusail_core::source::select_sources;
 use lusail_core::{LusailConfig, LusailEngine};
-use lusail_federation::{Federation, NetworkProfile, RequestHandler, SimulatedEndpoint, SparqlEndpoint};
+use lusail_federation::{
+    Federation, NetworkProfile, RequestHandler, SimulatedEndpoint, SparqlEndpoint,
+};
 use lusail_rdf::{vocab, Graph, Term};
 use lusail_sparql::ast::{TermPattern, TriplePattern, Variable};
 use lusail_sparql::parse_query;
@@ -44,10 +46,16 @@ fn figure4_federation() -> Federation {
     g2.add(u2("Tim"), ub("PhDDegreeFrom"), u1("MIT")); // remote ?U
     g2.add(u2("Ann2"), ub("teacherOf"), u2("db")); // so EP1..EP2 both have teacherOf
     Federation::new(vec![
-        Arc::new(SimulatedEndpoint::new("EP1", Store::from_graph(&g1), NetworkProfile::instant()))
-            as Arc<dyn SparqlEndpoint>,
-        Arc::new(SimulatedEndpoint::new("EP2", Store::from_graph(&g2), NetworkProfile::instant()))
-            as Arc<dyn SparqlEndpoint>,
+        Arc::new(SimulatedEndpoint::new(
+            "EP1",
+            Store::from_graph(&g1),
+            NetworkProfile::instant(),
+        )) as Arc<dyn SparqlEndpoint>,
+        Arc::new(SimulatedEndpoint::new(
+            "EP2",
+            Store::from_graph(&g2),
+            NetworkProfile::instant(),
+        )) as Arc<dyn SparqlEndpoint>,
     ])
 }
 
@@ -97,7 +105,10 @@ fn check_query_cache_eliminates_repeat_traffic() {
     assert_eq!(first.check_cache_hits, 0);
 
     let second = detect_gjvs(&fed, &handler, Some(&cache), &patterns, &sources).unwrap();
-    assert_eq!(second.check_queries_sent, 0, "all checks must come from cache");
+    assert_eq!(
+        second.check_queries_sent, 0,
+        "all checks must come from cache"
+    );
     assert!(second.check_cache_hits > 0);
     assert_eq!(first.gjvs, second.gjvs);
 }
@@ -145,19 +156,27 @@ fn delayed_subquery_uses_bound_join() {
         );
     }
     let fed = Federation::new(vec![
-        Arc::new(SimulatedEndpoint::new("names", Store::from_graph(&g1), NetworkProfile::instant()))
-            as Arc<dyn SparqlEndpoint>,
-        Arc::new(SimulatedEndpoint::new("special", Store::from_graph(&g2), NetworkProfile::instant()))
-            as Arc<dyn SparqlEndpoint>,
+        Arc::new(SimulatedEndpoint::new(
+            "names",
+            Store::from_graph(&g1),
+            NetworkProfile::instant(),
+        )) as Arc<dyn SparqlEndpoint>,
+        Arc::new(SimulatedEndpoint::new(
+            "special",
+            Store::from_graph(&g2),
+            NetworkProfile::instant(),
+        )) as Arc<dyn SparqlEndpoint>,
     ]);
     let engine = LusailEngine::new(fed, LusailConfig::default());
-    let q = parse_query(
-        "SELECT ?s ?n ?v WHERE { ?s <http://x/name> ?n . ?s <http://x/special> ?v }",
-    )
-    .unwrap();
+    let q =
+        parse_query("SELECT ?s ?n ?v WHERE { ?s <http://x/name> ?n . ?s <http://x/special> ?v }")
+            .unwrap();
     let (rel, profile) = engine.execute_profiled(&q).unwrap();
     assert_eq!(rel.len(), 3);
-    assert_eq!(profile.delayed, 1, "the generic name subquery must be delayed");
+    assert_eq!(
+        profile.delayed, 1,
+        "the generic name subquery must be delayed"
+    );
     // The bound join must not ship all 300 names: well under the full
     // relation's wire size.
     let bytes = engine.federation().total_traffic().bytes_received;
@@ -171,12 +190,22 @@ fn delayed_subquery_uses_bound_join() {
 fn lusail_handles_empty_federation_members() {
     // An endpoint with no data must not break anything.
     let mut g = Graph::new();
-    g.add(Term::iri("http://a/s"), Term::iri("http://x/p"), Term::integer(1));
+    g.add(
+        Term::iri("http://a/s"),
+        Term::iri("http://x/p"),
+        Term::integer(1),
+    );
     let fed = Federation::new(vec![
-        Arc::new(SimulatedEndpoint::new("full", Store::from_graph(&g), NetworkProfile::instant()))
-            as Arc<dyn SparqlEndpoint>,
-        Arc::new(SimulatedEndpoint::new("empty", Store::new(), NetworkProfile::instant()))
-            as Arc<dyn SparqlEndpoint>,
+        Arc::new(SimulatedEndpoint::new(
+            "full",
+            Store::from_graph(&g),
+            NetworkProfile::instant(),
+        )) as Arc<dyn SparqlEndpoint>,
+        Arc::new(SimulatedEndpoint::new(
+            "empty",
+            Store::new(),
+            NetworkProfile::instant(),
+        )) as Arc<dyn SparqlEndpoint>,
     ]);
     let engine = LusailEngine::new(fed, LusailConfig::default());
     let q = parse_query("SELECT ?s WHERE { ?s <http://x/p> ?v }").unwrap();

@@ -15,10 +15,18 @@ fn graphs() -> Vec<(String, Graph)> {
     let mut g2 = Graph::new();
     for i in 0..12 {
         let item = Term::iri(format!("http://a/item{i}"));
-        g1.add(item.clone(), Term::iri("http://x/group"), Term::literal(format!("g{}", i % 3)));
+        g1.add(
+            item.clone(),
+            Term::iri("http://x/group"),
+            Term::literal(format!("g{}", i % 3)),
+        );
         g1.add(item.clone(), Term::iri("http://x/value"), Term::integer(i));
         if i % 4 == 0 {
-            g1.add(item.clone(), Term::iri("http://x/flagged"), Term::literal("yes"));
+            g1.add(
+                item.clone(),
+                Term::iri("http://x/flagged"),
+                Term::literal("yes"),
+            );
         }
         g2.add(item, Term::iri("http://x/score"), Term::integer(i * 10));
     }
@@ -41,7 +49,10 @@ fn check_all_engines(q: &str) {
             federation_from_graphs(graphs(), NetworkProfile::instant()),
             FedXConfig::default(),
         )),
-        Box::new(Splendid::new(federation_from_graphs(graphs(), NetworkProfile::instant()))),
+        Box::new(Splendid::new(federation_from_graphs(
+            graphs(),
+            NetworkProfile::instant(),
+        ))),
     ];
     for engine in engines {
         let actual = engine.execute(&query).unwrap();
