@@ -21,8 +21,8 @@ use crate::common::{
 use lusail_core::cache::QueryCache;
 use lusail_core::normalize::{normalize, ConjBranch};
 use lusail_core::source::select_sources;
-use lusail_core::EngineError;
-use lusail_federation::{EndpointId, Federation, RequestHandler};
+use lusail_core::{EngineError, RunContext};
+use lusail_federation::{Deadline, EndpointId, Federation, RequestHandler};
 use lusail_sparql::ast::{
     Expression, Projection, Query, QueryForm, SelectQuery, TriplePattern, Variable,
 };
@@ -136,11 +136,18 @@ impl FedX {
             ));
         }
 
+        // The baselines have no partial mode: probes run fail-fast under
+        // the same absolute deadline as the rest of the query.
+        let ctx = RunContext::fail_fast(
+            deadline.map(Deadline::at).unwrap_or_else(Deadline::none),
+            self.config.timeout,
+        );
         let mut sources = select_sources(
             &self.federation,
             &self.handler,
             Some(&self.cache),
             &branch.patterns,
+            &ctx,
         )?;
         if let Some(pruner) = &self.pruner {
             for (i, tp) in branch.patterns.iter().enumerate() {
@@ -165,6 +172,7 @@ impl FedX {
                 &self.handler,
                 Some(&self.cache),
                 &block.patterns,
+                &ctx,
             )?;
             if let Some(pruner) = &self.pruner {
                 for (i, tp) in block.patterns.iter().enumerate() {
@@ -202,6 +210,7 @@ impl FedX {
                 &self.handler,
                 Some(&self.cache),
                 &block.patterns,
+                &ctx,
             )?;
             let merged: Vec<EndpointId> = {
                 let mut s: Vec<EndpointId> = minus_sources.iter().flatten().copied().collect();

@@ -2,7 +2,7 @@
 //! command logic are unit-testable.
 
 use lusail_baselines::{FedX, FedXConfig, FederatedEngine, HiBiscus, Splendid};
-use lusail_core::{LusailConfig, LusailEngine};
+use lusail_core::{LusailConfig, LusailEngine, ResultPolicy};
 use lusail_federation::{
     Federation, HttpEndpoint, NetworkProfile, SimulatedEndpoint, SparqlEndpoint,
 };
@@ -20,7 +20,7 @@ usage:
   lusail query    (--data FILE | --endpoint URL)... (--query FILE | --query-text SPARQL)
                   [--engine lusail|fedx|splendid|hibiscus]
                   [--profile instant|local|geo] [--timeout SECS]
-                  [--format table|csv] [--explain]
+                  [--format table|csv] [--explain] [--partial] [--stats]
   lusail serve    --data FILE... [--addr HOST:PORT] [--port N] [--workers N]
   lusail generate --benchmark lubm|qfed|largerdf|bio2rdf --out DIR
                   [--scale F] [--endpoints N] [--seed N]
@@ -31,7 +31,12 @@ usage:
 For query, each --data file becomes one in-process endpoint (.nt =
 N-Triples, .ttl = Turtle, .snap = snapshot) and each --endpoint URL a
 remote HTTP SPARQL endpoint; the two can be mixed freely. serve merges
-its --data files into one store and exposes it at http://ADDR/sparql.";
+its --data files into one store and exposes it at http://ADDR/sparql.
+
+--partial (lusail engine only) returns the reachable subset of answers
+when an endpoint is down, with a warning per skipped subquery, instead of
+failing the whole query. --stats prints a per-endpoint health table
+(breaker state, failures, retries, latency EWMA) after the results.";
 
 /// CLI failure modes.
 #[derive(Debug)]
@@ -74,6 +79,8 @@ pub enum Command {
         timeout: Option<u64>,
         format: OutputFormat,
         explain: bool,
+        partial: bool,
+        stats: bool,
     },
     Serve {
         data: Vec<PathBuf>,
@@ -147,7 +154,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         if !flag.starts_with("--") {
             return Err(usage(&format!("unexpected argument {flag:?}")));
         }
-        let value = if flag == "--explain" {
+        let value = if matches!(flag, "--explain" | "--partial" | "--stats") {
             None
         } else {
             let v = rest
@@ -173,6 +180,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--timeout",
             "--format",
             "--explain",
+            "--partial",
+            "--stats",
         ],
         "serve" => &["--data", "--addr", "--port", "--workers"],
         "generate" => &["--benchmark", "--out", "--scale", "--endpoints", "--seed"],
@@ -239,6 +248,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 "csv" => OutputFormat::Csv,
                 other => return Err(usage(&format!("unknown format {other:?}"))),
             };
+            if has("--partial") && engine != EngineKind::Lusail {
+                return Err(usage(
+                    "--partial is only supported by the lusail engine (the baselines \
+                     have no partial-results mode)",
+                ));
+            }
             Ok(Command::Query {
                 data,
                 endpoints,
@@ -249,6 +264,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 timeout,
                 format,
                 explain: has("--explain"),
+                partial: has("--partial"),
+                stats: has("--stats"),
             })
         }
         "serve" => {
@@ -467,6 +484,8 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             timeout,
             format,
             explain,
+            partial,
+            stats,
         } => {
             let federation = build_federation(&data, &endpoints, profile)?;
             let text = match (&query_file, &query_text) {
@@ -478,43 +497,52 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 lusail_sparql::parse_query(&text).map_err(|e| CliError::Parse(e.to_string()))?;
             let timeout = timeout.map(Duration::from_secs);
 
-            if explain && engine == EngineKind::Lusail {
+            if engine == EngineKind::Lusail {
                 let lusail = LusailEngine::new(
                     federation.clone(),
                     LusailConfig {
                         timeout,
+                        result_policy: if partial {
+                            ResultPolicy::Partial
+                        } else {
+                            ResultPolicy::FailFast
+                        },
                         ..Default::default()
                     },
                 );
                 let (rel, profile) = lusail.execute_profiled(&query).map_err(CliError::Engine)?;
-                writeln!(out, "# engine        : Lusail")?;
-                writeln!(out, "# gjvs          : {:?}", profile.gjvs)?;
-                writeln!(out, "# subqueries    : {}", profile.subqueries)?;
-                writeln!(out, "# delayed       : {}", profile.delayed)?;
-                writeln!(out, "# check queries : {}", profile.check_queries)?;
-                writeln!(
-                    out,
-                    "# phases        : source {:?}, analysis {:?}, execution {:?}",
-                    profile.source_selection, profile.analysis, profile.execution
-                )?;
-                writeln!(
-                    out,
-                    "# traffic       : {} requests, {} bytes received",
-                    federation.total_traffic().requests,
-                    federation.total_traffic().bytes_received
-                )?;
+                if explain {
+                    writeln!(out, "# engine        : Lusail")?;
+                    writeln!(out, "# gjvs          : {:?}", profile.gjvs)?;
+                    writeln!(out, "# subqueries    : {}", profile.subqueries)?;
+                    writeln!(out, "# delayed       : {}", profile.delayed)?;
+                    writeln!(out, "# check queries : {}", profile.check_queries)?;
+                    writeln!(
+                        out,
+                        "# phases        : source {:?}, analysis {:?}, execution {:?}",
+                        profile.source_selection, profile.analysis, profile.execution
+                    )?;
+                    writeln!(
+                        out,
+                        "# traffic       : {} requests, {} bytes received",
+                        federation.total_traffic().requests,
+                        federation.total_traffic().bytes_received
+                    )?;
+                }
+                // Degraded results must be visibly degraded, whether or
+                // not --explain is on.
+                for w in &profile.warnings {
+                    writeln!(out, "# warning       : {w}")?;
+                }
                 print_relation(&rel, format, out)?;
+                if stats {
+                    print_endpoint_stats(&federation, out)?;
+                }
                 return Ok(());
             }
 
             let engine: Box<dyn FederatedEngine> = match engine {
-                EngineKind::Lusail => Box::new(LusailEngine::new(
-                    federation.clone(),
-                    LusailConfig {
-                        timeout,
-                        ..Default::default()
-                    },
-                )),
+                EngineKind::Lusail => unreachable!("handled above"),
                 EngineKind::FedX => Box::new(FedX::new(
                     federation.clone(),
                     FedXConfig {
@@ -537,6 +565,9 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             };
             let rel = engine.execute(&query).map_err(CliError::Engine)?;
             print_relation(&rel, format, out)?;
+            if stats {
+                print_endpoint_stats(&federation, out)?;
+            }
             Ok(())
         }
         Command::Generate {
@@ -656,6 +687,45 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             Ok(())
         }
     }
+}
+
+/// The `--stats` table: one row per endpoint, merging traffic counters
+/// with the transport's health registry (breaker state, failure counts,
+/// latency EWMA) when the endpoint tracks one.
+fn print_endpoint_stats(federation: &Federation, out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(out, "# endpoint health:")?;
+    writeln!(
+        out,
+        "#   {:<16} {:>8} {:>8} {:>8} {:>8} {:>9}  {}",
+        "endpoint", "requests", "failures", "retries", "rejected", "breaker", "latency-ewma"
+    )?;
+    for (id, ep) in federation.iter() {
+        let traffic = ep.traffic();
+        match ep.health() {
+            Some(h) => writeln!(
+                out,
+                "#   {:<16} {:>8} {:>8} {:>8} {:>8} {:>9}  {:?}",
+                format!("{} (#{id})", ep.name()),
+                traffic.requests,
+                h.failures,
+                h.retries,
+                h.open_rejections,
+                h.breaker.to_string(),
+                h.latency_ewma
+            )?,
+            None => writeln!(
+                out,
+                "#   {:<16} {:>8} {:>8} {:>8} {:>8} {:>9}  -",
+                format!("{} (#{id})", ep.name()),
+                traffic.requests,
+                "-",
+                "-",
+                "-",
+                "-"
+            )?,
+        }
+    }
+    Ok(())
 }
 
 fn print_relation(
@@ -779,6 +849,46 @@ mod tests {
             ])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn parse_partial_and_stats_flags() {
+        let cmd = parse_args(&s(&[
+            "query",
+            "--data",
+            "a.nt",
+            "--query",
+            "q.sparql",
+            "--partial",
+            "--stats",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Query { partial, stats, .. } => {
+                assert!(partial);
+                assert!(stats);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_is_rejected_for_baseline_engines() {
+        let err = parse_args(&s(&[
+            "query",
+            "--data",
+            "a.nt",
+            "--query",
+            "q",
+            "--engine",
+            "fedx",
+            "--partial",
+        ]))
+        .unwrap_err();
+        match err {
+            CliError::Usage(msg) => assert!(msg.contains("--partial")),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

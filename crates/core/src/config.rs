@@ -41,6 +41,20 @@ pub enum SapeMode {
     LadeOnly,
 }
 
+/// What to do when an endpoint is unreachable (transport failure or open
+/// circuit breaker) during query execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResultPolicy {
+    /// Any endpoint failure aborts the query with a structured error
+    /// naming the endpoint (the default).
+    #[default]
+    FailFast,
+    /// Skip subqueries against unreachable endpoints and return the
+    /// results computable from the rest, carrying an
+    /// [`crate::run::ExecutionWarning`] per skipped piece of work.
+    Partial,
+}
+
 /// Lusail engine configuration.
 #[derive(Debug, Clone)]
 pub struct LusailConfig {
@@ -79,6 +93,9 @@ pub struct LusailConfig {
     /// at the cost of more global joins (Lemma 2 guarantees correctness
     /// of the conservative choice).
     pub paranoid_locality: bool,
+    /// Whether endpoint failures abort the query or degrade it to a
+    /// partial result with warnings.
+    pub result_policy: ResultPolicy,
 }
 
 impl Default for LusailConfig {
@@ -93,6 +110,7 @@ impl Default for LusailConfig {
             enable_cache: true,
             cache_counts: true,
             paranoid_locality: false,
+            result_policy: ResultPolicy::FailFast,
         }
     }
 }

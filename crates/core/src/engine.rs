@@ -6,12 +6,13 @@ use crate::error::EngineError;
 use crate::lade::decompose::{decompose, SubqueryDraft};
 use crate::lade::gjv::detect_gjvs_with;
 use crate::normalize::{normalize, ConjBranch};
+use crate::run::{ExecutionWarning, RunContext};
 use crate::sape::estimate::{collect_tp_counts, subquery_cardinality, TpCounts};
 use crate::sape::execute::SapeExecutor;
 use crate::sape::schedule::{make_schedule, Schedule};
 use crate::source::select_sources;
 use crate::subquery::Subquery;
-use lusail_federation::{EndpointId, Federation, RequestHandler};
+use lusail_federation::{EndpointError, EndpointId, Federation, RequestHandler};
 use lusail_rdf::Term;
 use lusail_sparql::ast::{
     Expression, GraphPattern, Projection, Query, QueryForm, SelectQuery, Variable,
@@ -45,6 +46,10 @@ pub struct ExecutionProfile {
     pub estimates: Vec<(usize, usize, usize)>,
     /// Rows in the final result.
     pub result_rows: usize,
+    /// Work skipped under [`crate::ResultPolicy::Partial`]: each entry
+    /// names the unreachable endpoint and the affected subquery or probe.
+    /// Empty for complete (non-degraded) results.
+    pub warnings: Vec<ExecutionWarning>,
 }
 
 /// The Lusail federated SPARQL engine (see the crate docs for an overview).
@@ -103,7 +108,7 @@ impl LusailEngine {
         query: &Query,
     ) -> Result<(Relation, ExecutionProfile), EngineError> {
         let start = Instant::now();
-        let deadline = self.config.timeout.map(|t| start + t);
+        let ctx = RunContext::new(&self.config);
         let mut profile = ExecutionProfile::default();
 
         let select_view: SelectQuery = match &query.form {
@@ -118,7 +123,7 @@ impl LusailEngine {
         let branches = normalize(&select_view.pattern)?;
         let mut combined: Option<Relation> = None;
         for branch in &branches {
-            let rel = self.execute_branch(branch, &select_view, deadline, &mut profile)?;
+            let rel = self.execute_branch(branch, &select_view, &ctx, &mut profile)?;
             combined = Some(match combined {
                 None => rel,
                 Some(acc) => union_relations(acc, rel),
@@ -196,6 +201,7 @@ impl LusailEngine {
         }
 
         profile.result_rows = result.len();
+        profile.warnings = ctx.take_warnings();
         profile.total = start.elapsed();
         Ok((result, profile))
     }
@@ -204,7 +210,7 @@ impl LusailEngine {
         &self,
         branch: &ConjBranch,
         select_view: &SelectQuery,
-        deadline: Option<Instant>,
+        ctx: &RunContext,
         profile: &mut ExecutionProfile,
     ) -> Result<Relation, EngineError> {
         let cache = self.config.enable_cache.then_some(&self.cache);
@@ -213,9 +219,15 @@ impl LusailEngine {
 
         // ---- Source selection ------------------------------------------
         let t = Instant::now();
-        let sources = select_sources(&self.federation, &self.handler, cache, &branch.patterns)?;
+        let sources = select_sources(
+            &self.federation,
+            &self.handler,
+            cache,
+            &branch.patterns,
+            ctx,
+        )?;
         profile.source_selection += t.elapsed();
-        check_deadline(deadline, &self.config)?;
+        ctx.check()?;
 
         // ---- LADE: GJV detection + decomposition ------------------------
         let t = Instant::now();
@@ -226,6 +238,7 @@ impl LusailEngine {
             &branch.patterns,
             &sources,
             self.config.paranoid_locality,
+            ctx,
         )?;
         profile.check_queries += analysis.check_queries_sent;
         for v in &analysis.gjvs {
@@ -233,7 +246,7 @@ impl LusailEngine {
                 profile.gjvs.push(v.name().to_string());
             }
         }
-        check_deadline(deadline, &self.config)?;
+        ctx.check()?;
 
         let counts = collect_tp_counts(
             &self.federation,
@@ -242,8 +255,9 @@ impl LusailEngine {
             &branch.patterns,
             &branch.filters,
             &sources,
+            ctx,
         )?;
-        check_deadline(deadline, &self.config)?;
+        ctx.check()?;
 
         let estimator = |drafts: &[SubqueryDraft]| -> f64 {
             drafts
@@ -263,7 +277,7 @@ impl LusailEngine {
         let t_opt = Instant::now();
         for block in &branch.optionals {
             let opt_sources =
-                select_sources(&self.federation, &self.handler, cache, &block.patterns)?;
+                select_sources(&self.federation, &self.handler, cache, &block.patterns, ctx)?;
             let merged: Vec<EndpointId> = {
                 let mut s: Vec<EndpointId> = opt_sources.iter().flatten().copied().collect();
                 s.sort_unstable();
@@ -277,6 +291,7 @@ impl LusailEngine {
                 &block.patterns,
                 &block.filters,
                 &opt_sources,
+                ctx,
             )?;
             let id = subqueries.len();
             let sq = Subquery {
@@ -329,7 +344,7 @@ impl LusailEngine {
             federation: &self.federation,
             handler: &self.handler,
             config: &self.config,
-            deadline,
+            ctx,
         };
         // FILTER(?a = ?b) equalities bridge disconnected subqueries as
         // hash joins instead of cross products.
@@ -353,9 +368,9 @@ impl LusailEngine {
             rel = rel.join(&values_rel);
         }
         for block in &branch.minuses {
-            check_deadline(deadline, &self.config)?;
+            ctx.check()?;
             let minus_sources =
-                select_sources(&self.federation, &self.handler, cache, &block.patterns)?;
+                select_sources(&self.federation, &self.handler, cache, &block.patterns, ctx)?;
             let merged: Vec<EndpointId> = {
                 let mut s: Vec<EndpointId> = minus_sources.iter().flatten().copied().collect();
                 s.sort_unstable();
@@ -370,12 +385,23 @@ impl LusailEngine {
                 projection: block.variables(),
                 optional: false,
             };
-            let results = self.handler.map(merged, |ep| {
-                self.federation.endpoint(ep).select(&sq.to_query())
-            });
+            let results = self.handler.map_cancellable(
+                merged,
+                ctx.deadline,
+                |_| Err(EndpointError::deadline("MINUS block")),
+                |ep| {
+                    self.federation
+                        .endpoint(ep)
+                        .select_within(&sq.to_query(), ctx.deadline)
+                },
+            );
             let mut minus_rel = Relation::new(sq.projection.clone());
             for r in results {
-                minus_rel.append(r?);
+                // Skipping a MINUS contribution removes fewer rows, so a
+                // degraded result is a *superset* of the true answer; the
+                // warning records which endpoint's exclusions are missing.
+                let empty = Relation::new(sq.projection.clone());
+                minus_rel.append(ctx.absorb("MINUS block", empty, r)?);
             }
             rel = rel.minus(&minus_rel);
         }
@@ -503,15 +529,6 @@ impl LusailEngine {
             .collect();
         (subqueries, cardinalities, globals)
     }
-}
-
-fn check_deadline(deadline: Option<Instant>, config: &LusailConfig) -> Result<(), EngineError> {
-    if let Some(d) = deadline {
-        if Instant::now() > d {
-            return Err(EngineError::Timeout(config.timeout.unwrap_or_default()));
-        }
-    }
-    Ok(())
 }
 
 /// Filters containing EXISTS cannot be pushed textually with our

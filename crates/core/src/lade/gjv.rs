@@ -2,7 +2,8 @@
 
 use crate::cache::{pattern_key, QueryCache};
 use crate::error::EngineError;
-use lusail_federation::{EndpointId, Federation, RequestHandler};
+use crate::run::RunContext;
+use lusail_federation::{EndpointError, EndpointId, Federation, RequestHandler};
 use lusail_rdf::fxhash::FxHashSet;
 use lusail_rdf::vocab;
 use lusail_sparql::ast::{
@@ -50,14 +51,20 @@ pub fn detect_gjvs(
     cache: Option<&QueryCache>,
     patterns: &[TriplePattern],
     sources: &[Vec<EndpointId>],
+    ctx: &RunContext,
 ) -> Result<GjvAnalysis, EngineError> {
-    detect_gjvs_with(federation, handler, cache, patterns, sources, false)
+    detect_gjvs_with(federation, handler, cache, patterns, sources, false, ctx)
 }
 
 /// [`detect_gjvs`] with the paranoid-locality switch (see
 /// `LusailConfig::paranoid_locality`): when `paranoid` is set, any join
 /// variable whose patterns are relevant to more than one endpoint is
 /// declared global without instance checks.
+///
+/// Check queries respect `ctx`: under the partial policy an unanswerable
+/// check conservatively declares the variable global (sound by Lemma 2)
+/// with a warning, and its outcome is not cached.
+#[allow(clippy::too_many_arguments)]
 pub fn detect_gjvs_with(
     federation: &Federation,
     handler: &RequestHandler,
@@ -65,6 +72,7 @@ pub fn detect_gjvs_with(
     patterns: &[TriplePattern],
     sources: &[Vec<EndpointId>],
     paranoid: bool,
+    ctx: &RunContext,
 ) -> Result<GjvAnalysis, EngineError> {
     let mut analysis = GjvAnalysis::default();
     let type_of = type_patterns_by_var(patterns);
@@ -184,18 +192,28 @@ pub fn detect_gjvs_with(
         }
     }
     analysis.check_queries_sent = to_send.len();
-    let answers = handler.map(to_send.clone(), |idx| {
-        let p = &pending[idx];
-        federation
-            .endpoint(p.ep)
-            .select(&p.query)
-            .map(|rel| !rel.is_empty())
-    });
+    let answers = handler.map_cancellable(
+        to_send.clone(),
+        ctx.deadline,
+        |_| Err(EndpointError::deadline("locality check")),
+        |idx| {
+            let p = &pending[idx];
+            federation
+                .endpoint(p.ep)
+                .select_within(&p.query, ctx.deadline)
+                .map(|rel| !rel.is_empty())
+        },
+    );
     for (idx, nonempty) in to_send.into_iter().zip(answers) {
-        let nonempty = nonempty?;
         let p = &pending[idx];
+        // An unanswerable check conservatively reports "instances escape
+        // locality" → the variable becomes global, which is always sound.
+        let what = format!("locality check for ?{}", p.var.name());
+        let (nonempty, degraded) = ctx.absorb_flagged(&what, true, nonempty)?;
         if let Some(c) = cache {
-            c.put_check(p.key.clone(), p.ep, nonempty);
+            if !degraded {
+                c.put_check(p.key.clone(), p.ep, nonempty);
+            }
         }
         hits.push((p.var.clone(), nonempty));
     }

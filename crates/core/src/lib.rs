@@ -50,12 +50,14 @@ pub mod error;
 pub mod keyword;
 pub mod lade;
 pub mod normalize;
+pub mod run;
 pub mod sape;
 pub mod source;
 pub mod subquery;
 
 pub use cache::QueryCache;
-pub use config::{DelayThreshold, LusailConfig, SapeMode};
+pub use config::{DelayThreshold, LusailConfig, ResultPolicy, SapeMode};
 pub use engine::{ExecutionProfile, LusailEngine};
 pub use error::EngineError;
+pub use run::{ExecutionWarning, RunContext};
 pub use subquery::Subquery;

@@ -1,0 +1,230 @@
+//! Per-query execution context: the deadline budget, the result policy,
+//! and the warning sink that partial-results mode fills.
+//!
+//! One [`RunContext`] is created per [`crate::LusailEngine::execute`] call
+//! and threaded through source selection, LADE's check queries, SAPE's
+//! subquery waves, and the residual MINUS evaluation. Every blocking
+//! endpoint call goes through `*_within` with the context's [`Deadline`],
+//! and every fallible endpoint result comes back through
+//! [`RunContext::absorb`], which decides — per the configured
+//! [`ResultPolicy`] — whether a failure aborts the query or degrades it
+//! to a warning.
+
+use crate::config::{LusailConfig, ResultPolicy};
+use crate::error::EngineError;
+use lusail_federation::{Deadline, EndpointError, FailureKind};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One piece of work that partial-results mode skipped, naming the
+/// endpoint that was unreachable and the subquery (or probe) affected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionWarning {
+    /// The endpoint that could not be reached.
+    pub endpoint: String,
+    /// What was being executed against it (a subquery label or probe
+    /// description).
+    pub subquery: String,
+    /// The underlying failure, e.g. "giving up after 3 attempts: …".
+    pub message: String,
+}
+
+impl std::fmt::Display for ExecutionWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "endpoint {:?} skipped for {}: {}",
+            self.endpoint, self.subquery, self.message
+        )
+    }
+}
+
+/// The execution context of one query.
+#[derive(Debug)]
+pub struct RunContext {
+    /// Absolute time budget for the whole query.
+    pub deadline: Deadline,
+    /// Fail-fast or partial-results.
+    pub policy: ResultPolicy,
+    /// The configured budget, echoed in [`EngineError::Timeout`].
+    budget: Option<Duration>,
+    warnings: Mutex<Vec<ExecutionWarning>>,
+}
+
+impl RunContext {
+    /// The context for one query under `config`: the deadline starts now.
+    pub fn new(config: &LusailConfig) -> Self {
+        let deadline = match config.timeout {
+            Some(t) => Deadline::within(t),
+            None => Deadline::none(),
+        };
+        RunContext {
+            deadline,
+            policy: config.result_policy,
+            budget: config.timeout,
+            warnings: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A fail-fast context with an explicit deadline (used by the
+    /// baselines, which have no partial mode).
+    pub fn fail_fast(deadline: Deadline, budget: Option<Duration>) -> Self {
+        RunContext {
+            deadline,
+            policy: ResultPolicy::FailFast,
+            budget,
+            warnings: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// No deadline, fail-fast: for tests and internal probes.
+    pub fn unbounded() -> Self {
+        RunContext::fail_fast(Deadline::none(), None)
+    }
+
+    /// The timeout error carrying the configured budget.
+    pub fn timeout_error(&self) -> EngineError {
+        EngineError::Timeout(self.budget.unwrap_or_default())
+    }
+
+    /// Fail with [`EngineError::Timeout`] once the budget is spent.
+    pub fn check(&self) -> Result<(), EngineError> {
+        if self.deadline.expired() {
+            Err(self.timeout_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Record a warning (partial mode).
+    pub fn warn(&self, warning: ExecutionWarning) {
+        self.warnings
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(warning);
+    }
+
+    /// Drain the accumulated warnings.
+    pub fn take_warnings(&self) -> Vec<ExecutionWarning> {
+        std::mem::take(&mut self.warnings.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Resolve one endpoint result under the policy, additionally
+    /// reporting whether the value is degraded (a substituted default):
+    ///
+    /// * `Ok(v)` passes through;
+    /// * a deadline failure becomes [`EngineError::Timeout`];
+    /// * under [`ResultPolicy::Partial`], a skippable failure (transport
+    ///   or open breaker) records a warning naming the endpoint and
+    ///   `what`, and substitutes `default`;
+    /// * anything else aborts with [`EngineError::Endpoint`].
+    ///
+    /// Degraded values must not be written to the analysis cache: they
+    /// describe the outage, not the data.
+    pub fn absorb_flagged<T>(
+        &self,
+        what: &str,
+        default: T,
+        result: Result<T, EndpointError>,
+    ) -> Result<(T, bool), EngineError> {
+        match result {
+            Ok(v) => Ok((v, false)),
+            Err(e) if e.kind == FailureKind::Deadline => Err(self.timeout_error()),
+            Err(e) if self.policy == ResultPolicy::Partial && e.is_skippable() => {
+                self.warn(ExecutionWarning {
+                    endpoint: e.endpoint,
+                    subquery: what.to_string(),
+                    message: e.message,
+                });
+                Ok((default, true))
+            }
+            Err(e) => Err(EngineError::Endpoint(e)),
+        }
+    }
+
+    /// [`RunContext::absorb_flagged`] without the degraded flag.
+    pub fn absorb<T>(
+        &self,
+        what: &str,
+        default: T,
+        result: Result<T, EndpointError>,
+    ) -> Result<T, EngineError> {
+        self.absorb_flagged(what, default, result).map(|(v, _)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transport_err() -> EndpointError {
+        EndpointError::transport("ep1", "connection refused")
+    }
+
+    #[test]
+    fn fail_fast_propagates_transport_errors() {
+        let ctx = RunContext::unbounded();
+        let r: Result<bool, EngineError> = ctx.absorb("probe", false, Err(transport_err()));
+        match r {
+            Err(EngineError::Endpoint(e)) => assert_eq!(e.endpoint, "ep1"),
+            other => panic!("expected endpoint error, got {other:?}"),
+        }
+        assert!(ctx.take_warnings().is_empty());
+    }
+
+    #[test]
+    fn partial_absorbs_and_warns() {
+        let cfg = LusailConfig {
+            result_policy: ResultPolicy::Partial,
+            ..Default::default()
+        };
+        let ctx = RunContext::new(&cfg);
+        let (v, degraded) = ctx
+            .absorb_flagged("subquery #1", true, Err(transport_err()))
+            .unwrap();
+        assert!(v && degraded);
+        let warnings = ctx.take_warnings();
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].endpoint, "ep1");
+        assert_eq!(warnings[0].subquery, "subquery #1");
+        assert!(warnings[0].to_string().contains("ep1"));
+        // Drained.
+        assert!(ctx.take_warnings().is_empty());
+    }
+
+    #[test]
+    fn deadline_failures_become_timeout_even_in_partial_mode() {
+        let cfg = LusailConfig {
+            result_policy: ResultPolicy::Partial,
+            timeout: Some(Duration::from_secs(7)),
+            ..Default::default()
+        };
+        let ctx = RunContext::new(&cfg);
+        let r: Result<(), EngineError> = ctx.absorb("x", (), Err(EndpointError::deadline("ep1")));
+        assert_eq!(r, Err(EngineError::Timeout(Duration::from_secs(7))));
+    }
+
+    #[test]
+    fn rejections_always_propagate() {
+        let cfg = LusailConfig {
+            result_policy: ResultPolicy::Partial,
+            ..Default::default()
+        };
+        let ctx = RunContext::new(&cfg);
+        let r: Result<(), EngineError> =
+            ctx.absorb("x", (), Err(EndpointError::rejected("ep1", "413")));
+        assert!(matches!(r, Err(EngineError::Endpoint(_))));
+        assert!(ctx.take_warnings().is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_fails_check() {
+        let cfg = LusailConfig {
+            timeout: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        let ctx = RunContext::new(&cfg);
+        assert!(matches!(ctx.check(), Err(EngineError::Timeout(_))));
+        assert!(RunContext::unbounded().check().is_ok());
+    }
+}

@@ -15,7 +15,8 @@
 
 use crate::cache::{pattern_key, QueryCache};
 use crate::error::EngineError;
-use lusail_federation::{EndpointId, Federation, RequestHandler};
+use crate::run::RunContext;
+use lusail_federation::{EndpointError, EndpointId, Federation, RequestHandler};
 use lusail_rdf::fxhash::FxHashMap;
 use lusail_sparql::ast::{
     Expression, GraphPattern, Projection, Query, SelectQuery, TriplePattern, Variable,
@@ -56,6 +57,9 @@ pub fn count_query(tp: &TriplePattern, filters: &[Expression]) -> Query {
 
 /// Collect `COUNT` probes for every pattern at its relevant endpoints, in
 /// one parallel wave, consulting and filling the cache.
+///
+/// Probes respect `ctx`: under the partial policy an unanswerable probe
+/// contributes a count of 0 (with a warning) and is not cached.
 pub fn collect_tp_counts(
     federation: &Federation,
     handler: &RequestHandler,
@@ -63,6 +67,7 @@ pub fn collect_tp_counts(
     patterns: &[TriplePattern],
     filters: &[Expression],
     sources: &[Vec<EndpointId>],
+    ctx: &RunContext,
 ) -> Result<TpCounts, EngineError> {
     let mut counts: TpCounts = vec![FxHashMap::default(); patterns.len()];
     let mut probes: Vec<(usize, EndpointId, String)> = Vec::new();
@@ -81,16 +86,24 @@ pub fn collect_tp_counts(
             }
         }
     }
-    let answers = handler.map((0..probes.len()).collect(), |pi| {
-        let (i, ep, _) = &probes[pi];
-        federation
-            .endpoint(*ep)
-            .count(&count_query(&patterns[*i], filters))
-    });
+    let answers = handler.map_cancellable(
+        (0..probes.len()).collect(),
+        ctx.deadline,
+        |_| Err(EndpointError::deadline("cardinality probe")),
+        |pi| {
+            let (i, ep, _) = &probes[pi];
+            federation
+                .endpoint(*ep)
+                .count_within(&count_query(&patterns[*i], filters), ctx.deadline)
+        },
+    );
     for ((i, ep, key), n) in probes.into_iter().zip(answers) {
-        let n = n?;
+        let what = format!("COUNT probe for {}", pattern_key(&patterns[i]));
+        let (n, degraded) = ctx.absorb_flagged(&what, 0, n)?;
         if let Some(c) = cache {
-            c.put_count(key, ep, n);
+            if !degraded {
+                c.put_count(key, ep, n);
+            }
         }
         counts[i].insert(ep, n);
     }

@@ -2,15 +2,15 @@
 
 use crate::config::LusailConfig;
 use crate::error::EngineError;
+use crate::run::RunContext;
 use crate::sape::join::{dp_join_order, parallel_join};
 use crate::sape::schedule::Schedule;
 use crate::subquery::Subquery;
-use lusail_federation::{EndpointId, Federation, RequestHandler};
+use lusail_federation::{EndpointError, EndpointId, Federation, RequestHandler};
 use lusail_rdf::fxhash::{FxHashMap, FxHashSet};
 use lusail_rdf::Term;
 use lusail_sparql::ast::{GraphPattern, Query, Variable};
 use lusail_sparql::solution::Relation;
-use std::time::Instant;
 
 /// The result of executing one branch's subqueries.
 #[derive(Debug)]
@@ -30,22 +30,11 @@ pub struct SapeExecutor<'a> {
     pub federation: &'a Federation,
     pub handler: &'a RequestHandler,
     pub config: &'a LusailConfig,
-    /// Absolute deadline; checked between request waves.
-    pub deadline: Option<Instant>,
+    /// Deadline, result policy and warning sink for this query.
+    pub ctx: &'a RunContext,
 }
 
 impl SapeExecutor<'_> {
-    fn check_deadline(&self) -> Result<(), EngineError> {
-        if let Some(d) = self.deadline {
-            if Instant::now() > d {
-                return Err(EngineError::Timeout(
-                    self.config.timeout.unwrap_or_default(),
-                ));
-            }
-        }
-        Ok(())
-    }
-
     /// Run Algorithm 3 over `subqueries` with the given schedule and
     /// estimated cardinalities (parallel to `subqueries`). `bridges` are
     /// `FILTER(?a = ?b)` variable equalities from the branch: disconnected
@@ -63,7 +52,7 @@ impl SapeExecutor<'_> {
         let mut estimates = Vec::new();
 
         // ---- Phase 1: non-delayed subqueries, one concurrent wave ------
-        self.check_deadline()?;
+        self.ctx.check()?;
         // Pre-seed empty results so a subquery with no relevant sources
         // correctly contributes an *empty* relation (not "no relation",
         // which would drop it from the join and fabricate answers).
@@ -75,19 +64,29 @@ impl SapeExecutor<'_> {
             .iter()
             .flat_map(|&i| subqueries[i].sources.iter().map(move |&ep| (i, ep)))
             .collect();
-        let results = self.handler.map(wave.clone(), |(i, ep)| {
-            self.federation
-                .endpoint(ep)
-                .select(&subqueries[i].to_query())
-        });
+        let results = self.handler.map_cancellable(
+            wave.clone(),
+            self.ctx.deadline,
+            |_| Err(EndpointError::deadline("subquery wave")),
+            |(i, ep)| {
+                self.federation
+                    .endpoint(ep)
+                    .select_within(&subqueries[i].to_query(), self.ctx.deadline)
+            },
+        );
         for ((i, _), rel) in wave.into_iter().zip(results) {
-            let rel = rel?;
+            // A skipped endpoint contributes nothing to this subquery's
+            // partial: under `--partial`, answers from the remaining
+            // sources still flow through.
+            let what = format!("subquery #{}", subqueries[i].id);
+            let empty = Relation::new(subqueries[i].projection.clone());
+            let rel = self.ctx.absorb(&what, empty, rel)?;
             match &mut partials[i] {
                 Some(existing) => existing.append(rel),
                 slot @ None => *slot = Some(rel),
             }
         }
-        self.check_deadline()?;
+        self.ctx.check()?;
 
         for &i in &schedule.non_delayed {
             if subqueries[i].patterns.len() > 1 {
@@ -137,7 +136,7 @@ impl SapeExecutor<'_> {
         let mut delayed_executed = 0;
 
         while !remaining.is_empty() {
-            self.check_deadline()?;
+            self.ctx.check()?;
             // Most selective next, by refined cardinality (§4.2).
             let pick_pos = (0..remaining.len())
                 .min_by_key(|&p| {
@@ -167,7 +166,7 @@ impl SapeExecutor<'_> {
 
         // ---- Optional subqueries: bound-evaluate, then left-join --------
         for &i in &optionals {
-            self.check_deadline()?;
+            self.ctx.check()?;
             let rel = self.run_bound(&subqueries[i], &bindings)?;
             delayed_executed += 1;
             result = result.left_join(&rel);
@@ -197,15 +196,24 @@ impl SapeExecutor<'_> {
 
         let sources = self.refine_sources(sq, bind_var.as_ref(), bindings)?;
 
+        let what = format!("subquery #{}", sq.id);
         let mut out = Relation::new(sq.projection.clone());
         match bind_var {
             None => {
                 let wave: Vec<EndpointId> = sources;
-                let results = self.handler.map(wave, |ep| {
-                    self.federation.endpoint(ep).select(&sq.to_query())
-                });
+                let results = self.handler.map_cancellable(
+                    wave,
+                    self.ctx.deadline,
+                    |_| Err(EndpointError::deadline("bound join")),
+                    |ep| {
+                        self.federation
+                            .endpoint(ep)
+                            .select_within(&sq.to_query(), self.ctx.deadline)
+                    },
+                );
                 for rel in results {
-                    out.append(rel?);
+                    let empty = Relation::new(sq.projection.clone());
+                    out.append(self.ctx.absorb(&what, empty, rel)?);
                 }
             }
             Some(v) => {
@@ -218,18 +226,27 @@ impl SapeExecutor<'_> {
                 let wave: Vec<(usize, EndpointId)> = (0..blocks.len())
                     .flat_map(|b| sources.iter().map(move |&ep| (b, ep)))
                     .collect();
-                let results = self.handler.map(wave, |(b, ep)| {
-                    let q = sq.to_bound_query(std::slice::from_ref(&v), &blocks[b]);
-                    self.federation.endpoint(ep).select(&q)
-                });
+                let results = self.handler.map_cancellable(
+                    wave,
+                    self.ctx.deadline,
+                    |_| Err(EndpointError::deadline("bound join")),
+                    |(b, ep)| {
+                        let q = sq.to_bound_query(std::slice::from_ref(&v), &blocks[b]);
+                        self.federation
+                            .endpoint(ep)
+                            .select_within(&q, self.ctx.deadline)
+                    },
+                );
                 for rel in results {
                     // Bound queries may expose the bind variable even if it
                     // is not projected; align headers.
-                    out.append(rel?.project(&sq.projection.clone()));
+                    let empty = Relation::new(sq.projection.clone());
+                    let rel = self.ctx.absorb(&what, empty, rel)?;
+                    out.append(rel.project(&sq.projection.clone()));
                 }
             }
         }
-        self.check_deadline()?;
+        self.ctx.check()?;
         Ok(out)
     }
 
@@ -260,12 +277,23 @@ impl SapeExecutor<'_> {
             GraphPattern::Bgp(sq.patterns.clone())
                 .join(GraphPattern::Values(vec![v.clone()], sample)),
         );
-        let answers = self.handler.map(sq.sources.clone(), |ep| {
-            self.federation.endpoint(ep).ask(&probe)
-        });
+        let answers = self.handler.map_cancellable(
+            sq.sources.clone(),
+            self.ctx.deadline,
+            |_| Err(EndpointError::deadline("source refinement")),
+            |ep| {
+                self.federation
+                    .endpoint(ep)
+                    .ask_within(&probe, self.ctx.deadline)
+            },
+        );
+        let what = format!("source refinement for subquery #{}", sq.id);
         let mut kept: Vec<EndpointId> = Vec::new();
         for (ep, yes) in sq.sources.iter().copied().zip(answers) {
-            if yes? {
+            // Default `true`: keeping an unreachable source is safe — the
+            // actual subquery wave will skip (or fail on) it under the
+            // active policy.
+            if self.ctx.absorb(&what, true, yes)? {
                 kept.push(ep);
             }
         }

@@ -6,7 +6,8 @@
 
 use crate::cache::{pattern_key, QueryCache};
 use crate::error::EngineError;
-use lusail_federation::{EndpointId, Federation, RequestHandler};
+use crate::run::RunContext;
+use lusail_federation::{EndpointError, EndpointId, Federation, RequestHandler};
 use lusail_sparql::ast::{GraphPattern, Query, TriplePattern};
 
 /// Build the `ASK { tp }` probe for a pattern.
@@ -19,11 +20,17 @@ pub fn ask_query(tp: &TriplePattern) -> Query {
 /// Returns one source list per input pattern, in input order. When `cache`
 /// is `Some`, previously-probed patterns are answered from the cache
 /// without touching the network.
+///
+/// Probes respect `ctx`: the deadline bounds each `ASK`, and under the
+/// partial policy an unreachable endpoint is treated as irrelevant for
+/// the pattern (with a warning) instead of failing the query. Degraded
+/// source lists are not cached.
 pub fn select_sources(
     federation: &Federation,
     handler: &RequestHandler,
     cache: Option<&QueryCache>,
     patterns: &[TriplePattern],
+    ctx: &RunContext,
 ) -> Result<Vec<Vec<EndpointId>>, EngineError> {
     // Resolve cache hits first, then probe the misses in one parallel batch
     // (pattern × endpoint tasks).
@@ -47,19 +54,32 @@ pub fn select_sources(
         let tasks: Vec<(usize, EndpointId)> = (0..miss_repr.len())
             .flat_map(|mi| federation.ids().map(move |ep| (mi, ep)))
             .collect();
-        let answers = handler.map(tasks.clone(), |(mi, ep)| {
-            let q = ask_query(miss_repr[mi]);
-            federation.endpoint(ep).ask(&q)
-        });
+        let answers = handler.map_cancellable(
+            tasks.clone(),
+            ctx.deadline,
+            |_| Err(EndpointError::deadline("source selection")),
+            |(mi, ep)| {
+                let q = ask_query(miss_repr[mi]);
+                federation.endpoint(ep).ask_within(&q, ctx.deadline)
+            },
+        );
         let mut per_miss: Vec<Vec<EndpointId>> = vec![Vec::new(); miss_repr.len()];
+        let mut degraded = vec![false; miss_repr.len()];
         for ((mi, ep), yes) in tasks.into_iter().zip(answers) {
-            if yes? {
+            let what = format!("ASK probe for {}", pattern_key(miss_repr[mi]));
+            let (yes, skipped) = ctx.absorb_flagged(&what, false, yes)?;
+            degraded[mi] |= skipped;
+            if yes {
                 per_miss[mi].push(ep);
             }
         }
         for (mi, key) in miss_keys.iter().enumerate() {
             if let Some(c) = cache {
-                c.put_sources(key.clone(), per_miss[mi].clone());
+                // A source list computed while an endpoint was down
+                // describes the outage, not the data — don't cache it.
+                if !degraded[mi] {
+                    c.put_sources(key.clone(), per_miss[mi].clone());
+                }
             }
             for (i, r) in result.iter_mut().enumerate() {
                 if r.is_none() && &keys[i] == key {
@@ -128,6 +148,7 @@ mod tests {
             &handler,
             None,
             &[tp("?s", "http://x/p", "?o"), tp("?s", "http://x/q", "?o")],
+            &RunContext::unbounded(),
         )
         .unwrap();
         assert_eq!(srcs[0], vec![0, 2]);
@@ -140,7 +161,14 @@ mod tests {
         let handler = RequestHandler::new(4);
         let cache = QueryCache::new();
         let pats = [tp("?s", "http://x/p", "?o")];
-        select_sources(&fed, &handler, Some(&cache), &pats).unwrap();
+        select_sources(
+            &fed,
+            &handler,
+            Some(&cache),
+            &pats,
+            &RunContext::unbounded(),
+        )
+        .unwrap();
         let before = fed.total_traffic().requests;
         assert!(before > 0);
         // Same pattern, different variable names → cache hit, no traffic.
@@ -149,6 +177,7 @@ mod tests {
             &handler,
             Some(&cache),
             &[tp("?a", "http://x/p", "?b")],
+            &RunContext::unbounded(),
         )
         .unwrap();
         assert_eq!(fed.total_traffic().requests, before);
@@ -160,7 +189,7 @@ mod tests {
         let fed = fed();
         let handler = RequestHandler::new(4);
         let pats = [tp("?s", "http://x/p", "?o"), tp("?a", "http://x/p", "?b")];
-        let srcs = select_sources(&fed, &handler, None, &pats).unwrap();
+        let srcs = select_sources(&fed, &handler, None, &pats, &RunContext::unbounded()).unwrap();
         assert_eq!(srcs[0], srcs[1]);
         // 1 unique pattern × 3 endpoints.
         assert_eq!(fed.total_traffic().requests, 3);
@@ -170,7 +199,14 @@ mod tests {
     fn unknown_predicate_has_no_sources() {
         let fed = fed();
         let handler = RequestHandler::new(4);
-        let srcs = select_sources(&fed, &handler, None, &[tp("?s", "http://x/zzz", "?o")]).unwrap();
+        let srcs = select_sources(
+            &fed,
+            &handler,
+            None,
+            &[tp("?s", "http://x/zzz", "?o")],
+            &RunContext::unbounded(),
+        )
+        .unwrap();
         assert!(srcs[0].is_empty());
     }
 }

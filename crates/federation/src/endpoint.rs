@@ -1,14 +1,36 @@
 //! SPARQL endpoints: the trait all federated engines program against, and
 //! the simulated implementation used throughout the benchmarks.
 
+use crate::erh::{Admission, BreakerConfig, Deadline, EndpointHealth, HealthSnapshot};
 use crate::network::{NetworkProfile, RequestCounters, TrafficSnapshot};
 use lusail_sparql::ast::Query;
 use lusail_sparql::solution::Relation;
 use lusail_store::eval::QueryResult;
 use lusail_store::{Evaluator, Store, StoreStats};
+use std::time::Duration;
 
 /// A dense endpoint identifier within one [`Federation`](crate::Federation).
 pub type EndpointId = usize;
+
+/// How an endpoint request failed — the distinction drives both the
+/// circuit breaker (only transport failures trip it) and the
+/// partial-results policy (only transport/open-circuit failures may be
+/// absorbed into warnings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Transport-level trouble: connect/read failures, 5xx responses,
+    /// dropped connections. Retryable, and counts against the breaker.
+    Transport,
+    /// The server rejected this specific request (size limits, malformed
+    /// query or results, 4xx). Retrying the same request cannot help, and
+    /// the endpoint itself is healthy — never absorbed, never breaks.
+    Rejected,
+    /// Failed fast because the endpoint's circuit breaker is open.
+    CircuitOpen,
+    /// The query-level [`Deadline`] expired before or while the request
+    /// ran. Maps to a query timeout, not an endpoint fault.
+    Deadline,
+}
 
 /// A failed endpoint request — the HTTP-level errors a real federation
 /// sees (the paper's Table 2 records FedX failing with runtime exceptions
@@ -19,6 +41,54 @@ pub struct EndpointError {
     pub endpoint: String,
     /// What went wrong (e.g. "request exceeds 8192-byte limit").
     pub message: String,
+    /// The failure class (see [`FailureKind`]).
+    pub kind: FailureKind,
+}
+
+impl EndpointError {
+    /// A transport-level failure (retryable; trips the breaker).
+    pub fn transport(endpoint: impl Into<String>, message: impl Into<String>) -> Self {
+        EndpointError {
+            endpoint: endpoint.into(),
+            message: message.into(),
+            kind: FailureKind::Transport,
+        }
+    }
+
+    /// A request the server rejected (not retryable).
+    pub fn rejected(endpoint: impl Into<String>, message: impl Into<String>) -> Self {
+        EndpointError {
+            endpoint: endpoint.into(),
+            message: message.into(),
+            kind: FailureKind::Rejected,
+        }
+    }
+
+    /// A fast failure from an open circuit breaker.
+    pub fn circuit_open(endpoint: impl Into<String>, retry_in: Duration) -> Self {
+        EndpointError {
+            endpoint: endpoint.into(),
+            message: format!("circuit breaker open; retry in {retry_in:?}"),
+            kind: FailureKind::CircuitOpen,
+        }
+    }
+
+    /// An expired query deadline observed at this endpoint.
+    pub fn deadline(endpoint: impl Into<String>) -> Self {
+        EndpointError {
+            endpoint: endpoint.into(),
+            message: "query deadline expired".to_string(),
+            kind: FailureKind::Deadline,
+        }
+    }
+
+    /// Whether the partial-results policy may absorb this failure into a
+    /// warning: true for endpoint-down classes (transport, open circuit),
+    /// false for rejections (a correctness problem) and deadline expiry
+    /// (a query-level timeout).
+    pub fn is_skippable(&self) -> bool {
+        matches!(self.kind, FailureKind::Transport | FailureKind::CircuitOpen)
+    }
 }
 
 impl std::fmt::Display for EndpointError {
@@ -54,15 +124,31 @@ pub trait SparqlEndpoint: Send + Sync {
     /// A stable human-readable name (e.g. `"DrugBank"` or `"univ3"`).
     fn name(&self) -> &str;
 
-    /// Execute a query and return its result, or an error when the
-    /// endpoint rejects the request (size limits, server faults).
-    fn execute(&self, query: &Query) -> Result<QueryResult, EndpointError>;
+    /// Execute a query under a deadline budget and return its result, or
+    /// an error when the endpoint rejects the request (size limits,
+    /// server faults), its breaker is open, or the deadline expires.
+    fn execute_within(
+        &self,
+        query: &Query,
+        deadline: Deadline,
+    ) -> Result<QueryResult, EndpointError>;
+
+    /// Execute a query with no deadline.
+    fn execute(&self, query: &Query) -> Result<QueryResult, EndpointError> {
+        self.execute_within(query, Deadline::none())
+    }
 
     /// Traffic counters for this endpoint.
     fn traffic(&self) -> TrafficSnapshot;
 
     /// Reset traffic counters.
     fn reset_traffic(&self);
+
+    /// This endpoint's health registry snapshot (breaker state, failure
+    /// counters, latency EWMA), when the transport tracks one.
+    fn health(&self) -> Option<HealthSnapshot> {
+        None
+    }
 
     /// VoID-style statistics. This models the *preprocessing* pass the
     /// index-based systems need; index-free systems (Lusail, FedX) never
@@ -73,7 +159,12 @@ pub trait SparqlEndpoint: Send + Sync {
 
     /// Convenience: run an `ASK` query.
     fn ask(&self, query: &Query) -> Result<bool, EndpointError> {
-        Ok(match self.execute(query)? {
+        self.ask_within(query, Deadline::none())
+    }
+
+    /// Convenience: run an `ASK` query under a deadline.
+    fn ask_within(&self, query: &Query, deadline: Deadline) -> Result<bool, EndpointError> {
+        Ok(match self.execute_within(query, deadline)? {
             QueryResult::Boolean(b) => b,
             QueryResult::Solutions(r) => !r.is_empty(),
         })
@@ -81,13 +172,23 @@ pub trait SparqlEndpoint: Send + Sync {
 
     /// Convenience: run a `SELECT` query.
     fn select(&self, query: &Query) -> Result<Relation, EndpointError> {
-        Ok(self.execute(query)?.into_solutions())
+        self.select_within(query, Deadline::none())
+    }
+
+    /// Convenience: run a `SELECT` query under a deadline.
+    fn select_within(&self, query: &Query, deadline: Deadline) -> Result<Relation, EndpointError> {
+        Ok(self.execute_within(query, deadline)?.into_solutions())
     }
 
     /// Convenience: run a `SELECT (COUNT(…) AS ?c)` query and extract the
     /// count. Returns 0 when the shape is unexpected.
     fn count(&self, query: &Query) -> Result<usize, EndpointError> {
-        Ok(match self.execute(query)? {
+        self.count_within(query, Deadline::none())
+    }
+
+    /// Convenience: run a COUNT query under a deadline.
+    fn count_within(&self, query: &Query, deadline: Deadline) -> Result<usize, EndpointError> {
+        Ok(match self.execute_within(query, deadline)? {
             QueryResult::Solutions(r) => r
                 .rows()
                 .first()
@@ -116,6 +217,7 @@ pub struct SimulatedEndpoint {
     profile: NetworkProfile,
     limits: EndpointLimits,
     counters: RequestCounters,
+    health: EndpointHealth,
 }
 
 impl SimulatedEndpoint {
@@ -127,6 +229,7 @@ impl SimulatedEndpoint {
             profile,
             limits: EndpointLimits::default(),
             counters: RequestCounters::new(),
+            health: EndpointHealth::new(BreakerConfig::default()),
         }
     }
 
@@ -159,7 +262,23 @@ impl SparqlEndpoint for SimulatedEndpoint {
         &self.name
     }
 
-    fn execute(&self, query: &Query) -> Result<QueryResult, EndpointError> {
+    fn execute_within(
+        &self,
+        query: &Query,
+        deadline: Deadline,
+    ) -> Result<QueryResult, EndpointError> {
+        // The simulated transport itself never fails, but it consults the
+        // same registry as the HTTP transport so a fault-injection wrapper
+        // (or future failure mode) shares one breaker and --stats shows a
+        // uniform health row per endpoint.
+        if let Admission::Rejected { retry_in } = self.health.admit() {
+            return Err(EndpointError::circuit_open(&self.name, retry_in));
+        }
+        if deadline.expired() {
+            return Err(EndpointError::deadline(&self.name));
+        }
+        let started = std::time::Instant::now();
+
         // 1. The request travels as text.
         let text = lusail_sparql::serializer::serialize_query(query);
         let request_bytes = text.len();
@@ -168,24 +287,22 @@ impl SparqlEndpoint for SimulatedEndpoint {
                 // The request still consumed a round trip.
                 let cost = self.profile.request_cost(request_bytes, 0);
                 if !cost.is_zero() {
-                    std::thread::sleep(cost);
+                    std::thread::sleep(deadline.clamp(cost));
                 }
                 self.counters.record(request_bytes, 0, cost);
                 let head: String = text.chars().take(160).collect();
-                return Err(EndpointError {
-                    endpoint: self.name.clone(),
-                    message: format!(
+                return Err(EndpointError::rejected(
+                    &self.name,
+                    format!(
                         "request of {request_bytes} bytes exceeds the {max}-byte limit (starts: {head} …)"
                     ),
-                });
+                ));
             }
         }
 
         // 2. The endpoint parses and evaluates it, like a real server.
-        let parsed = lusail_sparql::parse_query(&text).map_err(|e| EndpointError {
-            endpoint: self.name.clone(),
-            message: format!("malformed query: {e}"),
-        })?;
+        let parsed = lusail_sparql::parse_query(&text)
+            .map_err(|e| EndpointError::rejected(&self.name, format!("malformed query: {e}")))?;
         let mut result = Evaluator::new(&self.store).query(&parsed);
         if let Some(max) = self.limits.max_result_rows {
             if let QueryResult::Solutions(r) = &mut result {
@@ -195,16 +312,24 @@ impl SparqlEndpoint for SimulatedEndpoint {
             }
         }
 
-        // 3. The response travels back; charge the link.
+        // 3. The response travels back; charge the link — but a client
+        // whose deadline lapses mid-transfer hangs up instead of waiting
+        // out the full simulated transfer.
         let response_bytes = match &result {
             QueryResult::Solutions(r) => r.wire_size(),
             QueryResult::Boolean(_) => 1,
         };
         let cost = self.profile.request_cost(request_bytes, response_bytes);
-        if !cost.is_zero() {
-            std::thread::sleep(cost);
+        let allowed = deadline.clamp(cost);
+        if !allowed.is_zero() {
+            std::thread::sleep(allowed);
+        }
+        if allowed < cost {
+            self.counters.record(request_bytes, 0, allowed);
+            return Err(EndpointError::deadline(&self.name));
         }
         self.counters.record(request_bytes, response_bytes, cost);
+        self.health.record_success(started.elapsed());
         Ok(result)
     }
 
@@ -216,6 +341,10 @@ impl SparqlEndpoint for SimulatedEndpoint {
         self.counters.reset();
     }
 
+    fn health(&self) -> Option<HealthSnapshot> {
+        Some(self.health.snapshot())
+    }
+
     fn collect_stats(&self) -> Option<StoreStats> {
         Some(StoreStats::collect(&self.store))
     }
@@ -224,6 +353,7 @@ impl SparqlEndpoint for SimulatedEndpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::erh::BreakerState;
     use lusail_rdf::{Graph, Term};
     use lusail_sparql::parse_query;
 
@@ -306,6 +436,7 @@ mod tests {
         let err = ep.select(&big).unwrap_err();
         assert!(err.message.contains("exceeds"), "{err}");
         assert_eq!(err.endpoint, "lim");
+        assert_eq!(err.kind, FailureKind::Rejected);
         // The failed request still counted against traffic.
         assert!(ep.traffic().requests >= 2);
     }
@@ -329,5 +460,47 @@ mod tests {
         let stats = ep.collect_stats().unwrap();
         assert_eq!(stats.triples, 2);
         assert!(stats.has_predicate("http://x/p"));
+    }
+
+    #[test]
+    fn expired_deadline_fails_before_evaluating() {
+        let ep = endpoint();
+        let q = parse_query("SELECT ?s WHERE { ?s <http://x/p> ?o }").unwrap();
+        let err = ep
+            .select_within(&q, Deadline::within(Duration::ZERO))
+            .unwrap_err();
+        assert_eq!(err.kind, FailureKind::Deadline);
+        assert_eq!(ep.traffic().requests, 0, "no traffic for a cancelled call");
+    }
+
+    #[test]
+    fn deadline_shorter_than_simulated_cost_times_out() {
+        let mut ep = endpoint();
+        ep.set_profile(NetworkProfile {
+            latency: Duration::from_millis(50),
+            bytes_per_sec: u64::MAX,
+        });
+        let q = parse_query("SELECT ?s WHERE { ?s <http://x/p> ?o }").unwrap();
+        let start = std::time::Instant::now();
+        let err = ep
+            .select_within(&q, Deadline::within(Duration::from_millis(10)))
+            .unwrap_err();
+        assert_eq!(err.kind, FailureKind::Deadline);
+        assert!(
+            start.elapsed() < Duration::from_millis(45),
+            "client must hang up at the deadline, not wait out the transfer"
+        );
+    }
+
+    #[test]
+    fn health_snapshot_tracks_successes() {
+        let ep = endpoint();
+        let q = parse_query("SELECT ?s WHERE { ?s <http://x/p> ?o }").unwrap();
+        ep.select(&q).unwrap();
+        ep.select(&q).unwrap();
+        let h = ep.health().unwrap();
+        assert_eq!(h.requests, 2);
+        assert_eq!(h.failures, 0);
+        assert_eq!(h.breaker, BreakerState::Closed);
     }
 }

@@ -1,12 +1,109 @@
 //! The Elastic Request Handler (ERH): a thread pool that fans requests out
-//! to endpoints in parallel (Section 2 of the paper).
+//! to endpoints in parallel (Section 2 of the paper), plus the failure
+//! machinery the pool's clients share — query [`Deadline`] budgets and the
+//! per-endpoint [`EndpointHealth`] registry with its circuit breaker.
 //!
-//! LADE uses it to evaluate check queries at all relevant endpoints
+//! LADE uses the pool to evaluate check queries at all relevant endpoints
 //! simultaneously; SAPE uses it to collect non-delayed subquery results
 //! with one logical thread per endpoint. The pool is sized by the number of
 //! available cores by default, exactly as the paper describes ERH sizing.
+//!
+//! Real Linked Data endpoints are slow, flaky, and frequently down, so the
+//! fan-out layer owns the fault semantics: a panicking task is caught and
+//! surfaced after its siblings complete (instead of poisoning the shared
+//! queue), an expired deadline cancels tasks that have not started yet, and
+//! the breaker lets repeated transport failures fail fast instead of each
+//! burning a full retry budget.
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A query-level time budget, threaded from `lusail query --timeout` down
+/// through every blocking call (check queries, subqueries, bound joins,
+/// HTTP attempts). `Deadline::none()` means unlimited.
+///
+/// Every layer asks the same deadline for `remaining()` instead of using a
+/// fixed per-attempt timeout, so a query that has already spent its budget
+/// on one slow endpoint does not grant later requests a fresh allowance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline(Option<Instant>);
+
+impl Deadline {
+    /// No deadline: every wait is unlimited.
+    pub fn none() -> Self {
+        Deadline(None)
+    }
+
+    /// A deadline `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Deadline(Some(Instant::now() + budget))
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(instant: Instant) -> Self {
+        Deadline(Some(instant))
+    }
+
+    /// The absolute expiry instant, if any.
+    pub fn instant(&self) -> Option<Instant> {
+        self.0
+    }
+
+    /// Whether the budget is exhausted.
+    pub fn expired(&self) -> bool {
+        match self.0 {
+            Some(at) => Instant::now() >= at,
+            None => false,
+        }
+    }
+
+    /// Time left, or `None` when unlimited. An expired deadline reports
+    /// `Some(ZERO)`, never a negative value.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.0
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// Clamp a per-attempt timeout to the remaining budget.
+    pub fn clamp(&self, timeout: Duration) -> Duration {
+        match self.remaining() {
+            Some(rem) => timeout.min(rem),
+            None => timeout,
+        }
+    }
+}
+
+/// A task that panicked inside [`RequestHandler::run_catch`], carrying the
+/// panic message (when it was a string payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The panic payload rendered as text, or `"task panicked"` for
+    /// non-string payloads.
+    pub message: String,
+}
+
+impl TaskPanic {
+    fn from_payload(payload: &(dyn Any + Send)) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "task panicked".to_string()
+        };
+        TaskPanic { message }
+    }
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
 
 /// A fixed-size worker pool for blocking endpoint requests.
 ///
@@ -40,8 +137,9 @@ impl RequestHandler {
         self.threads
     }
 
-    /// Execute all `tasks` on the pool, returning results in order.
-    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    /// Execute every task, catching panics per task so one bad task cannot
+    /// poison the queue or strand its siblings' results.
+    fn run_raw<T, F>(&self, tasks: Vec<F>) -> Vec<Result<T, Box<dyn Any + Send>>>
     where
         T: Send,
         F: FnOnce() -> T + Send,
@@ -50,15 +148,19 @@ impl RequestHandler {
         if n == 0 {
             return Vec::new();
         }
-        // Run small batches inline to avoid thread spawn overhead.
+        // Run small batches inline to avoid thread spawn overhead. Panics
+        // are still caught so later tasks in the batch run.
         if n == 1 || self.threads == 1 {
-            return tasks.into_iter().map(|f| f()).collect();
+            return tasks
+                .into_iter()
+                .map(|f| catch_unwind(AssertUnwindSafe(f)))
+                .collect();
         }
 
         // Workers pull from a shared queue (a locked iterator — std has no
         // MPMC channel) and push results through an MPSC channel.
         let queue = Mutex::new(tasks.into_iter().enumerate());
-        let (res_tx, res_rx) = mpsc::channel::<(usize, T)>();
+        let (res_tx, res_rx) = mpsc::channel::<(usize, Result<T, Box<dyn Any + Send>>)>();
 
         let workers = self.threads.min(n);
         std::thread::scope(|scope| {
@@ -66,17 +168,24 @@ impl RequestHandler {
                 let queue = &queue;
                 let res_tx = res_tx.clone();
                 scope.spawn(move || loop {
-                    let Some((i, f)) = queue.lock().expect("task queue poisoned").next() else {
+                    // A poisoned lock just means a sibling worker panicked
+                    // between tasks; the queue itself is still consistent.
+                    let next = queue
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner())
+                        .next();
+                    let Some((i, f)) = next else {
                         break;
                     };
-                    let r = f();
+                    let r = catch_unwind(AssertUnwindSafe(f));
                     if res_tx.send((i, r)).is_err() {
                         break;
                     }
                 });
             }
             drop(res_tx);
-            let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            let mut slots: Vec<Option<Result<T, Box<dyn Any + Send>>>> =
+                (0..n).map(|_| None).collect();
             while let Ok((i, r)) = res_rx.recv() {
                 slots[i] = Some(r);
             }
@@ -85,6 +194,51 @@ impl RequestHandler {
                 .map(|s| s.expect("worker completed every task"))
                 .collect()
         })
+    }
+
+    /// Execute all `tasks` on the pool, returning results in order.
+    ///
+    /// If a task panics, the remaining tasks still complete; the first
+    /// panic is then re-raised on the caller's thread (use
+    /// [`run_catch`](Self::run_catch) to observe panics as values instead).
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let mut first_panic: Option<Box<dyn Any + Send>> = None;
+        let out: Vec<Option<T>> = self
+            .run_raw(tasks)
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => Some(v),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                    None
+                }
+            })
+            .collect();
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        out.into_iter()
+            .map(|v| v.expect("non-panicked task has a result"))
+            .collect()
+    }
+
+    /// Like [`run`](Self::run), but panics become `Err(TaskPanic)` results
+    /// instead of resuming on the caller's thread.
+    pub fn run_catch<T, F>(&self, tasks: Vec<F>) -> Vec<Result<T, TaskPanic>>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        self.run_raw(tasks)
+            .into_iter()
+            .map(|r| r.map_err(|p| TaskPanic::from_payload(p.as_ref())))
+            .collect()
     }
 
     /// Map `f` over `items` in parallel, preserving order.
@@ -105,6 +259,47 @@ impl RequestHandler {
                 .collect(),
         )
     }
+
+    /// Map `f` over `items` in parallel, except that items whose task has
+    /// not started by the time `deadline` expires are *cancelled*: `f` is
+    /// never called for them and `cancelled(item)` supplies their result.
+    ///
+    /// This is how an exhausted query budget stops a wave mid-flight — the
+    /// requests already on the wire run to completion (their per-attempt
+    /// timeouts are clamped to the same deadline), but queued siblings are
+    /// dropped immediately instead of each dialling a dead endpoint.
+    pub fn map_cancellable<I, T, F, C>(
+        &self,
+        items: Vec<I>,
+        deadline: Deadline,
+        cancelled: C,
+        f: F,
+    ) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Send + Sync,
+        C: Fn(I) -> T + Send + Sync,
+    {
+        let f = Arc::new(f);
+        let cancelled = Arc::new(cancelled);
+        self.run(
+            items
+                .into_iter()
+                .map(|item| {
+                    let f = Arc::clone(&f);
+                    let cancelled = Arc::clone(&cancelled);
+                    move || {
+                        if deadline.expired() {
+                            cancelled(item)
+                        } else {
+                            f(item)
+                        }
+                    }
+                })
+                .collect(),
+        )
+    }
 }
 
 impl Default for RequestHandler {
@@ -113,11 +308,315 @@ impl Default for RequestHandler {
     }
 }
 
+/// Circuit-breaker tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive transport failures that open the breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects requests before letting one
+    /// half-open probe through.
+    pub cooldown: Duration,
+    /// Weight of the newest sample in the latency EWMA (0 < α ≤ 1).
+    pub ewma_alpha: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(500),
+            ewma_alpha: 0.2,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// A breaker that never opens (for endpoints that must keep absorbing
+    /// their own retry budget, e.g. in baseline comparisons).
+    pub fn disabled() -> Self {
+        BreakerConfig {
+            failure_threshold: u32::MAX,
+            ..Default::default()
+        }
+    }
+}
+
+/// The externally visible breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Failing fast: requests are rejected until the cooldown elapses.
+    Open,
+    /// Cooling down: exactly one probe request is admitted to test
+    /// whether the endpoint recovered.
+    HalfOpen,
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// The breaker's verdict on one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed: proceed normally.
+    Admitted,
+    /// Breaker half-open: proceed, but this request is the probe — its
+    /// outcome decides whether the breaker closes again.
+    Probe,
+    /// Breaker open: fail fast without touching the network.
+    Rejected {
+        /// Time until a probe will be admitted.
+        retry_in: Duration,
+    },
+}
+
+/// The pure circuit-breaker state machine: closed → open after N
+/// consecutive transport failures, open → half-open after the cooldown,
+/// half-open → closed on probe success / back to open on probe failure.
+///
+/// Time is passed in explicitly so tests can drive the machine with a
+/// synthetic clock; [`EndpointHealth`] wraps it with `Instant::now()` and
+/// the traffic counters.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: State,
+    consecutive_failures: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Closed,
+    Open { until: Instant },
+    HalfOpen { probe_started: Option<Instant> },
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: State::Closed,
+            consecutive_failures: 0,
+        }
+    }
+
+    /// The current state as seen at `now` (an open breaker whose cooldown
+    /// has elapsed still reports `Open` until a request half-opens it).
+    pub fn state(&self) -> BreakerState {
+        match self.state {
+            State::Closed => BreakerState::Closed,
+            State::Open { .. } => BreakerState::Open,
+            State::HalfOpen { .. } => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Consecutive transport failures recorded since the last success.
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Decide whether a request starting at `now` may proceed.
+    pub fn admit(&mut self, now: Instant) -> Admission {
+        match self.state {
+            State::Closed => Admission::Admitted,
+            State::Open { until } => {
+                if now >= until {
+                    self.state = State::HalfOpen {
+                        probe_started: Some(now),
+                    };
+                    Admission::Probe
+                } else {
+                    Admission::Rejected {
+                        retry_in: until.duration_since(now),
+                    }
+                }
+            }
+            State::HalfOpen { probe_started } => match probe_started {
+                // A probe that has been in flight longer than a full
+                // cooldown is presumed dead (its thread panicked or was
+                // abandoned); admit a replacement so the breaker cannot
+                // wedge half-open forever.
+                Some(started) if now.saturating_duration_since(started) <= self.config.cooldown => {
+                    Admission::Rejected {
+                        retry_in: self.config.cooldown - now.saturating_duration_since(started),
+                    }
+                }
+                _ => {
+                    self.state = State::HalfOpen {
+                        probe_started: Some(now),
+                    };
+                    Admission::Probe
+                }
+            },
+        }
+    }
+
+    /// Record a successful request: resets the failure streak and closes a
+    /// half-open breaker.
+    pub fn on_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = State::Closed;
+    }
+
+    /// Record a transport failure at `now`. Returns `true` when this
+    /// failure opened (or re-opened) the breaker.
+    pub fn on_failure(&mut self, now: Instant) -> bool {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            // The probe failed: straight back to open for a fresh cooldown.
+            State::HalfOpen { .. } => {
+                self.state = State::Open {
+                    until: now + self.config.cooldown,
+                };
+                true
+            }
+            State::Closed if self.consecutive_failures >= self.config.failure_threshold => {
+                self.state = State::Open {
+                    until: now + self.config.cooldown,
+                };
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A point-in-time view of one endpoint's health, exposed through
+/// `lusail query --stats` next to the traffic counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthSnapshot {
+    /// Logical requests admitted (including probes).
+    pub requests: u64,
+    /// Transport-failure attempts observed.
+    pub failures: u64,
+    /// Retry attempts beyond each request's first try.
+    pub retries: u64,
+    /// Requests rejected outright by an open breaker.
+    pub open_rejections: u64,
+    /// Current breaker state.
+    pub breaker: BreakerState,
+    /// Exponentially weighted moving average of successful-request
+    /// latency (zero until the first success).
+    pub latency_ewma: Duration,
+}
+
+/// Per-endpoint health registry: the [`CircuitBreaker`] plus failure/retry
+/// counters and a latency EWMA, shared by `HttpEndpoint`, the simulated
+/// transport, and the fault-injection wrapper.
+pub struct EndpointHealth {
+    inner: Mutex<HealthInner>,
+}
+
+struct HealthInner {
+    breaker: CircuitBreaker,
+    requests: u64,
+    failures: u64,
+    retries: u64,
+    open_rejections: u64,
+    ewma_micros: f64,
+    has_sample: bool,
+    ewma_alpha: f64,
+}
+
+impl EndpointHealth {
+    /// A healthy registry with the given breaker tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        EndpointHealth {
+            inner: Mutex::new(HealthInner {
+                breaker: CircuitBreaker::new(config),
+                requests: 0,
+                failures: 0,
+                retries: 0,
+                open_rejections: 0,
+                ewma_micros: 0.0,
+                has_sample: false,
+                ewma_alpha: config.ewma_alpha,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HealthInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Ask the breaker whether a request may proceed; admitted requests
+    /// (including probes) are counted, rejections are tallied separately.
+    pub fn admit(&self) -> Admission {
+        let mut inner = self.lock();
+        let admission = inner.breaker.admit(Instant::now());
+        match admission {
+            Admission::Admitted | Admission::Probe => inner.requests += 1,
+            Admission::Rejected { .. } => inner.open_rejections += 1,
+        }
+        admission
+    }
+
+    /// Record a successful request and fold its latency into the EWMA.
+    pub fn record_success(&self, latency: Duration) {
+        let mut inner = self.lock();
+        inner.breaker.on_success();
+        let sample = latency.as_secs_f64() * 1e6;
+        if inner.has_sample {
+            let alpha = inner.ewma_alpha;
+            inner.ewma_micros = alpha * sample + (1.0 - alpha) * inner.ewma_micros;
+        } else {
+            inner.ewma_micros = sample;
+            inner.has_sample = true;
+        }
+    }
+
+    /// Record one transport-failure attempt.
+    pub fn record_failure(&self) {
+        let mut inner = self.lock();
+        inner.failures += 1;
+        inner.breaker.on_failure(Instant::now());
+    }
+
+    /// Record one retry attempt (beyond a request's first try).
+    pub fn record_retry(&self) {
+        self.lock().retries += 1;
+    }
+
+    /// The breaker's current state.
+    pub fn state(&self) -> BreakerState {
+        self.lock().breaker.state()
+    }
+
+    /// A consistent snapshot of all health counters.
+    pub fn snapshot(&self) -> HealthSnapshot {
+        let inner = self.lock();
+        HealthSnapshot {
+            requests: inner.requests,
+            failures: inner.failures,
+            retries: inner.retries,
+            open_rejections: inner.open_rejections,
+            breaker: inner.breaker.state(),
+            latency_ewma: Duration::from_micros(inner.ewma_micros as u64),
+        }
+    }
+}
+
+impl Default for EndpointHealth {
+    fn default() -> Self {
+        EndpointHealth::new(BreakerConfig::default())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::time::{Duration, Instant};
 
     #[test]
     fn results_in_submission_order() {
@@ -162,5 +661,346 @@ mod tests {
     #[test]
     fn thread_count_clamped() {
         assert_eq!(RequestHandler::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn panicking_task_does_not_strand_siblings() {
+        // The satellite fix: task 13 panics, the other 39 still complete,
+        // and the caller sees the original panic afterwards.
+        let pool = RequestHandler::new(4);
+        let completed = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.map((0..40).collect(), |i: usize| {
+                if i == 13 {
+                    panic!("injected task failure");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            39,
+            "all sibling tasks must have completed"
+        );
+    }
+
+    #[test]
+    fn run_catch_converts_panics_to_errors() {
+        let pool = RequestHandler::new(4);
+        let out = pool.run_catch(
+            (0..6)
+                .map(|i| {
+                    move || {
+                        if i % 3 == 0 {
+                            panic!("boom {i}");
+                        }
+                        i
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        for (i, r) in out.iter().enumerate() {
+            if i % 3 == 0 {
+                let p = r.as_ref().unwrap_err();
+                assert_eq!(p.message, format!("boom {i}"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn run_catch_inline_path_catches_too() {
+        let pool = RequestHandler::new(1);
+        let out: Vec<Result<usize, TaskPanic>> = pool.run_catch(vec![|| panic!("solo"), || 5usize]);
+        assert!(out[0].is_err());
+        assert_eq!(*out[1].as_ref().unwrap(), 5);
+    }
+
+    #[test]
+    fn deadline_none_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+        assert_eq!(d.clamp(Duration::from_secs(9)), Duration::from_secs(9));
+    }
+
+    #[test]
+    fn deadline_budget_counts_down() {
+        let d = Deadline::within(Duration::from_millis(50));
+        assert!(!d.expired());
+        assert!(d.remaining().unwrap() <= Duration::from_millis(50));
+        assert!(d.clamp(Duration::from_secs(10)) <= Duration::from_millis(50));
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+        assert_eq!(d.clamp(Duration::from_secs(10)), Duration::ZERO);
+    }
+
+    #[test]
+    fn map_cancellable_skips_tasks_after_expiry() {
+        // One slow task burns the budget; queued siblings must be
+        // cancelled without running.
+        let pool = RequestHandler::new(1);
+        let ran = AtomicUsize::new(0);
+        let deadline = Deadline::within(Duration::from_millis(20));
+        let out = pool.map_cancellable(
+            (0..5).collect(),
+            deadline,
+            |_: usize| -1i64,
+            |i: usize| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i == 0 {
+                    std::thread::sleep(Duration::from_millis(40));
+                }
+                i as i64
+            },
+        );
+        assert_eq!(out[0], 0, "the in-flight task completes");
+        assert_eq!(&out[1..], &[-1, -1, -1, -1], "queued siblings cancel");
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn map_cancellable_without_deadline_runs_everything() {
+        let pool = RequestHandler::new(4);
+        let out = pool.map_cancellable(
+            (0..10).collect(),
+            Deadline::none(),
+            |_: usize| usize::MAX,
+            |i: usize| i,
+        );
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    // --- circuit breaker ---
+
+    fn test_config() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(100),
+            ewma_alpha: 0.5,
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_consecutive_failures() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(test_config());
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.on_failure(t0));
+        assert!(!b.on_failure(t0));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.on_failure(t0), "third failure must open the breaker");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(matches!(b.admit(t0), Admission::Rejected { .. }));
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(test_config());
+        b.on_failure(t0);
+        b.on_failure(t0);
+        b.on_success();
+        assert_eq!(b.consecutive_failures(), 0);
+        b.on_failure(t0);
+        b.on_failure(t0);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn open_breaker_half_opens_after_cooldown_and_admits_one_probe() {
+        let cfg = test_config();
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(cfg);
+        for _ in 0..cfg.failure_threshold {
+            b.on_failure(t0);
+        }
+        // Before the cooldown: rejected, with a sensible retry hint.
+        match b.admit(t0 + Duration::from_millis(40)) {
+            Admission::Rejected { retry_in } => {
+                assert_eq!(retry_in, Duration::from_millis(60));
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // After the cooldown: exactly one probe.
+        let t1 = t0 + cfg.cooldown + Duration::from_millis(1);
+        assert_eq!(b.admit(t1), Admission::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(
+            matches!(b.admit(t1), Admission::Rejected { .. }),
+            "half-open must admit exactly one probe"
+        );
+        // Probe success closes; probe failure would re-open.
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(t1), Admission::Admitted);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown() {
+        let cfg = test_config();
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(cfg);
+        for _ in 0..cfg.failure_threshold {
+            b.on_failure(t0);
+        }
+        let t1 = t0 + cfg.cooldown + Duration::from_millis(1);
+        assert_eq!(b.admit(t1), Admission::Probe);
+        assert!(b.on_failure(t1), "failed probe re-opens");
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(matches!(
+            b.admit(t1 + cfg.cooldown / 2),
+            Admission::Rejected { .. }
+        ));
+        assert_eq!(b.admit(t1 + cfg.cooldown), Admission::Probe);
+    }
+
+    #[test]
+    fn stale_probe_is_replaced() {
+        // A probe whose thread died must not wedge the breaker half-open.
+        let cfg = test_config();
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(cfg);
+        for _ in 0..cfg.failure_threshold {
+            b.on_failure(t0);
+        }
+        let t1 = t0 + cfg.cooldown;
+        assert_eq!(b.admit(t1), Admission::Probe);
+        // The probe never reports back; one full cooldown later a new
+        // request becomes the replacement probe.
+        let t2 = t1 + cfg.cooldown + Duration::from_millis(1);
+        assert_eq!(b.admit(t2), Admission::Probe);
+    }
+
+    /// The satellite property test: a seeded loop drives random
+    /// success/failure sequences through the machine with a synthetic
+    /// clock and checks every transition against a naive reference model.
+    #[test]
+    fn breaker_property_loop() {
+        // In-tree SplitMix64 step (workloads depends on this crate, so the
+        // generator cannot be imported here).
+        fn next_u64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        let seed: u64 = std::env::var("LUSAIL_CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42);
+        let mut rng = seed;
+        let cfg = test_config();
+        let base = Instant::now();
+
+        for round in 0..200 {
+            let mut b = CircuitBreaker::new(cfg);
+            let mut now = base;
+            let mut streak = 0u32;
+            let mut prev_state = b.state();
+            for step in 0..300 {
+                let ctx = format!("seed={seed} round={round} step={step}");
+                // Advance the synthetic clock by 0–49 ms.
+                now += Duration::from_millis(next_u64(&mut rng) % 50);
+                let admission = b.admit(now);
+                let state = b.state();
+                // Legal transitions out of admit: Open may become
+                // HalfOpen; Closed and HalfOpen never change here
+                // (a stale-probe replacement stays HalfOpen).
+                match (prev_state, state) {
+                    (a, b) if a == b => {}
+                    (BreakerState::Open, BreakerState::HalfOpen) => {}
+                    (a, b) => panic!("illegal admit transition {a:?} -> {b:?} ({ctx})"),
+                }
+                match (state, admission) {
+                    (BreakerState::Closed, Admission::Admitted) => {}
+                    (BreakerState::Open, Admission::Rejected { retry_in }) => {
+                        assert!(retry_in <= cfg.cooldown, "{ctx}");
+                    }
+                    (BreakerState::HalfOpen, Admission::Probe) => {}
+                    (BreakerState::HalfOpen, Admission::Rejected { .. }) => {}
+                    (s, a) => panic!("state {s:?} returned {a:?} ({ctx})"),
+                }
+                if admission == Admission::Probe {
+                    // Half-open admits exactly one probe: an immediate
+                    // second request must be rejected.
+                    assert!(
+                        matches!(b.admit(now), Admission::Rejected { .. }),
+                        "half-open admitted two probes ({ctx})"
+                    );
+                }
+                let proceed = !matches!(admission, Admission::Rejected { .. });
+                if proceed {
+                    if next_u64(&mut rng) % 100 < 40 {
+                        b.on_failure(now);
+                        streak += 1;
+                        if admission == Admission::Probe {
+                            assert_eq!(
+                                b.state(),
+                                BreakerState::Open,
+                                "failed probe must re-open ({ctx})"
+                            );
+                        } else if streak >= cfg.failure_threshold {
+                            assert_eq!(
+                                b.state(),
+                                BreakerState::Open,
+                                "threshold reached but breaker closed ({ctx})"
+                            );
+                        }
+                    } else {
+                        b.on_success();
+                        streak = 0;
+                        assert_eq!(
+                            b.state(),
+                            BreakerState::Closed,
+                            "success must close the breaker ({ctx})"
+                        );
+                    }
+                }
+                prev_state = b.state();
+            }
+        }
+    }
+
+    #[test]
+    fn health_registry_counts_and_ewma() {
+        let health = EndpointHealth::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(50),
+            ewma_alpha: 0.5,
+        });
+        assert_eq!(health.admit(), Admission::Admitted);
+        health.record_success(Duration::from_millis(10));
+        assert_eq!(health.admit(), Admission::Admitted);
+        health.record_retry();
+        health.record_success(Duration::from_millis(20));
+        let snap = health.snapshot();
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.failures, 0);
+        assert_eq!(snap.breaker, BreakerState::Closed);
+        // EWMA with α=0.5: 0.5·20ms + 0.5·10ms = 15ms.
+        assert_eq!(snap.latency_ewma, Duration::from_millis(15));
+
+        // Two failures open the breaker; admissions then fail fast.
+        health.record_failure();
+        health.record_failure();
+        assert_eq!(health.state(), BreakerState::Open);
+        assert!(matches!(health.admit(), Admission::Rejected { .. }));
+        let snap = health.snapshot();
+        assert_eq!(snap.failures, 2);
+        assert_eq!(snap.open_rejections, 1);
+
+        // After the cooldown a probe goes through and recovery closes it.
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(health.admit(), Admission::Probe);
+        health.record_success(Duration::from_millis(5));
+        assert_eq!(health.state(), BreakerState::Closed);
     }
 }

@@ -1,0 +1,453 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! [`FaultyEndpoint`] wraps any [`SparqlEndpoint`] and injects the failure
+//! modes real Linked Data endpoints exhibit — latency spikes, dropped
+//! connections, 5xx bursts, malformed result bodies, or a hard outage —
+//! driven by a seeded SplitMix64 stream so every run is reproducible from
+//! its seed. The wrapper owns the same retry budget and
+//! [`EndpointHealth`] breaker as the HTTP transport, so chaos tests
+//! exercise exactly the failure semantics production requests see.
+//!
+//! The fault profile is switchable at runtime (`set_faults`), which is how
+//! the chaos suite demonstrates breaker *recovery*: inject a hard outage,
+//! watch the breaker open, clear the faults, and assert the half-open
+//! probe closes it again.
+
+use crate::endpoint::{EndpointError, SparqlEndpoint};
+use crate::erh::{
+    Admission, BreakerConfig, BreakerState, Deadline, EndpointHealth, HealthSnapshot,
+};
+use crate::network::TrafficSnapshot;
+use lusail_sparql::ast::Query;
+use lusail_store::eval::QueryResult;
+use lusail_store::StoreStats;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Which faults to inject, with what probability. Rates are independent
+/// per attempt and checked in field order; the first one that fires wins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// The endpoint is completely down: every attempt is a dropped
+    /// connection, regardless of the rates below.
+    pub hard_down: bool,
+    /// Probability an attempt's connection drops mid-request.
+    pub drop_rate: f64,
+    /// Probability an attempt returns an HTTP 5xx.
+    pub error_rate: f64,
+    /// Probability an attempt returns an unparseable result body
+    /// (a *rejection*: not retried, does not trip the breaker — matching
+    /// how the HTTP client treats malformed documents).
+    pub malformed_rate: f64,
+    /// Probability an attempt first stalls for [`spike`](Self::spike).
+    pub spike_rate: f64,
+    /// Length of an injected latency spike.
+    pub spike: Duration,
+}
+
+impl FaultProfile {
+    /// No faults: the wrapper forwards transparently.
+    pub fn none() -> Self {
+        FaultProfile {
+            hard_down: false,
+            drop_rate: 0.0,
+            error_rate: 0.0,
+            malformed_rate: 0.0,
+            spike_rate: 0.0,
+            spike: Duration::ZERO,
+        }
+    }
+
+    /// A complete outage.
+    pub fn hard_down() -> Self {
+        FaultProfile {
+            hard_down: true,
+            ..FaultProfile::none()
+        }
+    }
+}
+
+/// Retry/backoff budget and the simulated cost of a failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultyConfig {
+    /// Additional attempts after the first, on injected transport faults.
+    pub retries: u32,
+    /// Sleep before the first retry; doubles on each subsequent one.
+    pub backoff: Duration,
+    /// Wall-clock cost of one failed attempt (the time a real client
+    /// would spend discovering the connection is dead).
+    pub failure_latency: Duration,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for FaultyConfig {
+    fn default() -> Self {
+        FaultyConfig {
+            retries: 2,
+            backoff: Duration::from_millis(2),
+            failure_latency: Duration::from_millis(5),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// In-tree SplitMix64 step (the `workloads` crate depends on this one, so
+/// its generator cannot be imported here).
+fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn roll(state: &mut u64) -> f64 {
+    (splitmix_next(state) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+struct FaultState {
+    profile: FaultProfile,
+    rng: u64,
+}
+
+/// A fault-injecting wrapper around another endpoint (see module docs).
+pub struct FaultyEndpoint {
+    inner: Arc<dyn SparqlEndpoint>,
+    config: FaultyConfig,
+    state: Mutex<FaultState>,
+    health: EndpointHealth,
+}
+
+impl FaultyEndpoint {
+    /// Wrap `inner`, injecting `profile` faults from the seeded stream.
+    pub fn new(inner: Arc<dyn SparqlEndpoint>, seed: u64, profile: FaultProfile) -> Self {
+        FaultyEndpoint::with_config(inner, seed, profile, FaultyConfig::default())
+    }
+
+    /// Wrap `inner` with explicit retry/breaker tuning.
+    pub fn with_config(
+        inner: Arc<dyn SparqlEndpoint>,
+        seed: u64,
+        profile: FaultProfile,
+        config: FaultyConfig,
+    ) -> Self {
+        let health = EndpointHealth::new(config.breaker);
+        FaultyEndpoint {
+            inner,
+            config,
+            state: Mutex::new(FaultState { profile, rng: seed }),
+            health,
+        }
+    }
+
+    /// Replace the fault profile at runtime (e.g. clear faults so a chaos
+    /// test can watch the breaker recover).
+    pub fn set_faults(&self, profile: FaultProfile) {
+        self.lock_state().profile = profile;
+    }
+
+    /// The active fault profile.
+    pub fn faults(&self) -> FaultProfile {
+        self.lock_state().profile
+    }
+
+    /// This wrapper's health registry snapshot (also available through
+    /// [`SparqlEndpoint::health`]).
+    pub fn health_snapshot(&self) -> HealthSnapshot {
+        self.health.snapshot()
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Decide what happens to one attempt, consuming randomness under the
+    /// lock so concurrent requests still draw a deterministic stream.
+    fn next_fault(&self) -> InjectedFault {
+        let mut state = self.lock_state();
+        let p = state.profile;
+        if p.hard_down {
+            return InjectedFault::Drop;
+        }
+        if p.drop_rate > 0.0 && roll(&mut state.rng) < p.drop_rate {
+            return InjectedFault::Drop;
+        }
+        if p.error_rate > 0.0 && roll(&mut state.rng) < p.error_rate {
+            return InjectedFault::ServerError;
+        }
+        if p.malformed_rate > 0.0 && roll(&mut state.rng) < p.malformed_rate {
+            return InjectedFault::Malformed;
+        }
+        if p.spike_rate > 0.0 && roll(&mut state.rng) < p.spike_rate {
+            return InjectedFault::Spike(p.spike);
+        }
+        InjectedFault::None
+    }
+}
+
+enum InjectedFault {
+    None,
+    Spike(Duration),
+    Drop,
+    ServerError,
+    Malformed,
+}
+
+impl SparqlEndpoint for FaultyEndpoint {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn execute_within(
+        &self,
+        query: &Query,
+        deadline: Deadline,
+    ) -> Result<QueryResult, EndpointError> {
+        if let Admission::Rejected { retry_in } = self.health.admit() {
+            return Err(EndpointError::circuit_open(self.name(), retry_in));
+        }
+        let attempts = self.config.retries + 1;
+        let mut made = 0u32;
+        let mut last_failure = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let pause = self.config.backoff * (1 << (attempt - 1).min(16));
+                std::thread::sleep(deadline.clamp(pause));
+                if deadline.expired() {
+                    return Err(EndpointError::deadline(self.name()));
+                }
+                self.health.record_retry();
+            }
+            if deadline.expired() {
+                return Err(EndpointError::deadline(self.name()));
+            }
+            made = attempt + 1;
+            let fault = self.next_fault();
+            let failure = match fault {
+                InjectedFault::None => None,
+                InjectedFault::Spike(spike) => {
+                    std::thread::sleep(deadline.clamp(spike));
+                    if deadline.expired() {
+                        return Err(EndpointError::deadline(self.name()));
+                    }
+                    None
+                }
+                InjectedFault::Drop => Some("connection dropped (injected fault)"),
+                InjectedFault::ServerError => Some("HTTP 503 (injected fault)"),
+                InjectedFault::Malformed => {
+                    // Malformed bodies are rejections, like the HTTP
+                    // client's "unparseable results": no retry, no breaker
+                    // strike — the transport itself worked.
+                    self.health.record_success(self.config.failure_latency);
+                    return Err(EndpointError::rejected(
+                        self.name(),
+                        "unparseable results (injected fault)",
+                    ));
+                }
+            };
+            if let Some(message) = failure {
+                std::thread::sleep(deadline.clamp(self.config.failure_latency));
+                if deadline.expired() {
+                    return Err(EndpointError::deadline(self.name()));
+                }
+                self.health.record_failure();
+                last_failure = message.to_string();
+                if self.health.state() == BreakerState::Open {
+                    break;
+                }
+                continue;
+            }
+            let started = Instant::now();
+            return match self.inner.execute_within(query, deadline) {
+                Ok(result) => {
+                    self.health.record_success(started.elapsed());
+                    Ok(result)
+                }
+                // The wrapped endpoint's own failures pass through with
+                // their kind intact; transport ones count against the
+                // shared breaker here (the wrapper *is* the transport).
+                Err(e) => {
+                    if e.kind == crate::FailureKind::Transport {
+                        self.health.record_failure();
+                    }
+                    Err(e)
+                }
+            };
+        }
+        Err(EndpointError::transport(
+            self.name(),
+            format!("giving up after {made} attempts: {last_failure}"),
+        ))
+    }
+
+    fn traffic(&self) -> TrafficSnapshot {
+        self.inner.traffic()
+    }
+
+    fn reset_traffic(&self) {
+        self.inner.reset_traffic();
+    }
+
+    fn health(&self) -> Option<HealthSnapshot> {
+        Some(self.health.snapshot())
+    }
+
+    fn collect_stats(&self) -> Option<StoreStats> {
+        self.inner.collect_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::{FailureKind, SimulatedEndpoint};
+    use crate::network::NetworkProfile;
+    use lusail_rdf::{Graph, Term};
+    use lusail_sparql::parse_query;
+    use lusail_store::Store;
+
+    fn wrapped(seed: u64, profile: FaultProfile, config: FaultyConfig) -> FaultyEndpoint {
+        let mut g = Graph::new();
+        g.add(
+            Term::iri("http://x/a"),
+            Term::iri("http://x/p"),
+            Term::iri("http://x/b"),
+        );
+        let inner = Arc::new(SimulatedEndpoint::new(
+            "chaotic",
+            Store::from_graph(&g),
+            NetworkProfile::instant(),
+        ));
+        FaultyEndpoint::with_config(inner, seed, profile, config)
+    }
+
+    fn fast_config() -> FaultyConfig {
+        FaultyConfig {
+            retries: 2,
+            backoff: Duration::from_millis(1),
+            failure_latency: Duration::from_millis(1),
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_millis(30),
+                ewma_alpha: 0.2,
+            },
+        }
+    }
+
+    fn query() -> Query {
+        parse_query("SELECT ?s WHERE { ?s <http://x/p> ?o }").unwrap()
+    }
+
+    #[test]
+    fn no_faults_forwards_transparently() {
+        let ep = wrapped(1, FaultProfile::none(), fast_config());
+        assert_eq!(ep.select(&query()).unwrap().len(), 1);
+        assert_eq!(ep.name(), "chaotic");
+        let h = ep.health_snapshot();
+        assert_eq!((h.requests, h.failures), (1, 0));
+    }
+
+    #[test]
+    fn hard_down_burns_retries_then_opens_breaker() {
+        let ep = wrapped(2, FaultProfile::hard_down(), fast_config());
+        let err = ep.select(&query()).unwrap_err();
+        assert_eq!(err.kind, FailureKind::Transport);
+        assert!(err.message.contains("3 attempts"), "{err}");
+        assert!(err.message.contains("dropped"), "{err}");
+        // Threshold 3 was hit during those attempts: now failing fast.
+        let err = ep.select(&query()).unwrap_err();
+        assert_eq!(err.kind, FailureKind::CircuitOpen);
+        assert_eq!(ep.health_snapshot().breaker, BreakerState::Open);
+    }
+
+    #[test]
+    fn recovery_after_faults_clear() {
+        let ep = wrapped(3, FaultProfile::hard_down(), fast_config());
+        assert!(ep.select(&query()).is_err());
+        assert_eq!(ep.health_snapshot().breaker, BreakerState::Open);
+        ep.set_faults(FaultProfile::none());
+        std::thread::sleep(Duration::from_millis(40));
+        // Cooldown elapsed: the probe goes through and closes the breaker.
+        assert_eq!(ep.select(&query()).unwrap().len(), 1);
+        assert_eq!(ep.health_snapshot().breaker, BreakerState::Closed);
+    }
+
+    #[test]
+    fn malformed_bodies_are_rejections_not_transport_failures() {
+        let ep = wrapped(
+            4,
+            FaultProfile {
+                malformed_rate: 1.0,
+                ..FaultProfile::none()
+            },
+            fast_config(),
+        );
+        let err = ep.select(&query()).unwrap_err();
+        assert_eq!(err.kind, FailureKind::Rejected);
+        assert!(err.message.contains("unparseable"), "{err}");
+        let h = ep.health_snapshot();
+        assert_eq!(h.failures, 0, "rejections must not trip the breaker");
+        assert_eq!(h.breaker, BreakerState::Closed);
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let profile = FaultProfile {
+            drop_rate: 0.4,
+            error_rate: 0.2,
+            ..FaultProfile::none()
+        };
+        let observe = |seed: u64| -> Vec<bool> {
+            let ep = wrapped(seed, profile, fast_config());
+            (0..30).map(|_| ep.select(&query()).is_ok()).collect()
+        };
+        assert_eq!(observe(42), observe(42), "equal seeds must replay");
+        assert_ne!(observe(42), observe(43), "different seeds must diverge");
+    }
+
+    #[test]
+    fn latency_spikes_delay_but_succeed() {
+        let ep = wrapped(
+            5,
+            FaultProfile {
+                spike_rate: 1.0,
+                spike: Duration::from_millis(25),
+                ..FaultProfile::none()
+            },
+            fast_config(),
+        );
+        let started = Instant::now();
+        assert_eq!(ep.select(&query()).unwrap().len(), 1);
+        assert!(started.elapsed() >= Duration::from_millis(25));
+        // A spike that outlives the query budget turns into a deadline
+        // error instead of stalling the full spike.
+        let started = Instant::now();
+        let err = ep
+            .select_within(&query(), Deadline::within(Duration::from_millis(5)))
+            .unwrap_err();
+        assert_eq!(err.kind, FailureKind::Deadline);
+        assert!(started.elapsed() < Duration::from_millis(25));
+    }
+
+    #[test]
+    fn five_xx_bursts_are_retried() {
+        // error_rate 1.0 exhausts the budget with 503s.
+        let ep = wrapped(
+            6,
+            FaultProfile {
+                error_rate: 1.0,
+                ..FaultProfile::none()
+            },
+            fast_config(),
+        );
+        let err = ep.select(&query()).unwrap_err();
+        assert_eq!(err.kind, FailureKind::Transport);
+        assert!(err.message.contains("503"), "{err}");
+        let h = ep.health_snapshot();
+        assert_eq!(h.retries, 2);
+        assert_eq!(h.failures, 3);
+    }
+}

@@ -19,6 +19,9 @@
 //! reported through the same `simulated_network_time` field).
 
 use crate::endpoint::{EndpointError, SparqlEndpoint};
+use crate::erh::{
+    Admission, BreakerConfig, BreakerState, Deadline, EndpointHealth, HealthSnapshot,
+};
 use crate::network::{RequestCounters, TrafficSnapshot};
 use crate::results_json;
 use lusail_sparql::ast::Query;
@@ -129,6 +132,7 @@ pub struct HttpEndpoint {
     url: Url,
     config: HttpConfig,
     counters: RequestCounters,
+    health: EndpointHealth,
     /// Pooled keep-alive connection, reused across requests.
     conn: Mutex<Option<TcpStream>>,
 }
@@ -138,15 +142,14 @@ impl HttpEndpoint {
     /// `http://127.0.0.1:8890/sparql`.
     pub fn new(name: impl Into<String>, url: &str) -> Result<Self, EndpointError> {
         let name = name.into();
-        let url = Url::parse(url).map_err(|message| EndpointError {
-            endpoint: name.clone(),
-            message,
-        })?;
+        let url =
+            Url::parse(url).map_err(|message| EndpointError::rejected(name.clone(), message))?;
         Ok(HttpEndpoint {
             name,
             url,
             config: HttpConfig::default(),
             counters: RequestCounters::new(),
+            health: EndpointHealth::new(BreakerConfig::default()),
             conn: Mutex::new(None),
         })
     }
@@ -157,23 +160,21 @@ impl HttpEndpoint {
         self
     }
 
+    /// Override the circuit-breaker tuning.
+    pub fn with_breaker(mut self, config: BreakerConfig) -> Self {
+        self.health = EndpointHealth::new(config);
+        self
+    }
+
     /// The endpoint URL.
     pub fn url(&self) -> &Url {
         &self.url
     }
 
-    fn error(&self, message: impl Into<String>) -> EndpointError {
-        EndpointError {
-            endpoint: self.name.clone(),
-            message: message.into(),
-        }
-    }
-
-    /// One attempt: send the request, read one full response. Transport
-    /// failures come back as `Err(io)`; any complete HTTP response — even
-    /// a 500 — is `Ok`.
-    fn attempt(&self, request: &[u8]) -> io::Result<HttpResponse> {
-        let deadline = Instant::now() + self.config.request_timeout;
+    /// One attempt: send the request, read one full response before
+    /// `deadline`. Transport failures come back as `Err(io)`; any complete
+    /// HTTP response — even a 500 — is `Ok`.
+    fn attempt(&self, request: &[u8], deadline: Instant) -> io::Result<HttpResponse> {
         let mut pooled = true;
         let stream = match self.conn.lock().expect("conn lock poisoned").take() {
             Some(s) => s,
@@ -242,28 +243,56 @@ impl SparqlEndpoint for HttpEndpoint {
         &self.name
     }
 
-    fn execute(&self, query: &Query) -> Result<QueryResult, EndpointError> {
+    fn execute_within(
+        &self,
+        query: &Query,
+        deadline: Deadline,
+    ) -> Result<QueryResult, EndpointError> {
+        // Consult the breaker first: an open circuit fails fast without
+        // touching the network or burning any of the retry budget.
+        if let Admission::Rejected { retry_in } = self.health.admit() {
+            return Err(EndpointError::circuit_open(&self.name, retry_in));
+        }
         let text = lusail_sparql::serializer::serialize_query(query);
         let request = self.build_request(&text);
         let attempts = self.config.retries + 1;
+        let mut made = 0u32;
         let mut last_failure = String::new();
         for attempt in 0..attempts {
             if attempt > 0 {
-                std::thread::sleep(self.config.backoff * (1 << (attempt - 1).min(16)));
+                let pause = self.config.backoff * (1 << (attempt - 1).min(16));
+                // Backoff sleeps never overrun the query budget.
+                std::thread::sleep(deadline.clamp(pause));
+                if deadline.expired() {
+                    return Err(EndpointError::deadline(&self.name));
+                }
+                self.health.record_retry();
             }
+            // Each attempt gets the smaller of the per-attempt timeout and
+            // whatever is left of the query budget.
+            let budget = deadline.clamp(self.config.request_timeout);
+            if budget.is_zero() {
+                return Err(EndpointError::deadline(&self.name));
+            }
+            made = attempt + 1;
             let started = Instant::now();
-            match self.attempt(&request) {
+            match self.attempt(&request, started + budget) {
                 Ok(resp) => {
                     self.counters
                         .record(request.len(), resp.wire_bytes, started.elapsed());
                     match resp.status {
                         200 => {
+                            self.health.record_success(started.elapsed());
                             let body = String::from_utf8_lossy(&resp.body);
                             return results_json::parse(&body).map_err(|e| {
-                                self.error(format!("unparseable results from {}: {e}", self.url))
+                                EndpointError::rejected(
+                                    &self.name,
+                                    format!("unparseable results from {}: {e}", self.url),
+                                )
                             });
                         }
                         500..=599 => {
+                            self.health.record_failure();
                             last_failure = format!(
                                 "HTTP {} from {}: {}",
                                 resp.status,
@@ -274,23 +303,38 @@ impl SparqlEndpoint for HttpEndpoint {
                         status => {
                             // 4xx (and anything else unexpected) is the
                             // server rejecting *this query* — don't retry.
-                            return Err(self.error(format!(
-                                "HTTP {status} from {}: {}",
-                                self.url,
-                                resp.body_head()
-                            )));
+                            // The transport itself worked, so the breaker
+                            // sees a success.
+                            self.health.record_success(started.elapsed());
+                            return Err(EndpointError::rejected(
+                                &self.name,
+                                format!("HTTP {status} from {}: {}", self.url, resp.body_head()),
+                            ));
                         }
                     }
                 }
                 Err(e) => {
                     self.counters.record(request.len(), 0, started.elapsed());
+                    if deadline.expired() {
+                        // Our own budget clipped this attempt; that is a
+                        // query timeout, not evidence against the endpoint.
+                        return Err(EndpointError::deadline(&self.name));
+                    }
+                    self.health.record_failure();
                     last_failure = format!("transport error talking to {}: {e}", self.url);
                 }
             }
+            if self.health.state() == BreakerState::Open {
+                // The breaker opened mid-request (possibly fed by parallel
+                // requests): stop retrying a circuit everyone else is
+                // already failing fast on.
+                break;
+            }
         }
-        Err(self.error(format!(
-            "giving up after {attempts} attempts: {last_failure}"
-        )))
+        Err(EndpointError::transport(
+            &self.name,
+            format!("giving up after {made} attempts: {last_failure}"),
+        ))
     }
 
     fn traffic(&self) -> TrafficSnapshot {
@@ -299,6 +343,10 @@ impl SparqlEndpoint for HttpEndpoint {
 
     fn reset_traffic(&self) {
         self.counters.reset();
+    }
+
+    fn health(&self) -> Option<HealthSnapshot> {
+        Some(self.health.snapshot())
     }
 }
 
@@ -764,6 +812,116 @@ mod tests {
             });
         let err = ep.execute(&ask_query()).unwrap_err();
         assert!(err.message.contains("transport error"), "{err}");
+        assert_eq!(err.kind, crate::FailureKind::Transport);
         assert_eq!(ep.traffic().requests, 2);
+    }
+
+    #[test]
+    fn open_breaker_fails_fast_without_touching_the_network() {
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let ep = HttpEndpoint::new("dead", &format!("http://127.0.0.1:{port}/sparql"))
+            .unwrap()
+            .with_config(test_config())
+            .with_breaker(BreakerConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_secs(30),
+                ewma_alpha: 0.2,
+            });
+        // First call burns the retry budget (3 attempts) and opens the
+        // breaker; the second fails fast with no new traffic.
+        let err = ep.execute(&ask_query()).unwrap_err();
+        assert_eq!(err.kind, crate::FailureKind::Transport);
+        let requests_after_first = ep.traffic().requests;
+        assert_eq!(requests_after_first, 3);
+
+        let started = Instant::now();
+        let err = ep.execute(&ask_query()).unwrap_err();
+        assert_eq!(err.kind, crate::FailureKind::CircuitOpen);
+        assert!(err.message.contains("circuit breaker open"), "{err}");
+        assert!(
+            started.elapsed() < Duration::from_millis(50),
+            "must not dial"
+        );
+        assert_eq!(ep.traffic().requests, requests_after_first);
+
+        let h = ep.health().unwrap();
+        assert_eq!(h.breaker, BreakerState::Open);
+        assert_eq!(h.failures, 3);
+        assert_eq!(h.open_rejections, 1);
+    }
+
+    #[test]
+    fn breaker_recovers_via_half_open_probe() {
+        let boolean = results_json::boolean_json(true);
+        let (url, server) = canned_server(vec![ok_response(&boolean)]);
+        // Open the breaker by hand, with a cooldown short enough to lapse.
+        let ep = HttpEndpoint::new("flappy", &url)
+            .unwrap()
+            .with_config(test_config())
+            .with_breaker(BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_millis(30),
+                ewma_alpha: 0.2,
+            });
+        ep.health.record_failure();
+        ep.health.record_failure();
+        assert_eq!(ep.health().unwrap().breaker, BreakerState::Open);
+        assert!(matches!(
+            ep.execute(&ask_query()),
+            Err(e) if e.kind == crate::FailureKind::CircuitOpen
+        ));
+        std::thread::sleep(Duration::from_millis(40));
+        // The cooldown elapsed: the next request is the probe, it
+        // succeeds, and the breaker closes again.
+        assert!(ep.ask(&ask_query()).unwrap());
+        assert_eq!(ep.health().unwrap().breaker, BreakerState::Closed);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_fails_before_dialling() {
+        let (url, _server) = canned_server(vec![]);
+        let ep = HttpEndpoint::new("late", &url)
+            .unwrap()
+            .with_config(test_config());
+        let err = ep
+            .execute_within(&ask_query(), Deadline::within(Duration::ZERO))
+            .unwrap_err();
+        assert_eq!(err.kind, crate::FailureKind::Deadline);
+        assert_eq!(ep.traffic().requests, 0);
+    }
+
+    #[test]
+    fn deadline_clamps_the_attempt_timeout() {
+        // A server that accepts but never answers: the attempt must give
+        // up when the query budget lapses, long before request_timeout.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let conns: Vec<_> = (0..1).filter_map(|_| listener.accept().ok()).collect();
+            std::thread::sleep(Duration::from_millis(300));
+            drop(conns);
+        });
+        let ep = HttpEndpoint::new("silent", &format!("http://{addr}/sparql"))
+            .unwrap()
+            .with_config(HttpConfig {
+                request_timeout: Duration::from_secs(30),
+                retries: 2,
+                ..test_config()
+            });
+        let started = Instant::now();
+        let err = ep
+            .execute_within(&ask_query(), Deadline::within(Duration::from_millis(60)))
+            .unwrap_err();
+        assert_eq!(err.kind, crate::FailureKind::Deadline, "{err}");
+        assert!(
+            started.elapsed() < Duration::from_millis(250),
+            "query budget must clip the 30 s per-attempt timeout: {:?}",
+            started.elapsed()
+        );
+        server.join().unwrap();
     }
 }

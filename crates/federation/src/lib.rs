@@ -35,14 +35,21 @@
 
 pub mod endpoint;
 pub mod erh;
+pub mod fault;
 pub mod federation;
 pub mod http;
 pub mod json;
 pub mod network;
 pub mod results_json;
 
-pub use endpoint::{EndpointError, EndpointId, EndpointLimits, SimulatedEndpoint, SparqlEndpoint};
-pub use erh::RequestHandler;
+pub use endpoint::{
+    EndpointError, EndpointId, EndpointLimits, FailureKind, SimulatedEndpoint, SparqlEndpoint,
+};
+pub use erh::{
+    Admission, BreakerConfig, BreakerState, CircuitBreaker, Deadline, EndpointHealth,
+    HealthSnapshot, RequestHandler, TaskPanic,
+};
+pub use fault::{FaultProfile, FaultyConfig, FaultyEndpoint};
 pub use federation::Federation;
 pub use http::{HttpConfig, HttpEndpoint};
 pub use network::{NetworkProfile, RequestCounters, TrafficSnapshot};

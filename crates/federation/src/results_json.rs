@@ -27,6 +27,14 @@ pub const SOLUTIONS_TAIL: &str = "]}}";
 /// `results.bindings` array. Append [`binding_json`] rows (comma-separated)
 /// and [`SOLUTIONS_TAIL`] to complete it.
 pub fn head_json(vars: &[Variable]) -> String {
+    head_json_with_warnings(vars, &[])
+}
+
+/// Like [`head_json`], but carrying execution warnings (the
+/// partial-results contract: a degraded answer names what it is missing).
+/// The `"warnings"` array is a Lusail extension to the head; conforming
+/// consumers ignore unknown head members, and [`parse_full`] surfaces it.
+pub fn head_json_with_warnings(vars: &[Variable], warnings: &[String]) -> String {
     let mut out = String::from("{\"head\":{\"vars\":[");
     for (i, v) in vars.iter().enumerate() {
         if i > 0 {
@@ -36,7 +44,20 @@ pub fn head_json(vars: &[Variable]) -> String {
         out.push_str(&escape(v.name()));
         out.push('"');
     }
-    out.push_str("]},\"results\":{\"bindings\":[");
+    out.push(']');
+    if !warnings.is_empty() {
+        out.push_str(",\"warnings\":[");
+        for (i, w) in warnings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&escape(w));
+            out.push('"');
+        }
+        out.push(']');
+    }
+    out.push_str("},\"results\":{\"bindings\":[");
     out
 }
 
@@ -112,7 +133,27 @@ pub fn serialize(result: &QueryResult) -> String {
 /// Variables come from `head.vars` in document order; bindings mentioning
 /// a variable absent from the head are rejected (a malformed server).
 pub fn parse(text: &str) -> Result<QueryResult, ResultsJsonError> {
+    Ok(parse_full(text)?.0)
+}
+
+/// Like [`parse`], but also returning any `head.warnings` the server
+/// attached (empty for standard documents).
+pub fn parse_full(text: &str) -> Result<(QueryResult, Vec<String>), ResultsJsonError> {
     let doc = Json::parse(text)?;
+    let warnings: Vec<String> = doc
+        .get("head")
+        .and_then(|h| h.get("warnings"))
+        .and_then(Json::as_array)
+        .map(|ws| {
+            ws.iter()
+                .filter_map(|w| w.as_str().map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok((parse_result(&doc)?, warnings))
+}
+
+fn parse_result(doc: &Json) -> Result<QueryResult, ResultsJsonError> {
     if let Some(b) = doc.get("boolean") {
         let b = b
             .as_bool()
@@ -298,6 +339,31 @@ mod tests {
         }
         streamed.push_str(SOLUTIONS_TAIL);
         assert_eq!(streamed, serialize(&QueryResult::Solutions(rel)));
+    }
+
+    #[test]
+    fn warnings_round_trip_in_the_head() {
+        let rel = all_kinds_relation();
+        let warnings = vec![
+            "endpoint univ2 unreachable for sq1: connection refused".to_string(),
+            "with \"quotes\" and\nnewlines".to_string(),
+        ];
+        let mut doc = head_json_with_warnings(rel.vars(), &warnings);
+        for (i, row) in rel.rows().iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&binding_json(rel.vars(), row));
+        }
+        doc.push_str(SOLUTIONS_TAIL);
+        let (back, got) = parse_full(&doc).unwrap();
+        assert_eq!(back, QueryResult::Solutions(rel));
+        assert_eq!(got, warnings);
+        // A warning-free head emits no "warnings" member at all.
+        assert!(!head_json(&[v("x")]).contains("warnings"));
+        // Standard documents parse with no warnings.
+        let (_, none) = parse_full(&serialize(&QueryResult::Boolean(true))).unwrap();
+        assert!(none.is_empty());
     }
 
     #[test]

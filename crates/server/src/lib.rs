@@ -50,19 +50,26 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Worker threads handling connections (the server-side analogue of
     /// the paper's elastic request handlers).
     pub workers: usize,
     /// Accepted connections queued beyond the busy workers; further
-    /// clients wait in the kernel's TCP backlog.
+    /// clients are turned away with HTTP 503 + `Retry-After` instead of
+    /// piling up unboundedly.
     pub backlog: usize,
     /// Maximum accepted SPARQL query size in bytes (HTTP 413 beyond it).
     pub max_query_bytes: usize,
     /// Deadline for reading one full request off a connection. Also
     /// bounds how long an idle keep-alive connection is held open.
     pub read_deadline: Duration,
+    /// Endpoint name echoed in JSON error bodies, so a federated client
+    /// aggregating failures across many endpoints can tell them apart.
+    pub name: String,
+    /// The `Retry-After` hint sent with 503 responses when the worker
+    /// pool and backlog are saturated.
+    pub retry_after: Duration,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +79,8 @@ impl Default for ServerConfig {
             backlog: 8,
             max_query_bytes: 1 << 20,
             read_deadline: Duration::from_secs(30),
+            name: "lusail".to_string(),
+            retry_after: Duration::from_secs(1),
         }
     }
 }
@@ -115,7 +124,7 @@ impl SparqlServer {
         for _ in 0..self.config.workers.max(1) {
             let rx = Arc::clone(&conn_rx);
             let store = Arc::clone(&self.store);
-            let config = self.config;
+            let config = self.config.clone();
             let shutdown = Arc::clone(&shutdown);
             let served = Arc::clone(&requests_served);
             workers.push(std::thread::spawn(move || loop {
@@ -129,18 +138,25 @@ impl SparqlServer {
 
         let listener = self.listener;
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_config = self.config.clone();
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if accept_shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 match stream {
-                    // A full queue blocks here, bounding in-flight work.
-                    Ok(s) => {
-                        if conn_tx.send(s).is_err() {
-                            break;
+                    Ok(s) => match conn_tx.try_send(s) {
+                        Ok(()) => {}
+                        // Pool and backlog saturated: shed load with an
+                        // explicit 503 + Retry-After instead of letting
+                        // clients queue without bound. The write happens
+                        // on the accept thread, so it must never block
+                        // long; the body is a few hundred bytes at most.
+                        Err(mpsc::TrySendError::Full(s)) => {
+                            write_overloaded(&s, &accept_config);
                         }
-                    }
+                        Err(mpsc::TrySendError::Disconnected(_)) => break,
+                    },
                     Err(_) => continue,
                 }
             }
@@ -232,8 +248,49 @@ fn status_text(status: u16) -> &'static str {
         413 => "Content Too Large",
         415 => "Unsupported Media Type",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Error",
     }
+}
+
+/// The JSON error body: `{"error": …, "endpoint": …}`. Naming the endpoint
+/// lets a federated client attribute the failure without relying on which
+/// URL it happened to dial.
+fn error_body(message: &str, endpoint: &str) -> String {
+    format!(
+        "{{\"error\":\"{}\",\"endpoint\":\"{}\"}}",
+        lusail_federation::json::escape(message),
+        lusail_federation::json::escape(endpoint)
+    )
+}
+
+/// Turn away a connection the pool cannot absorb: 503 with a `Retry-After`
+/// hint, written from the accept thread (bounded by a short write timeout
+/// so a slow client cannot stall accepting).
+fn write_overloaded(stream: &TcpStream, config: &ServerConfig) {
+    stream
+        .set_write_timeout(Some(Duration::from_millis(250)))
+        .ok();
+    let body = error_body(
+        &format!(
+            "server overloaded: {} workers busy and {} connections queued",
+            config.workers.max(1),
+            config.backlog.max(1)
+        ),
+        &config.name,
+    );
+    let retry_after = config.retry_after.as_secs().max(1);
+    let _ = (&mut &*stream).write_all(
+        format!(
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+             Retry-After: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            retry_after,
+            body.len(),
+            body
+        )
+        .as_bytes(),
+    );
+    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 /// Serve one connection: a keep-alive loop of request → response.
@@ -264,12 +321,14 @@ fn serve_connection(
                 let keep_alive = request.keep_alive;
                 match extract_query(&request, config) {
                     Ok(query_text) => {
-                        if answer_query(&stream, store, &query_text, keep_alive).is_err() {
+                        if answer_query(&stream, store, &query_text, keep_alive, &config.name)
+                            .is_err()
+                        {
                             break;
                         }
                     }
                     Err(reject) => {
-                        let ok = write_error(&stream, &reject, keep_alive).is_ok();
+                        let ok = write_error(&stream, &reject, keep_alive, &config.name).is_ok();
                         if !ok || !reject.recoverable {
                             break;
                         }
@@ -282,7 +341,7 @@ fn serve_connection(
             // Clean EOF between requests: client closed the connection.
             Ok(None) => break,
             Err(reject) => {
-                let _ = write_error(&stream, &reject, false);
+                let _ = write_error(&stream, &reject, false, &config.name);
                 break;
             }
         }
@@ -470,6 +529,7 @@ fn answer_query(
     store: &Store,
     query_text: &str,
     keep_alive: bool,
+    name: &str,
 ) -> io::Result<()> {
     let parsed = match lusail_sparql::parse_query(query_text) {
         Ok(q) => q,
@@ -478,6 +538,7 @@ fn answer_query(
                 stream,
                 &HttpReject::new(400, format!("malformed SPARQL query: {e}")),
                 keep_alive,
+                name,
             )
         }
     };
@@ -491,6 +552,7 @@ fn answer_query(
                 stream,
                 &HttpReject::new(500, "query evaluation failed"),
                 keep_alive,
+                name,
             )
         }
     };
@@ -541,21 +603,27 @@ fn write_chunk(out: &mut impl Write, data: &[u8]) -> io::Result<()> {
     out.write_all(b"\r\n")
 }
 
-fn write_error(stream: &TcpStream, reject: &HttpReject, keep_alive: bool) -> io::Result<()> {
+fn write_error(
+    stream: &TcpStream,
+    reject: &HttpReject,
+    keep_alive: bool,
+    name: &str,
+) -> io::Result<()> {
     let connection = if keep_alive && reject.recoverable {
         "keep-alive"
     } else {
         "close"
     };
+    let body = error_body(&reject.message, name);
     let mut out = io::BufWriter::new(stream);
     write!(
         out,
-        "HTTP/1.1 {} {}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
         reject.status,
         status_text(reject.status),
-        reject.message.len(),
+        body.len(),
         connection,
-        reject.message
+        body
     )?;
     out.flush()
 }
@@ -893,6 +961,73 @@ mod tests {
                 request.lines().next().unwrap_or("")
             );
         }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn saturated_pool_sheds_load_with_503_and_retry_after() {
+        // One worker, backlog of one: the worker parks on a held-open
+        // connection, a second connection fills the queue, so a third
+        // must be turned away with 503 + Retry-After naming the endpoint.
+        let handle = SparqlServer::bind(
+            "127.0.0.1:0",
+            test_store(),
+            ServerConfig {
+                workers: 1,
+                backlog: 1,
+                name: "ep-under-test".to_string(),
+                retry_after: Duration::from_secs(2),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .spawn();
+        let addr = handle.local_addr();
+
+        // Occupy the worker and fill the queue with idle connections.
+        let _busy = TcpStream::connect(addr).unwrap();
+        let _queued = TcpStream::connect(addr).unwrap();
+        // Give the accept thread time to hand the first to the worker and
+        // park the second in the channel.
+        std::thread::sleep(Duration::from_millis(100));
+
+        // A 503 may take a couple of tries: the accept thread races with
+        // worker pickup, so the first extra connection can still slip
+        // into the freed queue slot.
+        let mut shed = None;
+        for _ in 0..5 {
+            let mut sock = TcpStream::connect(addr).unwrap();
+            sock.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let mut text = String::new();
+            if sock.read_to_string(&mut text).is_ok() && text.starts_with("HTTP/1.1 503") {
+                shed = Some(text);
+                break;
+            }
+        }
+        let text = shed.expect("an over-capacity connection must get a 503");
+        assert!(text.contains("Retry-After: 2"), "{text}");
+        assert!(text.contains("\"endpoint\":\"ep-under-test\""), "{text}");
+        assert!(text.contains("\"error\":"), "{text}");
+
+        drop(_busy);
+        drop(_queued);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn error_bodies_are_json_naming_the_endpoint() {
+        let handle = start(ServerConfig {
+            name: "srv1".to_string(),
+            ..Default::default()
+        });
+        let (status, text) = raw_roundtrip(
+            handle.local_addr(),
+            "GET /sparql HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n",
+        );
+        assert!(status.contains("400"), "{text}");
+        assert!(text.contains("Content-Type: application/json"), "{text}");
+        assert!(text.contains("\"endpoint\":\"srv1\""), "{text}");
+        assert!(text.contains("missing query= parameter"), "{text}");
         handle.shutdown();
     }
 

@@ -8,3 +8,13 @@ cd "$(dirname "$0")/.."
 cargo build --workspace --release --offline
 cargo test --workspace -q --offline
 cargo fmt --all --check
+
+# Chaos group: fault-injection e2e (tests/tests/chaos.rs). The fault
+# sequences are drawn from a seeded PRNG; export LUSAIL_CHAOS_SEED to try
+# other histories. On failure we print the seed so the run can be replayed.
+seed="${LUSAIL_CHAOS_SEED:-42}"
+if ! LUSAIL_CHAOS_SEED="$seed" cargo test -p integration --test chaos -q --offline; then
+    echo "chaos suite failed with LUSAIL_CHAOS_SEED=$seed -- replay with:" >&2
+    echo "    LUSAIL_CHAOS_SEED=$seed cargo test -p integration --test chaos" >&2
+    exit 1
+fi

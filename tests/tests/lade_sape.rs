@@ -4,7 +4,7 @@
 use lusail_core::cache::QueryCache;
 use lusail_core::lade::gjv::detect_gjvs;
 use lusail_core::source::select_sources;
-use lusail_core::{LusailConfig, LusailEngine};
+use lusail_core::{LusailConfig, LusailEngine, RunContext};
 use lusail_federation::{
     Federation, NetworkProfile, RequestHandler, SimulatedEndpoint, SparqlEndpoint,
 };
@@ -74,11 +74,20 @@ fn figure4_locality_analysis() {
         tp("?P", &ub("PhDDegreeFrom"), "?U"), // 3
         tp("?U", &ub("address"), "?A"),       // 4
     ];
-    let sources = select_sources(&fed, &handler, None, &patterns).unwrap();
+    let sources =
+        select_sources(&fed, &handler, None, &patterns, &RunContext::unbounded()).unwrap();
     // advisor exists at both endpoints; so do the others except where not.
     assert_eq!(sources[0], vec![0, 1]);
 
-    let analysis = detect_gjvs(&fed, &handler, None, &patterns, &sources).unwrap();
+    let analysis = detect_gjvs(
+        &fed,
+        &handler,
+        None,
+        &patterns,
+        &sources,
+        &RunContext::unbounded(),
+    )
+    .unwrap();
     // Figure 4's verdicts:
     // ?S: all advisees take courses at their own endpoint → local.
     assert!(!analysis.is_gjv(&Variable::new("S")), "{:?}", analysis.gjvs);
@@ -99,12 +108,35 @@ fn check_query_cache_eliminates_repeat_traffic() {
         tp("?P", &ub("PhDDegreeFrom"), "?U"),
         tp("?U", &ub("address"), "?A"),
     ];
-    let sources = select_sources(&fed, &handler, Some(&cache), &patterns).unwrap();
-    let first = detect_gjvs(&fed, &handler, Some(&cache), &patterns, &sources).unwrap();
+    let sources = select_sources(
+        &fed,
+        &handler,
+        Some(&cache),
+        &patterns,
+        &RunContext::unbounded(),
+    )
+    .unwrap();
+    let first = detect_gjvs(
+        &fed,
+        &handler,
+        Some(&cache),
+        &patterns,
+        &sources,
+        &RunContext::unbounded(),
+    )
+    .unwrap();
     assert!(first.check_queries_sent > 0);
     assert_eq!(first.check_cache_hits, 0);
 
-    let second = detect_gjvs(&fed, &handler, Some(&cache), &patterns, &sources).unwrap();
+    let second = detect_gjvs(
+        &fed,
+        &handler,
+        Some(&cache),
+        &patterns,
+        &sources,
+        &RunContext::unbounded(),
+    )
+    .unwrap();
     assert_eq!(
         second.check_queries_sent, 0,
         "all checks must come from cache"
@@ -124,10 +156,19 @@ fn source_mismatch_detects_gjv_without_checks() {
         tp("?S", &ub("advisor"), "?P"),
         tp("?P", &ub("teacherOf"), "?C"),
     ];
-    let sources = select_sources(&fed, &handler, None, &patterns).unwrap();
+    let sources =
+        select_sources(&fed, &handler, None, &patterns, &RunContext::unbounded()).unwrap();
     assert_ne!(sources[0], sources[1]);
     let before = fed.total_traffic().requests;
-    let analysis = detect_gjvs(&fed, &handler, None, &patterns, &sources).unwrap();
+    let analysis = detect_gjvs(
+        &fed,
+        &handler,
+        None,
+        &patterns,
+        &sources,
+        &RunContext::unbounded(),
+    )
+    .unwrap();
     assert!(analysis.is_gjv(&Variable::new("P")));
     assert_eq!(analysis.check_queries_sent, 0);
     assert_eq!(fed.total_traffic().requests, before, "no check traffic");
