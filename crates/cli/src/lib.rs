@@ -4,7 +4,8 @@
 use lusail_baselines::{FedX, FedXConfig, FederatedEngine, HiBiscus, Splendid};
 use lusail_core::{LusailConfig, LusailEngine, ResultPolicy};
 use lusail_federation::{
-    Federation, HttpEndpoint, NetworkProfile, SimulatedEndpoint, SparqlEndpoint,
+    Federation, HttpConfig, HttpEndpoint, NetworkProfile, ReplicaConfig, ReplicaGroup,
+    SimulatedEndpoint, SparqlEndpoint,
 };
 use lusail_rdf::{Graph, Term};
 use lusail_server::ServerConfig;
@@ -17,9 +18,11 @@ use std::time::Duration;
 /// CLI usage text.
 pub const USAGE: &str = "\
 usage:
-  lusail query    (--data FILE | --endpoint URL)... (--query FILE | --query-text SPARQL)
+  lusail query    (--data FILE | --endpoint URL | --endpoint NAME=URL,URL,...)...
+                  (--query FILE | --query-text SPARQL)
                   [--engine lusail|fedx|splendid|hibiscus]
                   [--profile instant|local|geo] [--timeout SECS]
+                  [--retries N] [--backoff MS] [--hedge-after MS]
                   [--format table|csv] [--explain] [--partial] [--stats]
   lusail serve    --data FILE... [--addr HOST:PORT] [--port N] [--workers N]
   lusail generate --benchmark lubm|qfed|largerdf|bio2rdf --out DIR
@@ -33,10 +36,19 @@ N-Triples, .ttl = Turtle, .snap = snapshot) and each --endpoint URL a
 remote HTTP SPARQL endpoint; the two can be mixed freely. serve merges
 its --data files into one store and exposes it at http://ADDR/sparql.
 
+An --endpoint of the form NAME=URL,URL,... declares a replica group:
+equivalent mirrors behind one logical endpoint. Requests go to the
+healthiest member (breaker state, then latency EWMA) and transparently
+fail over to the next member on transport errors or an open breaker.
+--hedge-after MS additionally duplicates a slow idempotent request on the
+second-best member after MS milliseconds and takes the first success.
+--retries and --backoff tune the per-member HTTP retry budget.
+
 --partial (lusail engine only) returns the reachable subset of answers
 when an endpoint is down, with a warning per skipped subquery, instead of
 failing the whole query. --stats prints a per-endpoint health table
-(breaker state, failures, retries, latency EWMA) after the results.";
+(breaker state, failures, retries, latency EWMA) after the results, with
+one sub-row per replica-group member (failovers, hedges).";
 
 /// CLI failure modes.
 #[derive(Debug)]
@@ -77,6 +89,12 @@ pub enum Command {
         engine: EngineKind,
         profile: ProfileKind,
         timeout: Option<u64>,
+        /// HTTP retry attempts beyond the first (`--retries`).
+        retries: Option<u32>,
+        /// First-retry backoff in milliseconds (`--backoff`).
+        backoff: Option<u64>,
+        /// Hedge delay in milliseconds for replica groups (`--hedge-after`).
+        hedge_after: Option<u64>,
         format: OutputFormat,
         explain: bool,
         partial: bool,
@@ -178,6 +196,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--engine",
             "--profile",
             "--timeout",
+            "--retries",
+            "--backoff",
+            "--hedge-after",
             "--format",
             "--explain",
             "--partial",
@@ -243,6 +264,51 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .map_err(|_| usage(&format!("bad --timeout {v:?}")))?,
                 ),
             };
+            let retries: Option<u32> = match get("--retries") {
+                None => None,
+                Some(v) => {
+                    let n = v
+                        .parse()
+                        .map_err(|_| usage(&format!("bad --retries {v:?}")))?;
+                    if n > 100 {
+                        return Err(usage(&format!("--retries {n} is out of range (max 100)")));
+                    }
+                    Some(n)
+                }
+            };
+            let backoff: Option<u64> = match get("--backoff") {
+                None => None,
+                Some(v) => {
+                    let ms = v
+                        .parse()
+                        .map_err(|_| usage(&format!("bad --backoff {v:?}")))?;
+                    if ms > 60_000 {
+                        return Err(usage(&format!(
+                            "--backoff {ms} is out of range (max 60000 ms)"
+                        )));
+                    }
+                    Some(ms)
+                }
+            };
+            let hedge_after: Option<u64> = match get("--hedge-after") {
+                None => None,
+                Some(v) => {
+                    let ms = v
+                        .parse()
+                        .map_err(|_| usage(&format!("bad --hedge-after {v:?}")))?;
+                    if ms > 60_000 {
+                        return Err(usage(&format!(
+                            "--hedge-after {ms} is out of range (max 60000 ms)"
+                        )));
+                    }
+                    Some(ms)
+                }
+            };
+            // Group specs are validated at parse time so a malformed
+            // NAME=URL,URL list fails before any endpoint is dialled.
+            for spec in &endpoints {
+                parse_endpoint_spec(spec).map_err(|m| usage(&m))?;
+            }
             let format = match get("--format").unwrap_or("table") {
                 "table" => OutputFormat::Table,
                 "csv" => OutputFormat::Csv,
@@ -262,6 +328,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 engine,
                 profile,
                 timeout,
+                retries,
+                backoff,
+                hedge_after,
                 format,
                 explain: has("--explain"),
                 partial: has("--partial"),
@@ -392,12 +461,51 @@ pub fn load_graph(path: &Path) -> Result<Graph, CliError> {
     }
 }
 
+/// One parsed `--endpoint` value: a bare URL, or a `NAME=URL,URL,...`
+/// replica group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EndpointSpec {
+    Single(String),
+    Group { name: String, urls: Vec<String> },
+}
+
+/// Classify an `--endpoint` value. A spec is a group when it has an `=`
+/// whose left side looks like a plain name (no `/` or `:`, so URLs with
+/// `?query=` parts are never mis-split); the right side is a comma list
+/// of member URLs.
+fn parse_endpoint_spec(spec: &str) -> Result<EndpointSpec, String> {
+    let Some((name, rest)) = spec.split_once('=') else {
+        return Ok(EndpointSpec::Single(spec.to_string()));
+    };
+    if name.contains('/') || name.contains(':') {
+        // The `=` belongs to the URL itself.
+        return Ok(EndpointSpec::Single(spec.to_string()));
+    }
+    if name.is_empty() {
+        return Err(format!("--endpoint group {spec:?} has an empty name"));
+    }
+    let urls: Vec<String> = rest.split(',').map(str::trim).map(str::to_string).collect();
+    if urls.iter().any(String::is_empty) {
+        return Err(format!(
+            "--endpoint group {name:?} has an empty member URL in {rest:?}"
+        ));
+    }
+    Ok(EndpointSpec::Group {
+        name: name.to_string(),
+        urls,
+    })
+}
+
 /// Assemble a federation from local data files (simulated endpoints) and
-/// remote URLs (HTTP endpoints), in that order.
+/// remote URL specs (HTTP endpoints, or replica groups of them), in that
+/// order. `http` tunes every HTTP member; `hedge_after` enables hedging
+/// inside replica groups.
 fn build_federation(
     data: &[PathBuf],
     urls: &[String],
     profile: ProfileKind,
+    http: HttpConfig,
+    hedge_after: Option<Duration>,
 ) -> Result<Federation, CliError> {
     let mut endpoints: Vec<Arc<dyn SparqlEndpoint>> = Vec::new();
     for path in data {
@@ -413,10 +521,30 @@ fn build_federation(
             profile.network(),
         )));
     }
-    for url in urls {
-        let ep = HttpEndpoint::new(url.clone(), url)
-            .map_err(|e| CliError::Usage(format!("--endpoint {e}")))?;
-        endpoints.push(Arc::new(ep));
+    let http_member = |name: &str, url: &str| -> Result<Arc<dyn SparqlEndpoint>, CliError> {
+        let ep = HttpEndpoint::new(name, url)
+            .map_err(|e| CliError::Usage(format!("--endpoint {e}")))?
+            .with_config(http);
+        Ok(Arc::new(ep))
+    };
+    for spec in urls {
+        match parse_endpoint_spec(spec).map_err(CliError::Usage)? {
+            EndpointSpec::Single(url) => endpoints.push(http_member(&url, &url)?),
+            EndpointSpec::Group { name, urls } => {
+                let members = urls
+                    .iter()
+                    .map(|url| http_member(url, url))
+                    .collect::<Result<Vec<_>, _>>()?;
+                endpoints.push(Arc::new(ReplicaGroup::new(
+                    name,
+                    members,
+                    ReplicaConfig {
+                        hedge_after,
+                        ..ReplicaConfig::default()
+                    },
+                )));
+            }
+        }
     }
     Ok(Federation::new(endpoints))
 }
@@ -482,12 +610,28 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             engine,
             profile,
             timeout,
+            retries,
+            backoff,
+            hedge_after,
             format,
             explain,
             partial,
             stats,
         } => {
-            let federation = build_federation(&data, &endpoints, profile)?;
+            let mut http = HttpConfig::default();
+            if let Some(n) = retries {
+                http.retries = n;
+            }
+            if let Some(ms) = backoff {
+                http.backoff = Duration::from_millis(ms);
+            }
+            let federation = build_federation(
+                &data,
+                &endpoints,
+                profile,
+                http,
+                hedge_after.map(Duration::from_millis),
+            )?;
             let text = match (&query_file, &query_text) {
                 (Some(path), _) => std::fs::read_to_string(path)?,
                 (None, Some(text)) => text.clone(),
@@ -634,7 +778,13 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             keywords,
             top,
         } => {
-            let federation = build_federation(&data, &[], ProfileKind::Instant)?;
+            let federation = build_federation(
+                &data,
+                &[],
+                ProfileKind::Instant,
+                HttpConfig::default(),
+                None,
+            )?;
             let handler = lusail_federation::RequestHandler::per_core();
             let refs: Vec<&str> = keywords.iter().map(String::as_str).collect();
             let cfg = lusail_core::keyword::KeywordConfig {
@@ -691,7 +841,9 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
 
 /// The `--stats` table: one row per endpoint, merging traffic counters
 /// with the transport's health registry (breaker state, failure counts,
-/// latency EWMA) when the endpoint tracks one.
+/// latency EWMA) when the endpoint tracks one. Replica groups get one
+/// indented sub-row per member showing which mirror carried the group:
+/// dispatches, failovers taken, hedges launched, hedges won.
 fn print_endpoint_stats(federation: &Federation, out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "# endpoint health:")?;
     writeln!(
@@ -723,6 +875,29 @@ fn print_endpoint_stats(federation: &Federation, out: &mut dyn Write) -> Result<
                 "-",
                 "-"
             )?,
+        }
+        if let Some(members) = ep.replica_members() {
+            writeln!(
+                out,
+                "#     {:<16} {:>10} {:>9} {:>7} {:>10} {:>9}",
+                "· member", "dispatches", "failovers", "hedges", "hedges-won", "breaker"
+            )?;
+            for m in &members {
+                let breaker = m
+                    .health
+                    .map(|h| h.breaker.to_string())
+                    .unwrap_or_else(|| "-".to_string());
+                writeln!(
+                    out,
+                    "#     {:<16} {:>10} {:>9} {:>7} {:>10} {:>9}",
+                    format!("· {}", m.name),
+                    m.dispatches,
+                    m.failovers,
+                    m.hedges_launched,
+                    m.hedges_won,
+                    breaker
+                )?;
+            }
         }
     }
     Ok(())
@@ -1099,6 +1274,143 @@ mod tests {
         // only on the server.
         assert_eq!(text.matches("http://x/s1").count(), 2, "{text}");
         assert_eq!(text.matches("http://x/s2").count(), 1, "{text}");
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_retry_backoff_and_hedge_flags() {
+        let cmd = parse_args(&s(&[
+            "query",
+            "--endpoint",
+            "http://127.0.0.1:1/sparql",
+            "--query-text",
+            "ASK {}",
+            "--retries",
+            "5",
+            "--backoff",
+            "250",
+            "--hedge-after",
+            "40",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Query {
+                retries,
+                backoff,
+                hedge_after,
+                ..
+            } => {
+                assert_eq!(retries, Some(5));
+                assert_eq!(backoff, Some(250));
+                assert_eq!(hedge_after, Some(40));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Invalid values are rejected like any other flag.
+        for bad in [
+            vec!["--retries", "many"],
+            vec!["--retries", "101"],
+            vec!["--retries", "-1"],
+            vec!["--backoff", "1ms"],
+            vec!["--backoff", "99999999"],
+            vec!["--hedge-after", "soon"],
+        ] {
+            let mut args = s(&[
+                "query",
+                "--endpoint",
+                "http://127.0.0.1:1/sparql",
+                "--query-text",
+                "ASK {}",
+            ]);
+            args.extend(s(&bad));
+            assert!(
+                matches!(parse_args(&args), Err(CliError::Usage(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_replica_group_specs() {
+        assert_eq!(
+            parse_endpoint_spec("http://h:1/sparql").unwrap(),
+            EndpointSpec::Single("http://h:1/sparql".to_string())
+        );
+        // A `=` inside the URL's query string is not a group separator.
+        assert_eq!(
+            parse_endpoint_spec("http://h:1/sparql?default-graph=g").unwrap(),
+            EndpointSpec::Single("http://h:1/sparql?default-graph=g".to_string())
+        );
+        assert_eq!(
+            parse_endpoint_spec("mirror=http://a:1/sparql,http://b:2/sparql").unwrap(),
+            EndpointSpec::Group {
+                name: "mirror".to_string(),
+                urls: vec![
+                    "http://a:1/sparql".to_string(),
+                    "http://b:2/sparql".to_string()
+                ],
+            }
+        );
+        assert!(parse_endpoint_spec("=http://a:1/sparql").is_err());
+        assert!(parse_endpoint_spec("mirror=http://a:1/sparql,").is_err());
+
+        // Malformed groups are rejected at parse time.
+        assert!(matches!(
+            parse_args(&s(&[
+                "query",
+                "--endpoint",
+                "mirror=http://a:1/s,",
+                "--query-text",
+                "ASK {}",
+            ])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn replica_group_over_http_survives_dead_member() {
+        let dir = std::env::temp_dir().join(format!("lusail-cli-replica-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.nt");
+        std::fs::write(&a, "<http://x/s1> <http://x/p> <http://x/o1> .\n").unwrap();
+
+        let (handle, _) = start_server(&[a.clone()], "127.0.0.1:0", 2).unwrap();
+        // Member 0 is a dead address (connection refused); member 1 is the
+        // live server. The group must answer with the live member's rows.
+        let group = format!("mirror=http://127.0.0.1:9/sparql,{}", handle.url());
+        let mut buf = Vec::new();
+        run(
+            &s(&[
+                "query",
+                "--endpoint",
+                &group,
+                "--query-text",
+                "SELECT ?s WHERE { ?s <http://x/p> ?o }",
+                "--retries",
+                "0",
+                "--backoff",
+                "1",
+                "--format",
+                "csv",
+                "--stats",
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("http://x/s1"), "{text}");
+        assert!(text.contains("mirror"), "{text}");
+        assert!(
+            text.contains("failovers"),
+            "stats must show member rows: {text}"
+        );
+        assert!(
+            text.contains("· http://127.0.0.1:9/sparql"),
+            "stats must list the dead member: {text}"
+        );
         handle.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

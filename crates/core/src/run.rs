@@ -104,9 +104,26 @@ impl RunContext {
             .push(warning);
     }
 
-    /// Drain the accumulated warnings.
+    /// Drain the accumulated warnings, deduplicated per (endpoint,
+    /// subquery): a flapping endpoint that fails the same phase many
+    /// times (e.g. once per bound-join chunk, or once per failover
+    /// attempt) yields one warning, not a flood. The first occurrence
+    /// wins, so the message describes the initial failure, and relative
+    /// order is preserved.
     pub fn take_warnings(&self) -> Vec<ExecutionWarning> {
-        std::mem::take(&mut self.warnings.lock().unwrap_or_else(|p| p.into_inner()))
+        let raw = std::mem::take(&mut *self.warnings.lock().unwrap_or_else(|p| p.into_inner()));
+        let mut seen: Vec<(String, String)> = Vec::new();
+        raw.into_iter()
+            .filter(|w| {
+                let key = (w.endpoint.clone(), w.subquery.clone());
+                if seen.contains(&key) {
+                    false
+                } else {
+                    seen.push(key);
+                    true
+                }
+            })
+            .collect()
     }
 
     /// Resolve one endpoint result under the policy, additionally
@@ -190,6 +207,38 @@ mod tests {
         assert!(warnings[0].to_string().contains("ep1"));
         // Drained.
         assert!(ctx.take_warnings().is_empty());
+    }
+
+    #[test]
+    fn take_warnings_dedupes_per_endpoint_and_phase() {
+        let ctx = RunContext::unbounded();
+        // A flapping endpoint fails the same phase three times, a second
+        // phase once, and a different endpoint fails the first phase too.
+        for i in 0..3 {
+            ctx.warn(ExecutionWarning {
+                endpoint: "ep1".into(),
+                subquery: "subquery #0".into(),
+                message: format!("attempt {i} dropped"),
+            });
+        }
+        ctx.warn(ExecutionWarning {
+            endpoint: "ep1".into(),
+            subquery: "MINUS block".into(),
+            message: "dropped".into(),
+        });
+        ctx.warn(ExecutionWarning {
+            endpoint: "ep2".into(),
+            subquery: "subquery #0".into(),
+            message: "dropped".into(),
+        });
+        let warnings = ctx.take_warnings();
+        assert_eq!(warnings.len(), 3, "{warnings:?}");
+        // First occurrence wins, order preserved.
+        assert_eq!(warnings[0].endpoint, "ep1");
+        assert_eq!(warnings[0].subquery, "subquery #0");
+        assert_eq!(warnings[0].message, "attempt 0 dropped");
+        assert_eq!(warnings[1].subquery, "MINUS block");
+        assert_eq!(warnings[2].endpoint, "ep2");
     }
 
     #[test]

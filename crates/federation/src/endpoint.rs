@@ -157,6 +157,14 @@ pub trait SparqlEndpoint: Send + Sync {
         None
     }
 
+    /// Per-member replica counters, when this endpoint is a
+    /// [`ReplicaGroup`](crate::replica::ReplicaGroup) fronting several
+    /// member transports. Single-transport endpoints return `None`; the
+    /// `--stats` table uses this to print one sub-row per member.
+    fn replica_members(&self) -> Option<Vec<crate::replica::ReplicaMemberSnapshot>> {
+        None
+    }
+
     /// Convenience: run an `ASK` query.
     fn ask(&self, query: &Query) -> Result<bool, EndpointError> {
         self.ask_within(query, Deadline::none())

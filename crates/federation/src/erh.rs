@@ -491,7 +491,9 @@ impl CircuitBreaker {
 }
 
 /// A point-in-time view of one endpoint's health, exposed through
-/// `lusail query --stats` next to the traffic counters.
+/// `lusail query --stats` next to the traffic counters. Replica groups
+/// also rank their members by this snapshot — breaker state first, then
+/// `latency_ewma` (see [`crate::replica::rank_members`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HealthSnapshot {
     /// Logical requests admitted (including probes).

@@ -43,6 +43,12 @@ pub struct FaultProfile {
     pub spike_rate: f64,
     /// Length of an injected latency spike.
     pub spike: Duration,
+    /// Deterministic mid-run death: after this many attempts have been
+    /// forwarded to the wrapped endpoint, every further attempt drops as
+    /// if [`hard_down`](Self::hard_down) — how the chaos suite kills an
+    /// endpoint mid-wave at a reproducible point instead of a wall-clock
+    /// one. `None` means the endpoint never dies this way.
+    pub fail_after: Option<u64>,
 }
 
 impl FaultProfile {
@@ -55,6 +61,7 @@ impl FaultProfile {
             malformed_rate: 0.0,
             spike_rate: 0.0,
             spike: Duration::ZERO,
+            fail_after: None,
         }
     }
 
@@ -62,6 +69,14 @@ impl FaultProfile {
     pub fn hard_down() -> Self {
         FaultProfile {
             hard_down: true,
+            ..FaultProfile::none()
+        }
+    }
+
+    /// Healthy for the first `served` forwarded attempts, hard-down after.
+    pub fn dies_after(served: u64) -> Self {
+        FaultProfile {
+            fail_after: Some(served),
             ..FaultProfile::none()
         }
     }
@@ -109,6 +124,9 @@ fn roll(state: &mut u64) -> f64 {
 struct FaultState {
     profile: FaultProfile,
     rng: u64,
+    /// Attempts forwarded to the wrapped endpoint so far (drives
+    /// [`FaultProfile::fail_after`]).
+    served: u64,
 }
 
 /// A fault-injecting wrapper around another endpoint (see module docs).
@@ -136,15 +154,22 @@ impl FaultyEndpoint {
         FaultyEndpoint {
             inner,
             config,
-            state: Mutex::new(FaultState { profile, rng: seed }),
+            state: Mutex::new(FaultState {
+                profile,
+                rng: seed,
+                served: 0,
+            }),
             health,
         }
     }
 
     /// Replace the fault profile at runtime (e.g. clear faults so a chaos
-    /// test can watch the breaker recover).
+    /// test can watch the breaker recover). Resets the served-attempt
+    /// counter, so a fresh `fail_after` window starts from zero.
     pub fn set_faults(&self, profile: FaultProfile) {
-        self.lock_state().profile = profile;
+        let mut state = self.lock_state();
+        state.profile = profile;
+        state.served = 0;
     }
 
     /// The active fault profile.
@@ -172,6 +197,11 @@ impl FaultyEndpoint {
         if p.hard_down {
             return InjectedFault::Drop;
         }
+        if let Some(limit) = p.fail_after {
+            if state.served >= limit {
+                return InjectedFault::Drop;
+            }
+        }
         if p.drop_rate > 0.0 && roll(&mut state.rng) < p.drop_rate {
             return InjectedFault::Drop;
         }
@@ -182,8 +212,10 @@ impl FaultyEndpoint {
             return InjectedFault::Malformed;
         }
         if p.spike_rate > 0.0 && roll(&mut state.rng) < p.spike_rate {
+            state.served += 1;
             return InjectedFault::Spike(p.spike);
         }
+        state.served += 1;
         InjectedFault::None
     }
 }
@@ -430,6 +462,22 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.kind, FailureKind::Deadline);
         assert!(started.elapsed() < Duration::from_millis(25));
+    }
+
+    #[test]
+    fn fail_after_kills_the_endpoint_at_a_deterministic_point() {
+        let ep = wrapped(7, FaultProfile::dies_after(3), fast_config());
+        for _ in 0..3 {
+            assert_eq!(ep.select(&query()).unwrap().len(), 1);
+        }
+        let err = ep.select(&query()).unwrap_err();
+        assert_eq!(err.kind, FailureKind::Transport);
+        assert!(err.message.contains("dropped"), "{err}");
+        // Clearing the faults resets the served window.
+        ep.set_faults(FaultProfile::dies_after(1));
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(ep.select(&query()).unwrap().len(), 1);
+        assert!(ep.select(&query()).is_err());
     }
 
     #[test]

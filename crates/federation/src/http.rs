@@ -11,7 +11,10 @@
 //! on connect/transport errors and 5xx responses (4xx and malformed
 //! result documents fail immediately — retrying a rejected query cannot
 //! help). Connections are kept alive and reused across requests; a stale
-//! pooled connection simply burns one retry.
+//! pooled connection simply burns one retry. The CLI surfaces the retry
+//! budget as `lusail query --retries N --backoff MS`. Retries here are
+//! *per member*; failing over to a different mirror of the same dataset
+//! is the layer above — see [`crate::replica::ReplicaGroup`].
 //!
 //! Traffic accounting mirrors [`SimulatedEndpoint`](crate::SimulatedEndpoint):
 //! requests, bytes on the wire in both directions, and the measured

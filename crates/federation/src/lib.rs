@@ -40,6 +40,7 @@ pub mod federation;
 pub mod http;
 pub mod json;
 pub mod network;
+pub mod replica;
 pub mod results_json;
 
 pub use endpoint::{
@@ -53,3 +54,6 @@ pub use fault::{FaultProfile, FaultyConfig, FaultyEndpoint};
 pub use federation::Federation;
 pub use http::{HttpConfig, HttpEndpoint};
 pub use network::{NetworkProfile, RequestCounters, TrafficSnapshot};
+pub use replica::{
+    hedge_safe, rank_members, ReplicaConfig, ReplicaGroup, ReplicaGroupStats, ReplicaMemberSnapshot,
+};

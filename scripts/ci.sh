@@ -18,3 +18,12 @@ if ! LUSAIL_CHAOS_SEED="$seed" cargo test -p integration --test chaos -q --offli
     echo "    LUSAIL_CHAOS_SEED=$seed cargo test -p integration --test chaos" >&2
     exit 1
 fi
+
+# Replica-chaos group: failover and hedging e2e (tests/tests/replica_chaos.rs).
+# Covers one member killed mid-wave (dies_after) and one member slow (the
+# hedge path), under the same seeded PRNG discipline as the chaos group.
+if ! LUSAIL_CHAOS_SEED="$seed" cargo test -p integration --test replica_chaos -q --offline; then
+    echo "replica-chaos suite failed with LUSAIL_CHAOS_SEED=$seed -- replay with:" >&2
+    echo "    LUSAIL_CHAOS_SEED=$seed cargo test -p integration --test replica_chaos" >&2
+    exit 1
+fi

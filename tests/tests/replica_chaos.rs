@@ -1,0 +1,308 @@
+//! Replica chaos suite: end-to-end federation behaviour when endpoints are
+//! backed by replica groups and members die or slow down mid-query.
+//!
+//! The headline property: a LUBM query over a group with a dead (or dying)
+//! member returns rows *identical* to the all-healthy run, with **zero**
+//! `ExecutionWarning`s — failover hides the outage entirely, unlike partial
+//! mode, which surfaces it as missing rows plus warnings. A fully dead group
+//! still fails fast with a structured error naming every member tried, and a
+//! slow member is rescued by hedging within the ≤2× amplification bound.
+//!
+//! Fault sequences are drawn from a seeded SplitMix64 stream; set
+//! `LUSAIL_CHAOS_SEED` to replay a failing run (the `replica-chaos` group in
+//! `scripts/ci.sh` prints the seed it used on failure).
+
+use integration::{assert_same_solutions, ground_truth};
+use lusail_core::{EngineError, LusailConfig, LusailEngine, ResultPolicy};
+use lusail_federation::{
+    BreakerConfig, FaultProfile, FaultyConfig, FaultyEndpoint, Federation, NetworkProfile,
+    ReplicaConfig, ReplicaGroup, SimulatedEndpoint, SparqlEndpoint,
+};
+use lusail_sparql::parse_query;
+use lusail_store::Store;
+use lusail_workloads::lubm::{generate_all, queries, LubmConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn chaos_seed() -> u64 {
+    std::env::var("LUSAIL_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Replica-member fault handling tuned for failing over fast: no in-member
+/// retries (the group's failover IS the retry), sub-millisecond failure
+/// latency, and a breaker that opens after two strikes so later waves stop
+/// dialing the dead member at all.
+fn fast_failover_faults() -> FaultyConfig {
+    FaultyConfig {
+        retries: 0,
+        backoff: Duration::ZERO,
+        failure_latency: Duration::from_micros(200),
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_secs(30),
+            ..BreakerConfig::default()
+        },
+    }
+}
+
+/// A plain healthy member endpoint.
+fn member(name: String, store: Store, network: NetworkProfile) -> Arc<dyn SparqlEndpoint> {
+    Arc::new(SimulatedEndpoint::new(name, store, network))
+}
+
+/// A member wrapped in a fault injector starting with `profile` active.
+fn faulty_member(
+    name: String,
+    store: Store,
+    network: NetworkProfile,
+    profile: FaultProfile,
+) -> Arc<dyn SparqlEndpoint> {
+    let inner = member(name, store, network);
+    Arc::new(FaultyEndpoint::with_config(
+        inner,
+        chaos_seed(),
+        profile,
+        fast_failover_faults(),
+    ))
+}
+
+struct ReplicaRig {
+    federation: Federation,
+    /// One group per LUBM endpoint, kept out so tests can read stats.
+    groups: Vec<Arc<ReplicaGroup>>,
+}
+
+/// A federation of two-member replica groups over the LUBM graphs. The
+/// `fault` callback decides, per (endpoint index, member index), which
+/// fault profile to inject — `None` means a plain healthy member. Member 0
+/// is the initially preferred one (ranking is index-stable before any
+/// health history exists), so injecting faults there forces failover.
+fn rig(
+    universities: usize,
+    network: NetworkProfile,
+    config: ReplicaConfig,
+    fault: impl Fn(usize, usize) -> Option<FaultProfile>,
+) -> (ReplicaRig, Vec<(String, lusail_rdf::Graph)>) {
+    let graphs = generate_all(&LubmConfig::with_universities(universities));
+    let mut endpoints: Vec<Arc<dyn SparqlEndpoint>> = Vec::new();
+    let mut groups = Vec::new();
+    for (e, (name, graph)) in graphs.iter().enumerate() {
+        let store = Store::from_graph(graph);
+        let members: Vec<Arc<dyn SparqlEndpoint>> = (0..2)
+            .map(|m| {
+                let member_name = format!("{name}/r{m}");
+                match fault(e, m) {
+                    Some(profile) => faulty_member(member_name, store.clone(), network, profile),
+                    None => member(member_name, store.clone(), network),
+                }
+            })
+            .collect();
+        let group = Arc::new(ReplicaGroup::new(name.clone(), members, config));
+        groups.push(group.clone());
+        endpoints.push(group as Arc<dyn SparqlEndpoint>);
+    }
+    (
+        ReplicaRig {
+            federation: Federation::new(endpoints),
+            groups,
+        },
+        graphs,
+    )
+}
+
+fn engine(rig: &ReplicaRig, policy: ResultPolicy) -> LusailEngine {
+    LusailEngine::new(
+        rig.federation.clone(),
+        LusailConfig {
+            result_policy: policy,
+            ..LusailConfig::without_cache()
+        },
+    )
+}
+
+/// Headline: one dead replica member on the preferred slot of every group.
+/// The run must produce rows identical to the all-healthy run with zero
+/// warnings (failover hides the outage — partial mode would instead drop
+/// the shard and warn), within 2x the healthy wall-clock.
+#[test]
+fn dead_replica_member_is_invisible_to_results_and_warnings() {
+    // Geo-distributed latency gives every healthy round trip a measurable
+    // 4 ms cost, so the 2x comparison has structural slack: a failed
+    // dispatch costs ~0.2 ms and the breaker stops them after two strikes.
+    let network = NetworkProfile::geo_distributed();
+    let q = parse_query(&queries()[1].text).unwrap();
+
+    let (healthy, graphs) = rig(2, network, ReplicaConfig::default(), |_, _| None);
+    let started = Instant::now();
+    let baseline = engine(&healthy, ResultPolicy::FailFast)
+        .execute(&q)
+        .unwrap();
+    let healthy_latency = started.elapsed();
+    assert_same_solutions("healthy replica run", &baseline, &ground_truth(&graphs, &q));
+
+    let (broken, _) = rig(2, network, ReplicaConfig::default(), |_, m| {
+        (m == 0).then(FaultProfile::hard_down)
+    });
+    let started = Instant::now();
+    let (rel, profile) = engine(&broken, ResultPolicy::Partial)
+        .execute_profiled(&q)
+        .unwrap();
+    let failover_latency = started.elapsed();
+
+    assert_same_solutions("dead-member replica run", &rel, &baseline);
+    assert!(
+        profile.warnings.is_empty(),
+        "failover must hide the outage, got warnings (seed {}): {:?}",
+        chaos_seed(),
+        profile.warnings
+    );
+    let failovers: u64 = broken.groups.iter().map(|g| g.stats().failovers).sum();
+    assert!(
+        failovers > 0,
+        "the dead preferred members should have forced failovers (seed {})",
+        chaos_seed()
+    );
+    assert!(
+        failover_latency < healthy_latency * 2,
+        "failover run took {failover_latency:?}, over 2x the healthy {healthy_latency:?} \
+         (seed {})",
+        chaos_seed()
+    );
+}
+
+/// A member that dies *mid-run* — after serving its first few requests —
+/// is equally invisible: the group fails over on the first post-death
+/// dispatch and later waves go straight to the survivor.
+#[test]
+fn member_killed_mid_wave_fails_over_without_losing_rows() {
+    let q = parse_query(&queries()[1].text).unwrap();
+    let (broken, graphs) = rig(
+        2,
+        NetworkProfile::local_cluster(),
+        ReplicaConfig::default(),
+        |_, m| (m == 0).then(|| FaultProfile::dies_after(3)),
+    );
+    let (rel, profile) = engine(&broken, ResultPolicy::Partial)
+        .execute_profiled(&q)
+        .unwrap();
+    assert_same_solutions("mid-wave death run", &rel, &ground_truth(&graphs, &q));
+    assert!(
+        profile.warnings.is_empty(),
+        "failover must hide the mid-wave death, got (seed {}): {:?}",
+        chaos_seed(),
+        profile.warnings
+    );
+    let stats: Vec<_> = broken.groups.iter().map(|g| g.stats()).collect();
+    assert!(
+        stats.iter().any(|s| s.failovers > 0),
+        "dying members should have forced failovers (seed {}): {stats:?}",
+        chaos_seed()
+    );
+}
+
+/// When *every* member of a group is dead, the query fails fast with a
+/// structured error naming the group and each member tried — no hanging,
+/// no fabricated rows.
+#[test]
+fn fully_dead_group_fails_fast_naming_every_member() {
+    let q = parse_query(&queries()[1].text).unwrap();
+    let (broken, _) = rig(
+        2,
+        NetworkProfile::local_cluster(),
+        ReplicaConfig::default(),
+        |e, _| (e == 0).then(FaultProfile::hard_down),
+    );
+    let dead_group = broken.groups[0].clone();
+    let started = Instant::now();
+    let err = engine(&broken, ResultPolicy::FailFast)
+        .execute(&q)
+        .unwrap_err();
+    let elapsed = started.elapsed();
+
+    match &err {
+        EngineError::Endpoint(e) => {
+            assert_eq!(
+                e.endpoint,
+                dead_group.name(),
+                "error must name the dead group (seed {})",
+                chaos_seed()
+            );
+            for m in dead_group.members() {
+                assert!(
+                    e.message.contains(m.name()),
+                    "error must name member {:?} (seed {}): {}",
+                    m.name(),
+                    chaos_seed(),
+                    e.message
+                );
+            }
+        }
+        other => panic!("expected a structured endpoint error, got {other:?}"),
+    }
+    // Fail-fast: both members cost ~0.2 ms per failed dispatch and the
+    // breakers open after two strikes, so the whole failure is quick.
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "fully dead group took {elapsed:?} to fail (seed {})",
+        chaos_seed()
+    );
+}
+
+/// A slow-but-alive preferred member is rescued by hedging: the duplicate
+/// launched on the fast member wins, results stay correct, and request
+/// amplification stays within the 2x bound.
+#[test]
+fn hedging_rescues_slow_member_within_amplification_bound() {
+    let q = parse_query(&queries()[1].text).unwrap();
+    let graphs = generate_all(&LubmConfig::with_universities(1));
+    let (name, graph) = &graphs[0];
+    let store = Store::from_graph(graph);
+    // Member 0 (initially preferred: no health history, index-stable rank)
+    // pays geo latency on every request; member 1 is on the fast local
+    // network. Hedging after 1 ms reaches the fast member long before the
+    // slow one responds.
+    let slow = member(
+        format!("{name}/r0"),
+        store.clone(),
+        NetworkProfile::geo_distributed(),
+    );
+    let fast = member(
+        format!("{name}/r1"),
+        store.clone(),
+        NetworkProfile::local_cluster(),
+    );
+    let group = Arc::new(ReplicaGroup::new(
+        name.clone(),
+        vec![slow, fast],
+        ReplicaConfig {
+            hedge_after: Some(Duration::from_millis(1)),
+            ..ReplicaConfig::default()
+        },
+    ));
+    let rig = ReplicaRig {
+        federation: Federation::new(vec![group.clone() as Arc<dyn SparqlEndpoint>]),
+        groups: vec![group.clone()],
+    };
+    let rel = engine(&rig, ResultPolicy::FailFast).execute(&q).unwrap();
+    assert_same_solutions("hedged run", &rel, &ground_truth(&graphs, &q));
+
+    let stats = group.stats();
+    assert!(
+        stats.hedges_launched > 0,
+        "the slow member should have triggered hedges (seed {}): {stats:?}",
+        chaos_seed()
+    );
+    assert!(
+        stats.hedges_won > 0,
+        "the fast member should have won hedges (seed {}): {stats:?}",
+        chaos_seed()
+    );
+    assert!(
+        stats.dispatches <= 2 * stats.logical_requests,
+        "hedging must stay within 2x amplification (seed {}): {stats:?}",
+        chaos_seed()
+    );
+}
