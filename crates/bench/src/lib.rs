@@ -259,7 +259,7 @@ pub fn measure(
                     bytes_received: traffic.bytes_received,
                 };
             }
-            Err(EngineError::Endpoint(_)) => {
+            Err(EngineError::Endpoint(_)) | Err(EngineError::BudgetExceeded { .. }) => {
                 return Measurement {
                     system: under_test.engine.name().to_string(),
                     query: query.name.to_string(),

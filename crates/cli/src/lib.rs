@@ -23,8 +23,10 @@ usage:
                   [--engine lusail|fedx|splendid|hibiscus]
                   [--profile instant|local|geo] [--timeout SECS]
                   [--retries N] [--backoff MS] [--hedge-after MS]
+                  [--memory-budget BYTES] [--max-result-rows N]
                   [--format table|csv] [--explain] [--partial] [--stats]
   lusail serve    --data FILE... [--addr HOST:PORT] [--port N] [--workers N]
+                  [--max-result-rows N]
   lusail generate --benchmark lubm|qfed|largerdf|bio2rdf --out DIR
                   [--scale F] [--endpoints N] [--seed N]
   lusail info     --data FILE...
@@ -48,7 +50,18 @@ second-best member after MS milliseconds and takes the first success.
 when an endpoint is down, with a warning per skipped subquery, instead of
 failing the whole query. --stats prints a per-endpoint health table
 (breaker state, failures, retries, latency EWMA) after the results, with
-one sub-row per replica-group member (failovers, hedges).";
+one sub-row per replica-group member (failovers, hedges), and for the
+lusail engine a memory section (peak accounted bytes per phase, spills).
+
+--memory-budget BYTES (lusail engine only; suffixes KB/MB/GB and
+KiB/MiB/GiB accepted, e.g. 8MiB) bounds the bytes of intermediate
+results the engine materializes: joins spill to sorted temp-file runs
+under pressure, and a truly exhausted budget fails fast with a
+structured error (or truncates with a warning under --partial).
+--max-result-rows N caps rows per subquery response, enforced while the
+HTTP response streams in — a result-bomb endpoint is cut off mid-parse,
+never buffered. For serve, --max-result-rows caps rows per response the
+server streams out, with a truncation warning in the result head.";
 
 /// CLI failure modes.
 #[derive(Debug)]
@@ -95,6 +108,10 @@ pub enum Command {
         backoff: Option<u64>,
         /// Hedge delay in milliseconds for replica groups (`--hedge-after`).
         hedge_after: Option<u64>,
+        /// Per-query memory budget in bytes (`--memory-budget`).
+        memory_budget: Option<usize>,
+        /// Row cap per subquery response (`--max-result-rows`).
+        max_result_rows: Option<usize>,
         format: OutputFormat,
         explain: bool,
         partial: bool,
@@ -104,6 +121,8 @@ pub enum Command {
         data: Vec<PathBuf>,
         addr: String,
         workers: usize,
+        /// Row ceiling per response streamed by the server.
+        max_result_rows: Option<usize>,
     },
     Generate {
         benchmark: String,
@@ -199,12 +218,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--retries",
             "--backoff",
             "--hedge-after",
+            "--memory-budget",
+            "--max-result-rows",
             "--format",
             "--explain",
             "--partial",
             "--stats",
         ],
-        "serve" => &["--data", "--addr", "--port", "--workers"],
+        "serve" => &[
+            "--data",
+            "--addr",
+            "--port",
+            "--workers",
+            "--max-result-rows",
+        ],
         "generate" => &["--benchmark", "--out", "--scale", "--endpoints", "--seed"],
         "info" => &["--data"],
         "snapshot" => &["--data", "--out"],
@@ -304,6 +331,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     Some(ms)
                 }
             };
+            let memory_budget: Option<usize> = match get("--memory-budget") {
+                None => None,
+                Some(v) => {
+                    Some(parse_bytes(v).map_err(|m| usage(&format!("bad --memory-budget: {m}")))?)
+                }
+            };
+            let max_result_rows: Option<usize> = match get("--max-result-rows") {
+                None => None,
+                Some(v) => {
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| usage(&format!("bad --max-result-rows {v:?}")))?;
+                    if n == 0 {
+                        return Err(usage("--max-result-rows must be at least 1"));
+                    }
+                    Some(n)
+                }
+            };
             // Group specs are validated at parse time so a malformed
             // NAME=URL,URL list fails before any endpoint is dialled.
             for spec in &endpoints {
@@ -320,6 +365,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                      have no partial-results mode)",
                 ));
             }
+            if memory_budget.is_some() && engine != EngineKind::Lusail {
+                return Err(usage(
+                    "--memory-budget is only supported by the lusail engine (the \
+                     baselines have no memory accounting)",
+                ));
+            }
             Ok(Command::Query {
                 data,
                 endpoints,
@@ -331,6 +382,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 retries,
                 backoff,
                 hedge_after,
+                memory_budget,
+                max_result_rows,
                 format,
                 explain: has("--explain"),
                 partial: has("--partial"),
@@ -359,10 +412,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .parse()
                     .map_err(|_| usage(&format!("bad --workers {v:?}")))?,
             };
+            let max_result_rows: Option<usize> = match get("--max-result-rows") {
+                None => None,
+                Some(v) => {
+                    let n: usize = v
+                        .parse()
+                        .map_err(|_| usage(&format!("bad --max-result-rows {v:?}")))?;
+                    if n == 0 {
+                        return Err(usage("--max-result-rows must be at least 1"));
+                    }
+                    Some(n)
+                }
+            };
             Ok(Command::Serve {
                 data,
                 addr,
                 workers,
+                max_result_rows,
             })
         }
         "generate" => {
@@ -435,6 +501,33 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }
         other => Err(usage(&format!("unknown subcommand {other:?}"))),
     }
+}
+
+/// Parse a byte-size argument: a plain count, or a count with a decimal
+/// (`KB`/`MB`/`GB`) or binary (`KiB`/`MiB`/`GiB`) suffix, case-insensitive
+/// — `8MiB`, `512kb`, `1073741824`.
+fn parse_bytes(v: &str) -> Result<usize, String> {
+    let t = v.trim();
+    let split = t.find(|c: char| !c.is_ascii_digit()).unwrap_or(t.len());
+    let (digits, suffix) = t.split_at(split);
+    let mult: usize = match suffix.trim().to_ascii_lowercase().as_str() {
+        "" | "b" => 1,
+        "kb" => 1000,
+        "mb" => 1_000_000,
+        "gb" => 1_000_000_000,
+        "kib" => 1 << 10,
+        "mib" => 1 << 20,
+        "gib" => 1 << 30,
+        other => return Err(format!("unknown byte suffix {other:?} in {v:?}")),
+    };
+    if digits.is_empty() {
+        return Err(format!("{v:?} has no leading number"));
+    }
+    let n: usize = digits
+        .parse()
+        .map_err(|_| format!("bad byte count {v:?}"))?;
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("{v:?} overflows a byte count"))
 }
 
 /// Load a data file as a store (by extension: `.ttl`/`.turtle` Turtle,
@@ -556,6 +649,7 @@ pub fn start_server(
     data: &[PathBuf],
     addr: &str,
     workers: usize,
+    max_result_rows: Option<usize>,
 ) -> Result<(lusail_server::ServerHandle, usize), CliError> {
     let mut merged = Graph::new();
     for path in data {
@@ -580,6 +674,7 @@ pub fn start_server(
     let store = Store::from_graph(&merged);
     let config = ServerConfig {
         workers,
+        max_result_rows,
         ..Default::default()
     };
     let server = lusail_server::SparqlServer::bind(addr, store, config).map_err(CliError::Io)?;
@@ -593,8 +688,9 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             data,
             addr,
             workers,
+            max_result_rows,
         } => {
-            let (handle, triples) = start_server(&data, &addr, workers)?;
+            let (handle, triples) = start_server(&data, &addr, workers, max_result_rows)?;
             writeln!(out, "serving {} triples at {}", triples, handle.url())?;
             out.flush()?;
             // Serve until the process is killed.
@@ -613,6 +709,8 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             retries,
             backoff,
             hedge_after,
+            memory_budget,
+            max_result_rows,
             format,
             explain,
             partial,
@@ -625,6 +723,9 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             if let Some(ms) = backoff {
                 http.backoff = Duration::from_millis(ms);
             }
+            // The transport-level cap guards every engine: a result bomb
+            // is cut off while the response streams in.
+            http.max_result_rows = max_result_rows;
             let federation = build_federation(
                 &data,
                 &endpoints,
@@ -651,6 +752,8 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                         } else {
                             ResultPolicy::FailFast
                         },
+                        memory_budget,
+                        max_result_rows,
                         ..Default::default()
                     },
                 );
@@ -681,6 +784,7 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 print_relation(&rel, format, out)?;
                 if stats {
                     print_endpoint_stats(&federation, out)?;
+                    print_memory_stats(&profile.memory, out)?;
                 }
                 return Ok(());
             }
@@ -903,6 +1007,30 @@ fn print_endpoint_stats(federation: &Federation, out: &mut dyn Write) -> Result<
     Ok(())
 }
 
+/// The `--stats` memory section: peak accounted bytes overall and per
+/// phase, plus spill activity from budget-pressured joins.
+fn print_memory_stats(m: &lusail_core::MemoryStats, out: &mut dyn Write) -> Result<(), CliError> {
+    writeln!(out, "# memory:")?;
+    match m.limit {
+        Some(limit) => writeln!(out, "#   budget          : {limit} bytes")?,
+        None => writeln!(out, "#   budget          : unbounded")?,
+    }
+    writeln!(out, "#   peak accounted  : {} bytes", m.peak_bytes)?;
+    writeln!(out, "#   wave peak       : {} bytes", m.wave_peak_bytes)?;
+    writeln!(out, "#   join peak       : {} bytes", m.join_peak_bytes)?;
+    writeln!(
+        out,
+        "#   bound-join peak : {} bytes",
+        m.bound_join_peak_bytes
+    )?;
+    writeln!(
+        out,
+        "#   spills          : {} runs, {} bytes",
+        m.spill_count, m.spill_bytes
+    )?;
+    Ok(())
+}
+
 fn print_relation(
     rel: &lusail_sparql::solution::Relation,
     format: OutputFormat,
@@ -1067,6 +1195,136 @@ mod tests {
     }
 
     #[test]
+    fn parse_bytes_accepts_suffixes_and_rejects_garbage() {
+        assert_eq!(parse_bytes("123").unwrap(), 123);
+        assert_eq!(parse_bytes("64b").unwrap(), 64);
+        assert_eq!(parse_bytes("2KB").unwrap(), 2000);
+        assert_eq!(parse_bytes("3mb").unwrap(), 3_000_000);
+        assert_eq!(parse_bytes("1gb").unwrap(), 1_000_000_000);
+        assert_eq!(parse_bytes("4KiB").unwrap(), 4096);
+        assert_eq!(parse_bytes("8MiB").unwrap(), 8 << 20);
+        assert_eq!(parse_bytes("2GiB").unwrap(), 2 << 30);
+        assert!(parse_bytes("MiB").is_err());
+        assert!(parse_bytes("12parsecs").is_err());
+        assert!(parse_bytes("99999999999999999999gb").is_err());
+    }
+
+    #[test]
+    fn parse_memory_flags() {
+        let cmd = parse_args(&s(&[
+            "query",
+            "--data",
+            "a.nt",
+            "--query",
+            "q.sparql",
+            "--memory-budget",
+            "8MiB",
+            "--max-result-rows",
+            "100",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Query {
+                memory_budget,
+                max_result_rows,
+                ..
+            } => {
+                assert_eq!(memory_budget, Some(8 << 20));
+                assert_eq!(max_result_rows, Some(100));
+            }
+            other => panic!("{other:?}"),
+        }
+        // --memory-budget is lusail-only, like --partial.
+        let err = parse_args(&s(&[
+            "query",
+            "--data",
+            "a.nt",
+            "--query",
+            "q",
+            "--engine",
+            "fedx",
+            "--memory-budget",
+            "1mb",
+        ]))
+        .unwrap_err();
+        match err {
+            CliError::Usage(msg) => assert!(msg.contains("--memory-budget"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+        // Zero caps are rejected rather than silently meaning "drop everything".
+        assert!(matches!(
+            parse_args(&s(&[
+                "query",
+                "--data",
+                "a.nt",
+                "--query",
+                "q",
+                "--max-result-rows",
+                "0"
+            ])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["serve", "--data", "a.nt", "--max-result-rows", "0"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn memory_budget_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("lusail-cli-mem-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let nt = dir.join("d.nt");
+        let mut body = String::new();
+        for i in 0..50 {
+            body.push_str(&format!(
+                "<http://x/s{i}> <http://x/linked> <http://x/d{i}> .\n"
+            ));
+        }
+        std::fs::write(&nt, body).unwrap();
+        let base = [
+            "query",
+            "--data",
+            nt.to_str().unwrap(),
+            "--query-text",
+            "SELECT ?s ?d WHERE { ?s <http://x/linked> ?d }",
+        ];
+
+        // Fail-fast: a 1-byte budget cannot admit any wave result.
+        let mut args = s(&base);
+        args.extend(s(&["--memory-budget", "1"]));
+        let mut buf = Vec::new();
+        let err = run(&args, &mut buf).unwrap_err();
+        match err {
+            CliError::Engine(e) => {
+                assert!(e.to_string().contains("memory budget"), "{e}")
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // --partial degrades to a truncated result plus a visible warning.
+        let mut args = s(&base);
+        args.extend(s(&["--memory-budget", "1", "--partial"]));
+        let mut buf = Vec::new();
+        run(&args, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("# warning"), "{text}");
+        assert!(text.contains("memory budget"), "{text}");
+
+        // A generous budget succeeds and --stats reports the memory section.
+        let mut args = s(&base);
+        args.extend(s(&["--memory-budget", "8MiB", "--stats"]));
+        let mut buf = Vec::new();
+        run(&args, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("# memory:"), "{text}");
+        assert!(text.contains("peak accounted"), "{text}");
+        assert!(text.contains("8388608 bytes"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn generate_defaults() {
         let cmd = parse_args(&s(&["generate", "--benchmark", "lubm", "--out", "/tmp/x"])).unwrap();
         match cmd {
@@ -1189,6 +1447,7 @@ mod tests {
                 data: vec![PathBuf::from("a.nt")],
                 addr: "127.0.0.1:8890".to_string(),
                 workers: ServerConfig::default().workers,
+                max_result_rows: None,
             }
         );
         assert!(matches!(
@@ -1249,7 +1508,8 @@ mod tests {
         std::fs::write(&b, "<http://x/s2> <http://x/p> <http://x/o2> .\n").unwrap();
 
         // serve merges both files into one store.
-        let (handle, triples) = start_server(&[a.clone(), b.clone()], "127.0.0.1:0", 2).unwrap();
+        let (handle, triples) =
+            start_server(&[a.clone(), b.clone()], "127.0.0.1:0", 2, None).unwrap();
         assert_eq!(triples, 2);
 
         // query federates the HTTP endpoint with a local file.
@@ -1377,7 +1637,7 @@ mod tests {
         let a = dir.join("a.nt");
         std::fs::write(&a, "<http://x/s1> <http://x/p> <http://x/o1> .\n").unwrap();
 
-        let (handle, _) = start_server(&[a.clone()], "127.0.0.1:0", 2).unwrap();
+        let (handle, _) = start_server(&[a.clone()], "127.0.0.1:0", 2, None).unwrap();
         // Member 0 is a dead address (connection refused); member 1 is the
         // live server. The group must answer with the live member's rows.
         let group = format!("mirror=http://127.0.0.1:9/sparql,{}", handle.url());

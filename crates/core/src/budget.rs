@@ -1,0 +1,247 @@
+//! Per-query memory accounting: the space analogue of the [`crate::run`]
+//! deadline budget.
+//!
+//! A [`MemoryBudget`] tracks the bytes of materialized intermediate state
+//! a query is holding — admitted endpoint responses, join outputs — using
+//! the same cheap wire-size estimate the simulated network charges
+//! ([`lusail_sparql::solution::Relation::wire_size`]). Charging is
+//! chunked: callers admit relations a block of rows at a time, so the
+//! accounted peak can overshoot the limit by at most one admission chunk
+//! before the overflow is seen and handled (truncation under partial
+//! results, a structured [`crate::EngineError::BudgetExceeded`] under
+//! fail-fast).
+//!
+//! The budget also records *spills*: joins that would not fit in memory
+//! fall back to an external sort-merge join (see [`crate::sape::join`]),
+//! and the run/byte counts of those spilled runs surface in
+//! [`MemoryStats`] for `lusail query --stats`.
+
+use std::sync::{Arc, Mutex};
+
+/// Which execution phase a charge belongs to, for per-phase peak stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryPhase {
+    /// Phase-1 subquery wave results (and MINUS-block contributions).
+    Wave,
+    /// Global join intermediates and outputs.
+    Join,
+    /// Phase-2 bound-join (VALUES block) results.
+    BoundJoin,
+}
+
+/// A charge that did not fit: the budget's limit, the bytes accounted at
+/// the time, and the size of the rejected charge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExhausted {
+    pub limit: usize,
+    pub used: usize,
+    pub requested: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    used: usize,
+    peak: usize,
+    /// Peak accounted bytes observed while each phase was charging,
+    /// indexed by [`MemoryPhase`] discriminant.
+    phase_peaks: [usize; 3],
+    spill_count: u64,
+    spill_bytes: u64,
+}
+
+/// Memory accounting snapshot for one query (behind `--stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// The configured limit, if any.
+    pub limit: Option<usize>,
+    /// Highest accounted bytes at any point of the query.
+    pub peak_bytes: usize,
+    /// Peak accounted bytes while subquery-wave results were charging.
+    pub wave_peak_bytes: usize,
+    /// Peak accounted bytes while join outputs were charging.
+    pub join_peak_bytes: usize,
+    /// Peak accounted bytes while bound-join results were charging.
+    pub bound_join_peak_bytes: usize,
+    /// Sorted runs written by spilling joins.
+    pub spill_count: u64,
+    /// Total bytes written to spill runs.
+    pub spill_bytes: u64,
+}
+
+/// Shared, thread-safe accounting handle; clones refer to one ledger.
+#[derive(Debug, Clone)]
+pub struct MemoryBudget {
+    limit: Option<usize>,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl MemoryBudget {
+    /// A budget capped at `limit` bytes (`None` accounts without a cap).
+    pub fn new(limit: Option<usize>) -> Self {
+        MemoryBudget {
+            limit,
+            inner: Arc::new(Mutex::new(Inner::default())),
+        }
+    }
+
+    /// Accounting only, never rejects a charge.
+    pub fn unbounded() -> Self {
+        MemoryBudget::new(None)
+    }
+
+    /// The configured cap.
+    pub fn limit(&self) -> Option<usize> {
+        self.limit
+    }
+
+    /// Whether a cap is configured at all.
+    pub fn is_bounded(&self) -> bool {
+        self.limit.is_some()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Bytes currently accounted.
+    pub fn used(&self) -> usize {
+        self.lock().used
+    }
+
+    /// Bytes left under the cap (`usize::MAX` when unbounded).
+    pub fn remaining(&self) -> usize {
+        match self.limit {
+            None => usize::MAX,
+            Some(limit) => limit.saturating_sub(self.lock().used),
+        }
+    }
+
+    /// Whether `bytes` more would still fit under the cap.
+    pub fn would_fit(&self, bytes: usize) -> bool {
+        self.remaining() >= bytes
+    }
+
+    /// Account `bytes` against the budget, failing when the cap would be
+    /// crossed (the ledger is left unchanged on failure).
+    pub fn try_charge(&self, phase: MemoryPhase, bytes: usize) -> Result<(), BudgetExhausted> {
+        let mut inner = self.lock();
+        if let Some(limit) = self.limit {
+            if inner.used.saturating_add(bytes) > limit {
+                return Err(BudgetExhausted {
+                    limit,
+                    used: inner.used,
+                    requested: bytes,
+                });
+            }
+        }
+        inner.used += bytes;
+        inner.peak = inner.peak.max(inner.used);
+        let used = inner.used;
+        let p = &mut inner.phase_peaks[phase as usize];
+        *p = (*p).max(used);
+        Ok(())
+    }
+
+    /// Return `bytes` to the budget (e.g. a consumed intermediate).
+    pub fn release(&self, bytes: usize) {
+        let mut inner = self.lock();
+        inner.used = inner.used.saturating_sub(bytes);
+    }
+
+    /// Record one spilled sort run of `bytes` written to disk.
+    pub fn record_spill(&self, bytes: u64) {
+        let mut inner = self.lock();
+        inner.spill_count += 1;
+        inner.spill_bytes += bytes;
+    }
+
+    /// Snapshot the ledger for profiling output.
+    pub fn stats(&self) -> MemoryStats {
+        let inner = self.lock();
+        MemoryStats {
+            limit: self.limit,
+            peak_bytes: inner.peak,
+            wave_peak_bytes: inner.phase_peaks[MemoryPhase::Wave as usize],
+            join_peak_bytes: inner.phase_peaks[MemoryPhase::Join as usize],
+            bound_join_peak_bytes: inner.phase_peaks[MemoryPhase::BoundJoin as usize],
+            spill_count: inner.spill_count,
+            spill_bytes: inner.spill_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_and_release() {
+        let b = MemoryBudget::new(Some(100));
+        b.try_charge(MemoryPhase::Wave, 40).unwrap();
+        b.try_charge(MemoryPhase::Join, 40).unwrap();
+        assert_eq!(b.used(), 80);
+        assert_eq!(b.remaining(), 20);
+        b.release(40);
+        assert_eq!(b.used(), 40);
+        // Peak survives the release.
+        assert_eq!(b.stats().peak_bytes, 80);
+    }
+
+    #[test]
+    fn overflow_is_rejected_without_mutating_the_ledger() {
+        let b = MemoryBudget::new(Some(100));
+        b.try_charge(MemoryPhase::Wave, 90).unwrap();
+        let err = b.try_charge(MemoryPhase::Wave, 20).unwrap_err();
+        assert_eq!(
+            err,
+            BudgetExhausted {
+                limit: 100,
+                used: 90,
+                requested: 20
+            }
+        );
+        assert_eq!(b.used(), 90, "a rejected charge must not be booked");
+        assert!(b.would_fit(10));
+        assert!(!b.would_fit(11));
+    }
+
+    #[test]
+    fn unbounded_never_rejects_but_still_accounts() {
+        let b = MemoryBudget::unbounded();
+        assert!(!b.is_bounded());
+        b.try_charge(MemoryPhase::BoundJoin, usize::MAX / 2)
+            .unwrap();
+        assert_eq!(b.remaining(), usize::MAX);
+        assert_eq!(b.stats().bound_join_peak_bytes, usize::MAX / 2);
+    }
+
+    #[test]
+    fn phase_peaks_track_total_used_during_that_phase() {
+        let b = MemoryBudget::new(Some(1000));
+        b.try_charge(MemoryPhase::Wave, 300).unwrap();
+        b.try_charge(MemoryPhase::Join, 200).unwrap();
+        let s = b.stats();
+        assert_eq!(s.wave_peak_bytes, 300);
+        // The join charge lands while the wave bytes are still held.
+        assert_eq!(s.join_peak_bytes, 500);
+        assert_eq!(s.peak_bytes, 500);
+    }
+
+    #[test]
+    fn spills_are_counted() {
+        let b = MemoryBudget::unbounded();
+        b.record_spill(1024);
+        b.record_spill(2048);
+        let s = b.stats();
+        assert_eq!(s.spill_count, 2);
+        assert_eq!(s.spill_bytes, 3072);
+    }
+
+    #[test]
+    fn clones_share_one_ledger() {
+        let b = MemoryBudget::new(Some(100));
+        let c = b.clone();
+        c.try_charge(MemoryPhase::Wave, 60).unwrap();
+        assert_eq!(b.used(), 60);
+    }
+}

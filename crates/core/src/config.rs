@@ -96,6 +96,17 @@ pub struct LusailConfig {
     /// Whether endpoint failures abort the query or degrade it to a
     /// partial result with warnings.
     pub result_policy: ResultPolicy,
+    /// Per-query cap on accounted bytes of materialized intermediate
+    /// state (admitted endpoint results and join outputs). `None` (the
+    /// default) accounts without enforcing. On exhaustion the query
+    /// aborts with [`crate::EngineError::BudgetExceeded`] under
+    /// [`ResultPolicy::FailFast`], or truncates with a warning under
+    /// [`ResultPolicy::Partial`].
+    pub memory_budget: Option<usize>,
+    /// Cap on the rows admitted from any single endpoint response — the
+    /// engine-side backstop against result bombs. `None` admits
+    /// everything.
+    pub max_result_rows: Option<usize>,
 }
 
 impl Default for LusailConfig {
@@ -111,6 +122,8 @@ impl Default for LusailConfig {
             cache_counts: true,
             paranoid_locality: false,
             result_policy: ResultPolicy::FailFast,
+            memory_budget: None,
+            max_result_rows: None,
         }
     }
 }

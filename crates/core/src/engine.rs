@@ -1,5 +1,6 @@
 //! The Lusail engine: source selection → LADE → SAPE → result assembly.
 
+use crate::budget::{MemoryPhase, MemoryStats};
 use crate::cache::QueryCache;
 use crate::config::{LusailConfig, SapeMode};
 use crate::error::EngineError;
@@ -50,6 +51,9 @@ pub struct ExecutionProfile {
     /// names the unreachable endpoint and the affected subquery or probe.
     /// Empty for complete (non-degraded) results.
     pub warnings: Vec<ExecutionWarning>,
+    /// Memory accounting: peak accounted bytes (overall and per phase)
+    /// and spill activity, from the per-query [`crate::MemoryBudget`].
+    pub memory: MemoryStats,
 }
 
 /// The Lusail federated SPARQL engine (see the crate docs for an overview).
@@ -202,6 +206,7 @@ impl LusailEngine {
 
         profile.result_rows = result.len();
         profile.warnings = ctx.take_warnings();
+        profile.memory = ctx.memory.stats();
         profile.total = start.elapsed();
         Ok((result, profile))
     }
@@ -386,7 +391,7 @@ impl LusailEngine {
                 optional: false,
             };
             let results = self.handler.map_cancellable(
-                merged,
+                merged.clone(),
                 ctx.deadline,
                 |_| Err(EndpointError::deadline("MINUS block")),
                 |ep| {
@@ -396,12 +401,18 @@ impl LusailEngine {
                 },
             );
             let mut minus_rel = Relation::new(sq.projection.clone());
-            for r in results {
+            for (ep, r) in merged.into_iter().zip(results) {
                 // Skipping a MINUS contribution removes fewer rows, so a
                 // degraded result is a *superset* of the true answer; the
                 // warning records which endpoint's exclusions are missing.
                 let empty = Relation::new(sq.projection.clone());
-                minus_rel.append(ctx.absorb("MINUS block", empty, r)?);
+                let r = ctx.absorb("MINUS block", empty, r)?;
+                minus_rel.append(ctx.admit_relation(
+                    "MINUS block",
+                    self.federation.endpoint(ep).name(),
+                    MemoryPhase::Wave,
+                    r,
+                )?);
             }
             rel = rel.minus(&minus_rel);
         }

@@ -15,6 +15,18 @@ pub enum EngineError {
     Unsupported(String),
     /// An endpoint rejected a request (the paper's Table 2 "RE" rows).
     Endpoint(EndpointError),
+    /// The per-query memory budget was exhausted while materializing
+    /// results under fail-fast, naming what was being built and — when
+    /// attributable to a single response — the endpoint that sent it.
+    BudgetExceeded {
+        /// The configured `--memory-budget` in bytes.
+        limit: usize,
+        /// What was being materialized ("subquery #3", "global join", …).
+        subquery: String,
+        /// The endpoint whose results crossed the budget; empty when the
+        /// overflow happened in a federator-side join of many inputs.
+        endpoint: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -23,6 +35,20 @@ impl std::fmt::Display for EngineError {
             EngineError::Timeout(d) => write!(f, "query timed out after {d:?}"),
             EngineError::Unsupported(what) => write!(f, "unsupported query feature: {what}"),
             EngineError::Endpoint(e) => write!(f, "{e}"),
+            EngineError::BudgetExceeded {
+                limit,
+                subquery,
+                endpoint,
+            } => {
+                write!(
+                    f,
+                    "memory budget of {limit} bytes exceeded while materializing {subquery}"
+                )?;
+                if !endpoint.is_empty() {
+                    write!(f, " from endpoint {endpoint:?}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

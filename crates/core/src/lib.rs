@@ -42,6 +42,7 @@
 //! assert_eq!(result.len(), 1);
 //! ```
 
+pub mod budget;
 pub mod cache;
 pub mod config;
 pub mod early;
@@ -55,6 +56,7 @@ pub mod sape;
 pub mod source;
 pub mod subquery;
 
+pub use budget::{MemoryBudget, MemoryPhase, MemoryStats};
 pub use cache::QueryCache;
 pub use config::{DelayThreshold, LusailConfig, ResultPolicy, SapeMode};
 pub use engine::{ExecutionProfile, LusailEngine};

@@ -10,11 +10,19 @@
 //! [`ResultPolicy`] — whether a failure aborts the query or degrades it
 //! to a warning.
 
+use crate::budget::{MemoryBudget, MemoryPhase};
 use crate::config::{LusailConfig, ResultPolicy};
 use crate::error::EngineError;
 use lusail_federation::{Deadline, EndpointError, FailureKind};
+use lusail_sparql::solution::row_wire_size;
+use lusail_sparql::Relation;
 use std::sync::Mutex;
 use std::time::Duration;
+
+/// How many rows [`RunContext::admit_relation`] charges per budget check.
+/// The accounted peak can overshoot the memory budget by at most one
+/// chunk's bytes before the overflow is handled.
+pub const ADMISSION_CHUNK_ROWS: usize = 256;
 
 /// One piece of work that partial-results mode skipped, naming the
 /// endpoint that was unreachable and the subquery (or probe) affected.
@@ -48,6 +56,10 @@ pub struct RunContext {
     pub policy: ResultPolicy,
     /// The configured budget, echoed in [`EngineError::Timeout`].
     budget: Option<Duration>,
+    /// Memory accounting for materialized intermediate state.
+    pub memory: MemoryBudget,
+    /// Cap on rows admitted from any single endpoint response.
+    max_result_rows: Option<usize>,
     warnings: Mutex<Vec<ExecutionWarning>>,
 }
 
@@ -62,6 +74,8 @@ impl RunContext {
             deadline,
             policy: config.result_policy,
             budget: config.timeout,
+            memory: MemoryBudget::new(config.memory_budget),
+            max_result_rows: config.max_result_rows,
             warnings: Mutex::new(Vec::new()),
         }
     }
@@ -73,6 +87,8 @@ impl RunContext {
             deadline,
             policy: ResultPolicy::FailFast,
             budget,
+            memory: MemoryBudget::unbounded(),
+            max_result_rows: None,
             warnings: Mutex::new(Vec::new()),
         }
     }
@@ -157,6 +173,124 @@ impl RunContext {
             }
             Err(e) => Err(EngineError::Endpoint(e)),
         }
+    }
+
+    /// The structured budget-exhaustion error for fail-fast mode.
+    pub fn budget_error(&self, what: &str, endpoint: &str) -> EngineError {
+        EngineError::BudgetExceeded {
+            limit: self.memory.limit().unwrap_or(0),
+            subquery: what.to_string(),
+            endpoint: endpoint.to_string(),
+        }
+    }
+
+    /// Admit one endpoint response into the query's accounted memory.
+    ///
+    /// Enforcement happens in two layers, mirroring how the HTTP client
+    /// treats a real wire response:
+    ///
+    /// * the `--max-result-rows` cap rejects (fail-fast) or truncates
+    ///   (partial) an oversized response outright;
+    /// * the memory budget is charged in [`ADMISSION_CHUNK_ROWS`]-row
+    ///   chunks, so the accounted peak overshoots the limit by at most
+    ///   one chunk. On overflow, fail-fast aborts with
+    ///   [`EngineError::BudgetExceeded`] naming `what` and `endpoint`;
+    ///   partial mode keeps the rows already admitted and records an
+    ///   [`ExecutionWarning`].
+    ///
+    /// Admitted bytes stay charged for the rest of the query (wave
+    /// results are live until the global join consumes them); the ledger
+    /// dies with the context.
+    pub fn admit_relation(
+        &self,
+        what: &str,
+        endpoint: &str,
+        phase: MemoryPhase,
+        mut rel: Relation,
+    ) -> Result<Relation, EngineError> {
+        if let Some(cap) = self.max_result_rows {
+            if rel.len() > cap {
+                match self.policy {
+                    ResultPolicy::FailFast => {
+                        return Err(EngineError::Endpoint(EndpointError::rejected(
+                            endpoint,
+                            format!(
+                                "result of {} rows exceeds the --max-result-rows cap of {cap}",
+                                rel.len()
+                            ),
+                        )));
+                    }
+                    ResultPolicy::Partial => {
+                        let total = rel.len();
+                        rel.rows_mut().truncate(cap);
+                        self.warn(ExecutionWarning {
+                            endpoint: endpoint.to_string(),
+                            subquery: what.to_string(),
+                            message: format!(
+                                "result truncated from {total} to {cap} rows (--max-result-rows)"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Under --partial a single response may claim at most half of the
+        // budget still free when it arrives: a result bomb then degrades
+        // only itself, leaving headroom for later subqueries and the join
+        // phase instead of starving every admission after it. Fail-fast
+        // admits up to the full budget — exhaustion aborts the query
+        // anyway, so holding back headroom would only lower the effective
+        // limit.
+        let allowance = match self.policy {
+            ResultPolicy::Partial if self.memory.is_bounded() => self.memory.remaining() / 2,
+            _ => usize::MAX,
+        };
+
+        // Header charge, then row chunks.
+        let mut pending = 8 * rel.vars().len();
+        let mut admitted_rows = 0;
+        let mut charged = 0;
+        let mut exhausted = false;
+        while admitted_rows < rel.len() {
+            let chunk_end = (admitted_rows + ADMISSION_CHUNK_ROWS).min(rel.len());
+            pending += rel.rows()[admitted_rows..chunk_end]
+                .iter()
+                .map(|r| row_wire_size(r))
+                .sum::<usize>();
+            if charged + pending > allowance || self.memory.try_charge(phase, pending).is_err() {
+                exhausted = true;
+                break;
+            }
+            charged += pending;
+            pending = 0;
+            admitted_rows = chunk_end;
+        }
+        if !exhausted && pending > 0 {
+            // Empty relation: only the header was pending.
+            exhausted = self.memory.try_charge(phase, pending).is_err();
+        }
+        if exhausted {
+            match self.policy {
+                ResultPolicy::FailFast => {
+                    self.memory.release(charged);
+                    return Err(self.budget_error(what, endpoint));
+                }
+                ResultPolicy::Partial => {
+                    let total = rel.len();
+                    rel.rows_mut().truncate(admitted_rows);
+                    self.warn(ExecutionWarning {
+                        endpoint: endpoint.to_string(),
+                        subquery: what.to_string(),
+                        message: format!(
+                            "memory budget exhausted: result truncated from {total} to \
+                             {admitted_rows} rows"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(rel)
     }
 
     /// [`RunContext::absorb_flagged`] without the degraded flag.
@@ -264,6 +398,133 @@ mod tests {
             ctx.absorb("x", (), Err(EndpointError::rejected("ep1", "413")));
         assert!(matches!(r, Err(EngineError::Endpoint(_))));
         assert!(ctx.take_warnings().is_empty());
+    }
+
+    fn sample_relation(rows: usize) -> Relation {
+        let mut rel = Relation::new(vec!["x".into()]);
+        for i in 0..rows {
+            rel.push(vec![Some(lusail_rdf::Term::iri(format!(
+                "http://x/item-{i:06}"
+            )))]);
+        }
+        rel
+    }
+
+    fn budgeted_ctx(policy: ResultPolicy, budget: usize) -> RunContext {
+        RunContext::new(&LusailConfig {
+            result_policy: policy,
+            memory_budget: Some(budget),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn admit_row_cap_rejects_under_fail_fast_and_truncates_under_partial() {
+        let strict = RunContext::new(&LusailConfig {
+            max_result_rows: Some(10),
+            ..Default::default()
+        });
+        let err = strict
+            .admit_relation(
+                "subquery #0",
+                "ep-bomb",
+                MemoryPhase::Wave,
+                sample_relation(50),
+            )
+            .unwrap_err();
+        match err {
+            EngineError::Endpoint(e) => {
+                assert_eq!(e.endpoint, "ep-bomb");
+                assert!(e.message.contains("--max-result-rows"), "{}", e.message);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+
+        let lax = RunContext::new(&LusailConfig {
+            max_result_rows: Some(10),
+            result_policy: ResultPolicy::Partial,
+            ..Default::default()
+        });
+        let rel = lax
+            .admit_relation(
+                "subquery #0",
+                "ep-bomb",
+                MemoryPhase::Wave,
+                sample_relation(50),
+            )
+            .unwrap();
+        assert_eq!(rel.len(), 10);
+        let warnings = lax.take_warnings();
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].endpoint, "ep-bomb");
+        assert!(warnings[0].message.contains("truncated from 50 to 10"));
+    }
+
+    #[test]
+    fn admit_budget_overflow_fails_fast_with_structured_error() {
+        let ctx = budgeted_ctx(ResultPolicy::FailFast, 1024);
+        let err = ctx
+            .admit_relation(
+                "subquery #3",
+                "ep-bomb",
+                MemoryPhase::Wave,
+                sample_relation(5000),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::BudgetExceeded {
+                limit: 1024,
+                subquery: "subquery #3".into(),
+                endpoint: "ep-bomb".into(),
+            }
+        );
+        assert!(err.to_string().contains("subquery #3"));
+        assert!(err.to_string().contains("ep-bomb"));
+        assert_eq!(
+            ctx.memory.used(),
+            0,
+            "failed admission must release its charges"
+        );
+    }
+
+    #[test]
+    fn admit_budget_overflow_truncates_with_warning_under_partial() {
+        let limit = 64 * 1024;
+        let ctx = budgeted_ctx(ResultPolicy::Partial, limit);
+        let rel = ctx
+            .admit_relation(
+                "subquery #3",
+                "ep-bomb",
+                MemoryPhase::Wave,
+                sample_relation(20_000),
+            )
+            .unwrap();
+        assert!(rel.len() < 20_000, "oversized result must be truncated");
+        assert!(!rel.is_empty(), "some rows fit under a 64 KiB budget");
+        // Peak accounting never ran past the limit: overflowing chunks are
+        // rejected, not booked.
+        assert!(ctx.memory.stats().peak_bytes <= limit);
+        let warnings = ctx.take_warnings();
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].message.contains("memory budget exhausted"));
+    }
+
+    #[test]
+    fn admit_within_budget_charges_the_phase() {
+        let ctx = budgeted_ctx(ResultPolicy::FailFast, 1 << 20);
+        let rel = ctx
+            .admit_relation(
+                "subquery #0",
+                "ep-0",
+                MemoryPhase::BoundJoin,
+                sample_relation(100),
+            )
+            .unwrap();
+        assert_eq!(rel.len(), 100);
+        let stats = ctx.memory.stats();
+        assert!(stats.bound_join_peak_bytes > 0);
+        assert_eq!(stats.peak_bytes, ctx.memory.used());
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Algorithm 3: selectivity-aware evaluation of subqueries.
 
-use crate::config::LusailConfig;
+use crate::budget::MemoryPhase;
+use crate::config::{LusailConfig, ResultPolicy};
 use crate::error::EngineError;
-use crate::run::RunContext;
-use crate::sape::join::{dp_join_order, parallel_join};
+use crate::run::{ExecutionWarning, RunContext};
+use crate::sape::join::{budgeted_join, charge_output, dp_join_order};
 use crate::sape::schedule::Schedule;
 use crate::subquery::Subquery;
 use lusail_federation::{EndpointError, EndpointId, Federation, RequestHandler};
@@ -74,13 +75,19 @@ impl SapeExecutor<'_> {
                     .select_within(&subqueries[i].to_query(), self.ctx.deadline)
             },
         );
-        for ((i, _), rel) in wave.into_iter().zip(results) {
+        for ((i, ep), rel) in wave.into_iter().zip(results) {
             // A skipped endpoint contributes nothing to this subquery's
             // partial: under `--partial`, answers from the remaining
             // sources still flow through.
             let what = format!("subquery #{}", subqueries[i].id);
             let empty = Relation::new(subqueries[i].projection.clone());
             let rel = self.ctx.absorb(&what, empty, rel)?;
+            let rel = self.ctx.admit_relation(
+                &what,
+                self.federation.endpoint(ep).name(),
+                MemoryPhase::Wave,
+                rel,
+            )?;
             match &mut partials[i] {
                 Some(existing) => existing.append(rel),
                 slot @ None => *slot = Some(rel),
@@ -111,7 +118,7 @@ impl SapeExecutor<'_> {
                     .iter()
                     .map(|&i| partials[i].as_ref().unwrap())
                     .collect();
-                let joined = join_all(&rels, self.handler);
+                let joined = join_all(&rels, self.handler, self.ctx)?;
                 for v in joined.vars() {
                     update_bindings(&mut bindings, v, joined.distinct_values(v));
                 }
@@ -162,7 +169,7 @@ impl SapeExecutor<'_> {
             .iter()
             .map(|&i| partials[i].as_ref().unwrap())
             .collect();
-        let mut result = join_all_bridged(&rels, bridges, self.handler);
+        let mut result = join_all_bridged(&rels, bridges, self.handler, self.ctx)?;
 
         // ---- Optional subqueries: bound-evaluate, then left-join --------
         for &i in &optionals {
@@ -202,7 +209,7 @@ impl SapeExecutor<'_> {
             None => {
                 let wave: Vec<EndpointId> = sources;
                 let results = self.handler.map_cancellable(
-                    wave,
+                    wave.clone(),
                     self.ctx.deadline,
                     |_| Err(EndpointError::deadline("bound join")),
                     |ep| {
@@ -211,9 +218,15 @@ impl SapeExecutor<'_> {
                             .select_within(&sq.to_query(), self.ctx.deadline)
                     },
                 );
-                for rel in results {
+                for (ep, rel) in wave.into_iter().zip(results) {
                     let empty = Relation::new(sq.projection.clone());
-                    out.append(self.ctx.absorb(&what, empty, rel)?);
+                    let rel = self.ctx.absorb(&what, empty, rel)?;
+                    out.append(self.ctx.admit_relation(
+                        &what,
+                        self.federation.endpoint(ep).name(),
+                        MemoryPhase::BoundJoin,
+                        rel,
+                    )?);
                 }
             }
             Some(v) => {
@@ -227,7 +240,7 @@ impl SapeExecutor<'_> {
                     .flat_map(|b| sources.iter().map(move |&ep| (b, ep)))
                     .collect();
                 let results = self.handler.map_cancellable(
-                    wave,
+                    wave.clone(),
                     self.ctx.deadline,
                     |_| Err(EndpointError::deadline("bound join")),
                     |(b, ep)| {
@@ -237,12 +250,18 @@ impl SapeExecutor<'_> {
                             .select_within(&q, self.ctx.deadline)
                     },
                 );
-                for rel in results {
+                for ((_, ep), rel) in wave.into_iter().zip(results) {
                     // Bound queries may expose the bind variable even if it
                     // is not projected; align headers.
                     let empty = Relation::new(sq.projection.clone());
                     let rel = self.ctx.absorb(&what, empty, rel)?;
-                    out.append(rel.project(&sq.projection.clone()));
+                    let rel = self.ctx.admit_relation(
+                        &what,
+                        self.federation.endpoint(ep).name(),
+                        MemoryPhase::BoundJoin,
+                        rel.project(&sq.projection.clone()),
+                    )?;
+                    out.append(rel);
                 }
             }
         }
@@ -362,68 +381,123 @@ fn connected_components(executed: &[usize], subqueries: &[Subquery]) -> Vec<Vec<
 }
 
 /// Join a set of relations in DP order.
-fn join_all(rels: &[&Relation], handler: &RequestHandler) -> Relation {
-    join_all_bridged(rels, &[], handler)
+fn join_all(
+    rels: &[&Relation],
+    handler: &RequestHandler,
+    ctx: &RunContext,
+) -> Result<Relation, EngineError> {
+    join_all_bridged(rels, &[], handler, ctx)
 }
 
 /// Join a set of relations in DP order; when two relations share no
 /// variable but a `FILTER(?a = ?b)` bridge connects them, hash join on the
 /// bridge keys instead of taking the product.
+///
+/// Every pairwise join runs through [`budgeted_join`]: under a bounded
+/// memory budget, a join whose working set would not fit spills to an
+/// external sort-merge, and a join whose *output* cannot fit either
+/// aborts ([`ResultPolicy::FailFast`]) or truncates with a warning
+/// ([`ResultPolicy::Partial`]). Consumed accumulators release their
+/// charge, so only the live intermediate stays accounted.
 fn join_all_bridged(
     rels: &[&Relation],
     bridges: &[(Variable, Variable)],
     handler: &RequestHandler,
-) -> Relation {
+    ctx: &RunContext,
+) -> Result<Relation, EngineError> {
+    const WHAT: &str = "global join";
     match rels.len() {
         0 => {
             // The unit relation: no vars, one empty row.
-            Relation::from_rows(Vec::new(), vec![Vec::new()])
+            Ok(Relation::from_rows(Vec::new(), vec![Vec::new()]))
         }
-        1 => rels[0].clone(),
+        1 => Ok(rels[0].clone()),
         _ => {
             let owned: Vec<Relation> = rels.iter().map(|r| (*r).clone()).collect();
             let order = dp_join_order(&owned);
+            let truncate = ctx.policy == ResultPolicy::Partial;
             let mut acc = owned[order[0]].clone();
+            let mut acc_charged = 0usize;
             for &i in &order[1..] {
                 let next = &owned[i];
                 let shares_var = acc.vars().iter().any(|v| next.index_of(v).is_some());
-                if shares_var {
-                    acc = parallel_join(&acc, next, handler);
-                    continue;
-                }
-                // Disconnected: look for bridges in either orientation.
-                let pairs: Vec<(Variable, Variable)> = bridges
-                    .iter()
-                    .filter_map(|(a, b)| {
-                        if acc.index_of(a).is_some() && next.index_of(b).is_some() {
-                            Some((a.clone(), b.clone()))
-                        } else if acc.index_of(b).is_some() && next.index_of(a).is_some() {
-                            Some((b.clone(), a.clone()))
-                        } else {
-                            None
-                        }
-                    })
-                    .collect();
-                acc = if pairs.is_empty() {
-                    parallel_join(&acc, next, handler)
+                let outcome = if shares_var {
+                    budgeted_join(&acc, next, handler, &ctx.memory, truncate)
                 } else {
-                    acc.equi_join(next, &pairs)
+                    // Disconnected: look for bridges in either orientation.
+                    let pairs: Vec<(Variable, Variable)> = bridges
+                        .iter()
+                        .filter_map(|(a, b)| {
+                            if acc.index_of(a).is_some() && next.index_of(b).is_some() {
+                                Some((a.clone(), b.clone()))
+                            } else if acc.index_of(b).is_some() && next.index_of(a).is_some() {
+                                Some((b.clone(), a.clone()))
+                            } else {
+                                None
+                            }
+                        })
+                        .collect();
+                    if pairs.is_empty() {
+                        budgeted_join(&acc, next, handler, &ctx.memory, truncate)
+                    } else {
+                        charge_output(acc.equi_join(next, &pairs), &ctx.memory, truncate)
+                    }
                 };
+                let outcome = outcome.map_err(|_| ctx.budget_error(WHAT, ""))?;
+                if outcome.truncated {
+                    ctx.warn(ExecutionWarning {
+                        endpoint: "federator".into(),
+                        subquery: WHAT.into(),
+                        message: format!(
+                            "memory budget exhausted: join output truncated to {} rows",
+                            outcome.relation.len()
+                        ),
+                    });
+                }
+                ctx.memory.release(acc_charged);
+                acc = outcome.relation;
+                acc_charged = outcome.charged;
             }
-            acc
+            Ok(acc)
         }
     }
 }
 
 /// Intersect (or insert) the found bindings of a variable.
-fn update_bindings(bindings: &mut FxHashMap<Variable, Vec<Term>>, v: &Variable, values: Vec<Term>) {
+///
+/// Bindings are kept sorted and deduplicated (established at insertion,
+/// preserved by intersection), so each merge is one sort of the incoming
+/// values plus a linear two-pointer intersection — pathological binding
+/// sets stay `O(n log n)` where a per-value scan would go quadratic.
+fn update_bindings(
+    bindings: &mut FxHashMap<Variable, Vec<Term>>,
+    v: &Variable,
+    mut values: Vec<Term>,
+) {
+    values.sort_unstable();
+    values.dedup();
     match bindings.get_mut(v) {
         None => {
             bindings.insert(v.clone(), values);
         }
         Some(existing) => {
-            let set: FxHashSet<&Term> = values.iter().collect();
-            existing.retain(|t| set.contains(t));
+            let mut merged = Vec::with_capacity(existing.len().min(values.len()));
+            let (mut a, mut b) = (0, 0);
+            while a < existing.len() && b < values.len() {
+                match existing[a].cmp(&values[b]) {
+                    std::cmp::Ordering::Less => a += 1,
+                    std::cmp::Ordering::Greater => b += 1,
+                    std::cmp::Ordering::Equal => {
+                        merged.push(std::mem::replace(
+                            &mut existing[a],
+                            Term::Iri(String::new()),
+                        ));
+                        a += 1;
+                        b += 1;
+                    }
+                }
+            }
+            *existing = merged;
         }
     }
 }
@@ -478,6 +552,20 @@ mod tests {
         update_bindings(&mut b, &v("x"), vec![t(1), t(2), t(3)]);
         update_bindings(&mut b, &v("x"), vec![t(2), t(3), t(4)]);
         assert_eq!(b[&v("x")], vec![t(2), t(3)]);
+    }
+
+    #[test]
+    fn update_bindings_dedupes_and_keeps_sorted_invariant() {
+        let mut b = FxHashMap::default();
+        let t = |i: usize| Term::iri(format!("http://x/{i}"));
+        // Duplicates and reverse order in: sorted, deduplicated out.
+        update_bindings(&mut b, &v("x"), vec![t(3), t(1), t(2), t(1), t(3)]);
+        assert_eq!(b[&v("x")], vec![t(1), t(2), t(3)]);
+        update_bindings(&mut b, &v("x"), vec![t(4), t(3), t(3), t(2)]);
+        assert_eq!(b[&v("x")], vec![t(2), t(3)]);
+        // Disjoint intersection empties the binding set.
+        update_bindings(&mut b, &v("x"), vec![t(9)]);
+        assert!(b[&v("x")].is_empty());
     }
 
     #[test]

@@ -49,6 +49,12 @@ pub struct FaultProfile {
     /// endpoint mid-wave at a reproducible point instead of a wall-clock
     /// one. `None` means the endpoint never dies this way.
     pub fail_after: Option<u64>,
+    /// Result bomb: every plain `SELECT` (not ASK, not an aggregate — so
+    /// analysis probes pass through untouched) answers with this many
+    /// fabricated rows, regardless of the real data. Models a hostile or
+    /// broken endpoint flooding the federator; drives the `mem-chaos`
+    /// suite's proof that a budgeted engine survives it.
+    pub bomb_rows: Option<usize>,
 }
 
 impl FaultProfile {
@@ -62,6 +68,7 @@ impl FaultProfile {
             spike_rate: 0.0,
             spike: Duration::ZERO,
             fail_after: None,
+            bomb_rows: None,
         }
     }
 
@@ -77,6 +84,14 @@ impl FaultProfile {
     pub fn dies_after(served: u64) -> Self {
         FaultProfile {
             fail_after: Some(served),
+            ..FaultProfile::none()
+        }
+    }
+
+    /// Answer every plain `SELECT` with `rows` fabricated rows.
+    pub fn result_bomb(rows: usize) -> Self {
+        FaultProfile {
+            bomb_rows: Some(rows),
             ..FaultProfile::none()
         }
     }
@@ -189,6 +204,45 @@ impl FaultyEndpoint {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
+    /// Inflate a successful plain-`SELECT` result to the profile's bomb
+    /// size, keeping the real header so the response stays well-shaped —
+    /// the point is to flood the federator with *valid* rows. ASK and
+    /// aggregate (COUNT) queries pass through so source selection and
+    /// cardinality probes behave normally and execution reaches the
+    /// subquery wave.
+    fn maybe_bomb(&self, query: &Query, result: QueryResult) -> QueryResult {
+        let Some(rows) = self.lock_state().profile.bomb_rows else {
+            return result;
+        };
+        let bombable = match &query.form {
+            lusail_sparql::ast::QueryForm::Ask(_) => false,
+            lusail_sparql::ast::QueryForm::Select(s) => matches!(
+                s.projection,
+                lusail_sparql::ast::Projection::All | lusail_sparql::ast::Projection::Vars(_)
+            ),
+        };
+        let QueryResult::Solutions(rel) = &result else {
+            return result;
+        };
+        if !bombable || rel.vars().is_empty() {
+            return result;
+        }
+        let vars = rel.vars().to_vec();
+        let mut bomb = lusail_sparql::solution::Relation::new(vars.clone());
+        for i in 0..rows {
+            bomb.push(
+                (0..vars.len())
+                    .map(|c| {
+                        Some(lusail_rdf::Term::iri(format!(
+                            "http://bomb.example.org/r{i:08}/c{c}"
+                        )))
+                    })
+                    .collect(),
+            );
+        }
+        QueryResult::Solutions(bomb)
+    }
+
     /// Decide what happens to one attempt, consuming randomness under the
     /// lock so concurrent requests still draw a deterministic stream.
     fn next_fault(&self) -> InjectedFault {
@@ -296,7 +350,7 @@ impl SparqlEndpoint for FaultyEndpoint {
             return match self.inner.execute_within(query, deadline) {
                 Ok(result) => {
                     self.health.record_success(started.elapsed());
-                    Ok(result)
+                    Ok(self.maybe_bomb(query, result))
                 }
                 // The wrapped endpoint's own failures pass through with
                 // their kind intact; transport ones count against the
@@ -478,6 +532,32 @@ mod tests {
         std::thread::sleep(Duration::from_millis(40));
         assert_eq!(ep.select(&query()).unwrap().len(), 1);
         assert!(ep.select(&query()).is_err());
+    }
+
+    #[test]
+    fn result_bomb_inflates_selects_but_spares_ask_and_count() {
+        let ep = wrapped(8, FaultProfile::result_bomb(5000), fast_config());
+        let rel = ep.select(&query()).unwrap();
+        assert_eq!(rel.len(), 5000, "SELECT must get the fabricated flood");
+        assert_eq!(rel.vars().len(), 1, "the real header is preserved");
+        assert!(
+            rel.rows()[0][0]
+                .as_ref()
+                .and_then(|t| t.as_iri())
+                .unwrap()
+                .starts_with("http://bomb.example.org/"),
+            "bomb rows are fabricated"
+        );
+        // Deterministic: the same row is fabricated every time.
+        assert_eq!(ep.select(&query()).unwrap().rows()[0], rel.rows()[0]);
+
+        // ASK probes (source selection) answer truthfully.
+        let ask = parse_query("ASK WHERE { ?s <http://x/p> ?o }").unwrap();
+        assert!(ep.ask(&ask).unwrap());
+        // COUNT probes (cardinality estimation) answer truthfully.
+        let count = parse_query("SELECT (COUNT(*) AS ?c) WHERE { ?s <http://x/p> ?o }").unwrap();
+        let counted = ep.select(&count).unwrap();
+        assert_eq!(counted.len(), 1, "aggregates must not be bombed");
     }
 
     #[test]

@@ -115,6 +115,10 @@ pub struct HttpConfig {
     pub backoff: Duration,
     /// Send `GET ?query=…` instead of `POST application/sparql-query`.
     pub use_get: bool,
+    /// Row cap applied *while parsing* the streamed response body: a
+    /// result-bomb endpoint is rejected after this many rows with the
+    /// rest of its body unread, never buffered. `None` disables the cap.
+    pub max_result_rows: Option<usize>,
 }
 
 impl Default for HttpConfig {
@@ -125,6 +129,7 @@ impl Default for HttpConfig {
             retries: 2,
             backoff: Duration::from_millis(50),
             use_get: false,
+            max_result_rows: None,
         }
     }
 }
@@ -174,10 +179,12 @@ impl HttpEndpoint {
         &self.url
     }
 
-    /// One attempt: send the request, read one full response before
-    /// `deadline`. Transport failures come back as `Err(io)`; any complete
-    /// HTTP response — even a 500 — is `Ok`.
-    fn attempt(&self, request: &[u8], deadline: Instant) -> io::Result<HttpResponse> {
+    /// One attempt: send the request, read one response before `deadline`,
+    /// streaming a 200 body through the capped results parser as it
+    /// arrives. Transport failures come back as `Err(io)`; any complete
+    /// HTTP response — even a 500 — is `Ok`. The second tuple element is
+    /// the wire bytes read.
+    fn attempt(&self, request: &[u8], deadline: Instant) -> io::Result<(AttemptOutcome, usize)> {
         let mut pooled = true;
         let stream = match self.conn.lock().expect("conn lock poisoned").take() {
             Some(s) => s,
@@ -187,13 +194,16 @@ impl HttpEndpoint {
             }
         };
         stream.set_nodelay(true).ok();
-        let result = send_and_read(&stream, request, deadline);
+        let result = send_and_read(&stream, request, deadline, self.config.max_result_rows);
         match result {
-            Ok(resp) => {
-                if resp.keep_alive {
+            Ok((outcome, wire_bytes, reusable)) => {
+                // A connection whose body was not drained to its framing
+                // boundary (truncated parse, capped error body) still has
+                // response bytes in flight — never pool it.
+                if reusable {
                     *self.conn.lock().expect("conn lock poisoned") = Some(stream);
                 }
-                Ok(resp)
+                Ok((outcome, wire_bytes))
             }
             Err(e) if pooled => {
                 // The server closed our pooled connection between requests;
@@ -280,30 +290,46 @@ impl SparqlEndpoint for HttpEndpoint {
             made = attempt + 1;
             let started = Instant::now();
             match self.attempt(&request, started + budget) {
-                Ok(resp) => {
+                Ok((outcome, wire_bytes)) => {
                     self.counters
-                        .record(request.len(), resp.wire_bytes, started.elapsed());
-                    match resp.status {
-                        200 => {
+                        .record(request.len(), wire_bytes, started.elapsed());
+                    match outcome {
+                        AttemptOutcome::Results(streamed) => {
                             self.health.record_success(started.elapsed());
-                            let body = String::from_utf8_lossy(&resp.body);
-                            return results_json::parse(&body).map_err(|e| {
-                                EndpointError::rejected(
+                            if streamed.truncated {
+                                // The cap fired mid-parse: a result bomb.
+                                // Rejected, not retried — asking again
+                                // yields the same bomb.
+                                let cap = self.config.max_result_rows.unwrap_or(0);
+                                return Err(EndpointError::rejected(
                                     &self.name,
-                                    format!("unparseable results from {}: {e}", self.url),
-                                )
-                            });
+                                    format!(
+                                        "response from {} exceeded --max-result-rows ({cap}): \
+                                         truncated while parsing, rest of body unread",
+                                        self.url
+                                    ),
+                                ));
+                            }
+                            return Ok(streamed.result);
                         }
-                        500..=599 => {
+                        AttemptOutcome::Malformed(message) => {
+                            // A complete 200 whose body is not a results
+                            // document: the transport worked, the content
+                            // is bad — don't retry.
+                            self.health.record_success(started.elapsed());
+                            return Err(EndpointError::rejected(
+                                &self.name,
+                                format!("unparseable results from {}: {message}", self.url),
+                            ));
+                        }
+                        AttemptOutcome::Status {
+                            status: status @ 500..=599,
+                            body_head,
+                        } => {
                             self.health.record_failure();
-                            last_failure = format!(
-                                "HTTP {} from {}: {}",
-                                resp.status,
-                                self.url,
-                                resp.body_head()
-                            );
+                            last_failure = format!("HTTP {status} from {}: {body_head}", self.url);
                         }
-                        status => {
+                        AttemptOutcome::Status { status, body_head } => {
                             // 4xx (and anything else unexpected) is the
                             // server rejecting *this query* — don't retry.
                             // The transport itself worked, so the breaker
@@ -311,7 +337,7 @@ impl SparqlEndpoint for HttpEndpoint {
                             self.health.record_success(started.elapsed());
                             return Err(EndpointError::rejected(
                                 &self.name,
-                                format!("HTTP {status} from {}: {}", self.url, resp.body_head()),
+                                format!("HTTP {status} from {}: {body_head}", self.url),
                             ));
                         }
                     }
@@ -353,35 +379,29 @@ impl SparqlEndpoint for HttpEndpoint {
     }
 }
 
-/// One fully-read HTTP response.
-struct HttpResponse {
-    status: u16,
-    body: Vec<u8>,
-    /// Total bytes read off the socket (status line + headers + body).
-    wire_bytes: usize,
-    keep_alive: bool,
+/// The interesting outcomes of one HTTP attempt, from the caller's point
+/// of view. The body of a 200 is consumed *while parsing* — there is no
+/// buffered-whole-body representation of a results response any more.
+enum AttemptOutcome {
+    /// A 200 whose body parsed as a results document (possibly cut short
+    /// by the row cap — see [`results_json::StreamedResult::truncated`]).
+    Results(results_json::StreamedResult),
+    /// A complete 200 whose body is not a results document.
+    Malformed(String),
+    /// Any non-200 status, with the head of its body for error messages.
+    Status { status: u16, body_head: String },
 }
 
-impl HttpResponse {
-    /// The first line of the body, truncated — enough for an error message
-    /// without dumping a whole document.
-    fn body_head(&self) -> String {
-        let text = String::from_utf8_lossy(&self.body);
-        let line = text.lines().next().unwrap_or("");
-        let head: String = line.chars().take(160).collect();
-        if head.is_empty() {
-            "<empty body>".to_string()
-        } else {
-            head
-        }
-    }
-}
+/// Cap on how much of a non-200 error body (or post-document slack) is
+/// read: plenty for an error message, useless to a result bomb.
+const ERROR_BODY_CAP: usize = 64 * 1024;
 
 fn send_and_read(
     stream: &TcpStream,
     request: &[u8],
     deadline: Instant,
-) -> io::Result<HttpResponse> {
+    max_result_rows: Option<usize>,
+) -> io::Result<(AttemptOutcome, usize, bool)> {
     let remaining = deadline
         .checked_duration_since(Instant::now())
         .ok_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "request deadline exceeded"))?;
@@ -395,22 +415,88 @@ fn send_and_read(
         deadline,
         total: 0,
     };
-    read_response(&mut reader)
+
+    let head = read_head(&mut reader)?;
+    let framing = if head.chunked {
+        Framing::Chunked {
+            remaining: 0,
+            done: false,
+        }
+    } else if let Some(n) = head.content_length {
+        Framing::Sized { remaining: n }
+    } else {
+        // No framing: the body runs to connection close.
+        Framing::Close
+    };
+    let keep_alive = head.keep_alive && !matches!(framing, Framing::Close);
+    let mut body = BodyReader {
+        reader: &mut reader,
+        framing,
+    };
+
+    let (outcome, drained) = if head.status == 200 {
+        match results_json::parse_stream(&mut body, max_result_rows) {
+            Ok(streamed) => {
+                // Reuse the connection only when the body actually ends
+                // where the document did (modulo a little slack). A drain
+                // error just forfeits pooling; the response already won.
+                let drained = !streamed.truncated && body.discard(ERROR_BODY_CAP).unwrap_or(false);
+                (AttemptOutcome::Results(streamed), drained)
+            }
+            Err(results_json::StreamError::Io(e)) => return Err(e),
+            Err(results_json::StreamError::Malformed(e)) => {
+                (AttemptOutcome::Malformed(e.to_string()), false)
+            }
+        }
+    } else {
+        let (bytes, complete) = body.read_capped(ERROR_BODY_CAP)?;
+        (
+            AttemptOutcome::Status {
+                status: head.status,
+                body_head: body_head(&bytes),
+            },
+            complete,
+        )
+    };
+    Ok((outcome, reader.total, keep_alive && drained))
 }
 
-/// Parse one HTTP/1.1 response from `reader`.
-fn read_response(reader: &mut DeadlineReader<'_>) -> io::Result<HttpResponse> {
+/// The first line of a body, truncated — enough for an error message
+/// without dumping a whole document.
+fn body_head(bytes: &[u8]) -> String {
+    let text = String::from_utf8_lossy(bytes);
+    let line = text.lines().next().unwrap_or("");
+    let head: String = line.chars().take(160).collect();
+    if head.is_empty() {
+        "<empty body>".to_string()
+    } else {
+        head
+    }
+}
+
+/// Status line plus the framing-relevant headers of one response.
+struct ResponseHead {
+    status: u16,
+    content_length: Option<usize>,
+    chunked: bool,
+    keep_alive: bool,
+}
+
+fn read_head(reader: &mut DeadlineReader<'_>) -> io::Result<ResponseHead> {
     let status_line = reader.read_line()?;
     let status = parse_status_line(&status_line)
         .ok_or_else(|| bad_data(format!("malformed status line {status_line:?}")))?;
 
-    let mut content_length: Option<usize> = None;
-    let mut chunked = false;
-    let mut keep_alive = true; // HTTP/1.1 default
+    let mut head = ResponseHead {
+        status,
+        content_length: None,
+        chunked: false,
+        keep_alive: true, // HTTP/1.1 default
+    };
     loop {
         let line = reader.read_line()?;
         if line.is_empty() {
-            break;
+            return Ok(head);
         }
         let Some((name, value)) = line.split_once(':') else {
             return Err(bad_data(format!("malformed header line {line:?}")));
@@ -419,39 +505,23 @@ fn read_response(reader: &mut DeadlineReader<'_>) -> io::Result<HttpResponse> {
         let value = value.trim();
         match name.as_str() {
             "content-length" => {
-                content_length = Some(
+                head.content_length = Some(
                     value
                         .parse()
                         .map_err(|_| bad_data(format!("bad Content-Length {value:?}")))?,
                 );
             }
             "transfer-encoding" => {
-                chunked = value.eq_ignore_ascii_case("chunked");
+                head.chunked = value.eq_ignore_ascii_case("chunked");
             }
             "connection" => {
                 if value.eq_ignore_ascii_case("close") {
-                    keep_alive = false;
+                    head.keep_alive = false;
                 }
             }
             _ => {}
         }
     }
-
-    let body = if chunked {
-        read_chunked_body(reader)?
-    } else if let Some(n) = content_length {
-        reader.read_exact_vec(n)?
-    } else {
-        // No framing: the body runs to connection close.
-        keep_alive = false;
-        reader.read_to_close()?
-    };
-    Ok(HttpResponse {
-        status,
-        body,
-        wire_bytes: reader.total,
-        keep_alive,
-    })
 }
 
 fn parse_status_line(line: &str) -> Option<u16> {
@@ -463,23 +533,119 @@ fn parse_status_line(line: &str) -> Option<u16> {
     parts.next()?.parse().ok()
 }
 
-fn read_chunked_body(reader: &mut DeadlineReader<'_>) -> io::Result<Vec<u8>> {
-    let mut body = Vec::new();
-    loop {
-        let size_line = reader.read_line()?;
-        let size_hex = size_line.split(';').next().unwrap_or("").trim();
-        let size = usize::from_str_radix(size_hex, 16)
-            .map_err(|_| bad_data(format!("bad chunk size {size_line:?}")))?;
-        if size == 0 {
-            // Trailer section, ends with an empty line.
-            while !reader.read_line()?.is_empty() {}
-            return Ok(body);
+/// Body framing, decoded incrementally.
+enum Framing {
+    /// `Content-Length: n` — `remaining` bytes left.
+    Sized { remaining: usize },
+    /// `Transfer-Encoding: chunked` — `remaining` bytes left in the
+    /// current chunk; `done` after the terminal 0-chunk and trailers.
+    Chunked { remaining: usize, done: bool },
+    /// No framing: the body runs to connection close.
+    Close,
+}
+
+/// Presents the framed response body as a plain byte stream, so the
+/// results parser consumes it incrementally — a result bomb is truncated
+/// at the parser without the body ever existing in memory at once.
+struct BodyReader<'a, 'b> {
+    reader: &'b mut DeadlineReader<'a>,
+    framing: Framing,
+}
+
+impl io::Read for BodyReader<'_, '_> {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
         }
-        body.extend_from_slice(&reader.read_exact_vec(size)?);
-        let crlf = reader.read_line()?;
-        if !crlf.is_empty() {
-            return Err(bad_data("chunk data not followed by CRLF"));
+        match &mut self.framing {
+            Framing::Sized { remaining } => {
+                if *remaining == 0 {
+                    return Ok(0);
+                }
+                let want = out.len().min(*remaining);
+                let n = self.reader.read_buf(&mut out[..want])?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-body",
+                    ));
+                }
+                *remaining -= n;
+                Ok(n)
+            }
+            Framing::Chunked { remaining, done } => {
+                if *done {
+                    return Ok(0);
+                }
+                if *remaining == 0 {
+                    let size_line = self.reader.read_line()?;
+                    let size_hex = size_line.split(';').next().unwrap_or("").trim();
+                    let size = usize::from_str_radix(size_hex, 16)
+                        .map_err(|_| bad_data(format!("bad chunk size {size_line:?}")))?;
+                    if size == 0 {
+                        // Trailer section, ends with an empty line.
+                        while !self.reader.read_line()?.is_empty() {}
+                        *done = true;
+                        return Ok(0);
+                    }
+                    *remaining = size;
+                }
+                let want = out.len().min(*remaining);
+                let n = self.reader.read_buf(&mut out[..want])?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-chunk",
+                    ));
+                }
+                *remaining -= n;
+                if *remaining == 0 {
+                    let crlf = self.reader.read_line()?;
+                    if !crlf.is_empty() {
+                        return Err(bad_data("chunk data not followed by CRLF"));
+                    }
+                }
+                Ok(n)
+            }
+            Framing::Close => self.reader.read_buf(out),
         }
+    }
+}
+
+impl BodyReader<'_, '_> {
+    /// Read at most `cap` bytes of the remaining body. Returns the bytes
+    /// and whether the body ended within the cap.
+    fn read_capped(&mut self, cap: usize) -> io::Result<(Vec<u8>, bool)> {
+        use io::Read;
+        let mut out = Vec::new();
+        let mut chunk = [0u8; 4096];
+        while out.len() < cap {
+            let want = chunk.len().min(cap - out.len());
+            let n = self.read(&mut chunk[..want])?;
+            if n == 0 {
+                return Ok((out, true));
+            }
+            out.extend_from_slice(&chunk[..n]);
+        }
+        let n = self.read(&mut chunk[..1])?;
+        out.truncate(cap);
+        Ok((out, n == 0))
+    }
+
+    /// Discard up to `cap` remaining body bytes; `true` when the body
+    /// ended within the cap.
+    fn discard(&mut self, cap: usize) -> io::Result<bool> {
+        use io::Read;
+        let mut thrown = 0usize;
+        let mut chunk = [0u8; 4096];
+        while thrown <= cap {
+            let n = self.read(&mut chunk)?;
+            if n == 0 {
+                return Ok(true);
+            }
+            thrown += n;
+        }
+        Ok(false)
     }
 }
 
@@ -537,25 +703,21 @@ impl DeadlineReader<'_> {
         }
     }
 
-    fn read_exact_vec(&mut self, n: usize) -> io::Result<Vec<u8>> {
-        while self.buf.len() - self.pos < n {
+    /// Copy buffered (or freshly received) bytes into `out`, compacting
+    /// the internal buffer whenever it is fully consumed so a streamed
+    /// body never accumulates. Returns 0 at orderly EOF.
+    fn read_buf(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
             if self.fill()? == 0 {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-body",
-                ));
+                return Ok(0);
             }
         }
-        let out = self.buf[self.pos..self.pos + n].to_vec();
+        let n = out.len().min(self.buf.len() - self.pos);
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
         self.pos += n;
-        Ok(out)
-    }
-
-    fn read_to_close(&mut self) -> io::Result<Vec<u8>> {
-        while self.fill()? > 0 {}
-        let out = self.buf[self.pos..].to_vec();
-        self.pos = self.buf.len();
-        Ok(out)
+        Ok(n)
     }
 }
 
@@ -696,6 +858,7 @@ mod tests {
             retries: 2,
             backoff: Duration::from_millis(1),
             use_get: false,
+            max_result_rows: None,
         }
     }
 
@@ -797,6 +960,125 @@ mod tests {
             .unwrap()
             .with_config(test_config());
         assert!(ep.ask(&ask_query()).unwrap());
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn row_cap_truncates_result_bomb_while_parsing() {
+        use lusail_sparql::ast::Variable;
+        // A hostile endpoint declares a gigantic body and streams rows
+        // until the client hangs up. With --max-result-rows the client
+        // must reject after the cap with the rest of the body unread —
+        // if it tried to buffer the response this test would never end.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(sock.try_clone().unwrap());
+            loop {
+                let mut line = String::new();
+                if reader.read_line(&mut line).unwrap_or(0) == 0 || line.trim().is_empty() {
+                    break;
+                }
+            }
+            let vars = [Variable::new("x")];
+            let head = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nContent-Length: 999999999\r\n\r\n{}",
+                results_json::MEDIA_TYPE,
+                results_json::head_json(&vars),
+            );
+            sock.write_all(head.as_bytes()).unwrap();
+            let mut written = 0usize;
+            for i in 0u64.. {
+                let row = vec![Some(lusail_rdf::Term::iri(format!("http://bomb/{i}")))];
+                let sep = if i == 0 { "" } else { "," };
+                let payload = format!("{sep}{}", results_json::binding_json(&vars, &row));
+                written += payload.len();
+                if sock.write_all(payload.as_bytes()).is_err() {
+                    break; // the client hung up — exactly what we want
+                }
+            }
+            written
+        });
+        let ep = HttpEndpoint::new("bomb", &format!("http://{addr}/sparql"))
+            .unwrap()
+            .with_config(HttpConfig {
+                retries: 0,
+                max_result_rows: Some(8),
+                ..test_config()
+            });
+        let q = lusail_sparql::parse_query("SELECT ?x WHERE { ?s ?p ?x }").unwrap();
+        let err = ep.execute(&q).unwrap_err();
+        assert!(err.message.contains("--max-result-rows (8)"), "{err}");
+        assert!(err.message.contains("unread"), "{err}");
+        drop(ep); // closes the socket so the server thread stops writing
+        let written = server.join().unwrap();
+        assert!(
+            written < 4 << 20,
+            "server should hit a closed socket early, wrote {written} bytes"
+        );
+    }
+
+    #[test]
+    fn streamed_solutions_round_trip_and_pool_the_connection() {
+        use lusail_sparql::ast::Variable;
+        let vars = [Variable::new("x")];
+        let mut doc = results_json::head_json(&vars);
+        for i in 0..3 {
+            if i > 0 {
+                doc.push(',');
+            }
+            let row = vec![Some(lusail_rdf::Term::iri(format!("http://x/{i}")))];
+            doc.push_str(&results_json::binding_json(&vars, &row));
+        }
+        doc.push_str(results_json::SOLUTIONS_TAIL);
+        // Two keep-alive responses on ONE connection: the second request
+        // only works if the first body was fully drained and pooled.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let body = doc.clone();
+        let server = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(sock.try_clone().unwrap());
+            for _ in 0..2 {
+                let mut content_length = 0usize;
+                loop {
+                    let mut line = String::new();
+                    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                        return;
+                    }
+                    let t = line.trim();
+                    if let Some(v) = t.to_ascii_lowercase().strip_prefix("content-length:") {
+                        content_length = v.trim().parse().unwrap_or(0);
+                    }
+                    if t.is_empty() {
+                        break;
+                    }
+                }
+                if content_length > 0 {
+                    let mut b = vec![0u8; content_length];
+                    reader.read_exact(&mut b).ok();
+                }
+                sock.write_all(
+                    format!(
+                        "HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n{}",
+                        body.len(),
+                        body
+                    )
+                    .as_bytes(),
+                )
+                .unwrap();
+            }
+        });
+        let ep = HttpEndpoint::new("pooled", &format!("http://{addr}/sparql"))
+            .unwrap()
+            .with_config(test_config());
+        let q = lusail_sparql::parse_query("SELECT ?x WHERE { ?s ?p ?x }").unwrap();
+        for _ in 0..2 {
+            let rel = ep.select(&q).unwrap();
+            assert_eq!(rel.len(), 3);
+            assert_eq!(rel.rows()[2][0], Some(lusail_rdf::Term::iri("http://x/2")));
+        }
         server.join().unwrap();
     }
 

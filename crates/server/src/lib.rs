@@ -70,6 +70,11 @@ pub struct ServerConfig {
     /// The `Retry-After` hint sent with 503 responses when the worker
     /// pool and backlog are saturated.
     pub retry_after: Duration,
+    /// Process-wide ceiling on rows streamed per response. A larger
+    /// result is truncated at the cap with a warning in the response
+    /// head, so one greedy query cannot monopolize the wire. `None`
+    /// streams everything.
+    pub max_result_rows: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +86,7 @@ impl Default for ServerConfig {
             read_deadline: Duration::from_secs(30),
             name: "lusail".to_string(),
             retry_after: Duration::from_secs(1),
+            max_result_rows: None,
         }
     }
 }
@@ -321,9 +327,7 @@ fn serve_connection(
                 let keep_alive = request.keep_alive;
                 match extract_query(&request, config) {
                     Ok(query_text) => {
-                        if answer_query(&stream, store, &query_text, keep_alive, &config.name)
-                            .is_err()
-                        {
+                        if answer_query(&stream, store, &query_text, keep_alive, config).is_err() {
                             break;
                         }
                     }
@@ -529,8 +533,9 @@ fn answer_query(
     store: &Store,
     query_text: &str,
     keep_alive: bool,
-    name: &str,
+    config: &ServerConfig,
 ) -> io::Result<()> {
+    let name = config.name.as_str();
     let parsed = match lusail_sparql::parse_query(query_text) {
         Ok(q) => q,
         Err(e) => {
@@ -572,14 +577,34 @@ fn answer_query(
             )?;
         }
         QueryResult::Solutions(rel) => {
+            // The server-side row ceiling: the truncation is declared in
+            // the response head (which streams first), so a client sees
+            // the degradation before the rows, not after.
+            let cap = config.max_result_rows.unwrap_or(usize::MAX);
+            let rows = if rel.len() > cap {
+                &rel.rows()[..cap]
+            } else {
+                rel.rows()
+            };
+            let head = if rel.len() > cap {
+                results_json::head_json_with_warnings(
+                    rel.vars(),
+                    &[format!(
+                        "{name}: result truncated to {cap} of {} rows by the server row cap",
+                        rel.len()
+                    )],
+                )
+            } else {
+                results_json::head_json(rel.vars())
+            };
             write!(
                 out,
                 "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
                 results_json::MEDIA_TYPE,
                 connection
             )?;
-            write_chunk(&mut out, results_json::head_json(rel.vars()).as_bytes())?;
-            for (i, row) in rel.rows().iter().enumerate() {
+            write_chunk(&mut out, head.as_bytes())?;
+            for (i, row) in rows.iter().enumerate() {
                 let mut piece = String::new();
                 if i > 0 {
                     piece.push(',');
@@ -1043,6 +1068,76 @@ mod tests {
         let mut text = String::new();
         sock.read_to_string(&mut text).unwrap();
         assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn slow_loris_mid_body_times_out_with_408_json_error() {
+        let handle = start(ServerConfig {
+            read_deadline: Duration::from_millis(100),
+            name: "srv-guarded".to_string(),
+            ..Default::default()
+        });
+        let mut sock = TcpStream::connect(handle.local_addr()).unwrap();
+        // Complete headers promising a body, then a trickle that stalls:
+        // the classic slow-loris shape. The read deadline must cut the
+        // connection loose with a 408 instead of pinning a worker.
+        sock.write_all(
+            b"POST /sparql HTTP/1.1\r\nHost: h\r\n\
+              Content-Type: application/sparql-query\r\nContent-Length: 64\r\n\r\nASK {",
+        )
+        .unwrap();
+        let mut text = String::new();
+        sock.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+        assert!(text.contains("Content-Type: application/json"), "{text}");
+        assert!(text.contains("\"endpoint\":\"srv-guarded\""), "{text}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn oversized_body_gets_413_with_json_error_body() {
+        let handle = start(ServerConfig {
+            max_query_bytes: 128,
+            name: "srv-capped".to_string(),
+            ..Default::default()
+        });
+        let request = format!(
+            "POST /sparql HTTP/1.1\r\nHost: h\r\nContent-Type: application/sparql-query\r\n\
+             Content-Length: 4096\r\n\r\n{}",
+            "x".repeat(4096)
+        );
+        let (status, text) = raw_roundtrip(handle.local_addr(), &request);
+        assert!(status.contains("413"), "{text}");
+        assert!(text.contains("Content-Type: application/json"), "{text}");
+        assert!(text.contains("\"endpoint\":\"srv-capped\""), "{text}");
+        assert!(text.contains("exceeds the 128-byte limit"), "{text}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn server_row_cap_truncates_with_a_head_warning() {
+        let handle = start(ServerConfig {
+            max_result_rows: Some(1),
+            name: "srv-rowcap".to_string(),
+            ..Default::default()
+        });
+        // The test store has two ?s <http://x/p> ?o rows; the cap keeps one.
+        let ep = HttpEndpoint::new("srv", &handle.url()).unwrap();
+        let q = lusail_sparql::parse_query("SELECT ?s ?o WHERE { ?s <http://x/p> ?o }").unwrap();
+        let rel = ep.select(&q).unwrap();
+        assert_eq!(rel.len(), 1, "cap must hold");
+        // The raw body carries the warning in the head, before any row.
+        let request = format!(
+            "GET /sparql?query={} HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n",
+            percent_encode("SELECT ?s ?o WHERE { ?s <http://x/p> ?o }")
+        );
+        let (status, text) = raw_roundtrip(handle.local_addr(), &request);
+        assert!(status.contains("200"), "{text}");
+        assert!(
+            text.contains("srv-rowcap: result truncated to 1 of 2 rows"),
+            "{text}"
+        );
         handle.shutdown();
     }
 

@@ -419,14 +419,18 @@ impl Relation {
     /// the sum of term string lengths plus small per-cell overhead. Used by
     /// the federation layer's bandwidth accounting.
     pub fn wire_size(&self) -> usize {
-        let mut size = 8 * self.vars.len();
-        for row in &self.rows {
-            for cell in row {
-                size += 4 + cell.as_ref().map_or(0, term_wire_size);
-            }
-        }
-        size
+        8 * self.vars.len() + self.rows.iter().map(|r| row_wire_size(r)).sum::<usize>()
     }
+}
+
+/// Wire-size estimate of one row, using the same per-cell model as
+/// [`Relation::wire_size`] (which adds a small per-relation header on
+/// top). The engine's memory accounting charges admitted results row by
+/// row with this.
+pub fn row_wire_size(row: &Row) -> usize {
+    row.iter()
+        .map(|cell| 4 + cell.as_ref().map_or(0, term_wire_size))
+        .sum()
 }
 
 fn term_wire_size(t: &Term) -> usize {

@@ -27,3 +27,13 @@ if ! LUSAIL_CHAOS_SEED="$seed" cargo test -p integration --test replica_chaos -q
     echo "    LUSAIL_CHAOS_SEED=$seed cargo test -p integration --test replica_chaos" >&2
     exit 1
 fi
+
+# Mem-chaos group: memory-budget e2e (tests/tests/mem_chaos.rs). A
+# result-bomb endpoint runs against a small --memory-budget: fail-fast
+# must surface BudgetExceeded naming the endpoint, --partial must truncate
+# within budget, and the spilling join must match the in-memory join.
+if ! LUSAIL_CHAOS_SEED="$seed" cargo test -p integration --test mem_chaos -q --offline; then
+    echo "mem-chaos suite failed with LUSAIL_CHAOS_SEED=$seed -- replay with:" >&2
+    echo "    LUSAIL_CHAOS_SEED=$seed cargo test -p integration --test mem_chaos" >&2
+    exit 1
+fi

@@ -470,6 +470,159 @@ fn expressions_are_total() {
     }
 }
 
+// ---- hostile-input fuzzing ----------------------------------------------
+//
+// The federation layer parses bytes that arrive off the wire from
+// endpoints it does not control. These seeded byte-mutation loops prove
+// the JSON and results parsers are total: any outcome is fine except a
+// panic (or unbounded memory, covered by the streaming cap tests).
+
+/// A well-formed SPARQL results document to mutate, exercising every
+/// term shape the serializer can emit (IRI, plain/typed/tagged literal,
+/// unbound cells, escapes).
+fn seed_results_document(rng: &mut SplitMix64) -> String {
+    let mut doc = String::from("{\"head\":{\"vars\":[\"s\",\"o\"]},\"results\":{\"bindings\":[");
+    let rows = rng.gen_range(1..6usize);
+    for i in 0..rows {
+        if i > 0 {
+            doc.push(',');
+        }
+        let o = match rng.gen_range(0..4u32) {
+            0 => format!(
+                "{{\"type\":\"literal\",\"value\":\"{}\"}}",
+                gen_lowercase(rng, 6)
+            ),
+            1 => format!(
+                "{{\"type\":\"literal\",\"value\":\"{}\",\"datatype\":\
+                 \"http://www.w3.org/2001/XMLSchema#integer\"}}",
+                rng.gen_range(0..99u32)
+            ),
+            2 => "{\"type\":\"literal\",\"value\":\"caf\\u00e9 \\\"q\\\" \
+                  \\uD83D\\uDE00\",\"xml:lang\":\"en\"}"
+                .to_string(),
+            _ => format!(
+                "{{\"type\":\"uri\",\"value\":\"http://x.example.org/{}\"}}",
+                gen_lowercase(rng, 5)
+            ),
+        };
+        doc.push_str(&format!(
+            "{{\"s\":{{\"type\":\"uri\",\"value\":\"http://x.example.org/s{i}\"}},\
+             \"o\":{o}}}"
+        ));
+    }
+    doc.push_str("]}}");
+    doc
+}
+
+/// Apply one of four byte-level corruptions: truncate, flip bytes,
+/// insert noise, or splice a chunk from elsewhere in the document.
+fn mutate_bytes(rng: &mut SplitMix64, bytes: &mut Vec<u8>) {
+    if bytes.is_empty() {
+        return;
+    }
+    match rng.gen_range(0..4u32) {
+        0 => {
+            let at = rng.gen_range(0..bytes.len());
+            bytes.truncate(at);
+        }
+        1 => {
+            for _ in 0..rng.gen_range(1..8usize) {
+                let at = rng.gen_range(0..bytes.len());
+                bytes[at] = rng.gen_range(0..256u32) as u8;
+            }
+        }
+        2 => {
+            let at = rng.gen_range(0..=bytes.len());
+            let noise: Vec<u8> = (0..rng.gen_range(1..12usize))
+                .map(|_| rng.gen_range(0..256u32) as u8)
+                .collect();
+            bytes.splice(at..at, noise);
+        }
+        _ => {
+            let from = rng.gen_range(0..bytes.len());
+            let len = rng.gen_range(1..=(bytes.len() - from).min(16));
+            let chunk: Vec<u8> = bytes[from..from + len].to_vec();
+            let at = rng.gen_range(0..=bytes.len());
+            bytes.splice(at..at, chunk);
+        }
+    }
+}
+
+/// Results parsers (DOM, DOM-with-warnings, and the streaming capped
+/// parser) never panic on arbitrarily corrupted documents, and agree on
+/// acceptance: any document the DOM parser accepts, the streaming parser
+/// accepts too.
+#[test]
+fn results_json_parsers_are_total_on_mutated_bytes() {
+    use lusail_federation::results_json;
+    for case in 0..512 {
+        let rng = &mut case_rng(0xFEDB, case);
+        let mut bytes = seed_results_document(rng).into_bytes();
+        for _ in 0..rng.gen_range(1..4usize) {
+            mutate_bytes(rng, &mut bytes);
+        }
+        // Exercise the streaming parser on raw (possibly non-UTF-8)
+        // bytes, and the &str entry points on the lossy decoding.
+        let cap = [None, Some(0), Some(2)][case % 3];
+        let _ = results_json::parse_stream(&bytes[..], cap);
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let dom = results_json::parse(&text);
+        let full = results_json::parse_full(&text);
+        let streamed = results_json::parse_capped(&text, None);
+        assert_eq!(dom.is_ok(), full.is_ok(), "case {case}: {text:?}");
+        if let (Ok(dom), Ok(streamed)) = (&dom, &streamed) {
+            assert_eq!(dom, &streamed.result, "case {case}: {text:?}");
+        }
+    }
+}
+
+/// The generic JSON parser never panics on mutated documents or raw
+/// garbage.
+#[test]
+fn json_parser_is_total_on_mutated_bytes() {
+    use lusail_federation::json::Json;
+    for case in 0..512 {
+        let rng = &mut case_rng(0xFEDC, case);
+        let mut bytes = if rng.gen_bool(0.5) {
+            seed_results_document(rng).into_bytes()
+        } else {
+            (0..rng.gen_range(1..120usize))
+                .map(|_| rng.gen_range(0..256u32) as u8)
+                .collect()
+        };
+        for _ in 0..rng.gen_range(0..4usize) {
+            mutate_bytes(rng, &mut bytes);
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = Json::parse(&text);
+    }
+}
+
+/// Degenerate nesting must be rejected with an error, not a stack
+/// overflow: both parsers cap recursion depth.
+#[test]
+fn deeply_nested_input_errors_instead_of_overflowing() {
+    use lusail_federation::json::Json;
+    use lusail_federation::results_json;
+    // 65 is the first depth past both parsers' MAX_DEPTH of 64.
+    for depth in [65usize, 512, 100_000] {
+        let deep = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(Json::parse(&deep).is_err(), "depth {depth}");
+        // An unknown head member forces the streaming parser down its
+        // depth-capped skip_value path.
+        let doc = format!(
+            "{{\"head\":{{\"junk\":{deep},\"vars\":[]}},\
+             \"results\":{{\"bindings\":[]}}}}"
+        );
+        assert!(
+            results_json::parse_capped(&doc, None).is_err(),
+            "depth {depth}"
+        );
+        let mixed = format!("{}\"x\"{}", "{\"k\":[".repeat(depth), "]}".repeat(depth));
+        assert!(Json::parse(&mixed).is_err(), "depth {depth}");
+    }
+}
+
 // ---- pinned regressions -------------------------------------------------
 //
 // Shrunk counterexamples proptest found historically, preserved as exact
