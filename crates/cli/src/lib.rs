@@ -8,6 +8,7 @@ use lusail_federation::{
     SimulatedEndpoint, SparqlEndpoint,
 };
 use lusail_rdf::{Graph, Term};
+use lusail_server::federate::{FederateConfig, FederationService};
 use lusail_server::ServerConfig;
 use lusail_store::{Store, StoreStats};
 use std::io::Write;
@@ -27,6 +28,14 @@ usage:
                   [--format table|csv] [--explain] [--partial] [--stats]
   lusail serve    --data FILE... [--addr HOST:PORT] [--port N] [--workers N]
                   [--max-result-rows N]
+  lusail serve    --federate
+                  (--data FILE | --endpoint URL | --endpoint NAME=URL,URL,...)...
+                  [--addr HOST:PORT] [--port N] [--workers N]
+                  [--profile instant|local|geo] [--query-timeout SECS]
+                  [--retries N] [--backoff MS] [--hedge-after MS]
+                  [--memory-pool BYTES] [--query-budget BYTES] [--queue N]
+                  [--client-max-inflight N] [--cache-ttl SECS]
+                  [--cache-capacity N] [--max-result-rows N] [--partial]
   lusail generate --benchmark lubm|qfed|largerdf|bio2rdf --out DIR
                   [--scale F] [--endpoints N] [--seed N]
   lusail info     --data FILE...
@@ -61,7 +70,22 @@ structured error (or truncates with a warning under --partial).
 --max-result-rows N caps rows per subquery response, enforced while the
 HTTP response streams in — a result-bomb endpoint is cut off mid-parse,
 never buffered. For serve, --max-result-rows caps rows per response the
-server streams out, with a truncation warning in the result head.";
+server streams out, with a truncation warning in the result head.
+
+serve --federate runs the federator itself as a service: clients POST
+SPARQL to http://ADDR/sparql and each query is executed through the full
+LADE/SAPE pipeline against the configured federation (--data files and
+--endpoint URLs, same syntax as query). Admission is controlled by a
+global memory pool (--memory-pool) carved into per-query ledgers
+(--query-budget); when all ledgers are out, up to --queue callers wait
+briefly and the rest are shed with 503 + Retry-After. Each client
+(X-Client-Id header, or peer IP) may have at most --client-max-inflight
+queries running (429 beyond it). Analysis facts and whole-query results
+are cached across clients with --cache-ttl / --cache-capacity bounds; a
+repeated hot query is answered with zero endpoint requests. Degraded
+(partial or truncated) results are never cached. GET /stats reports
+per-client counters, cache hit rates, pool and queue state; POST
+/cache/invalidate drops both cache tiers.";
 
 /// CLI failure modes.
 #[derive(Debug)]
@@ -123,6 +147,9 @@ pub enum Command {
         workers: usize,
         /// Row ceiling per response streamed by the server.
         max_result_rows: Option<usize>,
+        /// `--federate`: run the federator as a service instead of a
+        /// plain single-store endpoint.
+        federate: Option<FederateOpts>,
     },
     Generate {
         benchmark: String,
@@ -145,6 +172,38 @@ pub enum Command {
     },
 }
 
+/// Options for `serve --federate` (defaults come from
+/// [`lusail_server::federate::FederateConfig`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FederateOpts {
+    /// Remote `--endpoint` specs (bare URLs or `NAME=URL,URL` groups).
+    pub endpoints: Vec<String>,
+    /// Network profile for the `--data` simulated endpoints.
+    pub profile: ProfileKind,
+    /// Per-query deadline in seconds (`--query-timeout`).
+    pub query_timeout: Option<u64>,
+    /// HTTP retry attempts beyond the first (`--retries`).
+    pub retries: Option<u32>,
+    /// First-retry backoff in milliseconds (`--backoff`).
+    pub backoff: Option<u64>,
+    /// Hedge delay in milliseconds for replica groups (`--hedge-after`).
+    pub hedge_after: Option<u64>,
+    /// Global memory pool in bytes (`--memory-pool`).
+    pub memory_pool: Option<usize>,
+    /// Per-query ledger in bytes (`--query-budget`).
+    pub query_budget: Option<usize>,
+    /// Admission-queue bound (`--queue`).
+    pub queue: Option<usize>,
+    /// Per-client in-flight bound (`--client-max-inflight`).
+    pub client_max_inflight: Option<usize>,
+    /// Cache TTL in seconds for both tiers (`--cache-ttl`).
+    pub cache_ttl: Option<u64>,
+    /// Result-cache entry cap (`--cache-capacity`).
+    pub cache_capacity: Option<usize>,
+    /// Serve partial results with warnings when endpoints fail.
+    pub partial: bool,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineKind {
     Lusail,
@@ -153,8 +212,9 @@ pub enum EngineKind {
     HiBiscus,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ProfileKind {
+    #[default]
     Instant,
     Local,
     Geo,
@@ -191,7 +251,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         if !flag.starts_with("--") {
             return Err(usage(&format!("unexpected argument {flag:?}")));
         }
-        let value = if matches!(flag, "--explain" | "--partial" | "--stats") {
+        let value = if matches!(flag, "--explain" | "--partial" | "--stats" | "--federate") {
             None
         } else {
             let v = rest
@@ -231,6 +291,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--port",
             "--workers",
             "--max-result-rows",
+            "--federate",
+            "--endpoint",
+            "--profile",
+            "--query-timeout",
+            "--retries",
+            "--backoff",
+            "--hedge-after",
+            "--memory-pool",
+            "--query-budget",
+            "--queue",
+            "--client-max-inflight",
+            "--cache-ttl",
+            "--cache-capacity",
+            "--partial",
         ],
         "generate" => &["--benchmark", "--out", "--scale", "--endpoints", "--seed"],
         "info" => &["--data"],
@@ -392,8 +466,31 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }
         "serve" => {
             let data: Vec<PathBuf> = get_all("--data").into_iter().map(PathBuf::from).collect();
-            if data.is_empty() {
-                return Err(usage("serve needs at least one --data FILE"));
+            let federate = has("--federate");
+            if !federate {
+                // Federation knobs without --federate would silently do
+                // nothing; refuse them instead.
+                const FEDERATE_ONLY: &[&str] = &[
+                    "--endpoint",
+                    "--profile",
+                    "--query-timeout",
+                    "--retries",
+                    "--backoff",
+                    "--hedge-after",
+                    "--memory-pool",
+                    "--query-budget",
+                    "--queue",
+                    "--client-max-inflight",
+                    "--cache-ttl",
+                    "--cache-capacity",
+                    "--partial",
+                ];
+                if let Some(flag) = FEDERATE_ONLY.iter().find(|f| has(f)) {
+                    return Err(usage(&format!("{flag} requires serve --federate")));
+                }
+                if data.is_empty() {
+                    return Err(usage("serve needs at least one --data FILE"));
+                }
             }
             if has("--addr") && has("--port") {
                 return Err(usage("serve takes --addr or --port, not both"));
@@ -424,11 +521,93 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     Some(n)
                 }
             };
+            let federate = if federate {
+                let endpoints: Vec<String> = get_all("--endpoint")
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect();
+                if data.is_empty() && endpoints.is_empty() {
+                    return Err(usage(
+                        "serve --federate needs at least one --data FILE or --endpoint URL",
+                    ));
+                }
+                for spec in &endpoints {
+                    parse_endpoint_spec(spec).map_err(|m| usage(&m))?;
+                }
+                let profile = match get("--profile").unwrap_or("instant") {
+                    "instant" => ProfileKind::Instant,
+                    "local" => ProfileKind::Local,
+                    "geo" => ProfileKind::Geo,
+                    other => return Err(usage(&format!("unknown profile {other:?}"))),
+                };
+                let parse_u64 = |flag: &str| -> Result<Option<u64>, CliError> {
+                    match get(flag) {
+                        None => Ok(None),
+                        Some(v) => Ok(Some(
+                            v.parse().map_err(|_| usage(&format!("bad {flag} {v:?}")))?,
+                        )),
+                    }
+                };
+                let parse_usize = |flag: &str| -> Result<Option<usize>, CliError> {
+                    match get(flag) {
+                        None => Ok(None),
+                        Some(v) => Ok(Some(
+                            v.parse().map_err(|_| usage(&format!("bad {flag} {v:?}")))?,
+                        )),
+                    }
+                };
+                let parse_size = |flag: &str| -> Result<Option<usize>, CliError> {
+                    match get(flag) {
+                        None => Ok(None),
+                        Some(v) => Ok(Some(
+                            parse_bytes(v).map_err(|m| usage(&format!("bad {flag}: {m}")))?,
+                        )),
+                    }
+                };
+                let retries: Option<u32> = match get("--retries") {
+                    None => None,
+                    Some(v) => Some(
+                        v.parse()
+                            .map_err(|_| usage(&format!("bad --retries {v:?}")))?,
+                    ),
+                };
+                let client_max_inflight = parse_usize("--client-max-inflight")?;
+                if client_max_inflight == Some(0) {
+                    return Err(usage("--client-max-inflight must be at least 1"));
+                }
+                let query_budget = parse_size("--query-budget")?;
+                let memory_pool = parse_size("--memory-pool")?;
+                if let (Some(pool), Some(ledger)) = (memory_pool, query_budget) {
+                    if ledger > pool {
+                        return Err(usage(&format!(
+                            "--query-budget {ledger} exceeds --memory-pool {pool}"
+                        )));
+                    }
+                }
+                Some(FederateOpts {
+                    endpoints,
+                    profile,
+                    query_timeout: parse_u64("--query-timeout")?,
+                    retries,
+                    backoff: parse_u64("--backoff")?,
+                    hedge_after: parse_u64("--hedge-after")?,
+                    memory_pool,
+                    query_budget,
+                    queue: parse_usize("--queue")?,
+                    client_max_inflight,
+                    cache_ttl: parse_u64("--cache-ttl")?,
+                    cache_capacity: parse_usize("--cache-capacity")?,
+                    partial: has("--partial"),
+                })
+            } else {
+                None
+            };
             Ok(Command::Serve {
                 data,
                 addr,
                 workers,
                 max_result_rows,
+                federate,
             })
         }
         "generate" => {
@@ -681,6 +860,84 @@ pub fn start_server(
     Ok((server.spawn(), triples))
 }
 
+/// Start `serve --federate`: the LADE/SAPE engine over the configured
+/// federation, mounted behind the HTTP server with admission control,
+/// per-client quotas, and the shared cache tier. Returns the running
+/// handle and the number of federated endpoints.
+pub fn start_federated_server(
+    data: &[PathBuf],
+    addr: &str,
+    workers: usize,
+    max_result_rows: Option<usize>,
+    opts: &FederateOpts,
+) -> Result<(lusail_server::ServerHandle, usize), CliError> {
+    let mut http = HttpConfig::default();
+    if let Some(n) = opts.retries {
+        http.retries = n;
+    }
+    if let Some(ms) = opts.backoff {
+        http.backoff = Duration::from_millis(ms);
+    }
+    // The transport-level row cap guards the federator against endpoint
+    // result bombs, independent of the per-query ledger.
+    http.max_result_rows = max_result_rows;
+    let federation = build_federation(
+        data,
+        &opts.endpoints,
+        opts.profile,
+        http,
+        opts.hedge_after.map(Duration::from_millis),
+    )?;
+    let endpoints = federation.len();
+
+    let defaults = FederateConfig::default();
+    let service_config = FederateConfig {
+        pool_bytes: opts.memory_pool.unwrap_or(defaults.pool_bytes),
+        query_budget_bytes: opts.query_budget.unwrap_or(defaults.query_budget_bytes),
+        max_waiting: opts.queue.unwrap_or(defaults.max_waiting),
+        client_max_inflight: opts
+            .client_max_inflight
+            .unwrap_or(defaults.client_max_inflight),
+        query_timeout: match opts.query_timeout {
+            Some(secs) => Some(Duration::from_secs(secs)),
+            None => defaults.query_timeout,
+        },
+        max_result_rows,
+        partial: opts.partial,
+        result_cache_capacity: opts.cache_capacity.or(defaults.result_cache_capacity),
+        cache_ttl: match opts.cache_ttl {
+            Some(secs) => Some(Duration::from_secs(secs)),
+            None => defaults.cache_ttl,
+        },
+        ..defaults
+    };
+    // The long-lived analysis cache gets the same bounds as the result
+    // cache, so stale endpoint facts age out of both tiers together.
+    let engine = LusailEngine::with_cache(
+        federation,
+        LusailConfig {
+            result_policy: if opts.partial {
+                ResultPolicy::Partial
+            } else {
+                ResultPolicy::FailFast
+            },
+            max_result_rows,
+            ..Default::default()
+        },
+        lusail_core::QueryCache::with_limits(service_config.cache_limits()),
+    );
+    let service = FederationService::new(engine, service_config);
+    let server_config = ServerConfig {
+        workers,
+        max_result_rows,
+        name: "lusail-federate".to_string(),
+        ..Default::default()
+    };
+    let server = lusail_server::SparqlServer::with_backend(addr, Arc::new(service), server_config)
+        .map_err(CliError::Io)?;
+    Ok((server.spawn(), endpoints))
+}
+
 /// Run a parsed command, writing human output to `out`.
 pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
     match cmd {
@@ -689,9 +946,24 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             addr,
             workers,
             max_result_rows,
+            federate,
         } => {
-            let (handle, triples) = start_server(&data, &addr, workers, max_result_rows)?;
-            writeln!(out, "serving {} triples at {}", triples, handle.url())?;
+            match federate {
+                None => {
+                    let (handle, triples) = start_server(&data, &addr, workers, max_result_rows)?;
+                    writeln!(out, "serving {} triples at {}", triples, handle.url())?;
+                }
+                Some(opts) => {
+                    let (handle, endpoints) =
+                        start_federated_server(&data, &addr, workers, max_result_rows, &opts)?;
+                    writeln!(
+                        out,
+                        "federating {} endpoints at {}",
+                        endpoints,
+                        handle.url()
+                    )?;
+                }
+            }
             out.flush()?;
             // Serve until the process is killed.
             loop {
@@ -1448,6 +1720,7 @@ mod tests {
                 addr: "127.0.0.1:8890".to_string(),
                 workers: ServerConfig::default().workers,
                 max_result_rows: None,
+                federate: None,
             }
         );
         assert!(matches!(
@@ -1534,6 +1807,148 @@ mod tests {
         // only on the server.
         assert_eq!(text.matches("http://x/s1").count(), 2, "{text}");
         assert_eq!(text.matches("http://x/s2").count(), 1, "{text}");
+        handle.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_serve_federate_flags() {
+        let cmd = parse_args(&s(&[
+            "serve",
+            "--federate",
+            "--endpoint",
+            "http://127.0.0.1:1/sparql",
+            "--data",
+            "a.nt",
+            "--memory-pool",
+            "64MiB",
+            "--query-budget",
+            "8MiB",
+            "--queue",
+            "4",
+            "--client-max-inflight",
+            "2",
+            "--query-timeout",
+            "10",
+            "--cache-ttl",
+            "60",
+            "--cache-capacity",
+            "32",
+            "--partial",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                data,
+                federate: Some(opts),
+                ..
+            } => {
+                assert_eq!(data, vec![PathBuf::from("a.nt")]);
+                assert_eq!(
+                    opts.endpoints,
+                    vec!["http://127.0.0.1:1/sparql".to_string()]
+                );
+                assert_eq!(opts.memory_pool, Some(64 << 20));
+                assert_eq!(opts.query_budget, Some(8 << 20));
+                assert_eq!(opts.queue, Some(4));
+                assert_eq!(opts.client_max_inflight, Some(2));
+                assert_eq!(opts.query_timeout, Some(10));
+                assert_eq!(opts.cache_ttl, Some(60));
+                assert_eq!(opts.cache_capacity, Some(32));
+                assert!(opts.partial);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Federation knobs without --federate are refused, not ignored.
+        match parse_args(&s(&["serve", "--data", "a.nt", "--queue", "4"])) {
+            Err(CliError::Usage(m)) => assert!(m.contains("--queue"), "{m}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+        // A federation with nothing to federate is refused.
+        assert!(matches!(
+            parse_args(&s(&["serve", "--federate"])),
+            Err(CliError::Usage(_))
+        ));
+        // A ledger larger than the pool could never be carved.
+        assert!(matches!(
+            parse_args(&s(&[
+                "serve",
+                "--federate",
+                "--data",
+                "a.nt",
+                "--memory-pool",
+                "1MiB",
+                "--query-budget",
+                "2MiB",
+            ])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_args(&s(&[
+                "serve",
+                "--federate",
+                "--data",
+                "a.nt",
+                "--client-max-inflight",
+                "0",
+            ])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn serve_federate_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("lusail-cli-fed-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.nt");
+        let b = dir.join("b.nt");
+        std::fs::write(&a, "<http://x/s1> <http://x/p> <http://x/o1> .\n").unwrap();
+        std::fs::write(&b, "<http://x/s2> <http://x/p> <http://x/o2> .\n").unwrap();
+
+        // Two simulated endpoints behind one federation front door.
+        let (handle, endpoints) = start_federated_server(
+            &[a.clone(), b.clone()],
+            "127.0.0.1:0",
+            2,
+            None,
+            &FederateOpts::default(),
+        )
+        .unwrap();
+        assert_eq!(endpoints, 2);
+
+        // The service answers with the federated union, unlike plain
+        // serve which would need the files merged into one store.
+        let ep = HttpEndpoint::new("front", &handle.url()).unwrap();
+        let q = lusail_sparql::parse_query("SELECT ?s ?o WHERE { ?s <http://x/p> ?o }").unwrap();
+        let rel = ep.select(&q).unwrap();
+        assert_eq!(rel.len(), 2);
+
+        // The repeat is a result-cache hit, visible in /stats.
+        assert_eq!(ep.select(&q).unwrap().len(), 2);
+        let mut sock = std::net::TcpStream::connect(handle.local_addr()).unwrap();
+        sock.write_all(b"GET /stats HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut text = String::new();
+        std::io::Read::read_to_string(&mut sock, &mut text).unwrap();
+        assert!(
+            text.contains("\"result_cache\":{\"entries\":1,\"hits\":1"),
+            "{text}"
+        );
+        assert!(text.contains("\"pool\":{"), "{text}");
+
+        // Explicit invalidation drops both tiers.
+        let mut sock = std::net::TcpStream::connect(handle.local_addr()).unwrap();
+        sock.write_all(
+            b"POST /cache/invalidate HTTP/1.1\r\nHost: h\r\nContent-Length: 0\r\n\
+              Connection: close\r\n\r\n",
+        )
+        .unwrap();
+        let mut text = String::new();
+        std::io::Read::read_to_string(&mut sock, &mut text).unwrap();
+        assert!(text.contains("\"invalidated\":true"), "{text}");
+
         handle.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }

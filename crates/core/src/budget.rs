@@ -16,7 +16,8 @@
 //! and the run/byte counts of those spilled runs surface in
 //! [`MemoryStats`] for `lusail query --stats`.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 /// Which execution phase a charge belongs to, for per-phase peak stats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -170,6 +171,220 @@ impl MemoryBudget {
     }
 }
 
+/// Why a [`MemoryPool`] carve attempt was turned away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolRejection {
+    /// Every ledger was taken and the admission queue was full.
+    QueueFull,
+    /// A queue slot was granted but no ledger freed up within the wait
+    /// budget.
+    TimedOut,
+}
+
+impl std::fmt::Display for PoolRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolRejection::QueueFull => write!(f, "memory pool exhausted and admission queue full"),
+            PoolRejection::TimedOut => {
+                write!(f, "memory pool exhausted and queue wait budget spent")
+            }
+        }
+    }
+}
+
+/// A snapshot of one [`MemoryPool`]'s lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Ledgers handed out over the pool's lifetime.
+    pub carved: u64,
+    /// Carve attempts turned away (queue full or wait budget spent).
+    pub shed: u64,
+    /// Carve attempts that had to wait in the admission queue first.
+    pub queued: u64,
+    /// Highest number of ledgers simultaneously outstanding.
+    pub peak_ledgers: usize,
+    /// Ledgers currently outstanding.
+    pub in_use: usize,
+    /// Callers currently waiting in the admission queue.
+    pub waiting: usize,
+}
+
+#[derive(Debug, Default)]
+struct PoolState {
+    in_use: usize,
+    waiting: usize,
+    carved: u64,
+    shed: u64,
+    queued: u64,
+    peak_ledgers: usize,
+}
+
+/// A global memory pool carved into per-query [`MemoryBudget`] ledgers —
+/// the admission-control primitive behind `lusail serve --federate`.
+///
+/// The pool holds `capacity` bytes; each carve hands out a ledger of
+/// `ledger_bytes`, so at most `capacity / ledger_bytes` queries hold
+/// memory at once. When every ledger is taken, further carves wait in a
+/// bounded admission queue; when the queue is full (or the wait budget is
+/// spent) the carve is *shed* — the service layer turns that into an HTTP
+/// 503 with `Retry-After`. Dropping a [`PooledBudget`] returns its ledger
+/// and wakes one queued waiter.
+///
+/// The sum of concurrently outstanding ledgers can never exceed the pool,
+/// and each query's charges are capped by its own ledger, so total
+/// accounted intermediate-state bytes stay under `capacity` by
+/// construction.
+#[derive(Debug, Clone)]
+pub struct MemoryPool {
+    capacity: usize,
+    ledger_bytes: usize,
+    max_ledgers: usize,
+    inner: Arc<(Mutex<PoolState>, Condvar)>,
+}
+
+impl MemoryPool {
+    /// A pool of `capacity` bytes handing out ledgers of `ledger_bytes`.
+    /// Both are clamped to at least one byte, and a ledger larger than the
+    /// pool shrinks to the pool (one query at a time, full budget).
+    pub fn new(capacity: usize, ledger_bytes: usize) -> Self {
+        let capacity = capacity.max(1);
+        let ledger_bytes = ledger_bytes.clamp(1, capacity);
+        MemoryPool {
+            capacity,
+            ledger_bytes,
+            max_ledgers: (capacity / ledger_bytes).max(1),
+            inner: Arc::new((Mutex::new(PoolState::default()), Condvar::new())),
+        }
+    }
+
+    /// Total pool bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes per carved ledger.
+    pub fn ledger_bytes(&self) -> usize {
+        self.ledger_bytes
+    }
+
+    /// Concurrent ledgers the pool can sustain.
+    pub fn max_ledgers(&self) -> usize {
+        self.max_ledgers
+    }
+
+    /// Ledgers currently outstanding.
+    pub fn in_use(&self) -> usize {
+        self.lock_state().in_use
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        self.inner.0.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Carve one ledger without waiting; `None` when all are taken.
+    pub fn try_carve(&self) -> Option<PooledBudget> {
+        let mut state = self.lock_state();
+        if state.in_use >= self.max_ledgers {
+            state.shed += 1;
+            return None;
+        }
+        Some(self.grant(&mut state))
+    }
+
+    /// Carve one ledger, waiting in the admission queue when the pool is
+    /// saturated: at most `max_waiting` callers queue at once, each for at
+    /// most `wait`. A full queue or a spent wait budget sheds the caller.
+    pub fn carve_queued(
+        &self,
+        max_waiting: usize,
+        wait: Duration,
+    ) -> Result<PooledBudget, PoolRejection> {
+        let (lock, cv) = (&self.inner.0, &self.inner.1);
+        let mut state = lock.lock().unwrap_or_else(|p| p.into_inner());
+        if state.in_use < self.max_ledgers {
+            return Ok(self.grant(&mut state));
+        }
+        if state.waiting >= max_waiting {
+            state.shed += 1;
+            return Err(PoolRejection::QueueFull);
+        }
+        state.waiting += 1;
+        state.queued += 1;
+        let deadline = std::time::Instant::now() + wait;
+        loop {
+            let remaining = match deadline.checked_duration_since(std::time::Instant::now()) {
+                Some(r) if !r.is_zero() => r,
+                _ => {
+                    state.waiting -= 1;
+                    state.shed += 1;
+                    return Err(PoolRejection::TimedOut);
+                }
+            };
+            let (next, timeout) = cv
+                .wait_timeout(state, remaining)
+                .unwrap_or_else(|p| p.into_inner());
+            state = next;
+            if state.in_use < self.max_ledgers {
+                state.waiting -= 1;
+                return Ok(self.grant(&mut state));
+            }
+            if timeout.timed_out() {
+                state.waiting -= 1;
+                state.shed += 1;
+                return Err(PoolRejection::TimedOut);
+            }
+        }
+    }
+
+    fn grant(&self, state: &mut PoolState) -> PooledBudget {
+        state.in_use += 1;
+        state.carved += 1;
+        state.peak_ledgers = state.peak_ledgers.max(state.in_use);
+        PooledBudget {
+            budget: MemoryBudget::new(Some(self.ledger_bytes)),
+            pool: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Lifetime counters plus current occupancy.
+    pub fn stats(&self) -> PoolStats {
+        let state = self.lock_state();
+        PoolStats {
+            carved: state.carved,
+            shed: state.shed,
+            queued: state.queued,
+            peak_ledgers: state.peak_ledgers,
+            in_use: state.in_use,
+            waiting: state.waiting,
+        }
+    }
+}
+
+/// One carved ledger: a [`MemoryBudget`] whose capacity is reserved out of
+/// a [`MemoryPool`]. Dropping it returns the reservation and wakes one
+/// queued waiter.
+#[derive(Debug)]
+pub struct PooledBudget {
+    budget: MemoryBudget,
+    pool: Arc<(Mutex<PoolState>, Condvar)>,
+}
+
+impl PooledBudget {
+    /// The per-query ledger (clones share this carve's accounting).
+    pub fn budget(&self) -> MemoryBudget {
+        self.budget.clone()
+    }
+}
+
+impl Drop for PooledBudget {
+    fn drop(&mut self) {
+        let mut state = self.pool.0.lock().unwrap_or_else(|p| p.into_inner());
+        state.in_use = state.in_use.saturating_sub(1);
+        drop(state);
+        self.pool.1.notify_one();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,5 +458,75 @@ mod tests {
         let c = b.clone();
         c.try_charge(MemoryPhase::Wave, 60).unwrap();
         assert_eq!(b.used(), 60);
+    }
+
+    #[test]
+    fn pool_carves_bounded_ledgers_and_returns_them_on_drop() {
+        let pool = MemoryPool::new(1000, 400);
+        assert_eq!(pool.max_ledgers(), 2);
+        assert_eq!(pool.ledger_bytes(), 400);
+        let a = pool.try_carve().expect("first ledger");
+        let b = pool.try_carve().expect("second ledger");
+        assert_eq!(pool.in_use(), 2);
+        assert!(pool.try_carve().is_none(), "pool must be exhausted");
+        // Each ledger enforces its own slice of the pool.
+        assert_eq!(a.budget().limit(), Some(400));
+        assert!(a.budget().try_charge(MemoryPhase::Wave, 500).is_err());
+        drop(a);
+        assert_eq!(pool.in_use(), 1);
+        let c = pool.try_carve().expect("freed ledger is reusable");
+        drop((b, c));
+        let stats = pool.stats();
+        assert_eq!(stats.carved, 3);
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.peak_ledgers, 2);
+        assert_eq!(stats.in_use, 0);
+    }
+
+    #[test]
+    fn pool_oversized_ledger_shrinks_to_pool() {
+        let pool = MemoryPool::new(100, 1000);
+        assert_eq!(pool.ledger_bytes(), 100);
+        assert_eq!(pool.max_ledgers(), 1);
+    }
+
+    #[test]
+    fn pool_queue_full_sheds_immediately() {
+        let pool = MemoryPool::new(100, 100);
+        let _held = pool.try_carve().unwrap();
+        // max_waiting = 0: a saturated pool sheds without waiting.
+        let err = pool
+            .carve_queued(0, Duration::from_secs(5))
+            .expect_err("no queue slots");
+        assert_eq!(err, PoolRejection::QueueFull);
+        assert_eq!(pool.stats().shed, 1);
+    }
+
+    #[test]
+    fn pool_queued_waiter_gets_a_freed_ledger() {
+        let pool = MemoryPool::new(100, 100);
+        let held = pool.try_carve().unwrap();
+        let pool2 = pool.clone();
+        let waiter = std::thread::spawn(move || pool2.carve_queued(1, Duration::from_secs(10)));
+        // Give the waiter time to park in the queue, then free the ledger.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(pool.stats().waiting, 1);
+        drop(held);
+        let carved = waiter.join().unwrap().expect("waiter must be woken");
+        assert_eq!(carved.budget().limit(), Some(100));
+        let stats = pool.stats();
+        assert_eq!(stats.queued, 1);
+        assert_eq!(stats.waiting, 0);
+    }
+
+    #[test]
+    fn pool_queue_wait_budget_times_out() {
+        let pool = MemoryPool::new(100, 100);
+        let _held = pool.try_carve().unwrap();
+        let err = pool
+            .carve_queued(4, Duration::from_millis(30))
+            .expect_err("nothing frees the ledger");
+        assert_eq!(err, PoolRejection::TimedOut);
+        assert_eq!(pool.stats().waiting, 0);
     }
 }

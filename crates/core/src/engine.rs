@@ -67,6 +67,13 @@ pub struct LusailEngine {
 impl LusailEngine {
     /// Create an engine over a federation.
     pub fn new(federation: Federation, config: LusailConfig) -> Self {
+        Self::with_cache(federation, config, QueryCache::new())
+    }
+
+    /// Create an engine with a caller-configured analysis cache — the
+    /// federation service mounts a bounded, TTL-expiring cache here so a
+    /// long-lived shared engine cannot accumulate stale endpoint facts.
+    pub fn with_cache(federation: Federation, config: LusailConfig, cache: QueryCache) -> Self {
         let handler = match config.threads {
             Some(n) => RequestHandler::new(n),
             None => RequestHandler::per_core(),
@@ -74,7 +81,7 @@ impl LusailEngine {
         LusailEngine {
             federation,
             config,
-            cache: QueryCache::new(),
+            cache,
             handler,
         }
     }
@@ -111,8 +118,22 @@ impl LusailEngine {
         &self,
         query: &Query,
     ) -> Result<(Relation, ExecutionProfile), EngineError> {
-        let start = Instant::now();
         let ctx = RunContext::new(&self.config);
+        self.execute_profiled_with(query, &ctx)
+    }
+
+    /// Execute under a caller-supplied [`RunContext`] — the entry point
+    /// for `lusail serve --federate`, where the deadline, result policy,
+    /// row cap, and memory ledger (carved from a shared pool) belong to
+    /// the request, not to the engine. Engine-level knobs (SAPE mode,
+    /// bound-join block sizes, analysis caches) still come from the
+    /// engine's own config.
+    pub fn execute_profiled_with(
+        &self,
+        query: &Query,
+        ctx: &RunContext,
+    ) -> Result<(Relation, ExecutionProfile), EngineError> {
+        let start = Instant::now();
         let mut profile = ExecutionProfile::default();
 
         let select_view: SelectQuery = match &query.form {
@@ -127,7 +148,7 @@ impl LusailEngine {
         let branches = normalize(&select_view.pattern)?;
         let mut combined: Option<Relation> = None;
         for branch in &branches {
-            let rel = self.execute_branch(branch, &select_view, &ctx, &mut profile)?;
+            let rel = self.execute_branch(branch, &select_view, ctx, &mut profile)?;
             combined = Some(match combined {
                 None => rel,
                 Some(acc) => union_relations(acc, rel),

@@ -56,8 +56,8 @@ pub mod sape;
 pub mod source;
 pub mod subquery;
 
-pub use budget::{MemoryBudget, MemoryPhase, MemoryStats};
-pub use cache::QueryCache;
+pub use budget::{MemoryBudget, MemoryPhase, MemoryPool, MemoryStats, PoolRejection, PoolStats};
+pub use cache::{CacheLimits, CacheStats, QueryCache, ResultCache, ResultCacheStats};
 pub use config::{DelayThreshold, LusailConfig, ResultPolicy, SapeMode};
 pub use engine::{ExecutionProfile, LusailEngine};
 pub use error::EngineError;

@@ -80,6 +80,29 @@ impl RunContext {
         }
     }
 
+    /// A context assembled from externally owned parts — the federation
+    /// service path, where the deadline starts at admission, the memory
+    /// ledger is carved from a shared [`crate::budget::MemoryPool`], and
+    /// the row cap is the service's, not the engine's.
+    pub fn with_parts(
+        policy: ResultPolicy,
+        timeout: Option<Duration>,
+        memory: MemoryBudget,
+        max_result_rows: Option<usize>,
+    ) -> Self {
+        RunContext {
+            deadline: match timeout {
+                Some(t) => Deadline::within(t),
+                None => Deadline::none(),
+            },
+            policy,
+            budget: timeout,
+            memory,
+            max_result_rows,
+            warnings: Mutex::new(Vec::new()),
+        }
+    }
+
     /// A fail-fast context with an explicit deadline (used by the
     /// baselines, which have no partial mode).
     pub fn fail_fast(deadline: Deadline, budget: Option<Duration>) -> Self {

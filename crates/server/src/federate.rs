@@ -1,0 +1,475 @@
+//! The federation service: the full LADE/SAPE engine mounted behind the
+//! HTTP server as a [`QueryBackend`].
+//!
+//! `lusail serve --federate` turns the one-shot `lusail query` pipeline
+//! into a shared, long-lived service. Three concerns separate it from
+//! simply calling the engine per request:
+//!
+//! * **Admission control** — a global [`MemoryPool`] is carved into
+//!   per-query ledgers. A query only runs while it holds a ledger, so the
+//!   sum of accounted intermediate state across all concurrent queries
+//!   can never exceed the pool. When every ledger is out, a bounded
+//!   admission queue briefly holds newcomers; beyond it (or past the wait
+//!   budget) the service sheds with 503 + `Retry-After` instead of
+//!   degrading everyone.
+//! * **Per-client quotas** — each client (the `X-Client-Id` header, or
+//!   the peer IP) gets a max-in-flight bound, answered with 429 when
+//!   exhausted, so one chatty tenant cannot monopolize the ledgers.
+//! * **A shared cache tier** — the engine's analysis cache (GJV checks,
+//!   source selection, COUNT probes) is shared across all clients, and a
+//!   [`ResultCache`] short-circuits repeated hot queries entirely: a hit
+//!   is answered with zero outbound endpoint requests and without even
+//!   carving a ledger, which keeps cached answers flowing while the pool
+//!   is saturated. Degraded (partial / truncated) results are never
+//!   cached — they describe an outage, not the data.
+
+use crate::{Answer, ClientInfo, QueryBackend};
+use lusail_core::{
+    CacheLimits, EngineError, LusailEngine, MemoryPool, ResultCache, ResultPolicy, RunContext,
+};
+use lusail_federation::json;
+use lusail_rdf::fxhash::FxHashMap;
+use lusail_sparql::QueryForm;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Tuning knobs for the federation service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FederateConfig {
+    /// Global memory pool shared by all concurrent queries.
+    pub pool_bytes: usize,
+    /// Per-query ledger carved from the pool; `pool_bytes /
+    /// query_budget_bytes` queries can execute at once.
+    pub query_budget_bytes: usize,
+    /// Queries allowed to wait for a ledger before newcomers are shed.
+    pub max_waiting: usize,
+    /// How long an admitted waiter may sit in the queue before it is shed.
+    pub queue_timeout: Duration,
+    /// Max queries one client may have in flight (header identity or
+    /// peer IP).
+    pub client_max_inflight: usize,
+    /// Per-query execution deadline.
+    pub query_timeout: Option<Duration>,
+    /// Per-query row ceiling threaded into the engine.
+    pub max_result_rows: Option<usize>,
+    /// Serve partial results (with warnings) when endpoints fail, instead
+    /// of failing the whole query.
+    pub partial: bool,
+    /// Result-cache entry cap (LRU beyond it).
+    pub result_cache_capacity: Option<usize>,
+    /// TTL for both cache tiers; stale entries read as misses.
+    pub cache_ttl: Option<Duration>,
+    /// The `Retry-After` hint attached to 503/429 refusals.
+    pub retry_after: Duration,
+}
+
+impl Default for FederateConfig {
+    fn default() -> Self {
+        FederateConfig {
+            pool_bytes: 256 << 20,
+            query_budget_bytes: 32 << 20,
+            max_waiting: 16,
+            queue_timeout: Duration::from_secs(2),
+            client_max_inflight: 4,
+            query_timeout: Some(Duration::from_secs(30)),
+            max_result_rows: None,
+            partial: false,
+            result_cache_capacity: Some(128),
+            cache_ttl: Some(Duration::from_secs(300)),
+            retry_after: Duration::from_secs(1),
+        }
+    }
+}
+
+impl FederateConfig {
+    /// The cache bounds both tiers share.
+    pub fn cache_limits(&self) -> CacheLimits {
+        CacheLimits {
+            capacity: self.result_cache_capacity,
+            ttl: self.cache_ttl,
+        }
+    }
+}
+
+/// Per-client accounting: the in-flight gauge enforcing the quota, plus
+/// lifetime counters surfaced in `/stats`.
+#[derive(Debug, Clone, Copy, Default)]
+struct ClientLedger {
+    inflight: usize,
+    admitted: u64,
+    rejected: u64,
+    cache_hits: u64,
+}
+
+/// The engine-backed [`QueryBackend`] behind `serve --federate`.
+pub struct FederationService {
+    engine: LusailEngine,
+    pool: MemoryPool,
+    results: ResultCache,
+    config: FederateConfig,
+    clients: Mutex<FxHashMap<String, ClientLedger>>,
+}
+
+impl FederationService {
+    /// Wrap `engine` as a service. For a bounded analysis cache, build the
+    /// engine with [`LusailEngine::with_cache`] and
+    /// [`FederateConfig::cache_limits`].
+    pub fn new(engine: LusailEngine, config: FederateConfig) -> FederationService {
+        let pool = MemoryPool::new(config.pool_bytes.max(1), config.query_budget_bytes.max(1));
+        let results = ResultCache::new(config.cache_limits());
+        FederationService {
+            engine,
+            pool,
+            results,
+            config,
+            clients: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The engine executing admitted queries.
+    pub fn engine(&self) -> &LusailEngine {
+        &self.engine
+    }
+
+    /// The global admission pool.
+    pub fn pool(&self) -> &MemoryPool {
+        &self.pool
+    }
+
+    /// The shared query-result cache.
+    pub fn results(&self) -> &ResultCache {
+        &self.results
+    }
+
+    fn clients(&self) -> std::sync::MutexGuard<'_, FxHashMap<String, ClientLedger>> {
+        self.clients.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Collapse whitespace so trivially-reformatted copies of one query
+    /// share a result-cache entry.
+    fn result_key(query: &str) -> String {
+        query.split_whitespace().collect::<Vec<_>>().join(" ")
+    }
+
+    fn engine_error(&self, e: EngineError) -> Answer {
+        match e {
+            // The query's deadline elapsed somewhere in the federation.
+            EngineError::Timeout(_) => Answer::error(504, e.to_string()),
+            // The carved ledger was not enough under fail-fast: the
+            // service is memory-saturated for queries of this shape, so
+            // invite a retry rather than blaming the client.
+            EngineError::BudgetExceeded { .. } => Answer::Error {
+                status: 503,
+                message: e.to_string(),
+                retry_after: Some(self.config.retry_after),
+            },
+            EngineError::Unsupported(_) => Answer::error(400, e.to_string()),
+            // An upstream endpoint failed and the policy was fail-fast.
+            EngineError::Endpoint(_) => Answer::error(502, e.to_string()),
+        }
+    }
+
+    fn answer_admitted(&self, query: &str, client: &ClientInfo) -> Answer {
+        let parsed = match lusail_sparql::parse_query(query) {
+            Ok(q) => q,
+            Err(e) => return Answer::error(400, format!("malformed SPARQL query: {e}")),
+        };
+        let is_ask = matches!(parsed.form, QueryForm::Ask(_));
+        let finish = |rel: lusail_sparql::Relation, warnings: Vec<String>| {
+            if is_ask {
+                Answer::Boolean(!rel.is_empty())
+            } else {
+                Answer::Solutions { rel, warnings }
+            }
+        };
+
+        // Hot path: a cached result answers without carving a ledger, so
+        // repeats keep flowing even while the pool is saturated.
+        let key = Self::result_key(query);
+        if let Some(rel) = self.results.get(&key) {
+            if let Some(entry) = self.clients().get_mut(&client.id) {
+                entry.cache_hits += 1;
+            }
+            return finish(rel, Vec::new());
+        }
+
+        // Admission: hold a ledger for the whole execution. Its Drop
+        // returns the ledger and wakes one queued waiter.
+        let pooled = match self
+            .pool
+            .carve_queued(self.config.max_waiting, self.config.queue_timeout)
+        {
+            Ok(p) => p,
+            Err(rejection) => {
+                return Answer::Error {
+                    status: 503,
+                    message: format!("service saturated: {rejection}"),
+                    retry_after: Some(self.config.retry_after),
+                }
+            }
+        };
+
+        let ctx = RunContext::with_parts(
+            if self.config.partial {
+                ResultPolicy::Partial
+            } else {
+                ResultPolicy::FailFast
+            },
+            self.config.query_timeout,
+            pooled.budget(),
+            self.config.max_result_rows,
+        );
+        match self.engine.execute_profiled_with(&parsed, &ctx) {
+            Ok((rel, profile)) => {
+                let warnings: Vec<String> =
+                    profile.warnings.iter().map(|w| w.to_string()).collect();
+                // Only clean runs are cached: a degraded answer pinned in
+                // the cache would keep serving the outage after recovery.
+                if warnings.is_empty() {
+                    self.results.put(key, rel.clone());
+                }
+                finish(rel, warnings)
+            }
+            Err(e) => self.engine_error(e),
+        }
+    }
+}
+
+/// Decrements a client's in-flight gauge even when answering panics or
+/// returns early.
+struct InflightGuard<'a> {
+    service: &'a FederationService,
+    id: &'a str,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(entry) = self.service.clients().get_mut(self.id) {
+            entry.inflight = entry.inflight.saturating_sub(1);
+        }
+    }
+}
+
+impl QueryBackend for FederationService {
+    fn answer(&self, query: &str, client: &ClientInfo) -> Answer {
+        {
+            let mut clients = self.clients();
+            let entry = clients.entry(client.id.clone()).or_default();
+            if entry.inflight >= self.config.client_max_inflight.max(1) {
+                entry.rejected += 1;
+                return Answer::Error {
+                    status: 429,
+                    message: format!(
+                        "client {:?} already has {} queries in flight (limit {})",
+                        client.id,
+                        entry.inflight,
+                        self.config.client_max_inflight.max(1)
+                    ),
+                    retry_after: Some(self.config.retry_after),
+                };
+            }
+            entry.inflight += 1;
+            entry.admitted += 1;
+        }
+        let _guard = InflightGuard {
+            service: self,
+            id: &client.id,
+        };
+        self.answer_admitted(query, client)
+    }
+
+    fn stats_json(&self) -> Option<String> {
+        let pool = self.pool.stats();
+        let results = self.results.stats();
+        let analysis = self.engine.cache().stats();
+        let sizes = self.engine.cache().sizes();
+        let mut clients: Vec<(String, ClientLedger)> = self
+            .clients()
+            .iter()
+            .map(|(id, c)| (id.clone(), *c))
+            .collect();
+        clients.sort_by(|a, b| a.0.cmp(&b.0));
+        let clients_json = clients
+            .iter()
+            .map(|(id, c)| {
+                format!(
+                    "\"{}\":{{\"inflight\":{},\"admitted\":{},\"rejected\":{},\"cache_hits\":{}}}",
+                    json::escape(id),
+                    c.inflight,
+                    c.admitted,
+                    c.rejected,
+                    c.cache_hits
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        Some(format!(
+            "{{\"pool\":{{\"capacity\":{},\"ledger_bytes\":{},\"max_ledgers\":{},\"in_use\":{},\
+             \"waiting\":{},\"carved\":{},\"queued\":{},\"shed\":{},\"peak_ledgers\":{}}},\
+             \"result_cache\":{{\"entries\":{},\"hits\":{},\"misses\":{},\"insertions\":{},\
+             \"evictions\":{},\"expirations\":{},\"invalidations\":{}}},\
+             \"analysis_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"expirations\":{},\
+             \"entries\":[{},{},{}]}},\"clients\":{{{}}}}}",
+            self.pool.capacity(),
+            self.pool.ledger_bytes(),
+            self.pool.max_ledgers(),
+            pool.in_use,
+            pool.waiting,
+            pool.carved,
+            pool.queued,
+            pool.shed,
+            pool.peak_ledgers,
+            results.entries,
+            results.hits,
+            results.misses,
+            results.insertions,
+            results.evictions,
+            results.expirations,
+            results.invalidations,
+            analysis.hits,
+            analysis.misses,
+            analysis.evictions,
+            analysis.expirations,
+            sizes.0,
+            sizes.1,
+            sizes.2,
+            clients_json,
+        ))
+    }
+
+    fn invalidate_caches(&self) -> bool {
+        self.engine.cache().clear();
+        self.results.invalidate();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lusail_core::LusailConfig;
+    use lusail_federation::{Federation, NetworkProfile, SimulatedEndpoint};
+    use lusail_rdf::{Graph, Term};
+    use lusail_store::Store;
+    use std::sync::Arc;
+
+    fn service(config: FederateConfig) -> FederationService {
+        let mut g = Graph::new();
+        g.add(
+            Term::iri("http://x/a"),
+            Term::iri("http://x/p"),
+            Term::iri("http://x/b"),
+        );
+        g.add(
+            Term::iri("http://x/b"),
+            Term::iri("http://x/p"),
+            Term::iri("http://x/c"),
+        );
+        let ep = SimulatedEndpoint::new("ep0", Store::from_graph(&g), NetworkProfile::instant());
+        let fed = Federation::new(vec![Arc::new(ep)]);
+        FederationService::new(LusailEngine::new(fed, LusailConfig::default()), config)
+    }
+
+    fn client(id: &str) -> ClientInfo {
+        ClientInfo { id: id.to_string() }
+    }
+
+    #[test]
+    fn repeated_query_is_served_from_the_result_cache() {
+        let svc = service(FederateConfig::default());
+        let q = "SELECT ?s ?o WHERE { ?s <http://x/p> ?o }";
+        let rows = |a: Answer| match a {
+            Answer::Solutions { rel, warnings } => {
+                assert!(warnings.is_empty(), "{warnings:?}");
+                rel.len()
+            }
+            _ => panic!("expected solutions"),
+        };
+        assert_eq!(rows(svc.answer(q, &client("c1"))), 2);
+        let before = svc.engine().federation().total_traffic().requests;
+        // Different whitespace, same canonical query: zero new requests.
+        assert_eq!(
+            rows(svc.answer(
+                "SELECT ?s ?o\nWHERE {\n ?s <http://x/p> ?o }",
+                &client("c2")
+            )),
+            2
+        );
+        assert_eq!(
+            svc.engine().federation().total_traffic().requests,
+            before,
+            "a cache hit must not touch any endpoint"
+        );
+        assert_eq!(svc.results().stats().hits, 1);
+
+        // Explicit invalidation forces re-execution.
+        assert!(svc.invalidate_caches());
+        assert_eq!(rows(svc.answer(q, &client("c1"))), 2);
+        assert!(svc.engine().federation().total_traffic().requests > before);
+    }
+
+    #[test]
+    fn quota_rejects_only_the_noisy_client() {
+        let svc = service(FederateConfig {
+            client_max_inflight: 1,
+            ..Default::default()
+        });
+        // Simulate an in-flight query by pre-loading the gauge.
+        svc.clients()
+            .entry("noisy".to_string())
+            .or_default()
+            .inflight = 1;
+        match svc.answer("ASK { ?s ?p ?o }", &client("noisy")) {
+            Answer::Error {
+                status,
+                retry_after,
+                ..
+            } => {
+                assert_eq!(status, 429);
+                assert!(retry_after.is_some());
+            }
+            _ => panic!("expected a quota rejection"),
+        }
+        // A different client is unaffected.
+        match svc.answer("ASK { ?s ?p ?o }", &client("quiet")) {
+            Answer::Boolean(b) => assert!(b),
+            _ => panic!("expected an ASK verdict"),
+        }
+        let stats = svc.stats_json().expect("service reports stats");
+        assert!(
+            stats.contains("\"noisy\":{\"inflight\":1,\"admitted\":0,\"rejected\":1"),
+            "{stats}"
+        );
+    }
+
+    #[test]
+    fn saturated_pool_sheds_with_503() {
+        let svc = service(FederateConfig {
+            pool_bytes: 1024,
+            query_budget_bytes: 1024, // one ledger total
+            max_waiting: 0,
+            queue_timeout: Duration::from_millis(10),
+            ..Default::default()
+        });
+        // Hold the only ledger so the next query cannot be admitted.
+        let held = svc.pool().try_carve().expect("first carve succeeds");
+        match svc.answer("ASK { ?s ?p ?o }", &client("c")) {
+            Answer::Error {
+                status,
+                retry_after,
+                message,
+            } => {
+                assert_eq!(status, 503, "{message}");
+                assert!(retry_after.is_some());
+            }
+            _ => panic!("expected a shed"),
+        }
+        drop(held);
+        assert!(svc.pool().stats().shed >= 1);
+        // With the ledger back, the same query is admitted and runs.
+        match svc.answer("ASK { ?s ?p ?o }", &client("c")) {
+            Answer::Boolean(b) => assert!(b),
+            _ => panic!("expected an ASK verdict"),
+        }
+    }
+}

@@ -25,6 +25,16 @@
 //! hits with FedX's bound joins), and HTTP keep-alive so a federated
 //! client can reuse one connection for its whole subquery stream.
 //!
+//! The serving layer is decoupled from query evaluation through
+//! [`QueryBackend`]: [`SparqlServer::bind`] serves a single [`Store`]
+//! (one simulated endpoint), while [`SparqlServer::with_backend`] accepts
+//! any backend — the federation service in `lusail-cli` plugs the whole
+//! LADE/SAPE pipeline in here. Two operational routes ride along:
+//! `GET /stats` (request counters split into served/shed/errors plus
+//! whatever the backend reports) and `POST /cache/invalidate` (drops the
+//! backend's shared caches, 404 when it has none). Clients are identified
+//! by an `X-Client-Id` header, falling back to the peer IP address.
+//!
 //! ```no_run
 //! use lusail_server::{ServerConfig, SparqlServer};
 //! use lusail_store::Store;
@@ -37,8 +47,11 @@
 //! handle.shutdown();
 //! ```
 
+pub mod federate;
+
 use lusail_federation::http::percent_decode;
 use lusail_federation::results_json;
+use lusail_sparql::Relation;
 use lusail_store::eval::QueryResult;
 use lusail_store::{Evaluator, Store};
 use std::io::{self, Read, Write};
@@ -91,11 +104,152 @@ impl Default for ServerConfig {
     }
 }
 
+/// Who is asking: the value of the `X-Client-Id` request header, or the
+/// peer IP address when the header is absent. Backends use it for
+/// per-client quotas and accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientInfo {
+    pub id: String,
+}
+
+/// What a [`QueryBackend`] produced for one query.
+pub enum Answer {
+    /// An `ASK` verdict.
+    Boolean(bool),
+    /// `SELECT` solutions plus any degradation warnings (partial results,
+    /// truncation); warnings stream in the response head before any row.
+    Solutions {
+        rel: Relation,
+        warnings: Vec<String>,
+    },
+    /// A refusal or failure mapped to an HTTP status. `retry_after`
+    /// becomes a `Retry-After` header (admission-control sheds set it).
+    Error {
+        status: u16,
+        message: String,
+        retry_after: Option<Duration>,
+    },
+}
+
+impl Answer {
+    /// An error answer with no `Retry-After` hint.
+    pub fn error(status: u16, message: impl Into<String>) -> Answer {
+        Answer::Error {
+            status,
+            message: message.into(),
+            retry_after: None,
+        }
+    }
+}
+
+/// Query evaluation behind the HTTP layer. Implementations must tolerate
+/// concurrent calls from every worker thread.
+pub trait QueryBackend: Send + Sync + 'static {
+    /// Evaluate `query` for `client` and say how to answer.
+    fn answer(&self, query: &str, client: &ClientInfo) -> Answer;
+
+    /// Backend-specific counters embedded in `GET /stats` under
+    /// `"service"`. `None` renders as JSON `null`.
+    fn stats_json(&self) -> Option<String> {
+        None
+    }
+
+    /// Drop any shared caches. Returns `false` when the backend has none
+    /// (the route then answers 404).
+    fn invalidate_caches(&self) -> bool {
+        false
+    }
+}
+
+/// The plain single-store backend behind [`SparqlServer::bind`]: parse,
+/// evaluate, and guard against evaluator panics.
+pub struct StoreBackend {
+    store: Arc<Store>,
+}
+
+impl StoreBackend {
+    pub fn new(store: Store) -> StoreBackend {
+        StoreBackend {
+            store: Arc::new(store),
+        }
+    }
+}
+
+impl QueryBackend for StoreBackend {
+    fn answer(&self, query: &str, _client: &ClientInfo) -> Answer {
+        let parsed = match lusail_sparql::parse_query(query) {
+            Ok(q) => q,
+            Err(e) => return Answer::error(400, format!("malformed SPARQL query: {e}")),
+        };
+        // An evaluator bug must come back as HTTP 500, not a dead
+        // connection.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            Evaluator::new(&self.store).query(&parsed)
+        }));
+        match result {
+            Ok(QueryResult::Boolean(b)) => Answer::Boolean(b),
+            Ok(QueryResult::Solutions(rel)) => Answer::Solutions {
+                rel,
+                warnings: Vec::new(),
+            },
+            Err(_) => Answer::error(500, "query evaluation failed"),
+        }
+    }
+}
+
+/// Request counters split by outcome, so saturation (sheds) is visible
+/// separately from client mistakes (errors).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    served: AtomicU64,
+    shed: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl ServerStats {
+    fn record(&self, status: u16) {
+        let counter = if status < 400 {
+            &self.served
+        } else if status == 503 || status == 429 {
+            &self.shed
+        } else {
+            &self.errors
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn counts(&self) -> RequestCounts {
+        RequestCounts {
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A snapshot of [`ServerStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestCounts {
+    /// Successful responses (2xx).
+    pub served: u64,
+    /// Load-shedding refusals: 503 (pool saturated) and 429 (quota).
+    pub shed: u64,
+    /// Every other failure (4xx/5xx).
+    pub errors: u64,
+}
+
+impl RequestCounts {
+    /// All responses written, regardless of outcome.
+    pub fn total(&self) -> u64 {
+        self.served + self.shed + self.errors
+    }
+}
+
 /// A bound-but-not-yet-running server. [`SparqlServer::spawn`] starts the
 /// accept loop and worker pool.
 pub struct SparqlServer {
     listener: TcpListener,
-    store: Arc<Store>,
+    backend: Arc<dyn QueryBackend>,
     config: ServerConfig,
 }
 
@@ -103,9 +257,19 @@ impl SparqlServer {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) serving
     /// `store`.
     pub fn bind(addr: &str, store: Store, config: ServerConfig) -> io::Result<SparqlServer> {
+        Self::with_backend(addr, Arc::new(StoreBackend::new(store)), config)
+    }
+
+    /// Bind `addr` serving an arbitrary [`QueryBackend`] — this is how
+    /// the federation service mounts the full engine behind the server.
+    pub fn with_backend(
+        addr: &str,
+        backend: Arc<dyn QueryBackend>,
+        config: ServerConfig,
+    ) -> io::Result<SparqlServer> {
         Ok(SparqlServer {
             listener: TcpListener::bind(addr)?,
-            store: Arc::new(store),
+            backend,
             config,
         })
     }
@@ -121,7 +285,7 @@ impl SparqlServer {
     pub fn spawn(self) -> ServerHandle {
         let addr = self.local_addr();
         let shutdown = Arc::new(AtomicBool::new(false));
-        let requests_served = Arc::new(AtomicU64::new(0));
+        let stats = Arc::new(ServerStats::default());
 
         let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(self.config.backlog.max(1));
         let conn_rx = Arc::new(Mutex::new(conn_rx));
@@ -129,22 +293,23 @@ impl SparqlServer {
         let mut workers = Vec::with_capacity(self.config.workers.max(1));
         for _ in 0..self.config.workers.max(1) {
             let rx = Arc::clone(&conn_rx);
-            let store = Arc::clone(&self.store);
+            let backend = Arc::clone(&self.backend);
             let config = self.config.clone();
             let shutdown = Arc::clone(&shutdown);
-            let served = Arc::clone(&requests_served);
+            let stats = Arc::clone(&stats);
             workers.push(std::thread::spawn(move || loop {
                 let stream = match rx.lock().expect("connection queue poisoned").recv() {
                     Ok(s) => s,
                     Err(_) => break, // accept loop gone: drain complete
                 };
-                serve_connection(stream, &store, &config, &shutdown, &served);
+                serve_connection(stream, &backend, &config, &shutdown, &stats);
             }));
         }
 
         let listener = self.listener;
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_config = self.config.clone();
+        let accept_stats = Arc::clone(&stats);
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if accept_shutdown.load(Ordering::SeqCst) {
@@ -159,7 +324,7 @@ impl SparqlServer {
                         // on the accept thread, so it must never block
                         // long; the body is a few hundred bytes at most.
                         Err(mpsc::TrySendError::Full(s)) => {
-                            write_overloaded(&s, &accept_config);
+                            write_overloaded(&s, &accept_config, &accept_stats);
                         }
                         Err(mpsc::TrySendError::Disconnected(_)) => break,
                     },
@@ -172,7 +337,7 @@ impl SparqlServer {
         ServerHandle {
             addr,
             shutdown,
-            requests_served,
+            stats,
             accept_thread,
             workers,
         }
@@ -184,7 +349,7 @@ impl SparqlServer {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    requests_served: Arc<AtomicU64>,
+    stats: Arc<ServerStats>,
     accept_thread: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -200,9 +365,14 @@ impl ServerHandle {
         format!("http://{}/sparql", self.addr)
     }
 
-    /// Requests answered so far (any status).
+    /// Requests answered so far (any status, sheds included).
     pub fn requests_served(&self) -> u64 {
-        self.requests_served.load(Ordering::Relaxed)
+        self.stats().total()
+    }
+
+    /// Request counters split into served / shed / errors.
+    pub fn stats(&self) -> RequestCounts {
+        self.stats.counts()
     }
 
     /// Graceful shutdown: stop accepting, finish in-flight connections,
@@ -253,8 +423,11 @@ fn status_text(status: u16) -> &'static str {
         408 => "Request Timeout",
         413 => "Content Too Large",
         415 => "Unsupported Media Type",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
+        502 => "Bad Gateway",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Error",
     }
 }
@@ -273,7 +446,8 @@ fn error_body(message: &str, endpoint: &str) -> String {
 /// Turn away a connection the pool cannot absorb: 503 with a `Retry-After`
 /// hint, written from the accept thread (bounded by a short write timeout
 /// so a slow client cannot stall accepting).
-fn write_overloaded(stream: &TcpStream, config: &ServerConfig) {
+fn write_overloaded(stream: &TcpStream, config: &ServerConfig, stats: &ServerStats) {
+    stats.record(503);
     stream
         .set_write_timeout(Some(Duration::from_millis(250)))
         .ok();
@@ -302,12 +476,18 @@ fn write_overloaded(stream: &TcpStream, config: &ServerConfig) {
 /// Serve one connection: a keep-alive loop of request → response.
 fn serve_connection(
     stream: TcpStream,
-    store: &Store,
+    backend: &Arc<dyn QueryBackend>,
     config: &ServerConfig,
     shutdown: &AtomicBool,
-    served: &AtomicU64,
+    stats: &ServerStats,
 ) {
     stream.set_nodelay(true).ok();
+    // The quota fallback identity when no X-Client-Id header is sent: the
+    // peer IP (not the port — every connection from one host shares it).
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
     let mut reader = RequestReader {
         stream: &stream,
         buf: Vec::new(),
@@ -323,33 +503,121 @@ fn serve_connection(
         }
         match read_request(&mut reader, config) {
             Ok(Some(request)) => {
-                served.fetch_add(1, Ordering::Relaxed);
-                let keep_alive = request.keep_alive;
-                match extract_query(&request, config) {
-                    Ok(query_text) => {
-                        if answer_query(&stream, store, &query_text, keep_alive, config).is_err() {
-                            break;
-                        }
-                    }
-                    Err(reject) => {
-                        let ok = write_error(&stream, &reject, keep_alive, &config.name).is_ok();
-                        if !ok || !reject.recoverable {
-                            break;
-                        }
-                    }
-                }
-                if !keep_alive {
+                let client = ClientInfo {
+                    id: request.client_id.clone().unwrap_or_else(|| peer.clone()),
+                };
+                if !handle_request(&stream, &request, backend, config, stats, &client) {
                     break;
                 }
             }
             // Clean EOF between requests: client closed the connection.
             Ok(None) => break,
             Err(reject) => {
+                stats.record(reject.status);
                 let _ = write_error(&stream, &reject, false, &config.name);
                 break;
             }
         }
     }
+}
+
+/// Dispatch one parsed request. Returns whether the connection may keep
+/// serving further keep-alive requests.
+fn handle_request(
+    stream: &TcpStream,
+    request: &Request,
+    backend: &Arc<dyn QueryBackend>,
+    config: &ServerConfig,
+    stats: &ServerStats,
+    client: &ClientInfo,
+) -> bool {
+    let keep_alive = request.keep_alive;
+    let path = request.target.split('?').next().unwrap_or("");
+    match path {
+        "/stats" => {
+            if request.method != "GET" {
+                let reject = HttpReject::new(405, "use GET for /stats");
+                stats.record(reject.status);
+                return write_error(stream, &reject, keep_alive, &config.name).is_ok()
+                    && keep_alive;
+            }
+            // Snapshot before recording so the body does not count itself.
+            let body = stats_body(stats, backend, config);
+            stats.record(200);
+            write_json(stream, 200, &body, keep_alive).is_ok() && keep_alive
+        }
+        "/cache/invalidate" => {
+            if request.method != "POST" {
+                let reject = HttpReject::new(405, "use POST for /cache/invalidate");
+                stats.record(reject.status);
+                return write_error(stream, &reject, keep_alive, &config.name).is_ok()
+                    && keep_alive;
+            }
+            if backend.invalidate_caches() {
+                stats.record(200);
+                write_json(stream, 200, "{\"invalidated\":true}", keep_alive).is_ok() && keep_alive
+            } else {
+                let reject = HttpReject::new(404, "this server has no shared caches");
+                stats.record(reject.status);
+                write_error(stream, &reject, keep_alive, &config.name).is_ok() && keep_alive
+            }
+        }
+        _ => match extract_query(request, config) {
+            Ok(query_text) => {
+                answer_query(
+                    stream,
+                    backend,
+                    &query_text,
+                    client,
+                    keep_alive,
+                    config,
+                    stats,
+                )
+                .is_ok()
+                    && keep_alive
+            }
+            Err(reject) => {
+                stats.record(reject.status);
+                write_error(stream, &reject, keep_alive, &config.name).is_ok()
+                    && reject.recoverable
+                    && keep_alive
+            }
+        },
+    }
+}
+
+/// The `GET /stats` body: server-level counters plus whatever the backend
+/// wants to report (`null` for a plain store).
+fn stats_body(
+    stats: &ServerStats,
+    backend: &Arc<dyn QueryBackend>,
+    config: &ServerConfig,
+) -> String {
+    let counts = stats.counts();
+    format!(
+        "{{\"endpoint\":\"{}\",\"requests\":{{\"served\":{},\"shed\":{},\"errors\":{}}},\"service\":{}}}",
+        lusail_federation::json::escape(&config.name),
+        counts.served,
+        counts.shed,
+        counts.errors,
+        backend.stats_json().unwrap_or_else(|| "null".to_string()),
+    )
+}
+
+/// Write a small sized JSON response.
+fn write_json(stream: &TcpStream, status: u16, body: &str, keep_alive: bool) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut out = io::BufWriter::new(stream);
+    write!(
+        out,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+        status,
+        status_text(status),
+        body.len(),
+        connection,
+        body
+    )?;
+    out.flush()
 }
 
 /// One parsed HTTP request.
@@ -358,6 +626,8 @@ struct Request {
     /// Path with any query string, as sent.
     target: String,
     content_type: String,
+    /// The `X-Client-Id` header, when sent.
+    client_id: Option<String>,
     body: Vec<u8>,
     keep_alive: bool,
 }
@@ -395,6 +665,7 @@ fn read_request(
 
     let mut content_length = 0usize;
     let mut content_type = String::new();
+    let mut client_id = None;
     let mut expect_continue = false;
     let mut chunked = false;
     loop {
@@ -425,6 +696,11 @@ fn read_request(
             }
             "expect" => expect_continue = value.eq_ignore_ascii_case("100-continue"),
             "transfer-encoding" => chunked = true,
+            "x-client-id" => {
+                if !value.is_empty() {
+                    client_id = Some(value.to_string());
+                }
+            }
             _ => {}
         }
     }
@@ -457,6 +733,7 @@ fn read_request(
         method,
         target,
         content_type,
+        client_id,
         body,
         keep_alive,
     }))
@@ -527,46 +804,47 @@ fn form_field(encoded: &str, key: &str) -> Option<Result<String, HttpReject>> {
     None
 }
 
-/// Evaluate the query and stream the response.
+/// Evaluate the query through the backend and stream the response.
 fn answer_query(
     stream: &TcpStream,
-    store: &Store,
+    backend: &Arc<dyn QueryBackend>,
     query_text: &str,
+    client: &ClientInfo,
     keep_alive: bool,
     config: &ServerConfig,
+    stats: &ServerStats,
 ) -> io::Result<()> {
     let name = config.name.as_str();
-    let parsed = match lusail_sparql::parse_query(query_text) {
-        Ok(q) => q,
-        Err(e) => {
-            return write_error(
-                stream,
-                &HttpReject::new(400, format!("malformed SPARQL query: {e}")),
-                keep_alive,
-                name,
-            )
-        }
-    };
-    // An evaluator bug must come back as HTTP 500, not a dead connection.
-    let result =
-        std::panic::catch_unwind(AssertUnwindSafe(|| Evaluator::new(store).query(&parsed)));
-    let result = match result {
-        Ok(r) => r,
-        Err(_) => {
-            return write_error(
-                stream,
-                &HttpReject::new(500, "query evaluation failed"),
-                keep_alive,
-                name,
-            )
-        }
-    };
-
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    let mut out = io::BufWriter::new(stream);
-    match result {
-        QueryResult::Boolean(b) => {
+    match backend.answer(query_text, client) {
+        Answer::Error {
+            status,
+            message,
+            retry_after,
+        } => {
+            stats.record(status);
+            let body = error_body(&message, name);
+            let retry_header = match retry_after {
+                Some(d) => format!("Retry-After: {}\r\n", d.as_secs().max(1)),
+                None => String::new(),
+            };
+            let mut out = io::BufWriter::new(stream);
+            write!(
+                out,
+                "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\n{}Content-Length: {}\r\nConnection: {}\r\n\r\n{}",
+                status,
+                status_text(status),
+                retry_header,
+                body.len(),
+                connection,
+                body
+            )?;
+            out.flush()
+        }
+        Answer::Boolean(b) => {
+            stats.record(200);
             let body = results_json::boolean_json(b);
+            let mut out = io::BufWriter::new(stream);
             write!(
                 out,
                 "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
@@ -575,28 +853,32 @@ fn answer_query(
                 connection,
                 body
             )?;
+            out.flush()
         }
-        QueryResult::Solutions(rel) => {
-            // The server-side row ceiling: the truncation is declared in
-            // the response head (which streams first), so a client sees
-            // the degradation before the rows, not after.
+        Answer::Solutions { rel, mut warnings } => {
+            stats.record(200);
+            // The server-side row ceiling, applied on top of whatever the
+            // backend already enforced: the truncation is declared in the
+            // response head (which streams first), so a client sees the
+            // degradation before the rows, not after.
             let cap = config.max_result_rows.unwrap_or(usize::MAX);
             let rows = if rel.len() > cap {
                 &rel.rows()[..cap]
             } else {
                 rel.rows()
             };
-            let head = if rel.len() > cap {
-                results_json::head_json_with_warnings(
-                    rel.vars(),
-                    &[format!(
-                        "{name}: result truncated to {cap} of {} rows by the server row cap",
-                        rel.len()
-                    )],
-                )
-            } else {
+            if rel.len() > cap {
+                warnings.push(format!(
+                    "{name}: result truncated to {cap} of {} rows by the server row cap",
+                    rel.len()
+                ));
+            }
+            let head = if warnings.is_empty() {
                 results_json::head_json(rel.vars())
+            } else {
+                results_json::head_json_with_warnings(rel.vars(), &warnings)
             };
+            let mut out = io::BufWriter::new(stream);
             write!(
                 out,
                 "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
@@ -614,9 +896,9 @@ fn answer_query(
             }
             write_chunk(&mut out, results_json::SOLUTIONS_TAIL.as_bytes())?;
             out.write_all(b"0\r\n\r\n")?;
+            out.flush()
         }
     }
-    out.flush()
 }
 
 fn write_chunk(out: &mut impl Write, data: &[u8]) -> io::Result<()> {
@@ -1151,6 +1433,149 @@ mod tests {
         let (status, text) = raw_roundtrip(handle.local_addr(), &request);
         assert!(status.contains("200"), "{text}");
         assert!(text.contains("Transfer-Encoding: chunked"), "{text}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn stats_route_reports_split_counters() {
+        let handle = start(ServerConfig {
+            name: "srv-stats".to_string(),
+            ..Default::default()
+        });
+        let addr = handle.local_addr();
+        // One success…
+        let ep = HttpEndpoint::new("srv", &handle.url()).unwrap();
+        let ask = lusail_sparql::parse_query("ASK { ?s ?p ?o }").unwrap();
+        assert!(ep.ask(&ask).unwrap());
+        // …and one client error (missing query=).
+        let (status, _) = raw_roundtrip(
+            addr,
+            "GET /sparql HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n",
+        );
+        assert!(status.contains("400"), "{status}");
+
+        let (status, text) = raw_roundtrip(
+            addr,
+            "GET /stats HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n",
+        );
+        assert!(status.contains("200"), "{text}");
+        assert!(text.contains("\"endpoint\":\"srv-stats\""), "{text}");
+        assert!(text.contains("\"served\":1"), "{text}");
+        assert!(text.contains("\"errors\":1"), "{text}");
+        assert!(text.contains("\"shed\":0"), "{text}");
+        // A plain store backend reports no service-level stats.
+        assert!(text.contains("\"service\":null"), "{text}");
+
+        let counts = handle.stats();
+        assert_eq!(counts.served, 2, "ASK + /stats");
+        assert_eq!(counts.errors, 1);
+        assert_eq!(counts.shed, 0);
+        assert_eq!(handle.requests_served(), counts.total());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn cache_invalidate_route_is_404_without_shared_caches() {
+        let handle = start(ServerConfig::default());
+        let (status, text) = raw_roundtrip(
+            handle.local_addr(),
+            "POST /cache/invalidate HTTP/1.1\r\nHost: h\r\nContent-Length: 0\r\n\
+             Connection: close\r\n\r\n",
+        );
+        assert!(status.contains("404"), "{text}");
+        assert!(text.contains("no shared caches"), "{text}");
+        // Wrong method gets a 405, not a silent query parse attempt.
+        let (status, text) = raw_roundtrip(
+            handle.local_addr(),
+            "GET /stats HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n",
+        );
+        assert!(status.contains("200"), "{text}");
+        let (status, _) = raw_roundtrip(
+            handle.local_addr(),
+            "GET /cache/invalidate HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n",
+        );
+        assert!(status.contains("405"), "{status}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn backend_sees_client_id_header_or_peer_ip() {
+        struct Capture(Mutex<Vec<String>>);
+        impl QueryBackend for Capture {
+            fn answer(&self, _query: &str, client: &ClientInfo) -> Answer {
+                self.0
+                    .lock()
+                    .expect("capture lock poisoned")
+                    .push(client.id.clone());
+                Answer::Boolean(true)
+            }
+        }
+        let capture = Arc::new(Capture(Mutex::new(Vec::new())));
+        let handle = SparqlServer::with_backend(
+            "127.0.0.1:0",
+            Arc::clone(&capture) as Arc<dyn QueryBackend>,
+            ServerConfig::default(),
+        )
+        .unwrap()
+        .spawn();
+        let body = "ASK { ?s ?p ?o }";
+        let with_header = format!(
+            "POST /sparql HTTP/1.1\r\nHost: h\r\nX-Client-Id: tenant-7\r\n\
+             Content-Type: application/sparql-query\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let (status, _) = raw_roundtrip(handle.local_addr(), &with_header);
+        assert!(status.contains("200"), "{status}");
+        let without_header = format!(
+            "POST /sparql HTTP/1.1\r\nHost: h\r\n\
+             Content-Type: application/sparql-query\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let (status, _) = raw_roundtrip(handle.local_addr(), &without_header);
+        assert!(status.contains("200"), "{status}");
+        let seen = capture.0.lock().expect("capture lock poisoned").clone();
+        assert_eq!(seen[0], "tenant-7");
+        assert_eq!(seen[1], "127.0.0.1", "fallback identity is the peer IP");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn backend_retry_after_reaches_the_wire() {
+        struct AlwaysBusy;
+        impl QueryBackend for AlwaysBusy {
+            fn answer(&self, _query: &str, _client: &ClientInfo) -> Answer {
+                Answer::Error {
+                    status: 429,
+                    message: "client quota exhausted".to_string(),
+                    retry_after: Some(Duration::from_secs(3)),
+                }
+            }
+        }
+        let handle = SparqlServer::with_backend(
+            "127.0.0.1:0",
+            Arc::new(AlwaysBusy),
+            ServerConfig {
+                name: "srv-quota".to_string(),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .spawn();
+        let (status, text) = raw_roundtrip(
+            handle.local_addr(),
+            &format!(
+                "GET /sparql?query={} HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n",
+                percent_encode("ASK { ?s ?p ?o }")
+            ),
+        );
+        assert!(status.contains("429"), "{text}");
+        assert!(text.contains("Retry-After: 3"), "{text}");
+        assert!(text.contains("client quota exhausted"), "{text}");
+        assert_eq!(handle.stats().shed, 1, "quota refusals count as sheds");
         handle.shutdown();
     }
 

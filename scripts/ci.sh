@@ -37,3 +37,16 @@ if ! LUSAIL_CHAOS_SEED="$seed" cargo test -p integration --test mem_chaos -q --o
     echo "    LUSAIL_CHAOS_SEED=$seed cargo test -p integration --test mem_chaos" >&2
     exit 1
 fi
+
+# Federate group: federation-service e2e (tests/tests/federate.rs).
+# Parallel clients against `serve --federate` must match single-shot
+# answers, a repeated hot query must reach zero backend endpoints, a
+# saturated pool must shed with 503 + Retry-After without exceeding its
+# ledger count, quotas must 429 the noisy client, and the seeded chaos
+# case (LUSAIL_CHAOS_SEED picks a dead endpoint behind the service) must
+# still yield partial results with warnings.
+if ! LUSAIL_CHAOS_SEED="$seed" cargo test -p integration --test federate -q --offline; then
+    echo "federate suite failed with LUSAIL_CHAOS_SEED=$seed -- replay with:" >&2
+    echo "    LUSAIL_CHAOS_SEED=$seed cargo test -p integration --test federate" >&2
+    exit 1
+fi
