@@ -259,7 +259,9 @@ pub fn measure(
                     bytes_received: traffic.bytes_received,
                 };
             }
-            Err(EngineError::Endpoint(_)) | Err(EngineError::BudgetExceeded { .. }) => {
+            Err(EngineError::Endpoint(_))
+            | Err(EngineError::BudgetExceeded { .. })
+            | Err(EngineError::Cancelled(_)) => {
                 return Measurement {
                     system: under_test.engine.name().to_string(),
                     query: query.name.to_string(),

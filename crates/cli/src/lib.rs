@@ -2,7 +2,7 @@
 //! command logic are unit-testable.
 
 use lusail_baselines::{FedX, FedXConfig, FederatedEngine, HiBiscus, Splendid};
-use lusail_core::{LusailConfig, LusailEngine, ResultPolicy};
+use lusail_core::{CancelToken, LusailConfig, LusailEngine, ResultPolicy, RunContext};
 use lusail_federation::{
     Federation, HttpConfig, HttpEndpoint, NetworkProfile, ReplicaConfig, ReplicaGroup,
     SimulatedEndpoint, SparqlEndpoint,
@@ -36,6 +36,7 @@ usage:
                   [--memory-pool BYTES] [--query-budget BYTES] [--queue N]
                   [--client-max-inflight N] [--cache-ttl SECS]
                   [--cache-capacity N] [--max-result-rows N] [--partial]
+                  [--drain-timeout SECS] [--watchdog-grace SECS]
   lusail generate --benchmark lubm|qfed|largerdf|bio2rdf --out DIR
                   [--scale F] [--endpoints N] [--seed N]
   lusail info     --data FILE...
@@ -84,8 +85,20 @@ queries running (429 beyond it). Analysis facts and whole-query results
 are cached across clients with --cache-ttl / --cache-capacity bounds; a
 repeated hot query is answered with zero endpoint requests. Degraded
 (partial or truncated) results are never cached. GET /stats reports
-per-client counters, cache hit rates, pool and queue state; POST
-/cache/invalidate drops both cache tiers.";
+per-client counters, cache hit rates, pool and queue state, and a
+lifecycle section (cancellations by reason, watchdog reaps, panics
+contained, drain outcomes); POST /cache/invalidate drops both cache
+tiers.
+
+Every admitted query carries a cancel token: GET /queries lists the
+in-flight queries (id, client, phase, elapsed, accounted bytes) and
+POST /queries/<ID>/cancel trips one, returning 499 to its caller and
+releasing its memory ledger. A client that disconnects mid-query is
+detected on the socket and cancelled the same way. A watchdog reaps
+queries wedged past their deadline plus --watchdog-grace SECS
+(default 2). On shutdown the server drains: it stops accepting,
+waits up to --drain-timeout SECS (default 5) for in-flight queries,
+then force-cancels stragglers.";
 
 /// CLI failure modes.
 #[derive(Debug)]
@@ -202,6 +215,12 @@ pub struct FederateOpts {
     pub cache_capacity: Option<usize>,
     /// Serve partial results with warnings when endpoints fail.
     pub partial: bool,
+    /// Shutdown drain window in seconds (`--drain-timeout`): in-flight
+    /// queries get this long to finish before being force-cancelled.
+    pub drain_timeout: Option<u64>,
+    /// Watchdog slack past the query deadline in seconds
+    /// (`--watchdog-grace`) before a wedged query is reaped.
+    pub watchdog_grace: Option<u64>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -305,6 +324,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--cache-ttl",
             "--cache-capacity",
             "--partial",
+            "--drain-timeout",
+            "--watchdog-grace",
         ],
         "generate" => &["--benchmark", "--out", "--scale", "--endpoints", "--seed"],
         "info" => &["--data"],
@@ -484,6 +505,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--cache-ttl",
                     "--cache-capacity",
                     "--partial",
+                    "--drain-timeout",
+                    "--watchdog-grace",
                 ];
                 if let Some(flag) = FEDERATE_ONLY.iter().find(|f| has(f)) {
                     return Err(usage(&format!("{flag} requires serve --federate")));
@@ -598,6 +621,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     cache_ttl: parse_u64("--cache-ttl")?,
                     cache_capacity: parse_usize("--cache-capacity")?,
                     partial: has("--partial"),
+                    drain_timeout: parse_u64("--drain-timeout")?,
+                    watchdog_grace: parse_u64("--watchdog-grace")?,
                 })
             } else {
                 None
@@ -909,6 +934,10 @@ pub fn start_federated_server(
             Some(secs) => Some(Duration::from_secs(secs)),
             None => defaults.cache_ttl,
         },
+        watchdog_grace: opts
+            .watchdog_grace
+            .map(Duration::from_secs)
+            .unwrap_or(defaults.watchdog_grace),
         ..defaults
     };
     // The long-lived analysis cache gets the same bounds as the result
@@ -931,6 +960,10 @@ pub fn start_federated_server(
         workers,
         max_result_rows,
         name: "lusail-federate".to_string(),
+        drain_timeout: opts
+            .drain_timeout
+            .map(Duration::from_secs)
+            .unwrap_or(ServerConfig::default().drain_timeout),
         ..Default::default()
     };
     let server = lusail_server::SparqlServer::with_backend(addr, Arc::new(service), server_config)
@@ -1029,7 +1062,19 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                         ..Default::default()
                     },
                 );
-                let (rel, profile) = lusail.execute_profiled(&query).map_err(CliError::Engine)?;
+                // One-shot runs carry a cancel token too: every deadline
+                // check doubles as a cancellation point, so a tripped
+                // token (or expired budget) surfaces in --stats as a
+                // lifecycle outcome instead of a bare error.
+                let ctx = RunContext::new(lusail.config()).with_cancel(CancelToken::new());
+                let started = std::time::Instant::now();
+                let run = lusail.execute_profiled_with(&query, &ctx);
+                if stats {
+                    if let Err(e) = &run {
+                        print_lifecycle_stats(&ctx, started.elapsed(), Some(e), out)?;
+                    }
+                }
+                let (rel, profile) = run.map_err(CliError::Engine)?;
                 if explain {
                     writeln!(out, "# engine        : Lusail")?;
                     writeln!(out, "# gjvs          : {:?}", profile.gjvs)?;
@@ -1057,6 +1102,7 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 if stats {
                     print_endpoint_stats(&federation, out)?;
                     print_memory_stats(&profile.memory, out)?;
+                    print_lifecycle_stats(&ctx, started.elapsed(), None, out)?;
                 }
                 return Ok(());
             }
@@ -1300,6 +1346,36 @@ fn print_memory_stats(m: &lusail_core::MemoryStats, out: &mut dyn Write) -> Resu
         "#   spills          : {} runs, {} bytes",
         m.spill_count, m.spill_bytes
     )?;
+    Ok(())
+}
+
+/// The `--stats` lifecycle section: how the run ended. One-shot queries
+/// carry the same cancel token the federation service arms per admitted
+/// query, so the outcome names who pulled the plug (deadline, a tripped
+/// token) or confirms a clean completion. The service-side counterpart —
+/// cancellations by reason, watchdog reaps, panics contained, drain
+/// outcomes — lives in the federate server's GET /stats.
+fn print_lifecycle_stats(
+    ctx: &RunContext,
+    elapsed: Duration,
+    error: Option<&lusail_core::EngineError>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    writeln!(out, "# lifecycle:")?;
+    writeln!(out, "#   elapsed         : {} ms", elapsed.as_millis())?;
+    match ctx.cancel_reason() {
+        Some(reason) => writeln!(out, "#   cancel token    : tripped ({})", reason.as_str())?,
+        None => writeln!(out, "#   cancel token    : armed, never tripped")?,
+    }
+    let outcome = match error {
+        None => "completed".to_string(),
+        Some(lusail_core::EngineError::Timeout(budget)) => {
+            format!("deadline exceeded ({budget:?} budget)")
+        }
+        Some(lusail_core::EngineError::Cancelled(reason)) => format!("cancelled: {reason}"),
+        Some(e) => format!("failed: {e}"),
+    };
+    writeln!(out, "#   outcome         : {outcome}")?;
     Ok(())
 }
 
@@ -1834,6 +1910,10 @@ mod tests {
             "60",
             "--cache-capacity",
             "32",
+            "--drain-timeout",
+            "7",
+            "--watchdog-grace",
+            "1",
             "--partial",
         ]))
         .unwrap();
@@ -1855,6 +1935,8 @@ mod tests {
                 assert_eq!(opts.query_timeout, Some(10));
                 assert_eq!(opts.cache_ttl, Some(60));
                 assert_eq!(opts.cache_capacity, Some(32));
+                assert_eq!(opts.drain_timeout, Some(7));
+                assert_eq!(opts.watchdog_grace, Some(1));
                 assert!(opts.partial);
             }
             other => panic!("{other:?}"),

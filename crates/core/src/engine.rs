@@ -413,12 +413,12 @@ impl LusailEngine {
             };
             let results = self.handler.map_cancellable(
                 merged.clone(),
-                ctx.deadline,
+                ctx.deadline.clone(),
                 |_| Err(EndpointError::deadline("MINUS block")),
                 |ep| {
                     self.federation
                         .endpoint(ep)
-                        .select_within(&sq.to_query(), ctx.deadline)
+                        .select_within(&sq.to_query(), ctx.deadline.clone())
                 },
             );
             let mut minus_rel = Relation::new(sq.projection.clone());

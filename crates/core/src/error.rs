@@ -1,6 +1,6 @@
 //! Engine errors.
 
-use lusail_federation::EndpointError;
+use lusail_federation::{CancelReason, EndpointError};
 use std::time::Duration;
 
 /// Why a federated query failed.
@@ -9,6 +9,10 @@ pub enum EngineError {
     /// The configured per-query time limit elapsed. The paper uses a
     /// one-hour limit; the benches scale it down.
     Timeout(Duration),
+    /// The query's cancellation token tripped before it finished: the
+    /// client disconnected, an operator cancelled it, the lifecycle
+    /// watchdog reaped it, or the server is draining.
+    Cancelled(CancelReason),
     /// The query uses a construct this engine does not support (e.g. the
     /// FedX baseline on disjoint subgraphs joined by a filter variable —
     /// queries C5/B5/B6, which only Lusail supports).
@@ -33,6 +37,7 @@ impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EngineError::Timeout(d) => write!(f, "query timed out after {d:?}"),
+            EngineError::Cancelled(reason) => write!(f, "query cancelled: {reason}"),
             EngineError::Unsupported(what) => write!(f, "unsupported query feature: {what}"),
             EngineError::Endpoint(e) => write!(f, "{e}"),
             EngineError::BudgetExceeded {

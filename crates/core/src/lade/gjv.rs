@@ -194,13 +194,13 @@ pub fn detect_gjvs_with(
     analysis.check_queries_sent = to_send.len();
     let answers = handler.map_cancellable(
         to_send.clone(),
-        ctx.deadline,
+        ctx.deadline.clone(),
         |_| Err(EndpointError::deadline("locality check")),
         |idx| {
             let p = &pending[idx];
             federation
                 .endpoint(p.ep)
-                .select_within(&p.query, ctx.deadline)
+                .select_within(&p.query, ctx.deadline.clone())
                 .map(|rel| !rel.is_empty())
         },
     );

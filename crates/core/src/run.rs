@@ -13,6 +13,7 @@
 use crate::budget::{MemoryBudget, MemoryPhase};
 use crate::config::{LusailConfig, ResultPolicy};
 use crate::error::EngineError;
+pub use lusail_federation::{CancelReason, CancelToken};
 use lusail_federation::{Deadline, EndpointError, FailureKind};
 use lusail_sparql::solution::row_wire_size;
 use lusail_sparql::Relation;
@@ -121,14 +122,37 @@ impl RunContext {
         RunContext::fail_fast(Deadline::none(), None)
     }
 
+    /// Attach a cancellation token: from here on every deadline check —
+    /// [`check`](Self::check), `map_cancellable`, per-attempt clamps,
+    /// retry/backoff sleeps — doubles as a cancellation point.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.deadline = self.deadline.with_token(token);
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.deadline.token()
+    }
+
+    /// Why this query was cancelled, if its token tripped.
+    pub fn cancel_reason(&self) -> Option<CancelReason> {
+        self.deadline.cancel_reason()
+    }
+
     /// The timeout error carrying the configured budget.
     pub fn timeout_error(&self) -> EngineError {
         EngineError::Timeout(self.budget.unwrap_or_default())
     }
 
-    /// Fail with [`EngineError::Timeout`] once the budget is spent.
+    /// Fail once the budget is spent: [`EngineError::Cancelled`] when the
+    /// token tripped (cancellation beats the clock — the reason explains
+    /// *why* the query died, which an undifferentiated timeout would
+    /// hide), [`EngineError::Timeout`] for plain deadline expiry.
     pub fn check(&self) -> Result<(), EngineError> {
-        if self.deadline.expired() {
+        if let Some(reason) = self.deadline.cancel_reason() {
+            Err(EngineError::Cancelled(reason))
+        } else if self.deadline.expired() {
             Err(self.timeout_error())
         } else {
             Ok(())
@@ -185,7 +209,19 @@ impl RunContext {
     ) -> Result<(T, bool), EngineError> {
         match result {
             Ok(v) => Ok((v, false)),
-            Err(e) if e.kind == FailureKind::Deadline => Err(self.timeout_error()),
+            Err(e) if e.kind == FailureKind::Cancelled => {
+                // Prefer the token's reason; a bare Cancelled error from a
+                // transport without the token in hand still maps sensibly.
+                let reason = self
+                    .deadline
+                    .cancel_reason()
+                    .unwrap_or(CancelReason::AdminCancelled);
+                Err(EngineError::Cancelled(reason))
+            }
+            Err(e) if e.kind == FailureKind::Deadline => match self.deadline.cancel_reason() {
+                Some(reason) => Err(EngineError::Cancelled(reason)),
+                None => Err(self.timeout_error()),
+            },
             Err(e) if self.policy == ResultPolicy::Partial && e.is_skippable() => {
                 self.warn(ExecutionWarning {
                     endpoint: e.endpoint,

@@ -88,13 +88,13 @@ pub fn collect_tp_counts(
     }
     let answers = handler.map_cancellable(
         (0..probes.len()).collect(),
-        ctx.deadline,
+        ctx.deadline.clone(),
         |_| Err(EndpointError::deadline("cardinality probe")),
         |pi| {
             let (i, ep, _) = &probes[pi];
             federation
                 .endpoint(*ep)
-                .count_within(&count_query(&patterns[*i], filters), ctx.deadline)
+                .count_within(&count_query(&patterns[*i], filters), ctx.deadline.clone())
         },
     );
     for ((i, ep, key), n) in probes.into_iter().zip(answers) {

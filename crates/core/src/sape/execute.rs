@@ -67,12 +67,12 @@ impl SapeExecutor<'_> {
             .collect();
         let results = self.handler.map_cancellable(
             wave.clone(),
-            self.ctx.deadline,
+            self.ctx.deadline.clone(),
             |_| Err(EndpointError::deadline("subquery wave")),
             |(i, ep)| {
                 self.federation
                     .endpoint(ep)
-                    .select_within(&subqueries[i].to_query(), self.ctx.deadline)
+                    .select_within(&subqueries[i].to_query(), self.ctx.deadline.clone())
             },
         );
         for ((i, ep), rel) in wave.into_iter().zip(results) {
@@ -210,12 +210,12 @@ impl SapeExecutor<'_> {
                 let wave: Vec<EndpointId> = sources;
                 let results = self.handler.map_cancellable(
                     wave.clone(),
-                    self.ctx.deadline,
+                    self.ctx.deadline.clone(),
                     |_| Err(EndpointError::deadline("bound join")),
                     |ep| {
                         self.federation
                             .endpoint(ep)
-                            .select_within(&sq.to_query(), self.ctx.deadline)
+                            .select_within(&sq.to_query(), self.ctx.deadline.clone())
                     },
                 );
                 for (ep, rel) in wave.into_iter().zip(results) {
@@ -241,13 +241,13 @@ impl SapeExecutor<'_> {
                     .collect();
                 let results = self.handler.map_cancellable(
                     wave.clone(),
-                    self.ctx.deadline,
+                    self.ctx.deadline.clone(),
                     |_| Err(EndpointError::deadline("bound join")),
                     |(b, ep)| {
                         let q = sq.to_bound_query(std::slice::from_ref(&v), &blocks[b]);
                         self.federation
                             .endpoint(ep)
-                            .select_within(&q, self.ctx.deadline)
+                            .select_within(&q, self.ctx.deadline.clone())
                     },
                 );
                 for ((_, ep), rel) in wave.into_iter().zip(results) {
@@ -298,12 +298,12 @@ impl SapeExecutor<'_> {
         );
         let answers = self.handler.map_cancellable(
             sq.sources.clone(),
-            self.ctx.deadline,
+            self.ctx.deadline.clone(),
             |_| Err(EndpointError::deadline("source refinement")),
             |ep| {
                 self.federation
                     .endpoint(ep)
-                    .ask_within(&probe, self.ctx.deadline)
+                    .ask_within(&probe, self.ctx.deadline.clone())
             },
         );
         let what = format!("source refinement for subquery #{}", sq.id);

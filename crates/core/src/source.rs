@@ -56,11 +56,11 @@ pub fn select_sources(
             .collect();
         let answers = handler.map_cancellable(
             tasks.clone(),
-            ctx.deadline,
+            ctx.deadline.clone(),
             |_| Err(EndpointError::deadline("source selection")),
             |(mi, ep)| {
                 let q = ask_query(miss_repr[mi]);
-                federation.endpoint(ep).ask_within(&q, ctx.deadline)
+                federation.endpoint(ep).ask_within(&q, ctx.deadline.clone())
             },
         );
         let mut per_miss: Vec<Vec<EndpointId>> = vec![Vec::new(); miss_repr.len()];

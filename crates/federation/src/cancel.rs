@@ -1,0 +1,242 @@
+//! Cooperative cancellation: a shared token that execution checks at every
+//! existing deadline point, kept orthogonal to the engine itself.
+//!
+//! A [`CancelToken`] is a cheap clonable handle to a shared flag plus a
+//! structured [`CancelReason`]. The first `cancel()` wins; later calls are
+//! no-ops so the recorded reason is stable. Sleeps and waits throughout the
+//! federation layer go through [`CancelToken::wait_timeout`] (via
+//! `Deadline::pause`) so a cancelled query stops burning its backoff and
+//! hedge windows immediately instead of sleeping them out.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a query was cancelled. Ordered by who pulled the trigger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The client hung up while the query was executing or streaming.
+    ClientDisconnected,
+    /// An operator cancelled it via `POST /queries/<id>/cancel`.
+    AdminCancelled,
+    /// The lifecycle watchdog reaped it past deadline + grace.
+    WatchdogReaped,
+    /// The server is shutting down and force-cancelled stragglers.
+    ServerDraining,
+}
+
+impl CancelReason {
+    /// Stable lower-snake name used in JSON stats and error bodies.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CancelReason::ClientDisconnected => "client_disconnected",
+            CancelReason::AdminCancelled => "admin_cancelled",
+            CancelReason::WatchdogReaped => "watchdog_reaped",
+            CancelReason::ServerDraining => "server_draining",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            CancelReason::ClientDisconnected => 1,
+            CancelReason::AdminCancelled => 2,
+            CancelReason::WatchdogReaped => 3,
+            CancelReason::ServerDraining => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(CancelReason::ClientDisconnected),
+            2 => Some(CancelReason::AdminCancelled),
+            3 => Some(CancelReason::WatchdogReaped),
+            4 => Some(CancelReason::ServerDraining),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CancelReason::ClientDisconnected => "client disconnected",
+            CancelReason::AdminCancelled => "cancelled by administrator",
+            CancelReason::WatchdogReaped => "reaped by watchdog",
+            CancelReason::ServerDraining => "server draining",
+        })
+    }
+}
+
+#[derive(Debug)]
+struct CancelInner {
+    /// 0 = live, otherwise `CancelReason::code`.
+    reason: AtomicU8,
+    /// Wakes sleepers in `wait_timeout` the moment the token trips.
+    gate: Mutex<()>,
+    bell: Condvar,
+}
+
+/// Shared cancellation flag with a structured reason. Clones observe the
+/// same underlying state.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                reason: AtomicU8::new(0),
+                gate: Mutex::new(()),
+                bell: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Trip the token. The first reason wins; returns whether this call
+    /// was the one that tripped it.
+    pub fn cancel(&self, reason: CancelReason) -> bool {
+        let won = self
+            .inner
+            .reason
+            .compare_exchange(0, reason.code(), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        if won {
+            // Take the lock so a waiter between its check and its wait
+            // cannot miss the notification.
+            let _g = self.inner.gate.lock().unwrap_or_else(|e| e.into_inner());
+            self.inner.bell.notify_all();
+        }
+        won
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.reason.load(Ordering::Acquire) != 0
+    }
+
+    /// The recorded reason, if the token has tripped.
+    pub fn reason(&self) -> Option<CancelReason> {
+        CancelReason::from_code(self.inner.reason.load(Ordering::Acquire))
+    }
+
+    /// Sleep for up to `timeout`, waking early if the token trips. Returns
+    /// the reason if cancellation cut the sleep short (or had already
+    /// happened).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<CancelReason> {
+        if let Some(reason) = self.reason() {
+            return Some(reason);
+        }
+        if timeout.is_zero() {
+            return None;
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.inner.gate.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(reason) = self.reason() {
+                return Some(reason);
+            }
+            let now = std::time::Instant::now();
+            let Some(left) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return self.reason();
+            };
+            let (g, _timed_out) = self
+                .inner
+                .bell
+                .wait_timeout(guard, left)
+                .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+        }
+    }
+
+    /// Two handles to the same underlying token.
+    pub fn same_token(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.reason(), None);
+    }
+
+    #[test]
+    fn first_cancel_wins() {
+        let t = CancelToken::new();
+        assert!(t.cancel(CancelReason::AdminCancelled));
+        assert!(!t.cancel(CancelReason::WatchdogReaped));
+        assert_eq!(t.reason(), Some(CancelReason::AdminCancelled));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        t.cancel(CancelReason::ClientDisconnected);
+        assert_eq!(c.reason(), Some(CancelReason::ClientDisconnected));
+        assert!(t.same_token(&c));
+        assert!(!t.same_token(&CancelToken::new()));
+    }
+
+    #[test]
+    fn wait_timeout_sleeps_full_window_when_live() {
+        let t = CancelToken::new();
+        let start = Instant::now();
+        assert_eq!(t.wait_timeout(Duration::from_millis(30)), None);
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn wait_timeout_wakes_on_cancel() {
+        let t = CancelToken::new();
+        let waker = t.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            waker.cancel(CancelReason::ServerDraining);
+        });
+        let start = Instant::now();
+        let reason = t.wait_timeout(Duration::from_secs(10));
+        assert_eq!(reason, Some(CancelReason::ServerDraining));
+        assert!(start.elapsed() < Duration::from_secs(5));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_returns_immediately_when_already_cancelled() {
+        let t = CancelToken::new();
+        t.cancel(CancelReason::WatchdogReaped);
+        let start = Instant::now();
+        assert_eq!(
+            t.wait_timeout(Duration::from_secs(10)),
+            Some(CancelReason::WatchdogReaped)
+        );
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn reason_names_are_stable() {
+        assert_eq!(
+            CancelReason::ClientDisconnected.as_str(),
+            "client_disconnected"
+        );
+        assert_eq!(CancelReason::AdminCancelled.as_str(), "admin_cancelled");
+        assert_eq!(CancelReason::WatchdogReaped.as_str(), "watchdog_reaped");
+        assert_eq!(CancelReason::ServerDraining.as_str(), "server_draining");
+    }
+}

@@ -1,6 +1,7 @@
 //! SPARQL endpoints: the trait all federated engines program against, and
 //! the simulated implementation used throughout the benchmarks.
 
+use crate::cancel::CancelReason;
 use crate::erh::{Admission, BreakerConfig, Deadline, EndpointHealth, HealthSnapshot};
 use crate::network::{NetworkProfile, RequestCounters, TrafficSnapshot};
 use lusail_sparql::ast::Query;
@@ -30,6 +31,12 @@ pub enum FailureKind {
     /// The query-level [`Deadline`] expired before or while the request
     /// ran. Maps to a query timeout, not an endpoint fault.
     Deadline,
+    /// The query's [`CancelToken`](crate::cancel::CancelToken) tripped:
+    /// the client disconnected, an operator cancelled it, the watchdog
+    /// reaped it, or the server is draining. Like `Deadline`, this is a
+    /// query-level outcome — never retried, never absorbed into partial
+    /// results, and never counted against the endpoint's breaker.
+    Cancelled,
 }
 
 /// A failed endpoint request — the HTTP-level errors a real federation
@@ -79,6 +86,25 @@ impl EndpointError {
             endpoint: endpoint.into(),
             message: "query deadline expired".to_string(),
             kind: FailureKind::Deadline,
+        }
+    }
+
+    /// A query cancelled via its token, observed at this endpoint.
+    pub fn cancelled(endpoint: impl Into<String>, reason: CancelReason) -> Self {
+        EndpointError {
+            endpoint: endpoint.into(),
+            message: format!("query cancelled: {reason}"),
+            kind: FailureKind::Cancelled,
+        }
+    }
+
+    /// The right error for an exhausted deadline: `cancelled` with the
+    /// token's reason when the token tripped, `deadline` otherwise. The
+    /// shared exit for every `deadline.expired()` guard in the transports.
+    pub fn expired(endpoint: impl Into<String>, deadline: &Deadline) -> Self {
+        match deadline.cancel_reason() {
+            Some(reason) => EndpointError::cancelled(endpoint, reason),
+            None => EndpointError::deadline(endpoint),
         }
     }
 
@@ -283,7 +309,7 @@ impl SparqlEndpoint for SimulatedEndpoint {
             return Err(EndpointError::circuit_open(&self.name, retry_in));
         }
         if deadline.expired() {
-            return Err(EndpointError::deadline(&self.name));
+            return Err(EndpointError::expired(&self.name, &deadline));
         }
         let started = std::time::Instant::now();
 
@@ -294,9 +320,7 @@ impl SparqlEndpoint for SimulatedEndpoint {
             if request_bytes > max {
                 // The request still consumed a round trip.
                 let cost = self.profile.request_cost(request_bytes, 0);
-                if !cost.is_zero() {
-                    std::thread::sleep(deadline.clamp(cost));
-                }
+                deadline.pause(cost);
                 self.counters.record(request_bytes, 0, cost);
                 let head: String = text.chars().take(160).collect();
                 return Err(EndpointError::rejected(
@@ -329,12 +353,10 @@ impl SparqlEndpoint for SimulatedEndpoint {
         };
         let cost = self.profile.request_cost(request_bytes, response_bytes);
         let allowed = deadline.clamp(cost);
-        if !allowed.is_zero() {
-            std::thread::sleep(allowed);
-        }
-        if allowed < cost {
+        deadline.pause(cost);
+        if allowed < cost || deadline.cancel_reason().is_some() {
             self.counters.record(request_bytes, 0, allowed);
-            return Err(EndpointError::deadline(&self.name));
+            return Err(EndpointError::expired(&self.name, &deadline));
         }
         self.counters.record(request_bytes, response_bytes, cost);
         self.health.record_success(started.elapsed());

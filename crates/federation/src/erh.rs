@@ -15,6 +15,7 @@
 //! the breaker lets repeated transport failures fail fast instead of each
 //! burning a full retry budget.
 
+use crate::cancel::{CancelReason, CancelToken};
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Arc, Mutex};
@@ -27,42 +28,96 @@ use std::time::{Duration, Instant};
 /// Every layer asks the same deadline for `remaining()` instead of using a
 /// fixed per-attempt timeout, so a query that has already spent its budget
 /// on one slow endpoint does not grant later requests a fresh allowance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Deadline(Option<Instant>);
+///
+/// A deadline may additionally carry a [`CancelToken`]: `expired()` then
+/// reports true the moment the token trips, so every existing deadline
+/// check — `map_cancellable`, per-attempt clamps, retry-loop guards —
+/// doubles as a cancellation point without any call-site change. Sleeps
+/// should go through [`Deadline::pause`], which wakes early on cancel.
+#[derive(Debug, Clone)]
+pub struct Deadline {
+    at: Option<Instant>,
+    token: Option<CancelToken>,
+}
+
+/// Equality ignores the token: two deadlines compare equal when their time
+/// budgets do, which is what the arithmetic tests and clamp logic care
+/// about.
+impl PartialEq for Deadline {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at
+    }
+}
+
+impl Eq for Deadline {}
 
 impl Deadline {
     /// No deadline: every wait is unlimited.
     pub fn none() -> Self {
-        Deadline(None)
+        Deadline {
+            at: None,
+            token: None,
+        }
     }
 
     /// A deadline `budget` from now.
     pub fn within(budget: Duration) -> Self {
-        Deadline(Some(Instant::now() + budget))
+        Deadline {
+            at: Some(Instant::now() + budget),
+            token: None,
+        }
     }
 
     /// A deadline at an absolute instant.
     pub fn at(instant: Instant) -> Self {
-        Deadline(Some(instant))
+        Deadline {
+            at: Some(instant),
+            token: None,
+        }
+    }
+
+    /// The same time budget, additionally watching `token`.
+    pub fn with_token(mut self, token: CancelToken) -> Self {
+        self.token = Some(token);
+        self
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn token(&self) -> Option<&CancelToken> {
+        self.token.as_ref()
+    }
+
+    /// Why the attached token was cancelled, if it was.
+    pub fn cancel_reason(&self) -> Option<CancelReason> {
+        self.token.as_ref().and_then(|t| t.reason())
     }
 
     /// The absolute expiry instant, if any.
     pub fn instant(&self) -> Option<Instant> {
-        self.0
+        self.at
     }
 
-    /// Whether the budget is exhausted.
-    pub fn expired(&self) -> bool {
-        match self.0 {
+    /// Whether the time budget alone is exhausted, ignoring the token.
+    pub fn time_expired(&self) -> bool {
+        match self.at {
             Some(at) => Instant::now() >= at,
             None => false,
         }
     }
 
+    /// Whether the budget is exhausted — by time, or by cancellation.
+    pub fn expired(&self) -> bool {
+        self.cancel_reason().is_some() || self.time_expired()
+    }
+
     /// Time left, or `None` when unlimited. An expired deadline reports
-    /// `Some(ZERO)`, never a negative value.
+    /// `Some(ZERO)`, never a negative value; a cancelled token makes the
+    /// remaining budget zero regardless of the clock.
     pub fn remaining(&self) -> Option<Duration> {
-        self.0
+        if self.cancel_reason().is_some() {
+            return Some(Duration::ZERO);
+        }
+        self.at
             .map(|at| at.saturating_duration_since(Instant::now()))
     }
 
@@ -71,6 +126,23 @@ impl Deadline {
         match self.remaining() {
             Some(rem) => timeout.min(rem),
             None => timeout,
+        }
+    }
+
+    /// Sleep for `pause`, clamped to the remaining budget and interrupted
+    /// immediately if the token trips. The drop-in replacement for
+    /// `thread::sleep(deadline.clamp(pause))` in backoff and simulated-
+    /// latency paths.
+    pub fn pause(&self, pause: Duration) {
+        let allowed = self.clamp(pause);
+        if allowed.is_zero() {
+            return;
+        }
+        match &self.token {
+            Some(token) => {
+                let _ = token.wait_timeout(allowed);
+            }
+            None => std::thread::sleep(allowed),
         }
     }
 }
@@ -289,6 +361,7 @@ impl RequestHandler {
                 .map(|item| {
                     let f = Arc::clone(&f);
                     let cancelled = Arc::clone(&cancelled);
+                    let deadline = deadline.clone();
                     move || {
                         if deadline.expired() {
                             cancelled(item)

@@ -31,6 +31,15 @@ pub struct FaultProfile {
     /// The endpoint is completely down: every attempt is a dropped
     /// connection, regardless of the rates below.
     pub hard_down: bool,
+    /// The endpoint accepts every request and then never responds: each
+    /// attempt blocks until the query's deadline passes or its cancel
+    /// token trips. The wedge the lifecycle watchdog exists to reap.
+    pub hang: bool,
+    /// Every forwarded plain `SELECT` (not ASK, not an aggregate — so
+    /// analysis probes pass through) panics instead of answering, to
+    /// prove the service's panic containment. The panic unwinds through
+    /// the engine to whoever called it.
+    pub panic_on_select: bool,
     /// Probability an attempt's connection drops mid-request.
     pub drop_rate: f64,
     /// Probability an attempt returns an HTTP 5xx.
@@ -62,6 +71,8 @@ impl FaultProfile {
     pub fn none() -> Self {
         FaultProfile {
             hard_down: false,
+            hang: false,
+            panic_on_select: false,
             drop_rate: 0.0,
             error_rate: 0.0,
             malformed_rate: 0.0,
@@ -76,6 +87,23 @@ impl FaultProfile {
     pub fn hard_down() -> Self {
         FaultProfile {
             hard_down: true,
+            ..FaultProfile::none()
+        }
+    }
+
+    /// Accept requests but never answer them (see [`hang`](Self::hang)).
+    pub fn hang() -> Self {
+        FaultProfile {
+            hang: true,
+            ..FaultProfile::none()
+        }
+    }
+
+    /// Panic on every forwarded plain `SELECT` (see
+    /// [`panic_on_select`](Self::panic_on_select)).
+    pub fn panics_on_select() -> Self {
+        FaultProfile {
+            panic_on_select: true,
             ..FaultProfile::none()
         }
     }
@@ -214,17 +242,10 @@ impl FaultyEndpoint {
         let Some(rows) = self.lock_state().profile.bomb_rows else {
             return result;
         };
-        let bombable = match &query.form {
-            lusail_sparql::ast::QueryForm::Ask(_) => false,
-            lusail_sparql::ast::QueryForm::Select(s) => matches!(
-                s.projection,
-                lusail_sparql::ast::Projection::All | lusail_sparql::ast::Projection::Vars(_)
-            ),
-        };
         let QueryResult::Solutions(rel) = &result else {
             return result;
         };
-        if !bombable || rel.vars().is_empty() {
+        if !is_plain_select(query) || rel.vars().is_empty() {
             return result;
         }
         let vars = rel.vars().to_vec();
@@ -248,6 +269,9 @@ impl FaultyEndpoint {
     fn next_fault(&self) -> InjectedFault {
         let mut state = self.lock_state();
         let p = state.profile;
+        if p.hang {
+            return InjectedFault::Hang;
+        }
         if p.hard_down {
             return InjectedFault::Drop;
         }
@@ -278,8 +302,21 @@ enum InjectedFault {
     None,
     Spike(Duration),
     Drop,
+    Hang,
     ServerError,
     Malformed,
+}
+
+/// A plain `SELECT` — not ASK, not an aggregate — i.e. the query shapes
+/// carrying real subquery work rather than analysis probes.
+fn is_plain_select(query: &Query) -> bool {
+    match &query.form {
+        lusail_sparql::ast::QueryForm::Ask(_) => false,
+        lusail_sparql::ast::QueryForm::Select(s) => matches!(
+            s.projection,
+            lusail_sparql::ast::Projection::All | lusail_sparql::ast::Projection::Vars(_)
+        ),
+    }
 }
 
 impl SparqlEndpoint for FaultyEndpoint {
@@ -301,25 +338,46 @@ impl SparqlEndpoint for FaultyEndpoint {
         for attempt in 0..attempts {
             if attempt > 0 {
                 let pause = self.config.backoff * (1 << (attempt - 1).min(16));
-                std::thread::sleep(deadline.clamp(pause));
+                deadline.pause(pause);
                 if deadline.expired() {
-                    return Err(EndpointError::deadline(self.name()));
+                    return Err(EndpointError::expired(self.name(), &deadline));
                 }
                 self.health.record_retry();
             }
             if deadline.expired() {
-                return Err(EndpointError::deadline(self.name()));
+                return Err(EndpointError::expired(self.name(), &deadline));
             }
             made = attempt + 1;
             let fault = self.next_fault();
             let failure = match fault {
                 InjectedFault::None => None,
                 InjectedFault::Spike(spike) => {
-                    std::thread::sleep(deadline.clamp(spike));
+                    deadline.pause(spike);
                     if deadline.expired() {
-                        return Err(EndpointError::deadline(self.name()));
+                        return Err(EndpointError::expired(self.name(), &deadline));
                     }
                     None
+                }
+                InjectedFault::Hang => {
+                    // Accepted, never answered. A wedged upstream does not
+                    // honor our time budget, so with a cancel token
+                    // attached only the token frees the slot — the query
+                    // wedges right past its deadline, which is precisely
+                    // the failure the service watchdog exists to reap.
+                    // Without a token, the hard deadline is the sole
+                    // escape (an unbounded deadline really does hang —
+                    // that is the fault being modeled).
+                    match deadline.token() {
+                        Some(token) => {
+                            while token.wait_timeout(Duration::from_millis(20)).is_none() {}
+                        }
+                        None => {
+                            while !deadline.expired() {
+                                deadline.pause(Duration::from_millis(20));
+                            }
+                        }
+                    }
+                    return Err(EndpointError::expired(self.name(), &deadline));
                 }
                 InjectedFault::Drop => Some("connection dropped (injected fault)"),
                 InjectedFault::ServerError => Some("HTTP 503 (injected fault)"),
@@ -335,9 +393,9 @@ impl SparqlEndpoint for FaultyEndpoint {
                 }
             };
             if let Some(message) = failure {
-                std::thread::sleep(deadline.clamp(self.config.failure_latency));
+                deadline.pause(self.config.failure_latency);
                 if deadline.expired() {
-                    return Err(EndpointError::deadline(self.name()));
+                    return Err(EndpointError::expired(self.name(), &deadline));
                 }
                 self.health.record_failure();
                 last_failure = message.to_string();
@@ -347,9 +405,12 @@ impl SparqlEndpoint for FaultyEndpoint {
                 continue;
             }
             let started = Instant::now();
-            return match self.inner.execute_within(query, deadline) {
+            return match self.inner.execute_within(query, deadline.clone()) {
                 Ok(result) => {
                     self.health.record_success(started.elapsed());
+                    if self.lock_state().profile.panic_on_select && is_plain_select(query) {
+                        panic!("injected fault: endpoint panicked evaluating a SELECT");
+                    }
                     Ok(self.maybe_bomb(query, result))
                 }
                 // The wrapped endpoint's own failures pass through with
@@ -558,6 +619,49 @@ mod tests {
         let count = parse_query("SELECT (COUNT(*) AS ?c) WHERE { ?s <http://x/p> ?o }").unwrap();
         let counted = ep.select(&count).unwrap();
         assert_eq!(counted.len(), 1, "aggregates must not be bombed");
+    }
+
+    #[test]
+    fn hang_blocks_until_deadline_or_cancel() {
+        use crate::cancel::{CancelReason, CancelToken};
+        let ep = Arc::new(wrapped(9, FaultProfile::hang(), fast_config()));
+        // Token-less: the hard time deadline is the only escape.
+        let started = Instant::now();
+        let err = ep
+            .select_within(&query(), Deadline::within(Duration::from_millis(40)))
+            .unwrap_err();
+        assert_eq!(err.kind, FailureKind::Deadline);
+        assert!(started.elapsed() >= Duration::from_millis(40));
+        // With a token attached the wedge ignores the clock: the call is
+        // still blocked well past its deadline, and only the token frees
+        // it — with the cancellation, not a timeout, as the verdict.
+        let token = CancelToken::new();
+        let deadline = Deadline::within(Duration::from_millis(40)).with_token(token.clone());
+        let hung = std::thread::spawn({
+            let ep = Arc::clone(&ep);
+            move || ep.select_within(&query(), deadline).unwrap_err()
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        assert!(
+            !hung.is_finished(),
+            "a wedged endpoint must outlive its time deadline"
+        );
+        token.cancel(CancelReason::AdminCancelled);
+        let err = hung.join().unwrap();
+        assert_eq!(err.kind, FailureKind::Cancelled);
+    }
+
+    #[test]
+    fn injected_panic_fires_on_select_but_spares_probes() {
+        let ep = wrapped(10, FaultProfile::panics_on_select(), fast_config());
+        // Analysis probes pass through untouched.
+        let ask = parse_query("ASK WHERE { ?s <http://x/p> ?o }").unwrap();
+        assert!(ep.ask(&ask).unwrap());
+        let count = parse_query("SELECT (COUNT(*) AS ?c) WHERE { ?s <http://x/p> ?o }").unwrap();
+        assert_eq!(ep.select(&count).unwrap().len(), 1);
+        // The real subquery panics.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ep.select(&query())));
+        assert!(caught.is_err(), "plain SELECT must panic");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! network time (here it is *real* wall-clock time spent on the socket,
 //! reported through the same `simulated_network_time` field).
 
+use crate::cancel::CancelToken;
 use crate::endpoint::{EndpointError, SparqlEndpoint};
 use crate::erh::{
     Admission, BreakerConfig, BreakerState, Deadline, EndpointHealth, HealthSnapshot,
@@ -184,7 +185,12 @@ impl HttpEndpoint {
     /// arrives. Transport failures come back as `Err(io)`; any complete
     /// HTTP response — even a 500 — is `Ok`. The second tuple element is
     /// the wire bytes read.
-    fn attempt(&self, request: &[u8], deadline: Instant) -> io::Result<(AttemptOutcome, usize)> {
+    fn attempt(
+        &self,
+        request: &[u8],
+        deadline: Instant,
+        token: Option<&CancelToken>,
+    ) -> io::Result<(AttemptOutcome, usize)> {
         let mut pooled = true;
         let stream = match self.conn.lock().expect("conn lock poisoned").take() {
             Some(s) => s,
@@ -194,7 +200,13 @@ impl HttpEndpoint {
             }
         };
         stream.set_nodelay(true).ok();
-        let result = send_and_read(&stream, request, deadline, self.config.max_result_rows);
+        let result = send_and_read(
+            &stream,
+            request,
+            deadline,
+            token,
+            self.config.max_result_rows,
+        );
         match result {
             Ok((outcome, wire_bytes, reusable)) => {
                 // A connection whose body was not drained to its framing
@@ -274,10 +286,11 @@ impl SparqlEndpoint for HttpEndpoint {
         for attempt in 0..attempts {
             if attempt > 0 {
                 let pause = self.config.backoff * (1 << (attempt - 1).min(16));
-                // Backoff sleeps never overrun the query budget.
-                std::thread::sleep(deadline.clamp(pause));
+                // Backoff sleeps never overrun the query budget, and a
+                // cancel token trips them awake immediately.
+                deadline.pause(pause);
                 if deadline.expired() {
-                    return Err(EndpointError::deadline(&self.name));
+                    return Err(EndpointError::expired(&self.name, &deadline));
                 }
                 self.health.record_retry();
             }
@@ -285,11 +298,11 @@ impl SparqlEndpoint for HttpEndpoint {
             // whatever is left of the query budget.
             let budget = deadline.clamp(self.config.request_timeout);
             if budget.is_zero() {
-                return Err(EndpointError::deadline(&self.name));
+                return Err(EndpointError::expired(&self.name, &deadline));
             }
             made = attempt + 1;
             let started = Instant::now();
-            match self.attempt(&request, started + budget) {
+            match self.attempt(&request, started + budget, deadline.token()) {
                 Ok((outcome, wire_bytes)) => {
                     self.counters
                         .record(request.len(), wire_bytes, started.elapsed());
@@ -345,9 +358,10 @@ impl SparqlEndpoint for HttpEndpoint {
                 Err(e) => {
                     self.counters.record(request.len(), 0, started.elapsed());
                     if deadline.expired() {
-                        // Our own budget clipped this attempt; that is a
-                        // query timeout, not evidence against the endpoint.
-                        return Err(EndpointError::deadline(&self.name));
+                        // Our own budget clipped this attempt (or its
+                        // cancel token tripped mid-read); that is not
+                        // evidence against the endpoint.
+                        return Err(EndpointError::expired(&self.name, &deadline));
                     }
                     self.health.record_failure();
                     last_failure = format!("transport error talking to {}: {e}", self.url);
@@ -400,6 +414,7 @@ fn send_and_read(
     stream: &TcpStream,
     request: &[u8],
     deadline: Instant,
+    token: Option<&CancelToken>,
     max_result_rows: Option<usize>,
 ) -> io::Result<(AttemptOutcome, usize, bool)> {
     let remaining = deadline
@@ -413,6 +428,7 @@ fn send_and_read(
         buf: Vec::new(),
         pos: 0,
         deadline,
+        token,
         total: 0,
     };
 
@@ -654,28 +670,62 @@ fn bad_data(msg: impl Into<String>) -> io::Error {
 }
 
 /// A tiny buffered reader that re-arms the socket read timeout with the
-/// remaining deadline before every receive, and counts bytes read.
+/// remaining deadline before every receive, and counts bytes read. With a
+/// cancel token, receives wait in short slices so a trip mid-transfer
+/// aborts the read promptly instead of after the full response window.
 struct DeadlineReader<'a> {
     stream: &'a TcpStream,
     buf: Vec<u8>,
     pos: usize,
     deadline: Instant,
+    token: Option<&'a CancelToken>,
     total: usize,
 }
 
 impl DeadlineReader<'_> {
     /// Pull more bytes off the socket. Returns 0 at orderly EOF.
     fn fill(&mut self) -> io::Result<usize> {
-        let remaining = self
-            .deadline
-            .checked_duration_since(Instant::now())
-            .ok_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "response deadline exceeded"))?;
-        self.stream.set_read_timeout(Some(remaining))?;
         let mut chunk = [0u8; 8192];
-        let n = (&mut &*self.stream).read(&mut chunk)?;
-        self.buf.extend_from_slice(&chunk[..n]);
-        self.total += n;
-        Ok(n)
+        loop {
+            if let Some(reason) = self.token.and_then(|t| t.reason()) {
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    format!("read abandoned: query cancelled ({reason})"),
+                ));
+            }
+            let remaining = self
+                .deadline
+                .checked_duration_since(Instant::now())
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::TimedOut, "response deadline exceeded")
+                })?;
+            let window = if self.token.is_some() {
+                remaining.min(Duration::from_millis(100))
+            } else {
+                remaining
+            };
+            self.stream
+                .set_read_timeout(Some(window.max(Duration::from_millis(1))))?;
+            match (&mut &*self.stream).read(&mut chunk) {
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    self.total += n;
+                    return Ok(n);
+                }
+                // A sliced wait lapsing is not an error: loop to check the
+                // token and the real deadline, then wait again.
+                Err(e)
+                    if self.token.is_some()
+                        && matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Read one line, stripping the trailing CRLF (or bare LF).

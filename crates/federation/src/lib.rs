@@ -33,6 +33,7 @@
 //! format — SPARQL 1.1 JSON Results — lives in [`results_json`], with its
 //! hand-rolled JSON layer in [`json`].
 
+pub mod cancel;
 pub mod endpoint;
 pub mod erh;
 pub mod fault;
@@ -43,6 +44,7 @@ pub mod network;
 pub mod replica;
 pub mod results_json;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use endpoint::{
     EndpointError, EndpointId, EndpointLimits, FailureKind, SimulatedEndpoint, SparqlEndpoint,
 };

@@ -222,7 +222,7 @@ impl ReplicaGroup {
         &self,
         member: usize,
         query: &Query,
-        deadline: Deadline,
+        deadline: &Deadline,
         is_failover: bool,
     ) -> Result<QueryResult, EndpointError> {
         self.counters[member]
@@ -233,7 +233,7 @@ impl ReplicaGroup {
                 .failovers
                 .fetch_add(1, Ordering::Relaxed);
         }
-        self.members[member].execute_within(query, deadline)
+        self.members[member].execute_within(query, deadline.clone())
     }
 
     /// The failure classes worth re-dispatching: the member (not the
@@ -274,7 +274,7 @@ impl ReplicaGroup {
         primary: usize,
         secondary: usize,
         query: &Query,
-        deadline: Deadline,
+        deadline: &Deadline,
     ) -> Result<Result<QueryResult, Vec<(String, String)>>, EndpointError> {
         let hedge_after = self
             .config
@@ -285,6 +285,7 @@ impl ReplicaGroup {
             let ep = Arc::clone(&self.members[member]);
             let q = query.clone();
             let tx = tx.clone();
+            let deadline = deadline.clone();
             std::thread::spawn(move || {
                 let r = ep.execute_within(&q, deadline);
                 // The receiver is gone once a sibling won; the loser's
@@ -305,7 +306,21 @@ impl ReplicaGroup {
         let mut hedged = false;
         loop {
             let received = if hedged {
-                rx.recv().ok()
+                // Bounded slices instead of an unconditional recv(): a
+                // cancelled query stops waiting on its in-flight attempts
+                // within one slice instead of blocking until a loser
+                // thread reports in.
+                loop {
+                    match rx.recv_timeout(Duration::from_millis(100)) {
+                        Ok(v) => break Some(v),
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            if deadline.expired() {
+                                return Err(EndpointError::expired(&self.name, deadline));
+                            }
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break None,
+                    }
+                }
             } else {
                 match rx.recv_timeout(deadline.clamp(hedge_after)) {
                     Ok(v) => Some(v),
@@ -348,8 +363,8 @@ impl ReplicaGroup {
                     // An equivalent replica would reject the same request.
                     return Err(e);
                 }
-                Err(e) if e.kind == FailureKind::Deadline => {
-                    return Err(EndpointError::deadline(&self.name));
+                Err(e) if matches!(e.kind, FailureKind::Deadline | FailureKind::Cancelled) => {
+                    return Err(EndpointError::expired(&self.name, deadline));
                 }
                 Err(e) => {
                     failures.push((self.members[member].name().to_string(), e.message));
@@ -375,7 +390,7 @@ impl SparqlEndpoint for ReplicaGroup {
     ) -> Result<QueryResult, EndpointError> {
         self.logical_requests.fetch_add(1, Ordering::Relaxed);
         if deadline.expired() {
-            return Err(EndpointError::deadline(&self.name));
+            return Err(EndpointError::expired(&self.name, &deadline));
         }
         let order = self.ranked();
         let mut tried: Vec<(String, String)> = Vec::new();
@@ -389,7 +404,7 @@ impl SparqlEndpoint for ReplicaGroup {
         // First attempt, hedged when configured, safe, and a second
         // member exists to hedge onto.
         if self.config.hedge_after.is_some() && order.len() >= 2 && hedge_safe(query) {
-            match self.hedged_pair(order[0], order[1], query, deadline)? {
+            match self.hedged_pair(order[0], order[1], query, &deadline)? {
                 Ok(v) => return Ok(v),
                 Err(failures) => {
                     // Both the primary and (if launched) the hedge failed.
@@ -406,14 +421,14 @@ impl SparqlEndpoint for ReplicaGroup {
 
         while next < allowed {
             if deadline.expired() {
-                return Err(EndpointError::deadline(&self.name));
+                return Err(EndpointError::expired(&self.name, &deadline));
             }
             let member = order[next];
             let is_failover = next > 0 || !tried.is_empty();
-            match self.dispatch(member, query, deadline, is_failover) {
+            match self.dispatch(member, query, &deadline, is_failover) {
                 Ok(v) => return Ok(v),
-                Err(e) if e.kind == FailureKind::Deadline => {
-                    return Err(EndpointError::deadline(&self.name));
+                Err(e) if matches!(e.kind, FailureKind::Deadline | FailureKind::Cancelled) => {
+                    return Err(EndpointError::expired(&self.name, &deadline));
                 }
                 Err(e) if Self::can_fail_over(&e) => {
                     tried.push((self.members[member].name().to_string(), e.message));

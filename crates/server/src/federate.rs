@@ -25,13 +25,17 @@
 
 use crate::{Answer, ClientInfo, QueryBackend};
 use lusail_core::{
-    CacheLimits, EngineError, LusailEngine, MemoryPool, ResultCache, ResultPolicy, RunContext,
+    CacheLimits, EngineError, LusailEngine, MemoryBudget, MemoryPool, ResultCache, ResultPolicy,
+    RunContext,
 };
-use lusail_federation::json;
+use lusail_federation::{json, CancelReason, CancelToken};
 use lusail_rdf::fxhash::FxHashMap;
 use lusail_sparql::QueryForm;
-use std::sync::Mutex;
-use std::time::Duration;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for the federation service.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +65,10 @@ pub struct FederateConfig {
     pub cache_ttl: Option<Duration>,
     /// The `Retry-After` hint attached to 503/429 refusals.
     pub retry_after: Duration,
+    /// Extra slack past the query deadline before the lifecycle watchdog
+    /// reaps a wedged query. A transport stuck in a read keeps its token
+    /// honored even if it never reaches a cancellation point itself.
+    pub watchdog_grace: Duration,
 }
 
 impl Default for FederateConfig {
@@ -77,6 +85,7 @@ impl Default for FederateConfig {
             result_cache_capacity: Some(128),
             cache_ttl: Some(Duration::from_secs(300)),
             retry_after: Duration::from_secs(1),
+            watchdog_grace: Duration::from_secs(2),
         }
     }
 }
@@ -101,6 +110,150 @@ struct ClientLedger {
     cache_hits: u64,
 }
 
+/// One in-flight query as the supervisor sees it.
+#[derive(Debug, Clone)]
+struct QueryEntry {
+    client: String,
+    /// "waiting" (queued for a ledger) or "executing".
+    phase: &'static str,
+    started: Instant,
+    /// Absolute execution deadline, when the service configures one. The
+    /// watchdog only reaps past `deadline + watchdog_grace`.
+    deadline: Option<Instant>,
+    token: CancelToken,
+    /// The carved ledger, for live accounted-bytes reporting. `None`
+    /// while still waiting for admission.
+    memory: Option<MemoryBudget>,
+}
+
+/// Lifecycle counters surfaced in the stats `"lifecycle"` section.
+#[derive(Debug, Default)]
+struct LifecycleStats {
+    cancelled_client_disconnected: AtomicU64,
+    cancelled_admin: AtomicU64,
+    cancelled_watchdog: AtomicU64,
+    cancelled_draining: AtomicU64,
+    watchdog_reaps: AtomicU64,
+    panics_contained: AtomicU64,
+    drains: AtomicU64,
+    drain_force_cancelled: AtomicU64,
+}
+
+impl LifecycleStats {
+    fn count_cancelled(&self, reason: CancelReason) {
+        let counter = match reason {
+            CancelReason::ClientDisconnected => &self.cancelled_client_disconnected,
+            CancelReason::AdminCancelled => &self.cancelled_admin,
+            CancelReason::WatchdogReaped => &self.cancelled_watchdog,
+            CancelReason::ServerDraining => &self.cancelled_draining,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The shared supervision state: the per-query registry the watchdog
+/// scans, admin cancels look up, and `GET /queries` renders. Lives in an
+/// `Arc` so the watchdog thread can outlast any one borrow of the service.
+#[derive(Debug)]
+struct Supervisor {
+    queries: Mutex<FxHashMap<u64, QueryEntry>>,
+    next_id: AtomicU64,
+    lifecycle: LifecycleStats,
+    /// Watchdog shutdown latch: flag under the mutex, condvar to cut the
+    /// scan interval short on drop.
+    stop: Mutex<bool>,
+    tick: Condvar,
+}
+
+impl Supervisor {
+    fn new() -> Supervisor {
+        Supervisor {
+            queries: Mutex::new(FxHashMap::default()),
+            next_id: AtomicU64::new(1),
+            lifecycle: LifecycleStats::default(),
+            stop: Mutex::new(false),
+            tick: Condvar::new(),
+        }
+    }
+
+    fn queries(&self) -> std::sync::MutexGuard<'_, FxHashMap<u64, QueryEntry>> {
+        self.queries.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Register a query; the returned guard deregisters on drop — also on
+    /// panic, so a crashed query never leaves a ghost entry pinning the
+    /// registry.
+    fn register(self: &Arc<Self>, entry: QueryEntry) -> RegisteredQuery {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.queries().insert(id, entry);
+        RegisteredQuery {
+            supervisor: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// One watchdog sweep: trip the token of every query past its
+    /// deadline plus `grace`. Returns how many were reaped now.
+    fn reap_overdue(&self, grace: Duration) -> u64 {
+        let now = Instant::now();
+        let mut reaped = 0;
+        for entry in self.queries().values() {
+            let Some(deadline) = entry.deadline else {
+                continue;
+            };
+            if now >= deadline + grace && entry.token.cancel(CancelReason::WatchdogReaped) {
+                reaped += 1;
+            }
+        }
+        if reaped > 0 {
+            self.lifecycle
+                .watchdog_reaps
+                .fetch_add(reaped, Ordering::Relaxed);
+        }
+        reaped
+    }
+
+    /// The watchdog loop: sweep every `interval` until `stop` is set.
+    fn watch(&self, grace: Duration, interval: Duration) {
+        let mut stopped = self.stop.lock().unwrap_or_else(|p| p.into_inner());
+        while !*stopped {
+            self.reap_overdue(grace);
+            let (guard, _) = self
+                .tick
+                .wait_timeout(stopped, interval)
+                .unwrap_or_else(|p| p.into_inner());
+            stopped = guard;
+        }
+    }
+
+    fn stop_watching(&self) {
+        *self.stop.lock().unwrap_or_else(|p| p.into_inner()) = true;
+        self.tick.notify_all();
+    }
+}
+
+/// RAII registry membership for one query (see [`Supervisor::register`]).
+struct RegisteredQuery {
+    supervisor: Arc<Supervisor>,
+    id: u64,
+}
+
+impl RegisteredQuery {
+    /// Flip the entry to "executing" and attach its carved ledger.
+    fn executing(&self, memory: MemoryBudget) {
+        if let Some(entry) = self.supervisor.queries().get_mut(&self.id) {
+            entry.phase = "executing";
+            entry.memory = Some(memory);
+        }
+    }
+}
+
+impl Drop for RegisteredQuery {
+    fn drop(&mut self) {
+        self.supervisor.queries().remove(&self.id);
+    }
+}
+
 /// The engine-backed [`QueryBackend`] behind `serve --federate`.
 pub struct FederationService {
     engine: LusailEngine,
@@ -108,6 +261,8 @@ pub struct FederationService {
     results: ResultCache,
     config: FederateConfig,
     clients: Mutex<FxHashMap<String, ClientLedger>>,
+    supervisor: Arc<Supervisor>,
+    watchdog: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl FederationService {
@@ -117,12 +272,23 @@ impl FederationService {
     pub fn new(engine: LusailEngine, config: FederateConfig) -> FederationService {
         let pool = MemoryPool::new(config.pool_bytes.max(1), config.query_budget_bytes.max(1));
         let results = ResultCache::new(config.cache_limits());
+        let supervisor = Arc::new(Supervisor::new());
+        let watchdog = {
+            let supervisor = Arc::clone(&supervisor);
+            let grace = config.watchdog_grace;
+            std::thread::Builder::new()
+                .name("lusail-watchdog".to_string())
+                .spawn(move || supervisor.watch(grace, Duration::from_millis(50)))
+                .ok()
+        };
         FederationService {
             engine,
             pool,
             results,
             config,
             clients: Mutex::new(FxHashMap::default()),
+            supervisor,
+            watchdog: Mutex::new(watchdog),
         }
     }
 
@@ -155,6 +321,19 @@ impl FederationService {
         match e {
             // The query's deadline elapsed somewhere in the federation.
             EngineError::Timeout(_) => Answer::error(504, e.to_string()),
+            // The query's cancel token tripped; the status names who
+            // pulled the plug.
+            EngineError::Cancelled(reason) => match reason {
+                CancelReason::ClientDisconnected | CancelReason::AdminCancelled => {
+                    Answer::error(499, e.to_string())
+                }
+                CancelReason::WatchdogReaped => Answer::error(504, e.to_string()),
+                CancelReason::ServerDraining => Answer::Error {
+                    status: 503,
+                    message: e.to_string(),
+                    retry_after: Some(self.config.retry_after),
+                },
+            },
             // The carved ledger was not enough under fail-fast: the
             // service is memory-saturated for queries of this shape, so
             // invite a retry rather than blaming the client.
@@ -169,7 +348,7 @@ impl FederationService {
         }
     }
 
-    fn answer_admitted(&self, query: &str, client: &ClientInfo) -> Answer {
+    fn answer_admitted(&self, query: &str, client: &ClientInfo, cancel: &CancelToken) -> Answer {
         let parsed = match lusail_sparql::parse_query(query) {
             Ok(q) => q,
             Err(e) => return Answer::error(400, format!("malformed SPARQL query: {e}")),
@@ -193,6 +372,18 @@ impl FederationService {
             return finish(rel, Vec::new());
         }
 
+        // From here the query is visible to the supervisor: the watchdog
+        // can reap it, an admin can cancel it, and drain will sweep it.
+        // The guard deregisters on every exit path, including panics.
+        let registration = self.supervisor.register(QueryEntry {
+            client: client.id.clone(),
+            phase: "waiting",
+            started: Instant::now(),
+            deadline: self.config.query_timeout.map(|t| Instant::now() + t),
+            token: cancel.clone(),
+            memory: None,
+        });
+
         // Admission: hold a ledger for the whole execution. Its Drop
         // returns the ledger and wakes one queued waiter.
         let pooled = match self
@@ -208,6 +399,11 @@ impl FederationService {
                 }
             }
         };
+        if let Some(reason) = cancel.reason() {
+            self.supervisor.lifecycle.count_cancelled(reason);
+            return self.engine_error(EngineError::Cancelled(reason));
+        }
+        registration.executing(pooled.budget());
 
         let ctx = RunContext::with_parts(
             if self.config.partial {
@@ -218,19 +414,51 @@ impl FederationService {
             self.config.query_timeout,
             pooled.budget(),
             self.config.max_result_rows,
-        );
-        match self.engine.execute_profiled_with(&parsed, &ctx) {
+        )
+        .with_cancel(cancel.clone());
+        // `catch_unwind` contains an engine panic to this one query: the
+        // ledger, quota slot, and registry entry all release via their
+        // Drop guards, the client gets a 500, and the server keeps
+        // serving everyone else.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.engine.execute_profiled_with(&parsed, &ctx)
+        }));
+        let executed = match outcome {
+            Ok(r) => r,
+            Err(_) => {
+                self.supervisor
+                    .lifecycle
+                    .panics_contained
+                    .fetch_add(1, Ordering::Relaxed);
+                return Answer::error(500, "internal error: query evaluation panicked");
+            }
+        };
+        if let Some(reason) = cancel.reason() {
+            self.supervisor.lifecycle.count_cancelled(reason);
+        }
+        match executed {
             Ok((rel, profile)) => {
                 let warnings: Vec<String> =
                     profile.warnings.iter().map(|w| w.to_string()).collect();
                 // Only clean runs are cached: a degraded answer pinned in
                 // the cache would keep serving the outage after recovery.
-                if warnings.is_empty() {
+                if warnings.is_empty() && cancel.reason().is_none() {
                     self.results.put(key, rel.clone());
                 }
                 finish(rel, warnings)
             }
             Err(e) => self.engine_error(e),
+        }
+    }
+}
+
+impl Drop for FederationService {
+    fn drop(&mut self) {
+        self.supervisor.stop_watching();
+        if let Ok(mut slot) = self.watchdog.lock() {
+            if let Some(handle) = slot.take() {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -252,6 +480,10 @@ impl Drop for InflightGuard<'_> {
 
 impl QueryBackend for FederationService {
     fn answer(&self, query: &str, client: &ClientInfo) -> Answer {
+        self.answer_cancellable(query, client, &CancelToken::new())
+    }
+
+    fn answer_cancellable(&self, query: &str, client: &ClientInfo, cancel: &CancelToken) -> Answer {
         {
             let mut clients = self.clients();
             let entry = clients.entry(client.id.clone()).or_default();
@@ -275,7 +507,64 @@ impl QueryBackend for FederationService {
             service: self,
             id: &client.id,
         };
-        self.answer_admitted(query, client)
+        self.answer_admitted(query, client, cancel)
+    }
+
+    fn queries_json(&self) -> Option<String> {
+        let mut rows: Vec<(u64, QueryEntry)> = self
+            .supervisor
+            .queries()
+            .iter()
+            .map(|(id, entry)| (*id, entry.clone()))
+            .collect();
+        rows.sort_by_key(|(id, _)| *id);
+        let body = rows
+            .iter()
+            .map(|(id, entry)| {
+                let cancelled = match entry.token.reason() {
+                    Some(reason) => format!("\"{}\"", reason.as_str()),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "{{\"id\":{},\"client\":\"{}\",\"phase\":\"{}\",\"elapsed_ms\":{},\
+                     \"accounted_bytes\":{},\"cancelled\":{}}}",
+                    id,
+                    json::escape(&entry.client),
+                    entry.phase,
+                    entry.started.elapsed().as_millis(),
+                    entry.memory.as_ref().map(|m| m.used()).unwrap_or(0),
+                    cancelled,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        Some(format!("{{\"queries\":[{body}]}}"))
+    }
+
+    fn cancel_query(&self, id: u64, reason: CancelReason) -> Option<bool> {
+        let queries = self.supervisor.queries();
+        let entry = queries.get(&id)?;
+        Some(entry.token.cancel(reason))
+    }
+
+    fn drain(&self, reason: CancelReason) -> usize {
+        self.supervisor
+            .lifecycle
+            .drains
+            .fetch_add(1, Ordering::Relaxed);
+        let cancelled = self
+            .supervisor
+            .queries()
+            .values()
+            .filter(|entry| entry.token.cancel(reason))
+            .count();
+        if cancelled > 0 {
+            self.supervisor
+                .lifecycle
+                .drain_force_cancelled
+                .fetch_add(cancelled as u64, Ordering::Relaxed);
+        }
+        cancelled
     }
 
     fn stats_json(&self) -> Option<String> {
@@ -303,13 +592,18 @@ impl QueryBackend for FederationService {
             })
             .collect::<Vec<_>>()
             .join(",");
+        let life = &self.supervisor.lifecycle;
         Some(format!(
             "{{\"pool\":{{\"capacity\":{},\"ledger_bytes\":{},\"max_ledgers\":{},\"in_use\":{},\
              \"waiting\":{},\"carved\":{},\"queued\":{},\"shed\":{},\"peak_ledgers\":{}}},\
              \"result_cache\":{{\"entries\":{},\"hits\":{},\"misses\":{},\"insertions\":{},\
              \"evictions\":{},\"expirations\":{},\"invalidations\":{}}},\
              \"analysis_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"expirations\":{},\
-             \"entries\":[{},{},{}]}},\"clients\":{{{}}}}}",
+             \"entries\":[{},{},{}]}},\"clients\":{{{}}},\
+             \"lifecycle\":{{\"inflight\":{},\"cancelled\":{{\"client_disconnected\":{},\
+             \"admin_cancelled\":{},\"watchdog_reaped\":{},\"server_draining\":{}}},\
+             \"watchdog_reaps\":{},\"panics_contained\":{},\"drains\":{},\
+             \"drain_force_cancelled\":{}}}}}",
             self.pool.capacity(),
             self.pool.ledger_bytes(),
             self.pool.max_ledgers(),
@@ -334,6 +628,15 @@ impl QueryBackend for FederationService {
             sizes.1,
             sizes.2,
             clients_json,
+            self.supervisor.queries().len(),
+            life.cancelled_client_disconnected.load(Ordering::Relaxed),
+            life.cancelled_admin.load(Ordering::Relaxed),
+            life.cancelled_watchdog.load(Ordering::Relaxed),
+            life.cancelled_draining.load(Ordering::Relaxed),
+            life.watchdog_reaps.load(Ordering::Relaxed),
+            life.panics_contained.load(Ordering::Relaxed),
+            life.drains.load(Ordering::Relaxed),
+            life.drain_force_cancelled.load(Ordering::Relaxed),
         ))
     }
 
@@ -348,12 +651,14 @@ impl QueryBackend for FederationService {
 mod tests {
     use super::*;
     use lusail_core::LusailConfig;
-    use lusail_federation::{Federation, NetworkProfile, SimulatedEndpoint};
+    use lusail_federation::{
+        FaultProfile, FaultyEndpoint, Federation, NetworkProfile, SimulatedEndpoint,
+    };
     use lusail_rdf::{Graph, Term};
     use lusail_store::Store;
     use std::sync::Arc;
 
-    fn service(config: FederateConfig) -> FederationService {
+    fn fixture_graph() -> Graph {
         let mut g = Graph::new();
         g.add(
             Term::iri("http://x/a"),
@@ -365,9 +670,34 @@ mod tests {
             Term::iri("http://x/p"),
             Term::iri("http://x/c"),
         );
-        let ep = SimulatedEndpoint::new("ep0", Store::from_graph(&g), NetworkProfile::instant());
+        g
+    }
+
+    fn service(config: FederateConfig) -> FederationService {
+        let ep = SimulatedEndpoint::new(
+            "ep0",
+            Store::from_graph(&fixture_graph()),
+            NetworkProfile::instant(),
+        );
         let fed = Federation::new(vec![Arc::new(ep)]);
         FederationService::new(LusailEngine::new(fed, LusailConfig::default()), config)
+    }
+
+    /// A service whose only endpoint injects `profile` faults; the
+    /// returned handle lets the test clear them mid-run.
+    fn faulty_service(
+        config: FederateConfig,
+        profile: FaultProfile,
+    ) -> (FederationService, Arc<FaultyEndpoint>) {
+        let inner = Arc::new(SimulatedEndpoint::new(
+            "ep0",
+            Store::from_graph(&fixture_graph()),
+            NetworkProfile::instant(),
+        ));
+        let ep = Arc::new(FaultyEndpoint::new(inner, 42, profile));
+        let fed = Federation::new(vec![Arc::clone(&ep) as _]);
+        let svc = FederationService::new(LusailEngine::new(fed, LusailConfig::default()), config);
+        (svc, ep)
     }
 
     fn client(id: &str) -> ClientInfo {
@@ -440,6 +770,137 @@ mod tests {
             stats.contains("\"noisy\":{\"inflight\":1,\"admitted\":0,\"rejected\":1"),
             "{stats}"
         );
+    }
+
+    #[test]
+    fn panicking_query_leaks_nothing_and_the_service_keeps_serving() {
+        let (svc, faults) =
+            faulty_service(FederateConfig::default(), FaultProfile::panics_on_select());
+        match svc.answer("SELECT ?s ?o WHERE { ?s <http://x/p> ?o }", &client("c")) {
+            Answer::Error {
+                status, message, ..
+            } => {
+                assert_eq!(status, 500, "{message}");
+                assert!(message.contains("panicked"), "{message}");
+            }
+            _ => panic!("expected a contained panic"),
+        }
+        // RAII leak regression: the panic must release the pool ledger,
+        // the per-client inflight slot, and the registry entry.
+        assert_eq!(svc.pool().stats().in_use, 0, "ledger leaked on panic");
+        assert_eq!(svc.supervisor.queries().len(), 0, "registry entry leaked");
+        let stats = svc.stats_json().expect("stats");
+        assert!(stats.contains("\"panics_contained\":1"), "{stats}");
+        assert!(stats.contains("\"inflight\":0"), "{stats}");
+        // With the faults cleared, the same client is served normally —
+        // the panic poisoned nothing.
+        faults.set_faults(FaultProfile::none());
+        match svc.answer("ASK { ?s ?p ?o }", &client("c")) {
+            Answer::Boolean(b) => assert!(b),
+            _ => panic!("expected an ASK verdict after the panic"),
+        }
+        assert_eq!(svc.pool().stats().in_use, 0);
+    }
+
+    #[test]
+    fn admin_cancel_trips_the_registered_token() {
+        let svc = service(FederateConfig::default());
+        let token = CancelToken::new();
+        let registration = svc.supervisor.register(QueryEntry {
+            client: "c1".to_string(),
+            phase: "executing",
+            started: Instant::now(),
+            deadline: None,
+            token: token.clone(),
+            memory: None,
+        });
+        let id = registration.id;
+        // The registry lists it…
+        let listed = svc.queries_json().expect("registry json");
+        assert!(listed.contains("\"client\":\"c1\""), "{listed}");
+        assert!(listed.contains("\"phase\":\"executing\""), "{listed}");
+        // …cancel trips exactly once…
+        assert_eq!(
+            svc.cancel_query(id, CancelReason::AdminCancelled),
+            Some(true)
+        );
+        assert_eq!(
+            svc.cancel_query(id, CancelReason::AdminCancelled),
+            Some(false)
+        );
+        assert_eq!(token.reason(), Some(CancelReason::AdminCancelled));
+        // …and an unknown id is distinguishable from a done one.
+        assert_eq!(
+            svc.cancel_query(id + 999, CancelReason::AdminCancelled),
+            None
+        );
+        drop(registration);
+        assert_eq!(svc.supervisor.queries().len(), 0);
+    }
+
+    #[test]
+    fn watchdog_reaps_a_query_stuck_past_its_deadline() {
+        let svc = service(FederateConfig {
+            watchdog_grace: Duration::from_millis(20),
+            ..Default::default()
+        });
+        let token = CancelToken::new();
+        let _registration = svc.supervisor.register(QueryEntry {
+            client: "wedged".to_string(),
+            phase: "executing",
+            started: Instant::now(),
+            // Already past deadline + grace: the next sweep must reap it.
+            deadline: Some(Instant::now() - Duration::from_secs(1)),
+            token: token.clone(),
+            memory: None,
+        });
+        let reaped = token.wait_timeout(Duration::from_secs(2));
+        assert_eq!(reaped, Some(CancelReason::WatchdogReaped));
+        let stats = svc.stats_json().expect("stats");
+        assert!(stats.contains("\"watchdog_reaps\":1"), "{stats}");
+    }
+
+    #[test]
+    fn drain_force_cancels_every_registered_query() {
+        let svc = service(FederateConfig::default());
+        let tokens: Vec<CancelToken> = (0..3).map(|_| CancelToken::new()).collect();
+        let _registrations: Vec<RegisteredQuery> = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, token)| {
+                svc.supervisor.register(QueryEntry {
+                    client: format!("c{i}"),
+                    phase: "executing",
+                    started: Instant::now(),
+                    deadline: None,
+                    token: token.clone(),
+                    memory: None,
+                })
+            })
+            .collect();
+        assert_eq!(svc.drain(CancelReason::ServerDraining), 3);
+        for token in &tokens {
+            assert_eq!(token.reason(), Some(CancelReason::ServerDraining));
+        }
+        // Draining again is idempotent: every token is already tripped.
+        assert_eq!(svc.drain(CancelReason::ServerDraining), 0);
+        let stats = svc.stats_json().expect("stats");
+        assert!(stats.contains("\"drain_force_cancelled\":3"), "{stats}");
+        assert!(stats.contains("\"drains\":2"), "{stats}");
+    }
+
+    #[test]
+    fn cancelled_statuses_name_who_pulled_the_plug() {
+        let svc = service(FederateConfig::default());
+        let status_of =
+            |reason: CancelReason| match svc.engine_error(EngineError::Cancelled(reason)) {
+                Answer::Error { status, .. } => status,
+                _ => panic!("expected an error answer"),
+            };
+        assert_eq!(status_of(CancelReason::ClientDisconnected), 499);
+        assert_eq!(status_of(CancelReason::AdminCancelled), 499);
+        assert_eq!(status_of(CancelReason::WatchdogReaped), 504);
+        assert_eq!(status_of(CancelReason::ServerDraining), 503);
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod federate;
 
 use lusail_federation::http::percent_decode;
 use lusail_federation::results_json;
+use lusail_federation::{CancelReason, CancelToken};
 use lusail_sparql::Relation;
 use lusail_store::eval::QueryResult;
 use lusail_store::{Evaluator, Store};
@@ -88,6 +89,10 @@ pub struct ServerConfig {
     /// head, so one greedy query cannot monopolize the wire. `None`
     /// streams everything.
     pub max_result_rows: Option<usize>,
+    /// How long [`ServerHandle::shutdown`] lets in-flight queries finish
+    /// before force-cancelling the stragglers via the backend's
+    /// [`QueryBackend::drain`].
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +105,7 @@ impl Default for ServerConfig {
             name: "lusail".to_string(),
             retry_after: Duration::from_secs(1),
             max_result_rows: None,
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -148,10 +154,42 @@ pub trait QueryBackend: Send + Sync + 'static {
     /// Evaluate `query` for `client` and say how to answer.
     fn answer(&self, query: &str, client: &ClientInfo) -> Answer;
 
+    /// Like [`answer`](Self::answer), but under a [`CancelToken`] the
+    /// server trips when the client disconnects mid-execution (and that
+    /// admin cancels, the watchdog, and shutdown drain share). Backends
+    /// without cooperative cancellation just ignore the token.
+    fn answer_cancellable(&self, query: &str, client: &ClientInfo, cancel: &CancelToken) -> Answer {
+        let _ = cancel;
+        self.answer(query, client)
+    }
+
     /// Backend-specific counters embedded in `GET /stats` under
     /// `"service"`. `None` renders as JSON `null`.
     fn stats_json(&self) -> Option<String> {
         None
+    }
+
+    /// The in-flight query registry behind `GET /queries`, as a JSON
+    /// document. `None` means the backend keeps no registry (the route
+    /// then answers 404).
+    fn queries_json(&self) -> Option<String> {
+        None
+    }
+
+    /// Cancel one registered query (`POST /queries/<id>/cancel`).
+    /// `None` = no registry, or no in-flight query with that id (404);
+    /// `Some(true)` = this call tripped its token; `Some(false)` = found
+    /// but already cancelled.
+    fn cancel_query(&self, id: u64, reason: CancelReason) -> Option<bool> {
+        let _ = (id, reason);
+        None
+    }
+
+    /// Force-cancel every in-flight query (the shutdown drain's last
+    /// resort). Returns how many tokens this call tripped.
+    fn drain(&self, reason: CancelReason) -> usize {
+        let _ = reason;
+        0
     }
 
     /// Drop any shared caches. Returns `false` when the backend has none
@@ -340,6 +378,8 @@ impl SparqlServer {
             stats,
             accept_thread,
             workers,
+            backend: self.backend,
+            drain_timeout: self.config.drain_timeout,
         }
     }
 }
@@ -352,6 +392,8 @@ pub struct ServerHandle {
     stats: Arc<ServerStats>,
     accept_thread: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    backend: Arc<dyn QueryBackend>,
+    drain_timeout: Duration,
 }
 
 impl ServerHandle {
@@ -375,13 +417,26 @@ impl ServerHandle {
         self.stats.counts()
     }
 
-    /// Graceful shutdown: stop accepting, finish in-flight connections,
-    /// join every thread.
+    /// Graceful shutdown as a *bounded* drain: stop accepting, give
+    /// in-flight queries up to the configured `drain_timeout` to finish,
+    /// then force-cancel the stragglers through the backend
+    /// ([`QueryBackend::drain`] with [`CancelReason::ServerDraining`])
+    /// and join every thread.
     pub fn shutdown(self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         let _ = self.accept_thread.join();
+        let deadline = Instant::now() + self.drain_timeout;
+        while Instant::now() < deadline && self.workers.iter().any(|w| !w.is_finished()) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if self.workers.iter().any(|w| !w.is_finished()) {
+            // The drain budget is spent: trip every registered query's
+            // token so the stragglers abort at their next cancellation
+            // point instead of holding shutdown hostage.
+            self.backend.drain(CancelReason::ServerDraining);
+        }
         for w in self.workers {
             let _ = w.join();
         }
@@ -424,6 +479,7 @@ fn status_text(status: u16) -> &'static str {
         413 => "Content Too Large",
         415 => "Unsupported Media Type",
         429 => "Too Many Requests",
+        499 => "Query Cancelled",
         500 => "Internal Server Error",
         502 => "Bad Gateway",
         503 => "Service Unavailable",
@@ -545,6 +601,52 @@ fn handle_request(
             let body = stats_body(stats, backend, config);
             stats.record(200);
             write_json(stream, 200, &body, keep_alive).is_ok() && keep_alive
+        }
+        "/queries" => {
+            if request.method != "GET" {
+                let reject = HttpReject::new(405, "use GET for /queries");
+                stats.record(reject.status);
+                return write_error(stream, &reject, keep_alive, &config.name).is_ok()
+                    && keep_alive;
+            }
+            match backend.queries_json() {
+                Some(body) => {
+                    stats.record(200);
+                    write_json(stream, 200, &body, keep_alive).is_ok() && keep_alive
+                }
+                None => {
+                    let reject = HttpReject::new(404, "this server keeps no query registry");
+                    stats.record(reject.status);
+                    write_error(stream, &reject, keep_alive, &config.name).is_ok() && keep_alive
+                }
+            }
+        }
+        _ if path.starts_with("/queries/") && path.ends_with("/cancel") => {
+            if request.method != "POST" {
+                let reject = HttpReject::new(405, "use POST for /queries/<id>/cancel");
+                stats.record(reject.status);
+                return write_error(stream, &reject, keep_alive, &config.name).is_ok()
+                    && keep_alive;
+            }
+            let id_text = &path["/queries/".len()..path.len() - "/cancel".len()];
+            let Ok(id) = id_text.parse::<u64>() else {
+                let reject = HttpReject::new(400, format!("bad query id {id_text:?}"));
+                stats.record(reject.status);
+                return write_error(stream, &reject, keep_alive, &config.name).is_ok()
+                    && keep_alive;
+            };
+            match backend.cancel_query(id, CancelReason::AdminCancelled) {
+                Some(cancelled) => {
+                    stats.record(200);
+                    let body = format!("{{\"id\":{id},\"cancelled\":{cancelled}}}");
+                    write_json(stream, 200, &body, keep_alive).is_ok() && keep_alive
+                }
+                None => {
+                    let reject = HttpReject::new(404, format!("no in-flight query with id {id}"));
+                    stats.record(reject.status);
+                    write_error(stream, &reject, keep_alive, &config.name).is_ok() && keep_alive
+                }
+            }
         }
         "/cache/invalidate" => {
             if request.method != "POST" {
@@ -804,6 +906,74 @@ fn form_field(encoded: &str, key: &str) -> Option<Result<String, HttpReject>> {
     None
 }
 
+/// Watches the client's half of the connection while its query executes:
+/// an EOF (or hard error) on the socket trips the query's [`CancelToken`]
+/// with [`CancelReason::ClientDisconnected`], so the backend stops issuing
+/// outbound endpoint requests and frees its ledger instead of computing an
+/// answer nobody will read. Dropping the monitor stops and joins it.
+struct DisconnectMonitor {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl DisconnectMonitor {
+    fn spawn(stream: &TcpStream, token: CancelToken) -> DisconnectMonitor {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = match stream.try_clone() {
+            Ok(peek_stream) => {
+                let stop = Arc::clone(&stop);
+                Some(std::thread::spawn(move || {
+                    let mut probe = [0u8; 1];
+                    loop {
+                        if stop.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        if peek_stream
+                            .set_read_timeout(Some(Duration::from_millis(100)))
+                            .is_err()
+                        {
+                            token.cancel(CancelReason::ClientDisconnected);
+                            return;
+                        }
+                        match peek_stream.peek(&mut probe) {
+                            // Orderly EOF: the client hung up mid-query.
+                            Ok(0) => {
+                                token.cancel(CancelReason::ClientDisconnected);
+                                return;
+                            }
+                            // Pipelined bytes for the *next* request are
+                            // already buffered: peek returns instantly, so
+                            // pace the loop instead of spinning on them.
+                            Ok(_) => std::thread::sleep(Duration::from_millis(50)),
+                            Err(e)
+                                if matches!(
+                                    e.kind(),
+                                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                                ) => {}
+                            Err(_) => {
+                                token.cancel(CancelReason::ClientDisconnected);
+                                return;
+                            }
+                        }
+                    }
+                }))
+            }
+            // No second handle to watch with: run unsupervised.
+            Err(_) => None,
+        };
+        DisconnectMonitor { stop, thread }
+    }
+}
+
+impl Drop for DisconnectMonitor {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
 /// Evaluate the query through the backend and stream the response.
 fn answer_query(
     stream: &TcpStream,
@@ -816,7 +986,30 @@ fn answer_query(
 ) -> io::Result<()> {
     let name = config.name.as_str();
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    match backend.answer(query_text, client) {
+    let token = CancelToken::new();
+    let answer = {
+        // The monitor holds a cloned handle; it is stopped and joined
+        // before any response byte is written.
+        let _monitor = DisconnectMonitor::spawn(stream, token.clone());
+        // A panicking backend must cost one 500, not the worker thread:
+        // RAII guards inside the backend release its ledger/quota on
+        // unwind, and the connection stays in its keep-alive loop.
+        std::panic::catch_unwind(AssertUnwindSafe(|| {
+            backend.answer_cancellable(query_text, client, &token)
+        }))
+        .unwrap_or_else(|_| Answer::error(500, "internal error: query evaluation panicked"))
+    };
+    // Restore the blocking-read default the request reader expects.
+    stream.set_read_timeout(None).ok();
+    if token.reason() == Some(CancelReason::ClientDisconnected) {
+        // Nobody is reading: count it and skip the write entirely.
+        stats.record(499);
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionAborted,
+            "client disconnected mid-query",
+        ));
+    }
+    match answer {
         Answer::Error {
             status,
             message,
@@ -1128,9 +1321,12 @@ mod tests {
 
     /// Raw one-shot exchange; returns (status line, full response text).
     fn raw_roundtrip(addr: SocketAddr, request: &str) -> (String, String) {
+        // No half-close: shutting down the write side mid-query reads as a
+        // client disconnect (and cancels the query), exactly like hyper's
+        // and Go's defaults. Requests carry `Connection: close` (or are
+        // protocol errors the server closes on) so reads still terminate.
         let mut sock = TcpStream::connect(addr).unwrap();
         sock.write_all(request.as_bytes()).unwrap();
-        sock.shutdown(std::net::Shutdown::Write).unwrap();
         let mut text = String::new();
         sock.read_to_string(&mut text).unwrap();
         let status = text.lines().next().unwrap_or("").to_string();
@@ -1227,31 +1423,37 @@ mod tests {
             // Not HTTP at all.
             ("garbage\r\n\r\n".to_string(), "400"),
             // Unsupported method.
-            ("DELETE /sparql HTTP/1.1\r\nHost: h\r\n\r\n".to_string(), "405"),
+            (
+                "DELETE /sparql HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n".to_string(),
+                "405",
+            ),
             // GET without a query parameter.
-            ("GET /sparql HTTP/1.1\r\nHost: h\r\n\r\n".to_string(), "400"),
+            (
+                "GET /sparql HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n".to_string(),
+                "400",
+            ),
             // POST with an unknown media type.
             (
-                "POST /sparql HTTP/1.1\r\nHost: h\r\nContent-Type: text/csv\r\nContent-Length: 3\r\n\r\nabc"
+                "POST /sparql HTTP/1.1\r\nHost: h\r\nContent-Type: text/csv\r\nContent-Length: 3\r\nConnection: close\r\n\r\nabc"
                     .to_string(),
                 "415",
             ),
             // Malformed SPARQL.
             (
-                "POST /sparql HTTP/1.1\r\nHost: h\r\nContent-Type: application/sparql-query\r\nContent-Length: 9\r\n\r\nSELECT ?{"
+                "POST /sparql HTTP/1.1\r\nHost: h\r\nContent-Type: application/sparql-query\r\nContent-Length: 9\r\nConnection: close\r\n\r\nSELECT ?{"
                     .to_string(),
                 "400",
             ),
             // Declared body larger than the limit.
             (
-                "POST /sparql HTTP/1.1\r\nHost: h\r\nContent-Type: application/sparql-query\r\nContent-Length: 5000\r\n\r\n"
+                "POST /sparql HTTP/1.1\r\nHost: h\r\nContent-Type: application/sparql-query\r\nContent-Length: 5000\r\nConnection: close\r\n\r\n"
                     .to_string(),
                 "413",
             ),
             // Oversized query via GET.
             (
                 format!(
-                    "GET /sparql?query={} HTTP/1.1\r\nHost: h\r\n\r\n",
+                    "GET /sparql?query={} HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n",
                     percent_encode(&format!(
                         "SELECT * WHERE {{ ?s <http://x/{}> ?o }}",
                         "p".repeat(300)
@@ -1386,7 +1588,7 @@ mod tests {
         });
         let request = format!(
             "POST /sparql HTTP/1.1\r\nHost: h\r\nContent-Type: application/sparql-query\r\n\
-             Content-Length: 4096\r\n\r\n{}",
+             Content-Length: 4096\r\nConnection: close\r\n\r\n{}",
             "x".repeat(4096)
         );
         let (status, text) = raw_roundtrip(handle.local_addr(), &request);

@@ -50,3 +50,15 @@ if ! LUSAIL_CHAOS_SEED="$seed" cargo test -p integration --test federate -q --of
     echo "    LUSAIL_CHAOS_SEED=$seed cargo test -p integration --test federate" >&2
     exit 1
 fi
+
+# Cancel-chaos group: query-lifecycle e2e (tests/tests/cancel_chaos.rs).
+# A client disconnecting mid-query must free its ledger and halt outbound
+# requests well before the deadline, a hang-wedged query must be reaped
+# by the watchdog with its memory returned, POST /queries/<id>/cancel
+# must surface a structured 499 to the caller, and an injected engine
+# panic must be contained to its one connection with nothing leaked.
+if ! LUSAIL_CHAOS_SEED="$seed" cargo test -p integration --test cancel_chaos -q --offline; then
+    echo "cancel-chaos suite failed with LUSAIL_CHAOS_SEED=$seed -- replay with:" >&2
+    echo "    LUSAIL_CHAOS_SEED=$seed cargo test -p integration --test cancel_chaos" >&2
+    exit 1
+fi

@@ -95,7 +95,6 @@ fn backend_servers(graphs: &[(String, Graph)]) -> (Vec<ServerHandle>, Vec<String
 fn raw_roundtrip(addr: SocketAddr, request: &str) -> (String, String) {
     let mut sock = TcpStream::connect(addr).expect("connect");
     sock.write_all(request.as_bytes()).expect("send");
-    sock.shutdown(std::net::Shutdown::Write).ok();
     let mut text = String::new();
     sock.read_to_string(&mut text).expect("read");
     let status = text.lines().next().unwrap_or("").to_string();
