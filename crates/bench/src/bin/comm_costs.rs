@@ -7,10 +7,14 @@
 //! endpoints (queries + bindings), and bytes shipped back (results), for
 //! Lusail and FedX.
 
-use lusail_bench::{bench_scale, build_with_federation, System};
-use lusail_federation::NetworkProfile;
+use lusail_bench::{bench_scale, build_with_federation, write_bench_json, BenchRecord, System};
+use lusail_core::{LusailConfig, LusailEngine};
+use lusail_federation::{Federation, HttpConfig, HttpEndpoint, NetworkProfile, SparqlEndpoint};
+use lusail_server::{ServerConfig, SparqlServer};
+use lusail_store::Store;
 use lusail_workloads::{largerdf, lubm, qfed, BenchQuery};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn report(title: &str, graphs: &[(String, lusail_rdf::Graph)], queries: &[BenchQuery]) {
     println!("\n=== {title} ===");
@@ -57,6 +61,90 @@ fn report(title: &str, graphs: &[(String, lusail_rdf::Graph)], queries: &[BenchQ
     }
 }
 
+/// Loopback codec comparison: the same federation served over real HTTP
+/// sockets, once with the binary codec negotiated and once forced to
+/// SPARQL JSON. Result bytes on the wire (response bodies) come from the
+/// endpoints' codec counters, so the reduction is measured, not modeled.
+fn loopback_codec_report(
+    tag: &str,
+    graphs: &[(String, lusail_rdf::Graph)],
+    queries: &[BenchQuery],
+    records: &mut Vec<BenchRecord>,
+) {
+    let handles: Vec<_> = graphs
+        .iter()
+        .map(|(_, g)| {
+            SparqlServer::bind("127.0.0.1:0", Store::from_graph(g), ServerConfig::default())
+                .expect("bind loopback server")
+                .spawn()
+        })
+        .collect();
+    println!("\n=== {tag}: wire bytes over loopback HTTP, binary codec vs SPARQL JSON ===");
+    println!(
+        "{:<9}{:>12}{:>12}{:>9}{:>10}{:>10}{:>8}",
+        "query", "bin(B)", "json(B)", "saved", "bin(ms)", "json(ms)", "rows"
+    );
+    for q in queries {
+        let parsed = q.parse();
+        let mut cells: Vec<(u64, f64, usize)> = Vec::new();
+        for (codec, offer) in [("binary", true), ("json", false)] {
+            let endpoints: Vec<Arc<dyn SparqlEndpoint>> = graphs
+                .iter()
+                .zip(&handles)
+                .map(|((name, _), h)| {
+                    Arc::new(
+                        HttpEndpoint::new(name.clone(), &h.url())
+                            .expect("loopback url")
+                            .with_config(HttpConfig {
+                                offer_binary: offer,
+                                ..Default::default()
+                            }),
+                    ) as Arc<dyn SparqlEndpoint>
+                })
+                .collect();
+            let fed = Federation::new(endpoints);
+            let engine = LusailEngine::new(
+                fed.clone(),
+                LusailConfig {
+                    timeout: Some(Duration::from_secs(60)),
+                    ..Default::default()
+                },
+            );
+            // Warm run loads caches; the measured run is the steady state.
+            let _ = engine.execute(&parsed);
+            let before = fed.total_codec().unwrap_or_default();
+            let start = Instant::now();
+            let rows = engine.execute(&parsed).map(|r| r.len()).unwrap_or(0);
+            let elapsed_ms = start.elapsed().as_secs_f64() * 1000.0;
+            let after = fed.total_codec().unwrap_or_default();
+            let wire = (after.binary_bytes_in + after.json_bytes_in)
+                - (before.binary_bytes_in + before.json_bytes_in);
+            records.push(BenchRecord {
+                query: format!("{tag}/{}", q.name),
+                wire_bytes: wire,
+                rows: rows as u64,
+                elapsed_ms,
+                codec: codec.to_string(),
+            });
+            cells.push((wire, elapsed_ms, rows));
+        }
+        let (bin_b, bin_ms, rows) = cells[0];
+        let (json_b, json_ms, _) = cells[1];
+        let saved = if json_b > 0 {
+            format!("{:.0}%", 100.0 * (1.0 - bin_b as f64 / json_b as f64))
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:<9}{:>12}{:>12}{:>9}{:>10.1}{:>10.1}{:>8}",
+            q.name, bin_b, json_b, saved, bin_ms, json_ms, rows
+        );
+    }
+    for h in handles {
+        h.shutdown();
+    }
+}
+
 fn main() {
     let scale = bench_scale();
     let lubm_graphs = lubm::generate_all(&lubm::LubmConfig::with_universities(4));
@@ -79,6 +167,14 @@ fn main() {
         &qfed_graphs,
         &qfed::queries(),
     );
+
+    let mut records = Vec::new();
+    loopback_codec_report("lubm", &lubm_graphs, &lubm::queries(), &mut records);
+    loopback_codec_report("qfed", &qfed_graphs, &qfed::queries(), &mut records);
+    match write_bench_json("comm_costs", &records) {
+        Ok(path) => println!("\nwrote {path} ({} records)", records.len()),
+        Err(e) => eprintln!("\nfailed to write BENCH_comm_costs.json: {e}"),
+    }
 
     let lcfg = largerdf::LargeRdfConfig {
         scale,

@@ -284,6 +284,44 @@ pub fn measure(
     }
 }
 
+/// One machine-readable benchmark data point, written to a
+/// `BENCH_<name>.json` file alongside the human-readable tables so the
+/// perf trajectory is trackable across revisions.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    pub query: String,
+    /// Result bytes that crossed the wire (or the in-memory relation's
+    /// wire size for microbenches with no socket).
+    pub wire_bytes: u64,
+    pub rows: u64,
+    pub elapsed_ms: f64,
+    /// Which result codec carried the bytes: "binary", "json", or for
+    /// join microbenches the solution representation ("id", "string").
+    pub codec: String,
+}
+
+/// Write records as a JSON array to `BENCH_<name>.json` in the current
+/// directory, overwriting any previous run's file.
+pub fn write_bench_json(name: &str, records: &[BenchRecord]) -> std::io::Result<String> {
+    let body = records
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"query\":\"{}\",\"wire_bytes\":{},\"rows\":{},\"elapsed_ms\":{:.3},\"codec\":\"{}\"}}",
+                r.query.replace('"', "\\\""),
+                r.wire_bytes,
+                r.rows,
+                r.elapsed_ms,
+                r.codec.replace('"', "\\\"")
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n  ");
+    let path = format!("BENCH_{name}.json");
+    std::fs::write(&path, format!("[\n  {body}\n]\n"))?;
+    Ok(path)
+}
+
 /// Render a figure/table as fixed-width text: one row per query, one
 /// column per system.
 pub fn print_table(title: &str, queries: &[&str], systems: &[&str], cells: &[Vec<String>]) {

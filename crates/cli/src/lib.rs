@@ -1101,6 +1101,7 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 print_relation(&rel, format, out)?;
                 if stats {
                     print_endpoint_stats(&federation, out)?;
+                    print_codec_stats(&federation, out)?;
                     print_memory_stats(&profile.memory, out)?;
                     print_lifecycle_stats(&ctx, started.elapsed(), None, out)?;
                 }
@@ -1133,6 +1134,7 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
             print_relation(&rel, format, out)?;
             if stats {
                 print_endpoint_stats(&federation, out)?;
+                print_codec_stats(&federation, out)?;
             }
             Ok(())
         }
@@ -1321,6 +1323,60 @@ fn print_endpoint_stats(federation: &Federation, out: &mut dyn Write) -> Result<
                 )?;
             }
         }
+    }
+    Ok(())
+}
+
+/// The `--stats` codec section: which result codec each wire-backed
+/// endpoint settled on, bytes received per codec, dictionary sizes, and
+/// how often a binary offer fell back to SPARQL JSON. Simulated
+/// endpoints have no wire and are omitted; the section only prints when
+/// at least one endpoint reports codec counters.
+fn print_codec_stats(federation: &Federation, out: &mut dyn Write) -> Result<(), CliError> {
+    let per_endpoint = federation.codec_by_endpoint();
+    if per_endpoint.is_empty() {
+        return Ok(());
+    }
+    writeln!(out, "# codec:")?;
+    writeln!(
+        out,
+        "#   {:<16} {:>10} {:>9} {:>9} {:>12} {:>10} {:>10} {:>9}",
+        "endpoint",
+        "negotiated",
+        "bin-resp",
+        "json-resp",
+        "bin-bytes",
+        "json-bytes",
+        "dict-terms",
+        "fallbacks"
+    )?;
+    for (name, c) in &per_endpoint {
+        writeln!(
+            out,
+            "#   {:<16} {:>10} {:>9} {:>9} {:>12} {:>10} {:>10} {:>9}",
+            name,
+            c.negotiated(),
+            c.binary_responses,
+            c.json_responses,
+            c.binary_bytes_in,
+            c.json_bytes_in,
+            c.dict_terms,
+            c.fallbacks
+        )?;
+    }
+    if let Some(total) = federation.total_codec() {
+        writeln!(
+            out,
+            "#   {:<16} {:>10} {:>9} {:>9} {:>12} {:>10} {:>10} {:>9}",
+            "(total)",
+            total.negotiated(),
+            total.binary_responses,
+            total.json_responses,
+            total.binary_bytes_in,
+            total.json_bytes_in,
+            total.dict_terms,
+            total.fallbacks
+        )?;
     }
     Ok(())
 }

@@ -8,6 +8,7 @@ use crate::sape::join::{budgeted_join, charge_output, dp_join_order};
 use crate::sape::schedule::Schedule;
 use crate::subquery::Subquery;
 use lusail_federation::{EndpointError, EndpointId, Federation, RequestHandler};
+use lusail_rdf::dict::{Dictionary, TermId};
 use lusail_rdf::fxhash::{FxHashMap, FxHashSet};
 use lusail_rdf::Term;
 use lusail_sparql::ast::{GraphPattern, Query, Variable};
@@ -105,7 +106,7 @@ impl SapeExecutor<'_> {
         // ---- Found bindings: join connected non-delayed results --------
         // (§4.2: "Whenever possible, the results of non-delayed subqueries
         // are joined together. This reduces the number of found bindings.")
-        let mut bindings: FxHashMap<Variable, Vec<Term>> = FxHashMap::default();
+        let mut bindings = FoundBindings::default();
         {
             let executed: Vec<usize> = schedule
                 .non_delayed
@@ -120,7 +121,7 @@ impl SapeExecutor<'_> {
                     .collect();
                 let joined = join_all(&rels, self.handler, self.ctx)?;
                 for v in joined.vars() {
-                    update_bindings(&mut bindings, v, joined.distinct_values(v));
+                    bindings.update(v, joined.distinct_values(v));
                 }
             }
         }
@@ -155,7 +156,7 @@ impl SapeExecutor<'_> {
             let rel = self.run_bound(&subqueries[i], &bindings)?;
             for v in subqueries[i].projection.clone() {
                 let vals = rel.distinct_values(&v);
-                update_bindings(&mut bindings, &v, vals);
+                bindings.update(&v, vals);
             }
             partials[i] = Some(rel);
             delayed_executed += 1;
@@ -189,17 +190,13 @@ impl SapeExecutor<'_> {
     /// Evaluate one subquery with its variables bound to already-found
     /// bindings, in `VALUES` blocks (lines 11–17 of Algorithm 3). Falls
     /// back to unbound evaluation when no binding variable overlaps.
-    fn run_bound(
-        &self,
-        sq: &Subquery,
-        bindings: &FxHashMap<Variable, Vec<Term>>,
-    ) -> Result<Relation, EngineError> {
+    fn run_bound(&self, sq: &Subquery, bindings: &FoundBindings) -> Result<Relation, EngineError> {
         // Choose the overlap variable with the fewest found bindings.
         let bind_var = sq
             .variables()
             .into_iter()
-            .filter(|v| bindings.contains_key(v))
-            .min_by_key(|v| bindings[v].len());
+            .filter(|v| bindings.contains(v))
+            .min_by_key(|v| bindings.count(v));
 
         let sources = self.refine_sources(sq, bind_var.as_ref(), bindings)?;
 
@@ -230,9 +227,11 @@ impl SapeExecutor<'_> {
                 }
             }
             Some(v) => {
-                let values = &bindings[&v];
+                // Bindings live as interned ids; terms materialize only
+                // here, where they go onto the wire in VALUES blocks.
+                let values = bindings.terms(&v);
                 let blocks = chunk_by_size(
-                    values,
+                    &values,
                     self.config.bound_block_size.max(1),
                     self.config.bound_block_max_bytes.max(64),
                 );
@@ -278,7 +277,7 @@ impl SapeExecutor<'_> {
         &self,
         sq: &Subquery,
         bind_var: Option<&Variable>,
-        bindings: &FxHashMap<Variable, Vec<Term>>,
+        bindings: &FoundBindings,
     ) -> Result<Vec<EndpointId>, EngineError> {
         let generic = sq
             .patterns
@@ -287,10 +286,10 @@ impl SapeExecutor<'_> {
         let (Some(v), true) = (bind_var, generic) else {
             return Ok(sq.sources.clone());
         };
-        let sample: Vec<Vec<Option<Term>>> = bindings[v]
-            .iter()
-            .take(32)
-            .map(|t| vec![Some(t.clone())])
+        let sample: Vec<Vec<Option<Term>>> = bindings
+            .sample(v, 32)
+            .into_iter()
+            .map(|t| vec![Some(t)])
             .collect();
         let probe = Query::ask(
             GraphPattern::Bgp(sq.patterns.clone())
@@ -463,55 +462,88 @@ fn join_all_bridged(
     }
 }
 
-/// Intersect (or insert) the found bindings of a variable.
+/// The found bindings of Algorithm 3, held as interned ids.
 ///
-/// Bindings are kept sorted and deduplicated (established at insertion,
-/// preserved by intersection), so each merge is one sort of the incoming
-/// values plus a linear two-pointer intersection — pathological binding
-/// sets stay `O(n log n)` where a per-value scan would go quadratic.
-fn update_bindings(
-    bindings: &mut FxHashMap<Variable, Vec<Term>>,
-    v: &Variable,
-    mut values: Vec<Term>,
-) {
-    values.sort_unstable();
-    values.dedup();
-    match bindings.get_mut(v) {
-        None => {
-            bindings.insert(v.clone(), values);
-        }
-        Some(existing) => {
-            let mut merged = Vec::with_capacity(existing.len().min(values.len()));
-            let (mut a, mut b) = (0, 0);
-            while a < existing.len() && b < values.len() {
-                match existing[a].cmp(&values[b]) {
-                    std::cmp::Ordering::Less => a += 1,
-                    std::cmp::Ordering::Greater => b += 1,
-                    std::cmp::Ordering::Equal => {
-                        merged.push(std::mem::replace(
-                            &mut existing[a],
-                            Term::Iri(String::new()),
-                        ));
-                        a += 1;
-                        b += 1;
+/// One query-scoped [`Dictionary`] interns every binding term exactly
+/// once; per variable the bindings are a sorted, deduplicated `Vec` of
+/// `u32` ids. Every intersection — the hot operation, run after each
+/// delayed subquery — is then a linear two-pointer merge over integers
+/// with no string comparison at all. Terms materialize only at the wire:
+/// `VALUES` block construction and `ASK` refinement samples.
+#[derive(Default)]
+struct FoundBindings {
+    dict: Dictionary,
+    vars: FxHashMap<Variable, Vec<TermId>>,
+}
+
+impl FoundBindings {
+    /// Intersect (or insert) the found bindings of a variable.
+    ///
+    /// Bindings are kept id-sorted and deduplicated (established at
+    /// insertion, preserved by intersection), so each merge is one sort
+    /// of the incoming ids plus a linear two-pointer intersection —
+    /// pathological binding sets stay `O(n log n)` where a per-value
+    /// scan would go quadratic.
+    fn update(&mut self, v: &Variable, values: Vec<Term>) {
+        let mut ids: Vec<TermId> = values.iter().map(|t| self.dict.encode(t)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        match self.vars.get_mut(v) {
+            None => {
+                self.vars.insert(v.clone(), ids);
+            }
+            Some(existing) => {
+                let mut merged = Vec::with_capacity(existing.len().min(ids.len()));
+                let (mut a, mut b) = (0, 0);
+                while a < existing.len() && b < ids.len() {
+                    match existing[a].cmp(&ids[b]) {
+                        std::cmp::Ordering::Less => a += 1,
+                        std::cmp::Ordering::Greater => b += 1,
+                        std::cmp::Ordering::Equal => {
+                            merged.push(existing[a]);
+                            a += 1;
+                            b += 1;
+                        }
                     }
                 }
+                *existing = merged;
             }
-            *existing = merged;
         }
+    }
+
+    fn contains(&self, v: &Variable) -> bool {
+        self.vars.contains_key(v)
+    }
+
+    /// Number of bindings for `v`, if any were found.
+    fn count(&self, v: &Variable) -> Option<usize> {
+        self.vars.get(v).map(Vec::len)
+    }
+
+    /// Materialize all bindings of `v` back into terms (id order).
+    fn terms(&self, v: &Variable) -> Vec<Term> {
+        self.vars.get(v).map_or_else(Vec::new, |ids| {
+            ids.iter().map(|&id| self.dict.decode(id).clone()).collect()
+        })
+    }
+
+    /// Materialize at most `n` bindings of `v` (id order).
+    fn sample(&self, v: &Variable, n: usize) -> Vec<Term> {
+        self.vars.get(v).map_or_else(Vec::new, |ids| {
+            ids.iter()
+                .take(n)
+                .map(|&id| self.dict.decode(id).clone())
+                .collect()
+        })
     }
 }
 
 /// `getMostSelectiveSubq`: the subquery's estimate, tightened by the
 /// found-binding counts of any variable it joins on.
-fn refined_cardinality(
-    sq: &Subquery,
-    original: usize,
-    bindings: &FxHashMap<Variable, Vec<Term>>,
-) -> usize {
+fn refined_cardinality(sq: &Subquery, original: usize, bindings: &FoundBindings) -> usize {
     sq.variables()
         .iter()
-        .filter_map(|v| bindings.get(v).map(|vals| vals.len()))
+        .filter_map(|v| bindings.count(v))
         .min()
         .map_or(original, |b| b.min(original))
 }
@@ -545,27 +577,53 @@ mod tests {
         assert!(chunk_by_size(&[], 10, 64).is_empty());
     }
 
-    #[test]
-    fn update_bindings_intersects() {
-        let mut b = FxHashMap::default();
-        let t = |i: usize| Term::iri(format!("http://x/{i}"));
-        update_bindings(&mut b, &v("x"), vec![t(1), t(2), t(3)]);
-        update_bindings(&mut b, &v("x"), vec![t(2), t(3), t(4)]);
-        assert_eq!(b[&v("x")], vec![t(2), t(3)]);
+    fn sorted_terms(b: &FoundBindings, v: &Variable) -> Vec<Term> {
+        let mut terms = b.terms(v);
+        terms.sort_unstable();
+        terms
     }
 
     #[test]
-    fn update_bindings_dedupes_and_keeps_sorted_invariant() {
-        let mut b = FxHashMap::default();
+    fn found_bindings_intersect() {
+        let mut b = FoundBindings::default();
         let t = |i: usize| Term::iri(format!("http://x/{i}"));
-        // Duplicates and reverse order in: sorted, deduplicated out.
-        update_bindings(&mut b, &v("x"), vec![t(3), t(1), t(2), t(1), t(3)]);
-        assert_eq!(b[&v("x")], vec![t(1), t(2), t(3)]);
-        update_bindings(&mut b, &v("x"), vec![t(4), t(3), t(3), t(2)]);
-        assert_eq!(b[&v("x")], vec![t(2), t(3)]);
+        b.update(&v("x"), vec![t(1), t(2), t(3)]);
+        b.update(&v("x"), vec![t(2), t(3), t(4)]);
+        assert_eq!(sorted_terms(&b, &v("x")), vec![t(2), t(3)]);
+        assert_eq!(b.count(&v("x")), Some(2));
+        assert!(b.contains(&v("x")));
+        assert!(!b.contains(&v("y")));
+    }
+
+    #[test]
+    fn found_bindings_dedupe_and_sample() {
+        let mut b = FoundBindings::default();
+        let t = |i: usize| Term::iri(format!("http://x/{i}"));
+        // Duplicates and arbitrary order in: deduplicated out.
+        b.update(&v("x"), vec![t(3), t(1), t(2), t(1), t(3)]);
+        assert_eq!(sorted_terms(&b, &v("x")), vec![t(1), t(2), t(3)]);
+        b.update(&v("x"), vec![t(4), t(3), t(3), t(2)]);
+        assert_eq!(sorted_terms(&b, &v("x")), vec![t(2), t(3)]);
+        // Samples are a prefix of the full binding list.
+        let sample = b.sample(&v("x"), 1);
+        assert_eq!(sample.len(), 1);
+        assert_eq!(sample[0], b.terms(&v("x"))[0]);
+        assert!(b.sample(&v("y"), 5).is_empty());
         // Disjoint intersection empties the binding set.
-        update_bindings(&mut b, &v("x"), vec![t(9)]);
-        assert!(b[&v("x")].is_empty());
+        b.update(&v("x"), vec![t(9)]);
+        assert_eq!(b.count(&v("x")), Some(0));
+        assert!(b.terms(&v("x")).is_empty());
+    }
+
+    #[test]
+    fn found_bindings_ids_are_shared_across_variables() {
+        // The same term seen through two variables interns once.
+        let mut b = FoundBindings::default();
+        let t = Term::iri("http://x/shared");
+        b.update(&v("x"), vec![t.clone()]);
+        b.update(&v("y"), vec![t.clone()]);
+        assert_eq!(b.dict.len(), 1);
+        assert_eq!(b.terms(&v("x")), b.terms(&v("y")));
     }
 
     #[test]
@@ -603,11 +661,11 @@ mod tests {
             projection: vec![v("x"), v("y")],
             optional: false,
         };
-        let mut b = FxHashMap::default();
-        b.insert(v("x"), vec![Term::iri("http://1"), Term::iri("http://2")]);
+        let mut b = FoundBindings::default();
+        b.update(&v("x"), vec![Term::iri("http://1"), Term::iri("http://2")]);
         assert_eq!(refined_cardinality(&sq, 1000, &b), 2);
         assert_eq!(refined_cardinality(&sq, 1, &b), 1);
-        let empty = FxHashMap::default();
+        let empty = FoundBindings::default();
         assert_eq!(refined_cardinality(&sq, 1000, &empty), 1000);
     }
 }

@@ -183,6 +183,14 @@ pub trait SparqlEndpoint: Send + Sync {
         None
     }
 
+    /// Data-plane codec counters (negotiated results codec, wire bytes
+    /// per codec, dictionary sizes, JSON fallbacks), when the transport
+    /// negotiates one. Simulated endpoints have no wire and return
+    /// `None`.
+    fn codec(&self) -> Option<crate::network::CodecSnapshot> {
+        None
+    }
+
     /// Per-member replica counters, when this endpoint is a
     /// [`ReplicaGroup`](crate::replica::ReplicaGroup) fronting several
     /// member transports. Single-transport endpoints return `None`; the

@@ -1,7 +1,7 @@
 //! A federation: the set of endpoints a query is evaluated over.
 
 use crate::endpoint::{EndpointId, SparqlEndpoint};
-use crate::network::TrafficSnapshot;
+use crate::network::{CodecSnapshot, TrafficSnapshot};
 use std::sync::Arc;
 
 /// An immutable registry of endpoints. Engines address endpoints by
@@ -56,6 +56,25 @@ impl Federation {
         for e in &self.endpoints {
             e.reset_traffic();
         }
+    }
+
+    /// Aggregate result-codec counters across the endpoints that have a
+    /// wire (HTTP endpoints and replica groups); `None` when the whole
+    /// federation is simulated.
+    pub fn total_codec(&self) -> Option<CodecSnapshot> {
+        self.endpoints
+            .iter()
+            .filter_map(|e| e.codec())
+            .reduce(CodecSnapshot::merge)
+    }
+
+    /// Per-endpoint `(name, codec snapshot)` pairs for endpoints with a
+    /// wire, in registry order.
+    pub fn codec_by_endpoint(&self) -> Vec<(String, CodecSnapshot)> {
+        self.endpoints
+            .iter()
+            .filter_map(|e| e.codec().map(|c| (e.name().to_string(), c)))
+            .collect()
     }
 }
 

@@ -26,7 +26,8 @@ use crate::endpoint::{EndpointError, SparqlEndpoint};
 use crate::erh::{
     Admission, BreakerConfig, BreakerState, Deadline, EndpointHealth, HealthSnapshot,
 };
-use crate::network::{RequestCounters, TrafficSnapshot};
+use crate::network::{CodecCounters, CodecSnapshot, RequestCounters, TrafficSnapshot};
+use crate::results_bin;
 use crate::results_json;
 use lusail_sparql::ast::Query;
 use lusail_store::eval::QueryResult;
@@ -120,6 +121,12 @@ pub struct HttpConfig {
     /// result-bomb endpoint is rejected after this many rows with the
     /// rest of its body unread, never buffered. `None` disables the cap.
     pub max_result_rows: Option<usize>,
+    /// Offer Lusail's compact binary results codec in the `Accept`
+    /// header (preferred, with SPARQL-JSON as the q=0.9 fallback). A
+    /// foreign endpoint that ignores the offer answers JSON and
+    /// everything works; set `false` to force JSON-only negotiation
+    /// (baseline measurements, debugging).
+    pub offer_binary: bool,
 }
 
 impl Default for HttpConfig {
@@ -131,6 +138,7 @@ impl Default for HttpConfig {
             backoff: Duration::from_millis(50),
             use_get: false,
             max_result_rows: None,
+            offer_binary: true,
         }
     }
 }
@@ -141,6 +149,7 @@ pub struct HttpEndpoint {
     url: Url,
     config: HttpConfig,
     counters: RequestCounters,
+    codec: CodecCounters,
     health: EndpointHealth,
     /// Pooled keep-alive connection, reused across requests.
     conn: Mutex<Option<TcpStream>>,
@@ -158,6 +167,7 @@ impl HttpEndpoint {
             url,
             config: HttpConfig::default(),
             counters: RequestCounters::new(),
+            codec: CodecCounters::new(),
             health: EndpointHealth::new(BreakerConfig::default()),
             conn: Mutex::new(None),
         })
@@ -229,6 +239,20 @@ impl HttpEndpoint {
         }
     }
 
+    /// The `Accept` header value: binary preferred with a JSON fallback
+    /// when offering the compact codec, plain SPARQL-JSON otherwise.
+    fn accept_header(&self) -> String {
+        if self.config.offer_binary {
+            format!(
+                "{}, {};q=0.9",
+                results_bin::MEDIA_TYPE,
+                results_json::MEDIA_TYPE
+            )
+        } else {
+            results_json::MEDIA_TYPE.to_string()
+        }
+    }
+
     fn build_request(&self, query_text: &str) -> Vec<u8> {
         let host = self.url.host_header();
         if self.config.use_get {
@@ -243,7 +267,7 @@ impl HttpEndpoint {
                 sep,
                 percent_encode(query_text),
                 host,
-                results_json::MEDIA_TYPE,
+                self.accept_header(),
             )
             .into_bytes()
         } else {
@@ -253,7 +277,7 @@ impl HttpEndpoint {
                  Content-Type: application/sparql-query\r\nContent-Length: {}\r\n\r\n",
                 self.url.path,
                 host,
-                results_json::MEDIA_TYPE,
+                self.accept_header(),
                 body.len(),
             )
             .into_bytes();
@@ -307,8 +331,16 @@ impl SparqlEndpoint for HttpEndpoint {
                     self.counters
                         .record(request.len(), wire_bytes, started.elapsed());
                     match outcome {
-                        AttemptOutcome::Results(streamed) => {
+                        AttemptOutcome::Results(streamed, codec) => {
                             self.health.record_success(started.elapsed());
+                            match codec {
+                                ResponseCodec::Binary { dict_terms } => {
+                                    self.codec.record_binary(wire_bytes, dict_terms)
+                                }
+                                ResponseCodec::Json => {
+                                    self.codec.record_json(wire_bytes, self.config.offer_binary)
+                                }
+                            }
                             if streamed.truncated {
                                 // The cap fired mid-parse: a result bomb.
                                 // Rejected, not retried — asking again
@@ -391,6 +423,10 @@ impl SparqlEndpoint for HttpEndpoint {
     fn health(&self) -> Option<HealthSnapshot> {
         Some(self.health.snapshot())
     }
+
+    fn codec(&self) -> Option<CodecSnapshot> {
+        Some(self.codec.snapshot())
+    }
 }
 
 /// The interesting outcomes of one HTTP attempt, from the caller's point
@@ -398,12 +434,23 @@ impl SparqlEndpoint for HttpEndpoint {
 /// buffered-whole-body representation of a results response any more.
 enum AttemptOutcome {
     /// A 200 whose body parsed as a results document (possibly cut short
-    /// by the row cap — see [`results_json::StreamedResult::truncated`]).
-    Results(results_json::StreamedResult),
+    /// by the row cap — see [`results_json::StreamedResult::truncated`]),
+    /// tagged with the codec the server actually answered in.
+    Results(results_json::StreamedResult, ResponseCodec),
     /// A complete 200 whose body is not a results document.
     Malformed(String),
     /// Any non-200 status, with the head of its body for error messages.
     Status { status: u16, body_head: String },
+}
+
+/// Which results codec a 200 response was decoded with, per its
+/// `Content-Type` header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResponseCodec {
+    /// SPARQL 1.1 JSON — the universal fallback.
+    Json,
+    /// Lusail's binary codec, carrying a term dictionary this large.
+    Binary { dict_terms: usize },
 }
 
 /// Cap on how much of a non-200 error body (or post-document slack) is
@@ -450,14 +497,47 @@ fn send_and_read(
         framing,
     };
 
-    let (outcome, drained) = if head.status == 200 {
+    // Dispatch on the response Content-Type: the binary codec only when
+    // the server explicitly declared it, SPARQL-JSON for everything else
+    // (including no Content-Type at all) — that IS the foreign-endpoint
+    // fallback.
+    let binary = head
+        .content_type
+        .as_deref()
+        .is_some_and(|ct| ct.starts_with(results_bin::MEDIA_TYPE));
+    let (outcome, drained) = if head.status == 200 && binary {
+        match results_bin::parse_stream(&mut body, max_result_rows) {
+            Ok(streamed) => {
+                let drained = !streamed.truncated && body.discard(ERROR_BODY_CAP).unwrap_or(false);
+                let codec = ResponseCodec::Binary {
+                    dict_terms: streamed.dict_terms,
+                };
+                (
+                    AttemptOutcome::Results(
+                        results_json::StreamedResult {
+                            result: streamed.result,
+                            warnings: streamed.warnings,
+                            truncated: streamed.truncated,
+                        },
+                        codec,
+                    ),
+                    drained,
+                )
+            }
+            Err(results_bin::BinStreamError::Io(e)) => return Err(e),
+            Err(results_bin::BinStreamError::Malformed(m)) => (AttemptOutcome::Malformed(m), false),
+        }
+    } else if head.status == 200 {
         match results_json::parse_stream(&mut body, max_result_rows) {
             Ok(streamed) => {
                 // Reuse the connection only when the body actually ends
                 // where the document did (modulo a little slack). A drain
                 // error just forfeits pooling; the response already won.
                 let drained = !streamed.truncated && body.discard(ERROR_BODY_CAP).unwrap_or(false);
-                (AttemptOutcome::Results(streamed), drained)
+                (
+                    AttemptOutcome::Results(streamed, ResponseCodec::Json),
+                    drained,
+                )
             }
             Err(results_json::StreamError::Io(e)) => return Err(e),
             Err(results_json::StreamError::Malformed(e)) => {
@@ -494,6 +574,7 @@ fn body_head(bytes: &[u8]) -> String {
 struct ResponseHead {
     status: u16,
     content_length: Option<usize>,
+    content_type: Option<String>,
     chunked: bool,
     keep_alive: bool,
 }
@@ -506,6 +587,7 @@ fn read_head(reader: &mut DeadlineReader<'_>) -> io::Result<ResponseHead> {
     let mut head = ResponseHead {
         status,
         content_length: None,
+        content_type: None,
         chunked: false,
         keep_alive: true, // HTTP/1.1 default
     };
@@ -526,6 +608,9 @@ fn read_head(reader: &mut DeadlineReader<'_>) -> io::Result<ResponseHead> {
                         .parse()
                         .map_err(|_| bad_data(format!("bad Content-Length {value:?}")))?,
                 );
+            }
+            "content-type" => {
+                head.content_type = Some(value.to_ascii_lowercase());
             }
             "transfer-encoding" => {
                 head.chunked = value.eq_ignore_ascii_case("chunked");
@@ -909,6 +994,7 @@ mod tests {
             backoff: Duration::from_millis(1),
             use_get: false,
             max_result_rows: None,
+            offer_binary: true,
         }
     }
 

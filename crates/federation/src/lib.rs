@@ -42,6 +42,7 @@ pub mod http;
 pub mod json;
 pub mod network;
 pub mod replica;
+pub mod results_bin;
 pub mod results_json;
 
 pub use cancel::{CancelReason, CancelToken};
@@ -55,7 +56,7 @@ pub use erh::{
 pub use fault::{FaultProfile, FaultyConfig, FaultyEndpoint};
 pub use federation::Federation;
 pub use http::{HttpConfig, HttpEndpoint};
-pub use network::{NetworkProfile, RequestCounters, TrafficSnapshot};
+pub use network::{CodecCounters, CodecSnapshot, NetworkProfile, RequestCounters, TrafficSnapshot};
 pub use replica::{
     hedge_safe, rank_members, ReplicaConfig, ReplicaGroup, ReplicaGroupStats, ReplicaMemberSnapshot,
 };

@@ -112,6 +112,111 @@ impl RequestCounters {
     }
 }
 
+/// Thread-safe data-plane codec counters for one endpoint: which results
+/// codec the endpoint actually answered with, how many wire bytes each
+/// codec carried, and how large the per-response term dictionaries were.
+///
+/// "Fallbacks" count responses where the binary codec was offered in the
+/// `Accept` header but the endpoint answered SPARQL-JSON anyway — the
+/// expected behavior against foreign (non-Lusail) endpoints.
+#[derive(Debug, Default)]
+pub struct CodecCounters {
+    json_responses: AtomicU64,
+    binary_responses: AtomicU64,
+    json_bytes_in: AtomicU64,
+    binary_bytes_in: AtomicU64,
+    dict_terms: AtomicU64,
+    fallbacks: AtomicU64,
+}
+
+impl CodecCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one successfully decoded JSON response of `bytes` wire
+    /// bytes. `offered_binary` marks it as a negotiation fallback.
+    pub fn record_json(&self, bytes: usize, offered_binary: bool) {
+        self.json_responses.fetch_add(1, Ordering::Relaxed);
+        self.json_bytes_in
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        if offered_binary {
+            self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one successfully decoded binary response: `bytes` wire
+    /// bytes carrying a `dict_terms`-entry term dictionary.
+    pub fn record_binary(&self, bytes: usize, dict_terms: usize) {
+        self.binary_responses.fetch_add(1, Ordering::Relaxed);
+        self.binary_bytes_in
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.dict_terms
+            .fetch_add(dict_terms as u64, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot of the counters.
+    pub fn snapshot(&self) -> CodecSnapshot {
+        CodecSnapshot {
+            json_responses: self.json_responses.load(Ordering::Relaxed),
+            binary_responses: self.binary_responses.load(Ordering::Relaxed),
+            json_bytes_in: self.json_bytes_in.load(Ordering::Relaxed),
+            binary_bytes_in: self.binary_bytes_in.load(Ordering::Relaxed),
+            dict_terms: self.dict_terms.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        self.json_responses.store(0, Ordering::Relaxed);
+        self.binary_responses.store(0, Ordering::Relaxed);
+        self.json_bytes_in.store(0, Ordering::Relaxed);
+        self.binary_bytes_in.store(0, Ordering::Relaxed);
+        self.dict_terms.store(0, Ordering::Relaxed);
+        self.fallbacks.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time reading of [`CodecCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CodecSnapshot {
+    pub json_responses: u64,
+    pub binary_responses: u64,
+    pub json_bytes_in: u64,
+    pub binary_bytes_in: u64,
+    pub dict_terms: u64,
+    pub fallbacks: u64,
+}
+
+impl CodecSnapshot {
+    /// Element-wise sum (for aggregating across endpoints or replicas).
+    pub fn merge(self, other: CodecSnapshot) -> CodecSnapshot {
+        CodecSnapshot {
+            json_responses: self.json_responses + other.json_responses,
+            binary_responses: self.binary_responses + other.binary_responses,
+            json_bytes_in: self.json_bytes_in + other.json_bytes_in,
+            binary_bytes_in: self.binary_bytes_in + other.binary_bytes_in,
+            dict_terms: self.dict_terms + other.dict_terms,
+            fallbacks: self.fallbacks + other.fallbacks,
+        }
+    }
+
+    /// The codec this endpoint has settled on, judged by what it last
+    /// demonstrably answered with: "binary" once any binary response
+    /// landed, "json" after JSON-only traffic, "none" before any
+    /// response.
+    pub fn negotiated(&self) -> &'static str {
+        if self.binary_responses > 0 {
+            "binary"
+        } else if self.json_responses > 0 {
+            "json"
+        } else {
+            "none"
+        }
+    }
+}
+
 /// A point-in-time reading of [`RequestCounters`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrafficSnapshot {

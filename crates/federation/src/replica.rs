@@ -453,6 +453,20 @@ impl SparqlEndpoint for ReplicaGroup {
         }
     }
 
+    /// Codec counters summed across members; `None` when no member
+    /// transport negotiates a codec (e.g. all simulated).
+    fn codec(&self) -> Option<crate::network::CodecSnapshot> {
+        let snapshots: Vec<_> = self.members.iter().filter_map(|m| m.codec()).collect();
+        if snapshots.is_empty() {
+            return None;
+        }
+        Some(
+            snapshots
+                .into_iter()
+                .fold(Default::default(), crate::network::CodecSnapshot::merge),
+        )
+    }
+
     /// A merged view: counters summed across members, breaker state and
     /// latency taken from the currently preferred member.
     fn health(&self) -> Option<HealthSnapshot> {

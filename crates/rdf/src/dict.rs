@@ -5,12 +5,29 @@
 //! boundary (results shipped between endpoints and the federator are terms,
 //! since each endpoint has its own id space — exactly like real federated
 //! SPARQL, where endpoints exchange lexical values).
+//!
+//! Beyond the per-store dictionaries, the federator's operators build
+//! short-lived *query-scoped* dictionaries: a join, `DISTINCT`, `MINUS`,
+//! or found-bindings merge interns the terms it touches once and then
+//! works entirely on fixed-width ids — hashing and comparing `u32`s
+//! instead of strings — materializing terms again only when producing its
+//! output. The [`Dictionary::encode_slot`]/[`Dictionary::decode_slot`]
+//! helpers cover the optionally-bound cells those operators deal in.
 
 use crate::fxhash::FxHashMap;
 use crate::term::Term;
 
 /// A dense identifier for an interned term. `0` is a valid id.
 pub type TermId = u32;
+
+/// Fixed-width encoding of an optionally-bound solution cell:
+/// `0` = unbound, anything else = [`TermId`] + 1. Equality of slots is
+/// equality of cells, provided both were encoded by the *same*
+/// dictionary.
+pub type SlotId = u32;
+
+/// The [`SlotId`] of an unbound cell.
+pub const UNBOUND: SlotId = 0;
 
 /// An interning dictionary mapping [`Term`] ↔ [`TermId`].
 ///
@@ -70,6 +87,76 @@ impl Dictionary {
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
         self.terms.iter().enumerate().map(|(i, t)| (i as TermId, t))
     }
+
+    /// Intern an optionally-bound cell as a fixed-width [`SlotId`].
+    pub fn encode_slot(&mut self, cell: Option<&Term>) -> SlotId {
+        match cell {
+            None => UNBOUND,
+            Some(t) => self.encode(t) + 1,
+        }
+    }
+
+    /// Resolve a slot back to its cell, cloning the term. Panics on a
+    /// slot this dictionary never produced (a logic error).
+    pub fn decode_slot(&self, slot: SlotId) -> Option<Term> {
+        if slot == UNBOUND {
+            None
+        } else {
+            Some(self.decode(slot - 1).clone())
+        }
+    }
+
+    /// Intern a whole solution row as fixed-width slots.
+    pub fn encode_row(&mut self, row: &[Option<Term>]) -> Vec<SlotId> {
+        row.iter().map(|c| self.encode_slot(c.as_ref())).collect()
+    }
+
+    /// Materialize a slot row back into terms.
+    pub fn decode_row(&self, slots: &[SlotId]) -> Vec<Option<Term>> {
+        slots.iter().map(|&s| self.decode_slot(s)).collect()
+    }
+}
+
+/// A zero-clone interner over *borrowed* terms, for operators that hash
+/// and compare cells but never decode ids back — key-only joins, `MINUS`
+/// agreement scans. Unlike [`Dictionary`] (which owns two copies of every
+/// interned term so it can decode), this holds only references into the
+/// source rows: each distinct term is string-hashed once and nothing is
+/// ever cloned.
+#[derive(Debug, Default)]
+pub struct KeyInterner<'a> {
+    ids: FxHashMap<&'a Term, SlotId>,
+}
+
+impl<'a> KeyInterner<'a> {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern an optionally-bound cell as a fixed-width [`SlotId`]:
+    /// unbound maps to [`UNBOUND`], bound terms get dense ids from 1 up.
+    /// Slot equality is cell equality, provided both slots came from the
+    /// *same* interner.
+    pub fn encode_slot(&mut self, cell: Option<&'a Term>) -> SlotId {
+        match cell {
+            None => UNBOUND,
+            Some(t) => {
+                let next = self.ids.len() as SlotId + 1;
+                *self.ids.entry(t).or_insert(next)
+            }
+        }
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no terms are interned.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +204,18 @@ mod tests {
             let id = d.encode(&Term::integer(i));
             assert_eq!(id, i as TermId);
         }
+    }
+
+    #[test]
+    fn slot_rows_round_trip() {
+        let mut d = Dictionary::new();
+        let row = vec![Some(Term::iri("http://x/a")), None, Some(Term::integer(3))];
+        let slots = d.encode_row(&row);
+        assert_eq!(slots[1], UNBOUND);
+        assert_ne!(slots[0], UNBOUND);
+        assert_eq!(d.decode_row(&slots), row);
+        // Same dictionary ⇒ same slots for equal cells.
+        assert_eq!(d.encode_row(&row), slots);
     }
 
     #[test]

@@ -593,6 +593,28 @@ impl QueryBackend for FederationService {
             .collect::<Vec<_>>()
             .join(",");
         let life = &self.supervisor.lifecycle;
+        let codec = self.engine.federation().total_codec().unwrap_or_default();
+        let codec_endpoints = self
+            .engine
+            .federation()
+            .codec_by_endpoint()
+            .iter()
+            .map(|(name, c)| {
+                format!(
+                    "\"{}\":{{\"negotiated\":\"{}\",\"binary_responses\":{},\"json_responses\":{},\
+                     \"binary_bytes_in\":{},\"json_bytes_in\":{},\"dict_terms\":{},\"fallbacks\":{}}}",
+                    json::escape(name),
+                    c.negotiated(),
+                    c.binary_responses,
+                    c.json_responses,
+                    c.binary_bytes_in,
+                    c.json_bytes_in,
+                    c.dict_terms,
+                    c.fallbacks
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         Some(format!(
             "{{\"pool\":{{\"capacity\":{},\"ledger_bytes\":{},\"max_ledgers\":{},\"in_use\":{},\
              \"waiting\":{},\"carved\":{},\"queued\":{},\"shed\":{},\"peak_ledgers\":{}}},\
@@ -603,7 +625,10 @@ impl QueryBackend for FederationService {
              \"lifecycle\":{{\"inflight\":{},\"cancelled\":{{\"client_disconnected\":{},\
              \"admin_cancelled\":{},\"watchdog_reaped\":{},\"server_draining\":{}}},\
              \"watchdog_reaps\":{},\"panics_contained\":{},\"drains\":{},\
-             \"drain_force_cancelled\":{}}}}}",
+             \"drain_force_cancelled\":{}}},\
+             \"codec\":{{\"negotiated\":\"{}\",\"binary_responses\":{},\"json_responses\":{},\
+             \"binary_bytes_in\":{},\"json_bytes_in\":{},\"dict_terms\":{},\"fallbacks\":{},\
+             \"endpoints\":{{{}}}}}}}",
             self.pool.capacity(),
             self.pool.ledger_bytes(),
             self.pool.max_ledgers(),
@@ -637,6 +662,14 @@ impl QueryBackend for FederationService {
             life.panics_contained.load(Ordering::Relaxed),
             life.drains.load(Ordering::Relaxed),
             life.drain_force_cancelled.load(Ordering::Relaxed),
+            codec.negotiated(),
+            codec.binary_responses,
+            codec.json_responses,
+            codec.binary_bytes_in,
+            codec.json_bytes_in,
+            codec.dict_terms,
+            codec.fallbacks,
+            codec_endpoints,
         ))
     }
 

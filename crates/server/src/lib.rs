@@ -50,6 +50,7 @@
 pub mod federate;
 
 use lusail_federation::http::percent_decode;
+use lusail_federation::results_bin;
 use lusail_federation::results_json;
 use lusail_federation::{CancelReason, CancelToken};
 use lusail_sparql::Relation;
@@ -93,6 +94,12 @@ pub struct ServerConfig {
     /// before force-cancelling the stragglers via the backend's
     /// [`QueryBackend::drain`].
     pub drain_timeout: Duration,
+    /// Whether to honor the compact binary results codec when a client's
+    /// `Accept` header asks for it. `false` makes the server answer every
+    /// query in SPARQL JSON — emulating a foreign endpoint that never
+    /// heard of the codec, which is how the federation's fallback path is
+    /// exercised end to end.
+    pub offer_binary: bool,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +113,7 @@ impl Default for ServerConfig {
             retry_after: Duration::from_secs(1),
             max_result_rows: None,
             drain_timeout: Duration::from_secs(5),
+            offer_binary: true,
         }
     }
 }
@@ -672,6 +680,7 @@ fn handle_request(
                     &query_text,
                     client,
                     keep_alive,
+                    config.offer_binary && wants_binary(&request.accept),
                     config,
                     stats,
                 )
@@ -728,6 +737,9 @@ struct Request {
     /// Path with any query string, as sent.
     target: String,
     content_type: String,
+    /// The `Accept` header, verbatim (empty when absent). Drives results
+    /// codec negotiation: see [`wants_binary`].
+    accept: String,
     /// The `X-Client-Id` header, when sent.
     client_id: Option<String>,
     body: Vec<u8>,
@@ -767,6 +779,7 @@ fn read_request(
 
     let mut content_length = 0usize;
     let mut content_type = String::new();
+    let mut accept = String::new();
     let mut client_id = None;
     let mut expect_continue = false;
     let mut chunked = false;
@@ -789,6 +802,7 @@ fn read_request(
                     .map_err(|_| HttpReject::fatal(400, format!("bad Content-Length {value:?}")))?;
             }
             "content-type" => content_type = value.to_ascii_lowercase(),
+            "accept" => accept = value.to_ascii_lowercase(),
             "connection" => {
                 if value.eq_ignore_ascii_case("close") {
                     keep_alive = false;
@@ -835,10 +849,29 @@ fn read_request(
         method,
         target,
         content_type,
+        accept,
         client_id,
         body,
         keep_alive,
     }))
+}
+
+/// Results codec negotiation: `true` when the client's `Accept` header
+/// asks for [`results_bin::MEDIA_TYPE`] (with a non-zero q). Anything
+/// else — no header, `*/*`, plain SPARQL-JSON — gets JSON, so a client
+/// that never heard of the binary codec is entirely unaffected.
+fn wants_binary(accept: &str) -> bool {
+    accept.split(',').any(|item| {
+        let mut parts = item.trim().split(';');
+        let media = parts.next().unwrap_or("").trim();
+        media.eq_ignore_ascii_case(results_bin::MEDIA_TYPE)
+            && !parts.any(|p| {
+                let p = p.trim();
+                p.strip_prefix("q=")
+                    .and_then(|q| q.trim().parse::<f32>().ok())
+                    .is_some_and(|v| v == 0.0)
+            })
+    })
 }
 
 /// Apply the SPARQL Protocol rules to pull the query text out of a request.
@@ -975,12 +1008,16 @@ impl Drop for DisconnectMonitor {
 }
 
 /// Evaluate the query through the backend and stream the response.
+/// With `binary`, successful results go out in the negotiated compact
+/// codec ([`results_bin`]); errors are always JSON.
+#[allow(clippy::too_many_arguments)]
 fn answer_query(
     stream: &TcpStream,
     backend: &Arc<dyn QueryBackend>,
     query_text: &str,
     client: &ClientInfo,
     keep_alive: bool,
+    binary: bool,
     config: &ServerConfig,
     stats: &ServerStats,
 ) -> io::Result<()> {
@@ -1036,16 +1073,23 @@ fn answer_query(
         }
         Answer::Boolean(b) => {
             stats.record(200);
-            let body = results_json::boolean_json(b);
+            let (media, body) = if binary {
+                (results_bin::MEDIA_TYPE, results_bin::boolean_bin(b))
+            } else {
+                (
+                    results_json::MEDIA_TYPE,
+                    results_json::boolean_json(b).into_bytes(),
+                )
+            };
             let mut out = io::BufWriter::new(stream);
             write!(
                 out,
-                "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
-                results_json::MEDIA_TYPE,
+                "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+                media,
                 body.len(),
                 connection,
-                body
             )?;
+            out.write_all(&body)?;
             out.flush()
         }
         Answer::Solutions { rel, mut warnings } => {
@@ -1065,6 +1109,27 @@ fn answer_query(
                     "{name}: result truncated to {cap} of {} rows by the server row cap",
                     rel.len()
                 ));
+            }
+            if binary {
+                // The same streaming shape as JSON — head, row chunks,
+                // tail — just in the negotiated compact codec: each row
+                // chunk carries any first-seen terms as dictionary
+                // records followed by the fixed-width id tuple.
+                let mut enc = results_bin::Encoder::new();
+                let mut out = io::BufWriter::new(stream);
+                write!(
+                    out,
+                    "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+                    results_bin::MEDIA_TYPE,
+                    connection
+                )?;
+                write_chunk(&mut out, &enc.head(rel.vars(), &warnings))?;
+                for row in rows {
+                    write_chunk(&mut out, &enc.row(row))?;
+                }
+                write_chunk(&mut out, &enc.tail())?;
+                out.write_all(b"0\r\n\r\n")?;
+                return out.flush();
             }
             let head = if warnings.is_empty() {
                 results_json::head_json(rel.vars())

@@ -1,7 +1,15 @@
 //! Solution sequences: the tabular results exchanged between endpoints and
 //! the federated query processor.
+//!
+//! The multiset operators (`join`, `equi_join`, `minus`, `dedup`,
+//! `distinct_values`) run on *interned* rows: each operator builds a
+//! query-scoped [`Dictionary`], encodes the rows it touches once into
+//! fixed-width [`SlotId`]s, and then hashes and compares plain `u32`s
+//! instead of term strings. Terms are materialized again only when the
+//! operator emits its output rows.
 
 use crate::ast::Variable;
+use lusail_rdf::dict::{Dictionary, KeyInterner, SlotId, UNBOUND};
 use lusail_rdf::fxhash::FxHashMap;
 use lusail_rdf::Term;
 
@@ -87,16 +95,16 @@ impl Relation {
         let Some(i) = self.index_of(v) else {
             return Vec::new();
         };
-        let mut seen = lusail_rdf::fxhash::FxHashSet::default();
-        let mut out = Vec::new();
+        // The dictionary doubles as the dedup set: a term is new exactly
+        // when interning it grows the dictionary, and duplicates cost a
+        // hash probe without any clone.
+        let mut dict = Dictionary::new();
         for row in &self.rows {
             if let Some(t) = &row[i] {
-                if seen.insert(t.clone()) {
-                    out.push(t.clone());
-                }
+                dict.encode(t);
             }
         }
-        out
+        dict.iter().map(|(_, t)| t.clone()).collect()
     }
 
     /// Project onto a subset of variables (keeping row multiplicity).
@@ -114,10 +122,13 @@ impl Relation {
         }
     }
 
-    /// Remove duplicate rows (SPARQL `DISTINCT`).
+    /// Remove duplicate rows (SPARQL `DISTINCT`). Rows are interned and
+    /// deduplicated as fixed-width slot tuples — no term is cloned or
+    /// string-hashed more than once.
     pub fn dedup(&mut self) {
-        let mut seen = lusail_rdf::fxhash::FxHashSet::default();
-        self.rows.retain(|row| seen.insert(row.clone()));
+        let mut dict = Dictionary::new();
+        let mut seen: lusail_rdf::fxhash::FxHashSet<Vec<SlotId>> = Default::default();
+        self.rows.retain(|row| seen.insert(dict.encode_row(row)));
     }
 
     /// Hash join with `other` on their shared variables. The result header
@@ -151,84 +162,79 @@ impl Relation {
             return out;
         }
 
-        // Rows where every shared var is bound go into a hash table; rows
-        // with unbound shared vars (possible after OPTIONAL) fall back to a
-        // scan. The scan list is usually empty.
+        // Intern only the join-key cells into one query-scoped dictionary:
+        // each key string is hashed exactly once (at interning), and all
+        // build/probe equality from here on is `u32` equality. Non-key
+        // cells never touch the dictionary — output rows merge straight
+        // from the original term rows.
         let self_shared_idx: Vec<usize> =
             shared.iter().map(|v| self.index_of(v).unwrap()).collect();
         let other_shared_idx: Vec<usize> =
             shared.iter().map(|v| other.index_of(v).unwrap()).collect();
+        let mut dict = KeyInterner::new();
+        let self_keys = encode_keys(&self.rows, &self_shared_idx, &mut dict);
+        let other_keys = encode_keys(&other.rows, &other_shared_idx, &mut dict);
+        let merge = MergePlan::new(self, other, &out.vars);
 
-        let (small, big, small_idx, big_idx, small_is_self) = if self.rows.len() <= other.rows.len()
-        {
-            (self, other, &self_shared_idx, &other_shared_idx, true)
-        } else {
-            (other, self, &other_shared_idx, &self_shared_idx, false)
-        };
+        let (small_rel, big_rel, small_keys, big_keys, small_is_self) =
+            if self.rows.len() <= other.rows.len() {
+                (self, other, &self_keys, &other_keys, true)
+            } else {
+                (other, self, &other_keys, &self_keys, false)
+            };
 
-        let mut table: FxHashMap<Vec<&Term>, Vec<&Row>> = FxHashMap::default();
-        let mut loose: Vec<&Row> = Vec::new();
-        for row in &small.rows {
-            let key: Option<Vec<&Term>> = small_idx.iter().map(|&i| row[i].as_ref()).collect();
-            match key {
-                Some(k) => table.entry(k).or_default().push(row),
-                None => loose.push(row),
+        // Rows where every shared var is bound go into a hash table; rows
+        // with unbound shared vars (possible after OPTIONAL) fall back to a
+        // scan. The scan list is usually empty.
+        let mut table: FxHashMap<&[SlotId], Vec<usize>> = FxHashMap::default();
+        let mut loose: Vec<usize> = Vec::new();
+        for (i, key) in small_keys.iter().enumerate() {
+            if key.contains(&UNBOUND) {
+                loose.push(i);
+            } else {
+                table.entry(key).or_default().push(i);
             }
         }
 
-        for brow in &big.rows {
-            let key: Option<Vec<&Term>> = big_idx.iter().map(|&i| brow[i].as_ref()).collect();
-            if let Some(k) = &key {
-                if let Some(matches) = table.get(k) {
-                    for srow in matches {
-                        let (a, b) = if small_is_self {
-                            (*srow, brow)
-                        } else {
-                            (brow, *srow)
-                        };
-                        out.rows
-                            .push(Self::merge_rows(self, other, a, b, &out.vars));
+        // SPARQL compatibility on interned key cells: equal slots, or at
+        // least one unbound. (Both key vectors follow `shared`'s order.)
+        let compatible = |skey: &[SlotId], bkey: &[SlotId]| {
+            skey.iter()
+                .zip(bkey)
+                .all(|(&s, &b)| s == b || s == UNBOUND || b == UNBOUND)
+        };
+        let emit = |si: usize, bi: usize, out: &mut Relation| {
+            let (a, b) = if small_is_self {
+                (&small_rel.rows[si], &big_rel.rows[bi])
+            } else {
+                (&big_rel.rows[bi], &small_rel.rows[si])
+            };
+            out.rows.push(merge.merge_terms(a, b));
+        };
+
+        for (bi, bkey) in big_keys.iter().enumerate() {
+            let bound = !bkey.contains(&UNBOUND);
+            if bound {
+                if let Some(matches) = table.get(bkey) {
+                    for &si in matches {
+                        emit(si, bi, &mut out);
                     }
                 }
             }
             // Loose rows (unbound shared vars) are compatibility-checked
             // directly.
-            for srow in &loose {
-                let compatible = small_idx.iter().zip(big_idx.iter()).all(|(&si, &bi)| {
-                    match (&srow[si], &brow[bi]) {
-                        (Some(a), Some(b)) => a == b,
-                        _ => true,
-                    }
-                });
-                if compatible {
-                    let (a, b) = if small_is_self {
-                        (*srow, brow)
-                    } else {
-                        (brow, *srow)
-                    };
-                    out.rows
-                        .push(Self::merge_rows(self, other, a, b, &out.vars));
+            for &si in &loose {
+                if compatible(small_keys.row(si), bkey) {
+                    emit(si, bi, &mut out);
                 }
             }
-            // Symmetric case: brow has an unbound shared var — check against
-            // all hashed rows too.
-            if key.is_none() {
+            // Symmetric case: the big row has an unbound shared var — check
+            // against all hashed rows too.
+            if !bound {
                 for rows in table.values() {
-                    for srow in rows {
-                        let compatible = small_idx.iter().zip(big_idx.iter()).all(|(&si, &bi)| {
-                            match (&srow[si], &brow[bi]) {
-                                (Some(a), Some(b)) => a == b,
-                                _ => true,
-                            }
-                        });
-                        if compatible {
-                            let (a, b) = if small_is_self {
-                                (*srow, brow)
-                            } else {
-                                (brow, *srow)
-                            };
-                            out.rows
-                                .push(Self::merge_rows(self, other, a, b, &out.vars));
+                    for &si in rows {
+                        if compatible(small_keys.row(si), bkey) {
+                            emit(si, bi, &mut out);
                         }
                     }
                 }
@@ -244,6 +250,8 @@ impl Relation {
         b: &Row,
         out_vars: &[Variable],
     ) -> Row {
+        // Term-level twin of [`MergePlan::merge`], for paths that never
+        // intern (cartesian products, left_join).
         out_vars
             .iter()
             .map(|v| {
@@ -358,20 +366,29 @@ impl Relation {
             }
         }
         let mut out = Relation::new(out_vars);
-        let mut table: FxHashMap<Vec<&Term>, Vec<&Row>> = FxHashMap::default();
-        for row in &other.rows {
-            let key: Option<Vec<&Term>> = keys.iter().map(|&(_, j)| row[j].as_ref()).collect();
-            if let Some(k) = key {
-                table.entry(k).or_default().push(row);
+        // Interned build/probe on the bridge-key columns only, as in
+        // `join`: bridge keys must be bound on both sides, so there is no
+        // loose-row fallback here.
+        let self_idx: Vec<usize> = keys.iter().map(|&(i, _)| i).collect();
+        let other_idx: Vec<usize> = keys.iter().map(|&(_, j)| j).collect();
+        let mut dict = KeyInterner::new();
+        let self_keys = encode_keys(&self.rows, &self_idx, &mut dict);
+        let other_keys = encode_keys(&other.rows, &other_idx, &mut dict);
+        let merge = MergePlan::new(self, other, &out.vars);
+        let mut table: FxHashMap<&[SlotId], Vec<usize>> = FxHashMap::default();
+        for (i, key) in other_keys.iter().enumerate() {
+            if !key.contains(&UNBOUND) {
+                table.entry(key).or_default().push(i);
             }
         }
-        for arow in &self.rows {
-            let key: Option<Vec<&Term>> = keys.iter().map(|&(i, _)| arow[i].as_ref()).collect();
-            let Some(k) = key else { continue };
-            if let Some(matches) = table.get(&k) {
-                for brow in matches {
+        for (ai, key) in self_keys.iter().enumerate() {
+            if key.contains(&UNBOUND) {
+                continue;
+            }
+            if let Some(matches) = table.get(key) {
+                for &bi in matches {
                     out.rows
-                        .push(Self::merge_rows(self, other, arow, brow, &out.vars));
+                        .push(merge.merge_terms(&self.rows[ai], &other.rows[bi]));
                 }
             }
         }
@@ -391,23 +408,31 @@ impl Relation {
         if shared.is_empty() {
             return self.clone();
         }
+        // Intern only the shared columns once; the pairwise agreement scan
+        // then compares fixed-width slots instead of terms.
+        let self_idx: Vec<usize> = shared.iter().map(|&(i, _)| i).collect();
+        let other_idx: Vec<usize> = shared.iter().map(|&(_, j)| j).collect();
+        let mut dict = KeyInterner::new();
+        let self_keys = encode_keys(&self.rows, &self_idx, &mut dict);
+        let other_keys = encode_keys(&other.rows, &other_idx, &mut dict);
         let rows = self
             .rows
             .iter()
-            .filter(|lrow| {
-                !other.rows.iter().any(|rrow| {
+            .zip(self_keys.iter())
+            .filter(|(_, lkey)| {
+                !other_keys.iter().any(|rkey| {
                     let mut overlap = false;
-                    for &(i, j) in &shared {
-                        match (&lrow[i], &rrow[j]) {
-                            (None, _) | (_, None) => {}
-                            (Some(a), Some(b)) if a == b => overlap = true,
+                    for (&a, &b) in lkey.iter().zip(rkey.iter()) {
+                        match (a, b) {
+                            (UNBOUND, _) | (_, UNBOUND) => {}
+                            (a, b) if a == b => overlap = true,
                             _ => return false,
                         }
                     }
                     overlap
                 })
             })
-            .cloned()
+            .map(|(row, _)| row.clone())
             .collect();
         Relation {
             vars: self.vars.clone(),
@@ -420,6 +445,85 @@ impl Relation {
     /// the federation layer's bandwidth accounting.
     pub fn wire_size(&self) -> usize {
         8 * self.vars.len() + self.rows.iter().map(|r| row_wire_size(r)).sum::<usize>()
+    }
+}
+
+/// Precomputed source positions for merging a compatible (left, right)
+/// slot-row pair into an output header: for each output variable, where
+/// it lives in the left and right headers. The left cell wins when
+/// bound, matching SPARQL's solution-merge semantics. Shared with the
+/// budgeted/parallel join in `core::sape`, which runs the same interned
+/// representation.
+pub struct MergePlan {
+    plan: Vec<(Option<usize>, Option<usize>)>,
+}
+
+impl MergePlan {
+    /// A plan for merging rows of `left` and `right` into `out_vars`.
+    pub fn new(left: &Relation, right: &Relation, out_vars: &[Variable]) -> MergePlan {
+        MergePlan {
+            plan: out_vars
+                .iter()
+                .map(|v| (left.index_of(v), right.index_of(v)))
+                .collect(),
+        }
+    }
+
+    /// Merge one pair of term rows (left cell wins when bound). Joins that
+    /// intern only their key columns use this to emit output straight from
+    /// the original rows, so non-key terms are cloned exactly once.
+    pub fn merge_terms(&self, a: &Row, b: &Row) -> Row {
+        self.plan
+            .iter()
+            .map(|&(l, r)| {
+                let lv = l.and_then(|i| a[i].clone());
+                if lv.is_some() {
+                    lv
+                } else {
+                    r.and_then(|j| b[j].clone())
+                }
+            })
+            .collect()
+    }
+}
+
+/// A fixed-stride table of interned key rows: row `i`'s key slots are
+/// `table.row(i)`. One contiguous allocation regardless of row count — the
+/// per-row `Vec` a naive encoding would allocate is measurable join
+/// overhead at federation scale.
+pub struct KeyTable {
+    slots: Vec<SlotId>,
+    width: usize,
+}
+
+impl KeyTable {
+    /// The interned key of row `i`.
+    pub fn row(&self, i: usize) -> &[SlotId] {
+        &self.slots[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Iterate key rows in row order.
+    pub fn iter(&self) -> impl Iterator<Item = &[SlotId]> {
+        self.slots.chunks_exact(self.width)
+    }
+}
+
+/// Intern one column subset of every row: `keys.row(r)[k]` is the slot of
+/// `rows[r][idx[k]]`. Each distinct term is string-hashed once at
+/// interning; all subsequent build/probe equality is `u32` equality.
+/// Nothing is cloned — the interner borrows terms from the rows — and
+/// non-key cells never touch it. `idx` must be non-empty.
+pub fn encode_keys<'a>(rows: &'a [Row], idx: &[usize], dict: &mut KeyInterner<'a>) -> KeyTable {
+    assert!(!idx.is_empty(), "key-only interning needs key columns");
+    let mut slots = Vec::with_capacity(rows.len() * idx.len());
+    for row in rows {
+        for &i in idx {
+            slots.push(dict.encode_slot(row[i].as_ref()));
+        }
+    }
+    KeyTable {
+        slots,
+        width: idx.len(),
     }
 }
 

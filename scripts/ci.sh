@@ -62,3 +62,14 @@ if ! LUSAIL_CHAOS_SEED="$seed" cargo test -p integration --test cancel_chaos -q 
     echo "    LUSAIL_CHAOS_SEED=$seed cargo test -p integration --test cancel_chaos" >&2
     exit 1
 fi
+
+# Codec group: binary results interchange e2e (tests/tests/codec.rs). A
+# binary-negotiated loopback federation must be byte-identical to a
+# JSON-negotiated one on LUBM and QFed, fall back transparently against
+# endpoints that only speak SPARQL JSON (fallbacks counted), and stay
+# identical under --partial with a seeded chaos endpoint down mid-fleet.
+if ! LUSAIL_CHAOS_SEED="$seed" cargo test -p integration --test codec -q --offline; then
+    echo "codec suite failed with LUSAIL_CHAOS_SEED=$seed -- replay with:" >&2
+    echo "    LUSAIL_CHAOS_SEED=$seed cargo test -p integration --test codec" >&2
+    exit 1
+fi

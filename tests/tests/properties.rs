@@ -823,3 +823,132 @@ fn regression_cross_endpoint_star_join() {
         "regression: cross-endpoint star join",
     );
 }
+
+// ---- binary results codec ----------------------------------------------
+//
+// The binary interchange codec must be a drop-in replacement for SPARQL
+// JSON: whatever a JSON round-trip preserves, the binary round-trip must
+// preserve byte-for-byte equal, and its decoder must be as total as the
+// JSON parsers under hostile bytes.
+
+/// Any term shape the wire can carry: IRIs, blank nodes, plain, typed,
+/// and language-tagged literals — with escapes and non-ASCII mixed in.
+fn gen_wire_term(rng: &mut SplitMix64) -> Term {
+    match rng.gen_range(0..6u32) {
+        0 => Term::iri(format!(
+            "http://ns{}.example.org/e{}",
+            rng.gen_range(0..6u32),
+            rng.gen_range(0..40u32)
+        )),
+        1 => Term::bnode(format!("b{}", rng.gen_range(0..9u32))),
+        2 => Term::literal(format!(
+            "caf\u{e9} \"{}\" \u{1F600}\n",
+            gen_lowercase(rng, 5)
+        )),
+        3 => Term::integer(rng.gen_range(-99..99)),
+        4 => Term::Literal(lusail_rdf::Literal::typed(
+            gen_lowercase(rng, 8),
+            format!("http://types.example.org/t{}", rng.gen_range(0..4u32)),
+        )),
+        _ => Term::Literal(lusail_rdf::Literal {
+            lexical: gen_lowercase(rng, 8),
+            datatype: None,
+            language: Some("en-US".into()),
+        }),
+    }
+}
+
+/// A relation with arbitrary wire terms and unbound cells.
+fn gen_wire_relation(rng: &mut SplitMix64) -> Relation {
+    let arity = rng.gen_range(1..5usize);
+    let vars: Vec<Variable> = (0..arity).map(|i| Variable::new(format!("v{i}"))).collect();
+    let mut rel = Relation::new(vars);
+    for _ in 0..rng.gen_range(0..12usize) {
+        rel.push(
+            (0..arity)
+                .map(|_| rng.gen_bool(0.8).then(|| gen_wire_term(rng)))
+                .collect(),
+        );
+    }
+    rel
+}
+
+/// Round trip through the binary codec ≡ round trip through SPARQL JSON,
+/// for arbitrary relations (and booleans): same solutions, same warnings,
+/// and the binary decoder reports the true dictionary size.
+#[test]
+fn binary_codec_roundtrip_matches_json() {
+    use lusail_federation::{results_bin, results_json};
+    use lusail_store::eval::QueryResult;
+    for case in 0..256 {
+        let rng = &mut case_rng(0xB14A, case);
+        let result = if case % 16 == 0 {
+            QueryResult::Boolean(rng.gen_bool(0.5))
+        } else {
+            QueryResult::Solutions(gen_wire_relation(rng))
+        };
+        let warnings: Vec<String> = (0..rng.gen_range(0..3usize))
+            .map(|i| format!("warning {i}: {}", gen_lowercase(rng, 6)))
+            .collect();
+
+        let bin = results_bin::serialize_with_warnings(&result, &warnings);
+        let decoded = results_bin::parse(&bin).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(decoded.result, result, "case {case}: binary round trip");
+        if matches!(result, QueryResult::Solutions(_)) {
+            // ASK documents carry no warnings in either codec.
+            assert_eq!(decoded.warnings, warnings, "case {case}: warnings");
+        }
+        assert!(!decoded.truncated, "case {case}: spurious truncation");
+
+        let json = results_json::serialize(&result);
+        let via_json = results_json::parse(&json).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(
+            decoded.result, via_json,
+            "case {case}: binary and JSON decodes disagree"
+        );
+
+        // The decoder's dictionary size must match the encoder's: every
+        // distinct term shipped exactly once.
+        if let QueryResult::Solutions(rel) = &result {
+            let mut enc = results_bin::Encoder::new();
+            enc.head(rel.vars(), &warnings);
+            for row in rel.rows() {
+                enc.row(row);
+            }
+            assert_eq!(
+                decoded.dict_terms,
+                enc.dict_terms(),
+                "case {case}: dict size"
+            );
+        }
+    }
+}
+
+/// The binary decoder is total on corrupted documents: truncations, bit
+/// flips, splices, and inserted noise yield `Err` (or a shorter decode),
+/// never a panic — mirroring the JSON parsers' treatment above. Row caps
+/// must hold on corrupted documents too.
+#[test]
+fn binary_decoder_is_total_on_mutated_bytes() {
+    use lusail_federation::results_bin;
+    use lusail_store::eval::QueryResult;
+    for case in 0..512 {
+        let rng = &mut case_rng(0xB14B, case);
+        let mut bytes = if rng.gen_bool(0.9) {
+            results_bin::serialize(&QueryResult::Solutions(gen_wire_relation(rng)))
+        } else {
+            (0..rng.gen_range(1..120usize))
+                .map(|_| rng.gen_range(0..256u32) as u8)
+                .collect()
+        };
+        for _ in 0..rng.gen_range(1..4usize) {
+            mutate_bytes(rng, &mut bytes);
+        }
+        let cap = [None, Some(0), Some(2)][case % 3];
+        if let Ok(streamed) = results_bin::parse_stream(&bytes[..], cap) {
+            if let (Some(cap), QueryResult::Solutions(rel)) = (cap, &streamed.result) {
+                assert!(rel.len() <= cap, "case {case}: row cap exceeded");
+            }
+        }
+    }
+}
