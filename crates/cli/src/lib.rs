@@ -4,8 +4,8 @@
 use lusail_baselines::{FedX, FedXConfig, FederatedEngine, HiBiscus, Splendid};
 use lusail_core::{CancelToken, LusailConfig, LusailEngine, ResultPolicy, RunContext};
 use lusail_federation::{
-    Federation, HttpConfig, HttpEndpoint, NetworkProfile, ReplicaConfig, ReplicaGroup,
-    SimulatedEndpoint, SparqlEndpoint,
+    Federation, HttpConfig, HttpEndpoint, IntegrityRegistry, NetworkProfile, ReplicaConfig,
+    ReplicaGroup, SimulatedEndpoint, SparqlEndpoint,
 };
 use lusail_rdf::{Graph, Term};
 use lusail_server::federate::{FederateConfig, FederationService};
@@ -1102,6 +1102,7 @@ pub fn run_command(cmd: Command, out: &mut dyn Write) -> Result<(), CliError> {
                 if stats {
                     print_endpoint_stats(&federation, out)?;
                     print_codec_stats(&federation, out)?;
+                    print_integrity_stats(lusail.integrity(), out)?;
                     print_memory_stats(&profile.memory, out)?;
                     print_lifecycle_stats(&ctx, started.elapsed(), None, out)?;
                 }
@@ -1323,6 +1324,60 @@ fn print_endpoint_stats(federation: &Federation, out: &mut dyn Write) -> Result<
                 )?;
             }
         }
+    }
+    Ok(())
+}
+
+/// The `--stats` integrity section: per-endpoint verification probes,
+/// truncation detections, recovery paging counters, count divergences,
+/// and quarantine standing. Prints only when some integrity activity
+/// happened — a clean run over honest endpoints adds nothing.
+fn print_integrity_stats(
+    registry: &IntegrityRegistry,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let snapshot = registry.snapshot();
+    if snapshot.is_empty() {
+        return Ok(());
+    }
+    writeln!(out, "# integrity:")?;
+    writeln!(
+        out,
+        "#   {:<16} {:>7} {:>11} {:>6} {:>10} {:>11} {:>12} {:>11}",
+        "endpoint",
+        "probes",
+        "truncations",
+        "pages",
+        "recovered",
+        "divergences",
+        "quarantined",
+        "learned-cap"
+    )?;
+    for (name, s) in snapshot {
+        let quarantined = if s.quarantined {
+            format!("yes ({} in)", s.quarantine_entries)
+        } else if s.quarantine_entries > 0 {
+            format!(
+                "no ({} in/{} out)",
+                s.quarantine_entries, s.quarantine_exits
+            )
+        } else {
+            "no".to_string()
+        };
+        writeln!(
+            out,
+            "#   {:<16} {:>7} {:>11} {:>6} {:>10} {:>11} {:>12} {:>11}",
+            name,
+            s.verifications,
+            s.truncations_detected,
+            s.pages_fetched,
+            s.rows_recovered,
+            s.count_divergences,
+            quarantined,
+            s.learned_cap
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+        )?;
     }
     Ok(())
 }

@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use lusail_federation::IntegrityConfig;
 use std::time::Duration;
 
 /// Threshold for classifying a subquery as *delayed* (Section 4.1,
@@ -107,6 +108,12 @@ pub struct LusailConfig {
     /// engine-side backstop against result bombs. `None` admits
     /// everything.
     pub max_result_rows: Option<usize>,
+    /// Result-integrity thresholds: silent-truncation detection
+    /// heuristics, the verification trust ramp, and the quarantine
+    /// lifecycle (see [`lusail_federation::IntegrityRegistry`]). The
+    /// default verifies only on suspicion;
+    /// [`IntegrityConfig::paranoid`] cross-checks every response.
+    pub integrity: IntegrityConfig,
 }
 
 impl Default for LusailConfig {
@@ -124,6 +131,7 @@ impl Default for LusailConfig {
             result_policy: ResultPolicy::FailFast,
             memory_budget: None,
             max_result_rows: None,
+            integrity: IntegrityConfig::default(),
         }
     }
 }

@@ -13,7 +13,8 @@ use crate::sape::execute::SapeExecutor;
 use crate::sape::schedule::{make_schedule, Schedule};
 use crate::source::select_sources;
 use crate::subquery::Subquery;
-use lusail_federation::{EndpointError, EndpointId, Federation, RequestHandler};
+use lusail_federation::{EndpointError, EndpointId, Federation, IntegrityRegistry, RequestHandler};
+use lusail_rdf::fxhash::FxHashMap;
 use lusail_rdf::Term;
 use lusail_sparql::ast::{
     Expression, GraphPattern, Projection, Query, QueryForm, SelectQuery, Variable,
@@ -62,6 +63,7 @@ pub struct LusailEngine {
     config: LusailConfig,
     cache: QueryCache,
     handler: RequestHandler,
+    integrity: IntegrityRegistry,
 }
 
 impl LusailEngine {
@@ -78,11 +80,13 @@ impl LusailEngine {
             Some(n) => RequestHandler::new(n),
             None => RequestHandler::per_core(),
         };
+        let integrity = IntegrityRegistry::new(config.integrity.clone());
         LusailEngine {
             federation,
             config,
             cache,
             handler,
+            integrity,
         }
     }
 
@@ -99,6 +103,13 @@ impl LusailEngine {
     /// The engine's configuration.
     pub fn config(&self) -> &LusailConfig {
         &self.config
+    }
+
+    /// The engine's result-integrity ledger: learned caps, truncation
+    /// and recovery counters, and quarantine membership per endpoint,
+    /// accumulated across queries.
+    pub fn integrity(&self) -> &IntegrityRegistry {
+        &self.integrity
     }
 
     /// Execute a `SELECT` query, returning its solutions. `ASK` queries
@@ -297,6 +308,21 @@ impl LusailEngine {
         let decomposition = decompose(&branch.patterns, &sources, &analysis, &estimator);
         let (mut subqueries, mut cardinalities, global_filters) =
             self.build_subqueries(branch, select_view, &decomposition.subqueries, &counts);
+        // Expected per-endpoint row counts, from the COUNT probes: exact
+        // only for single-pattern subqueries, where the probe measured
+        // the very query the wave will send. A delivery below the
+        // expectation is the integrity layer's truncation signal.
+        let expected: Vec<FxHashMap<EndpointId, usize>> = decomposition
+            .subqueries
+            .iter()
+            .map(|draft| {
+                if draft.patterns.len() == 1 {
+                    counts[draft.patterns[0]].clone()
+                } else {
+                    FxHashMap::default()
+                }
+            })
+            .collect();
         profile.analysis += t.elapsed();
 
         // ---- Optional subqueries ----------------------------------------
@@ -371,6 +397,7 @@ impl LusailEngine {
             handler: &self.handler,
             config: &self.config,
             ctx,
+            integrity: &self.integrity,
         };
         // FILTER(?a = ?b) equalities bridge disconnected subqueries as
         // hash joins instead of cross products.
@@ -384,7 +411,8 @@ impl LusailEngine {
                 _ => None,
             })
             .collect();
-        let outcome = executor.execute(&subqueries, &schedule, &cardinalities, &bridges)?;
+        let outcome =
+            executor.execute(&subqueries, &schedule, &cardinalities, &bridges, &expected)?;
         profile.estimates.extend(outcome.estimates.iter().copied());
         let mut rel = outcome.relation;
 

@@ -61,5 +61,6 @@ pub use cache::{CacheLimits, CacheStats, QueryCache, ResultCache, ResultCacheSta
 pub use config::{DelayThreshold, LusailConfig, ResultPolicy, SapeMode};
 pub use engine::{ExecutionProfile, LusailEngine};
 pub use error::EngineError;
+pub use lusail_federation::{IntegrityConfig, IntegrityRegistry, IntegritySnapshot};
 pub use run::{CancelReason, CancelToken, ExecutionWarning, RunContext};
 pub use subquery::Subquery;

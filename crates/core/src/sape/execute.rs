@@ -5,9 +5,13 @@ use crate::config::{LusailConfig, ResultPolicy};
 use crate::error::EngineError;
 use crate::run::{ExecutionWarning, RunContext};
 use crate::sape::join::{budgeted_join, charge_output, dp_join_order};
+use crate::sape::recover;
 use crate::sape::schedule::Schedule;
 use crate::subquery::Subquery;
-use lusail_federation::{EndpointError, EndpointId, Federation, RequestHandler};
+use lusail_federation::{
+    EndpointError, EndpointId, FailureKind, Federation, IntegrityRegistry, QuarantineTransition,
+    RequestHandler, SelectResponse,
+};
 use lusail_rdf::dict::{Dictionary, TermId};
 use lusail_rdf::fxhash::{FxHashMap, FxHashSet};
 use lusail_rdf::Term;
@@ -34,6 +38,9 @@ pub struct SapeExecutor<'a> {
     pub config: &'a LusailConfig,
     /// Deadline, result policy and warning sink for this query.
     pub ctx: &'a RunContext,
+    /// Cross-query result-integrity ledger: learned caps, watch flags,
+    /// and quarantine membership, shared by every query on this engine.
+    pub integrity: &'a IntegrityRegistry,
 }
 
 impl SapeExecutor<'_> {
@@ -43,12 +50,17 @@ impl SapeExecutor<'_> {
     /// subquery results joined through them use a hash join on the bridge
     /// keys instead of a cross product (the paper's "disjoint subgraphs
     /// joined by a filter variable", C5/B5/B6).
+    /// `expected` (parallel to `subqueries`, possibly shorter) carries
+    /// the per-endpoint row counts the SAPE `COUNT` probes predicted for
+    /// single-pattern subqueries; a delivery below the prediction is a
+    /// truncation signal.
     pub fn execute(
         &self,
         subqueries: &[Subquery],
         schedule: &Schedule,
         cardinalities: &[usize],
         bridges: &[(Variable, Variable)],
+        expected: &[FxHashMap<EndpointId, usize>],
     ) -> Result<SapeOutcome, EngineError> {
         let mut partials: Vec<Option<Relation>> = vec![None; subqueries.len()];
         let mut estimates = Vec::new();
@@ -73,16 +85,25 @@ impl SapeExecutor<'_> {
             |(i, ep)| {
                 self.federation
                     .endpoint(ep)
-                    .select_within(&subqueries[i].to_query(), self.ctx.deadline.clone())
+                    .select_with_meta(&subqueries[i].to_query(), self.ctx.deadline.clone())
             },
         );
-        for ((i, ep), rel) in wave.into_iter().zip(results) {
+        for ((i, ep), resp) in wave.into_iter().zip(results) {
             // A skipped endpoint contributes nothing to this subquery's
             // partial: under `--partial`, answers from the remaining
             // sources still flow through.
             let what = format!("subquery #{}", subqueries[i].id);
-            let empty = Relation::new(subqueries[i].projection.clone());
-            let rel = self.ctx.absorb(&what, empty, rel)?;
+            let empty = SelectResponse {
+                rows: Relation::new(subqueries[i].projection.clone()),
+                truncated: false,
+            };
+            let (resp, degraded) = self.ctx.absorb_flagged(&what, empty, resp)?;
+            let rel = if degraded {
+                resp.rows
+            } else {
+                let exp = expected.get(i).and_then(|m| m.get(&ep)).copied();
+                self.verify_and_recover(&what, ep, &subqueries[i].to_query(), resp, exp)?
+            };
             let rel = self.ctx.admit_relation(
                 &what,
                 self.federation.endpoint(ep).name(),
@@ -153,7 +174,7 @@ impl SapeExecutor<'_> {
                 })
                 .unwrap();
             let i = remaining.swap_remove(pick_pos);
-            let rel = self.run_bound(&subqueries[i], &bindings)?;
+            let rel = self.run_bound(&subqueries[i], &bindings, expected.get(i))?;
             for v in subqueries[i].projection.clone() {
                 let vals = rel.distinct_values(&v);
                 bindings.update(&v, vals);
@@ -175,7 +196,7 @@ impl SapeExecutor<'_> {
         // ---- Optional subqueries: bound-evaluate, then left-join --------
         for &i in &optionals {
             self.ctx.check()?;
-            let rel = self.run_bound(&subqueries[i], &bindings)?;
+            let rel = self.run_bound(&subqueries[i], &bindings, expected.get(i))?;
             delayed_executed += 1;
             result = result.left_join(&rel);
         }
@@ -190,7 +211,12 @@ impl SapeExecutor<'_> {
     /// Evaluate one subquery with its variables bound to already-found
     /// bindings, in `VALUES` blocks (lines 11–17 of Algorithm 3). Falls
     /// back to unbound evaluation when no binding variable overlaps.
-    fn run_bound(&self, sq: &Subquery, bindings: &FoundBindings) -> Result<Relation, EngineError> {
+    fn run_bound(
+        &self,
+        sq: &Subquery,
+        bindings: &FoundBindings,
+        expected: Option<&FxHashMap<EndpointId, usize>>,
+    ) -> Result<Relation, EngineError> {
         // Choose the overlap variable with the fewest found bindings.
         let bind_var = sq
             .variables()
@@ -212,12 +238,21 @@ impl SapeExecutor<'_> {
                     |ep| {
                         self.federation
                             .endpoint(ep)
-                            .select_within(&sq.to_query(), self.ctx.deadline.clone())
+                            .select_with_meta(&sq.to_query(), self.ctx.deadline.clone())
                     },
                 );
-                for (ep, rel) in wave.into_iter().zip(results) {
-                    let empty = Relation::new(sq.projection.clone());
-                    let rel = self.ctx.absorb(&what, empty, rel)?;
+                for (ep, resp) in wave.into_iter().zip(results) {
+                    let empty = SelectResponse {
+                        rows: Relation::new(sq.projection.clone()),
+                        truncated: false,
+                    };
+                    let (resp, degraded) = self.ctx.absorb_flagged(&what, empty, resp)?;
+                    let rel = if degraded {
+                        resp.rows
+                    } else {
+                        let exp = expected.and_then(|m| m.get(&ep)).copied();
+                        self.verify_and_recover(&what, ep, &sq.to_query(), resp, exp)?
+                    };
                     out.append(self.ctx.admit_relation(
                         &what,
                         self.federation.endpoint(ep).name(),
@@ -246,14 +281,26 @@ impl SapeExecutor<'_> {
                         let q = sq.to_bound_query(std::slice::from_ref(&v), &blocks[b]);
                         self.federation
                             .endpoint(ep)
-                            .select_within(&q, self.ctx.deadline.clone())
+                            .select_with_meta(&q, self.ctx.deadline.clone())
                     },
                 );
-                for ((_, ep), rel) in wave.into_iter().zip(results) {
+                for ((b, ep), resp) in wave.into_iter().zip(results) {
                     // Bound queries may expose the bind variable even if it
                     // is not projected; align headers.
-                    let empty = Relation::new(sq.projection.clone());
-                    let rel = self.ctx.absorb(&what, empty, rel)?;
+                    let empty = SelectResponse {
+                        rows: Relation::new(sq.projection.clone()),
+                        truncated: false,
+                    };
+                    let (resp, degraded) = self.ctx.absorb_flagged(&what, empty, resp)?;
+                    let rel = if degraded {
+                        resp.rows
+                    } else {
+                        // The probes' expected counts describe the unbound
+                        // pattern; a `VALUES`-restricted result is smaller,
+                        // so only the advertisement/heuristics apply here.
+                        let q = sq.to_bound_query(std::slice::from_ref(&v), &blocks[b]);
+                        self.verify_and_recover(&what, ep, &q, resp, None)?
+                    };
                     let rel = self.ctx.admit_relation(
                         &what,
                         self.federation.endpoint(ep).name(),
@@ -321,6 +368,243 @@ impl SapeExecutor<'_> {
         } else {
             Ok(kept)
         }
+    }
+
+    /// Cross-check one plain-`SELECT` response against the integrity
+    /// ledger and — when suspected or advertised truncated — against a
+    /// fresh `COUNT(*)` probe, transparently re-fetching the complete
+    /// result via deterministic paging when the endpoint cut it short.
+    fn verify_and_recover(
+        &self,
+        what: &str,
+        ep: EndpointId,
+        base: &Query,
+        resp: SelectResponse,
+        expected: Option<usize>,
+    ) -> Result<Relation, EngineError> {
+        let endpoint = self.federation.endpoint(ep);
+        let name = endpoint.name();
+        let reg = self.integrity;
+        let delivered = resp.rows.len();
+        let suspicious = reg.observe_rows(name, delivered);
+        let must_verify = resp.truncated
+            || suspicious
+            || reg.needs_verification(name)
+            || expected.is_some_and(|e| e > delivered);
+        if !must_verify {
+            return Ok(resp.rows);
+        }
+        self.ctx.check()?;
+        reg.record_verification(name);
+        let probe = recover::count_star(base);
+        let claimed = match endpoint.count_within(&probe, self.ctx.deadline.clone()) {
+            Ok(n) => n,
+            Err(e) if matches!(e.kind, FailureKind::Deadline | FailureKind::Cancelled) => {
+                return Err(self.deadline_error(what, e));
+            }
+            // A failed probe says nothing about the rows already in hand:
+            // keep them rather than discard good data over a flaky probe.
+            Err(_) => return Ok(resp.rows),
+        };
+        match claimed.cmp(&delivered) {
+            std::cmp::Ordering::Equal if !resp.truncated => {
+                self.apply_transition(ep, reg.record_clean(name));
+                Ok(resp.rows)
+            }
+            std::cmp::Ordering::Less => {
+                // The endpoint *under*-claims — more rows than its own
+                // COUNT admits to (the result-bomb shape). There is
+                // nothing to page for, and the row-cap/memory-budget
+                // defenses own oversized responses; record the strike
+                // silently so repeated under-claiming still quarantines,
+                // and hand the rows to the admission layer to police.
+                let transition = reg.record_divergence(name, claimed, delivered);
+                self.apply_transition(ep, transition);
+                Ok(resp.rows)
+            }
+            _ => self.recover_paged(what, ep, base, resp, claimed),
+        }
+    }
+
+    /// The response was confirmed truncated (`claimed > delivered`, or
+    /// the server advertised the cut): re-fetch the complete result from
+    /// offset 0 via deterministic `ORDER BY`+`LIMIT/OFFSET` paging,
+    /// adapting the page size to the memory budget and stopping on the
+    /// deadline, an empty page, the claimed total, or the page cap.
+    fn recover_paged(
+        &self,
+        what: &str,
+        ep: EndpointId,
+        base: &Query,
+        resp: SelectResponse,
+        claimed: usize,
+    ) -> Result<Relation, EngineError> {
+        let endpoint = self.federation.endpoint(ep);
+        let name = endpoint.name().to_string();
+        let reg = self.integrity;
+        let delivered = resp.rows.len();
+        reg.record_truncation(&name);
+
+        let max_pages = reg.config().max_pages;
+        let mut limit = recover::initial_limit(delivered);
+        let mut offset = 0usize;
+        let mut pages: Vec<(usize, Relation)> = Vec::new();
+        let mut fetched: u64 = 0;
+        let mut merged_rows = 0usize;
+        let mut page_bytes = 0usize;
+        // Why paging stopped short of the claim, if it did.
+        let mut stopped: Option<&'static str> = None;
+        let mut exhausted = false;
+        while merged_rows < claimed {
+            self.ctx.check()?;
+            if fetched as usize >= max_pages {
+                stopped = Some("page cap reached");
+                break;
+            }
+            // Under --partial, recovery may claim at most half of the
+            // remaining budget — mirroring admit_relation's headroom rule
+            // — so a huge reconstruction degrades itself, not the query.
+            if self.ctx.policy == ResultPolicy::Partial
+                && self.ctx.memory.is_bounded()
+                && page_bytes > self.ctx.memory.remaining() / 2
+            {
+                stopped = Some("memory budget exhausted");
+                break;
+            }
+            let pq = recover::paged_query(base, limit, offset);
+            let page = match endpoint.select_within(&pq, self.ctx.deadline.clone()) {
+                Ok(r) => r,
+                Err(e) if matches!(e.kind, FailureKind::Deadline | FailureKind::Cancelled) => {
+                    return Err(self.deadline_error(what, e));
+                }
+                Err(e) if self.ctx.policy == ResultPolicy::Partial && e.is_skippable() => {
+                    stopped = Some("endpoint became unreachable");
+                    break;
+                }
+                Err(e) => return Err(EngineError::Endpoint(e)),
+            };
+            fetched += 1;
+            let got = page.len();
+            page_bytes += recover::relation_wire_size(&page);
+            if fetched == 1 {
+                let budget = self
+                    .ctx
+                    .memory
+                    .is_bounded()
+                    .then(|| self.ctx.memory.remaining());
+                limit = recover::adaptive_limit(limit, got, page_bytes, budget);
+            }
+            merged_rows += got;
+            pages.push((offset, page));
+            offset += got;
+            if got == 0 {
+                exhausted = true;
+                break;
+            }
+        }
+
+        let merged = recover::merge_pages(resp.rows.vars().to_vec(), pages);
+        reg.record_recovery(
+            &name,
+            fetched,
+            merged.len().saturating_sub(delivered) as u64,
+        );
+        if merged.len() >= claimed {
+            // Fully reconstructed: the endpoint cut the rows but told the
+            // truth about its count — the verification reconciled.
+            self.apply_transition(ep, reg.record_clean(&name));
+            return Ok(merged);
+        }
+        // Keep whichever of the reconstruction and the original prefix
+        // carries more rows.
+        let best = if merged.len() >= delivered {
+            merged
+        } else {
+            resp.rows
+        };
+        if exhausted {
+            // The endpoint has no more rows to give: the claim was a lie.
+            let best_len = best.len();
+            return self.divergence(what, ep, claimed, best_len, best);
+        }
+        // We stopped for our own reasons (budget, page cap, outage) — not
+        // the endpoint's fault, so no strike — but the result is known
+        // incomplete.
+        let message = format!(
+            "integrity: recovery of a truncated result stopped after {fetched} pages \
+             ({} of {claimed} claimed rows): {}",
+            best.len(),
+            stopped.unwrap_or("stopped early"),
+        );
+        match self.ctx.policy {
+            ResultPolicy::FailFast => Err(EngineError::Endpoint(EndpointError::integrity(
+                name, message,
+            ))),
+            ResultPolicy::Partial => {
+                self.ctx.warn(ExecutionWarning {
+                    endpoint: name,
+                    subquery: what.to_string(),
+                    message,
+                });
+                Ok(best)
+            }
+        }
+    }
+
+    /// Record an irreconcilable claimed-vs-delivered divergence: a strike
+    /// (possibly entering quarantine), then a structured integrity error
+    /// under fail-fast or a non-skippable warning under `--partial` —
+    /// either way naming the endpoint and both counts.
+    fn divergence(
+        &self,
+        what: &str,
+        ep: EndpointId,
+        claimed: usize,
+        delivered: usize,
+        best: Relation,
+    ) -> Result<Relation, EngineError> {
+        let name = self.federation.endpoint(ep).name().to_string();
+        let transition = self.integrity.record_divergence(&name, claimed, delivered);
+        self.apply_transition(ep, transition);
+        let standing = if self.integrity.is_quarantined(&name) {
+            "endpoint quarantined"
+        } else {
+            "divergence recorded"
+        };
+        let message = format!(
+            "integrity: endpoint claimed {claimed} rows but delivered {delivered}; {standing}"
+        );
+        match self.ctx.policy {
+            ResultPolicy::FailFast => Err(EngineError::Endpoint(EndpointError::integrity(
+                name, message,
+            ))),
+            ResultPolicy::Partial => {
+                self.ctx.warn(ExecutionWarning {
+                    endpoint: name,
+                    subquery: what.to_string(),
+                    message,
+                });
+                Ok(best)
+            }
+        }
+    }
+
+    /// Mirror a quarantine transition into the endpoint's health registry
+    /// so replica ranking and `--stats` see it.
+    fn apply_transition(&self, ep: EndpointId, transition: QuarantineTransition) {
+        match transition {
+            QuarantineTransition::Entered => self.federation.endpoint(ep).set_quarantined(true),
+            QuarantineTransition::Exited => self.federation.endpoint(ep).set_quarantined(false),
+            QuarantineTransition::None => {}
+        }
+    }
+
+    /// Map a deadline/cancellation failure from a probe or page request
+    /// through the context, preserving any cancellation reason.
+    fn deadline_error(&self, what: &str, e: EndpointError) -> EngineError {
+        self.ctx
+            .absorb(what, (), Err(e))
+            .expect_err("deadline failures always abort")
     }
 }
 

@@ -9,10 +9,13 @@
 //! * [`execute`] — Algorithm 3: concurrent evaluation of non-delayed
 //!   subqueries, bound joins over `VALUES` blocks for delayed ones, source
 //!   refinement, and final join assembly.
+//! * [`recover`] — `ORDER BY`+`LIMIT/OFFSET` paging used to reconstruct
+//!   responses that a silently-truncating endpoint cut short.
 
 pub mod estimate;
 pub mod execute;
 pub mod join;
+pub mod recover;
 pub mod schedule;
 pub mod stats;
 

@@ -37,6 +37,13 @@ pub enum FailureKind {
     /// query-level outcome — never retried, never absorbed into partial
     /// results, and never counted against the endpoint's breaker.
     Cancelled,
+    /// A result-integrity violation: the endpoint answered `200 OK` but
+    /// its `COUNT` claims cannot be reconciled with the rows it actually
+    /// delivers (even after recovery paging). The endpoint is *up* — the
+    /// breaker is untouched — but its answers are wrong, so this is never
+    /// skippable: silently joining a lying endpoint's prefix is exactly
+    /// the failure the integrity layer exists to prevent.
+    Integrity,
 }
 
 /// A failed endpoint request — the HTTP-level errors a real federation
@@ -98,6 +105,15 @@ impl EndpointError {
         }
     }
 
+    /// A result-integrity violation (lying endpoint). Never skippable.
+    pub fn integrity(endpoint: impl Into<String>, message: impl Into<String>) -> Self {
+        EndpointError {
+            endpoint: endpoint.into(),
+            message: message.into(),
+            kind: FailureKind::Integrity,
+        }
+    }
+
     /// The right error for an exhausted deadline: `cancelled` with the
     /// token's reason when the token tripped, `deadline` otherwise. The
     /// shared exit for every `deadline.expired()` guard in the transports.
@@ -139,6 +155,19 @@ pub struct EndpointLimits {
     pub max_request_bytes: Option<usize>,
     /// Maximum rows returned per request (`None` = unlimited).
     pub max_result_rows: Option<usize>,
+}
+
+/// A `SELECT` response together with its transport-level integrity
+/// metadata: whether the server *advertised* that it truncated the result
+/// (our own server sends `X-Lusail-Truncated`; foreign servers truncate
+/// silently and leave the flag false).
+#[derive(Debug, Clone)]
+pub struct SelectResponse {
+    /// The delivered rows.
+    pub rows: Relation,
+    /// True when the server declared the result truncated — ground truth
+    /// that skips the detection heuristics entirely.
+    pub truncated: bool,
 }
 
 /// A SPARQL endpoint: something that accepts a query and returns a result.
@@ -221,6 +250,27 @@ pub trait SparqlEndpoint: Send + Sync {
     fn select_within(&self, query: &Query, deadline: Deadline) -> Result<Relation, EndpointError> {
         Ok(self.execute_within(query, deadline)?.into_solutions())
     }
+
+    /// Run a `SELECT` and report truncation metadata alongside the rows.
+    /// Transports that can see a server's truncation advertisement
+    /// (`HttpEndpoint` reading `X-Lusail-Truncated`) override this; the
+    /// default reports no advertisement, which is what a silently-capping
+    /// server looks like.
+    fn select_with_meta(
+        &self,
+        query: &Query,
+        deadline: Deadline,
+    ) -> Result<SelectResponse, EndpointError> {
+        Ok(SelectResponse {
+            rows: self.select_within(query, deadline)?,
+            truncated: false,
+        })
+    }
+
+    /// Mark or clear this endpoint's result-integrity quarantine in its
+    /// health registry, so `--stats` and replica ranking see it. The
+    /// default is a no-op for transports without a health registry.
+    fn set_quarantined(&self, _on: bool) {}
 
     /// Convenience: run a `SELECT (COUNT(…) AS ?c)` query and extract the
     /// count. Returns 0 when the shape is unexpected.
@@ -381,6 +431,10 @@ impl SparqlEndpoint for SimulatedEndpoint {
 
     fn health(&self) -> Option<HealthSnapshot> {
         Some(self.health.snapshot())
+    }
+
+    fn set_quarantined(&self, on: bool) {
+        self.health.set_quarantined(on);
     }
 
     fn collect_stats(&self) -> Option<StoreStats> {

@@ -582,6 +582,11 @@ pub struct HealthSnapshot {
     /// Exponentially weighted moving average of successful-request
     /// latency (zero until the first success).
     pub latency_ewma: Duration,
+    /// Whether the endpoint is quarantined for result-integrity
+    /// violations (up but untrustworthy — distinct from breaker-open).
+    /// Quarantined members rank below healthy closed-breaker replicas;
+    /// see [`crate::integrity::IntegrityRegistry`] for the lifecycle.
+    pub quarantined: bool,
 }
 
 /// Per-endpoint health registry: the [`CircuitBreaker`] plus failure/retry
@@ -600,6 +605,7 @@ struct HealthInner {
     ewma_micros: f64,
     has_sample: bool,
     ewma_alpha: f64,
+    quarantined: bool,
 }
 
 impl EndpointHealth {
@@ -615,6 +621,7 @@ impl EndpointHealth {
                 ewma_micros: 0.0,
                 has_sample: false,
                 ewma_alpha: config.ewma_alpha,
+                quarantined: false,
             }),
         }
     }
@@ -668,6 +675,18 @@ impl EndpointHealth {
         self.lock().breaker.state()
     }
 
+    /// Enter or leave result-integrity quarantine. Orthogonal to the
+    /// breaker: a quarantined endpoint still answers requests (they are
+    /// verification-paged by the engine), it just stops being preferred.
+    pub fn set_quarantined(&self, on: bool) {
+        self.lock().quarantined = on;
+    }
+
+    /// Whether the endpoint is currently quarantined.
+    pub fn quarantined(&self) -> bool {
+        self.lock().quarantined
+    }
+
     /// A consistent snapshot of all health counters.
     pub fn snapshot(&self) -> HealthSnapshot {
         let inner = self.lock();
@@ -678,6 +697,7 @@ impl EndpointHealth {
             open_rejections: inner.open_rejections,
             breaker: inner.breaker.state(),
             latency_ewma: Duration::from_micros(inner.ewma_micros as u64),
+            quarantined: inner.quarantined,
         }
     }
 }

@@ -64,6 +64,19 @@ pub struct FaultProfile {
     /// broken endpoint flooding the federator; drives the `mem-chaos`
     /// suite's proof that a budgeted engine survives it.
     pub bomb_rows: Option<usize>,
+    /// Silent truncation: every plain `SELECT` answer is capped at this
+    /// many rows with a clean `200 OK` and no error — the DBpedia-style
+    /// result limit. ASK and aggregate (COUNT) queries pass through
+    /// truthfully, exactly like a real capping server whose `COUNT`
+    /// aggregates are computed server-side: the honest counts are what
+    /// lets the integrity layer detect the truncation and page the rest.
+    pub silent_truncate: Option<usize>,
+    /// Miscounting: every `COUNT` aggregate answer is multiplied by this
+    /// factor (and plain `SELECT`s answer truthfully), modeling an
+    /// endpoint whose statistics lie about its data. Recovery paging
+    /// finds nothing beyond the real rows, the claim never reconciles,
+    /// and the endpoint earns divergence strikes until quarantined.
+    pub miscount_factor: Option<f64>,
 }
 
 impl FaultProfile {
@@ -80,6 +93,8 @@ impl FaultProfile {
             spike: Duration::ZERO,
             fail_after: None,
             bomb_rows: None,
+            silent_truncate: None,
+            miscount_factor: None,
         }
     }
 
@@ -120,6 +135,24 @@ impl FaultProfile {
     pub fn result_bomb(rows: usize) -> Self {
         FaultProfile {
             bomb_rows: Some(rows),
+            ..FaultProfile::none()
+        }
+    }
+
+    /// Silently cap every plain `SELECT` at `cap` rows, `200 OK` (see
+    /// [`silent_truncate`](Self::silent_truncate)).
+    pub fn silent_truncate(cap: usize) -> Self {
+        FaultProfile {
+            silent_truncate: Some(cap),
+            ..FaultProfile::none()
+        }
+    }
+
+    /// Multiply every `COUNT` answer by `factor` (see
+    /// [`miscount_factor`](Self::miscount_factor)).
+    pub fn miscounts(factor: f64) -> Self {
+        FaultProfile {
+            miscount_factor: Some(factor),
             ..FaultProfile::none()
         }
     }
@@ -264,6 +297,39 @@ impl FaultyEndpoint {
         QueryResult::Solutions(bomb)
     }
 
+    /// Apply the lying-endpoint profile knobs to a successful answer:
+    /// silently cap plain-`SELECT` rows at `silent_truncate` (a clean
+    /// `200 OK`, no error anywhere), and multiply `COUNT` aggregate
+    /// answers by `miscount_factor`. Both are pure functions of the
+    /// profile — no randomness — so they are trivially deterministic
+    /// under `LUSAIL_CHAOS_SEED`.
+    fn maybe_lie(&self, query: &Query, mut result: QueryResult) -> QueryResult {
+        let profile = self.lock_state().profile;
+        if let Some(cap) = profile.silent_truncate {
+            if is_plain_select(query) {
+                if let QueryResult::Solutions(rel) = &mut result {
+                    rel.rows_mut().truncate(cap);
+                }
+            }
+        }
+        if let Some(factor) = profile.miscount_factor {
+            if is_count_select(query) {
+                if let QueryResult::Solutions(rel) = &mut result {
+                    if let Some(cell) = rel.rows_mut().first_mut().and_then(|r| r.first_mut()) {
+                        let real = cell
+                            .as_ref()
+                            .and_then(|t| t.as_literal())
+                            .and_then(|l| l.as_i64())
+                            .unwrap_or(0);
+                        let lied = ((real as f64) * factor).round().max(0.0) as i64;
+                        *cell = Some(lusail_rdf::Term::integer(lied));
+                    }
+                }
+            }
+        }
+        result
+    }
+
     /// Decide what happens to one attempt, consuming randomness under the
     /// lock so concurrent requests still draw a deterministic stream.
     fn next_fault(&self) -> InjectedFault {
@@ -316,6 +382,17 @@ fn is_plain_select(query: &Query) -> bool {
             s.projection,
             lusail_sparql::ast::Projection::All | lusail_sparql::ast::Projection::Vars(_)
         ),
+    }
+}
+
+/// A `SELECT (COUNT(…) AS ?v)` — the shape of cardinality probes and of
+/// the integrity layer's verification queries.
+fn is_count_select(query: &Query) -> bool {
+    match &query.form {
+        lusail_sparql::ast::QueryForm::Ask(_) => false,
+        lusail_sparql::ast::QueryForm::Select(s) => {
+            matches!(s.projection, lusail_sparql::ast::Projection::Count { .. })
+        }
     }
 }
 
@@ -411,7 +488,7 @@ impl SparqlEndpoint for FaultyEndpoint {
                     if self.lock_state().profile.panic_on_select && is_plain_select(query) {
                         panic!("injected fault: endpoint panicked evaluating a SELECT");
                     }
-                    Ok(self.maybe_bomb(query, result))
+                    Ok(self.maybe_lie(query, self.maybe_bomb(query, result)))
                 }
                 // The wrapped endpoint's own failures pass through with
                 // their kind intact; transport ones count against the
@@ -440,6 +517,10 @@ impl SparqlEndpoint for FaultyEndpoint {
 
     fn health(&self) -> Option<HealthSnapshot> {
         Some(self.health.snapshot())
+    }
+
+    fn set_quarantined(&self, on: bool) {
+        self.health.set_quarantined(on);
     }
 
     fn collect_stats(&self) -> Option<StoreStats> {
@@ -619,6 +700,50 @@ mod tests {
         let count = parse_query("SELECT (COUNT(*) AS ?c) WHERE { ?s <http://x/p> ?o }").unwrap();
         let counted = ep.select(&count).unwrap();
         assert_eq!(counted.len(), 1, "aggregates must not be bombed");
+    }
+
+    #[test]
+    fn silent_truncate_caps_selects_but_answers_counts_truthfully() {
+        let ep = wrapped(11, FaultProfile::silent_truncate(0), fast_config());
+        // A clean 200 OK with zero rows — no error anywhere to catch.
+        assert_eq!(ep.select(&query()).unwrap().len(), 0);
+        // ASK and COUNT pass through truthfully: the honest COUNT is the
+        // signal the integrity layer uses to detect the truncation.
+        let ask = parse_query("ASK WHERE { ?s <http://x/p> ?o }").unwrap();
+        assert!(ep.ask(&ask).unwrap());
+        let count = parse_query("SELECT (COUNT(*) AS ?c) WHERE { ?s <http://x/p> ?o }").unwrap();
+        assert_eq!(ep.count(&count).unwrap(), 1);
+        // A cap above the result size leaves it untouched; deterministic.
+        let ep = wrapped(11, FaultProfile::silent_truncate(5), fast_config());
+        assert_eq!(ep.select(&query()).unwrap().len(), 1);
+        assert_eq!(
+            ep.health_snapshot().failures,
+            0,
+            "200 OK means no breaker strikes"
+        );
+    }
+
+    #[test]
+    fn miscounts_inflates_counts_but_answers_selects_truthfully() {
+        let ep = wrapped(12, FaultProfile::miscounts(20.0), fast_config());
+        // SELECTs deliver the real single row.
+        assert_eq!(ep.select(&query()).unwrap().len(), 1);
+        // COUNT claims 20× the truth, twice in a row (deterministic).
+        let count = parse_query("SELECT (COUNT(*) AS ?c) WHERE { ?s <http://x/p> ?o }").unwrap();
+        assert_eq!(ep.count(&count).unwrap(), 20);
+        assert_eq!(ep.count(&count).unwrap(), 20);
+        let h = ep.health_snapshot();
+        assert_eq!(h.failures, 0, "a lying endpoint never trips the breaker");
+    }
+
+    #[test]
+    fn quarantine_flag_round_trips_through_health() {
+        let ep = wrapped(13, FaultProfile::none(), fast_config());
+        assert!(!ep.health().unwrap().quarantined);
+        ep.set_quarantined(true);
+        assert!(ep.health().unwrap().quarantined);
+        ep.set_quarantined(false);
+        assert!(!ep.health().unwrap().quarantined);
     }
 
     #[test]

@@ -285,18 +285,16 @@ impl HttpEndpoint {
             req
         }
     }
-}
 
-impl SparqlEndpoint for HttpEndpoint {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn execute_within(
+    /// The full request loop, returning the result together with whether
+    /// the server advertised truncation (`X-Lusail-Truncated`) on the
+    /// winning response. `execute_within` discards the flag;
+    /// `select_with_meta` surfaces it to the integrity layer.
+    fn execute_meta(
         &self,
         query: &Query,
         deadline: Deadline,
-    ) -> Result<QueryResult, EndpointError> {
+    ) -> Result<(QueryResult, bool), EndpointError> {
         // Consult the breaker first: an open circuit fails fast without
         // touching the network or burning any of the retry budget.
         if let Admission::Rejected { retry_in } = self.health.admit() {
@@ -331,7 +329,7 @@ impl SparqlEndpoint for HttpEndpoint {
                     self.counters
                         .record(request.len(), wire_bytes, started.elapsed());
                     match outcome {
-                        AttemptOutcome::Results(streamed, codec) => {
+                        AttemptOutcome::Results(streamed, codec, server_truncated) => {
                             self.health.record_success(started.elapsed());
                             match codec {
                                 ResponseCodec::Binary { dict_terms } => {
@@ -355,7 +353,7 @@ impl SparqlEndpoint for HttpEndpoint {
                                     ),
                                 ));
                             }
-                            return Ok(streamed.result);
+                            return Ok((streamed.result, server_truncated));
                         }
                         AttemptOutcome::Malformed(message) => {
                             // A complete 200 whose body is not a results
@@ -411,6 +409,36 @@ impl SparqlEndpoint for HttpEndpoint {
             format!("giving up after {made} attempts: {last_failure}"),
         ))
     }
+}
+
+impl SparqlEndpoint for HttpEndpoint {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute_within(
+        &self,
+        query: &Query,
+        deadline: Deadline,
+    ) -> Result<QueryResult, EndpointError> {
+        Ok(self.execute_meta(query, deadline)?.0)
+    }
+
+    fn select_with_meta(
+        &self,
+        query: &Query,
+        deadline: Deadline,
+    ) -> Result<crate::endpoint::SelectResponse, EndpointError> {
+        let (result, truncated) = self.execute_meta(query, deadline)?;
+        Ok(crate::endpoint::SelectResponse {
+            rows: result.into_solutions(),
+            truncated,
+        })
+    }
+
+    fn set_quarantined(&self, on: bool) {
+        self.health.set_quarantined(on);
+    }
 
     fn traffic(&self) -> TrafficSnapshot {
         self.counters.snapshot()
@@ -435,8 +463,11 @@ impl SparqlEndpoint for HttpEndpoint {
 enum AttemptOutcome {
     /// A 200 whose body parsed as a results document (possibly cut short
     /// by the row cap — see [`results_json::StreamedResult::truncated`]),
-    /// tagged with the codec the server actually answered in.
-    Results(results_json::StreamedResult, ResponseCodec),
+    /// tagged with the codec the server actually answered in and whether
+    /// the *server* advertised that it truncated the result
+    /// (`X-Lusail-Truncated` — ground truth for the integrity layer,
+    /// distinct from our own client-side parse cap).
+    Results(results_json::StreamedResult, ResponseCodec, bool),
     /// A complete 200 whose body is not a results document.
     Malformed(String),
     /// Any non-200 status, with the head of its body for error messages.
@@ -520,6 +551,7 @@ fn send_and_read(
                             truncated: streamed.truncated,
                         },
                         codec,
+                        head.truncated,
                     ),
                     drained,
                 )
@@ -535,7 +567,7 @@ fn send_and_read(
                 // error just forfeits pooling; the response already won.
                 let drained = !streamed.truncated && body.discard(ERROR_BODY_CAP).unwrap_or(false);
                 (
-                    AttemptOutcome::Results(streamed, ResponseCodec::Json),
+                    AttemptOutcome::Results(streamed, ResponseCodec::Json, head.truncated),
                     drained,
                 )
             }
@@ -577,6 +609,8 @@ struct ResponseHead {
     content_type: Option<String>,
     chunked: bool,
     keep_alive: bool,
+    /// The server declared the result truncated (`X-Lusail-Truncated`).
+    truncated: bool,
 }
 
 fn read_head(reader: &mut DeadlineReader<'_>) -> io::Result<ResponseHead> {
@@ -590,6 +624,7 @@ fn read_head(reader: &mut DeadlineReader<'_>) -> io::Result<ResponseHead> {
         content_type: None,
         chunked: false,
         keep_alive: true, // HTTP/1.1 default
+        truncated: false,
     };
     loop {
         let line = reader.read_line()?;
@@ -619,6 +654,9 @@ fn read_head(reader: &mut DeadlineReader<'_>) -> io::Result<ResponseHead> {
                 if value.eq_ignore_ascii_case("close") {
                     head.keep_alive = false;
                 }
+            }
+            "x-lusail-truncated" => {
+                head.truncated = !value.eq_ignore_ascii_case("false");
             }
             _ => {}
         }
@@ -1000,6 +1038,35 @@ mod tests {
 
     fn ask_query() -> Query {
         lusail_sparql::parse_query("ASK { ?s ?p ?o }").unwrap()
+    }
+
+    #[test]
+    fn x_lusail_truncated_header_is_ground_truth() {
+        let mut rel =
+            lusail_sparql::solution::Relation::new(vec![lusail_sparql::ast::Variable::new("s")]);
+        rel.push(vec![Some(lusail_rdf::Term::iri("http://x/a"))]);
+        let body = results_json::serialize(&QueryResult::Solutions(rel));
+        let with_header = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/sparql-results+json\r\n\
+             X-Lusail-Truncated: true\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .into_bytes();
+        let (url, server) = canned_server(vec![with_header, ok_response(&body)]);
+        let ep = HttpEndpoint::new("t", &url)
+            .unwrap()
+            .with_config(test_config());
+        let q = lusail_sparql::parse_query("SELECT ?s WHERE { ?s ?p ?o }").unwrap();
+        // The advertisement arrives as metadata, not an error: the rows
+        // are delivered and the flag tells the integrity layer to page.
+        let resp = ep.select_with_meta(&q, Deadline::none()).unwrap();
+        assert!(resp.truncated, "header must surface as ground truth");
+        assert_eq!(resp.rows.len(), 1);
+        // Without the header, the same body reports no advertisement.
+        let resp = ep.select_with_meta(&q, Deadline::none()).unwrap();
+        assert!(!resp.truncated);
+        server.join().unwrap();
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod erh;
 pub mod fault;
 pub mod federation;
 pub mod http;
+pub mod integrity;
 pub mod json;
 pub mod network;
 pub mod replica;
@@ -47,7 +48,8 @@ pub mod results_json;
 
 pub use cancel::{CancelReason, CancelToken};
 pub use endpoint::{
-    EndpointError, EndpointId, EndpointLimits, FailureKind, SimulatedEndpoint, SparqlEndpoint,
+    EndpointError, EndpointId, EndpointLimits, FailureKind, SelectResponse, SimulatedEndpoint,
+    SparqlEndpoint,
 };
 pub use erh::{
     Admission, BreakerConfig, BreakerState, CircuitBreaker, Deadline, EndpointHealth,
@@ -56,6 +58,7 @@ pub use erh::{
 pub use fault::{FaultProfile, FaultyConfig, FaultyEndpoint};
 pub use federation::Federation;
 pub use http::{HttpConfig, HttpEndpoint};
+pub use integrity::{IntegrityConfig, IntegrityRegistry, IntegritySnapshot, QuarantineTransition};
 pub use network::{CodecCounters, CodecSnapshot, NetworkProfile, RequestCounters, TrafficSnapshot};
 pub use replica::{
     hedge_safe, rank_members, ReplicaConfig, ReplicaGroup, ReplicaGroupStats, ReplicaMemberSnapshot,

@@ -111,9 +111,12 @@ struct MemberCounters {
 }
 
 /// Rank member indices by health: closed breakers before half-open before
-/// open, then by latency EWMA (fresh members, with no samples, report zero
-/// and sort first), then by index. A pure function of the snapshots, so
-/// replica selection is deterministic for a fixed health state.
+/// open; within each breaker class, integrity-quarantined members after
+/// trusted ones (a quarantined endpoint is up but untrustworthy — still
+/// usable, never preferred); then by latency EWMA (fresh members, with no
+/// samples, report zero and sort first), then by index. A pure function of
+/// the snapshots, so replica selection is deterministic for a fixed health
+/// state.
 pub fn rank_members(health: &[Option<HealthSnapshot>]) -> Vec<usize> {
     fn breaker_rank(b: BreakerState) -> u8 {
         match b {
@@ -124,8 +127,13 @@ pub fn rank_members(health: &[Option<HealthSnapshot>]) -> Vec<usize> {
     }
     let mut order: Vec<usize> = (0..health.len()).collect();
     order.sort_by_key(|&i| match &health[i] {
-        Some(h) => (breaker_rank(h.breaker), h.latency_ewma.as_nanos(), i),
-        None => (0, 0, i),
+        Some(h) => (
+            breaker_rank(h.breaker),
+            h.quarantined as u8,
+            h.latency_ewma.as_nanos(),
+            i,
+        ),
+        None => (0, 0, 0, i),
     });
     order
 }
@@ -757,6 +765,7 @@ mod tests {
                 open_rejections: 0,
                 breaker,
                 latency_ewma: Duration::from_micros(micros),
+                quarantined: false,
             })
         };
         let health = vec![
@@ -768,6 +777,30 @@ mod tests {
         ];
         // None ranks as closed/zero-latency, ahead of measured members.
         assert_eq!(rank_members(&health), vec![4, 2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn rank_demotes_quarantined_below_healthy_but_above_half_open() {
+        let snap = |breaker: BreakerState, micros: u64, quarantined: bool| {
+            Some(HealthSnapshot {
+                requests: 1,
+                failures: 0,
+                retries: 0,
+                open_rejections: 0,
+                breaker,
+                latency_ewma: Duration::from_micros(micros),
+                quarantined,
+            })
+        };
+        let health = vec![
+            snap(BreakerState::Closed, 1, true),    // fastest, but lying
+            snap(BreakerState::Closed, 900, false), // slow and honest wins
+            snap(BreakerState::HalfOpen, 1, false),
+            snap(BreakerState::Open, 1, false),
+        ];
+        // Quarantine demotes below every healthy closed member, but a
+        // lying-yet-up endpoint still beats breaker-degraded ones.
+        assert_eq!(rank_members(&health), vec![1, 0, 2, 3]);
     }
 
     /// Seeded property loop: replica selection is a deterministic pure
@@ -796,6 +829,7 @@ mod tests {
                         open_rejections: 0,
                         breaker,
                         latency_ewma: Duration::from_micros(next_u64(&mut rng) % 10_000),
+                        quarantined: next_u64(&mut rng) % 4 == 0,
                     })
                 })
                 .collect();

@@ -615,6 +615,33 @@ impl QueryBackend for FederationService {
             })
             .collect::<Vec<_>>()
             .join(",");
+        let integrity = self
+            .engine
+            .integrity()
+            .snapshot()
+            .iter()
+            .map(|(name, s)| {
+                format!(
+                    "\"{}\":{{\"verifications\":{},\"truncations_detected\":{},\
+                     \"pages_fetched\":{},\"rows_recovered\":{},\"count_divergences\":{},\
+                     \"quarantine_entries\":{},\"quarantine_exits\":{},\"quarantined\":{},\
+                     \"learned_cap\":{}}}",
+                    json::escape(name),
+                    s.verifications,
+                    s.truncations_detected,
+                    s.pages_fetched,
+                    s.rows_recovered,
+                    s.count_divergences,
+                    s.quarantine_entries,
+                    s.quarantine_exits,
+                    s.quarantined,
+                    s.learned_cap
+                        .map(|c| c.to_string())
+                        .unwrap_or_else(|| "null".to_string()),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         Some(format!(
             "{{\"pool\":{{\"capacity\":{},\"ledger_bytes\":{},\"max_ledgers\":{},\"in_use\":{},\
              \"waiting\":{},\"carved\":{},\"queued\":{},\"shed\":{},\"peak_ledgers\":{}}},\
@@ -628,7 +655,7 @@ impl QueryBackend for FederationService {
              \"drain_force_cancelled\":{}}},\
              \"codec\":{{\"negotiated\":\"{}\",\"binary_responses\":{},\"json_responses\":{},\
              \"binary_bytes_in\":{},\"json_bytes_in\":{},\"dict_terms\":{},\"fallbacks\":{},\
-             \"endpoints\":{{{}}}}}}}",
+             \"endpoints\":{{{}}}}},\"integrity\":{{{}}}}}",
             self.pool.capacity(),
             self.pool.ledger_bytes(),
             self.pool.max_ledgers(),
@@ -670,6 +697,7 @@ impl QueryBackend for FederationService {
             codec.dict_terms,
             codec.fallbacks,
             codec_endpoints,
+            integrity,
         ))
     }
 

@@ -1110,6 +1110,15 @@ fn answer_query(
                     rel.len()
                 ));
             }
+            // Honest truncation advertisement: unlike a silently-capping
+            // public endpoint, this server *declares* the cut in a header
+            // (`HttpEndpoint` consumes it as ground truth and pages the
+            // rest back), so a federator never has to guess.
+            let truncated_header = if rel.len() > cap {
+                "X-Lusail-Truncated: true\r\n"
+            } else {
+                ""
+            };
             if binary {
                 // The same streaming shape as JSON — head, row chunks,
                 // tail — just in the negotiated compact codec: each row
@@ -1119,8 +1128,9 @@ fn answer_query(
                 let mut out = io::BufWriter::new(stream);
                 write!(
                     out,
-                    "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+                    "HTTP/1.1 200 OK\r\nContent-Type: {}\r\n{}Transfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
                     results_bin::MEDIA_TYPE,
+                    truncated_header,
                     connection
                 )?;
                 write_chunk(&mut out, &enc.head(rel.vars(), &warnings))?;
@@ -1139,8 +1149,9 @@ fn answer_query(
             let mut out = io::BufWriter::new(stream);
             write!(
                 out,
-                "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+                "HTTP/1.1 200 OK\r\nContent-Type: {}\r\n{}Transfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
                 results_json::MEDIA_TYPE,
+                truncated_header,
                 connection
             )?;
             write_chunk(&mut out, head.as_bytes())?;
@@ -1676,13 +1687,30 @@ mod tests {
         let q = lusail_sparql::parse_query("SELECT ?s ?o WHERE { ?s <http://x/p> ?o }").unwrap();
         let rel = ep.select(&q).unwrap();
         assert_eq!(rel.len(), 1, "cap must hold");
-        // The raw body carries the warning in the head, before any row.
+        // The truncation is advertised in the response head, and the
+        // client transport surfaces it as ground-truth metadata.
+        let meta = ep
+            .select_with_meta(&q, lusail_federation::Deadline::none())
+            .unwrap();
+        assert!(meta.truncated, "X-Lusail-Truncated must reach the client");
+        assert_eq!(meta.rows.len(), 1);
+        // An uncapped query advertises nothing.
+        let small =
+            lusail_sparql::parse_query("SELECT ?s WHERE { ?s <http://x/label> ?o }").unwrap();
+        let meta = ep
+            .select_with_meta(&small, lusail_federation::Deadline::none())
+            .unwrap();
+        assert!(!meta.truncated);
+        assert_eq!(meta.rows.len(), 1, "under-cap results pass untouched");
+        // The raw body carries the warning in the head, before any row,
+        // and the raw header is on the wire.
         let request = format!(
             "GET /sparql?query={} HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n",
             percent_encode("SELECT ?s ?o WHERE { ?s <http://x/p> ?o }")
         );
         let (status, text) = raw_roundtrip(handle.local_addr(), &request);
         assert!(status.contains("200"), "{text}");
+        assert!(text.contains("X-Lusail-Truncated: true"), "{text}");
         assert!(
             text.contains("srv-rowcap: result truncated to 1 of 2 rows"),
             "{text}"

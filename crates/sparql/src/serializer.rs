@@ -87,9 +87,12 @@ fn write_select(out: &mut String, s: &SelectQuery) {
         }
         out.push(' ');
     }
-    for (v, asc) in &s.order_by {
-        let dir = if *asc { "ASC" } else { "DESC" };
-        let _ = write!(out, " ORDER BY {dir}({v})");
+    if !s.order_by.is_empty() {
+        out.push_str(" ORDER BY");
+        for (v, asc) in &s.order_by {
+            let dir = if *asc { "ASC" } else { "DESC" };
+            let _ = write!(out, " {dir}({v})");
+        }
     }
     if let Some(l) = s.limit {
         let _ = write!(out, " LIMIT {l}");
@@ -349,5 +352,27 @@ mod tests {
     #[test]
     fn roundtrip_order_by() {
         roundtrip("SELECT ?x WHERE { ?x ?p ?o } ORDER BY DESC(?x) LIMIT 2");
+    }
+
+    /// The shapes emitted by integrity paging: every projected variable as
+    /// an ascending sort key, plus `LIMIT`/`OFFSET` page windows. A
+    /// multi-key ordering must serialize as a single `ORDER BY` clause.
+    #[test]
+    fn roundtrip_paging_queries() {
+        roundtrip("SELECT ?x ?y WHERE { ?x <http://e/p> ?y } ORDER BY ASC(?x) ASC(?y) LIMIT 64");
+        roundtrip(
+            "SELECT ?x ?y WHERE { ?x <http://e/p> ?y } ORDER BY ASC(?x) ASC(?y) LIMIT 64 OFFSET 128",
+        );
+        roundtrip(
+            "SELECT ?a ?b ?c WHERE { ?a <http://e/p> ?b . ?b <http://e/q> ?c } ORDER BY ASC(?a) DESC(?b) ASC(?c) OFFSET 7",
+        );
+        roundtrip(
+            "SELECT ?x ?y WHERE { ?x <http://e/p> ?y . VALUES (?x) { (<http://e/1>) (<http://e/2>) } } ORDER BY ASC(?x) ASC(?y) LIMIT 16 OFFSET 32",
+        );
+        // Bare-variable keys normalize to the explicit ASC form.
+        let parsed = parse_query("SELECT ?x WHERE { ?x ?p ?o } ORDER BY ?x LIMIT 3").unwrap();
+        let text = serialize_query(&parsed);
+        assert!(text.contains("ORDER BY ASC(?x)"), "got: {text}");
+        assert_eq!(parse_query(&text).unwrap(), parsed);
     }
 }

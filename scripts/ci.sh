@@ -73,3 +73,16 @@ if ! LUSAIL_CHAOS_SEED="$seed" cargo test -p integration --test codec -q --offli
     echo "    LUSAIL_CHAOS_SEED=$seed cargo test -p integration --test codec" >&2
     exit 1
 fi
+
+# Integrity-chaos group: result-integrity e2e (tests/tests/integrity_chaos.rs).
+# A silently-truncating fleet must be recovered byte-identical to the
+# all-healthy run on LUBM and QFed, a miscounting endpoint must end up
+# quarantined with observed-vs-claimed counts in the warning (--partial)
+# or a structured integrity error (fail-fast), recovery must stop under a
+# tight memory budget and respect the deadline, and the paged-merge
+# property must hold for arbitrary page sizes and row counts.
+if ! LUSAIL_CHAOS_SEED="$seed" cargo test -p integration --test integrity_chaos -q --offline; then
+    echo "integrity-chaos suite failed with LUSAIL_CHAOS_SEED=$seed -- replay with:" >&2
+    echo "    LUSAIL_CHAOS_SEED=$seed cargo test -p integration --test integrity_chaos" >&2
+    exit 1
+fi

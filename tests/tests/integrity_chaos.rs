@@ -1,0 +1,492 @@
+//! Integrity-chaos suite: end-to-end behaviour of the result-integrity
+//! defense against endpoints that lie with a `200 OK`.
+//!
+//! Three lies are injected via [`FaultyEndpoint`]:
+//!
+//! * **silent truncation** — the endpoint caps every plain `SELECT` but
+//!   answers `COUNT` probes honestly. The engine must detect the cut via
+//!   its verification probe and transparently reconstruct the complete
+//!   result through `ORDER BY`+`LIMIT/OFFSET` paging, byte-identical to
+//!   an all-healthy run, with *no* warnings (recovery reconciled).
+//! * **miscounting** — the endpoint inflates every `COUNT`. Paging then
+//!   exhausts below the claim, which is an irreconcilable divergence:
+//!   strikes accumulate into quarantine, surfaced as a non-skippable
+//!   integrity warning under `--partial` and a structured
+//!   [`FailureKind::Integrity`] error under fail-fast.
+//! * **bounded recovery** — reconstruction must stop early (and say so)
+//!   under a tight memory budget, and must respect the query deadline.
+//!
+//! Every fault sequence is drawn from a seeded SplitMix64 stream; set
+//! `LUSAIL_CHAOS_SEED` to replay a failing run (the `integrity-chaos`
+//! group in `scripts/ci.sh` prints the seed it used on failure).
+
+use integration::{assert_same_solutions, ground_truth};
+use lusail_core::sape::recover;
+use lusail_core::{EngineError, IntegrityConfig, LusailConfig, LusailEngine, ResultPolicy};
+use lusail_federation::{
+    results_json, Deadline, FailureKind, FaultProfile, FaultyConfig, FaultyEndpoint, Federation,
+    NetworkProfile, SimulatedEndpoint, SparqlEndpoint,
+};
+use lusail_rdf::{Graph, Term};
+use lusail_sparql::parse_query;
+use lusail_sparql::solution::Relation;
+use lusail_store::{eval::QueryResult, Store};
+use lusail_workloads::prng::SplitMix64;
+use lusail_workloads::{federation_from_graphs, lubm, qfed};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn chaos_seed() -> u64 {
+    std::env::var("LUSAIL_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Canonical bytes of a relation: rows sorted, then serialized as a
+/// SPARQL JSON document. Two relations are byte-identical exactly when
+/// these strings are equal.
+fn canonical_bytes(rel: &Relation) -> String {
+    let mut sorted = rel.clone();
+    sorted.rows_mut().sort();
+    results_json::serialize(&QueryResult::Solutions(sorted))
+}
+
+/// Paranoid engine config: verify *every* response against a `COUNT(*)`
+/// probe so each injected lie is exercised, not just eventual ones.
+fn paranoid(policy: ResultPolicy) -> LusailConfig {
+    LusailConfig {
+        result_policy: policy,
+        integrity: IntegrityConfig::paranoid(),
+        ..LusailConfig::without_cache()
+    }
+}
+
+/// A federation where *every* endpoint lies the same way: each simulated
+/// endpoint is wrapped in a fault injector carrying `profile`.
+fn lying_federation(graphs: &[(String, Graph)], profile: FaultProfile) -> Federation {
+    let endpoints: Vec<Arc<dyn SparqlEndpoint>> = graphs
+        .iter()
+        .map(|(name, g)| {
+            let inner = Arc::new(SimulatedEndpoint::new(
+                name.clone(),
+                Store::from_graph(g),
+                NetworkProfile::instant(),
+            )) as Arc<dyn SparqlEndpoint>;
+            Arc::new(FaultyEndpoint::with_config(
+                inner,
+                chaos_seed(),
+                profile,
+                FaultyConfig::default(),
+            )) as Arc<dyn SparqlEndpoint>
+        })
+        .collect();
+    Federation::new(endpoints)
+}
+
+/// The silent cap applied in the truncation tests. Small enough that
+/// most workload subqueries overflow it (so recovery actually pages),
+/// large enough that `max_pages` is never the binding constraint.
+const CAP: usize = 16;
+
+/// A truncating fleet must be indistinguishable from a healthy one:
+/// every LUBM and QFed query comes back byte-identical to the all-healthy
+/// run (and to the merged-graph ground truth), without a single warning,
+/// because honest `COUNT`s let paging reconcile every cut. The endpoints
+/// stay out of quarantine — truncation is a strike only when the claim
+/// cannot be reconciled.
+#[test]
+fn truncating_endpoints_recover_byte_identical_on_lubm_and_qfed() {
+    let workloads: Vec<(&str, Vec<(String, Graph)>, Vec<_>)> = vec![
+        (
+            "lubm",
+            lubm::generate_all(&lubm::LubmConfig::with_universities(2)),
+            lubm::queries(),
+        ),
+        (
+            "qfed",
+            qfed::generate_all(&qfed::QfedConfig::default()),
+            qfed::queries(),
+        ),
+    ];
+    let mut total_truncations = 0u64;
+    let mut total_pages = 0u64;
+    for (tag, graphs, queries) in workloads {
+        let healthy_engine = LusailEngine::new(
+            federation_from_graphs(graphs.clone(), NetworkProfile::instant()),
+            paranoid(ResultPolicy::FailFast),
+        );
+        let lying_engine = LusailEngine::new(
+            lying_federation(&graphs, FaultProfile::silent_truncate(CAP)),
+            paranoid(ResultPolicy::FailFast),
+        );
+        for q in &queries {
+            let parsed = q.parse();
+            let want = healthy_engine.execute(&parsed).expect(q.name);
+            let (got, profile) = lying_engine
+                .execute_profiled(&parsed)
+                .unwrap_or_else(|e| panic!("{tag}/{} (seed {}): {e}", q.name, chaos_seed()));
+            assert_eq!(
+                canonical_bytes(&got),
+                canonical_bytes(&want),
+                "{tag}/{}: truncating fleet differs from healthy run (seed {})",
+                q.name,
+                chaos_seed()
+            );
+            assert!(
+                profile.warnings.is_empty(),
+                "{tag}/{}: reconciled recovery must be silent, got {:?}",
+                q.name,
+                profile.warnings
+            );
+            assert_same_solutions(
+                &format!("{tag}/{} vs ground truth", q.name),
+                &got,
+                &ground_truth(&graphs, &parsed),
+            );
+        }
+        for (name, snap) in lying_engine.integrity().snapshot() {
+            assert!(
+                !snap.quarantined && snap.count_divergences == 0,
+                "{tag}/{name}: honest counts must not strike ({snap:?})"
+            );
+            total_truncations += snap.truncations_detected;
+            total_pages += snap.pages_fetched;
+        }
+    }
+    assert!(
+        total_truncations > 0 && total_pages > total_truncations,
+        "the cap of {CAP} rows should have forced multi-page recoveries \
+         (detected {total_truncations}, fetched {total_pages} pages, seed {})",
+        chaos_seed()
+    );
+}
+
+// ---- miscounting endpoint → quarantine ---------------------------------
+
+/// Rows each endpoint contributes to [`QUERY`] in the shard rigs.
+const ROWS_PER_SHARD: usize = 10;
+
+const QUERY: &str = "SELECT ?s ?d ?w WHERE { ?s <http://x/linked> ?d . ?d <http://x/weight> ?w }";
+
+/// The endpoint wrapped in the fault injector.
+const FAULTY_NAME: &str = "ep-2";
+
+/// One endpoint's shard: link/weight chains over IRIs namespaced by
+/// endpoint, so the join is local to each shard and every result row is
+/// attributable to exactly one endpoint.
+fn shard(idx: usize) -> Graph {
+    let mut g = Graph::new();
+    for i in 0..ROWS_PER_SHARD {
+        let s = Term::iri(format!("http://ep{idx}.example.org/s{i}"));
+        let d = Term::iri(format!("http://ep{idx}.example.org/d{i}"));
+        g.add(s, Term::iri("http://x/linked"), d.clone());
+        g.add(
+            d,
+            Term::iri("http://x/weight"),
+            Term::integer((idx * ROWS_PER_SHARD + i) as i64),
+        );
+    }
+    g
+}
+
+struct Rig {
+    federation: Federation,
+    faulty: Arc<FaultyEndpoint>,
+}
+
+/// Three shard endpoints; `ep-2` lies according to `profile`.
+fn rig(profile: FaultProfile) -> Rig {
+    let mut endpoints: Vec<Arc<dyn SparqlEndpoint>> = (0..2)
+        .map(|idx| {
+            Arc::new(SimulatedEndpoint::new(
+                format!("ep-{idx}"),
+                Store::from_graph(&shard(idx)),
+                NetworkProfile::instant(),
+            )) as Arc<dyn SparqlEndpoint>
+        })
+        .collect();
+    let inner = Arc::new(SimulatedEndpoint::new(
+        FAULTY_NAME,
+        Store::from_graph(&shard(2)),
+        NetworkProfile::instant(),
+    )) as Arc<dyn SparqlEndpoint>;
+    let faulty = Arc::new(FaultyEndpoint::with_config(
+        inner,
+        chaos_seed(),
+        profile,
+        FaultyConfig::default(),
+    ));
+    endpoints.push(faulty.clone() as Arc<dyn SparqlEndpoint>);
+    Rig {
+        federation: Federation::new(endpoints),
+        faulty,
+    }
+}
+
+/// A miscounting endpoint under `--partial`: paging exhausts below the
+/// inflated claim, each query records a divergence strike, and after
+/// `quarantine_after` strikes the endpoint is quarantined — mirrored into
+/// its health registry — while the *results stay complete*, because the
+/// rows themselves were honest and recovery kept them.
+#[test]
+fn miscounting_endpoint_is_quarantined_under_partial_with_structured_warning() {
+    let rig = rig(FaultProfile::miscounts(3.0));
+    let engine = LusailEngine::new(rig.federation.clone(), paranoid(ResultPolicy::Partial));
+    let q = parse_query(QUERY).unwrap();
+
+    let mut last_warnings = Vec::new();
+    for run in 0..2 {
+        let (rel, profile) = engine
+            .execute_profiled(&q)
+            .unwrap_or_else(|e| panic!("run {run} (seed {}): {e}", chaos_seed()));
+        // The lie was about the count, not the rows: all three shards'
+        // rows are present in every run.
+        assert_eq!(
+            rel.len(),
+            3 * ROWS_PER_SHARD,
+            "run {run}, seed {}",
+            chaos_seed()
+        );
+        last_warnings = profile.warnings;
+    }
+
+    // Two runs → two strikes → quarantined, everywhere it is surfaced.
+    assert!(
+        engine.integrity().is_quarantined(FAULTY_NAME),
+        "seed {}",
+        chaos_seed()
+    );
+    assert!(
+        rig.faulty.health_snapshot().quarantined,
+        "quarantine must be mirrored into the endpoint's health registry"
+    );
+    let snap = engine.integrity().snapshot();
+    let (_, s) = snap
+        .iter()
+        .find(|(n, _)| n == FAULTY_NAME)
+        .expect("stats must cover the lying endpoint");
+    assert!(s.count_divergences >= 2, "{s:?}");
+    assert!(s.quarantine_entries >= 1, "{s:?}");
+    assert!(s.quarantined, "{s:?}");
+
+    // The last run's warning is structured: it names the endpoint, both
+    // counts, and the quarantine standing.
+    let w = last_warnings
+        .iter()
+        .find(|w| w.endpoint == FAULTY_NAME && w.message.starts_with("integrity:"))
+        .unwrap_or_else(|| panic!("no integrity warning in {last_warnings:?}"));
+    assert!(
+        w.message.contains("claimed 30 rows but delivered 10"),
+        "warning must carry observed vs claimed counts: {}",
+        w.message
+    );
+    assert!(
+        w.message.contains("endpoint quarantined"),
+        "warning must state the quarantine standing: {}",
+        w.message
+    );
+}
+
+/// The same lie under fail-fast is a hard error carrying the
+/// non-skippable [`FailureKind::Integrity`], the endpoint name, and both
+/// counts — the paper's "partial results are worse than no results"
+/// stance applied to integrity.
+#[test]
+fn miscounting_endpoint_fails_fast_with_integrity_error() {
+    let rig = rig(FaultProfile::miscounts(3.0));
+    let engine = LusailEngine::new(rig.federation.clone(), paranoid(ResultPolicy::FailFast));
+    let err = engine.execute(&parse_query(QUERY).unwrap()).unwrap_err();
+    match err {
+        EngineError::Endpoint(e) => {
+            assert_eq!(e.endpoint, FAULTY_NAME, "seed {}", chaos_seed());
+            assert_eq!(e.kind, FailureKind::Integrity);
+            assert!(
+                !e.is_skippable(),
+                "integrity failures must not be skippable"
+            );
+            assert!(
+                e.message.contains("claimed 30 rows but delivered 10"),
+                "error must carry observed vs claimed counts: {}",
+                e.message
+            );
+        }
+        other => panic!("expected a structured integrity error, got {other:?}"),
+    }
+}
+
+// ---- bounded recovery --------------------------------------------------
+
+/// `n` distinct (subject, object) rows under one predicate.
+fn wide_graph(n: usize) -> Graph {
+    let mut g = Graph::new();
+    for i in 0..n {
+        g.add(
+            Term::iri(format!("http://x/s{i:05}")),
+            Term::iri("http://x/p"),
+            Term::iri(format!("http://x/o{i:05}")),
+        );
+    }
+    g
+}
+
+fn single_endpoint_rig(rows: usize, profile: FaultProfile, network: NetworkProfile) -> Federation {
+    let inner = Arc::new(SimulatedEndpoint::new(
+        "trunky",
+        Store::from_graph(&wide_graph(rows)),
+        network,
+    )) as Arc<dyn SparqlEndpoint>;
+    Federation::new(vec![Arc::new(FaultyEndpoint::with_config(
+        inner,
+        chaos_seed(),
+        profile,
+        FaultyConfig::default(),
+    )) as Arc<dyn SparqlEndpoint>])
+}
+
+/// Under `--partial` with a tight memory budget, a huge reconstruction
+/// degrades *itself*, not the query: recovery stops once its pages would
+/// claim more than half the remaining budget, the run still completes,
+/// and exactly ONE integrity warning reports the stop — not one per page
+/// (the per-page warning-dedup regression).
+#[test]
+fn recovery_is_bounded_by_the_memory_budget() {
+    const ROWS: usize = 4000;
+    let federation = single_endpoint_rig(
+        ROWS,
+        FaultProfile::silent_truncate(64),
+        NetworkProfile::instant(),
+    );
+    let engine = LusailEngine::new(
+        federation,
+        LusailConfig {
+            memory_budget: Some(32 * 1024),
+            ..paranoid(ResultPolicy::Partial)
+        },
+    );
+    let q = parse_query("SELECT ?s ?o WHERE { ?s <http://x/p> ?o }").unwrap();
+    let (rel, profile) = engine
+        .execute_profiled(&q)
+        .unwrap_or_else(|e| panic!("partial mode must survive the budget stop: {e}"));
+    assert!(
+        rel.len() < ROWS,
+        "a 32 KiB budget cannot hold all {ROWS} rows, got {}",
+        rel.len()
+    );
+
+    let integrity: Vec<_> = profile
+        .warnings
+        .iter()
+        .filter(|w| w.message.starts_with("integrity:"))
+        .collect();
+    assert_eq!(
+        integrity.len(),
+        1,
+        "a multi-page recovery must warn once per (endpoint, subquery), got {:?}",
+        profile.warnings
+    );
+    assert!(
+        integrity[0].message.contains("memory budget exhausted"),
+        "the stop reason must be named: {}",
+        integrity[0].message
+    );
+
+    let snap = engine.integrity().snapshot();
+    let (_, s) = snap.iter().find(|(n, _)| n == "trunky").expect("stats");
+    assert!(s.truncations_detected >= 1, "{s:?}");
+    assert!(s.pages_fetched >= 2, "{s:?}");
+    assert!(s.rows_recovered > 0, "{s:?}");
+    // Stopping for our own budget is not the endpoint's lie: no strike.
+    assert_eq!(s.count_divergences, 0, "{s:?}");
+}
+
+/// Recovery paging honours the query deadline: with a measurable per-
+/// request network cost and a deadline far below the hundreds of pages a
+/// full reconstruction needs, the query dies with `Timeout` instead of
+/// paging forever.
+#[test]
+fn recovery_respects_the_deadline() {
+    let federation = single_endpoint_rig(
+        2000,
+        FaultProfile::silent_truncate(CAP),
+        NetworkProfile::geo_distributed(),
+    );
+    let engine = LusailEngine::new(
+        federation,
+        LusailConfig {
+            timeout: Some(Duration::from_millis(80)),
+            ..paranoid(ResultPolicy::Partial)
+        },
+    );
+    let err = engine
+        .execute(&parse_query("SELECT ?s ?o WHERE { ?s <http://x/p> ?o }").unwrap())
+        .unwrap_err();
+    assert!(
+        matches!(err, EngineError::Timeout(_)),
+        "expected Timeout, got {err:?} (seed {})",
+        chaos_seed()
+    );
+}
+
+// ---- paging property ---------------------------------------------------
+
+/// Seeded property: for arbitrary row counts, duplicate-heavy bags, page
+/// sizes, and even overlapping re-fetches, the merged pages are
+/// byte-identical to the unpaged result of the same ordered query. This
+/// is the contract the recovery loop in `sape::execute` relies on.
+#[test]
+fn paged_refetch_merge_is_byte_identical_to_unpaged() {
+    let mut rng = SplitMix64::seed_from_u64(chaos_seed() ^ 0x1f1d_ea11_cafe_f00d);
+    for case in 0..25 {
+        let n = rng.gen_range(0..300usize);
+        let mut g = Graph::new();
+        for i in 0..n {
+            // A handful of distinct objects: projecting only ?o makes the
+            // result a bag with heavy legitimate duplication.
+            g.add(
+                Term::iri(format!("http://x/s{i}")),
+                Term::iri("http://x/p"),
+                Term::integer(rng.gen_range(0..7i64)),
+            );
+        }
+        let ep = SimulatedEndpoint::new("ep", Store::from_graph(&g), NetworkProfile::instant());
+        let base = parse_query("SELECT ?o WHERE { ?s <http://x/p> ?o }").unwrap();
+        let reference = ep
+            .select_within(&recover::paged_query(&base, n + 1, 0), Deadline::none())
+            .unwrap();
+
+        let mut pages = Vec::new();
+        let mut offset = 0usize;
+        loop {
+            let limit = rng.gen_range(1..=17usize);
+            let page = ep
+                .select_within(
+                    &recover::paged_query(&base, limit, offset),
+                    Deadline::none(),
+                )
+                .unwrap();
+            let got = page.len();
+            if got == 0 {
+                break;
+            }
+            pages.push((offset, page));
+            if offset > 0 && rng.gen_bool(0.25) {
+                // An overlapping re-fetch of an already-covered window:
+                // merge must drop it by offset arithmetic, not content.
+                let back = rng.gen_range(0..offset);
+                let re = ep
+                    .select_within(&recover::paged_query(&base, limit, back), Deadline::none())
+                    .unwrap();
+                pages.push((back, re));
+            }
+            offset += got;
+        }
+        let merged = recover::merge_pages(reference.vars().to_vec(), pages);
+        assert_eq!(
+            results_json::serialize(&QueryResult::Solutions(merged)),
+            results_json::serialize(&QueryResult::Solutions(reference.clone())),
+            "case {case}: merged pages diverge from the unpaged result (seed {})",
+            chaos_seed()
+        );
+    }
+}
